@@ -1,0 +1,44 @@
+//! Matrix-exponential cost for the ZOH discretization (paper eq. 23–25):
+//! the nilpotent paper structure vs dense matrices of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use idc_control::discretize::discretize;
+use idc_control::statespace::CostStateSpace;
+use idc_linalg::{expm::expm, Matrix};
+
+fn bench_expm(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("expm");
+
+    // The paper's cost model: N = 3 IDCs, C = 5 portals, Ts = 30 s.
+    let ss = CostStateSpace::new(
+        &[43.26, 30.26, 19.06],
+        &[67.5e-6, 108.0e-6, 77.14e-6],
+        &[150e-6, 150e-6, 150e-6],
+        5,
+    )
+    .expect("valid");
+    group.bench_function("zoh_paper_cost_model", |b| {
+        b.iter(|| black_box(discretize(black_box(&ss), 30.0 / 3600.0).expect("discretizes")))
+    });
+
+    // Dense pseudo-random matrices across the Padé degree thresholds.
+    for n in [4usize, 16, 48] {
+        let a = Matrix::from_fn(n, n, |i, j| {
+            let v = (((i * 31 + j * 17 + 7) % 101) as f64 / 101.0 - 0.5) * 0.6;
+            if i == j {
+                v - 0.2
+            } else {
+                v / n as f64 * 4.0
+            }
+        });
+        group.bench_with_input(BenchmarkId::new("dense", n), &a, |b, a| {
+            b.iter(|| black_box(expm(black_box(a)).expect("finite")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_expm);
+criterion_main!(benches);

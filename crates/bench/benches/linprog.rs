@@ -1,0 +1,77 @@
+//! Simplex solve time for the control-reference LP (paper eq. 46).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use idc_control::reference::{optimal_reference, price_greedy_reference};
+use idc_datacenter::idc::{paper_idcs, IdcConfig};
+use idc_datacenter::server::ServerSpec;
+use idc_opt::linprog::LinearProgram;
+
+fn synthetic_idcs(n: usize) -> Vec<IdcConfig> {
+    (0..n)
+        .map(|j| {
+            IdcConfig::new(
+                format!("idc-{j}"),
+                30_000,
+                ServerSpec::new(150.0, 285.0, 1.0 + 0.25 * (j % 5) as f64).expect("valid"),
+                0.001,
+            )
+            .expect("valid")
+        })
+        .collect()
+}
+
+fn bench_reference(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("reference_lp");
+    // The paper's instance: 3 IDCs × 5 portals.
+    let idcs = paper_idcs();
+    let offered = [30_000.0, 15_000.0, 15_000.0, 20_000.0, 20_000.0];
+    let prices = [43.26, 30.26, 19.06];
+    group.bench_function("eq46_lp_paper_size", |b| {
+        b.iter(|| {
+            black_box(
+                optimal_reference(black_box(&idcs), black_box(&offered), black_box(&prices))
+                    .expect("feasible"),
+            )
+        })
+    });
+    group.bench_function("price_greedy_paper_size", |b| {
+        b.iter(|| {
+            black_box(
+                price_greedy_reference(black_box(&idcs), black_box(&offered), black_box(&prices))
+                    .expect("feasible"),
+            )
+        })
+    });
+    // Scaling in the number of IDCs.
+    for n in [5usize, 10, 20] {
+        let idcs = synthetic_idcs(n);
+        let offered = vec![8_000.0; 10];
+        let prices: Vec<f64> = (0..n).map(|j| 20.0 + (j as f64 * 7.3) % 40.0).collect();
+        group.bench_with_input(BenchmarkId::new("eq46_lp_idcs", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    optimal_reference(&idcs, &offered, &prices).expect("feasible"),
+                )
+            })
+        });
+    }
+    // A raw dense LP for the solver itself.
+    group.bench_function("simplex_dense_30x60", |b| {
+        b.iter(|| {
+            let mut lp = LinearProgram::minimize((0..60).map(|i| ((i * 13) % 17) as f64).collect());
+            for r in 0..30 {
+                let row: Vec<f64> = (0..60)
+                    .map(|i| if (i + r) % 4 == 0 { 1.0 } else { 0.0 })
+                    .collect();
+                lp = lp.inequality(row, 100.0 + r as f64);
+            }
+            black_box(lp.solve().expect("bounded"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reference);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Solve-time of one condensed MPC step (the paper's eq. 42 QP) as the
+//! horizons and fleet size grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use idc_control::mpc::{MpcConfig, MpcController, MpcProblem};
+
+/// A synthetic fleet of `n` IDCs × `c` portals, mid-transition (load must
+/// move from the last IDC to the first).
+fn problem(n: usize, c: usize) -> MpcProblem {
+    let per_portal = 10_000.0;
+    let mut prev = vec![0.0; n * c];
+    for i in 0..c {
+        prev[(n - 1) * c + i] = per_portal;
+    }
+    MpcProblem {
+        b1_mw: (0..n).map(|j| 60e-6 + 10e-6 * j as f64).collect(),
+        b0_mw: vec![150e-6; n],
+        servers_on: vec![20_000; n],
+        capacities: vec![c as f64 * per_portal * 1.2 / n as f64 + 20_000.0; n],
+        prev_input: prev,
+        workload_forecast: vec![vec![per_portal; c]; 3],
+        power_reference_mw: vec![
+            (0..n)
+                .map(|j| if j == 0 { 4.0 } else { 3.0 })
+                .collect();
+            5
+        ],
+        tracking_multiplier: MpcProblem::uniform_tracking(n),
+    }
+}
+
+fn bench_mpc(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("mpc_solve");
+    // The cold-started active-set QP grows steeply with N·C; keep sample
+    // counts modest so the sweep completes in minutes.
+    group.sample_size(10);
+    for (n, c) in [(3usize, 5usize), (5, 8), (6, 12)] {
+        let p = problem(n, c);
+        let controller = MpcController::new(MpcConfig::default());
+        group.bench_with_input(
+            BenchmarkId::new("paper_horizons", format!("{n}idc_x_{c}portal")),
+            &p,
+            |b, p| b.iter(|| black_box(controller.plan(black_box(p)).expect("feasible"))),
+        );
+    }
+    // Horizon sweep on the paper-sized fleet.
+    for beta2 in [2usize, 3, 5] {
+        let p = problem(3, 5);
+        let controller = MpcController::new(MpcConfig {
+            prediction_horizon: 5,
+            control_horizon: beta2,
+            ..MpcConfig::default()
+        });
+        let mut p2 = p;
+        p2.workload_forecast = vec![vec![10_000.0; 5]; beta2];
+        group.bench_with_input(
+            BenchmarkId::new("control_horizon", beta2),
+            &p2,
+            |b, p| b.iter(|| black_box(controller.plan(black_box(p)).expect("feasible"))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mpc);
+criterion_main!(benches);

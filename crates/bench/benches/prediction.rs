@@ -1,0 +1,51 @@
+//! Throughput of the online workload-prediction stack (paper Sec. III-D):
+//! raw RLS updates and full predictor observe + multi-step forecast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use idc_timeseries::predictor::WorkloadPredictor;
+use idc_timeseries::rls::RecursiveLeastSquares;
+use idc_timeseries::traces::epa_like;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_prediction(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("prediction");
+    let mut rng = StdRng::seed_from_u64(2012);
+    let day = epa_like().generate(&mut rng, 1440, 60.0);
+
+    for order in [2usize, 3, 8] {
+        group.bench_with_input(BenchmarkId::new("rls_update_day", order), &order, |b, &p| {
+            b.iter(|| {
+                let mut rls = RecursiveLeastSquares::new(p, 0.995);
+                for w in day.windows(p + 1) {
+                    let (x, y) = w.split_at(p);
+                    rls.update(black_box(x), y[0]);
+                }
+                black_box(rls.coefficients().to_vec())
+            })
+        });
+    }
+
+    group.bench_function("predictor_observe_day", |b| {
+        b.iter(|| {
+            let mut p = WorkloadPredictor::new(3).expect("order > 0");
+            for &v in &day {
+                p.observe(black_box(v));
+            }
+            black_box(p.predict_next())
+        })
+    });
+
+    group.bench_function("predictor_forecast_horizon_5", |b| {
+        let mut p = WorkloadPredictor::new(3).expect("order > 0");
+        for &v in &day {
+            p.observe(v);
+        }
+        b.iter(|| black_box(p.forecast(black_box(5))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction);
+criterion_main!(benches);

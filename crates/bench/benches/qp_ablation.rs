@@ -1,0 +1,65 @@
+//! Ablation: exact active-set QP vs penalized projected gradient on the
+//! MPC's product-of-simplices structure (DESIGN.md decision #1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use idc_linalg::Matrix;
+use idc_opt::projgrad::ProjectedGradientQp;
+use idc_opt::qp::QuadraticProgram;
+
+/// `blocks` portals × 3 IDCs: minimize distance to a target allocation on
+/// each portal's simplex.
+fn setup(blocks: usize) -> (Matrix, Vec<f64>) {
+    let n = 3 * blocks;
+    let h = Matrix::diag(&vec![2.0; n]);
+    let mut g = vec![0.0; n];
+    for b in 0..blocks {
+        g[3 * b] = -2.0; // pull everything toward IDC 0
+    }
+    (h, g)
+}
+
+fn bench_qp(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("qp_ablation");
+    group.sample_size(20);
+    for blocks in [2usize, 5, 10] {
+        let (h, g) = setup(blocks);
+        group.bench_with_input(BenchmarkId::new("active_set", blocks), &blocks, |bch, _| {
+            bch.iter(|| {
+                let mut qp = QuadraticProgram::new(h.clone(), g.clone()).expect("valid");
+                for b in 0..blocks {
+                    let mut row = vec![0.0; 3 * blocks];
+                    row[3 * b] = 1.0;
+                    row[3 * b + 1] = 1.0;
+                    row[3 * b + 2] = 1.0;
+                    qp = qp.equality(row, 1.0);
+                    for k in 0..3 {
+                        let mut nn = vec![0.0; 3 * blocks];
+                        nn[3 * b + k] = -1.0;
+                        qp = qp.inequality(nn, 0.0);
+                    }
+                }
+                black_box(qp.solve().expect("feasible"))
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("projected_gradient", blocks),
+            &blocks,
+            |bch, _| {
+                bch.iter(|| {
+                    let mut pg =
+                        ProjectedGradientQp::new(h.clone(), g.clone()).expect("valid");
+                    for b in 0..blocks {
+                        pg = pg.simplex_block(3 * b, 3, 1.0);
+                    }
+                    black_box(pg.solve().expect("converges"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qp);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! End-to-end simulation throughput: one full Fig. 4 window per iteration
+//! (25 control periods, each with a reference LP + condensed MPC QP).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use idc_core::policy::{MpcPolicy, OptimalPolicy, ReferenceKind};
+use idc_core::scenario::{peak_shaving_scenario, smoothing_scenario};
+use idc_core::simulation::Simulator;
+
+fn bench_simulation(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("simulation");
+    group.sample_size(20);
+    let sim = Simulator::new();
+
+    let scenario = smoothing_scenario();
+    group.bench_function("fig4_window_mpc", |b| {
+        b.iter(|| {
+            let mut policy = MpcPolicy::paper_tuned(&scenario).expect("valid tuning");
+            black_box(sim.run(&scenario, &mut policy).expect("runs"))
+        })
+    });
+    group.bench_function("fig4_window_optimal", |b| {
+        b.iter(|| {
+            let mut policy = OptimalPolicy::new(ReferenceKind::PriceGreedy);
+            black_box(sim.run(&scenario, &mut policy).expect("runs"))
+        })
+    });
+    let peak = peak_shaving_scenario();
+    group.bench_function("fig6_window_mpc", |b| {
+        b.iter(|| {
+            let mut policy = MpcPolicy::paper_tuned(&peak).expect("valid tuning");
+            black_box(sim.run(&peak, &mut policy).expect("runs"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

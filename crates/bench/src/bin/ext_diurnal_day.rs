@@ -1,0 +1,79 @@
+//! Extension — a full day with diurnal workload and hourly price changes:
+//! the predictor, sleep loop and MPC all working at once.
+//!
+//! Prints hourly snapshots of total fleet power, per-IDC shares, cost and
+//! compares the MPC day against the optimal baseline's.
+//!
+//! Run with: `cargo run -p idc-bench --bin ext_diurnal_day`
+
+use idc_core::policy::{MpcPolicy, OptimalPolicy, ReferenceKind};
+use idc_core::scenario::diurnal_day_scenario;
+use idc_core::simulation::Simulator;
+
+fn main() -> Result<(), idc_core::Error> {
+    let scenario = diurnal_day_scenario(2012);
+    let sim = Simulator::new();
+    let mpc = sim.run(&scenario, &mut MpcPolicy::paper_tuned(&scenario)?)?;
+    let opt = sim.run(
+        &scenario,
+        &mut OptimalPolicy::new(ReferenceKind::PriceGreedy),
+    )?;
+
+    println!("## extension — diurnal day (hourly snapshots)");
+    println!(
+        "{:>4} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "hour", "MPC tot MW", "opt tot MW", "MI MW", "MN MW", "WI MW"
+    );
+    let steps_per_hour = 12; // 5-minute sampling
+    let mpc_total = mpc.total_power_mw();
+    let opt_total = opt.total_power_mw();
+    for h in 0..24 {
+        let k = h * steps_per_hour;
+        println!(
+            "{h:>4} {:>12.3} {:>12.3} {:>10.3} {:>10.3} {:>10.3}",
+            mpc_total[k],
+            opt_total[k],
+            mpc.power_mw(0)[k],
+            mpc.power_mw(1)[k],
+            mpc.power_mw(2)[k],
+        );
+    }
+    println!();
+    let vol = |r: &idc_core::simulation::SimulationResult| {
+        (0..3)
+            .map(|j| r.power_stats(j).expect("nonempty").mean_abs_step_mw)
+            .sum::<f64>()
+    };
+    println!(
+        "daily cost: MPC ${:.2} vs optimal ${:.2} ({:+.2}%)",
+        mpc.total_cost(),
+        opt.total_cost(),
+        100.0 * (mpc.total_cost() - opt.total_cost()) / opt.total_cost()
+    );
+    println!(
+        "fleet demand volatility (Σ mean |ΔP|): MPC {:.4} vs optimal {:.4} MW/step",
+        vol(&mpc),
+        vol(&opt)
+    );
+    let jump = |r: &idc_core::simulation::SimulationResult| {
+        (0..3)
+            .map(|j| r.power_stats(j).expect("nonempty").max_abs_step_mw)
+            .fold(0.0f64, f64::max)
+    };
+    println!(
+        "worst single power jump: MPC {:.3} vs optimal {:.3} MW",
+        jump(&mpc),
+        jump(&opt)
+    );
+    println!(
+        "request volume shed by admission control: MPC {:.4}% / optimal {:.4}%",
+        100.0 * mpc.shed_fraction(),
+        100.0 * opt.shed_fraction()
+    );
+    println!(
+        "latency-bound compliance: MPC {:.2}% vs optimal {:.2}%",
+        100.0 * mpc.latency_ok_fraction(),
+        100.0 * opt.latency_ok_fraction()
+    );
+    Ok(())
+}

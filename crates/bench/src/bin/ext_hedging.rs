@@ -1,0 +1,77 @@
+//! Extension — the monetary value of peak shaving under forward contracts
+//! (paper Sec. I: volatile, budget-violating demand forecloses "price
+//! rebates by signing up advance-contracts" and triggers penalties \[10\]).
+//!
+//! Each IDC signs a take-or-pay block contract whose baseline equals its
+//! Sec. V-C grid power budget (5.13 / 10.26 / 4.275 MW): the block is
+//! bought at a 10 % discount to spot, consumption above the block pays a
+//! 2× premium. The peak-shaving MPC tracks its budgets and pays strike
+//! prices; the optimal baseline exceeds two of the three blocks at almost
+//! every step and pays the premium — turning Fig. 6's physical violation
+//! into dollars.
+//!
+//! Run with: `cargo run -p idc-bench --bin ext_hedging`
+
+use idc_core::policy::{MpcPolicy, OptimalPolicy, ReferenceKind};
+use idc_core::scenario::peak_shaving_scenario;
+use idc_core::simulation::{SimulationResult, Simulator};
+use idc_market::contract::{spot_trajectory_cost, ForwardContract};
+
+const DISCOUNT: f64 = 0.10;
+const PREMIUM: f64 = 2.0;
+
+fn costs(run: &SimulationResult, budgets: &[f64], ts_hours: f64) -> (f64, f64) {
+    let mut spot = 0.0;
+    let mut contracted = 0.0;
+    for j in 0..run.num_idcs() {
+        let power = run.power_mw(j);
+        let prices: Vec<f64> = run.prices().iter().map(|p| p[j]).collect();
+        spot += spot_trajectory_cost(power, &prices, ts_hours);
+        let contract =
+            ForwardContract::new(budgets[j], DISCOUNT, PREMIUM).expect("valid terms");
+        contracted += contract.trajectory_cost(power, &prices, ts_hours);
+    }
+    (spot, contracted)
+}
+
+fn main() -> Result<(), idc_core::Error> {
+    let scenario = peak_shaving_scenario();
+    let budgets = scenario.budgets().expect("scenario has budgets").clone();
+    let ts = scenario.ts_hours();
+    let sim = Simulator::new();
+    let mpc = sim.run(&scenario, &mut MpcPolicy::paper_tuned(&scenario)?)?;
+    let opt = sim.run(
+        &scenario,
+        &mut OptimalPolicy::new(ReferenceKind::PriceGreedy),
+    )?;
+
+    println!("## extension — contract value of peak shaving (Fig. 6 scenario)");
+    println!(
+        "block = grid budget {:?} MW, {:.0}% strike discount, {PREMIUM}x exceedance premium",
+        budgets.as_slice(),
+        DISCOUNT * 100.0
+    );
+    println!();
+    let (mpc_spot, mpc_hedged) = costs(&mpc, budgets.as_slice(), ts);
+    let (opt_spot, opt_hedged) = costs(&opt, budgets.as_slice(), ts);
+    println!(
+        "{:>28} {:>12} {:>14} {:>22}",
+        "policy", "spot $", "contracted $", "premium exposure $"
+    );
+    for (name, spot, hedged) in [
+        ("dynamic control (MPC)", mpc_spot, mpc_hedged),
+        ("optimal (price-greedy)", opt_spot, opt_hedged),
+    ] {
+        println!("{name:>28} {spot:>12.2} {hedged:>14.2} {:>22.2}", hedged - spot * (1.0 - DISCOUNT));
+    }
+    println!();
+    println!(
+        "contracted-cost advantage of peak shaving: {:.2}% (spot-only gap was {:+.2}%)",
+        100.0 * (opt_hedged - mpc_hedged) / opt_hedged,
+        100.0 * (mpc_spot - opt_spot) / opt_spot,
+    );
+    println!("under pure spot the smoothing MPC costs more; once the budget is a contracted");
+    println!("block with an exceedance premium, the ranking flips — the paper's economic");
+    println!("motivation for peak shaving, quantified.");
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Extension — the value of workload prediction (paper Sec. III-D's
+//! motivation, quantified).
+//!
+//! Runs the diurnal day twice with identical MPC tuning, once with the
+//! anticipatory reference (re-solved at each prediction step's AR+RLS
+//! forecast, the paper's design) and once with the no-prediction ablation
+//! (current reference held across the horizon). Reports cost, tracking
+//! lag and demand volatility.
+//!
+//! Run with: `cargo run -p idc-bench --bin ext_prediction_value`
+
+use idc_core::policy::{MpcPolicy, MpcPolicyConfig, OptimalPolicy, ReferenceKind};
+use idc_core::scenario::diurnal_day_scenario;
+use idc_core::simulation::{SimulationResult, Simulator};
+
+fn summarize(name: &str, run: &SimulationResult, opt_cost: f64) {
+    let vol = (0..run.num_idcs())
+        .map(|j| run.power_stats(j).expect("nonempty").mean_abs_step_mw)
+        .sum::<f64>();
+    let jump = (0..run.num_idcs())
+        .map(|j| run.power_stats(j).expect("nonempty").max_abs_step_mw)
+        .fold(0.0f64, f64::max);
+    println!(
+        "{name:>24}: cost ${:>9.2} ({:+.3}% vs optimal) | volatility {:.4} MW/step | worst jump {:.3} MW",
+        run.total_cost(),
+        100.0 * (run.total_cost() - opt_cost) / opt_cost,
+        vol,
+        jump
+    );
+}
+
+fn main() -> Result<(), idc_core::Error> {
+    let scenario = diurnal_day_scenario(2012);
+    let sim = Simulator::new();
+    let opt = sim.run(
+        &scenario,
+        &mut OptimalPolicy::new(ReferenceKind::PriceGreedy),
+    )?;
+
+    println!("## extension — value of workload prediction (diurnal day)");
+    let mut anticipatory = MpcPolicy::new(MpcPolicyConfig::default())?;
+    let with = sim.run(&scenario, &mut anticipatory)?;
+    summarize("anticipatory (paper)", &with, opt.total_cost());
+
+    let mut held = MpcPolicy::new(MpcPolicyConfig {
+        anticipatory_reference: false,
+        ..MpcPolicyConfig::default()
+    })?;
+    let without = sim.run(&scenario, &mut held)?;
+    summarize("held reference", &without, opt.total_cost());
+
+    println!();
+    println!(
+        "anticipation changes the daily bill by {:+.3}% at equal smoothing budgets.",
+        100.0 * (with.total_cost() - without.total_cost()) / without.total_cost()
+    );
+    println!("negative result worth knowing: with a 30 s–5 min control period and a 5-step");
+    println!("horizon, the diurnal ramp moves so little within the horizon that re-solving");
+    println!("the reference on AR+RLS forecasts adds noise, not value — the predictor's");
+    println!("real role in this controller is the conservation constraint's one-step");
+    println!("forecast, not long-horizon reference anticipation.");
+    Ok(())
+}

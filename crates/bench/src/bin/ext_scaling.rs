@@ -1,0 +1,101 @@
+//! Extension — scalability study: controller solve time and achievable
+//! smoothing as the fleet grows beyond the paper's 3 × 5 instance.
+//!
+//! Builds synthetic fleets of N IDCs × C portals, runs one price-flip
+//! window under the MPC, and reports wall-clock per control step alongside
+//! the smoothing quality — the numbers a deployment engineer needs before
+//! adopting the controller at scale.
+//!
+//! Run with: `cargo run --release -p idc-bench --bin ext_scaling`
+
+use std::time::Instant;
+
+use idc_core::policy::{MpcPolicy, MpcPolicyConfig};
+use idc_core::scenario::{PricingSpec, Scenario};
+use idc_core::simulation::Simulator;
+use idc_datacenter::fleet::IdcFleet;
+use idc_datacenter::idc::IdcConfig;
+use idc_datacenter::portal::FrontEndPortal;
+use idc_datacenter::server::ServerSpec;
+use idc_market::region::Region;
+use idc_market::rtp::TracePricing;
+use idc_market::trace::PriceTrace;
+
+/// A synthetic fleet of `n` IDCs × `c` portals sized like the paper's.
+fn synthetic(n: usize, c: usize) -> (IdcFleet, Vec<PriceTrace>) {
+    let idcs: Vec<IdcConfig> = (0..n)
+        .map(|j| {
+            IdcConfig::new(
+                format!("idc-{j}"),
+                30_000,
+                ServerSpec::new(150.0, 285.0, 1.25 + 0.25 * (j % 4) as f64).expect("valid"),
+                1.0,
+            )
+            .expect("valid")
+        })
+        .collect();
+    let per_portal = idcs.iter().map(|i| i.max_workload()).sum::<f64>() * 0.6 / c as f64;
+    let portals: Vec<FrontEndPortal> = (0..c)
+        .map(|i| FrontEndPortal::new(format!("portal-{i}"), per_portal).expect("valid"))
+        .collect();
+    // Hourly prices that flip ranking at hour 7, like the paper's traces.
+    let traces: Vec<PriceTrace> = (0..n)
+        .map(|j| {
+            let base = 25.0 + (j as f64 * 13.7) % 30.0;
+            let hourly: Vec<f64> = (0..24)
+                .map(|h| {
+                    if h >= 7 {
+                        base + ((j as f64 * 31.1) % 45.0) - 20.0
+                    } else {
+                        base
+                    }
+                })
+                .collect();
+            PriceTrace::new(Region::new(j, format!("region-{j}")), hourly).expect("24 values")
+        })
+        .collect();
+    (IdcFleet::new(portals, idcs).expect("non-empty"), traces)
+}
+
+fn main() -> Result<(), idc_core::Error> {
+    println!("## extension — scaling study (one 12.5-minute price-flip window)");
+    println!(
+        "{:>6} {:>8} {:>10} {:>16} {:>16} {:>14}",
+        "IDCs", "portals", "ΔU vars", "ms per step", "worst jump MW", "latency ok %"
+    );
+    let sim = Simulator::new();
+    for (n, c) in [(3usize, 5usize), (4, 8), (6, 12), (8, 15)] {
+        let (fleet, traces) = synthetic(n, c);
+        let ts = 30.0 / 3600.0;
+        let scenario = Scenario::new(
+            format!("scale-{n}x{c}"),
+            fleet,
+            PricingSpec::Trace(TracePricing::new(traces)),
+            7.0 - 5.0 * ts,
+            25.0 * ts,
+            ts,
+        )
+        .expect("consistent")
+        .with_init_hour(6.0);
+        let mut policy = MpcPolicy::new(MpcPolicyConfig::default())?;
+        let start = Instant::now();
+        let run = sim.run(&scenario, &mut policy)?;
+        let elapsed = start.elapsed().as_secs_f64();
+        let steps = run.times_min().len() as f64;
+        let worst = (0..n)
+            .map(|j| run.power_stats(j).expect("nonempty").max_abs_step_mw)
+            .fold(0.0f64, f64::max);
+        println!(
+            "{n:>6} {c:>8} {:>10} {:>16.2} {:>16.3} {:>14.2}",
+            n * c * 3, // β₂ = 3 blocks
+            1e3 * elapsed / steps,
+            worst,
+            100.0 * run.latency_ok_fraction(),
+        );
+    }
+    println!();
+    println!("the dense active-set QP (cold-started every step) scales steeply in N·C·β₂ —");
+    println!("fine for the paper-sized instance at a 30 s control period, and the clear");
+    println!("future-work item (warm starts / sparse KKT solves) for continental fleets.");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Fig. 3 — original vs AR+RLS-predicted workload.
+//!
+//! The paper predicts the EPA-HTTP trace (Aug 30 1995) with a time-varying
+//! AR(p) model fitted online by RLS and shows the two curves coinciding.
+//! The EPA trace is not redistributable offline, so the statistically
+//! similar `epa_like` diurnal/bursty trace stands in; the experiment —
+//! one-step-ahead tracking quality of the online predictor — is identical.
+//!
+//! Run with: `cargo run -p idc-bench --bin fig3_prediction`
+
+use idc_bench::series::print_columns;
+use idc_timeseries::holt::HoltPredictor;
+use idc_timeseries::metrics::{mape, rmse};
+use idc_timeseries::predictor::WorkloadPredictor;
+use idc_timeseries::traces::epa_like;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2012);
+    let day = epa_like().generate(&mut rng, 1440, 60.0);
+
+    let mut predictor = WorkloadPredictor::new(3).expect("order > 0");
+    let mut predicted = Vec::with_capacity(day.len());
+    for &v in &day {
+        predicted.push(predictor.predict_next());
+        predictor.observe(v);
+    }
+
+    // Print every 15th minute to keep the series plot-sized (96 rows).
+    let times: Vec<f64> = (0..day.len()).step_by(15).map(|k| k as f64 / 60.0).collect();
+    let orig: Vec<f64> = day.iter().step_by(15).copied().collect();
+    let pred: Vec<f64> = predicted.iter().step_by(15).copied().collect();
+    print_columns(
+        "Fig. 3 — original vs predicted workload (req/s, hour of day)",
+        &["hour", "original", "predicted"],
+        &[&times, &orig, &pred],
+    );
+
+    let actual = &day[10..];
+    let p = &predicted[10..];
+    println!("one-step accuracy: RMSE {:.1} req/s, MAPE {:.1}%", rmse(actual, p), mape(actual, p, 50.0));
+    println!("paper: visual coincidence of the two curves (no metric reported).");
+
+    // Predictor ablation: Holt double-exponential smoothing on the same
+    // trace (not in the paper — shows the AR+RLS choice is competitive).
+    let mut holt = HoltPredictor::new(0.6, 0.1).expect("valid factors");
+    let mut holt_pred = Vec::with_capacity(day.len());
+    for &v in &day {
+        holt_pred.push(holt.predict(1));
+        holt.observe(v);
+    }
+    let hp = &holt_pred[10..];
+    println!(
+        "ablation — Holt(0.6, 0.1):  RMSE {:.1} req/s, MAPE {:.1}%",
+        rmse(actual, hp),
+        mape(actual, hp, 50.0)
+    );
+}

@@ -1,0 +1,24 @@
+//! Fig. 4(a–c) — power-demand smoothing: per-IDC power under the dynamic
+//! (MPC) controller vs the plotted optimal method across the 6H→7H price
+//! flip.
+//!
+//! Paper values: at 6H the fleet sits at 2.1375 / 11.4 / 5.7 MW; the
+//! optimal method jumps to 5.7 / 11.4 / 1.628775 MW at 7H while the
+//! control method ramps smoothly.
+//!
+//! Run with: `cargo run -p idc-bench --bin fig4_power_smoothing`
+
+use idc_bench::repro::{print_endpoint_summary, print_power_subfigure, run_both, IDC_NAMES};
+use idc_core::scenario::smoothing_scenario;
+
+fn main() {
+    let runs = run_both(&smoothing_scenario());
+    for (j, name) in IDC_NAMES.iter().enumerate() {
+        print_power_subfigure(
+            &format!("Fig. 4({}) — power, {name}", char::from(b'a' + j as u8)),
+            &runs,
+            j,
+        );
+    }
+    print_endpoint_summary(&runs, [2.1375, 11.4, 5.7], [5.7, 11.4, 1.628775]);
+}

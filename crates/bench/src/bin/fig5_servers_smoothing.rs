@@ -1,0 +1,47 @@
+//! Fig. 5(a–c) — number of turned-ON servers under power-demand smoothing.
+//!
+//! Paper values: 7 500 / 40 000 / 20 000 servers at 6H; the optimal method
+//! jumps to 20 000 / 40 000 (no jump) / 5 715 at 7H while the control
+//! method switches servers gradually.
+//!
+//! Run with: `cargo run -p idc-bench --bin fig5_servers_smoothing`
+
+use idc_bench::repro::{print_server_subfigure, run_both, IDC_NAMES};
+use idc_core::scenario::smoothing_scenario;
+
+fn main() {
+    let runs = run_both(&smoothing_scenario());
+    for (j, name) in IDC_NAMES.iter().enumerate() {
+        print_server_subfigure(
+            &format!("Fig. 5({}) — servers ON, {name}", char::from(b'a' + j as u8)),
+            &runs,
+            j,
+        );
+    }
+    let paper_start = [7_500u64, 40_000, 20_000];
+    let paper_end = [20_000u64, 40_000, 5_715];
+    println!("paper vs measured (optimal-method server counts):");
+    for (j, name) in IDC_NAMES.iter().enumerate() {
+        println!(
+            "  {name:>10}: pre-flip paper {:>6} measured {:>6} | post-flip paper {:>6} measured {:>6}",
+            paper_start[j],
+            runs.opt.servers(j).first().expect("nonempty run"),
+            paper_end[j],
+            runs.opt.servers(j).last().expect("nonempty run"),
+        );
+    }
+    let worst = |r: &idc_core::simulation::SimulationResult, j: usize| {
+        r.servers(j)
+            .windows(2)
+            .map(|w| w[1].abs_diff(w[0]))
+            .max()
+            .unwrap_or(0)
+    };
+    for (j, name) in IDC_NAMES.iter().enumerate() {
+        println!(
+            "  {name:>10}: worst per-step switch — MPC {:>6} servers, optimal {:>6}",
+            worst(&runs.mpc, j),
+            worst(&runs.opt, j)
+        );
+    }
+}

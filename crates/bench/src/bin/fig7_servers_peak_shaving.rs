@@ -1,0 +1,29 @@
+//! Fig. 7(a–c) — number of turned-ON servers under peak shaving.
+//!
+//! Run with: `cargo run -p idc-bench --bin fig7_servers_peak_shaving`
+
+use idc_bench::repro::{print_server_subfigure, run_both, IDC_NAMES};
+use idc_core::scenario::peak_shaving_scenario;
+
+fn main() {
+    let scenario = peak_shaving_scenario();
+    let budgets = scenario.budgets().expect("scenario has budgets").clone();
+    let runs = run_both(&scenario);
+    for (j, name) in IDC_NAMES.iter().enumerate() {
+        print_server_subfigure(
+            &format!("Fig. 7({}) — servers ON, {name}", char::from(b'a' + j as u8)),
+            &runs,
+            j,
+        );
+    }
+    println!("budget-implied server caps (budget / 285 W):");
+    for (j, name) in IDC_NAMES.iter().enumerate() {
+        let cap = (budgets.budget_mw(j) / 285e-6).floor();
+        println!(
+            "  {name:>10}: cap {:>6.0} servers | MPC final {:>6} | optimal final {:>6}",
+            cap,
+            runs.mpc.servers(j).last().expect("nonempty run"),
+            runs.opt.servers(j).last().expect("nonempty run"),
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Runs every table/figure reproduction in sequence (the contents of
+//! EXPERIMENTS.md are generated from this output).
+//!
+//! Run with: `cargo run -p idc-bench --bin repro_all`
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "tables",
+        "fig2_prices",
+        "fig3_prediction",
+        "fig4_power_smoothing",
+        "fig5_servers_smoothing",
+        "fig6_peak_shaving",
+        "fig7_servers_peak_shaving",
+        "ext_vicious_cycle",
+        "ext_diurnal_day",
+        "ext_weight_ablation",
+        "ext_two_time_scale",
+        "ext_delay_tolerant",
+        "ext_hedging",
+        "ext_green_energy",
+        "ext_prediction_value",
+    ];
+    for bin in bins {
+        println!("\n================================================================");
+        println!("==== {bin}");
+        println!("================================================================");
+        let status = Command::new(std::env::current_exe().expect("own path").with_file_name(bin))
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{bin} exited with {s}"),
+            Err(e) => eprintln!("failed to launch {bin}: {e} (build with `cargo build -p idc-bench --bins` first)"),
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! `simulate` — a small CLI over the simulator for interactive
+//! experimentation.
+//!
+//! ```text
+//! cargo run -p idc-bench --bin simulate -- \
+//!     [--scenario smoothing|peak|table2|vicious:<gamma>|diurnal:<seed>] \
+//!     [--policy mpc|optimal|lp|static] \
+//!     [--smoothing-weight <R>] [--tracking-weight <Q>] \
+//!     [--ramp <servers/step>] [--slow-period <k>] [--quiet] [--csv]
+//! ```
+//!
+//! Prints the per-IDC trajectories and summary statistics.
+
+use idc_core::policy::{
+    MpcPolicy, MpcPolicyConfig, OptimalPolicy, Policy, ReferenceKind, StaticProportionalPolicy,
+};
+use idc_core::report::{render_csv, render_trajectories};
+use idc_core::scenario::{
+    diurnal_day_scenario, peak_shaving_scenario, smoothing_scenario, smoothing_scenario_table_ii,
+    vicious_cycle_scenario, Scenario,
+};
+use idc_core::simulation::Simulator;
+use idc_control::mpc::MpcConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate [--scenario smoothing|peak|table2|vicious:<gamma>|diurnal:<seed>]\n\
+         \x20               [--policy mpc|optimal|lp|static]\n\
+         \x20               [--smoothing-weight R] [--tracking-weight Q]\n\
+         \x20               [--ramp N] [--slow-period K] [--quiet] [--csv]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_scenario(spec: &str) -> Option<Scenario> {
+    match spec {
+        "smoothing" => Some(smoothing_scenario()),
+        "peak" => Some(peak_shaving_scenario()),
+        "table2" => Some(smoothing_scenario_table_ii()),
+        other => {
+            if let Some(gamma) = other.strip_prefix("vicious:") {
+                return Some(vicious_cycle_scenario(gamma.parse().ok()?));
+            }
+            if let Some(seed) = other.strip_prefix("diurnal:") {
+                return Some(diurnal_day_scenario(seed.parse().ok()?));
+            }
+            None
+        }
+    }
+}
+
+fn main() -> Result<(), idc_core::Error> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scenario_spec = "smoothing".to_string();
+    let mut policy_spec = "mpc".to_string();
+    let mut mpc_cfg = MpcConfig::default();
+    let mut ramp = 1_500u64;
+    let mut slow_period = 1usize;
+    let mut quiet = false;
+    let mut csv = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--scenario" => scenario_spec = value("--scenario"),
+            "--policy" => policy_spec = value("--policy"),
+            "--smoothing-weight" => {
+                mpc_cfg.smoothing_weight = value("--smoothing-weight").parse().unwrap_or_else(|_| usage())
+            }
+            "--tracking-weight" => {
+                mpc_cfg.tracking_weight = value("--tracking-weight").parse().unwrap_or_else(|_| usage())
+            }
+            "--ramp" => ramp = value("--ramp").parse().unwrap_or_else(|_| usage()),
+            "--slow-period" => {
+                slow_period = value("--slow-period").parse().unwrap_or_else(|_| usage())
+            }
+            "--quiet" => quiet = true,
+            "--csv" => csv = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+
+    let Some(scenario) = parse_scenario(&scenario_spec) else {
+        eprintln!("unknown scenario: {scenario_spec}");
+        usage()
+    };
+    let mut policy: Box<dyn Policy> = match policy_spec.as_str() {
+        "mpc" => Box::new(MpcPolicy::new(MpcPolicyConfig {
+            mpc: mpc_cfg,
+            budgets: scenario.budgets().cloned(),
+            server_ramp_limit: ramp,
+            slow_period,
+            ..MpcPolicyConfig::default()
+        })?),
+        "optimal" => Box::new(OptimalPolicy::new(ReferenceKind::PriceGreedy)),
+        "lp" => Box::new(OptimalPolicy::new(ReferenceKind::LpOptimal)),
+        "static" => Box::new(StaticProportionalPolicy::new()),
+        other => {
+            eprintln!("unknown policy: {other}");
+            usage()
+        }
+    };
+
+    let result = Simulator::new().run(&scenario, policy.as_mut())?;
+    let names: Vec<&str> = scenario.fleet().idcs().iter().map(|i| i.name()).collect();
+    if csv {
+        print!("{}", render_csv(&result, &names));
+        return Ok(());
+    }
+    if !quiet {
+        println!("{}", render_trajectories(&result, &names));
+    }
+    println!("scenario: {}", result.scenario_name());
+    println!("policy:   {}", result.policy_name());
+    println!("total cost: ${:.2}", result.total_cost());
+    for (j, name) in names.iter().enumerate() {
+        let s = result.power_stats(j).expect("nonempty run");
+        println!(
+            "{name:>12}: mean {:.3} MW | peak {:.3} MW | volatility {:.4} MW/step | worst jump {:.3} MW",
+            s.mean_mw, s.peak_mw, s.mean_abs_step_mw, s.max_abs_step_mw
+        );
+    }
+    if let Some(budgets) = scenario.budgets() {
+        println!(
+            "budget violations (fraction of steps): {:?}",
+            result.budget_violation_fractions(budgets.as_slice())
+        );
+    }
+    println!(
+        "latency-ok {:.2}% | shed {:.4}%",
+        100.0 * result.latency_ok_fraction(),
+        100.0 * result.shed_fraction()
+    );
+    Ok(())
+}

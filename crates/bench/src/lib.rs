@@ -1,0 +1,7 @@
+//! Shared utilities for the reproduction harness binaries and Criterion
+//! benches. The actual figure/table regeneration lives in `src/bin/`.
+
+#![warn(missing_docs)]
+
+pub mod repro;
+pub mod series;

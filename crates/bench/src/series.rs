@@ -1,0 +1,66 @@
+//! Table/series pretty-printing shared by the reproduction binaries.
+
+/// Prints a named time series as aligned `t, value` rows.
+pub fn print_series(title: &str, times: &[f64], values: &[f64]) {
+    println!("## {title}");
+    for (t, v) in times.iter().zip(values) {
+        println!("{t:>10.2}  {v:>14.6}");
+    }
+    println!();
+}
+
+/// Prints several same-length columns side by side with a header row.
+///
+/// # Panics
+///
+/// Panics if column lengths differ.
+pub fn print_columns(title: &str, headers: &[&str], columns: &[&[f64]]) {
+    assert!(!columns.is_empty(), "need at least one column");
+    let len = columns[0].len();
+    assert!(
+        columns.iter().all(|c| c.len() == len),
+        "all columns must have the same length"
+    );
+    assert_eq!(headers.len(), columns.len(), "one header per column");
+    println!("## {title}");
+    println!("{}", headers.iter().map(|h| format!("{h:>16}")).collect::<String>());
+    for i in 0..len {
+        let row: String = columns.iter().map(|c| format!("{:>16.6}", c[i])).collect();
+        println!("{row}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_series_handles_empty_and_matched_lengths() {
+        // Smoke: must not panic.
+        print_series("empty", &[], &[]);
+        print_series("two", &[0.0, 1.0], &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn print_columns_accepts_equal_lengths() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        print_columns("t", &["a", "b"], &[&a, &b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn print_columns_rejects_ragged_input() {
+        let a = [1.0, 2.0];
+        let b = [3.0];
+        print_columns("t", &["a", "b"], &[&a, &b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one header per column")]
+    fn print_columns_rejects_missing_headers() {
+        let a = [1.0];
+        print_columns("t", &["a", "b"], &[&a]);
+    }
+}

@@ -1,0 +1,291 @@
+//! Condensed prediction matrices for the discretized cost model
+//! (paper eq. 39–41).
+//!
+//! The paper stacks the output predictions over the horizon as
+//!
+//! ```text
+//! Y(k) = W′ X̄(k) + W′ Ξ U(k−1) + W′ Θ ΔU(k) + W′ Ω̄
+//! ```
+//!
+//! with `Θ` the block-lower-triangular map from stacked input *changes* to
+//! stacked states and `Ξ` the map from the held previous input. This module
+//! builds those matrices for an arbitrary discretized pair `(Φ, G)` — the
+//! MPC in [`crate::mpc`] exploits the paper model's special structure
+//! (`Φ` acting trivially on the power outputs) and never forms them, so
+//! this generic construction serves as an independent cross-check (see the
+//! `condensation_matches_*` tests) and as the starting point for users who
+//! want MPC on a different output map.
+
+use idc_linalg::Matrix;
+
+use crate::{discretize::DiscreteCostModel, statespace::CostStateSpace};
+
+/// The stacked prediction operators over horizons `(β₁, β₂)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictionMatrices {
+    /// Maps the current state: `[Φ; Φ²; …; Φ^{β₁}]`, shape `(β₁·n) × n`.
+    pub phi_stack: Matrix,
+    /// Maps the held previous input `U(k−1)`: row-block `s` equals
+    /// `Σ_{t=0}^{s−1} Φ^t G`, shape `(β₁·n) × m` (the paper's `Ξ`).
+    pub xi: Matrix,
+    /// Maps stacked input changes `ΔU`: block `(s, τ)` equals
+    /// `Σ_{t=0}^{s−1−τ} Φ^t G` for `τ ≤ min(s−1, β₂−1)`, shape
+    /// `(β₁·n) × (β₂·m)` (the paper's `Θ`).
+    pub theta: Matrix,
+    /// Maps the held exogenous input `V` (servers ON): same structure as
+    /// `Ξ` built from `Γ` (the paper's `Ω̄` contribution).
+    pub omega: Matrix,
+}
+
+impl PredictionMatrices {
+    /// Builds the operators for `model` over horizons `β₁ ≥ β₂ ≥ 1`.
+    ///
+    /// Returns `None` for invalid horizons.
+    pub fn build(model: &DiscreteCostModel, beta1: usize, beta2: usize) -> Option<Self> {
+        if beta2 == 0 || beta2 > beta1 {
+            return None;
+        }
+        let n = model.phi.rows();
+        let m = model.g.cols();
+        let mv = model.gamma.cols();
+
+        // Powers of Φ and their prefix sums times G / Γ.
+        let mut phi_pow = Matrix::identity(n);
+        let mut phi_powers = Vec::with_capacity(beta1 + 1);
+        phi_powers.push(phi_pow.clone());
+        for _ in 0..beta1 {
+            phi_pow = model.phi.mul_mat(&phi_pow).expect("square");
+            phi_powers.push(phi_pow.clone());
+        }
+        // cumsum_g[s] = Σ_{t=0}^{s} Φ^t G (so index s covers s+1 terms).
+        let mut cumsum_g = Vec::with_capacity(beta1);
+        let mut cumsum_gamma = Vec::with_capacity(beta1);
+        let mut acc_g = model.g.clone();
+        let mut acc_gamma = model.gamma.clone();
+        cumsum_g.push(acc_g.clone());
+        cumsum_gamma.push(acc_gamma.clone());
+        for s in 1..beta1 {
+            let term_g = phi_powers[s].mul_mat(&model.g).expect("shapes");
+            acc_g.scaled_add_assign(1.0, &term_g).expect("shapes");
+            cumsum_g.push(acc_g.clone());
+            let term_gamma = phi_powers[s].mul_mat(&model.gamma).expect("shapes");
+            acc_gamma
+                .scaled_add_assign(1.0, &term_gamma)
+                .expect("shapes");
+            cumsum_gamma.push(acc_gamma.clone());
+        }
+
+        let mut phi_stack = Matrix::zeros(beta1 * n, n);
+        let mut xi = Matrix::zeros(beta1 * n, m);
+        let mut omega = Matrix::zeros(beta1 * n, mv);
+        let mut theta = Matrix::zeros(beta1 * n, beta2 * m);
+        for s in 1..=beta1 {
+            phi_stack.set_block((s - 1) * n, 0, &phi_powers[s]);
+            xi.set_block((s - 1) * n, 0, &cumsum_g[s - 1]);
+            omega.set_block((s - 1) * n, 0, &cumsum_gamma[s - 1]);
+            for tau in 0..beta2.min(s) {
+                theta.set_block((s - 1) * n, tau * m, &cumsum_g[s - 1 - tau]);
+            }
+        }
+        Some(PredictionMatrices {
+            phi_stack,
+            xi,
+            theta,
+            omega,
+        })
+    }
+
+    /// Builds the *output-space* operators `W′·(…)` for the cost model of
+    /// [`CostStateSpace`] (the paper applies `W = [1, 0, …, 0]` to read the
+    /// accumulated cost).
+    ///
+    /// Returns `None` for invalid horizons.
+    pub fn build_for_output(
+        ss: &CostStateSpace,
+        model: &DiscreteCostModel,
+        beta1: usize,
+        beta2: usize,
+    ) -> Option<OutputPrediction> {
+        let p = Self::build(model, beta1, beta2)?;
+        let n = model.phi.rows();
+        // Block-diagonal W′ applied row-block-wise = multiply each block.
+        let apply = |m_in: &Matrix| -> Matrix {
+            let cols = m_in.cols();
+            let mut out = Matrix::zeros(beta1, cols);
+            for s in 0..beta1 {
+                let block = m_in.block(s * n, 0, n, cols);
+                let row = ss.w().mul_mat(&block).expect("1 x n times n x cols");
+                out.set_block(s, 0, &row);
+            }
+            out
+        };
+        Some(OutputPrediction {
+            from_state: apply(&p.phi_stack),
+            from_prev_input: apply(&p.xi),
+            from_delta_u: apply(&p.theta),
+            from_exogenous: apply(&p.omega),
+        })
+    }
+
+    /// Predicts the stacked states `[X(k+1); …; X(k+β₁)]` for the given
+    /// current state, held previous input, stacked `ΔU` and held `V`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths disagree with the built dimensions.
+    pub fn predict(&self, x: &[f64], u_prev: &[f64], delta_u: &[f64], v: &[f64]) -> Vec<f64> {
+        let mut out = self.phi_stack.mul_vec(x).expect("state dim");
+        let xiu = self.xi.mul_vec(u_prev).expect("input dim");
+        let th = self.theta.mul_vec(delta_u).expect("delta dim");
+        let om = self.omega.mul_vec(v).expect("exogenous dim");
+        for i in 0..out.len() {
+            out[i] += xiu[i] + th[i] + om[i];
+        }
+        out
+    }
+}
+
+/// Output-space (`Y = W X`) prediction operators (paper eq. 39).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputPrediction {
+    /// `W′ · [Φ; …]` — effect of the current state.
+    pub from_state: Matrix,
+    /// `W′ Ξ` — effect of the held previous input.
+    pub from_prev_input: Matrix,
+    /// `W′ Θ` — effect of the stacked input changes.
+    pub from_delta_u: Matrix,
+    /// `W′ Ω̄` — effect of the held exogenous input.
+    pub from_exogenous: Matrix,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discretize::discretize;
+
+    fn paper_model() -> (CostStateSpace, DiscreteCostModel) {
+        let ss = CostStateSpace::new(
+            &[43.26, 30.26, 19.06],
+            &[67.5e-6, 108.0e-6, 77.14e-6],
+            &[150e-6, 150e-6, 150e-6],
+            2,
+        )
+        .expect("valid");
+        let model = discretize(&ss, 30.0 / 3600.0).expect("discretizes");
+        (ss, model)
+    }
+
+    #[test]
+    fn horizons_are_validated() {
+        let (_, model) = paper_model();
+        assert!(PredictionMatrices::build(&model, 3, 0).is_none());
+        assert!(PredictionMatrices::build(&model, 2, 3).is_none());
+        assert!(PredictionMatrices::build(&model, 3, 3).is_some());
+    }
+
+    #[test]
+    fn condensation_matches_step_iteration_with_held_input() {
+        let (_, model) = paper_model();
+        let beta1 = 5;
+        let beta2 = 3;
+        let p = PredictionMatrices::build(&model, beta1, beta2).unwrap();
+
+        let n = model.phi.rows();
+        let x0: Vec<f64> = (0..n).map(|i| 0.1 * i as f64).collect();
+        let u_prev: Vec<f64> = (0..model.g.cols()).map(|i| 100.0 + i as f64).collect();
+        let v: Vec<f64> = (0..model.gamma.cols()).map(|i| 1000.0 * (i + 1) as f64).collect();
+        let delta_u = vec![0.0; beta2 * model.g.cols()];
+
+        let stacked = p.predict(&x0, &u_prev, &delta_u, &v);
+        // Iterate the model directly with the held input.
+        let mut x = x0.clone();
+        for s in 0..beta1 {
+            x = model.step(&x, &u_prev, &v);
+            for i in 0..n {
+                let rel_scale = x[i].abs().max(1e-9);
+                assert!(
+                    (stacked[s * n + i] - x[i]).abs() < 1e-9 * rel_scale.max(1.0),
+                    "step {s}, state {i}: {} vs {}",
+                    stacked[s * n + i],
+                    x[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn condensation_matches_step_iteration_with_input_changes() {
+        let (_, model) = paper_model();
+        let beta1 = 4;
+        let beta2 = 2;
+        let p = PredictionMatrices::build(&model, beta1, beta2).unwrap();
+
+        let nu = model.g.cols();
+        let x0 = vec![0.0; model.phi.rows()];
+        let u_prev = vec![50.0; nu];
+        let v = vec![500.0; model.gamma.cols()];
+        // Two distinct change blocks.
+        let mut delta_u = vec![0.0; beta2 * nu];
+        for i in 0..nu {
+            delta_u[i] = 10.0 + i as f64;
+            delta_u[nu + i] = -4.0;
+        }
+
+        let stacked = p.predict(&x0, &u_prev, &delta_u, &v);
+        // Direct iteration with the piecewise-constant input sequence.
+        let mut x = x0.clone();
+        let mut u = u_prev.clone();
+        for s in 0..beta1 {
+            if s < beta2 {
+                for i in 0..nu {
+                    u[i] += delta_u[s * nu + i];
+                }
+            }
+            x = model.step(&x, &u, &v);
+            for (i, &xi) in x.iter().enumerate() {
+                let got = stacked[s * model.phi.rows() + i];
+                assert!(
+                    (got - xi).abs() < 1e-9 * xi.abs().max(1.0),
+                    "step {s}, state {i}: {got} vs {xi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn output_prediction_reads_the_cost_row() {
+        let (ss, model) = paper_model();
+        let out = PredictionMatrices::build_for_output(&ss, &model, 3, 2).unwrap();
+        assert_eq!(out.from_state.shape(), (3, ss.state_dim()));
+        assert_eq!(out.from_delta_u.shape(), (3, 2 * model.g.cols()));
+        // With W = e₁ᵀ the output prediction equals the first state row of
+        // the full prediction.
+        let full = PredictionMatrices::build(&model, 3, 2).unwrap();
+        for s in 0..3 {
+            for c in 0..ss.state_dim() {
+                assert_eq!(
+                    out.from_state[(s, c)],
+                    full.phi_stack[(s * ss.state_dim(), c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theta_is_block_lower_triangular() {
+        let (_, model) = paper_model();
+        let beta1 = 4;
+        let beta2 = 3;
+        let p = PredictionMatrices::build(&model, beta1, beta2).unwrap();
+        let n = model.phi.rows();
+        let m = model.g.cols();
+        // Block (s, τ) with τ > s must be zero: ΔU applied in the future
+        // cannot affect earlier predictions.
+        for s in 0..beta1 {
+            for tau in (s + 1)..beta2 {
+                let block = p.theta.block(s * n, tau * m, n, m);
+                assert_eq!(block.norm_max(), 0.0, "block ({s}, {tau}) nonzero");
+            }
+        }
+    }
+}

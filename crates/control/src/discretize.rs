@@ -1,0 +1,164 @@
+//! Zero-order-hold discretization (paper eq. 21–25).
+//!
+//! Converts `Ẋ = AX + BU` (input held constant over each sampling period
+//! `Ts`) into `X(k) = Φ X(k−1) + Ḡ U(k−1)` using the augmented-matrix
+//! identity
+//!
+//! ```text
+//! exp( [A B; 0 0]·Ts ) = [Φ Ḡ; 0 I]
+//! ```
+//!
+//! which computes `Φ = e^{A·Ts}` and `Ḡ = ∫₀^Ts e^{As} B ds` in one call to
+//! the Padé exponential. The paper applies this to both `B` and `F`
+//! (eq. 24–25); pass `hstack(B, F)` and split the result, or call
+//! [`zoh`] twice.
+
+use idc_linalg::{expm::expm, Matrix};
+
+use crate::statespace::CostStateSpace;
+
+/// A discretized linear system `X(k) = Φ X(k−1) + Ḡ U(k−1) + Γ V(k−1)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteCostModel {
+    /// State transition `Φ = e^{A·Ts}` (paper eq. 23).
+    pub phi: Matrix,
+    /// Input matrix `Ḡ = ∫ e^{As} B ds` (paper eq. 24).
+    pub g: Matrix,
+    /// Exogenous matrix `Γ = ∫ e^{As} F ds` (paper eq. 25).
+    pub gamma: Matrix,
+    /// Sampling period in the same time unit as `A` (we use hours so that
+    /// cost integrates in $/MWh · MW · h).
+    pub ts: f64,
+}
+
+/// Discretizes `(A, B)` with a zero-order hold over `ts`.
+///
+/// # Errors
+///
+/// Propagates [`idc_linalg::Error`] when shapes disagree
+/// (`a` not square / row mismatch) or the exponential fails.
+pub fn zoh(a: &Matrix, b: &Matrix, ts: f64) -> idc_linalg::Result<(Matrix, Matrix)> {
+    if !a.is_square() {
+        return Err(idc_linalg::Error::NotSquare { shape: a.shape() });
+    }
+    if b.rows() != a.rows() {
+        return Err(idc_linalg::Error::DimensionMismatch {
+            op: "zoh",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let n = a.rows();
+    let m = b.cols();
+    let mut aug = Matrix::zeros(n + m, n + m);
+    aug.set_block(0, 0, &a.scale(ts));
+    aug.set_block(0, n, &b.scale(ts));
+    let e = expm(&aug)?;
+    Ok((e.block(0, 0, n, n), e.block(0, n, n, m)))
+}
+
+/// Discretizes the full cost model (paper eq. 21–25).
+///
+/// # Errors
+///
+/// Propagates linear-algebra failures from [`zoh`].
+pub fn discretize(ss: &CostStateSpace, ts: f64) -> idc_linalg::Result<DiscreteCostModel> {
+    let bf = Matrix::hstack(ss.b(), ss.f())?;
+    let (phi, gbf) = zoh(ss.a(), &bf, ts)?;
+    let nb = ss.b().cols();
+    let g = gbf.block(0, 0, gbf.rows(), nb);
+    let gamma = gbf.block(0, nb, gbf.rows(), ss.f().cols());
+    Ok(DiscreteCostModel { phi, g, gamma, ts })
+}
+
+impl DiscreteCostModel {
+    /// Advances the state one sampling period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with the model dimensions.
+    pub fn step(&self, x: &[f64], u: &[f64], v: &[f64]) -> Vec<f64> {
+        let px = self.phi.mul_vec(x).expect("state dim");
+        let gu = self.g.mul_vec(u).expect("input dim");
+        let gv = self.gamma.mul_vec(v).expect("exogenous dim");
+        px.iter()
+            .zip(&gu)
+            .zip(&gv)
+            .map(|((a, b), c)| a + b + c)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoh_of_scalar_integrator() {
+        // ẋ = u → Φ = 1, Ḡ = Ts.
+        let a = Matrix::zeros(1, 1);
+        let b = Matrix::identity(1);
+        let (phi, g) = zoh(&a, &b, 0.5).unwrap();
+        assert!((phi[(0, 0)] - 1.0).abs() < 1e-15);
+        assert!((g[(0, 0)] - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zoh_of_stable_scalar_matches_closed_form() {
+        // ẋ = −2x + u → Φ = e^{−2Ts}, Ḡ = (1 − e^{−2Ts})/2.
+        let a = Matrix::diag(&[-2.0]);
+        let b = Matrix::identity(1);
+        let ts = 0.3;
+        let (phi, g) = zoh(&a, &b, ts).unwrap();
+        assert!((phi[(0, 0)] - (-2.0 * ts).exp()).abs() < 1e-12);
+        assert!((g[(0, 0)] - (1.0 - (-2.0 * ts).exp()) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zoh_validates_shapes() {
+        assert!(zoh(&Matrix::zeros(2, 3), &Matrix::zeros(2, 1), 1.0).is_err());
+        assert!(zoh(&Matrix::zeros(2, 2), &Matrix::zeros(3, 1), 1.0).is_err());
+    }
+
+    #[test]
+    fn paper_model_discretization_is_exact() {
+        // A is nilpotent (A² = 0): Φ = I + A·Ts, Ḡ = B·Ts + A·B·Ts²/2.
+        let ss = CostStateSpace::new(
+            &[43.26, 30.26, 19.06],
+            &[67.5e-6, 108.0e-6, 77.14e-6],
+            &[150e-6, 150e-6, 150e-6],
+            5,
+        )
+        .unwrap();
+        let ts = 1.0 / 120.0; // 30 s in hours
+        let d = discretize(&ss, ts).unwrap();
+        let mut phi_expected = Matrix::identity(4);
+        phi_expected.scaled_add_assign(ts, ss.a()).unwrap();
+        assert!((&d.phi - &phi_expected).unwrap().norm_max() < 1e-12);
+
+        let mut g_expected = ss.b().scale(ts);
+        let ab = ss.a().mul_mat(ss.b()).unwrap();
+        g_expected.scaled_add_assign(ts * ts / 2.0, &ab).unwrap();
+        let rel = (&d.g - &g_expected).unwrap().norm_max() / g_expected.norm_max();
+        assert!(rel < 1e-9, "rel err {rel}");
+    }
+
+    #[test]
+    fn discrete_step_accumulates_cost_and_energy() {
+        // Single IDC, single portal: prices 50 $/MWh, b1 = 1e-4 MW/(req/s),
+        // b0 = 1.5e-4 MW/server.
+        let ss = CostStateSpace::new(&[50.0], &[1e-4], &[1.5e-4], 1).unwrap();
+        let d = discretize(&ss, 0.1).unwrap();
+        // Start at zero state; 1000 req/s on 10 servers.
+        let x1 = d.step(&[0.0, 0.0], &[1000.0], &[10.0]);
+        // Energy after one step: P·Ts = (0.1 + 0.0015)·0.1 = 0.01015 MWh·h⁻¹…
+        let p = 1e-4 * 1000.0 + 1.5e-4 * 10.0;
+        assert!((x1[1] - p * 0.1).abs() < 1e-12);
+        // Cost grows quadratically (the paper's double-integrator):
+        // C̄(Ts) = Pr·P·Ts²/2.
+        assert!((x1[0] - 50.0 * p * 0.01 / 2.0).abs() < 1e-9);
+        // A second step keeps integrating.
+        let x2 = d.step(&x1, &[1000.0], &[10.0]);
+        assert!(x2[0] > x1[0] && x2[1] > x1[1]);
+    }
+}

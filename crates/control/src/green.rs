@@ -1,0 +1,292 @@
+//! Green-aware reference optimization (paper Sec. II, citing Liu et
+//! al. \[6\].).
+//!
+//! Extends the eq. 46 LP with per-region renewable generation: power drawn
+//! up to the renewable profile is free ("green"), the excess ("brown")
+//! pays the LMP. The LP then chases *momentarily green* regions in
+//! addition to cheap ones — answering \[6\]'s question of whether
+//! geographic load balancing can reduce brown-energy use.
+//!
+//! Formulation (variables `λij`, `m_j`, `brown_j`):
+//!
+//! ```text
+//! min  Σ_j Pr_j·brown_j + ε·Σ_j Pr_j·P_j(λ_j, m_j)
+//! s.t. P_j(λ_j, m_j) − brown_j ≤ G_j          (brown covers the excess)
+//!      Σ_j λij = L_i,  λ_j ≤ µ_j m_j − 1/D_j,  m_j ≤ M_j,  all ≥ 0
+//! ```
+//!
+//! The `ε` term (ε = 1e-3) breaks the degeneracy of fully-green regions
+//! (otherwise any `m` between the required count and `M_j` would be
+//! optimal) while leaving the brown-cost ordering untouched.
+
+use idc_datacenter::idc::IdcConfig;
+use idc_market::renewable::RenewableProfile;
+use idc_opt::linprog::LinearProgram;
+use idc_opt::{Error, Result};
+
+/// Tie-break weight on total power (see module docs).
+const EPSILON: f64 = 1e-3;
+
+/// The green-aware optimum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreenReferenceSolution {
+    allocation: Vec<f64>,
+    servers: Vec<f64>,
+    power_mw: Vec<f64>,
+    green_mw: Vec<f64>,
+    brown_mw: Vec<f64>,
+    brown_cost_rate: f64,
+}
+
+impl GreenReferenceSolution {
+    /// Workload split, IDC-major flat `λij`.
+    pub fn allocation(&self) -> &[f64] {
+        &self.allocation
+    }
+
+    /// Continuous-relaxed server counts.
+    pub fn servers(&self) -> &[f64] {
+        &self.servers
+    }
+
+    /// Per-IDC total power (MW).
+    pub fn power_mw(&self) -> &[f64] {
+        &self.power_mw
+    }
+
+    /// Per-IDC renewable-covered power (MW).
+    pub fn green_mw(&self) -> &[f64] {
+        &self.green_mw
+    }
+
+    /// Per-IDC grid (brown) power (MW).
+    pub fn brown_mw(&self) -> &[f64] {
+        &self.brown_mw
+    }
+
+    /// Brown-energy cost rate ($/h).
+    pub fn brown_cost_rate(&self) -> f64 {
+        self.brown_cost_rate
+    }
+
+    /// Fleet-wide fraction of power covered by renewables (0–1).
+    pub fn green_fraction(&self) -> f64 {
+        let total: f64 = self.power_mw.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.green_mw.iter().sum::<f64>() / total
+    }
+
+    /// Per-IDC workload totals.
+    pub fn idc_workloads(&self, num_portals: usize) -> Vec<f64> {
+        self.allocation
+            .chunks(num_portals)
+            .map(|b| b.iter().sum())
+            .collect()
+    }
+}
+
+/// Solves the green-aware reference LP at `hour` (profiles are hourly).
+///
+/// # Errors
+///
+/// * [`Error::DimensionMismatch`] on inconsistent input lengths.
+/// * [`Error::Infeasible`] when the workload exceeds fleet capacity.
+pub fn green_aware_reference(
+    idcs: &[IdcConfig],
+    offered: &[f64],
+    prices: &[f64],
+    renewables: &[RenewableProfile],
+    hour: f64,
+) -> Result<GreenReferenceSolution> {
+    let n = idcs.len();
+    let c = offered.len();
+    if n == 0 || c == 0 || prices.len() != n || renewables.len() != n {
+        return Err(Error::DimensionMismatch {
+            what: format!(
+                "{n} IDCs, {c} portals, {} prices, {} renewable profiles",
+                prices.len(),
+                renewables.len()
+            ),
+        });
+    }
+
+    // Variables: λ (NC, IDC-major), m (N), brown (N).
+    let nv = n * c + 2 * n;
+    let b1 = |j: usize| idcs[j].pue() * idcs[j].server().b1() / 1e6;
+    let b0 = |j: usize| idcs[j].pue() * idcs[j].server().b0() / 1e6;
+
+    let mut cost = vec![0.0; nv];
+    for j in 0..n {
+        for i in 0..c {
+            cost[j * c + i] = EPSILON * prices[j].abs() * b1(j);
+        }
+        cost[n * c + j] = EPSILON * prices[j].abs() * b0(j);
+        cost[n * c + n + j] = prices[j].max(0.0); // brown pays the LMP
+    }
+    let mut lp = LinearProgram::minimize(cost);
+
+    for i in 0..c {
+        let mut row = vec![0.0; nv];
+        for j in 0..n {
+            row[j * c + i] = 1.0;
+        }
+        lp = lp.equality(row, offered[i]);
+    }
+    for (j, idc) in idcs.iter().enumerate() {
+        // Capacity: Σ λij − µ m ≤ −1/D.
+        let mut row = vec![0.0; nv];
+        for i in 0..c {
+            row[j * c + i] = 1.0;
+        }
+        row[n * c + j] = -idc.service_rate();
+        lp = lp.inequality(row, -1.0 / idc.latency_bound());
+        // Installed bound.
+        let mut row = vec![0.0; nv];
+        row[n * c + j] = 1.0;
+        lp = lp.inequality(row, idc.total_servers() as f64);
+        // Brown covers the excess: b1 λ + b0 m − brown ≤ G.
+        let mut row = vec![0.0; nv];
+        for i in 0..c {
+            row[j * c + i] = b1(j);
+        }
+        row[n * c + j] = b0(j);
+        row[n * c + n + j] = -1.0;
+        lp = lp.inequality(row, renewables[j].available_at_hour(hour));
+    }
+
+    let x = lp.solve()?.into_x();
+    let allocation = x[..n * c].to_vec();
+    let servers = x[n * c..n * c + n].to_vec();
+    let brown_mw = x[n * c + n..].to_vec();
+    let power_mw: Vec<f64> = (0..n)
+        .map(|j| {
+            let lam: f64 = allocation[j * c..(j + 1) * c].iter().sum();
+            b1(j) * lam + b0(j) * servers[j]
+        })
+        .collect();
+    let green_mw: Vec<f64> = power_mw
+        .iter()
+        .zip(&brown_mw)
+        .map(|(&p, &b)| (p - b).max(0.0))
+        .collect();
+    let brown_cost_rate = brown_mw
+        .iter()
+        .zip(prices)
+        .map(|(&b, &pr)| b * pr.max(0.0))
+        .sum();
+    Ok(GreenReferenceSolution {
+        allocation,
+        servers,
+        power_mw,
+        green_mw,
+        brown_mw,
+        brown_cost_rate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idc_datacenter::idc::paper_idcs;
+
+    const LOADS: [f64; 5] = [30_000.0, 15_000.0, 15_000.0, 20_000.0, 20_000.0];
+    const PRICES_6H: [f64; 3] = [43.26, 30.26, 19.06];
+
+    fn no_renewables() -> Vec<RenewableProfile> {
+        vec![RenewableProfile::none(); 3]
+    }
+
+    #[test]
+    fn without_renewables_it_matches_the_plain_lp() {
+        let idcs = paper_idcs();
+        let plain = crate::reference::optimal_reference(&idcs, &LOADS, &PRICES_6H).unwrap();
+        let green =
+            green_aware_reference(&idcs, &LOADS, &PRICES_6H, &no_renewables(), 6.0).unwrap();
+        // Same allocation (brown = total power, same objective up to scale).
+        for (a, b) in plain.allocation().iter().zip(green.allocation()) {
+            assert!((a - b).abs() < 1.0, "{a} vs {b}");
+        }
+        assert!(green.green_fraction() < 1e-9);
+        assert!((green.brown_cost_rate() - plain.cost_rate_per_hour()).abs() < 1.0);
+    }
+
+    #[test]
+    fn abundant_solar_attracts_load_at_noon() {
+        let idcs = paper_idcs();
+        // Minnesota is expensive per request, but give it a huge solar farm.
+        let renewables = vec![
+            RenewableProfile::none(),
+            RenewableProfile::solar(15.0).unwrap(),
+            RenewableProfile::none(),
+        ];
+        let sol = green_aware_reference(&idcs, &LOADS, &PRICES_6H, &renewables, 13.0).unwrap();
+        // Minnesota absorbs far more than its price rank would give it.
+        let lam = sol.idc_workloads(5);
+        assert!(lam[1] > 40_000.0, "MN got {}", lam[1]);
+        assert!(sol.green_fraction() > 0.5, "{}", sol.green_fraction());
+        // And the constraint holds: green ≤ available.
+        assert!(sol.green_mw()[1] <= 15.0 + 1e-9);
+        // Brown + green = total.
+        for j in 0..3 {
+            assert!((sol.green_mw()[j] + sol.brown_mw()[j] - sol.power_mw()[j]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn solar_at_midnight_changes_nothing() {
+        let idcs = paper_idcs();
+        let renewables = vec![
+            RenewableProfile::none(),
+            RenewableProfile::solar(15.0).unwrap(),
+            RenewableProfile::none(),
+        ];
+        let at_noon =
+            green_aware_reference(&idcs, &LOADS, &PRICES_6H, &renewables, 13.0).unwrap();
+        let at_night =
+            green_aware_reference(&idcs, &LOADS, &PRICES_6H, &renewables, 2.0).unwrap();
+        assert!(at_night.green_fraction() < 1e-9);
+        assert!(at_noon.green_fraction() > at_night.green_fraction());
+    }
+
+    #[test]
+    fn brown_cost_never_exceeds_plain_cost() {
+        // Adding free green energy can only reduce the paid (brown) cost.
+        let idcs = paper_idcs();
+        let plain = crate::reference::optimal_reference(&idcs, &LOADS, &PRICES_6H).unwrap();
+        let renewables = vec![
+            RenewableProfile::wind(2.0).unwrap(),
+            RenewableProfile::wind(1.0).unwrap(),
+            RenewableProfile::solar(6.0).unwrap(),
+        ];
+        for hour in [0.0, 6.0, 13.0, 20.0] {
+            let green =
+                green_aware_reference(&idcs, &LOADS, &PRICES_6H, &renewables, hour).unwrap();
+            assert!(
+                green.brown_cost_rate() <= plain.cost_rate_per_hour() + 1e-6,
+                "hour {hour}: {} > {}",
+                green.brown_cost_rate(),
+                plain.cost_rate_per_hour()
+            );
+        }
+    }
+
+    #[test]
+    fn dimensions_are_validated() {
+        let idcs = paper_idcs();
+        assert!(matches!(
+            green_aware_reference(&idcs, &LOADS, &PRICES_6H, &[RenewableProfile::none()], 6.0),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn overload_is_infeasible() {
+        let idcs = paper_idcs();
+        assert!(matches!(
+            green_aware_reference(&idcs, &[150_000.0], &PRICES_6H, &no_renewables(), 6.0),
+            Err(Error::Infeasible)
+        ));
+    }
+}

@@ -1,0 +1,559 @@
+//! The condensed constrained MPC controller (paper Sec. IV-C, eq. 37–45).
+//!
+//! Each sampling period the controller solves, in the stacked input change
+//! `ΔU(k) ∈ ℝ^{NC·β₂}`, the constrained least-squares problem of paper
+//! eq. 42:
+//!
+//! * **tracking term** — per-IDC power over the prediction horizon β₁ must
+//!   follow the control reference (the LP optimum of eq. 46, clamped to the
+//!   power budget for peak shaving, Sec. IV-D);
+//! * **smoothing term** — per-IDC power *change* per control step is
+//!   penalized (the paper's `R`-weighted input penalty: "the power demand
+//!   can be smoothed by … penalizing inputs U(k)");
+//! * **constraints** — workload conservation per portal per step (eq. 45),
+//!   latency/capacity per IDC per step (eq. 43), and non-negativity of the
+//!   allocated workload (eq. 44).
+//!
+//! Within one MPC solve the server counts `m_j` are frozen at their
+//! slow-loop values — the two-time-scale separation of Sec. IV-B.
+//!
+//! Units: workload in req/s, power in MW, so the weights trade off MW² of
+//! tracking error against MW² of per-step demand change — exactly the
+//! paper's `Q` vs `R` trade-off.
+
+use idc_linalg::Matrix;
+use idc_opt::lsq::ConstrainedLeastSquares;
+use idc_opt::{Error, Result};
+
+/// Tuning of the MPC controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpcConfig {
+    /// Prediction horizon β₁ (steps).
+    pub prediction_horizon: usize,
+    /// Control horizon β₂ ≤ β₁ (steps).
+    pub control_horizon: usize,
+    /// Tracking weight `Q` (per MW² of reference deviation).
+    pub tracking_weight: f64,
+    /// Smoothing weight `R` (per MW² of per-step power change). Larger
+    /// values smooth power demand harder at the expense of slower tracking.
+    pub smoothing_weight: f64,
+    /// Tiny ridge on individual `ΔU` entries keeping the Hessian strictly
+    /// positive definite (portal-level reshuffles that do not move any
+    /// IDC's total are otherwise free).
+    pub input_ridge: f64,
+}
+
+impl Default for MpcConfig {
+    fn default() -> Self {
+        MpcConfig {
+            prediction_horizon: 5,
+            control_horizon: 3,
+            tracking_weight: 1.0,
+            smoothing_weight: 4.0,
+            input_ridge: 1e-9,
+        }
+    }
+}
+
+/// One sampling period's inputs to the controller.
+///
+/// This is a passive data structure assembled fresh each step by the
+/// simulation loop; all lengths are validated by
+/// [`MpcController::plan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpcProblem {
+    /// Per-IDC marginal power `b₁` in MW per (req/s).
+    pub b1_mw: Vec<f64>,
+    /// Per-IDC idle power `b₀` in MW per server.
+    pub b0_mw: Vec<f64>,
+    /// Servers currently ON per IDC (frozen over the horizon).
+    pub servers_on: Vec<u64>,
+    /// Per-IDC workload capacity `φ_j = µ_j(m_j − 1/(µ_j D_j))` in req/s
+    /// given the current server counts (paper eq. 30).
+    pub capacities: Vec<f64>,
+    /// Previous input `U(k−1)`, IDC-major flat `λij` (length `N·C`).
+    pub prev_input: Vec<f64>,
+    /// Forecast portal workloads for each control step `t = 1..β₂`
+    /// (`workload_forecast[t][i] = L̂ᵢ(k+t)`).
+    pub workload_forecast: Vec<Vec<f64>>,
+    /// Power reference per prediction step `s = 1..β₁`
+    /// (`power_reference_mw[s][j]`), already budget-clamped for peak
+    /// shaving.
+    pub power_reference_mw: Vec<Vec<f64>>,
+    /// Per-IDC multiplier on the tracking weight (length `N`). The peak-
+    /// shaving policy weights budget-clamped IDCs heavily so their power
+    /// is pinned at the budget while unclamped IDCs absorb the displaced
+    /// load (paper Fig. 6: Wisconsin "converges to a value between its
+    /// power budget and the optimal-policy value").
+    pub tracking_multiplier: Vec<f64>,
+}
+
+impl MpcProblem {
+    /// Uniform tracking multipliers (no IDC preferred).
+    pub fn uniform_tracking(num_idcs: usize) -> Vec<f64> {
+        vec![1.0; num_idcs]
+    }
+}
+
+impl MpcProblem {
+    /// Number of IDCs `N`.
+    pub fn num_idcs(&self) -> usize {
+        self.b1_mw.len()
+    }
+
+    /// Number of portals `C` (inferred from the input length).
+    pub fn num_portals(&self) -> usize {
+        if self.b1_mw.is_empty() {
+            0
+        } else {
+            self.prev_input.len() / self.b1_mw.len()
+        }
+    }
+
+    /// Current per-IDC workload totals `λ_j(k−1)`.
+    pub fn current_idc_workloads(&self) -> Vec<f64> {
+        let (n, c) = (self.num_idcs(), self.num_portals());
+        (0..n)
+            .map(|j| self.prev_input[j * c..(j + 1) * c].iter().sum())
+            .collect()
+    }
+
+    /// Current per-IDC power in MW.
+    pub fn current_power_mw(&self) -> Vec<f64> {
+        self.current_idc_workloads()
+            .iter()
+            .enumerate()
+            .map(|(j, &l)| self.b1_mw[j] * l + self.b0_mw[j] * self.servers_on[j] as f64)
+            .collect()
+    }
+}
+
+/// The receding-horizon controller. Stateless: all per-step state travels
+/// in the [`MpcProblem`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpcController {
+    config: MpcConfig,
+}
+
+impl MpcController {
+    /// Creates a controller with the given tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the horizons are zero, `β₂ > β₁`, or a weight is negative.
+    pub fn new(config: MpcConfig) -> Self {
+        assert!(config.prediction_horizon > 0, "β₁ must be positive");
+        assert!(
+            config.control_horizon > 0 && config.control_horizon <= config.prediction_horizon,
+            "horizons must satisfy 0 < β₂ ≤ β₁"
+        );
+        assert!(
+            config.tracking_weight >= 0.0
+                && config.smoothing_weight >= 0.0
+                && config.input_ridge > 0.0,
+            "weights must be non-negative and the ridge positive"
+        );
+        MpcController { config }
+    }
+
+    /// The controller's tuning.
+    pub fn config(&self) -> &MpcConfig {
+        &self.config
+    }
+
+    /// Solves one receding-horizon step and returns the plan.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] on inconsistent problem data.
+    /// * [`Error::Infeasible`] when the forecast workload cannot be served
+    ///   within the capacity constraints (the sleep loop must turn on more
+    ///   servers first).
+    /// * [`Error::IterationLimit`] / [`Error::Numerical`] from the QP.
+    pub fn plan(&self, problem: &MpcProblem) -> Result<MpcPlan> {
+        let n = problem.num_idcs();
+        let c = problem.num_portals();
+        self.validate(problem, n, c)?;
+
+        let beta1 = self.config.prediction_horizon;
+        let beta2 = self.config.control_horizon;
+        let nc = n * c;
+        let nv = nc * beta2;
+        let lambda0 = problem.current_idc_workloads();
+
+        // ---- Least-squares rows: tracking then smoothing. ----
+        let rows = beta1 * n + beta2 * n;
+        let mut a = Matrix::zeros(rows, nv);
+        let mut b = vec![0.0; rows];
+        let mut weights = vec![0.0; rows];
+        for s in 0..beta1 {
+            for j in 0..n {
+                let row = s * n + j;
+                for t in 0..=s.min(beta2 - 1) {
+                    for i in 0..c {
+                        a[(row, t * nc + j * c + i)] = problem.b1_mw[j];
+                    }
+                }
+                let current_p = problem.b1_mw[j] * lambda0[j]
+                    + problem.b0_mw[j] * problem.servers_on[j] as f64;
+                b[row] = problem.power_reference_mw[s][j] - current_p;
+                weights[row] = self.config.tracking_weight * problem.tracking_multiplier[j];
+            }
+        }
+        for t in 0..beta2 {
+            for j in 0..n {
+                let row = beta1 * n + t * n + j;
+                for i in 0..c {
+                    a[(row, t * nc + j * c + i)] = problem.b1_mw[j];
+                }
+                weights[row] = self.config.smoothing_weight;
+            }
+        }
+
+        let mut lsq = ConstrainedLeastSquares::new(a, b)?
+            .residual_weights(weights)?
+            .regularization(vec![self.config.input_ridge; nv])?;
+
+        // ---- Workload conservation (paper eq. 45). ----
+        for (t, forecast) in problem.workload_forecast.iter().enumerate() {
+            for i in 0..c {
+                let mut row = vec![0.0; nv];
+                for tp in 0..=t {
+                    for j in 0..n {
+                        row[tp * nc + j * c + i] = 1.0;
+                    }
+                }
+                let prev: f64 = (0..n).map(|j| problem.prev_input[j * c + i]).sum();
+                lsq = lsq.equality(row, forecast[i] - prev);
+            }
+        }
+        // ---- Capacity / latency (paper eq. 43). ----
+        for t in 0..beta2 {
+            for j in 0..n {
+                let mut row = vec![0.0; nv];
+                for tp in 0..=t {
+                    for i in 0..c {
+                        row[tp * nc + j * c + i] = 1.0;
+                    }
+                }
+                lsq = lsq.inequality(row, problem.capacities[j] - lambda0[j]);
+            }
+        }
+        // ---- Non-negativity of U (paper eq. 44). ----
+        for t in 0..beta2 {
+            for idx in 0..nc {
+                let mut row = vec![0.0; nv];
+                for tp in 0..=t {
+                    row[tp * nc + idx] = -1.0;
+                }
+                lsq = lsq.inequality(row, problem.prev_input[idx]);
+            }
+        }
+
+        let solution = lsq.solve()?;
+        let iterations = solution.iterations();
+        let delta_u = solution.into_x();
+
+        // Receding horizon: apply only the first block.
+        let next_input: Vec<f64> = problem
+            .prev_input
+            .iter()
+            .zip(&delta_u[..nc])
+            .map(|(u, d)| (u + d).max(0.0))
+            .collect();
+
+        // Predicted per-IDC power over the prediction horizon.
+        let mut predicted_power_mw = Vec::with_capacity(beta1);
+        for s in 0..beta1 {
+            let mut per_idc = Vec::with_capacity(n);
+            for j in 0..n {
+                let mut lam = lambda0[j];
+                for t in 0..=s.min(beta2 - 1) {
+                    for i in 0..c {
+                        lam += delta_u[t * nc + j * c + i];
+                    }
+                }
+                per_idc.push(
+                    problem.b1_mw[j] * lam + problem.b0_mw[j] * problem.servers_on[j] as f64,
+                );
+            }
+            predicted_power_mw.push(per_idc);
+        }
+
+        Ok(MpcPlan {
+            delta_u,
+            next_input,
+            predicted_power_mw,
+            qp_iterations: iterations,
+        })
+    }
+
+    fn validate(&self, p: &MpcProblem, n: usize, c: usize) -> Result<()> {
+        let fail = |what: String| Err(Error::DimensionMismatch { what });
+        if n == 0 {
+            return fail("at least one IDC required".into());
+        }
+        if c == 0 || p.prev_input.len() != n * c {
+            return fail(format!(
+                "prev_input length {} is not a positive multiple of {n} IDCs",
+                p.prev_input.len()
+            ));
+        }
+        if p.b0_mw.len() != n || p.servers_on.len() != n || p.capacities.len() != n {
+            return fail("b0_mw/servers_on/capacities must have one entry per IDC".into());
+        }
+        if p.workload_forecast.len() != self.config.control_horizon
+            || p.workload_forecast.iter().any(|f| f.len() != c)
+        {
+            return fail(format!(
+                "workload_forecast must be β₂ = {} steps of {c} portals",
+                self.config.control_horizon
+            ));
+        }
+        if p.power_reference_mw.len() != self.config.prediction_horizon
+            || p.power_reference_mw.iter().any(|r| r.len() != n)
+        {
+            return fail(format!(
+                "power_reference_mw must be β₁ = {} steps of {n} IDCs",
+                self.config.prediction_horizon
+            ));
+        }
+        if p.tracking_multiplier.len() != n || p.tracking_multiplier.iter().any(|&m| !(m >= 0.0)) {
+            return fail("tracking_multiplier must hold one non-negative value per IDC".into());
+        }
+        Ok(())
+    }
+}
+
+/// The result of one receding-horizon solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpcPlan {
+    delta_u: Vec<f64>,
+    next_input: Vec<f64>,
+    predicted_power_mw: Vec<Vec<f64>>,
+    qp_iterations: usize,
+}
+
+impl MpcPlan {
+    /// The full stacked `ΔU(k)` over the control horizon.
+    pub fn delta_u(&self) -> &[f64] {
+        &self.delta_u
+    }
+
+    /// The input to apply now: `U(k) = U(k−1) + ΔU(k|k)`, IDC-major flat.
+    pub fn next_input(&self) -> &[f64] {
+        &self.next_input
+    }
+
+    /// Predicted per-IDC power (MW) for each prediction step.
+    pub fn predicted_power_mw(&self) -> &[Vec<f64>] {
+        &self.predicted_power_mw
+    }
+
+    /// Active-set iterations spent in the QP.
+    pub fn qp_iterations(&self) -> usize {
+        self.qp_iterations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One portal with 10 000 req/s, two IDCs. IDC 0: µ=2-ish parameters,
+    /// IDC 1 cheaper reference target.
+    fn two_idc_problem(prev: [f64; 2], reference: [f64; 2]) -> MpcProblem {
+        MpcProblem {
+            b1_mw: vec![67.5e-6, 108.0e-6],
+            b0_mw: vec![150.0e-6, 150.0e-6],
+            servers_on: vec![8_000, 10_000],
+            capacities: vec![15_000.0, 11_500.0],
+            prev_input: prev.to_vec(),
+            workload_forecast: vec![vec![10_000.0]; 3],
+            power_reference_mw: vec![reference.to_vec(); 5],
+            tracking_multiplier: MpcProblem::uniform_tracking(2),
+        }
+    }
+
+    fn power_of(problem: &MpcProblem, u: &[f64]) -> Vec<f64> {
+        (0..2)
+            .map(|j| problem.b1_mw[j] * u[j] + problem.b0_mw[j] * problem.servers_on[j] as f64)
+            .collect()
+    }
+
+    #[test]
+    fn degenerate_peak_shaving_instance_terminates() {
+        // Regression: captured from the Fig. 6 peak-shaving run. The
+        // previous input sits exactly on two capacity faces with many
+        // zero entries, making the QP vertex highly degenerate.
+        let problem = MpcProblem {
+            b1_mw: vec![6.75e-5, 0.000108, 7.714285714285714e-5],
+            b0_mw: vec![0.00015, 0.00015, 0.00015],
+            servers_on: vec![9002, 40000, 20000],
+            capacities: vec![18003.0, 49999.0, 34999.0],
+            prev_input: vec![
+                0.0, 0.0, 0.0, 0.0, 15002.0, 0.0, 10001.0, 15000.0, 20000.0, 4998.0, 30000.0,
+                4999.0, 0.0, 0.0, 0.0,
+            ],
+            workload_forecast: vec![vec![30000.0, 15000.0, 15000.0, 20000.0, 20000.0]; 3],
+            power_reference_mw: vec![vec![5.13, 10.26, 1.6289828571428573]; 5],
+            tracking_multiplier: vec![25.0, 25.0, 1.0],
+        };
+        let controller = MpcController::new(MpcConfig::default());
+        let plan = controller.plan(&problem).expect("must terminate");
+        let total: f64 = plan.next_input().iter().sum();
+        assert!((total - 100_000.0).abs() < 1e-3, "total {total}");
+    }
+
+    #[test]
+    fn conservation_holds_after_step() {
+        let controller = MpcController::new(MpcConfig::default());
+        let problem = two_idc_problem([10_000.0, 0.0], [1.2, 2.28]);
+        let plan = controller.plan(&problem).unwrap();
+        let total: f64 = plan.next_input().iter().sum();
+        assert!((total - 10_000.0).abs() < 1e-6, "total {total}");
+        assert!(plan.next_input().iter().all(|&u| u >= 0.0));
+    }
+
+    #[test]
+    fn tracking_moves_power_toward_reference() {
+        let controller = MpcController::new(MpcConfig::default());
+        // All load on IDC 0; the reference wants it on IDC 1.
+        let problem = two_idc_problem(
+            [10_000.0, 0.0],
+            [
+                150.0e-6 * 8_000.0,                       // idle power only on IDC 0
+                108.0e-6 * 10_000.0 + 150.0e-6 * 10_000.0, // full load on IDC 1
+            ],
+        );
+        let before = power_of(&problem, &problem.current_idc_workloads());
+        let plan = controller.plan(&problem).unwrap();
+        let after_lam = [
+            plan.next_input()[0],
+            plan.next_input()[1],
+        ];
+        let after = power_of(&problem, &after_lam);
+        // Moves in the right direction...
+        assert!(after[0] < before[0], "IDC0 {} → {}", before[0], after[0]);
+        assert!(after[1] > before[1], "IDC1 {} → {}", before[1], after[1]);
+        // ...but the smoothing penalty stops it from jumping all the way.
+        assert!(
+            after_lam[1] < 10_000.0 - 1.0,
+            "smoothing should prevent a full jump, got {after_lam:?}"
+        );
+    }
+
+    #[test]
+    fn higher_smoothing_weight_slows_the_move() {
+        let fast = MpcController::new(MpcConfig {
+            smoothing_weight: 0.1,
+            ..MpcConfig::default()
+        });
+        let slow = MpcController::new(MpcConfig {
+            smoothing_weight: 50.0,
+            ..MpcConfig::default()
+        });
+        let problem = two_idc_problem([10_000.0, 0.0], [1.2, 2.58]);
+        let moved = |plan: &MpcPlan| plan.next_input()[1];
+        let fast_move = moved(&fast.plan(&problem).unwrap());
+        let slow_move = moved(&slow.plan(&problem).unwrap());
+        assert!(
+            fast_move > slow_move + 1.0,
+            "fast {fast_move} vs slow {slow_move}"
+        );
+    }
+
+    #[test]
+    fn capacity_constraint_binds() {
+        let controller = MpcController::new(MpcConfig {
+            smoothing_weight: 0.0001,
+            ..MpcConfig::default()
+        });
+        // Reference demands everything on IDC 1, but IDC 1 caps at 11 500
+        // while 10 000 must also keep flowing... push forecast to 12 000.
+        let mut problem = two_idc_problem([12_000.0, 0.0], [0.0, 10.0]);
+        problem.workload_forecast = vec![vec![12_000.0]; 3];
+        let plan = controller.plan(&problem).unwrap();
+        // IDC 1 cannot exceed its capacity.
+        assert!(plan.next_input()[1] <= 11_500.0 + 1e-6);
+        // Conservation still holds.
+        let total: f64 = plan.next_input().iter().sum();
+        assert!((total - 12_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn workload_change_is_absorbed() {
+        let controller = MpcController::new(MpcConfig::default());
+        let mut problem = two_idc_problem([5_000.0, 5_000.0], [1.5, 1.5]);
+        // Forecast says the workload jumps to 14 000.
+        problem.workload_forecast = vec![vec![14_000.0]; 3];
+        let plan = controller.plan(&problem).unwrap();
+        let total: f64 = plan.next_input().iter().sum();
+        assert!((total - 14_000.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn infeasible_capacity_is_reported() {
+        let controller = MpcController::new(MpcConfig::default());
+        let mut problem = two_idc_problem([10_000.0, 0.0], [1.0, 1.0]);
+        problem.workload_forecast = vec![vec![30_000.0]; 3]; // > 26 500 total
+        assert!(matches!(
+            controller.plan(&problem),
+            Err(Error::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn dimension_validation() {
+        let controller = MpcController::new(MpcConfig::default());
+        let good = two_idc_problem([10_000.0, 0.0], [1.0, 1.0]);
+        let mut bad = good.clone();
+        bad.capacities = vec![1.0];
+        assert!(matches!(
+            controller.plan(&bad),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        let mut bad = good.clone();
+        bad.workload_forecast = vec![vec![1.0]; 2]; // β₂ = 3 expected
+        assert!(controller.plan(&bad).is_err());
+        let mut bad = good;
+        bad.power_reference_mw = vec![vec![1.0, 1.0]; 2]; // β₁ = 5 expected
+        assert!(controller.plan(&bad).is_err());
+    }
+
+    #[test]
+    fn perfect_start_stays_put() {
+        let controller = MpcController::new(MpcConfig::default());
+        // Current allocation already produces the reference power.
+        let problem = two_idc_problem(
+            [6_000.0, 4_000.0],
+            [
+                67.5e-6 * 6_000.0 + 150.0e-6 * 8_000.0,
+                108.0e-6 * 4_000.0 + 150.0e-6 * 10_000.0,
+            ],
+        );
+        let plan = controller.plan(&problem).unwrap();
+        assert!((plan.next_input()[0] - 6_000.0).abs() < 1.0);
+        assert!((plan.next_input()[1] - 4_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizons must satisfy")]
+    fn config_validation_panics_on_bad_horizons() {
+        let _ = MpcController::new(MpcConfig {
+            prediction_horizon: 2,
+            control_horizon: 3,
+            ..MpcConfig::default()
+        });
+    }
+
+    #[test]
+    fn problem_accessors() {
+        let p = two_idc_problem([6_000.0, 4_000.0], [1.0, 1.0]);
+        assert_eq!(p.num_idcs(), 2);
+        assert_eq!(p.num_portals(), 1);
+        assert_eq!(p.current_idc_workloads(), vec![6_000.0, 4_000.0]);
+        let power = p.current_power_mw();
+        assert!((power[0] - (67.5e-6 * 6_000.0 + 150.0e-6 * 8_000.0)).abs() < 1e-12);
+    }
+}

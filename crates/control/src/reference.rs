@@ -1,0 +1,542 @@
+//! The control-reference optimizer (paper Sec. IV-D, eq. 46) and the
+//! peak-shaving clamp.
+//!
+//! The MPC tracks a reference computed by minimizing the instantaneous
+//! electricity cost — the LP of Rao et al. (INFOCOM'10) that the paper
+//! adopts as eq. 46:
+//!
+//! ```text
+//! min_{m_j, λij}  Σ_j Pr_j · P_j(λ_j, m_j)
+//! s.t.            Σ_j λij = L_i                 (workload conservation)
+//!                 λ_j ≤ µ_j·m_j − 1/D_j        (latency bound, eq. 30)
+//!                 0 ≤ m_j ≤ M_j,  λij ≥ 0
+//! ```
+//!
+//! Peak shaving (Sec. IV-D) replaces the reference power with
+//! `P_r = min(P_ro, P_rb)` where `P_rb` is the grid power budget — the MPC
+//! then tracks the clamped value, keeping demand under the budget.
+
+use idc_datacenter::idc::IdcConfig;
+use idc_opt::linprog::LinearProgram;
+use idc_opt::{Error, Result};
+
+/// The optimizer's output: the cost-minimal operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceSolution {
+    allocation: Vec<f64>,
+    servers: Vec<f64>,
+    power_mw: Vec<f64>,
+    cost_rate_per_hour: f64,
+    /// Dual of each IDC's `m_j ≤ M_j` row ($/h per extra installed
+    /// server; ≤ 0, and 0 where the bound is slack). Empty for solutions
+    /// not produced by the LP (the greedy reference).
+    server_shadow: Vec<f64>,
+}
+
+impl ReferenceSolution {
+    /// The optimal workload split, IDC-major flat `λij` (length `N·C`).
+    pub fn allocation(&self) -> &[f64] {
+        &self.allocation
+    }
+
+    /// Optimal (continuous-relaxed) server counts per IDC.
+    pub fn servers(&self) -> &[f64] {
+        &self.servers
+    }
+
+    /// Integer server deployment: `⌈m_j⌉` clamped to the installed count.
+    pub fn servers_ceil(&self, idcs: &[IdcConfig]) -> Vec<u64> {
+        self.servers
+            .iter()
+            .zip(idcs)
+            .map(|(&m, idc)| (m.ceil().max(0.0) as u64).min(idc.total_servers()))
+            .collect()
+    }
+
+    /// Per-IDC power at the optimum, in MW — the `P_ro` of Sec. IV-D.
+    pub fn power_mw(&self) -> &[f64] {
+        &self.power_mw
+    }
+
+    /// Instantaneous cost rate at the optimum, in $/hour.
+    pub fn cost_rate_per_hour(&self) -> f64 {
+        self.cost_rate_per_hour
+    }
+
+    /// Marginal value of installed capacity: `server_shadow()[j]` is the
+    /// change in optimal cost rate per additional installed server at IDC
+    /// `j` (≤ 0; 0 where `M_j` is not binding). Answers "where should the
+    /// operator build out?". Empty for the greedy reference, which carries
+    /// no dual information.
+    pub fn server_shadow(&self) -> &[f64] {
+        &self.server_shadow
+    }
+
+    /// Per-IDC workload totals `λ_j` at the optimum.
+    pub fn idc_workloads(&self, num_portals: usize) -> Vec<f64> {
+        self.allocation
+            .chunks(num_portals)
+            .map(|block| block.iter().sum())
+            .collect()
+    }
+
+    /// The peak-shaving clamp of Sec. IV-D: `P_r = min(P_ro, P_rb)`
+    /// element-wise against the power budgets (MW).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budgets_mw.len()` differs from the number of IDCs.
+    pub fn clamped_power_mw(&self, budgets_mw: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            budgets_mw.len(),
+            self.power_mw.len(),
+            "one budget per IDC"
+        );
+        self.power_mw
+            .iter()
+            .zip(budgets_mw)
+            .map(|(&p, &b)| p.min(b))
+            .collect()
+    }
+}
+
+/// Solves the reference LP (paper eq. 46) for the given IDCs, offered
+/// portal workloads and regional prices ($/MWh).
+///
+/// # Errors
+///
+/// * [`Error::DimensionMismatch`] when `prices.len() != idcs.len()` or any
+///   input is empty.
+/// * [`Error::Infeasible`] when the offered workload exceeds the fleet's
+///   latency-bounded capacity (the controllability condition fails).
+///
+/// # Example
+///
+/// ```
+/// use idc_control::reference::optimal_reference;
+/// use idc_datacenter::idc::paper_idcs;
+///
+/// # fn main() -> Result<(), idc_opt::Error> {
+/// let idcs = paper_idcs();
+/// // Table III, 6H prices: Wisconsin is cheapest and gets saturated.
+/// let sol = optimal_reference(&idcs, &[100_000.0], &[43.26, 30.26, 19.06])?;
+/// let lambdas = sol.idc_workloads(1);
+/// assert!(lambdas[2] > 33_000.0); // Wisconsin near its 34 000 cap
+/// # Ok(())
+/// # }
+/// ```
+pub fn optimal_reference(
+    idcs: &[IdcConfig],
+    offered: &[f64],
+    prices: &[f64],
+) -> Result<ReferenceSolution> {
+    let n = idcs.len();
+    let c = offered.len();
+    if n == 0 || c == 0 || prices.len() != n {
+        return Err(Error::DimensionMismatch {
+            what: format!(
+                "{n} IDCs, {c} portals, {} prices — all must be positive and consistent",
+                prices.len()
+            ),
+        });
+    }
+    validate_finite(prices, offered)?;
+
+    // Variables: [λ_11…λ_C1, …, λ_1N…λ_CN, m_1…m_N] (IDC-major λ).
+    let nv = n * c + n;
+    let mut cost = vec![0.0; nv];
+    for j in 0..n {
+        let b1_mw = idcs[j].pue() * idcs[j].server().b1() / 1e6;
+        let b0_mw = idcs[j].pue() * idcs[j].server().b0() / 1e6;
+        for i in 0..c {
+            cost[j * c + i] = prices[j] * b1_mw;
+        }
+        cost[n * c + j] = prices[j] * b0_mw;
+    }
+    let mut lp = LinearProgram::minimize(cost);
+
+    // Conservation per portal: Σ_j λij = L_i.
+    for i in 0..c {
+        let mut row = vec![0.0; nv];
+        for j in 0..n {
+            row[j * c + i] = 1.0;
+        }
+        lp = lp.equality(row, offered[i]);
+    }
+    // Latency/capacity per IDC: Σ_i λij − µ_j m_j ≤ −1/D_j.
+    for (j, idc) in idcs.iter().enumerate() {
+        let mut row = vec![0.0; nv];
+        for i in 0..c {
+            row[j * c + i] = 1.0;
+        }
+        row[n * c + j] = -idc.service_rate();
+        lp = lp.inequality(row, -1.0 / idc.latency_bound());
+    }
+    // Installed bound: m_j ≤ M_j.
+    for (j, idc) in idcs.iter().enumerate() {
+        let mut row = vec![0.0; nv];
+        row[n * c + j] = 1.0;
+        lp = lp.inequality(row, idc.total_servers() as f64);
+    }
+
+    let solution = lp.solve()?;
+    // Inequality rows were added as: n capacity rows, then n installed
+    // bounds — the latter's duals are the build-out shadow prices.
+    let server_shadow = solution.duals_ub()[n..2 * n].to_vec();
+    let x = solution.x();
+    let allocation = x[..n * c].to_vec();
+    let servers = x[n * c..].to_vec();
+    let power_mw: Vec<f64> = (0..n)
+        .map(|j| {
+            let lam: f64 = allocation[j * c..(j + 1) * c].iter().sum();
+            idcs[j].pue() * (idcs[j].server().b1() * lam + idcs[j].server().b0() * servers[j])
+                / 1e6
+        })
+        .collect();
+    let cost_rate_per_hour = power_mw
+        .iter()
+        .zip(prices)
+        .map(|(&p, &pr)| p * pr)
+        .sum();
+    Ok(ReferenceSolution {
+        allocation,
+        servers,
+        power_mw,
+        cost_rate_per_hour,
+        server_shadow,
+    })
+}
+
+/// Rejects non-finite prices or negative/non-finite workloads before they
+/// can poison a solver.
+fn validate_finite(prices: &[f64], offered: &[f64]) -> Result<()> {
+    if prices.iter().any(|p| !p.is_finite()) {
+        return Err(Error::DimensionMismatch {
+            what: "prices must be finite".into(),
+        });
+    }
+    if offered.iter().any(|l| !l.is_finite() || *l < 0.0) {
+        return Err(Error::DimensionMismatch {
+            what: "offered workloads must be finite and non-negative".into(),
+        });
+    }
+    Ok(())
+}
+
+/// The *price-greedy* reference: fills IDCs in ascending order of raw
+/// regional price, each to its latency-bounded capacity.
+///
+/// This is **not** the optimum of eq. 46 — the LP weighs price by the
+/// power drawn per request (`Pr_j · peak/µ_j`) — but it is the policy the
+/// paper's plotted "optimal method" trajectories actually follow (its
+/// Figs. 4–7 allocations track raw price rank, e.g. Minnesota saturated at
+/// 6H despite having the highest energy-per-request). The reproduction
+/// harness runs both and reports the gap.
+///
+/// # Errors
+///
+/// * [`Error::DimensionMismatch`] on inconsistent inputs.
+/// * [`Error::Infeasible`] when the offered workload exceeds the fleet's
+///   capacity.
+pub fn price_greedy_reference(
+    idcs: &[IdcConfig],
+    offered: &[f64],
+    prices: &[f64],
+) -> Result<ReferenceSolution> {
+    let n = idcs.len();
+    let c = offered.len();
+    if n == 0 || c == 0 || prices.len() != n {
+        return Err(Error::DimensionMismatch {
+            what: format!(
+                "{n} IDCs, {c} portals, {} prices — all must be positive and consistent",
+                prices.len()
+            ),
+        });
+    }
+    validate_finite(prices, offered)?;
+    let total: f64 = offered.iter().sum();
+    let capacity: f64 = idcs.iter().map(|i| i.max_workload()).sum();
+    if total > capacity {
+        return Err(Error::Infeasible);
+    }
+
+    // IDC indices in ascending price order.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| prices[a].partial_cmp(&prices[b]).expect("finite prices"));
+
+    // Per-IDC targets: cheapest first, each filled to capacity.
+    let mut targets = vec![0.0; n];
+    let mut remaining = total;
+    for &j in &order {
+        let take = remaining.min(idcs[j].max_workload());
+        targets[j] = take;
+        remaining -= take;
+    }
+
+    // Split the targets back over portals in portal order.
+    let mut allocation = vec![0.0; n * c];
+    let mut portal_left: Vec<f64> = offered.to_vec();
+    for &j in &order {
+        let mut need = targets[j];
+        for i in 0..c {
+            if need <= 0.0 {
+                break;
+            }
+            let take = portal_left[i].min(need);
+            allocation[j * c + i] = take;
+            portal_left[i] -= take;
+            need -= take;
+        }
+    }
+
+    // Eq. 35 with the latency head-room — kept even at zero load, exactly
+    // as the LP's eq. 30 requires, so greedy and LP deployments are
+    // comparable.
+    let servers: Vec<f64> = (0..n)
+        .map(|j| {
+            (targets[j] / idcs[j].service_rate()
+                + 1.0 / (idcs[j].service_rate() * idcs[j].latency_bound()))
+            .min(idcs[j].total_servers() as f64)
+        })
+        .collect();
+    let power_mw: Vec<f64> = (0..n)
+        .map(|j| {
+            idcs[j].pue() * (idcs[j].server().b1() * targets[j] + idcs[j].server().b0() * servers[j])
+                / 1e6
+        })
+        .collect();
+    let cost_rate_per_hour = power_mw.iter().zip(prices).map(|(&p, &pr)| p * pr).sum();
+    Ok(ReferenceSolution {
+        allocation,
+        servers,
+        power_mw,
+        cost_rate_per_hour,
+        server_shadow: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idc_datacenter::idc::paper_idcs;
+
+    const PAPER_LOADS: [f64; 5] = [30_000.0, 15_000.0, 15_000.0, 20_000.0, 20_000.0];
+    const PRICES_6H: [f64; 3] = [43.26, 30.26, 19.06];
+    const PRICES_7H: [f64; 3] = [49.90, 29.47, 77.97];
+
+    #[test]
+    fn six_hour_optimum_ranks_by_cost_per_request() {
+        let idcs = paper_idcs();
+        let sol = optimal_reference(&idcs, &PAPER_LOADS, &PRICES_6H).unwrap();
+        let lam = sol.idc_workloads(5);
+        // The true LP ranks by Pr_j · (peak power / µ_j) — cost per unit of
+        // workload — not by raw price: WI (3104) < MI (6165) < MN (6899).
+        // Wisconsin and Michigan saturate their latency-bounded capacities
+        // (34 000 and 59 000); Minnesota takes the remaining 7 000.
+        assert!((lam[2] - 34_000.0).abs() < 1.0, "WI {}", lam[2]);
+        assert!((lam[0] - 59_000.0).abs() < 1.0, "MI {}", lam[0]);
+        assert!((lam[1] - 7_000.0).abs() < 1.0, "MN {}", lam[1]);
+        // Conservation.
+        assert!((lam.iter().sum::<f64>() - 100_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn seven_hour_optimum_flees_wisconsin() {
+        let idcs = paper_idcs();
+        let sol = optimal_reference(&idcs, &PAPER_LOADS, &PRICES_7H).unwrap();
+        let lam = sol.idc_workloads(5);
+        // Per-request ranking at 7H: MN (5526) < MI (7111) < WI (11947).
+        // Wisconsin is abandoned entirely.
+        assert!(lam[2] < 1.0, "WI {}", lam[2]);
+        assert!((lam[1] - 49_000.0).abs() < 1.0, "MN {}", lam[1]);
+        assert!((lam[0] - 51_000.0).abs() < 1.0, "MI {}", lam[0]);
+    }
+
+    #[test]
+    fn six_to_seven_hour_transition_reshuffles_everything() {
+        // The 6H→7H price flip makes the LP move most of the load — the
+        // violent step the MPC is built to smooth.
+        let idcs = paper_idcs();
+        let at6 = optimal_reference(&idcs, &PAPER_LOADS, &PRICES_6H).unwrap();
+        let at7 = optimal_reference(&idcs, &PAPER_LOADS, &PRICES_7H).unwrap();
+        let l6 = at6.idc_workloads(5);
+        let l7 = at7.idc_workloads(5);
+        let moved: f64 = l6.iter().zip(&l7).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0;
+        assert!(moved > 30_000.0, "only {moved} req/s moved");
+    }
+
+    #[test]
+    fn server_counts_track_allocated_workload() {
+        let idcs = paper_idcs();
+        let sol = optimal_reference(&idcs, &PAPER_LOADS, &PRICES_6H).unwrap();
+        // At the optimum m_j = λ_j/µ_j + 1/(µ_j·D_j) exactly (for positive
+        // prices the LP pushes m down to the constraint).
+        let lam = sol.idc_workloads(5);
+        for j in 0..3 {
+            let expected = lam[j] / idcs[j].service_rate()
+                + 1.0 / (idcs[j].service_rate() * idcs[j].latency_bound());
+            assert!(
+                (sol.servers()[j] - expected).abs() < 1e-3,
+                "IDC {j}: {} vs {expected}",
+                sol.servers()[j]
+            );
+        }
+        // Integer deployment respects installed bounds.
+        let m = sol.servers_ceil(&idcs);
+        for (j, idc) in idcs.iter().enumerate() {
+            assert!(m[j] <= idc.total_servers());
+        }
+    }
+
+    #[test]
+    fn cost_rate_is_price_weighted_power() {
+        let idcs = paper_idcs();
+        let sol = optimal_reference(&idcs, &PAPER_LOADS, &PRICES_6H).unwrap();
+        let manual: f64 = sol
+            .power_mw()
+            .iter()
+            .zip(&PRICES_6H)
+            .map(|(&p, &pr)| p * pr)
+            .sum();
+        assert!((sol.cost_rate_per_hour() - manual).abs() < 1e-9);
+        assert!(sol.cost_rate_per_hour() > 0.0);
+    }
+
+    #[test]
+    fn optimum_beats_proportional_allocation() {
+        let idcs = paper_idcs();
+        let sol = optimal_reference(&idcs, &PAPER_LOADS, &PRICES_6H).unwrap();
+        // Proportional-to-capacity allocation cost.
+        let caps: Vec<f64> = idcs.iter().map(|i| i.max_workload()).collect();
+        let total_cap: f64 = caps.iter().sum();
+        let total_load: f64 = PAPER_LOADS.iter().sum();
+        let prop_cost: f64 = (0..3)
+            .map(|j| {
+                let lam = total_load * caps[j] / total_cap;
+                let m = lam / idcs[j].service_rate()
+                    + 1.0 / (idcs[j].service_rate() * idcs[j].latency_bound());
+                let p = (idcs[j].server().b1() * lam + idcs[j].server().b0() * m) / 1e6;
+                p * PRICES_6H[j]
+            })
+            .sum();
+        assert!(sol.cost_rate_per_hour() < prop_cost, "{} vs {prop_cost}", sol.cost_rate_per_hour());
+    }
+
+    #[test]
+    fn server_shadow_prices_identify_the_buildout_target() {
+        let idcs = paper_idcs();
+        let sol = optimal_reference(&idcs, &PAPER_LOADS, &PRICES_6H).unwrap();
+        let shadow = sol.server_shadow();
+        // At 6H, Wisconsin and Michigan saturate their installed capacity
+        // (binding M) — extra servers there save money; Minnesota has
+        // slack capacity — zero marginal value.
+        assert!(shadow[2] < -1e-6, "WI shadow {shadow:?}");
+        assert!(shadow[0] < -1e-6, "MI shadow {shadow:?}");
+        assert!(shadow[1].abs() < 1e-9, "MN shadow {shadow:?}");
+        // Wisconsin (cheapest per request) is the best build-out target.
+        assert!(shadow[2] < shadow[0], "{shadow:?}");
+        // Greedy solutions carry no duals.
+        let greedy = price_greedy_reference(&idcs, &PAPER_LOADS, &PRICES_6H).unwrap();
+        assert!(greedy.server_shadow().is_empty());
+    }
+
+    #[test]
+    fn clamp_applies_budgets() {
+        let idcs = paper_idcs();
+        let sol = optimal_reference(&idcs, &PAPER_LOADS, &PRICES_7H).unwrap();
+        let budgets = [5.13, 10.26, 4.275];
+        let clamped = sol.clamped_power_mw(&budgets);
+        for j in 0..3 {
+            assert!(clamped[j] <= budgets[j] + 1e-12);
+            assert!(clamped[j] <= sol.power_mw()[j] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn overload_is_infeasible() {
+        let idcs = paper_idcs();
+        // Total latency-bounded capacity is 142 000.
+        let r = optimal_reference(&idcs, &[150_000.0], &PRICES_6H);
+        assert!(matches!(r, Err(Error::Infeasible)));
+    }
+
+    #[test]
+    fn dimensions_are_validated() {
+        let idcs = paper_idcs();
+        assert!(matches!(
+            optimal_reference(&idcs, &[1.0], &[1.0, 2.0]),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        assert!(optimal_reference(&[], &[1.0], &[]).is_err());
+        assert!(optimal_reference(&idcs, &[], &PRICES_6H).is_err());
+    }
+
+    #[test]
+    fn price_greedy_follows_raw_price_rank() {
+        let idcs = paper_idcs();
+        // 6H: raw price rank WI < MN < MI → WI and MN saturated, MI rest.
+        let sol = price_greedy_reference(&idcs, &PAPER_LOADS, &PRICES_6H).unwrap();
+        let lam = sol.idc_workloads(5);
+        assert!((lam[2] - 34_000.0).abs() < 1.0, "WI {}", lam[2]);
+        assert!((lam[1] - 49_000.0).abs() < 1.0, "MN {}", lam[1]);
+        assert!((lam[0] - 17_000.0).abs() < 1.0, "MI {}", lam[0]);
+        assert!((lam.iter().sum::<f64>() - 100_000.0).abs() < 1e-9);
+        // Allocation invariants hold.
+        let per_portal: Vec<f64> = (0..5)
+            .map(|i| (0..3).map(|j| sol.allocation()[j * 5 + i]).sum())
+            .collect();
+        for (i, &l) in PAPER_LOADS.iter().enumerate() {
+            assert!((per_portal[i] - l).abs() < 1e-9);
+        }
+        assert!(sol.allocation().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn price_greedy_costs_at_least_the_lp_optimum() {
+        let idcs = paper_idcs();
+        for prices in [PRICES_6H, PRICES_7H] {
+            let lp = optimal_reference(&idcs, &PAPER_LOADS, &prices).unwrap();
+            let greedy = price_greedy_reference(&idcs, &PAPER_LOADS, &prices).unwrap();
+            assert!(
+                greedy.cost_rate_per_hour() >= lp.cost_rate_per_hour() - 1e-6,
+                "greedy {} < lp {}",
+                greedy.cost_rate_per_hour(),
+                lp.cost_rate_per_hour()
+            );
+        }
+    }
+
+    #[test]
+    fn price_greedy_validates_and_reports_infeasible() {
+        let idcs = paper_idcs();
+        assert!(matches!(
+            price_greedy_reference(&idcs, &[1.0], &[1.0]),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            price_greedy_reference(&idcs, &[150_000.0], &PRICES_6H),
+            Err(Error::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn non_finite_inputs_are_rejected() {
+        let idcs = paper_idcs();
+        assert!(optimal_reference(&idcs, &[1.0], &[f64::NAN, 1.0, 1.0]).is_err());
+        assert!(optimal_reference(&idcs, &[f64::INFINITY], &[1.0, 1.0, 1.0]).is_err());
+        assert!(optimal_reference(&idcs, &[-5.0], &[1.0, 1.0, 1.0]).is_err());
+        assert!(price_greedy_reference(&idcs, &[1.0], &[f64::NAN, 1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn negative_price_turns_everything_on() {
+        // Wisconsin's Fig. 2 negative-price dip: the LP runs all servers
+        // there (being paid to consume).
+        let idcs = paper_idcs();
+        let sol = optimal_reference(&idcs, &PAPER_LOADS, &[43.26, 30.26, -21.3]).unwrap();
+        assert!((sol.servers()[2] - 20_000.0).abs() < 1e-6);
+        // And saturates its workload capacity.
+        let lam = sol.idc_workloads(5);
+        assert!((lam[2] - 34_000.0).abs() < 1.0);
+    }
+}

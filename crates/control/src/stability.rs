@@ -1,0 +1,198 @@
+//! Closed-loop stability checks.
+//!
+//! The paper (Sec. IV-E) notes that constrained-MPC stability does not
+//! follow from closed-loop pole locations and appeals to the contraction-
+//! mapping argument of Mayne et al. \[21\]. We provide the empirical
+//! counterpart used by the test suite and the stability example:
+//!
+//! * [`is_contraction`] — samples pairs of initial conditions, rolls the
+//!   closed loop forward, and checks that trajectory distances shrink;
+//! * [`converges_to_fixed_point`] — rolls one trajectory and checks that
+//!   successive steps approach a fixed point (the tracking equilibrium);
+//! * [`linearized_jacobian`] / [`is_locally_schur_stable`] — numerically
+//!   linearize the closed loop around an equilibrium and test `ρ(J) < 1`
+//!   via [`idc_linalg::eigen::spectral_radius`].
+
+use idc_linalg::{eigen, Matrix};
+
+/// Empirically tests whether the map `step` is a contraction on the given
+/// sample points: for every pair, the distance after `iters` applications
+/// must have shrunk by at least `factor` (< 1).
+///
+/// Returns `false` as soon as one pair fails; `true` when all pairs
+/// contract. Pairs closer than `1e-12` initially are skipped.
+pub fn is_contraction(
+    step: impl Fn(&[f64]) -> Vec<f64>,
+    samples: &[Vec<f64>],
+    iters: usize,
+    factor: f64,
+) -> bool {
+    let dist = |a: &[f64], b: &[f64]| {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    };
+    for (ai, a0) in samples.iter().enumerate() {
+        for b0 in samples.iter().skip(ai + 1) {
+            let d0 = dist(a0, b0);
+            if d0 < 1e-12 {
+                continue;
+            }
+            let mut a = a0.clone();
+            let mut b = b0.clone();
+            for _ in 0..iters {
+                a = step(&a);
+                b = step(&b);
+            }
+            if dist(&a, &b) > factor * d0 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Rolls `step` forward from `x0` for at most `max_iters` and reports
+/// whether the per-step movement falls below `tol` (i.e. the trajectory
+/// reaches a fixed point). Returns the number of steps taken on success.
+pub fn converges_to_fixed_point(
+    step: impl Fn(&[f64]) -> Vec<f64>,
+    x0: &[f64],
+    max_iters: usize,
+    tol: f64,
+) -> Option<usize> {
+    let mut x = x0.to_vec();
+    for k in 0..max_iters {
+        let next = step(&x);
+        let movement = next
+            .iter()
+            .zip(&x)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        x = next;
+        if movement < tol {
+            return Some(k + 1);
+        }
+    }
+    None
+}
+
+/// Numerically linearizes the closed-loop map `step` around `x_eq` by
+/// central differences with stencil width `eps`, returning the Jacobian
+/// `J[i][j] = ∂step_i/∂x_j`.
+pub fn linearized_jacobian(
+    step: impl Fn(&[f64]) -> Vec<f64>,
+    x_eq: &[f64],
+    eps: f64,
+) -> Matrix {
+    let n = x_eq.len();
+    let mut jac = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut plus = x_eq.to_vec();
+        let mut minus = x_eq.to_vec();
+        plus[j] += eps;
+        minus[j] -= eps;
+        let fp = step(&plus);
+        let fm = step(&minus);
+        for i in 0..n {
+            jac[(i, j)] = (fp[i] - fm[i]) / (2.0 * eps);
+        }
+    }
+    jac
+}
+
+/// Local Schur-stability test of the closed loop around `x_eq`:
+/// `ρ(J) < 1 − margin` for the numerically linearized Jacobian.
+///
+/// This is the computable counterpart of the paper's Sec. IV-E appeal to
+/// the contraction-mapping stability argument of Mayne et al. \[21\]. — for a
+/// constrained MPC the *active-set-conditional* closed loop is piecewise
+/// affine, and this test certifies the piece containing the equilibrium.
+///
+/// # Errors
+///
+/// Propagates [`idc_linalg::eigen::spectral_radius`] failures (non-finite
+/// Jacobian entries).
+pub fn is_locally_schur_stable(
+    step: impl Fn(&[f64]) -> Vec<f64>,
+    x_eq: &[f64],
+    eps: f64,
+    margin: f64,
+) -> idc_linalg::Result<bool> {
+    let jac = linearized_jacobian(step, x_eq, eps);
+    eigen::is_schur_stable(&jac, margin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_contraction_is_detected() {
+        let step = |x: &[f64]| x.iter().map(|v| 0.5 * v).collect::<Vec<_>>();
+        let samples = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![-2.0, 3.0]];
+        assert!(is_contraction(step, &samples, 3, 0.2));
+    }
+
+    #[test]
+    fn expansion_is_rejected() {
+        let step = |x: &[f64]| x.iter().map(|v| 1.5 * v).collect::<Vec<_>>();
+        let samples = vec![vec![1.0], vec![-1.0]];
+        assert!(!is_contraction(step, &samples, 2, 0.99));
+    }
+
+    #[test]
+    fn isometry_is_not_a_contraction() {
+        // Rotation preserves distances → must fail for factor < 1.
+        let step = |x: &[f64]| vec![-x[1], x[0]];
+        let samples = vec![vec![1.0, 0.0], vec![0.0, 2.0]];
+        assert!(!is_contraction(step, &samples, 5, 0.9));
+        // ...but passes with factor ≥ 1 (non-expansive).
+        assert!(is_contraction(step, &samples, 5, 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn identical_samples_are_skipped() {
+        let step = |x: &[f64]| x.to_vec();
+        let samples = vec![vec![1.0], vec![1.0]];
+        assert!(is_contraction(step, &samples, 3, 0.5));
+    }
+
+    #[test]
+    fn jacobian_of_linear_map_is_its_matrix() {
+        let a = [[0.5, 0.2], [-0.1, 0.3]];
+        let step = |x: &[f64]| {
+            vec![
+                a[0][0] * x[0] + a[0][1] * x[1],
+                a[1][0] * x[0] + a[1][1] * x[1],
+            ]
+        };
+        let jac = linearized_jacobian(step, &[1.0, -2.0], 1e-5);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((jac[(i, j)] - a[i][j]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn local_schur_stability_matches_spectral_radius() {
+        let stable = |x: &[f64]| vec![0.5 * x[0] + 0.1 * x[1], -0.2 * x[1]];
+        assert!(is_locally_schur_stable(stable, &[0.0, 0.0], 1e-6, 0.01).unwrap());
+        let unstable = |x: &[f64]| vec![1.2 * x[0], 0.5 * x[1]];
+        assert!(!is_locally_schur_stable(unstable, &[0.0, 0.0], 1e-6, 0.01).unwrap());
+    }
+
+    #[test]
+    fn fixed_point_convergence() {
+        // x ← (x + 2)/2 converges to 2.
+        let step = |x: &[f64]| vec![(x[0] + 2.0) / 2.0];
+        let steps = converges_to_fixed_point(step, &[10.0], 100, 1e-9);
+        assert!(steps.is_some());
+        // Divergent map never converges.
+        let diverge = |x: &[f64]| vec![2.0 * x[0] + 1.0];
+        assert!(converges_to_fixed_point(diverge, &[1.0], 50, 1e-9).is_none());
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the control substrate.
+
+use idc_control::condense::PredictionMatrices;
+use idc_control::discretize::{discretize, zoh};
+use idc_control::mpc::{MpcConfig, MpcController, MpcProblem};
+use idc_control::reference::optimal_reference;
+use idc_control::statespace::CostStateSpace;
+use idc_datacenter::idc::paper_idcs;
+use idc_linalg::Matrix;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The cost model is controllable for any strictly positive prices and
+    /// marginal powers (the paper's Sec. IV-C claim).
+    #[test]
+    fn positive_prices_imply_controllability(
+        prices in prop::collection::vec(0.1f64..200.0, 1..5),
+        b1_scale in 1.0f64..200.0,
+        portals in 1usize..4,
+    ) {
+        let n = prices.len();
+        let b1: Vec<f64> = (0..n).map(|j| b1_scale * 1e-6 * (j + 1) as f64).collect();
+        let b0 = vec![150e-6; n];
+        let ss = CostStateSpace::new(&prices, &b1, &b0, portals).unwrap();
+        prop_assert!(ss.is_controllable());
+    }
+
+    /// ZOH of a stable diagonal system matches the scalar closed form on
+    /// every channel.
+    #[test]
+    fn zoh_diagonal_matches_closed_form(
+        rates in prop::collection::vec(0.05f64..4.0, 1..5),
+        ts in 0.01f64..2.0,
+    ) {
+        let n = rates.len();
+        let a = Matrix::diag(&rates.iter().map(|r| -r).collect::<Vec<_>>());
+        let b = Matrix::identity(n);
+        let (phi, g) = zoh(&a, &b, ts).unwrap();
+        for (i, &r) in rates.iter().enumerate() {
+            prop_assert!((phi[(i, i)] - (-r * ts).exp()).abs() < 1e-9);
+            prop_assert!((g[(i, i)] - (1.0 - (-r * ts).exp()) / r).abs() < 1e-9);
+        }
+    }
+
+    /// Condensed prediction equals step-by-step simulation for random
+    /// inputs (eq. 39 fidelity).
+    #[test]
+    fn condensation_equals_iteration(
+        du in prop::collection::vec(-50.0f64..50.0, 4),
+        u0 in 0.0f64..500.0,
+        v0 in 0.0f64..5_000.0,
+    ) {
+        let ss = CostStateSpace::new(&[40.0, 25.0], &[70e-6, 100e-6], &[150e-6, 150e-6], 1)
+            .unwrap();
+        let model = discretize(&ss, 0.01).unwrap();
+        let beta1 = 4;
+        let beta2 = 2;
+        let p = PredictionMatrices::build(&model, beta1, beta2).unwrap();
+        let x0 = vec![0.0; ss.state_dim()];
+        let u_prev = vec![u0; 2];
+        let v = vec![v0; 2];
+        let stacked = p.predict(&x0, &u_prev, &du, &v);
+
+        let mut x = x0.clone();
+        let mut u = u_prev.clone();
+        for s in 0..beta1 {
+            if s < beta2 {
+                u[0] += du[s * 2];
+                u[1] += du[s * 2 + 1];
+            }
+            x = model.step(&x, &u, &v);
+            for (i, &xi) in x.iter().enumerate() {
+                let got = stacked[s * ss.state_dim() + i];
+                prop_assert!((got - xi).abs() <= 1e-9 * xi.abs().max(1.0));
+            }
+        }
+    }
+
+    /// The reference LP's cost never decreases when any single price rises
+    /// (economic sanity: dearer electricity cannot make the optimum
+    /// cheaper).
+    #[test]
+    fn reference_cost_is_monotone_in_prices(
+        base in prop::collection::vec(10.0f64..80.0, 3),
+        bump in 0.5f64..30.0,
+        which in 0usize..3,
+    ) {
+        let idcs = paper_idcs();
+        let offered = [60_000.0];
+        let before = optimal_reference(&idcs, &offered, &base).unwrap();
+        let mut higher = base.clone();
+        higher[which] += bump;
+        let after = optimal_reference(&idcs, &offered, &higher).unwrap();
+        prop_assert!(
+            after.cost_rate_per_hour() >= before.cost_rate_per_hour() - 1e-6,
+            "{} < {}",
+            after.cost_rate_per_hour(),
+            before.cost_rate_per_hour()
+        );
+    }
+
+    /// MPC plans are insensitive to uniform scaling of both tracking and
+    /// smoothing weights (only the ratio matters).
+    #[test]
+    fn mpc_is_scale_invariant_in_weights(scale in 0.1f64..10.0) {
+        let mk = |q: f64, r: f64| {
+            let problem = MpcProblem {
+                b1_mw: vec![67.5e-6, 108.0e-6],
+                b0_mw: vec![150e-6, 150e-6],
+                servers_on: vec![10_000, 10_000],
+                capacities: vec![19_000.0, 11_500.0],
+                prev_input: vec![10_000.0, 0.0],
+                workload_forecast: vec![vec![10_000.0]; 3],
+                power_reference_mw: vec![vec![1.5, 2.4]; 5],
+                tracking_multiplier: MpcProblem::uniform_tracking(2),
+            };
+            let controller = MpcController::new(MpcConfig {
+                tracking_weight: q,
+                smoothing_weight: r,
+                // The ridge must scale with the weights too, or it changes
+                // the effective Q/R ratio.
+                input_ridge: 1e-9 * q,
+                ..MpcConfig::default()
+            });
+            controller.plan(&problem).unwrap().next_input().to_vec()
+        };
+        let base = mk(1.0, 4.0);
+        let scaled = mk(scale, 4.0 * scale);
+        for (a, b) in base.iter().zip(&scaled) {
+            prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! The paper's evaluation configurations (Tables I–III) and calibration
+//! notes.
+//!
+//! Two fleet variants are provided:
+//!
+//! * [`paper_fleet_table_ii`] — Table II exactly as printed: Michigan has
+//!   `M₁ = 30 000` servers and every latency bound is 1 ms;
+//! * [`paper_fleet_calibrated`] — the variant the paper's *plotted
+//!   trajectories* are only consistent with: `M₁ = 20 000` (the Fig. 6/7
+//!   "optimal" series jumps Michigan to exactly 20 000 servers = 5.7 MW,
+//!   impossible to produce as a capacity-saturation point with
+//!   `M₁ = 30 000`), and a relaxed 1 s latency bound so the `1/(µD)`
+//!   head-room (500–800 servers at 1 ms) does not shift the plotted server
+//!   counts, which are exact multiples of `λ/µ`.
+//!
+//! The reproduction harness reports both; EXPERIMENTS.md documents the
+//! discrepancy.
+
+use idc_datacenter::fleet::IdcFleet;
+use idc_datacenter::idc::IdcConfig;
+use idc_datacenter::portal::{paper_portals, FrontEndPortal};
+use idc_datacenter::server::ServerSpec;
+use idc_market::tariff::PowerBudget;
+use idc_market::trace::{miso_oct3_2011, PriceTrace};
+
+/// Portal workloads of Table I (30 k, 15 k, 15 k, 20 k, 20 k req/s).
+pub fn paper_portals_table_i() -> Vec<FrontEndPortal> {
+    paper_portals()
+}
+
+/// The fleet exactly as printed in Table II.
+pub fn paper_fleet_table_ii() -> IdcFleet {
+    IdcFleet::paper_fleet()
+}
+
+/// The fleet the plotted figures correspond to: `M₁ = 20 000`, 1 s latency
+/// bound (see the [module docs](self)).
+pub fn paper_fleet_calibrated() -> IdcFleet {
+    let mk = |name: &str, m: u64, mu: f64| {
+        IdcConfig::new(
+            name,
+            m,
+            ServerSpec::paper_server(mu).expect("paper spec is valid"),
+            1.0,
+        )
+        .expect("calibrated config is valid")
+    };
+    IdcFleet::new(
+        paper_portals(),
+        vec![
+            mk("Michigan", 20_000, 2.0),
+            mk("Minnesota", 40_000, 1.25),
+            mk("Wisconsin", 20_000, 1.75),
+        ],
+    )
+    .expect("non-empty fleet")
+}
+
+/// The Table III / Fig. 2 price traces (pinned at hours 6 and 7).
+pub fn paper_price_traces() -> Vec<PriceTrace> {
+    miso_oct3_2011()
+}
+
+/// The Sec. V-C power budgets (5.13 / 10.26 / 4.275 MW).
+pub fn paper_power_budgets() -> PowerBudget {
+    PowerBudget::paper_section_v_c()
+}
+
+/// Default sampling period of the fast (MPC) loop: 30 s, expressed in
+/// hours. Ten minutes of simulation = 20 steps, matching the paper's
+/// Fig. 4–7 time axis.
+pub const DEFAULT_TS_HOURS: f64 = 30.0 / 3600.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_fleet_is_as_printed() {
+        let f = paper_fleet_table_ii();
+        assert_eq!(f.idcs()[0].total_servers(), 30_000);
+        assert_eq!(f.idcs()[0].latency_bound(), 0.001);
+    }
+
+    #[test]
+    fn calibrated_fleet_matches_plotted_capacities() {
+        let f = paper_fleet_calibrated();
+        assert_eq!(f.idcs()[0].total_servers(), 20_000);
+        // Capacities ≈ Mµ (head-room ≤ 1 req/s at a 1 s bound).
+        assert!((f.idcs()[0].max_workload() - 40_000.0).abs() <= 1.0);
+        assert!((f.idcs()[1].max_workload() - 50_000.0).abs() <= 1.0);
+        assert!((f.idcs()[2].max_workload() - 35_000.0).abs() <= 1.0);
+        // Still able to serve the Table I load.
+        assert!(f.is_sleep_controllable());
+    }
+
+    #[test]
+    fn budgets_and_prices_are_the_paper_values() {
+        assert_eq!(paper_power_budgets().as_slice(), &[5.13, 10.26, 4.275]);
+        let traces = paper_price_traces();
+        assert_eq!(traces[2].price_at_hour(7.0), 77.97);
+    }
+
+    #[test]
+    fn default_sampling_gives_20_steps_per_10_minutes() {
+        let steps = (10.0 / 60.0 / DEFAULT_TS_HOURS).round() as usize;
+        assert_eq!(steps, 20);
+    }
+}

@@ -1,0 +1,65 @@
+use std::fmt;
+
+/// Errors produced by the core simulation and control stack.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Invalid scenario or controller configuration.
+    Config(String),
+    /// An optimization subproblem failed.
+    Optimization(idc_opt::Error),
+    /// A linear-algebra kernel failed.
+    Numerical(idc_linalg::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(msg) => write!(f, "configuration error: {msg}"),
+            Error::Optimization(e) => write!(f, "optimization failure: {e}"),
+            Error::Numerical(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Optimization(e) => Some(e),
+            Error::Numerical(e) => Some(e),
+            Error::Config(_) => None,
+        }
+    }
+}
+
+impl From<idc_opt::Error> for Error {
+    fn from(e: idc_opt::Error) -> Self {
+        Error::Optimization(e)
+    }
+}
+
+impl From<idc_linalg::Error> for Error {
+    fn from(e: idc_linalg::Error) -> Self {
+        Error::Numerical(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_and_source() {
+        let e = Error::Config("bad horizon".into());
+        assert_eq!(e.to_string(), "configuration error: bad horizon");
+        assert!(e.source().is_none());
+
+        let e: Error = idc_opt::Error::Infeasible.into();
+        assert!(e.to_string().contains("infeasible"));
+        assert!(e.source().is_some());
+
+        let e: Error = idc_linalg::Error::Singular.into();
+        assert!(e.to_string().contains("singular"));
+    }
+}

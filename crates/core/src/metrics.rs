@@ -1,0 +1,169 @@
+//! Cross-policy comparison metrics (the numbers EXPERIMENTS.md reports).
+
+use crate::simulation::SimulationResult;
+
+/// Side-by-side summary of two runs of the same scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Name of the first (usually MPC) policy.
+    pub name_a: String,
+    /// Name of the second (usually baseline) policy.
+    pub name_b: String,
+    /// Total cost of each run ($).
+    pub total_cost: (f64, f64),
+    /// Per-IDC peak power (MW).
+    pub peak_mw: Vec<(f64, f64)>,
+    /// Per-IDC mean absolute power step (MW) — demand volatility.
+    pub volatility_mw: Vec<(f64, f64)>,
+    /// Per-IDC worst single power jump (MW).
+    pub max_jump_mw: Vec<(f64, f64)>,
+}
+
+impl Comparison {
+    /// Builds the comparison. Returns `None` when the runs cover different
+    /// scenarios / fleet sizes or are empty.
+    pub fn between(a: &SimulationResult, b: &SimulationResult) -> Option<Self> {
+        if a.num_idcs() != b.num_idcs() || a.times_min().is_empty() || b.times_min().is_empty() {
+            return None;
+        }
+        let n = a.num_idcs();
+        let mut peak_mw = Vec::with_capacity(n);
+        let mut volatility_mw = Vec::with_capacity(n);
+        let mut max_jump_mw = Vec::with_capacity(n);
+        for j in 0..n {
+            let sa = a.power_stats(j)?;
+            let sb = b.power_stats(j)?;
+            peak_mw.push((sa.peak_mw, sb.peak_mw));
+            volatility_mw.push((sa.mean_abs_step_mw, sb.mean_abs_step_mw));
+            max_jump_mw.push((sa.max_abs_step_mw, sb.max_abs_step_mw));
+        }
+        Some(Comparison {
+            name_a: a.policy_name().to_string(),
+            name_b: b.policy_name().to_string(),
+            total_cost: (a.total_cost(), b.total_cost()),
+            peak_mw,
+            volatility_mw,
+            max_jump_mw,
+        })
+    }
+
+    /// Relative cost overhead of run A versus run B, in percent
+    /// (positive = A costs more).
+    pub fn cost_overhead_percent(&self) -> f64 {
+        if self.total_cost.1 == 0.0 {
+            return 0.0;
+        }
+        100.0 * (self.total_cost.0 - self.total_cost.1) / self.total_cost.1
+    }
+
+    /// Fleet-wide worst jump reduction: `1 − max_a/max_b`, in percent.
+    pub fn jump_reduction_percent(&self) -> f64 {
+        let max_a = self
+            .max_jump_mw
+            .iter()
+            .map(|&(a, _)| a)
+            .fold(0.0f64, f64::max);
+        let max_b = self
+            .max_jump_mw
+            .iter()
+            .map(|&(_, b)| b)
+            .fold(0.0f64, f64::max);
+        if max_b == 0.0 {
+            0.0
+        } else {
+            100.0 * (1.0 - max_a / max_b)
+        }
+    }
+}
+
+/// Price volatility of a sequence of per-step price vectors: the mean
+/// across regions of the per-region standard deviation. Used by the
+/// vicious-cycle experiment to show demand-responsive oscillation.
+pub fn price_volatility(prices: &[Vec<f64>]) -> f64 {
+    if prices.is_empty() || prices[0].is_empty() {
+        return 0.0;
+    }
+    let n = prices[0].len();
+    let steps = prices.len() as f64;
+    let mut total = 0.0;
+    for j in 0..n {
+        let series: Vec<f64> = prices.iter().map(|p| p[j]).collect();
+        let mean = series.iter().sum::<f64>() / steps;
+        let var = series.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / steps;
+        total += var.sqrt();
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{MpcPolicy, OptimalPolicy, ReferenceKind};
+    use crate::scenario::smoothing_scenario;
+    use crate::simulation::Simulator;
+
+    #[test]
+    fn comparison_captures_smoothing_advantage() {
+        let scenario = smoothing_scenario();
+        let sim = Simulator::new();
+        let mpc = sim
+            .run(&scenario, &mut MpcPolicy::paper_tuned(&scenario).unwrap())
+            .unwrap();
+        let opt = sim
+            .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))
+            .unwrap();
+        let cmp = Comparison::between(&mpc, &opt).unwrap();
+        assert_eq!(cmp.peak_mw.len(), 3);
+        // Smoothing costs a little extra (tracks the reference with lag)…
+        assert!(cmp.cost_overhead_percent() > -1.0);
+        // …but the comparison is well-formed and names are kept.
+        assert!(cmp.name_a.contains("MPC"));
+        assert!(cmp.name_b.contains("optimal"));
+    }
+
+    #[test]
+    fn comparison_rejects_mismatched_runs() {
+        let scenario = smoothing_scenario();
+        let sim = Simulator::new();
+        let a = sim
+            .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))
+            .unwrap();
+        // Same run compared with itself: zero overhead, zero reduction.
+        let cmp = Comparison::between(&a, &a).unwrap();
+        assert_eq!(cmp.cost_overhead_percent(), 0.0);
+        assert!(cmp.jump_reduction_percent().abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_jump_baseline_yields_zero_reduction() {
+        // Degenerate guard: all-zero max jumps must not divide by zero.
+        let cmp = Comparison {
+            name_a: "a".into(),
+            name_b: "b".into(),
+            total_cost: (0.0, 0.0),
+            peak_mw: vec![(1.0, 1.0)],
+            volatility_mw: vec![(0.0, 0.0)],
+            max_jump_mw: vec![(0.0, 0.0)],
+        };
+        assert_eq!(cmp.jump_reduction_percent(), 0.0);
+        assert_eq!(cmp.cost_overhead_percent(), 0.0);
+    }
+
+    #[test]
+    fn price_volatility_of_constant_prices_is_zero() {
+        let prices = vec![vec![10.0, 20.0]; 5];
+        assert_eq!(price_volatility(&prices), 0.0);
+        assert_eq!(price_volatility(&[]), 0.0);
+    }
+
+    #[test]
+    fn price_volatility_detects_oscillation() {
+        let mut prices = Vec::new();
+        for k in 0..10 {
+            let p = if k % 2 == 0 { 10.0 } else { 50.0 };
+            prices.push(vec![p, 30.0]);
+        }
+        let v = price_volatility(&prices);
+        assert!(v > 9.0, "volatility {v}");
+    }
+}

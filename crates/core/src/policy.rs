@@ -1,0 +1,689 @@
+//! Control policies: the paper's MPC and the baseline optimal policies.
+
+use idc_control::mpc::{MpcConfig, MpcController, MpcProblem};
+use idc_control::reference::{optimal_reference, price_greedy_reference, ReferenceSolution};
+use idc_datacenter::allocation::Allocation;
+use idc_datacenter::idc::IdcConfig;
+use idc_datacenter::sleep::SleepController;
+use idc_market::tariff::PowerBudget;
+use idc_timeseries::predictor::WorkloadPredictor;
+
+use crate::scenario::Scenario;
+use crate::{Error, Result};
+
+/// What one policy step sees: the simulator assembles this each sampling
+/// period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepContext<'a> {
+    /// Step index within the run (0-based).
+    pub step: usize,
+    /// Hour of day at the start of the step.
+    pub hour: f64,
+    /// Step length in hours.
+    pub dt_hours: f64,
+    /// Current regional prices ($/MWh), one per IDC.
+    pub prices: Vec<f64>,
+    /// Current offered portal workloads (req/s), one per portal.
+    pub offered: Vec<f64>,
+    /// The IDC configurations.
+    pub idcs: &'a [IdcConfig],
+}
+
+/// A policy's output for one step: how many servers to run and how to
+/// split the workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Servers ON per IDC.
+    pub servers_on: Vec<u64>,
+    /// The workload split `λij`.
+    pub allocation: Allocation,
+}
+
+/// A workload-allocation policy driven by the simulator.
+pub trait Policy {
+    /// Short display name used in reports.
+    fn name(&self) -> &str;
+
+    /// Called once before the run with the initialization context (the
+    /// scenario's `init_hour` prices); policies settle at their preferred
+    /// starting operating point here.
+    fn initialize(&mut self, ctx: &StepContext<'_>) -> Result<()> {
+        let _ = ctx;
+        Ok(())
+    }
+
+    /// Produces the decision for one step.
+    fn decide(&mut self, ctx: &StepContext<'_>) -> Result<Decision>;
+}
+
+/// Which reference problem defines "optimal".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReferenceKind {
+    /// The true LP of paper eq. 46 (cost per request = `Pr_j·peak/µ_j`).
+    LpOptimal,
+    /// Greedy filling by raw regional price — the policy the paper's
+    /// plotted "optimal method" trajectories follow.
+    PriceGreedy,
+}
+
+impl ReferenceKind {
+    /// Solves the associated reference problem.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the optimizer's failure modes (infeasibility etc.).
+    pub fn solve(
+        &self,
+        idcs: &[IdcConfig],
+        offered: &[f64],
+        prices: &[f64],
+    ) -> idc_opt::Result<ReferenceSolution> {
+        match self {
+            ReferenceKind::LpOptimal => optimal_reference(idcs, offered, prices),
+            ReferenceKind::PriceGreedy => price_greedy_reference(idcs, offered, prices),
+        }
+    }
+}
+
+/// The baseline of Rao et al. (INFOCOM'10): re-solve the instantaneous
+/// cost minimum every step and jump straight to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimalPolicy {
+    kind: ReferenceKind,
+    name: String,
+}
+
+impl OptimalPolicy {
+    /// Creates the baseline with the given reference problem.
+    pub fn new(kind: ReferenceKind) -> Self {
+        let name = match kind {
+            ReferenceKind::LpOptimal => "optimal (eq. 46 LP)",
+            ReferenceKind::PriceGreedy => "optimal (price-greedy, as plotted)",
+        };
+        OptimalPolicy {
+            kind,
+            name: name.into(),
+        }
+    }
+
+    /// The reference problem in use.
+    pub fn kind(&self) -> ReferenceKind {
+        self.kind
+    }
+}
+
+impl Policy for OptimalPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, ctx: &StepContext<'_>) -> Result<Decision> {
+        let reference = self.kind.solve(ctx.idcs, &ctx.offered, &ctx.prices)?;
+        let servers_on = reference.servers_ceil(ctx.idcs);
+        let allocation = Allocation::from_control_vector(
+            ctx.offered.len(),
+            ctx.idcs.len(),
+            reference.allocation(),
+        )
+        .expect("reference allocation has fleet dimensions");
+        Ok(Decision {
+            servers_on,
+            allocation,
+        })
+    }
+}
+
+/// A static no-geo-balancing baseline: every portal's workload is split
+/// across IDCs proportionally to their installed capacity, regardless of
+/// prices — the "passive consumer" the paper's introduction argues
+/// against. Servers follow eq. 35 for the fixed split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StaticProportionalPolicy;
+
+impl StaticProportionalPolicy {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        StaticProportionalPolicy
+    }
+}
+
+impl Policy for StaticProportionalPolicy {
+    fn name(&self) -> &str {
+        "static (capacity-proportional, price-blind)"
+    }
+
+    fn decide(&mut self, ctx: &StepContext<'_>) -> Result<Decision> {
+        let weights: Vec<f64> = ctx.idcs.iter().map(|i| i.max_workload()).collect();
+        let allocation = Allocation::proportional(&ctx.offered, &weights)
+            .ok_or_else(|| Error::Config("fleet has no capacity".into()))?;
+        let servers_on: Vec<u64> = ctx
+            .idcs
+            .iter()
+            .enumerate()
+            .map(|(j, idc)| {
+                idc.required_servers(allocation.idc_total(j))
+                    .unwrap_or_else(|| idc.total_servers())
+            })
+            .collect();
+        Ok(Decision {
+            servers_on,
+            allocation,
+        })
+    }
+}
+
+/// Tuning of [`MpcPolicy`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpcPolicyConfig {
+    /// The inner receding-horizon controller tuning.
+    pub mpc: MpcConfig,
+    /// The reference problem tracked by the controller.
+    pub reference: ReferenceKind,
+    /// Power budgets for peak shaving (reference clamp of Sec. IV-D).
+    pub budgets: Option<PowerBudget>,
+    /// Maximum servers switched per IDC per slow-loop decision.
+    pub server_ramp_limit: u64,
+    /// Slow-loop period in fast-loop steps (the two-time-scale ratio).
+    pub slow_period: usize,
+    /// AR order of the workload predictor.
+    pub predictor_order: usize,
+    /// When `true` (default, the paper's Sec. IV-D behaviour) the power
+    /// reference is re-solved at each prediction step's forecast workload,
+    /// letting the controller anticipate ramps; `false` holds the
+    /// current-step reference across the horizon (the no-prediction
+    /// ablation).
+    pub anticipatory_reference: bool,
+}
+
+impl Default for MpcPolicyConfig {
+    fn default() -> Self {
+        MpcPolicyConfig {
+            mpc: MpcConfig::default(),
+            reference: ReferenceKind::PriceGreedy,
+            budgets: None,
+            server_ramp_limit: 1_500,
+            slow_period: 1,
+            predictor_order: 3,
+            anticipatory_reference: true,
+        }
+    }
+}
+
+/// The paper's dynamic cost controller: two-time-scale server sleep
+/// control plus constrained MPC workload control, tracking a
+/// (budget-clamped) optimal power reference with an input-rate penalty.
+#[derive(Debug, Clone)]
+pub struct MpcPolicy {
+    name: String,
+    config: MpcPolicyConfig,
+    controller: MpcController,
+    predictors: Vec<WorkloadPredictor>,
+    /// `(U(k−1), m(k−1))` once initialized.
+    state: Option<(Vec<f64>, Vec<u64>)>,
+}
+
+impl MpcPolicy {
+    /// Creates the controller with explicit tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for invalid horizon/ramp/predictor
+    /// parameters.
+    pub fn new(config: MpcPolicyConfig) -> Result<Self> {
+        if config.slow_period == 0 {
+            return Err(Error::Config("slow_period must be at least 1".into()));
+        }
+        // Validate the ramp limit through the datacenter sleep controller —
+        // the slow loop below applies the same ramp semantics to the
+        // reference-derived target.
+        SleepController::with_ramp_limit(config.server_ramp_limit)
+            .ok_or_else(|| Error::Config("server_ramp_limit must be positive".into()))?;
+        if config.predictor_order == 0 {
+            return Err(Error::Config("predictor_order must be positive".into()));
+        }
+        if config.mpc.control_horizon == 0
+            || config.mpc.control_horizon > config.mpc.prediction_horizon
+        {
+            return Err(Error::Config(
+                "horizons must satisfy 0 < control ≤ prediction".into(),
+            ));
+        }
+        let controller = MpcController::new(config.mpc);
+        Ok(MpcPolicy {
+            name: "dynamic control (MPC)".into(),
+            config,
+            controller,
+            predictors: Vec::new(),
+            state: None,
+        })
+    }
+
+    /// The paper-tuned controller for a scenario: tracks the price-greedy
+    /// reference (what the paper plots), adopts the scenario's budgets,
+    /// and uses the default horizons/weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MpcPolicy::new`] failures.
+    pub fn paper_tuned(scenario: &Scenario) -> Result<Self> {
+        MpcPolicy::new(MpcPolicyConfig {
+            budgets: scenario.budgets().cloned(),
+            ..MpcPolicyConfig::default()
+        })
+    }
+
+    /// The tuning in use.
+    pub fn config(&self) -> &MpcPolicyConfig {
+        &self.config
+    }
+
+    /// Current input vector `U(k−1)` (IDC-major flat), once initialized.
+    pub fn current_input(&self) -> Option<&[f64]> {
+        self.state.as_ref().map(|(u, _)| u.as_slice())
+    }
+
+    /// Per-portal workload forecasts for the control horizon, with the
+    /// first step pinned to the observed workload (the conservation
+    /// constraint must hold for what is actually served).
+    fn forecast(&self, observed: &[f64], steps: usize) -> Vec<Vec<f64>> {
+        let mut out = Vec::with_capacity(steps);
+        out.push(observed.to_vec());
+        if steps > 1 {
+            let horizon = steps - 1;
+            let mut per_portal: Vec<Vec<f64>> = self
+                .predictors
+                .iter()
+                .map(|p| p.forecast(horizon))
+                .collect();
+            for s in 0..horizon {
+                let row: Vec<f64> = per_portal.iter_mut().map(|f| f[s]).collect();
+                out.push(row);
+            }
+        }
+        out
+    }
+
+    /// Budget-consistent server cap: the largest `m` whose fully-loaded
+    /// power stays under the budget, `m = budget / (PUE · peak_power)`.
+    fn budget_server_cap(idc: &IdcConfig, budget_mw: f64) -> u64 {
+        let per_server_mw = idc.pue() * idc.server().peak_power_w() / 1e6;
+        if per_server_mw <= 0.0 {
+            return idc.total_servers();
+        }
+        ((budget_mw / per_server_mw).floor().max(0.0) as u64).min(idc.total_servers())
+    }
+
+    /// Emergency fallback when the QP is infeasible (e.g. a workload surge
+    /// beyond the ramped capacity): turn on whatever eq. 35 demands for a
+    /// capacity-proportional split and apply that split directly.
+    fn fallback(&self, ctx: &StepContext<'_>) -> Result<Decision> {
+        let weights: Vec<f64> = ctx.idcs.iter().map(|i| i.max_workload()).collect();
+        let allocation = Allocation::proportional(&ctx.offered, &weights)
+            .ok_or_else(|| Error::Config("fleet has no capacity".into()))?;
+        let servers_on: Vec<u64> = ctx
+            .idcs
+            .iter()
+            .enumerate()
+            .map(|(j, idc)| {
+                idc.required_servers(allocation.idc_total(j))
+                    .unwrap_or_else(|| idc.total_servers())
+            })
+            .collect();
+        Ok(Decision {
+            servers_on,
+            allocation,
+        })
+    }
+}
+
+impl Policy for MpcPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn initialize(&mut self, ctx: &StepContext<'_>) -> Result<()> {
+        let reference = self
+            .config
+            .reference
+            .solve(ctx.idcs, &ctx.offered, &ctx.prices)?;
+        let u = reference.allocation().to_vec();
+        let m = reference.servers_ceil(ctx.idcs);
+        self.state = Some((u, m));
+        self.predictors = ctx
+            .offered
+            .iter()
+            .map(|&l| {
+                let mut p = WorkloadPredictor::new(self.config.predictor_order)
+                    .expect("validated order");
+                p.observe(l);
+                p
+            })
+            .collect();
+        Ok(())
+    }
+
+    fn decide(&mut self, ctx: &StepContext<'_>) -> Result<Decision> {
+        if self.state.is_none() {
+            self.initialize(ctx)?;
+        }
+        // Feed the predictors.
+        for (p, &l) in self.predictors.iter_mut().zip(&ctx.offered) {
+            p.observe(l);
+        }
+        let (prev_u, prev_m) = self.state.clone().expect("initialized above");
+        let n = ctx.idcs.len();
+        let c = ctx.offered.len();
+
+        // ---- Reference (eq. 46 / greedy) on the one-step-ahead workload,
+        // clamped to the power budget for peak shaving (Sec. IV-D). ----
+        let reference = self
+            .config
+            .reference
+            .solve(ctx.idcs, &ctx.offered, &ctx.prices)?;
+        let power_ref = match &self.config.budgets {
+            Some(b) => reference.clamped_power_mw(b.as_slice()),
+            None => reference.power_mw().to_vec(),
+        };
+        // Budget-clamped IDCs get a heavy tracking weight: their power must
+        // be pinned at the budget, while unclamped IDCs absorb whatever
+        // load is displaced (Fig. 6's Wisconsin behaviour).
+        let tracking_multiplier: Vec<f64> = match &self.config.budgets {
+            Some(b) => reference
+                .power_mw()
+                .iter()
+                .zip(b.as_slice())
+                .map(|(&p, &budget)| if p > budget { 25.0 } else { 1.0 })
+                .collect(),
+            None => vec![1.0; n],
+        };
+
+        // ---- Slow loop: ramp-limited server sleep control toward the
+        // reference deployment, never below what the current allocation
+        // needs, never above a binding power budget's implied cap (unless
+        // feasibility demands it). ----
+        let ref_servers = reference.servers_ceil(ctx.idcs);
+        let mut servers_on = Vec::with_capacity(n);
+        for (j, idc) in ctx.idcs.iter().enumerate() {
+            let current_lambda: f64 = prev_u[j * c..(j + 1) * c].iter().sum();
+            let needed = idc
+                .required_servers(current_lambda)
+                .unwrap_or_else(|| idc.total_servers());
+            let mut target = ref_servers[j].max(needed);
+            if let Some(b) = &self.config.budgets {
+                let cap = Self::budget_server_cap(idc, b.budget_mw(j)).max(needed);
+                target = target.min(cap);
+            }
+            let next = if ctx.step.is_multiple_of(self.config.slow_period) {
+                // Ramp-limited move toward the target, floored at what the
+                // current allocation needs for its latency bound.
+                let limit = self.config.server_ramp_limit;
+                let stepped = if target > prev_m[j] {
+                    (prev_m[j] + limit).min(target)
+                } else {
+                    prev_m[j] - limit.min(prev_m[j] - target)
+                };
+                stepped.max(needed).min(idc.total_servers())
+            } else {
+                prev_m[j].max(needed).min(idc.total_servers())
+            };
+            servers_on.push(next);
+        }
+
+        // ---- Emergency capacity override: the ramp limit is a comfort
+        // preference, but serving the forecast workload is a hard duty. If
+        // the ramped deployment cannot hold the forecast, add servers
+        // (cheapest-headroom first) until it can. ----
+        let beta2_forecast = self.forecast(&ctx.offered, self.config.mpc.control_horizon);
+        let max_total_forecast = beta2_forecast
+            .iter()
+            .map(|f| f.iter().sum::<f64>())
+            .fold(0.0f64, f64::max);
+        let capacity_of = |m: &[u64]| -> f64 {
+            ctx.idcs
+                .iter()
+                .zip(m)
+                .map(|(idc, &mj)| idc.capacity_with(mj))
+                .sum()
+        };
+        let mut guard = 0;
+        while capacity_of(&servers_on) < max_total_forecast * 1.0005 && guard < 1_000 {
+            // Add to the IDC with the most headroom.
+            let Some((j, _)) = ctx
+                .idcs
+                .iter()
+                .enumerate()
+                .map(|(j, idc)| (j, idc.total_servers() - servers_on[j]))
+                .filter(|&(_, headroom)| headroom > 0)
+                .max_by_key(|&(_, headroom)| headroom)
+            else {
+                break; // fleet saturated; the QP will report infeasibility
+            };
+            let missing = max_total_forecast * 1.0005 - capacity_of(&servers_on);
+            let add = ((missing / ctx.idcs[j].service_rate()).ceil() as u64)
+                .max(1)
+                .min(ctx.idcs[j].total_servers() - servers_on[j]);
+            servers_on[j] += add;
+            guard += 1;
+        }
+
+        // ---- Reference *trajectory* over the prediction horizon: the
+        // paper's "the optimization is conducted based on the predicted
+        // workload" (Sec. IV-D) — re-solve the reference at each step's
+        // forecast so the controller anticipates workload ramps. Falls
+        // back to holding the current reference when a forecast step is
+        // infeasible (the emergency override will catch up). ----
+        let beta1 = self.config.mpc.prediction_horizon;
+        let horizon_forecasts: Vec<Vec<f64>> = {
+            let mut per_portal: Vec<Vec<f64>> =
+                self.predictors.iter().map(|p| p.forecast(beta1)).collect();
+            (0..beta1)
+                .map(|s| per_portal.iter_mut().map(|f| f[s]).collect())
+                .collect()
+        };
+        let mut power_reference_mw = Vec::with_capacity(beta1);
+        if self.config.anticipatory_reference {
+            for step_forecast in &horizon_forecasts {
+                let step_ref = self
+                    .config
+                    .reference
+                    .solve(ctx.idcs, step_forecast, &ctx.prices)
+                    .map(|r| match &self.config.budgets {
+                        Some(b) => r.clamped_power_mw(b.as_slice()),
+                        None => r.power_mw().to_vec(),
+                    })
+                    .unwrap_or_else(|_| power_ref.clone());
+                power_reference_mw.push(step_ref);
+            }
+        } else {
+            power_reference_mw = vec![power_ref.clone(); beta1];
+        }
+
+        let problem = MpcProblem {
+            b1_mw: ctx
+                .idcs
+                .iter()
+                .map(|i| i.pue() * i.server().b1() / 1e6)
+                .collect(),
+            b0_mw: ctx
+                .idcs
+                .iter()
+                .map(|i| i.pue() * i.server().b0() / 1e6)
+                .collect(),
+            servers_on: servers_on.clone(),
+            capacities: ctx
+                .idcs
+                .iter()
+                .zip(&servers_on)
+                .map(|(idc, &m)| idc.capacity_with(m))
+                .collect(),
+            prev_input: prev_u.clone(),
+            workload_forecast: beta2_forecast,
+            power_reference_mw,
+            tracking_multiplier,
+        };
+        match self.controller.plan(&problem) {
+            Ok(plan) => {
+                let u = plan.next_input().to_vec();
+                let allocation = Allocation::from_control_vector(c, n, &u)
+                    .expect("controller output has fleet dimensions");
+                self.state = Some((u, servers_on.clone()));
+                Ok(Decision {
+                    servers_on,
+                    allocation,
+                })
+            }
+            Err(idc_opt::Error::Infeasible) => {
+                let decision = self.fallback(ctx)?;
+                self.state = Some((
+                    decision.allocation.to_control_vector(),
+                    decision.servers_on.clone(),
+                ));
+                Ok(decision)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config;
+
+    fn ctx<'a>(idcs: &'a [IdcConfig], hour: f64, prices: Vec<f64>) -> StepContext<'a> {
+        StepContext {
+            step: 0,
+            hour,
+            dt_hours: config::DEFAULT_TS_HOURS,
+            prices,
+            offered: vec![30_000.0, 15_000.0, 15_000.0, 20_000.0, 20_000.0],
+            idcs,
+        }
+    }
+
+    #[test]
+    fn optimal_policy_jumps_to_reference() {
+        let fleet = config::paper_fleet_calibrated();
+        let mut policy = OptimalPolicy::new(ReferenceKind::PriceGreedy);
+        assert_eq!(policy.kind(), ReferenceKind::PriceGreedy);
+        let c = ctx(fleet.idcs(), 6.0, vec![43.26, 30.26, 19.06]);
+        let d = policy.decide(&c).unwrap();
+        // 6H greedy: WI and MN saturated, MI takes the rest (Fig. 4/5).
+        let lam = d.allocation.idc_totals();
+        assert!((lam[2] - fleet.idcs()[2].max_workload()).abs() < 2.0, "WI {}", lam[2]);
+        assert!((lam[1] - fleet.idcs()[1].max_workload()).abs() < 2.0, "MN {}", lam[1]);
+        // Server counts ≈ the paper's 7 500 / 40 000 / 20 000.
+        assert!((d.servers_on[0] as f64 - 7_500.0).abs() < 5.0, "{:?}", d.servers_on);
+        assert_eq!(d.servers_on[1], 40_000);
+        assert_eq!(d.servers_on[2], 20_000);
+    }
+
+    #[test]
+    fn optimal_policy_produces_papers_7h_jump() {
+        let fleet = config::paper_fleet_calibrated();
+        let mut policy = OptimalPolicy::new(ReferenceKind::PriceGreedy);
+        let c = ctx(fleet.idcs(), 7.0, vec![49.90, 29.47, 77.97]);
+        let d = policy.decide(&c).unwrap();
+        // The paper's 7H optimal: MI 20 000, MN 40 000, WI ~5 715 servers.
+        assert_eq!(d.servers_on[0], 20_000);
+        assert_eq!(d.servers_on[1], 40_000);
+        assert!(
+            (d.servers_on[2] as f64 - 5_715.0).abs() < 5.0,
+            "WI servers {:?}",
+            d.servers_on[2]
+        );
+    }
+
+    #[test]
+    fn mpc_policy_initializes_and_conserves_workload() {
+        let fleet = config::paper_fleet_calibrated();
+        let scenario = crate::scenario::smoothing_scenario();
+        let mut policy = MpcPolicy::paper_tuned(&scenario).unwrap();
+        let init = ctx(fleet.idcs(), 6.5, vec![43.26, 30.26, 19.06]);
+        policy.initialize(&init).unwrap();
+        assert!(policy.current_input().is_some());
+
+        let step = ctx(fleet.idcs(), 7.0, vec![49.90, 29.47, 77.97]);
+        let d = policy.decide(&step).unwrap();
+        let total: f64 = d.allocation.idc_totals().iter().sum();
+        assert!((total - 100_000.0).abs() < 1e-3, "total {total}");
+        assert!(d.allocation.is_nonnegative(1e-9));
+        // Latency bound respected everywhere.
+        for (j, idc) in fleet.idcs().iter().enumerate() {
+            assert!(
+                idc.meets_latency_bound(d.servers_on[j], d.allocation.idc_total(j)),
+                "IDC {j} violates latency"
+            );
+        }
+    }
+
+    #[test]
+    fn mpc_moves_gradually_compared_to_optimal() {
+        let fleet = config::paper_fleet_calibrated();
+        let scenario = crate::scenario::smoothing_scenario();
+        let mut policy = MpcPolicy::paper_tuned(&scenario).unwrap();
+        let init = ctx(fleet.idcs(), 6.5, vec![43.26, 30.26, 19.06]);
+        policy.initialize(&init).unwrap();
+        let before = policy.current_input().unwrap().to_vec();
+
+        let step = ctx(fleet.idcs(), 7.0, vec![49.90, 29.47, 77.97]);
+        let d = policy.decide(&step).unwrap();
+        // Wisconsin (block 2) drains, but not all the way to the 7H
+        // optimum (10 000) in a single step.
+        let wi_before: f64 = before[2 * 5..3 * 5].iter().sum();
+        let wi_after = d.allocation.idc_total(2);
+        assert!(wi_after < wi_before, "{wi_after} !< {wi_before}");
+        assert!(
+            wi_after > 10_000.0 + 1_000.0,
+            "jumped too far in one step: {wi_after}"
+        );
+    }
+
+    #[test]
+    fn mpc_config_validation() {
+        assert!(MpcPolicy::new(MpcPolicyConfig {
+            slow_period: 0,
+            ..MpcPolicyConfig::default()
+        })
+        .is_err());
+        assert!(MpcPolicy::new(MpcPolicyConfig {
+            server_ramp_limit: 0,
+            ..MpcPolicyConfig::default()
+        })
+        .is_err());
+        assert!(MpcPolicy::new(MpcPolicyConfig {
+            predictor_order: 0,
+            ..MpcPolicyConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn budget_server_cap_matches_peak_power() {
+        let fleet = config::paper_fleet_calibrated();
+        // 5.13 MW / 285 W = 18 000 servers.
+        let cap = MpcPolicy::budget_server_cap(&fleet.idcs()[0], 5.13);
+        assert_eq!(cap, 18_000);
+        // Budget larger than the fleet: capped at M.
+        let cap = MpcPolicy::budget_server_cap(&fleet.idcs()[0], 1e9);
+        assert_eq!(cap, 20_000);
+    }
+
+    #[test]
+    fn decide_without_initialize_self_initializes() {
+        let fleet = config::paper_fleet_calibrated();
+        let scenario = crate::scenario::smoothing_scenario();
+        let mut policy = MpcPolicy::paper_tuned(&scenario).unwrap();
+        let step = ctx(fleet.idcs(), 6.0, vec![43.26, 30.26, 19.06]);
+        let d = policy.decide(&step).unwrap();
+        let total: f64 = d.allocation.idc_totals().iter().sum();
+        assert!((total - 100_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn policy_names_are_informative() {
+        let scenario = crate::scenario::smoothing_scenario();
+        assert!(OptimalPolicy::new(ReferenceKind::LpOptimal).name().contains("LP"));
+        assert!(MpcPolicy::paper_tuned(&scenario).unwrap().name().contains("MPC"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Failure injection: the simulator must reject misbehaving policies, and
+//! the MPC policy must survive hostile conditions via its fallbacks.
+
+use idc_core::policy::{
+    Decision, MpcPolicy, OptimalPolicy, Policy, ReferenceKind, StaticProportionalPolicy,
+    StepContext,
+};
+use idc_core::scenario::smoothing_scenario;
+use idc_core::simulation::Simulator;
+use idc_core::Error;
+use idc_datacenter::allocation::Allocation;
+
+/// A policy that silently drops half the workload.
+struct WorkloadLoser;
+
+impl Policy for WorkloadLoser {
+    fn name(&self) -> &str {
+        "workload-loser"
+    }
+
+    fn decide(&mut self, ctx: &StepContext<'_>) -> idc_core::Result<Decision> {
+        let mut allocation = Allocation::zeros(ctx.offered.len(), ctx.idcs.len());
+        for (i, &l) in ctx.offered.iter().enumerate() {
+            allocation.set(i, 0, l * 0.5); // half vanishes
+        }
+        Ok(Decision {
+            servers_on: vec![ctx.idcs[0].total_servers(); ctx.idcs.len()],
+            allocation,
+        })
+    }
+}
+
+/// A policy that returns the wrong number of IDCs.
+struct WrongDimensions;
+
+impl Policy for WrongDimensions {
+    fn name(&self) -> &str {
+        "wrong-dimensions"
+    }
+
+    fn decide(&mut self, ctx: &StepContext<'_>) -> idc_core::Result<Decision> {
+        Ok(Decision {
+            servers_on: vec![1], // fleet has 3 IDCs
+            allocation: Allocation::zeros(ctx.offered.len(), 1),
+        })
+    }
+}
+
+/// A policy that fails outright.
+struct Failing;
+
+impl Policy for Failing {
+    fn name(&self) -> &str {
+        "failing"
+    }
+
+    fn decide(&mut self, _ctx: &StepContext<'_>) -> idc_core::Result<Decision> {
+        Err(Error::Config("injected failure".into()))
+    }
+}
+
+#[test]
+fn simulator_rejects_lost_workload() {
+    let scenario = smoothing_scenario();
+    let err = Simulator::new()
+        .run(&scenario, &mut WorkloadLoser)
+        .unwrap_err();
+    match err {
+        Error::Config(msg) => assert!(msg.contains("lost workload"), "{msg}"),
+        other => panic!("unexpected error {other}"),
+    }
+}
+
+#[test]
+fn simulator_rejects_wrong_dimensions() {
+    let scenario = smoothing_scenario();
+    let err = Simulator::new()
+        .run(&scenario, &mut WrongDimensions)
+        .unwrap_err();
+    match err {
+        Error::Config(msg) => assert!(msg.contains("wrong dimensions"), "{msg}"),
+        other => panic!("unexpected error {other}"),
+    }
+}
+
+#[test]
+fn policy_errors_propagate() {
+    let scenario = smoothing_scenario();
+    let err = Simulator::new().run(&scenario, &mut Failing).unwrap_err();
+    assert!(matches!(err, Error::Config(msg) if msg.contains("injected failure")));
+}
+
+#[test]
+fn static_policy_serves_everything_at_higher_cost() {
+    let scenario = smoothing_scenario();
+    let sim = Simulator::new();
+    let stat = sim
+        .run(&scenario, &mut StaticProportionalPolicy::new())
+        .unwrap();
+    let opt = sim
+        .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::LpOptimal))
+        .unwrap();
+    assert!(stat.latency_ok_fraction() > 0.999);
+    // Price-blind placement costs more than the LP optimum.
+    assert!(
+        stat.total_cost() > opt.total_cost(),
+        "static {} !> lp {}",
+        stat.total_cost(),
+        opt.total_cost()
+    );
+    // And is perfectly flat (it ignores prices entirely).
+    for j in 0..3 {
+        assert_eq!(stat.power_stats(j).unwrap().mean_abs_step_mw, 0.0);
+    }
+}
+
+/// A workload surge beyond the MPC's ramped capacity exercises the
+/// emergency capacity override rather than failing.
+#[test]
+fn mpc_survives_a_workload_surge() {
+    use idc_core::scenario::{PricingSpec, Scenario};
+    use idc_market::rtp::TracePricing;
+
+    // Build a scenario whose base load is near capacity; noise pushes over.
+    let fleet = idc_core::config::paper_fleet_calibrated();
+    let pricing = PricingSpec::Trace(TracePricing::new(idc_core::config::paper_price_traces()));
+    let scenario = Scenario::new("surge", fleet, pricing, 6.9, 0.25, 1.0 / 120.0)
+        .unwrap()
+        .with_init_hour(6.5)
+        .with_workload_noise(0.10, 99);
+    let mut policy = MpcPolicy::paper_tuned(&scenario).unwrap();
+    let result = Simulator::new().run(&scenario, &mut policy).unwrap();
+    // Everything admitted was served within bounds.
+    assert!(result.latency_ok_fraction() > 0.99);
+}

@@ -1,0 +1,222 @@
+//! The workload allocation matrix `λij` (paper Sec. III-A).
+//!
+//! `λij` is the share of portal `i`'s workload forwarded to IDC `j`. The
+//! controller's input vector `U = [λij]` flattens this matrix **IDC-major**
+//! (block `j` holds `λ_{1j} … λ_{Cj}`), matching the structure of the
+//! paper's `B`, `H` and `Ψ` matrices (eq. 19, 27, 32).
+
+use serde::{Deserialize, Serialize};
+
+/// A `C × N` workload allocation (portals × IDCs), stored portal-major
+/// internally and exported IDC-major as the control vector.
+///
+/// # Example
+///
+/// ```
+/// use idc_datacenter::allocation::Allocation;
+///
+/// let mut a = Allocation::zeros(2, 3);
+/// a.set(0, 1, 100.0);
+/// a.set(1, 1, 50.0);
+/// assert_eq!(a.idc_total(1), 150.0);
+/// assert_eq!(a.portal_total(0), 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    portals: usize,
+    idcs: usize,
+    /// Row-major `portals × idcs`.
+    shares: Vec<f64>,
+}
+
+impl Allocation {
+    /// Creates an all-zero allocation for `portals × idcs`.
+    pub fn zeros(portals: usize, idcs: usize) -> Self {
+        Allocation {
+            portals,
+            idcs,
+            shares: vec![0.0; portals * idcs],
+        }
+    }
+
+    /// Builds an allocation from an IDC-major control vector
+    /// `[λ_11…λ_C1, λ_12…λ_C2, …]` (the paper's `U`).
+    ///
+    /// Returns `None` if `u.len() != portals * idcs`.
+    pub fn from_control_vector(portals: usize, idcs: usize, u: &[f64]) -> Option<Self> {
+        if u.len() != portals * idcs {
+            return None;
+        }
+        let mut a = Allocation::zeros(portals, idcs);
+        for j in 0..idcs {
+            for i in 0..portals {
+                a.set(i, j, u[j * portals + i]);
+            }
+        }
+        Some(a)
+    }
+
+    /// Number of portals `C`.
+    pub fn portals(&self) -> usize {
+        self.portals
+    }
+
+    /// Number of IDCs `N`.
+    pub fn idcs(&self) -> usize {
+        self.idcs
+    }
+
+    /// Share `λij`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn get(&self, portal: usize, idc: usize) -> f64 {
+        assert!(portal < self.portals && idc < self.idcs, "index out of range");
+        self.shares[portal * self.idcs + idc]
+    }
+
+    /// Sets share `λij`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn set(&mut self, portal: usize, idc: usize, value: f64) {
+        assert!(portal < self.portals && idc < self.idcs, "index out of range");
+        self.shares[portal * self.idcs + idc] = value;
+    }
+
+    /// Total workload received by IDC `j` (paper eq. 4): `λj = Σᵢ λij`.
+    pub fn idc_total(&self, idc: usize) -> f64 {
+        (0..self.portals).map(|i| self.get(i, idc)).sum()
+    }
+
+    /// All IDC totals `[λ1, …, λN]`.
+    pub fn idc_totals(&self) -> Vec<f64> {
+        (0..self.idcs).map(|j| self.idc_total(j)).collect()
+    }
+
+    /// Total workload portal `i` has distributed: `Σⱼ λij`.
+    pub fn portal_total(&self, portal: usize) -> f64 {
+        (0..self.idcs).map(|j| self.get(portal, j)).sum()
+    }
+
+    /// Exports the IDC-major control vector `U` (paper eq. 19 ordering).
+    pub fn to_control_vector(&self) -> Vec<f64> {
+        let mut u = Vec::with_capacity(self.portals * self.idcs);
+        for j in 0..self.idcs {
+            for i in 0..self.portals {
+                u.push(self.get(i, j));
+            }
+        }
+        u
+    }
+
+    /// `true` when every share is non-negative (paper eq. 3).
+    pub fn is_nonnegative(&self, tol: f64) -> bool {
+        self.shares.iter().all(|&s| s >= -tol)
+    }
+
+    /// `true` when each portal's shares sum to its offered workload within
+    /// `tol` (paper eq. 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offered.len() != self.portals()`.
+    pub fn conserves_workload(&self, offered: &[f64], tol: f64) -> bool {
+        assert_eq!(offered.len(), self.portals, "one workload per portal");
+        offered
+            .iter()
+            .enumerate()
+            .all(|(i, &li)| (self.portal_total(i) - li).abs() <= tol * li.max(1.0))
+    }
+
+    /// Splits each portal's workload across IDCs proportionally to the
+    /// given weights (e.g. IDC capacities). Weights must be non-negative
+    /// with a positive sum.
+    ///
+    /// Returns `None` on invalid weights or mismatched lengths.
+    pub fn proportional(offered: &[f64], weights: &[f64]) -> Option<Self> {
+        if weights.is_empty() || weights.iter().any(|&w| !(w >= 0.0)) {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut a = Allocation::zeros(offered.len(), weights.len());
+        for (i, &li) in offered.iter().enumerate() {
+            for (j, &w) in weights.iter().enumerate() {
+                a.set(i, j, li * w / total);
+            }
+        }
+        Some(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_hand_computation() {
+        let mut a = Allocation::zeros(2, 2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 3.0);
+        a.set(1, 1, 4.0);
+        assert_eq!(a.idc_total(0), 4.0);
+        assert_eq!(a.idc_total(1), 6.0);
+        assert_eq!(a.idc_totals(), vec![4.0, 6.0]);
+        assert_eq!(a.portal_total(0), 3.0);
+        assert_eq!(a.portal_total(1), 7.0);
+    }
+
+    #[test]
+    fn control_vector_roundtrip_is_idc_major() {
+        let mut a = Allocation::zeros(2, 3);
+        for i in 0..2 {
+            for j in 0..3 {
+                a.set(i, j, (10 * i + j) as f64);
+            }
+        }
+        let u = a.to_control_vector();
+        // Block j=0 first: λ00, λ10; then j=1: λ01, λ11; …
+        assert_eq!(u, vec![0.0, 10.0, 1.0, 11.0, 2.0, 12.0]);
+        let back = Allocation::from_control_vector(2, 3, &u).unwrap();
+        assert_eq!(back, a);
+        assert!(Allocation::from_control_vector(2, 3, &[1.0]).is_none());
+    }
+
+    #[test]
+    fn invariant_checks() {
+        let a = Allocation::proportional(&[10.0, 20.0], &[1.0, 1.0]).unwrap();
+        assert!(a.is_nonnegative(0.0));
+        assert!(a.conserves_workload(&[10.0, 20.0], 1e-12));
+        assert!(!a.conserves_workload(&[10.0, 21.0], 1e-12));
+        let mut b = a.clone();
+        b.set(0, 0, -1.0);
+        assert!(!b.is_nonnegative(1e-9));
+        assert!(b.is_nonnegative(2.0)); // generous tolerance passes
+    }
+
+    #[test]
+    fn proportional_respects_weights() {
+        let a = Allocation::proportional(&[90.0], &[1.0, 2.0]).unwrap();
+        assert_eq!(a.get(0, 0), 30.0);
+        assert_eq!(a.get(0, 1), 60.0);
+    }
+
+    #[test]
+    fn proportional_validates_weights() {
+        assert!(Allocation::proportional(&[1.0], &[]).is_none());
+        assert!(Allocation::proportional(&[1.0], &[-1.0, 2.0]).is_none());
+        assert!(Allocation::proportional(&[1.0], &[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn get_panics_out_of_range() {
+        Allocation::zeros(1, 1).get(1, 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! A single Internet data center (paper Sec. III-A/B/E).
+
+use serde::{Deserialize, Serialize};
+
+use crate::queueing;
+use crate::server::ServerSpec;
+
+/// Static configuration of one IDC: `Mj` homogeneous servers of a given
+/// [`ServerSpec`], subject to the latency bound `Dj`.
+///
+/// # Example
+///
+/// ```
+/// use idc_datacenter::idc::IdcConfig;
+/// use idc_datacenter::server::ServerSpec;
+///
+/// // The paper's Michigan IDC (Table II).
+/// let idc = IdcConfig::new(
+///     "Michigan",
+///     30_000,
+///     ServerSpec::paper_server(2.0).expect("valid"),
+///     0.001,
+/// ).expect("valid config");
+/// assert_eq!(idc.max_workload(), 30_000.0 * 2.0 - 1000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdcConfig {
+    name: String,
+    total_servers: u64,
+    server: ServerSpec,
+    latency_bound: f64,
+    /// Power usage effectiveness: facility power / IT power (≥ 1).
+    #[serde(default = "default_pue")]
+    pue: f64,
+}
+
+fn default_pue() -> f64 {
+    1.0
+}
+
+impl IdcConfig {
+    /// Creates an IDC configuration. Returns `None` when `total_servers ==
+    /// 0` or `latency_bound ≤ 0` / non-finite.
+    pub fn new(
+        name: impl Into<String>,
+        total_servers: u64,
+        server: ServerSpec,
+        latency_bound: f64,
+    ) -> Option<Self> {
+        if total_servers == 0 || !(latency_bound > 0.0) || !latency_bound.is_finite() {
+            return None;
+        }
+        Some(IdcConfig {
+            name: name.into(),
+            total_servers,
+            server,
+            latency_bound,
+            pue: 1.0,
+        })
+    }
+
+    /// Sets the facility's power usage effectiveness (PUE ≥ 1): cooling,
+    /// UPS and network overhead as a multiplier on server power. The paper
+    /// models server power only (its footnote 1); PUE re-introduces the
+    /// facility overhead for users who want total-facility accounting.
+    ///
+    /// Returns `None` for `pue < 1` or non-finite values.
+    pub fn with_pue(mut self, pue: f64) -> Option<Self> {
+        if !(pue >= 1.0) || !pue.is_finite() {
+            return None;
+        }
+        self.pue = pue;
+        Some(self)
+    }
+
+    /// The facility's power usage effectiveness (1.0 = servers only).
+    pub fn pue(&self) -> f64 {
+        self.pue
+    }
+
+    /// Display name (typically the region).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total installed servers `Mj`.
+    pub fn total_servers(&self) -> u64 {
+        self.total_servers
+    }
+
+    /// The homogeneous server specification.
+    pub fn server(&self) -> &ServerSpec {
+        &self.server
+    }
+
+    /// Per-server service rate `µj` (req/s).
+    pub fn service_rate(&self) -> f64 {
+        self.server.service_rate()
+    }
+
+    /// Latency bound `Dj` (seconds).
+    pub fn latency_bound(&self) -> f64 {
+        self.latency_bound
+    }
+
+    /// Workload capacity with `m` servers ON under the latency bound
+    /// (paper eq. 30): `λ̄ = µ(m − 1/(µD)) = mµ − 1/D`, floored at 0.
+    pub fn capacity_with(&self, servers_on: u64) -> f64 {
+        (servers_on.min(self.total_servers) as f64 * self.service_rate()
+            - 1.0 / self.latency_bound)
+            .max(0.0)
+    }
+
+    /// Maximum admissible workload with every server ON (the `λ̄j` of the
+    /// sleep controllability condition, Sec. IV-B).
+    pub fn max_workload(&self) -> f64 {
+        self.capacity_with(self.total_servers)
+    }
+
+    /// Servers required for workload `lambda` (paper eq. 35), clamped to
+    /// `Mj`. Returns `None` when even all servers cannot satisfy the bound.
+    pub fn required_servers(&self, lambda: f64) -> Option<u64> {
+        let needed =
+            queueing::servers_for_latency(lambda, self.service_rate(), self.latency_bound);
+        (needed <= self.total_servers).then_some(needed)
+    }
+
+    /// Total power in W with `m` servers ON processing `lambda` req/s
+    /// (paper eq. 7 scaled by the facility PUE): `P = PUE·(b₁λ + m·b₀)`.
+    ///
+    /// The workload is clamped into the physically processable range
+    /// `[0, m·µ]`.
+    pub fn power_w(&self, servers_on: u64, lambda: f64) -> f64 {
+        let m = servers_on.min(self.total_servers) as f64;
+        let l = lambda.clamp(0.0, m * self.service_rate());
+        self.pue * (self.server.b1() * l + m * self.server.b0())
+    }
+
+    /// [`Self::power_w`] in megawatts.
+    pub fn power_mw(&self, servers_on: u64, lambda: f64) -> f64 {
+        self.power_w(servers_on, lambda) / 1e6
+    }
+
+    /// Average latency with `m` servers ON at workload `lambda` (paper
+    /// eq. 14); infinite when overloaded.
+    pub fn latency(&self, servers_on: u64, lambda: f64) -> f64 {
+        queueing::busy_latency(
+            servers_on.min(self.total_servers),
+            self.service_rate(),
+            lambda,
+        )
+    }
+
+    /// `true` when (`m`, `λ`) meets the latency bound.
+    ///
+    /// Checked in workload space (eq. 30: `λ ≤ mµ − 1/D`) with a
+    /// req/s-scale tolerance, so operating points the optimizer places
+    /// exactly on the capacity face are accepted despite floating-point
+    /// slack.
+    pub fn meets_latency_bound(&self, servers_on: u64, lambda: f64) -> bool {
+        lambda <= self.capacity_with(servers_on) + 1e-6 * lambda.abs().max(1.0)
+    }
+}
+
+/// The paper's three IDCs (Table II): Michigan (30 000 × 2.0 req/s),
+/// Minnesota (40 000 × 1.25 req/s), Wisconsin (20 000 × 1.75 req/s), all
+/// with 150/285 W servers and a 1 ms latency bound.
+pub fn paper_idcs() -> Vec<IdcConfig> {
+    let mk = |name: &str, m: u64, mu: f64| {
+        IdcConfig::new(
+            name,
+            m,
+            ServerSpec::paper_server(mu).expect("paper spec is valid"),
+            0.001,
+        )
+        .expect("paper config is valid")
+    };
+    vec![
+        mk("Michigan", 30_000, 2.0),
+        mk("Minnesota", 40_000, 1.25),
+        mk("Wisconsin", 20_000, 1.75),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn michigan() -> IdcConfig {
+        paper_idcs().remove(0)
+    }
+
+    #[test]
+    fn constructor_validates() {
+        let s = ServerSpec::paper_server(2.0).unwrap();
+        assert!(IdcConfig::new("x", 0, s, 0.001).is_none());
+        assert!(IdcConfig::new("x", 10, s, 0.0).is_none());
+        assert!(IdcConfig::new("x", 10, s, f64::NAN).is_none());
+        assert!(IdcConfig::new("x", 10, s, 0.001).is_some());
+    }
+
+    #[test]
+    fn paper_fleet_matches_table_ii() {
+        let idcs = paper_idcs();
+        assert_eq!(idcs[0].total_servers(), 30_000);
+        assert_eq!(idcs[1].total_servers(), 40_000);
+        assert_eq!(idcs[2].total_servers(), 20_000);
+        assert_eq!(idcs[0].service_rate(), 2.0);
+        assert_eq!(idcs[1].service_rate(), 1.25);
+        assert_eq!(idcs[2].service_rate(), 1.75);
+        assert!(idcs.iter().all(|i| i.latency_bound() == 0.001));
+    }
+
+    #[test]
+    fn capacity_follows_eq_30() {
+        let idc = michigan();
+        // mµ − 1/D
+        assert_eq!(idc.capacity_with(10_000), 20_000.0 - 1000.0);
+        // Clamped at Mj.
+        assert_eq!(idc.capacity_with(99_999_999), 60_000.0 - 1000.0);
+        // Small m floors at zero rather than going negative.
+        assert_eq!(idc.capacity_with(100), 0.0);
+    }
+
+    #[test]
+    fn required_servers_follows_eq_35() {
+        let idc = michigan();
+        // λ/µ + 1/(µD) = 15000/2 + 500 = 8000.
+        assert_eq!(idc.required_servers(15_000.0), Some(8000));
+        // Beyond installed capacity → None.
+        assert_eq!(idc.required_servers(1e9), None);
+        // The returned deployment meets the bound.
+        let m = idc.required_servers(15_000.0).unwrap();
+        assert!(idc.meets_latency_bound(m, 15_000.0));
+        assert!(!idc.meets_latency_bound(m - 1, 15_000.0));
+    }
+
+    #[test]
+    fn power_follows_eq_7() {
+        let idc = michigan();
+        // Full load: m servers at peak power.
+        let m = 7_500u64;
+        let full = m as f64 * 2.0;
+        assert!((idc.power_mw(m, full) - 7_500.0 * 285.0 / 1e6).abs() < 1e-12);
+        // Idle: m servers at idle power.
+        assert!((idc.power_mw(m, 0.0) - 7_500.0 * 150.0 / 1e6).abs() < 1e-12);
+        // The paper's Fig. 4 numbers: 7 500 / 40 000 / 20 000 fully loaded
+        // servers draw 2.1375 / 11.4 / 5.7 MW.
+        let idcs = paper_idcs();
+        assert!((idcs[0].power_mw(7_500, 15_000.0) - 2.1375).abs() < 1e-9);
+        assert!((idcs[1].power_mw(40_000, 50_000.0) - 11.4).abs() < 1e-9);
+        assert!((idcs[2].power_mw(20_000, 35_000.0) - 5.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_clamps_workload_to_processable_range() {
+        let idc = michigan();
+        assert_eq!(idc.power_w(100, 1e12), idc.power_w(100, 100.0 * 2.0));
+        assert_eq!(idc.power_w(100, -5.0), idc.power_w(100, 0.0));
+    }
+
+    #[test]
+    fn pue_scales_power_but_not_capacity() {
+        let base = michigan();
+        let cooled = michigan().with_pue(1.5).unwrap();
+        assert_eq!(cooled.pue(), 1.5);
+        assert_eq!(base.pue(), 1.0);
+        assert!((cooled.power_w(100, 100.0) - 1.5 * base.power_w(100, 100.0)).abs() < 1e-9);
+        // Queueing-side quantities are unaffected.
+        assert_eq!(cooled.capacity_with(100), base.capacity_with(100));
+        assert_eq!(cooled.required_servers(1_000.0), base.required_servers(1_000.0));
+    }
+
+    #[test]
+    fn pue_is_validated() {
+        assert!(michigan().with_pue(0.9).is_none());
+        assert!(michigan().with_pue(f64::NAN).is_none());
+        assert!(michigan().with_pue(1.0).is_some());
+    }
+
+    #[test]
+    fn latency_accessor_matches_queueing() {
+        let idc = michigan();
+        assert_eq!(idc.latency(10_000, 19_000.0), 1.0 / 1000.0);
+        assert_eq!(idc.latency(10, 1e6), f64::INFINITY);
+    }
+}

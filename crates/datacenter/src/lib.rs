@@ -1,0 +1,43 @@
+//! Internet data center substrate for the `idc-mpc` workspace.
+//!
+//! Implements the physical models of the ICDCS 2012 paper's Sec. III:
+//!
+//! * [`server`] — the per-server power model: the curve-fit
+//!   `P(f, U) = a₃fU + a₂f + a₁U + a₀` of Horvath & Skadron \[14\]
+//!   (paper eq. 5) and its linear-in-workload reduction `P(λ) = b₁λ + b₀`
+//!   (paper eq. 6–7),
+//! * [`queueing`] — M/M/n service latency, both the paper's busy-system
+//!   approximation `D = 1/(mµ − λ)` (eq. 14) and exact Erlang-C,
+//! * [`idc`] — an IDC: `Mj` homogeneous servers, `mj` of them ON, latency
+//!   bound `Dj` (paper eq. 1, 15, 30, 35),
+//! * [`portal`] — front-end Web portals offering workload `Li` (eq. 2),
+//! * [`allocation`] — the workload split `λij` and its invariants
+//!   (conservation, non-negativity, capacity),
+//! * [`sleep`] — the slow-loop server sleep (ON/OFF) controller (eq. 35)
+//!   and its controllability condition,
+//! * [`fleet`] — the portals + IDCs system of Fig. 1 with validation,
+//! * [`power`] — power-demand accounting: volatility (the paper's "rate of
+//!   change in power demand") and daily peaks.
+//!
+//! # Example
+//!
+//! ```
+//! use idc_datacenter::fleet::IdcFleet;
+//!
+//! let fleet = IdcFleet::paper_fleet();
+//! // Table I: five portals totalling 100 000 req/s.
+//! assert_eq!(fleet.total_offered_workload(), 100_000.0);
+//! // The ON/OFF controllability condition of Sec. IV-B holds.
+//! assert!(fleet.is_sleep_controllable());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod fleet;
+pub mod idc;
+pub mod portal;
+pub mod power;
+pub mod queueing;
+pub mod server;
+pub mod sleep;

@@ -1,0 +1,103 @@
+//! Power-demand accounting: volatility and peaks.
+//!
+//! The paper defines power-demand *volatility* as "the rate of change in
+//! power demand" and the *power peak* as "the power demand at peak load
+//! during a day" (Sec. I). These are the headline metrics of Figs. 4–7.
+
+/// Summary statistics of one IDC's power-demand trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerStats {
+    /// Mean power over the trajectory (MW).
+    pub mean_mw: f64,
+    /// Peak power (MW) — the paper's "power peak".
+    pub peak_mw: f64,
+    /// Mean absolute step-to-step change (MW per step) — the paper's
+    /// demand volatility.
+    pub mean_abs_step_mw: f64,
+    /// Largest single step (MW) — the worst demand jump.
+    pub max_abs_step_mw: f64,
+    /// Energy consumed over the trajectory (MWh), given the step length.
+    pub energy_mwh: f64,
+}
+
+/// Computes [`PowerStats`] for a power trajectory sampled every
+/// `step_hours` hours.
+///
+/// Returns `None` for an empty trajectory or non-positive step.
+pub fn power_stats(power_mw: &[f64], step_hours: f64) -> Option<PowerStats> {
+    if power_mw.is_empty() || !(step_hours > 0.0) {
+        return None;
+    }
+    let n = power_mw.len() as f64;
+    let mean_mw = power_mw.iter().sum::<f64>() / n;
+    let peak_mw = power_mw.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let (mut total_step, mut max_step) = (0.0, 0.0f64);
+    for w in power_mw.windows(2) {
+        let d = (w[1] - w[0]).abs();
+        total_step += d;
+        max_step = max_step.max(d);
+    }
+    let steps = (power_mw.len() - 1).max(1) as f64;
+    Some(PowerStats {
+        mean_mw,
+        peak_mw,
+        mean_abs_step_mw: total_step / steps,
+        max_abs_step_mw: max_step,
+        energy_mwh: mean_mw * n * step_hours,
+    })
+}
+
+/// Fraction of samples (0–1) strictly above `budget_mw`.
+pub fn budget_violation_fraction(power_mw: &[f64], budget_mw: f64) -> f64 {
+    if power_mw.is_empty() {
+        return 0.0;
+    }
+    power_mw.iter().filter(|&&p| p > budget_mw).count() as f64 / power_mw.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_constant_trajectory() {
+        let s = power_stats(&[2.0, 2.0, 2.0], 0.5).unwrap();
+        assert_eq!(s.mean_mw, 2.0);
+        assert_eq!(s.peak_mw, 2.0);
+        assert_eq!(s.mean_abs_step_mw, 0.0);
+        assert_eq!(s.max_abs_step_mw, 0.0);
+        assert_eq!(s.energy_mwh, 3.0);
+    }
+
+    #[test]
+    fn stats_capture_jumps() {
+        // The paper's Wisconsin optimal trajectory in miniature: a step.
+        let s = power_stats(&[5.7, 5.7, 1.63, 1.63], 1.0).unwrap();
+        assert!((s.peak_mw - 5.7).abs() < 1e-12);
+        assert!((s.max_abs_step_mw - 4.07).abs() < 1e-9);
+        assert!((s.mean_abs_step_mw - 4.07 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_has_zero_volatility() {
+        let s = power_stats(&[3.0], 1.0).unwrap();
+        assert_eq!(s.mean_abs_step_mw, 0.0);
+        assert_eq!(s.peak_mw, 3.0);
+    }
+
+    #[test]
+    fn invalid_inputs_return_none() {
+        assert!(power_stats(&[], 1.0).is_none());
+        assert!(power_stats(&[1.0], 0.0).is_none());
+        assert!(power_stats(&[1.0], -1.0).is_none());
+    }
+
+    #[test]
+    fn violation_fraction() {
+        assert_eq!(budget_violation_fraction(&[1.0, 2.0, 3.0, 4.0], 2.5), 0.5);
+        assert_eq!(budget_violation_fraction(&[1.0], 2.0), 0.0);
+        assert_eq!(budget_violation_fraction(&[], 2.0), 0.0);
+        // Boundary: exactly at budget is not a violation.
+        assert_eq!(budget_violation_fraction(&[2.0], 2.0), 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Per-server power models (paper Sec. III-B).
+//!
+//! The paper derives its linear power model in two steps:
+//!
+//! 1. a curve-fit against CPU utilization and frequency (Horvath & Skadron
+//!    \[14\]): `P(f, U) = a₃·f·U + a₂·f + a₁·U + a₀` (eq. 5);
+//! 2. substituting `U = λ/f` yields `P(λ) = b₁λ + b₀` with
+//!    `b₀ = a₂f + a₀` and `b₁ = a₃ + a₁/f` (eq. 6).
+//!
+//! For the evaluation the paper only pins the endpoints — 150 W idle,
+//! 285 W at peak speed \[19\] — so [`ServerSpec`] is calibrated from
+//! (idle, peak, service-rate) triples.
+
+use serde::{Deserialize, Serialize};
+
+/// The four-parameter curve-fit power model `P(f, U)` of paper eq. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurveFitModel {
+    /// Coefficient of `f·U` (W per GHz per utilization unit).
+    pub a3: f64,
+    /// Coefficient of `f` (W per GHz).
+    pub a2: f64,
+    /// Coefficient of `U` (W per utilization unit).
+    pub a1: f64,
+    /// Constant term (W).
+    pub a0: f64,
+}
+
+impl CurveFitModel {
+    /// Power at frequency `f` and utilization `u ∈ [0, 1]` (paper eq. 5).
+    pub fn power(&self, f: f64, u: f64) -> f64 {
+        self.a3 * f * u + self.a2 * f + self.a1 * u + self.a0
+    }
+
+    /// Reduces to the linear-in-workload form at fixed frequency `f`
+    /// (paper eq. 6): returns `(b1, b0)` such that `P(λ) = b1·λ + b0`,
+    /// where λ is per-server workload and `U = λ/f`.
+    pub fn at_frequency(&self, f: f64) -> (f64, f64) {
+        (self.a3 + self.a1 / f, self.a2 * f + self.a0)
+    }
+}
+
+/// A homogeneous server specification, calibrated by its idle power, peak
+/// power and service rate (requests/s at peak processing speed).
+///
+/// # Example
+///
+/// ```
+/// use idc_datacenter::server::ServerSpec;
+///
+/// // The paper's server: 150 W idle, 285 W at 2 req/s [19].
+/// let s = ServerSpec::new(150.0, 285.0, 2.0).expect("valid spec");
+/// assert_eq!(s.power_at(0.0), 150.0);
+/// assert_eq!(s.power_at(2.0), 285.0);
+/// assert_eq!(s.b1(), 67.5); // (285−150)/2 W per req/s
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpec {
+    idle_power_w: f64,
+    peak_power_w: f64,
+    service_rate: f64,
+}
+
+impl ServerSpec {
+    /// Creates a spec. Returns `None` unless
+    /// `0 ≤ idle ≤ peak` and `service_rate > 0` (all finite).
+    pub fn new(idle_power_w: f64, peak_power_w: f64, service_rate: f64) -> Option<Self> {
+        let finite =
+            idle_power_w.is_finite() && peak_power_w.is_finite() && service_rate.is_finite();
+        if !finite || idle_power_w < 0.0 || peak_power_w < idle_power_w || service_rate <= 0.0 {
+            return None;
+        }
+        Some(ServerSpec {
+            idle_power_w,
+            peak_power_w,
+            service_rate,
+        })
+    }
+
+    /// The paper's evaluation server: 150 W idle, 285 W peak \[19\], at the
+    /// given per-location service rate (Table II).
+    pub fn paper_server(service_rate: f64) -> Option<Self> {
+        ServerSpec::new(150.0, 285.0, service_rate)
+    }
+
+    /// Idle power in W (`b₀`).
+    pub fn idle_power_w(&self) -> f64 {
+        self.idle_power_w
+    }
+
+    /// Power at peak processing speed in W.
+    pub fn peak_power_w(&self) -> f64 {
+        self.peak_power_w
+    }
+
+    /// Service rate µ in requests/s.
+    pub fn service_rate(&self) -> f64 {
+        self.service_rate
+    }
+
+    /// Marginal power `b₁` in W per (req/s): `(peak − idle)/µ`.
+    pub fn b1(&self) -> f64 {
+        (self.peak_power_w - self.idle_power_w) / self.service_rate
+    }
+
+    /// Constant power `b₀ = idle` in W (paper eq. 6).
+    pub fn b0(&self) -> f64 {
+        self.idle_power_w
+    }
+
+    /// Power in W when this server processes `lambda` req/s
+    /// (`P(λ) = b₁λ + b₀`, clamped at peak — a server cannot exceed µ).
+    pub fn power_at(&self, lambda: f64) -> f64 {
+        let l = lambda.clamp(0.0, self.service_rate);
+        self.b1() * l + self.b0()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validates_inputs() {
+        assert!(ServerSpec::new(-1.0, 285.0, 2.0).is_none());
+        assert!(ServerSpec::new(300.0, 285.0, 2.0).is_none());
+        assert!(ServerSpec::new(150.0, 285.0, 0.0).is_none());
+        assert!(ServerSpec::new(150.0, f64::NAN, 2.0).is_none());
+        assert!(ServerSpec::new(150.0, 285.0, 2.0).is_some());
+    }
+
+    #[test]
+    fn paper_server_endpoints() {
+        let s = ServerSpec::paper_server(1.25).unwrap();
+        assert_eq!(s.idle_power_w(), 150.0);
+        assert_eq!(s.peak_power_w(), 285.0);
+        assert_eq!(s.service_rate(), 1.25);
+        assert_eq!(s.b0(), 150.0);
+        assert_eq!(s.b1(), 135.0 / 1.25);
+    }
+
+    #[test]
+    fn power_is_linear_between_endpoints() {
+        let s = ServerSpec::paper_server(2.0).unwrap();
+        assert_eq!(s.power_at(1.0), 150.0 + 67.5);
+        // Clamping below zero and above capacity.
+        assert_eq!(s.power_at(-5.0), 150.0);
+        assert_eq!(s.power_at(99.0), 285.0);
+    }
+
+    #[test]
+    fn curve_fit_reduction_matches_eq_6() {
+        let m = CurveFitModel {
+            a3: 40.0,
+            a2: 30.0,
+            a1: 20.0,
+            a0: 100.0,
+        };
+        let f = 2.5;
+        let (b1, b0) = m.at_frequency(f);
+        assert_eq!(b0, 30.0 * 2.5 + 100.0);
+        assert_eq!(b1, 40.0 + 20.0 / 2.5);
+        // Consistency: P(f, λ/f) == b1 λ + b0.
+        for lambda in [0.0, 0.5, 1.0, 2.0] {
+            let direct = m.power(f, lambda / f);
+            assert!((direct - (b1 * lambda + b0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn curve_fit_power_increases_with_utilization() {
+        let m = CurveFitModel {
+            a3: 40.0,
+            a2: 30.0,
+            a1: 20.0,
+            a0: 100.0,
+        };
+        assert!(m.power(2.0, 0.9) > m.power(2.0, 0.1));
+    }
+}

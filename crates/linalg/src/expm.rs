@@ -1,0 +1,277 @@
+//! Matrix exponential via Padé approximation with scaling and squaring.
+//!
+//! Implements Higham's 2005 algorithm (degrees 3/5/7/9/13 with the
+//! associated θ thresholds). The ZOH discretization of the continuous-time
+//! electricity-cost model (paper eq. 23–25) is computed by exponentiating an
+//! augmented matrix; see `idc-control::discretize`.
+
+use crate::lu::Lu;
+use crate::{Error, Matrix, Result};
+
+/// Padé coefficients for degree 13 (Higham 2005, Table 10.4).
+const B13: [f64; 14] = [
+    64764752532480000.0,
+    32382376266240000.0,
+    7771770303897600.0,
+    1187353796428800.0,
+    129060195264000.0,
+    10559470521600.0,
+    670442572800.0,
+    33522128640.0,
+    1323241920.0,
+    40840800.0,
+    960960.0,
+    16380.0,
+    182.0,
+    1.0,
+];
+
+/// θ thresholds: use degree `m` when ‖A‖₁ ≤ θ_m.
+const THETA: [(usize, f64); 4] = [
+    (3, 1.495585217958292e-2),
+    (5, 2.53939833006323e-1),
+    (7, 9.504178996162932e-1),
+    (9, 2.097847961257068e0),
+];
+const THETA_13: f64 = 5.371920351148152;
+
+/// Computes the matrix exponential `e^A`.
+///
+/// # Errors
+///
+/// * [`Error::NotSquare`] if `a` is rectangular.
+/// * [`Error::Singular`] if the Padé denominator solve fails (can only
+///   happen for inputs containing non-finite values).
+///
+/// # Example
+///
+/// ```
+/// use idc_linalg::{Matrix, expm::expm};
+///
+/// # fn main() -> Result<(), idc_linalg::Error> {
+/// // exp of a diagonal matrix exponentiates the diagonal.
+/// let a = Matrix::diag(&[0.0, 1.0]);
+/// let e = expm(&a)?;
+/// assert!((e[(0, 0)] - 1.0).abs() < 1e-14);
+/// assert!((e[(1, 1)] - 1.0_f64.exp()).abs() < 1e-13);
+/// # Ok(())
+/// # }
+/// ```
+pub fn expm(a: &Matrix) -> Result<Matrix> {
+    if !a.is_square() {
+        return Err(Error::NotSquare { shape: a.shape() });
+    }
+    let norm = a.norm_1();
+    if !norm.is_finite() {
+        return Err(Error::Singular);
+    }
+
+    for &(m, theta) in &THETA {
+        if norm <= theta {
+            return pade(a, m);
+        }
+    }
+
+    // Scaling and squaring with degree 13.
+    let s = if norm > THETA_13 {
+        (norm / THETA_13).log2().ceil() as u32
+    } else {
+        0
+    };
+    let scaled = a.scale(0.5_f64.powi(s as i32));
+    let mut e = pade13(&scaled)?;
+    for _ in 0..s {
+        e = e.mul_mat(&e)?;
+    }
+    Ok(e)
+}
+
+/// Padé approximant of odd degree `m ∈ {3, 5, 7, 9}`.
+fn pade(a: &Matrix, m: usize) -> Result<Matrix> {
+    // b coefficients for the requested degree (prefixes of known tables).
+    let b: &[f64] = match m {
+        3 => &[120.0, 60.0, 12.0, 1.0],
+        5 => &[30240.0, 15120.0, 3360.0, 420.0, 30.0, 1.0],
+        7 => &[
+            17297280.0, 8648640.0, 1995840.0, 277200.0, 25200.0, 1512.0, 56.0, 1.0,
+        ],
+        9 => &[
+            17643225600.0,
+            8821612800.0,
+            2075673600.0,
+            302702400.0,
+            30270240.0,
+            2162160.0,
+            110880.0,
+            3960.0,
+            90.0,
+            1.0,
+        ],
+        _ => unreachable!("unsupported Padé degree {m}"),
+    };
+    let n = a.rows();
+    let a2 = a.mul_mat(a)?;
+    // U = A * (Σ b[2k+1] A^{2k}),  V = Σ b[2k] A^{2k}
+    let mut u_poly = Matrix::identity(n).scale(b[1]);
+    let mut v = Matrix::identity(n).scale(b[0]);
+    let mut a_pow = Matrix::identity(n); // A^{2k}
+    for k in 1..=(m / 2) {
+        a_pow = a_pow.mul_mat(&a2)?;
+        u_poly.scaled_add_assign(b[2 * k + 1], &a_pow)?;
+        v.scaled_add_assign(b[2 * k], &a_pow)?;
+    }
+    let u = a.mul_mat(&u_poly)?;
+    rational_solve(&u, &v)
+}
+
+/// Degree-13 Padé approximant with Higham's economical evaluation.
+fn pade13(a: &Matrix) -> Result<Matrix> {
+    let n = a.rows();
+    let ident = Matrix::identity(n);
+    let a2 = a.mul_mat(a)?;
+    let a4 = a2.mul_mat(&a2)?;
+    let a6 = a4.mul_mat(&a2)?;
+
+    // U = A [ A6 (b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I ]
+    let mut w1 = a6.scale(B13[13]);
+    w1.scaled_add_assign(B13[11], &a4)?;
+    w1.scaled_add_assign(B13[9], &a2)?;
+    let mut w2 = a6.scale(B13[7]);
+    w2.scaled_add_assign(B13[5], &a4)?;
+    w2.scaled_add_assign(B13[3], &a2)?;
+    w2.scaled_add_assign(B13[1], &ident)?;
+    let mut w = a6.mul_mat(&w1)?;
+    w.scaled_add_assign(1.0, &w2)?;
+    let u = a.mul_mat(&w)?;
+
+    // V = A6 (b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
+    let mut z1 = a6.scale(B13[12]);
+    z1.scaled_add_assign(B13[10], &a4)?;
+    z1.scaled_add_assign(B13[8], &a2)?;
+    let mut v = a6.mul_mat(&z1)?;
+    v.scaled_add_assign(B13[6], &a6)?;
+    v.scaled_add_assign(B13[4], &a4)?;
+    v.scaled_add_assign(B13[2], &a2)?;
+    v.scaled_add_assign(B13[0], &ident)?;
+
+    rational_solve(&u, &v)
+}
+
+/// Solves `(V − U) X = (V + U)` — the final Padé rational step.
+fn rational_solve(u: &Matrix, v: &Matrix) -> Result<Matrix> {
+    let denom = (v - u)?;
+    let numer = (v + u)?;
+    Lu::factor(&denom)?.solve_matrix(&numer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        let err = (a - b).unwrap().norm_max();
+        assert!(err < tol, "matrices differ by {err}");
+    }
+
+    #[test]
+    fn exp_of_zero_is_identity() {
+        assert_close(&expm(&Matrix::zeros(4, 4)).unwrap(), &Matrix::identity(4), 1e-15);
+    }
+
+    #[test]
+    fn exp_of_diagonal_exponentiates_entries() {
+        let a = Matrix::diag(&[-1.0, 0.5, 2.0]);
+        let e = expm(&a).unwrap();
+        for (i, &d) in [-1.0, 0.5, 2.0].iter().enumerate() {
+            assert!((e[(i, i)] - f64::exp(d)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exp_of_nilpotent_matches_truncated_series() {
+        // N = [[0,1],[0,0]] → e^N = I + N exactly.
+        let n = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap();
+        let e = expm(&n).unwrap();
+        let expected = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]).unwrap();
+        assert_close(&e, &expected, 1e-15);
+    }
+
+    #[test]
+    fn exp_of_rotation_generator_gives_rotation() {
+        // A = [[0,-t],[t,0]] → e^A = [[cos t, -sin t],[sin t, cos t]].
+        let t = 1.3;
+        let a = Matrix::from_rows(&[&[0.0, -t], &[t, 0.0]]).unwrap();
+        let e = expm(&a).unwrap();
+        let expected =
+            Matrix::from_rows(&[&[t.cos(), -t.sin()], &[t.sin(), t.cos()]]).unwrap();
+        assert_close(&e, &expected, 1e-13);
+    }
+
+    #[test]
+    fn inverse_property_holds() {
+        let a = Matrix::from_rows(&[&[0.2, 1.0, 0.0], &[-0.5, 0.1, 0.3], &[0.0, 0.2, -0.4]])
+            .unwrap();
+        let e = expm(&a).unwrap();
+        let einv = expm(&a.scale(-1.0)).unwrap();
+        assert_close(&e.mul_mat(&einv).unwrap(), &Matrix::identity(3), 1e-12);
+    }
+
+    #[test]
+    fn large_norm_triggers_scaling_and_stays_accurate() {
+        // ‖A‖ large enough to force several squarings.
+        let a = Matrix::from_rows(&[&[10.0, -3.0], &[4.0, 8.0]]).unwrap();
+        let e = expm(&a).unwrap();
+        // Check against the semigroup property e^A = (e^{A/2})².
+        let half = expm(&a.scale(0.5)).unwrap();
+        let squared = half.mul_mat(&half).unwrap();
+        let rel = (&e - &squared).unwrap().norm_max() / e.norm_max();
+        assert!(rel < 1e-11, "relative error {rel}");
+    }
+
+    #[test]
+    fn semigroup_property_across_degrees() {
+        // Check e^{A} e^{A} = e^{2A} for norms exercising small-degree paths.
+        for scale in [0.001, 0.1, 0.5, 1.5, 3.0] {
+            let a = Matrix::from_rows(&[&[0.0, 1.0], &[-1.0, -0.2]])
+                .unwrap()
+                .scale(scale);
+            let e1 = expm(&a).unwrap();
+            let e2 = expm(&a.scale(2.0)).unwrap();
+            let prod = e1.mul_mat(&e1).unwrap();
+            let rel = (&e2 - &prod).unwrap().norm_max() / e2.norm_max().max(1.0);
+            assert!(rel < 1e-11, "scale {scale}: rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(matches!(
+            expm(&Matrix::zeros(2, 3)),
+            Err(Error::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite_entries() {
+        let a = Matrix::from_rows(&[&[f64::NAN, 0.0], &[0.0, 0.0]]).unwrap();
+        assert!(expm(&a).is_err());
+    }
+
+    #[test]
+    fn paper_cost_model_structure_is_exact() {
+        // The paper's A matrix has one nonzero row (prices) and is nilpotent
+        // of index 2: A² = 0, so e^{A·Ts} = I + A·Ts exactly.
+        let prices = [43.26, 30.26, 19.06];
+        let n = prices.len() + 1;
+        let mut a = Matrix::zeros(n, n);
+        for (j, &p) in prices.iter().enumerate() {
+            a[(0, j + 1)] = p;
+        }
+        let ts = 30.0;
+        let e = expm(&a.scale(ts)).unwrap();
+        let mut expected = Matrix::identity(n);
+        expected.scaled_add_assign(ts, &a).unwrap();
+        let err = (&e - &expected).unwrap().norm_max();
+        assert!(err < 1e-9 * ts * prices[0], "err {err}");
+    }
+}

@@ -1,0 +1,792 @@
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+use crate::{Error, Result};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// `Matrix` is the workhorse of the workspace: the MPC prediction matrices
+/// `Θ` and `Ξ`, the state-space quadruple `(A, B, F, W)` and every KKT system
+/// assembled by the optimizers are instances of this type.
+///
+/// # Example
+///
+/// ```
+/// use idc_linalg::Matrix;
+///
+/// # fn main() -> Result<(), idc_linalg::Error> {
+/// let a = Matrix::identity(2);
+/// let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let c = (&a * &b)?;
+/// assert_eq!(c, b);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows × cols` matrix with every entry equal to `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a square matrix with `diag` on the main diagonal.
+    pub fn diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadLength`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(Error::BadLength {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Jagged`] if the rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(Error::Jagged);
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix { rows: r, cols: c, data })
+    }
+
+    /// Creates a matrix by evaluating `f(i, j)` for each entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Creates a single-column matrix from a vector.
+    pub fn column(v: &[f64]) -> Self {
+        Matrix {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
+    }
+
+    /// Creates a single-row matrix from a vector.
+    pub fn row_matrix(v: &[f64]) -> Self {
+        Matrix {
+            rows: 1,
+            cols: v.len(),
+            data: v.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` when the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of the underlying row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consumes the matrix, returning the row-major data vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow of row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy of column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(Error::DimensionMismatch {
+                op: "mul_vec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(v) {
+                acc += a * b;
+            }
+            out[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * v` without forming the
+    /// transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `v.len() != self.rows()`.
+    pub fn tr_mul_vec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.rows {
+            return Err(Error::DimensionMismatch {
+                op: "tr_mul_vec",
+                lhs: (self.cols, self.rows),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let vi = v[i];
+            for (o, a) in out.iter_mut().zip(row) {
+                *o += a * vi;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the inner dimensions disagree.
+    pub fn mul_mat(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(Error::DimensionMismatch {
+                op: "mul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let dest = out.row_mut(i);
+                for (d, &b) in dest.iter_mut().zip(orow) {
+                    *d += aik * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns `selfᵀ * other` without forming the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `self.rows() != other.rows()`.
+    pub fn tr_mul_mat(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(Error::DimensionMismatch {
+                op: "tr_mul",
+                lhs: (self.cols, self.rows),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let arow = self.row(k);
+            let brow = other.row(k);
+            for (i, &aki) in arow.iter().enumerate() {
+                if aki == 0.0 {
+                    continue;
+                }
+                let dest = out.row_mut(i);
+                for (d, &b) in dest.iter_mut().zip(brow) {
+                    *d += aki * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise map, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Multiplies every entry by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        self.map(|x| x * s)
+    }
+
+    /// In-place `self += s * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if shapes disagree.
+    pub fn scaled_add_assign(&mut self, s: f64, other: &Matrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(Error::DimensionMismatch {
+                op: "scaled_add",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+        Ok(())
+    }
+
+    /// Writes `block` into `self` with its upper-left corner at `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block does not fit.
+    pub fn set_block(&mut self, r0: usize, c0: usize, block: &Matrix) {
+        assert!(
+            r0 + block.rows <= self.rows && c0 + block.cols <= self.cols,
+            "block {}x{} at ({r0},{c0}) does not fit in {}x{}",
+            block.rows,
+            block.cols,
+            self.rows,
+            self.cols
+        );
+        for i in 0..block.rows {
+            for j in 0..block.cols {
+                self[(r0 + i, c0 + j)] = block[(i, j)];
+            }
+        }
+    }
+
+    /// Copy of the sub-matrix of shape `(nr, nc)` rooted at `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested block exceeds the matrix bounds.
+    pub fn block(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> Matrix {
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "block {nr}x{nc} at ({r0},{c0}) exceeds {}x{}",
+            self.rows,
+            self.cols
+        );
+        Matrix::from_fn(nr, nc, |i, j| self[(r0 + i, c0 + j)])
+    }
+
+    /// Stacks `top` above `bottom`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the column counts differ.
+    pub fn vstack(top: &Matrix, bottom: &Matrix) -> Result<Matrix> {
+        if top.cols != bottom.cols {
+            return Err(Error::DimensionMismatch {
+                op: "vstack",
+                lhs: top.shape(),
+                rhs: bottom.shape(),
+            });
+        }
+        let mut data = Vec::with_capacity(top.data.len() + bottom.data.len());
+        data.extend_from_slice(&top.data);
+        data.extend_from_slice(&bottom.data);
+        Ok(Matrix {
+            rows: top.rows + bottom.rows,
+            cols: top.cols,
+            data,
+        })
+    }
+
+    /// Places `left` and `right` side by side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the row counts differ.
+    pub fn hstack(left: &Matrix, right: &Matrix) -> Result<Matrix> {
+        if left.rows != right.rows {
+            return Err(Error::DimensionMismatch {
+                op: "hstack",
+                lhs: left.shape(),
+                rhs: right.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(left.rows, left.cols + right.cols);
+        for i in 0..left.rows {
+            out.row_mut(i)[..left.cols].copy_from_slice(left.row(i));
+            out.row_mut(i)[left.cols..].copy_from_slice(right.row(i));
+        }
+        Ok(out)
+    }
+
+    /// Swaps rows `a` and `b` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        assert!(a < self.rows && b < self.rows, "row index out of bounds");
+        if a == b {
+            return;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (first, second) = self.data.split_at_mut(hi * self.cols);
+        first[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut second[..self.cols]);
+    }
+
+    /// Sum of the diagonal entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Induced 1-norm (maximum absolute column sum); used by the Padé
+    /// exponential's scaling heuristic.
+    pub fn norm_1(&self) -> f64 {
+        (0..self.cols)
+            .map(|j| (0..self.rows).map(|i| self[(i, j)].abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Induced ∞-norm (maximum absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| self.row(i).iter().map(|x| x.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Largest absolute entry.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, x| m.max(x.abs()))
+    }
+
+    /// Numerical rank via Gaussian elimination with partial pivoting.
+    ///
+    /// Entries whose pivot magnitude falls below
+    /// `tol * max(rows, cols) * norm_max` are treated as zero. Pass
+    /// `f64::EPSILON` for a LAPACK-like default.
+    pub fn rank(&self, tol: f64) -> usize {
+        let mut m = self.clone();
+        let threshold = tol * self.rows.max(self.cols) as f64 * self.norm_max().max(1e-300);
+        let mut rank = 0;
+        let mut row = 0;
+        for col in 0..m.cols {
+            if row >= m.rows {
+                break;
+            }
+            // Find pivot.
+            let (pivot_row, pivot_val) = (row..m.rows)
+                .map(|i| (i, m[(i, col)].abs()))
+                .fold((row, 0.0), |acc, x| if x.1 > acc.1 { x } else { acc });
+            if pivot_val <= threshold {
+                continue;
+            }
+            m.swap_rows(row, pivot_row);
+            let pivot = m[(row, col)];
+            for i in (row + 1)..m.rows {
+                let factor = m[(i, col)] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..m.cols {
+                    let v = m[(row, j)];
+                    m[(i, j)] -= factor * v;
+                }
+            }
+            rank += 1;
+            row += 1;
+        }
+        rank
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(8) {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:>10.4}", self[(i, j)])?;
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Result<Matrix>;
+
+    fn add(self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(Error::DimensionMismatch {
+                op: "add",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+        Ok(out)
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Result<Matrix>;
+
+    fn sub(self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(Error::DimensionMismatch {
+                op: "sub",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+        Ok(out)
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Result<Matrix>;
+
+    fn mul(self, rhs: &Matrix) -> Result<Matrix> {
+        self.mul_mat(rhs)
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, s: f64) -> Matrix {
+        self.scale(s)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.scale(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m22(a: f64, b: f64, c: f64, d: f64) -> Matrix {
+        Matrix::from_vec(2, 2, vec![a, b, c, d]).unwrap()
+    }
+
+    #[test]
+    fn constructors_have_expected_shapes() {
+        assert_eq!(Matrix::zeros(2, 3).shape(), (2, 3));
+        assert_eq!(Matrix::identity(4).trace(), 4.0);
+        assert_eq!(Matrix::diag(&[1.0, 2.0])[(1, 1)], 2.0);
+        assert_eq!(Matrix::column(&[1.0, 2.0, 3.0]).shape(), (3, 1));
+        assert_eq!(Matrix::row_matrix(&[1.0, 2.0, 3.0]).shape(), (1, 3));
+        assert_eq!(Matrix::filled(2, 2, 7.0)[(0, 1)], 7.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(matches!(
+            Matrix::from_vec(2, 2, vec![1.0]),
+            Err(Error::BadLength {
+                expected: 4,
+                actual: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn from_rows_rejects_jagged_input() {
+        let a: &[f64] = &[1.0, 2.0];
+        let b: &[f64] = &[3.0];
+        assert!(matches!(Matrix::from_rows(&[a, b]), Err(Error::Jagged)));
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(5.0, 6.0, 7.0, 8.0);
+        let c = a.mul_mat(&b).unwrap();
+        assert_eq!(c, m22(19.0, 22.0, 43.0, 50.0));
+    }
+
+    #[test]
+    fn matmul_rejects_inner_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.mul_mat(&b).is_err());
+    }
+
+    #[test]
+    fn tr_mul_equals_explicit_transpose_product() {
+        let a = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+        let b = Matrix::from_fn(3, 4, |i, j| (i + j) as f64 * 0.5);
+        let fast = a.tr_mul_mat(&b).unwrap();
+        let slow = a.transpose().mul_mat(&b).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn tr_mul_vec_equals_explicit_transpose_product() {
+        let a = Matrix::from_fn(3, 2, |i, j| (i + 3 * j) as f64);
+        let v = [1.0, -1.0, 2.0];
+        let fast = a.tr_mul_vec(&v).unwrap();
+        let slow = a.transpose().mul_vec(&v).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn mul_vec_matches_hand_computation() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(a.mul_vec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert!(a.mul_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i * 10 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn stacking_roundtrips_through_blocks() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(5.0, 6.0, 7.0, 8.0);
+        let v = Matrix::vstack(&a, &b).unwrap();
+        assert_eq!(v.shape(), (4, 2));
+        assert_eq!(v.block(2, 0, 2, 2), b);
+        let h = Matrix::hstack(&a, &b).unwrap();
+        assert_eq!(h.shape(), (2, 4));
+        assert_eq!(h.block(0, 2, 2, 2), b);
+    }
+
+    #[test]
+    fn stacking_rejects_mismatched_shapes() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 3);
+        assert!(Matrix::vstack(&a, &b).is_err());
+        let c = Matrix::zeros(3, 2);
+        assert!(Matrix::hstack(&a, &c).is_err());
+    }
+
+    #[test]
+    fn set_block_writes_in_place() {
+        let mut big = Matrix::zeros(3, 3);
+        big.set_block(1, 1, &m22(1.0, 2.0, 3.0, 4.0));
+        assert_eq!(big[(1, 1)], 1.0);
+        assert_eq!(big[(2, 2)], 4.0);
+        assert_eq!(big[(0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn set_block_panics_when_out_of_bounds() {
+        let mut big = Matrix::zeros(2, 2);
+        big.set_block(1, 1, &m22(1.0, 2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn swap_rows_swaps() {
+        let mut a = m22(1.0, 2.0, 3.0, 4.0);
+        a.swap_rows(0, 1);
+        assert_eq!(a, m22(3.0, 4.0, 1.0, 2.0));
+        a.swap_rows(1, 1); // no-op
+        assert_eq!(a, m22(3.0, 4.0, 1.0, 2.0));
+    }
+
+    #[test]
+    fn norms_match_hand_computation() {
+        let a = m22(1.0, -2.0, -3.0, 4.0);
+        assert_eq!(a.norm_1(), 6.0); // col 1: |−2|+4 = 6
+        assert_eq!(a.norm_inf(), 7.0); // row 1: 3+4 = 7
+        assert_eq!(a.norm_max(), 4.0);
+        assert!((a.norm_fro() - 30.0_f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rank_detects_deficiency() {
+        let full = m22(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(full.rank(f64::EPSILON), 2);
+        let deficient = m22(1.0, 2.0, 2.0, 4.0);
+        assert_eq!(deficient.rank(f64::EPSILON), 1);
+        assert_eq!(Matrix::zeros(3, 3).rank(f64::EPSILON), 0);
+        let rect = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]).unwrap();
+        assert_eq!(rect.rank(f64::EPSILON), 2);
+    }
+
+    #[test]
+    fn arithmetic_operators_work() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(4.0, 3.0, 2.0, 1.0);
+        assert_eq!((&a + &b).unwrap(), Matrix::filled(2, 2, 5.0));
+        assert_eq!((&a - &a).unwrap(), Matrix::zeros(2, 2));
+        assert_eq!(&a * 2.0, m22(2.0, 4.0, 6.0, 8.0));
+        assert_eq!(-&a, m22(-1.0, -2.0, -3.0, -4.0));
+        assert!((&a + &Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn scaled_add_assign_accumulates() {
+        let mut a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = Matrix::identity(2);
+        a.scaled_add_assign(10.0, &b).unwrap();
+        assert_eq!(a, m22(11.0, 2.0, 3.0, 14.0));
+        assert!(a.scaled_add_assign(1.0, &Matrix::zeros(1, 1)).is_err());
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let s = format!("{:?}", Matrix::zeros(1, 1));
+        assert!(s.contains("Matrix 1x1"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Householder QR factorization and least-squares solves.
+//!
+//! The paper reduces the MPC optimization to "a standard constrained
+//! least-squares problem" (eq. 42); the unconstrained inner solves of the
+//! optimizer, as well as the RLS sanity checks in `idc-timeseries`, are
+//! backed by this factorization.
+
+use crate::{Error, Matrix, Result};
+
+/// A Householder QR factorization `A = Q·R` of an `m × n` matrix with
+/// `m ≥ n`.
+///
+/// # Example
+///
+/// ```
+/// use idc_linalg::{Matrix, qr::Qr};
+///
+/// // Overdetermined fit of y = 2x + 1 through three exact samples.
+/// # fn main() -> Result<(), idc_linalg::Error> {
+/// let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0]])?;
+/// let coef = Qr::factor(&a)?.solve_least_squares(&[1.0, 3.0, 5.0])?;
+/// assert!((coef[0] - 2.0).abs() < 1e-12);
+/// assert!((coef[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Householder vectors packed below the diagonal; R on/above it.
+    qr: Matrix,
+    /// Householder scalar factors.
+    tau: Vec<f64>,
+}
+
+impl Qr {
+    /// Factors an `m × n` matrix with `m ≥ n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when `m < n` (use the transpose
+    /// and a minimum-norm formulation for underdetermined systems).
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(Error::DimensionMismatch {
+                op: "qr (requires rows >= cols)",
+                lhs: (m, n),
+                rhs: (n, n),
+            });
+        }
+        let mut qr = a.clone();
+        let mut tau = vec![0.0; n];
+        for k in 0..n {
+            // Householder vector for column k.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm = f64::hypot(norm, qr[(i, k)]);
+            }
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            for i in (k + 1)..m {
+                qr[(i, k)] /= v0;
+            }
+            tau[k] = -v0 / alpha;
+            qr[(k, k)] = alpha;
+            // Apply H_k to the trailing columns.
+            for j in (k + 1)..n {
+                let mut s = qr[(k, j)];
+                for i in (k + 1)..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s *= tau[k];
+                qr[(k, j)] -= s;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= s * vik;
+                }
+            }
+        }
+        Ok(Qr { qr, tau })
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.qr.rows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.qr.cols()
+    }
+
+    /// `true` when R has a diagonal entry smaller than
+    /// `tol · max|R|` — i.e. the system is rank deficient at that tolerance.
+    pub fn is_rank_deficient(&self, tol: f64) -> bool {
+        let scale = (0..self.cols())
+            .map(|i| self.qr[(i, i)].abs())
+            .fold(0.0, f64::max);
+        (0..self.cols()).any(|i| self.qr[(i, i)].abs() <= tol * scale.max(1e-300))
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] if `b.len() != rows`.
+    /// * [`Error::Singular`] if `A` is rank deficient to working precision.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(Error::DimensionMismatch {
+                op: "qr_solve",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        if self.is_rank_deficient(f64::EPSILON * m as f64) {
+            return Err(Error::Singular);
+        }
+        // y = Qᵀ b via stored Householder reflectors.
+        let mut y = b.to_vec();
+        for k in 0..n {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut s = y[k];
+            for i in (k + 1)..m {
+                s += self.qr[(i, k)] * y[i];
+            }
+            s *= self.tau[k];
+            y[k] -= s;
+            for i in (k + 1)..m {
+                y[i] -= s * self.qr[(i, k)];
+            }
+        }
+        // Back-substitute R x = y[..n].
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.qr[(i, j)] * x[j];
+            }
+            x[i] = acc / self.qr[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+/// One-shot least squares: `min ‖A x − b‖₂`.
+///
+/// # Errors
+///
+/// Same failure modes as [`Qr::factor`] and [`Qr::solve_least_squares`].
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Qr::factor(a)?.solve_least_squares(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec_ops;
+
+    #[test]
+    fn exact_square_system_is_solved() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = least_squares(&a, &[3.0, 5.0]).unwrap();
+        let lu = crate::lu::solve(&a, &[3.0, 5.0]).unwrap();
+        assert!(vec_ops::approx_eq(&x, &lu, 1e-12));
+    }
+
+    #[test]
+    fn overdetermined_fit_minimizes_residual() {
+        // y = 3x - 2 with symmetric noise that a LS fit must average away.
+        let a = Matrix::from_rows(&[
+            &[0.0, 1.0],
+            &[1.0, 1.0],
+            &[2.0, 1.0],
+            &[3.0, 1.0],
+        ])
+        .unwrap();
+        let b = [-2.0 + 0.1, 1.0 - 0.1, 4.0 + 0.1, 7.0 - 0.1];
+        let x = least_squares(&a, &b).unwrap();
+        assert!((x[0] - 3.0).abs() < 0.05, "slope {x:?}");
+        assert!((x[1] + 2.0).abs() < 0.15, "intercept {x:?}");
+        // Normal-equations optimality: Aᵀ(Ax − b) = 0.
+        let r = vec_ops::sub(&a.mul_vec(&x).unwrap(), &b);
+        let g = a.tr_mul_vec(&r).unwrap();
+        assert!(vec_ops::norm_inf(&g) < 1e-12);
+    }
+
+    #[test]
+    fn underdetermined_shape_is_rejected() {
+        assert!(matches!(
+            Qr::factor(&Matrix::zeros(2, 3)),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rank_deficiency_is_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        assert!(qr.is_rank_deficient(1e-12));
+        assert!(matches!(
+            qr.solve_least_squares(&[1.0, 2.0, 3.0]),
+            Err(Error::Singular)
+        ));
+    }
+
+    #[test]
+    fn rhs_length_is_validated() {
+        let qr = Qr::factor(&Matrix::identity(3)).unwrap();
+        assert!(qr.solve_least_squares(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn reflector_handles_negative_leading_entry() {
+        let a = Matrix::from_rows(&[&[-5.0, 1.0], &[0.0, 2.0], &[0.0, 0.5]]).unwrap();
+        let x = least_squares(&a, &[5.0, 4.0, 1.0]).unwrap();
+        let r = vec_ops::sub(&a.mul_vec(&x).unwrap(), &[5.0, 4.0, 1.0]);
+        let g = a.tr_mul_vec(&r).unwrap();
+        assert!(vec_ops::norm_inf(&g) < 1e-12);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the dense linear-algebra kernels.
+
+use idc_linalg::{expm::expm, lu::Lu, qr, vec_ops, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: an `n × n` matrix with entries in [-1, 1] and a diagonal boost
+/// that makes it strictly diagonally dominant (hence nonsingular).
+fn dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
+        let mut m = Matrix::from_vec(n, n, data).expect("sized by construction");
+        for i in 0..n {
+            m[(i, i)] += n as f64 + 1.0;
+        }
+        m
+    })
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solve_has_small_residual((a, b) in dominant_matrix(6).prop_flat_map(|a| {
+        let n = a.rows();
+        (Just(a), vector(n))
+    })) {
+        let x = Lu::factor(&a).unwrap().solve(&b).unwrap();
+        let r = vec_ops::sub(&a.mul_vec(&x).unwrap(), &b);
+        prop_assert!(vec_ops::norm_inf(&r) < 1e-9);
+    }
+
+    #[test]
+    fn lu_det_sign_consistent_under_row_swap(a in dominant_matrix(4)) {
+        let d = Lu::factor(&a).unwrap().det();
+        let mut swapped = a.clone();
+        swapped.swap_rows(0, 1);
+        let d2 = Lu::factor(&swapped).unwrap().det();
+        prop_assert!((d + d2).abs() <= 1e-8 * d.abs().max(1.0));
+    }
+
+    #[test]
+    fn transpose_reverses_products(a in dominant_matrix(4), b in dominant_matrix(4)) {
+        // (AB)ᵀ = BᵀAᵀ
+        let lhs = a.mul_mat(&b).unwrap().transpose();
+        let rhs = b.transpose().mul_mat(&a.transpose()).unwrap();
+        prop_assert!((&lhs - &rhs).unwrap().norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_satisfies_normal_equations(
+        data in prop::collection::vec(-5.0f64..5.0, 8 * 3),
+        b in vector(8),
+    ) {
+        let mut a = Matrix::from_vec(8, 3, data).unwrap();
+        // Make the columns independent by seeding an identity block.
+        for j in 0..3 {
+            a[(j, j)] += 10.0;
+        }
+        let x = qr::least_squares(&a, &b).unwrap();
+        let r = vec_ops::sub(&a.mul_vec(&x).unwrap(), &b);
+        let g = a.tr_mul_vec(&r).unwrap();
+        prop_assert!(vec_ops::norm_inf(&g) < 1e-8);
+    }
+
+    #[test]
+    fn expm_inverse_property(data in prop::collection::vec(-0.8f64..0.8, 9)) {
+        let a = Matrix::from_vec(3, 3, data).unwrap();
+        let e = expm(&a).unwrap();
+        let einv = expm(&a.scale(-1.0)).unwrap();
+        let prod = e.mul_mat(&einv).unwrap();
+        let err = (&prod - &Matrix::identity(3)).unwrap().norm_max();
+        prop_assert!(err < 1e-9, "err = {err}");
+    }
+
+    #[test]
+    fn expm_semigroup_property(data in prop::collection::vec(-0.5f64..0.5, 9)) {
+        let a = Matrix::from_vec(3, 3, data).unwrap();
+        let e1 = expm(&a).unwrap();
+        let e2 = expm(&a.scale(2.0)).unwrap();
+        let prod = e1.mul_mat(&e1).unwrap();
+        let rel = (&e2 - &prod).unwrap().norm_max() / e2.norm_max().max(1.0);
+        prop_assert!(rel < 1e-9, "rel = {rel}");
+    }
+
+    #[test]
+    fn rank_of_outer_product_is_at_most_one(u in vector(5), v in vector(5)) {
+        let outer = Matrix::from_fn(5, 5, |i, j| u[i] * v[j]);
+        prop_assert!(outer.rank(f64::EPSILON) <= 1);
+    }
+
+    #[test]
+    fn norm_inequalities_hold(data in prop::collection::vec(-100.0f64..100.0, 16)) {
+        let a = Matrix::from_vec(4, 4, data).unwrap();
+        // ‖A‖_max ≤ ‖A‖_1, ‖A‖_∞ and ‖A‖_F ≤ sqrt(rank)·‖A‖_2 style bounds.
+        prop_assert!(a.norm_max() <= a.norm_1() + 1e-12);
+        prop_assert!(a.norm_max() <= a.norm_inf() + 1e-12);
+        prop_assert!(a.norm_fro() <= 4.0 * a.norm_max() + 1e-12);
+    }
+}

@@ -1,0 +1,196 @@
+//! Forward contracts: pricing the value of *predictable* demand.
+//!
+//! The paper's introduction argues that volatile power demand prevents IDC
+//! operators from "qualify\[ing\] for price rebates by signing up
+//! advance-contracts with the power retailer or hedg\[ing\] against
+//! uncertainty". This module makes that argument computable: a
+//! [`ForwardContract`] buys a *baseline* MW block at a discounted strike
+//! price; consumption above the baseline pays a deviation premium over
+//! spot, consumption below still pays for the contracted block
+//! (take-or-pay). Smooth demand sized near its mean wins; spiky demand
+//! pays both ways.
+
+use serde::{Deserialize, Serialize};
+
+/// A take-or-pay forward contract for a baseline power block.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForwardContract {
+    /// Contracted baseline power (MW).
+    baseline_mw: f64,
+    /// Discount on the reference spot price for the contracted block
+    /// (0–1; e.g. 0.1 = strike is 90 % of reference spot).
+    discount: f64,
+    /// Premium multiplier on spot for consumption above baseline (≥ 1).
+    deviation_multiplier: f64,
+}
+
+impl ForwardContract {
+    /// Creates a contract. Returns `None` for a negative baseline,
+    /// a discount outside `[0, 1)` or a multiplier below 1.
+    pub fn new(baseline_mw: f64, discount: f64, deviation_multiplier: f64) -> Option<Self> {
+        if !(baseline_mw >= 0.0)
+            || !(0.0..1.0).contains(&discount)
+            || !(deviation_multiplier >= 1.0)
+            || !baseline_mw.is_finite()
+            || !deviation_multiplier.is_finite()
+        {
+            return None;
+        }
+        Some(ForwardContract {
+            baseline_mw,
+            discount,
+            deviation_multiplier,
+        })
+    }
+
+    /// Contracted baseline (MW).
+    pub fn baseline_mw(&self) -> f64 {
+        self.baseline_mw
+    }
+
+    /// Strike discount fraction.
+    pub fn discount(&self) -> f64 {
+        self.discount
+    }
+
+    /// Above-baseline premium multiplier.
+    pub fn deviation_multiplier(&self) -> f64 {
+        self.deviation_multiplier
+    }
+
+    /// Cost ($) of drawing `power_mw` for `hours` at spot
+    /// `price_per_mwh`:
+    ///
+    /// * the full baseline is charged at `(1 − discount)·spot`
+    ///   (take-or-pay — unused baseline is not refunded);
+    /// * power above baseline is charged at `multiplier·spot`.
+    ///
+    /// Negative spot prices flow through unchanged (the consumer is paid),
+    /// which matches how negative LMPs settle.
+    pub fn interval_cost(&self, power_mw: f64, price_per_mwh: f64, hours: f64) -> f64 {
+        let excess = (power_mw.max(0.0) - self.baseline_mw).max(0.0);
+        (self.baseline_mw * (1.0 - self.discount) + excess * self.deviation_multiplier)
+            * price_per_mwh
+            * hours
+    }
+
+    /// Cost ($) of a whole power trajectory sampled every `step_hours`
+    /// against a matching spot-price series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series lengths differ.
+    pub fn trajectory_cost(&self, power_mw: &[f64], prices: &[f64], step_hours: f64) -> f64 {
+        assert_eq!(power_mw.len(), prices.len(), "one price per power sample");
+        power_mw
+            .iter()
+            .zip(prices)
+            .map(|(&p, &pr)| self.interval_cost(p, pr, step_hours))
+            .sum()
+    }
+
+    /// Sizes a contract at the mean of a demand trajectory — the natural
+    /// choice for an operator who can predict (because they control) their
+    /// demand. Returns `None` for an empty trajectory or invalid terms.
+    pub fn sized_at_mean(
+        power_mw: &[f64],
+        discount: f64,
+        deviation_multiplier: f64,
+    ) -> Option<Self> {
+        if power_mw.is_empty() {
+            return None;
+        }
+        let mean = power_mw.iter().sum::<f64>() / power_mw.len() as f64;
+        ForwardContract::new(mean, discount, deviation_multiplier)
+    }
+}
+
+/// Plain spot cost of a trajectory (the no-contract comparator).
+///
+/// # Panics
+///
+/// Panics if the series lengths differ.
+pub fn spot_trajectory_cost(power_mw: &[f64], prices: &[f64], step_hours: f64) -> f64 {
+    assert_eq!(power_mw.len(), prices.len(), "one price per power sample");
+    power_mw
+        .iter()
+        .zip(prices)
+        .map(|(&p, &pr)| p * pr * step_hours)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(ForwardContract::new(-1.0, 0.1, 2.0).is_none());
+        assert!(ForwardContract::new(1.0, 1.0, 2.0).is_none());
+        assert!(ForwardContract::new(1.0, -0.1, 2.0).is_none());
+        assert!(ForwardContract::new(1.0, 0.1, 0.5).is_none());
+        assert!(ForwardContract::new(1.0, 0.1, 2.0).is_some());
+    }
+
+    #[test]
+    fn exact_baseline_consumption_gets_the_full_discount() {
+        let c = ForwardContract::new(10.0, 0.2, 2.0).unwrap();
+        // 10 MW for 1 h at 50 $/MWh: 10 · 0.8 · 50 = 400.
+        assert_eq!(c.interval_cost(10.0, 50.0, 1.0), 400.0);
+        // vs spot 500 — the rebate.
+        assert!(c.interval_cost(10.0, 50.0, 1.0) < 500.0);
+    }
+
+    #[test]
+    fn take_or_pay_charges_unused_baseline() {
+        let c = ForwardContract::new(10.0, 0.2, 2.0).unwrap();
+        // Only 4 MW drawn, but the full 10 MW block is paid.
+        assert_eq!(c.interval_cost(4.0, 50.0, 1.0), 400.0);
+    }
+
+    #[test]
+    fn excess_pays_the_premium() {
+        let c = ForwardContract::new(10.0, 0.2, 2.0).unwrap();
+        // 12 MW: 400 (block) + 2 · 2 · 50 = 600.
+        assert_eq!(c.interval_cost(12.0, 50.0, 1.0), 600.0);
+    }
+
+    #[test]
+    fn smooth_demand_beats_spot_spiky_does_not() {
+        // Same mean (10 MW), same prices.
+        let smooth = vec![10.0; 8];
+        let spiky = vec![2.0, 18.0, 2.0, 18.0, 2.0, 18.0, 2.0, 18.0];
+        let prices = vec![50.0; 8];
+        let contract_smooth =
+            ForwardContract::sized_at_mean(&smooth, 0.15, 2.0).unwrap();
+        let contract_spiky = ForwardContract::sized_at_mean(&spiky, 0.15, 2.0).unwrap();
+        let spot = spot_trajectory_cost(&smooth, &prices, 1.0);
+        assert_eq!(spot, spot_trajectory_cost(&spiky, &prices, 1.0));
+
+        let smooth_cost = contract_smooth.trajectory_cost(&smooth, &prices, 1.0);
+        let spiky_cost = contract_spiky.trajectory_cost(&spiky, &prices, 1.0);
+        // The smooth consumer banks the rebate; the spiky one pays extra.
+        assert!(smooth_cost < spot, "{smooth_cost} !< {spot}");
+        assert!(spiky_cost > spot, "{spiky_cost} !> {spot}");
+    }
+
+    #[test]
+    fn sizing_at_mean_matches_hand_computation() {
+        let c = ForwardContract::sized_at_mean(&[1.0, 3.0], 0.1, 1.5).unwrap();
+        assert_eq!(c.baseline_mw(), 2.0);
+        assert!(ForwardContract::sized_at_mean(&[], 0.1, 1.5).is_none());
+    }
+
+    #[test]
+    fn negative_prices_flow_through() {
+        let c = ForwardContract::new(5.0, 0.1, 2.0).unwrap();
+        assert!(c.interval_cost(5.0, -20.0, 1.0) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one price per power sample")]
+    fn trajectory_lengths_are_validated() {
+        let c = ForwardContract::new(1.0, 0.1, 2.0).unwrap();
+        c.trajectory_cost(&[1.0], &[1.0, 2.0], 1.0);
+    }
+}

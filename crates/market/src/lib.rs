@@ -1,0 +1,47 @@
+//! Multi-region electricity market substrate for the `idc-mpc` workspace.
+//!
+//! The ICDCS 2012 paper prices IDC energy with Locational Marginal Pricing
+//! (LMP) in deregulated North-American markets (paper Sec. III-C):
+//! real-time prices vary by *region*, *hour of day* and *load*. This crate
+//! provides:
+//!
+//! * [`region::Region`] — named market regions,
+//! * [`trace::PriceTrace`] — hourly real-time price traces, including the
+//!   pinned [`trace::miso_oct3_2011`] traces for Michigan / Minnesota /
+//!   Wisconsin whose hour-6 and hour-7 values equal the paper's Table III
+//!   exactly (the rest of the day is synthesized to match Fig. 2's shape —
+//!   the real MISO archive is not available offline),
+//! * [`stochastic::BidStackModel`] — the bottom-up bid-based stochastic
+//!   price model the paper cites (Skantze et al. \[17\].): an exponential bid
+//!   stack driven by mean-reverting load/supply processes,
+//! * [`rtp`] — the [`rtp::PricingModel`] abstraction `Pr = f(region, time,
+//!   load)` (paper eq. 9), including demand-responsive pricing used for the
+//!   "vicious cycle" experiments of the introduction,
+//! * [`tariff`] — power budgets and peak-demand penalties (the constraint
+//!   that motivates peak shaving),
+//! * [`contract`] — take-or-pay forward contracts that monetize demand
+//!   predictability (the introduction's hedging/rebate argument),
+//! * [`renewable`] — per-region renewable generation profiles for the
+//!   green-energy extension (related work \[6\]).
+//!
+//! # Example
+//!
+//! ```
+//! use idc_market::trace::miso_oct3_2011;
+//!
+//! let traces = miso_oct3_2011();
+//! // Table III, 6H row.
+//! assert_eq!(traces[0].price_at_hour(6.0), 43.26); // Michigan
+//! assert_eq!(traces[1].price_at_hour(6.0), 30.26); // Minnesota
+//! assert_eq!(traces[2].price_at_hour(6.0), 19.06); // Wisconsin
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod contract;
+pub mod region;
+pub mod renewable;
+pub mod rtp;
+pub mod stochastic;
+pub mod tariff;
+pub mod trace;

@@ -1,0 +1,86 @@
+//! Market regions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a market region (index into the fleet's region list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegionId(pub usize);
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region-{}", self.0)
+    }
+}
+
+impl From<usize> for RegionId {
+    fn from(i: usize) -> Self {
+        RegionId(i)
+    }
+}
+
+/// A named electricity-market region (e.g. a MISO hub).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Region {
+    id: RegionId,
+    name: String,
+}
+
+impl Region {
+    /// Creates a region with the given id and display name.
+    pub fn new(id: impl Into<RegionId>, name: impl Into<String>) -> Self {
+        Region {
+            id: id.into(),
+            name: name.into(),
+        }
+    }
+
+    /// The region's identifier.
+    pub fn id(&self) -> RegionId {
+        self.id
+    }
+
+    /// The region's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// The three regions of the paper's evaluation (Sec. V-A).
+pub fn paper_regions() -> Vec<Region> {
+    vec![
+        Region::new(0, "Michigan"),
+        Region::new(1, "Minnesota"),
+        Region::new(2, "Wisconsin"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_accessors_and_display() {
+        let r = Region::new(2, "Wisconsin");
+        assert_eq!(r.id(), RegionId(2));
+        assert_eq!(r.name(), "Wisconsin");
+        assert_eq!(r.to_string(), "Wisconsin");
+        assert_eq!(RegionId(2).to_string(), "region-2");
+    }
+
+    #[test]
+    fn paper_regions_match_section_v() {
+        let rs = paper_regions();
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs[0].name(), "Michigan");
+        assert_eq!(rs[1].name(), "Minnesota");
+        assert_eq!(rs[2].name(), "Wisconsin");
+        assert_eq!(rs[2].id(), RegionId::from(2));
+    }
+}

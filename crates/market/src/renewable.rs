@@ -1,0 +1,154 @@
+//! Renewable ("green") generation profiles (paper Sec. II, citing Liu et
+//! al. \[6\].: can geographic load balancing "additionally encourage the use
+//! of green energy and reduce the use of brown energy"?).
+//!
+//! Each region has an hourly renewable generation profile (MW) available
+//! to the IDC behind the meter. Consumption up to the profile is *green*
+//! (zero marginal cost here); the excess is *brown* and pays the LMP. The
+//! green-aware reference optimizer in `idc-control` uses these profiles to
+//! bias load toward momentarily green regions.
+
+use serde::{Deserialize, Serialize};
+
+/// An hourly renewable-generation profile for one region (MW available).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RenewableProfile {
+    /// `hourly[h]` = renewable MW available during `[h, h+1)`.
+    hourly: Vec<f64>,
+}
+
+impl RenewableProfile {
+    /// Creates a profile from 24 hourly values. Returns `None` unless
+    /// exactly 24 finite non-negative values are supplied.
+    pub fn new(hourly: Vec<f64>) -> Option<Self> {
+        if hourly.len() != 24 || hourly.iter().any(|g| !(*g >= 0.0) || !g.is_finite()) {
+            return None;
+        }
+        Some(RenewableProfile { hourly })
+    }
+
+    /// A zero profile (no renewables).
+    pub fn none() -> Self {
+        RenewableProfile {
+            hourly: vec![0.0; 24],
+        }
+    }
+
+    /// A solar-like bell profile peaking at `peak_mw` around 13:00, zero
+    /// at night.
+    ///
+    /// Returns `None` for negative or non-finite `peak_mw`.
+    pub fn solar(peak_mw: f64) -> Option<Self> {
+        if !(peak_mw >= 0.0) || !peak_mw.is_finite() {
+            return None;
+        }
+        let hourly = (0..24)
+            .map(|h| {
+                let x = (h as f64 - 13.0) / 4.5;
+                if (6..=20).contains(&h) {
+                    peak_mw * (-x * x).exp()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Some(RenewableProfile { hourly })
+    }
+
+    /// A wind-like profile: `base_mw` with a stronger night component.
+    ///
+    /// Returns `None` for negative or non-finite `base_mw`.
+    pub fn wind(base_mw: f64) -> Option<Self> {
+        if !(base_mw >= 0.0) || !base_mw.is_finite() {
+            return None;
+        }
+        let hourly = (0..24)
+            .map(|h| {
+                let phase = (h as f64 - 3.0) * std::f64::consts::TAU / 24.0;
+                base_mw * (1.0 + 0.4 * phase.cos()).max(0.0)
+            })
+            .collect();
+        Some(RenewableProfile { hourly })
+    }
+
+    /// Renewable MW available at hour-of-day `hour` (wrapped into
+    /// `[0, 24)`).
+    pub fn available_at_hour(&self, hour: f64) -> f64 {
+        let h = hour.rem_euclid(24.0) as usize;
+        self.hourly[h.min(23)]
+    }
+
+    /// Borrow of the raw hourly values.
+    pub fn hourly(&self) -> &[f64] {
+        &self.hourly
+    }
+
+    /// Daily renewable energy (MWh).
+    pub fn daily_energy_mwh(&self) -> f64 {
+        self.hourly.iter().sum()
+    }
+}
+
+/// Splits a consumption level against an available renewable level:
+/// `(green_mw, brown_mw)`.
+pub fn green_brown_split(power_mw: f64, renewable_mw: f64) -> (f64, f64) {
+    let green = power_mw.max(0.0).min(renewable_mw.max(0.0));
+    (green, power_mw.max(0.0) - green)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(RenewableProfile::new(vec![1.0; 23]).is_none());
+        assert!(RenewableProfile::new(vec![-1.0; 24]).is_none());
+        assert!(RenewableProfile::new(vec![f64::NAN; 24]).is_none());
+        assert!(RenewableProfile::new(vec![1.0; 24]).is_some());
+        assert!(RenewableProfile::solar(-1.0).is_none());
+        assert!(RenewableProfile::wind(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn solar_peaks_at_midday_and_sleeps_at_night() {
+        let s = RenewableProfile::solar(10.0).unwrap();
+        assert!((s.available_at_hour(13.0) - 10.0).abs() < 1e-9);
+        assert_eq!(s.available_at_hour(2.0), 0.0);
+        assert!(s.available_at_hour(13.0) > s.available_at_hour(9.0));
+        assert!(s.available_at_hour(9.0) > 0.0);
+    }
+
+    #[test]
+    fn wind_is_stronger_at_night() {
+        let w = RenewableProfile::wind(5.0).unwrap();
+        assert!(w.available_at_hour(3.0) > w.available_at_hour(15.0));
+        assert!(w.hourly().iter().all(|&g| g >= 0.0));
+    }
+
+    #[test]
+    fn hour_wraps() {
+        let s = RenewableProfile::solar(10.0).unwrap();
+        assert_eq!(s.available_at_hour(37.0), s.available_at_hour(13.0));
+        assert_eq!(s.available_at_hour(-11.0), s.available_at_hour(13.0));
+    }
+
+    #[test]
+    fn split_accounts_every_megawatt() {
+        let (g, b) = green_brown_split(7.0, 4.0);
+        assert_eq!((g, b), (4.0, 3.0));
+        let (g, b) = green_brown_split(3.0, 4.0);
+        assert_eq!((g, b), (3.0, 0.0));
+        let (g, b) = green_brown_split(-1.0, 4.0);
+        assert_eq!((g, b), (0.0, 0.0));
+        let (g, b) = green_brown_split(3.0, -2.0);
+        assert_eq!((g, b), (0.0, 3.0));
+    }
+
+    #[test]
+    fn daily_energy_sums_profile() {
+        assert_eq!(RenewableProfile::none().daily_energy_mwh(), 0.0);
+        let flat = RenewableProfile::new(vec![2.0; 24]).unwrap();
+        assert_eq!(flat.daily_energy_mwh(), 48.0);
+    }
+}

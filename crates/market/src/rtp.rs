@@ -1,0 +1,162 @@
+//! Real-time pricing abstraction: `Pr_j = f(region, time, load)`
+//! (paper eq. 9).
+//!
+//! Two implementations matter for the reproduction:
+//!
+//! * [`TracePricing`] — prices come from an hourly trace and are
+//!   *independent of the data centers' own demand*; this is what the
+//!   paper's Sec. V simulations use.
+//! * [`DemandResponsivePricing`] — prices respond linearly to the IDC's own
+//!   power draw, modelling the observation (paper Sec. I, citing Zhang et
+//!   al. \[10\].) that MW-scale consumers move the wholesale price. This is
+//!   the ingredient of the demand↔price "vicious cycle" extension
+//!   experiment.
+
+use crate::trace::PriceTrace;
+
+/// A real-time price source: $/MWh as a function of region index, hour of
+/// day and the consumer's own power draw (MW).
+pub trait PricingModel {
+    /// Price for `region` at `hour` (0–24, wrapping) when the consumer
+    /// draws `own_load_mw`.
+    fn price(&self, region: usize, hour: f64, own_load_mw: f64) -> f64;
+
+    /// Number of regions priced by this model.
+    fn num_regions(&self) -> usize;
+
+    /// Convenience: the price vector `[Pr_1, …, Pr_N]` at `hour` for the
+    /// given per-region loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `own_loads_mw.len() != self.num_regions()`.
+    fn prices(&self, hour: f64, own_loads_mw: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            own_loads_mw.len(),
+            self.num_regions(),
+            "one load per region required"
+        );
+        (0..self.num_regions())
+            .map(|r| self.price(r, hour, own_loads_mw[r]))
+            .collect()
+    }
+}
+
+/// Demand-independent pricing from hourly traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracePricing {
+    traces: Vec<PriceTrace>,
+}
+
+impl TracePricing {
+    /// Wraps a set of per-region traces (region index = position).
+    pub fn new(traces: Vec<PriceTrace>) -> Self {
+        TracePricing { traces }
+    }
+
+    /// Borrow of the underlying traces.
+    pub fn traces(&self) -> &[PriceTrace] {
+        &self.traces
+    }
+}
+
+impl PricingModel for TracePricing {
+    fn price(&self, region: usize, hour: f64, _own_load_mw: f64) -> f64 {
+        self.traces[region].price_at_hour(hour)
+    }
+
+    fn num_regions(&self) -> usize {
+        self.traces.len()
+    }
+}
+
+/// Trace-based pricing with a linear demand response:
+/// `Pr = trace(hour) + γ · own_load_mw`.
+///
+/// `γ` (`$/MWh per MW`) is the *price impact* coefficient. γ = 0 recovers
+/// [`TracePricing`]; larger γ strengthens the feedback loop between the
+/// controller's allocation and the prices it observes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemandResponsivePricing {
+    base: TracePricing,
+    gamma: f64,
+}
+
+impl DemandResponsivePricing {
+    /// Creates demand-responsive pricing with impact coefficient
+    /// `gamma ≥ 0`. Returns `None` for negative or non-finite `gamma`.
+    pub fn new(base: TracePricing, gamma: f64) -> Option<Self> {
+        if !(gamma >= 0.0) || !gamma.is_finite() {
+            return None;
+        }
+        Some(DemandResponsivePricing { base, gamma })
+    }
+
+    /// The price-impact coefficient γ.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+}
+
+impl PricingModel for DemandResponsivePricing {
+    fn price(&self, region: usize, hour: f64, own_load_mw: f64) -> f64 {
+        self.base.price(region, hour, own_load_mw) + self.gamma * own_load_mw
+    }
+
+    fn num_regions(&self) -> usize {
+        self.base.num_regions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::miso_oct3_2011;
+
+    #[test]
+    fn trace_pricing_ignores_load() {
+        let p = TracePricing::new(miso_oct3_2011());
+        assert_eq!(p.num_regions(), 3);
+        assert_eq!(p.price(0, 6.0, 0.0), 43.26);
+        assert_eq!(p.price(0, 6.0, 100.0), 43.26);
+    }
+
+    #[test]
+    fn prices_vector_matches_individual_calls() {
+        let p = TracePricing::new(miso_oct3_2011());
+        let v = p.prices(7.0, &[0.0, 0.0, 0.0]);
+        assert_eq!(v, vec![49.90, 29.47, 77.97]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one load per region")]
+    fn prices_vector_validates_length() {
+        let p = TracePricing::new(miso_oct3_2011());
+        let _ = p.prices(7.0, &[0.0]);
+    }
+
+    #[test]
+    fn demand_response_raises_price_linearly() {
+        let base = TracePricing::new(miso_oct3_2011());
+        let dr = DemandResponsivePricing::new(base, 2.0).unwrap();
+        assert_eq!(dr.gamma(), 2.0);
+        assert_eq!(dr.price(1, 6.0, 0.0), 30.26);
+        assert_eq!(dr.price(1, 6.0, 5.0), 30.26 + 10.0);
+    }
+
+    #[test]
+    fn zero_gamma_recovers_trace_pricing() {
+        let base = TracePricing::new(miso_oct3_2011());
+        let dr = DemandResponsivePricing::new(base.clone(), 0.0).unwrap();
+        for h in 0..24 {
+            assert_eq!(dr.price(2, h as f64, 7.5), base.price(2, h as f64, 7.5));
+        }
+    }
+
+    #[test]
+    fn gamma_is_validated() {
+        let base = TracePricing::new(miso_oct3_2011());
+        assert!(DemandResponsivePricing::new(base.clone(), -1.0).is_none());
+        assert!(DemandResponsivePricing::new(base, f64::NAN).is_none());
+    }
+}

@@ -1,0 +1,259 @@
+//! Bottom-up bid-based stochastic price model (Skantze et al. \[17\].).
+//!
+//! The paper cites a "bottom-up bid-based stochastic price model" for
+//! dynamic pricing (eq. 9: `Pr = f(region, time, load)`). Skantze's model
+//! represents the market-clearing price as an exponential bid stack
+//! evaluated at the load/supply gap:
+//!
+//! ```text
+//! Pr(t) = e^{a + b·(L(t) − S(t))}
+//! ```
+//!
+//! where load `L` and supply `S` follow mean-reverting (Ornstein–Uhlenbeck)
+//! stochastic processes with diurnal drift. We implement both pieces.
+
+use rand::Rng;
+
+/// A mean-reverting Ornstein–Uhlenbeck process
+/// `dx = κ(θ(t) − x)dt + σ dW`, discretized with exact conditional moments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrnsteinUhlenbeck {
+    mean_reversion: f64,
+    volatility: f64,
+}
+
+impl OrnsteinUhlenbeck {
+    /// Creates a process with mean-reversion rate `κ > 0` (1/hour) and
+    /// volatility `σ ≥ 0` (per √hour). Returns `None` for invalid values.
+    pub fn new(mean_reversion: f64, volatility: f64) -> Option<Self> {
+        if !(mean_reversion > 0.0) || !(volatility >= 0.0) {
+            return None;
+        }
+        Some(OrnsteinUhlenbeck {
+            mean_reversion,
+            volatility,
+        })
+    }
+
+    /// Advances the state `x` by `dt` hours toward the (possibly
+    /// time-varying) target `theta`, using the exact OU transition:
+    /// `x' = θ + (x − θ)e^{−κ·dt} + σ√((1−e^{−2κ·dt})/(2κ)) · z`.
+    pub fn step<R: Rng + ?Sized>(&self, rng: &mut R, x: f64, theta: f64, dt: f64) -> f64 {
+        let decay = (-self.mean_reversion * dt).exp();
+        let std = self.volatility
+            * ((1.0 - decay * decay) / (2.0 * self.mean_reversion)).sqrt();
+        theta + (x - theta) * decay + std * standard_normal(rng)
+    }
+}
+
+/// Box–Muller normal variate (local copy to avoid a cross-crate dependency
+/// for one function).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    use rand::RngExt as _;
+    let mut u1: f64 = rng.random();
+    while u1 <= f64::MIN_POSITIVE {
+        u1 = rng.random();
+    }
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The exponential bid-stack price model: `Pr = exp(a + b·(load − supply))`
+/// with OU-driven load and supply state.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use idc_market::stochastic::BidStackModel;
+///
+/// let mut model = BidStackModel::paper_like(0);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let prices = model.simulate_day(&mut rng, 1.0);
+/// assert_eq!(prices.len(), 24);
+/// assert!(prices.iter().all(|&p| p > 0.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BidStackModel {
+    /// Bid-stack intercept `a` (log-$/MWh at balanced load).
+    intercept: f64,
+    /// Bid-stack slope `b` (log-$/MWh per normalized MW of imbalance).
+    slope: f64,
+    load_process: OrnsteinUhlenbeck,
+    supply_process: OrnsteinUhlenbeck,
+    load: f64,
+    supply: f64,
+    /// Diurnal load target: mean + swing·cos(2π(h − peak)/24).
+    load_mean: f64,
+    load_swing: f64,
+    load_peak_hour: f64,
+    supply_mean: f64,
+}
+
+impl BidStackModel {
+    /// Creates a model; see field docs for parameter meanings. Load/supply
+    /// are expressed in normalized units (1.0 ≈ regional average).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        intercept: f64,
+        slope: f64,
+        load_process: OrnsteinUhlenbeck,
+        supply_process: OrnsteinUhlenbeck,
+        load_mean: f64,
+        load_swing: f64,
+        load_peak_hour: f64,
+        supply_mean: f64,
+    ) -> Self {
+        BidStackModel {
+            intercept,
+            slope,
+            load_process,
+            supply_process,
+            load: load_mean,
+            supply: supply_mean,
+            load_mean,
+            load_swing,
+            load_peak_hour,
+            supply_mean,
+        }
+    }
+
+    /// A parameterization producing prices in the 20–90 $/MWh band of the
+    /// paper's Fig. 2, with region-dependent volatility (region 2 ≈
+    /// Wisconsin is the spikiest).
+    pub fn paper_like(region: usize) -> Self {
+        let (vol_l, vol_s, swing) = match region {
+            0 => (0.06, 0.04, 0.35), // Michigan: pronounced diurnal ramp
+            1 => (0.04, 0.03, 0.18), // Minnesota: flat
+            _ => (0.14, 0.10, 0.25), // Wisconsin: volatile
+        };
+        BidStackModel::new(
+            3.6, // e^3.6 ≈ 36.6 $/MWh at balance
+            2.2,
+            OrnsteinUhlenbeck::new(0.8, vol_l).expect("valid parameters"),
+            OrnsteinUhlenbeck::new(0.5, vol_s).expect("valid parameters"),
+            1.0,
+            swing,
+            15.0,
+            1.0,
+        )
+    }
+
+    /// Current market-clearing price given an *extra* demand (normalized
+    /// units) injected by the data centers — this is the coupling that
+    /// creates the paper's demand↔price "vicious cycle".
+    pub fn price_with_extra_demand(&self, extra_demand: f64) -> f64 {
+        (self.intercept + self.slope * (self.load + extra_demand - self.supply)).exp()
+    }
+
+    /// Current price with no external demand injection.
+    pub fn price(&self) -> f64 {
+        self.price_with_extra_demand(0.0)
+    }
+
+    /// Advances the hidden load/supply state by `dt` hours at hour-of-day
+    /// `hour` and returns the new price.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, hour: f64, dt: f64) -> f64 {
+        let phase = (hour - self.load_peak_hour) * std::f64::consts::TAU / 24.0;
+        let load_target = self.load_mean + self.load_swing * phase.cos();
+        self.load = self.load_process.step(rng, self.load, load_target, dt);
+        self.supply = self.supply_process.step(rng, self.supply, self.supply_mean, dt);
+        self.price()
+    }
+
+    /// Simulates a full day, returning one price per `dt`-hour interval
+    /// over 24 hours.
+    pub fn simulate_day<R: Rng + ?Sized>(&mut self, rng: &mut R, dt: f64) -> Vec<f64> {
+        let steps = (24.0 / dt).round() as usize;
+        (0..steps)
+            .map(|k| self.step(rng, k as f64 * dt, dt))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn ou_constructor_validates() {
+        assert!(OrnsteinUhlenbeck::new(0.0, 1.0).is_none());
+        assert!(OrnsteinUhlenbeck::new(-1.0, 1.0).is_none());
+        assert!(OrnsteinUhlenbeck::new(1.0, -0.1).is_none());
+        assert!(OrnsteinUhlenbeck::new(1.0, 0.0).is_some());
+    }
+
+    #[test]
+    fn noiseless_ou_decays_to_target() {
+        let ou = OrnsteinUhlenbeck::new(2.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut x = 10.0;
+        for _ in 0..50 {
+            x = ou.step(&mut rng, x, 1.0, 0.5);
+        }
+        assert!((x - 1.0).abs() < 1e-9, "x = {x}");
+    }
+
+    #[test]
+    fn ou_stationary_spread_matches_theory() {
+        // Var_stationary = σ²/(2κ).
+        let ou = OrnsteinUhlenbeck::new(1.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut x = 0.0;
+        let mut samples = Vec::new();
+        for _ in 0..20_000 {
+            x = ou.step(&mut rng, x, 0.0, 0.25);
+            samples.push(x);
+        }
+        let var = samples.iter().map(|v| v * v).sum::<f64>() / samples.len() as f64;
+        let theory = 0.25 / 2.0;
+        assert!((var - theory).abs() < 0.02, "var {var} vs {theory}");
+    }
+
+    #[test]
+    fn prices_are_positive_and_in_realistic_band() {
+        for region in 0..3 {
+            let mut m = BidStackModel::paper_like(region);
+            let mut rng = StdRng::seed_from_u64(region as u64);
+            let prices = m.simulate_day(&mut rng, 1.0);
+            assert!(prices.iter().all(|&p| p > 0.0));
+            let mean = prices.iter().sum::<f64>() / prices.len() as f64;
+            assert!(mean > 15.0 && mean < 120.0, "region {region} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn extra_demand_raises_price() {
+        let m = BidStackModel::paper_like(0);
+        assert!(m.price_with_extra_demand(0.2) > m.price());
+        assert!(m.price_with_extra_demand(-0.2) < m.price());
+    }
+
+    #[test]
+    fn wisconsin_parameterization_is_most_volatile() {
+        let vol = |region: usize| {
+            let mut m = BidStackModel::paper_like(region);
+            let mut rng = StdRng::seed_from_u64(77);
+            let p = m.simulate_day(&mut rng, 0.25);
+            let mean = p.iter().sum::<f64>() / p.len() as f64;
+            (p.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / p.len() as f64).sqrt()
+        };
+        assert!(vol(2) > vol(1), "wi {} mn {}", vol(2), vol(1));
+    }
+
+    #[test]
+    fn diurnal_drift_peaks_in_afternoon() {
+        let mut m = BidStackModel::paper_like(0);
+        let mut rng = StdRng::seed_from_u64(9);
+        // Average many noiseless-ish days by heavy time-averaging.
+        let mut afternoon = 0.0;
+        let mut night = 0.0;
+        for _ in 0..50 {
+            let day = m.simulate_day(&mut rng, 1.0);
+            afternoon += day[14] + day[15] + day[16];
+            night += day[2] + day[3] + day[4];
+        }
+        assert!(afternoon > night, "afternoon {afternoon} vs night {night}");
+    }
+}

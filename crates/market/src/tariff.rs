@@ -1,0 +1,214 @@
+//! Power budgets and peak-demand penalties.
+//!
+//! The paper's motivation for peak shaving (Sec. I): electricity suppliers
+//! impose a peak power limit and "penalize those IDCs heavily if this limit
+//! is exceeded" \[10\], and sustained high peaks force subscription to a
+//! larger delivery capacity. [`PowerBudget`] carries the per-IDC budgets
+//! used as the MPC reference clamp (paper Sec. IV-D); [`PeakTariff`] prices
+//! violations so experiments can report the monetary effect.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-IDC power budgets in MW (the `P_rb` of paper Sec. IV-D).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerBudget {
+    budgets_mw: Vec<f64>,
+}
+
+impl PowerBudget {
+    /// Creates budgets; returns `None` if any budget is negative or
+    /// non-finite.
+    pub fn new(budgets_mw: Vec<f64>) -> Option<Self> {
+        if budgets_mw.iter().any(|b| !(*b >= 0.0) || !b.is_finite()) {
+            return None;
+        }
+        Some(PowerBudget { budgets_mw })
+    }
+
+    /// Unlimited budgets for `n` IDCs (no peak shaving).
+    pub fn unlimited(n: usize) -> Self {
+        PowerBudget {
+            budgets_mw: vec![f64::MAX; n],
+        }
+    }
+
+    /// The paper's Sec. V-C budgets: 5.13, 10.26 and 4.275 MW for Michigan,
+    /// Minnesota and Wisconsin.
+    pub fn paper_section_v_c() -> Self {
+        PowerBudget {
+            budgets_mw: vec![5.13, 10.26, 4.275],
+        }
+    }
+
+    /// Number of IDCs covered.
+    pub fn len(&self) -> usize {
+        self.budgets_mw.len()
+    }
+
+    /// `true` when no IDC is covered.
+    pub fn is_empty(&self) -> bool {
+        self.budgets_mw.is_empty()
+    }
+
+    /// Budget of IDC `j` in MW.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn budget_mw(&self, j: usize) -> f64 {
+        self.budgets_mw[j]
+    }
+
+    /// Borrow of all budgets.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.budgets_mw
+    }
+
+    /// Clamps a per-IDC power vector to the budgets (the paper's reference
+    /// clamp: `P_r = min(P_ro, P_rb)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power_mw.len() != self.len()`.
+    pub fn clamp(&self, power_mw: &[f64]) -> Vec<f64> {
+        assert_eq!(power_mw.len(), self.len(), "one power value per IDC");
+        power_mw
+            .iter()
+            .zip(&self.budgets_mw)
+            .map(|(&p, &b)| p.min(b))
+            .collect()
+    }
+
+    /// Per-IDC violation magnitudes `max(0, P − budget)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power_mw.len() != self.len()`.
+    pub fn violations(&self, power_mw: &[f64]) -> Vec<f64> {
+        assert_eq!(power_mw.len(), self.len(), "one power value per IDC");
+        power_mw
+            .iter()
+            .zip(&self.budgets_mw)
+            .map(|(&p, &b)| (p - b).max(0.0))
+            .collect()
+    }
+}
+
+/// A peak-demand tariff: energy above the budget is charged at a penalty
+/// multiple of the spot price.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeakTariff {
+    /// Multiplier applied to the spot price for energy drawn above budget
+    /// (≥ 1).
+    penalty_multiplier: f64,
+}
+
+impl PeakTariff {
+    /// Creates a tariff; returns `None` if the multiplier is below 1 or
+    /// non-finite.
+    pub fn new(penalty_multiplier: f64) -> Option<Self> {
+        if !(penalty_multiplier >= 1.0) || !penalty_multiplier.is_finite() {
+            return None;
+        }
+        Some(PeakTariff { penalty_multiplier })
+    }
+
+    /// The penalty multiplier.
+    pub fn penalty_multiplier(&self) -> f64 {
+        self.penalty_multiplier
+    }
+
+    /// Cost in $ of drawing `power_mw` for `hours` at spot price
+    /// `price_per_mwh`, against a `budget_mw` cap: energy below the cap at
+    /// spot, energy above at spot × multiplier.
+    pub fn interval_cost(
+        &self,
+        power_mw: f64,
+        budget_mw: f64,
+        price_per_mwh: f64,
+        hours: f64,
+    ) -> f64 {
+        let within = power_mw.min(budget_mw).max(0.0);
+        let excess = (power_mw - budget_mw).max(0.0);
+        (within + excess * self.penalty_multiplier) * price_per_mwh * hours
+    }
+}
+
+/// Plain spot energy cost in $: `price ($/MWh) × power (MW) × hours`.
+pub fn energy_cost(price_per_mwh: f64, power_mw: f64, hours: f64) -> f64 {
+    price_per_mwh * power_mw * hours
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_constructor_validates() {
+        assert!(PowerBudget::new(vec![1.0, -2.0]).is_none());
+        assert!(PowerBudget::new(vec![f64::NAN]).is_none());
+        assert!(PowerBudget::new(vec![1.0, 2.0]).is_some());
+    }
+
+    #[test]
+    fn paper_budgets_match_section_v_c() {
+        let b = PowerBudget::paper_section_v_c();
+        assert_eq!(b.as_slice(), &[5.13, 10.26, 4.275]);
+        assert_eq!(b.budget_mw(2), 4.275);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn clamp_and_violations() {
+        let b = PowerBudget::paper_section_v_c();
+        // The paper's 7H optimal powers: 5.7, 11.4, 1.628775 MW.
+        let p = [5.7, 11.4, 1.628775];
+        assert_eq!(b.clamp(&p), vec![5.13, 10.26, 1.628775]);
+        let v = b.violations(&p);
+        assert!((v[0] - 0.57).abs() < 1e-12);
+        assert!((v[1] - 1.14).abs() < 1e-12);
+        assert_eq!(v[2], 0.0);
+    }
+
+    #[test]
+    fn unlimited_budget_never_clamps() {
+        let b = PowerBudget::unlimited(2);
+        assert_eq!(b.clamp(&[1e9, 2e9]), vec![1e9, 2e9]);
+        assert_eq!(b.violations(&[1e9, 2e9]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn tariff_charges_penalty_only_above_budget() {
+        let t = PeakTariff::new(3.0).unwrap();
+        assert_eq!(t.penalty_multiplier(), 3.0);
+        // Under budget: plain energy cost.
+        assert_eq!(t.interval_cost(4.0, 5.0, 10.0, 1.0), 40.0);
+        // 2 MW over budget: 5 at spot + 2 at 3× spot.
+        assert_eq!(t.interval_cost(7.0, 5.0, 10.0, 1.0), 50.0 + 60.0);
+        // Fractional hours scale linearly.
+        assert_eq!(t.interval_cost(7.0, 5.0, 10.0, 0.5), 55.0);
+    }
+
+    #[test]
+    fn tariff_validates_multiplier() {
+        assert!(PeakTariff::new(0.5).is_none());
+        assert!(PeakTariff::new(f64::INFINITY).is_none());
+        assert!(PeakTariff::new(1.0).is_some());
+    }
+
+    #[test]
+    fn plain_energy_cost() {
+        assert_eq!(energy_cost(30.0, 2.0, 1.0), 60.0);
+        assert_eq!(energy_cost(30.0, 2.0, 0.0), 0.0);
+        // Negative prices (Fig. 2's Wisconsin dip) yield negative cost —
+        // the consumer is paid to draw power.
+        assert!(energy_cost(-20.0, 2.0, 1.0) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one power value per IDC")]
+    fn clamp_validates_length() {
+        PowerBudget::paper_section_v_c().clamp(&[1.0]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the market substrate.
+
+use idc_market::region::Region;
+use idc_market::rtp::{DemandResponsivePricing, PricingModel, TracePricing};
+use idc_market::stochastic::{BidStackModel, OrnsteinUhlenbeck};
+use idc_market::tariff::{PeakTariff, PowerBudget};
+use idc_market::trace::PriceTrace;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hour lookup always lands on the step value of the containing hour
+    /// and wraps cleanly.
+    #[test]
+    fn price_trace_lookup_is_a_step_function(
+        hourly in prop::collection::vec(-50.0f64..150.0, 24),
+        hour in -48.0f64..72.0,
+    ) {
+        let trace = PriceTrace::new(Region::new(0, "t"), hourly.clone()).unwrap();
+        let h = hour.rem_euclid(24.0) as usize;
+        prop_assert_eq!(trace.price_at_hour(hour), hourly[h.min(23)]);
+        prop_assert_eq!(trace.price_at_hour(hour), trace.price_at_hour(hour + 24.0));
+    }
+
+    /// Budget clamp is idempotent, dominated by both arguments, and
+    /// violations vanish exactly after clamping.
+    #[test]
+    fn budget_clamp_properties(
+        budgets in prop::collection::vec(0.0f64..20.0, 1..5),
+        power_scale in prop::collection::vec(0.0f64..3.0, 1..5),
+    ) {
+        let n = budgets.len().min(power_scale.len());
+        let budgets = PowerBudget::new(budgets[..n].to_vec()).unwrap();
+        let power: Vec<f64> = (0..n).map(|j| budgets.budget_mw(j) * power_scale[j]).collect();
+        let clamped = budgets.clamp(&power);
+        for j in 0..n {
+            prop_assert!(clamped[j] <= budgets.budget_mw(j));
+            prop_assert!(clamped[j] <= power[j]);
+        }
+        prop_assert_eq!(budgets.clamp(&clamped.clone()), clamped.clone());
+        prop_assert!(budgets.violations(&clamped).iter().all(|&v| v == 0.0));
+    }
+
+    /// Peak-tariff cost is continuous at the budget boundary and weakly
+    /// increasing in the drawn power.
+    #[test]
+    fn tariff_cost_is_monotone_and_continuous(
+        budget in 1.0f64..20.0,
+        price in 1.0f64..100.0,
+        mult in 1.0f64..5.0,
+    ) {
+        let t = PeakTariff::new(mult).unwrap();
+        let below = t.interval_cost(budget - 1e-9, budget, price, 1.0);
+        let at = t.interval_cost(budget, budget, price, 1.0);
+        prop_assert!((below - at).abs() < 1e-5);
+        let mut prev = 0.0;
+        for k in 0..20 {
+            let p = budget * 0.15 * k as f64;
+            let c = t.interval_cost(p, budget, price, 1.0);
+            prop_assert!(c >= prev - 1e-9);
+            prev = c;
+        }
+    }
+
+    /// Demand-responsive prices are affine in the consumer's own load with
+    /// slope γ.
+    #[test]
+    fn demand_response_is_affine(gamma in 0.0f64..10.0, load in 0.0f64..50.0) {
+        let base = TracePricing::new(idc_market::trace::miso_oct3_2011());
+        let dr = DemandResponsivePricing::new(base.clone(), gamma).unwrap();
+        for region in 0..3 {
+            let p0 = dr.price(region, 12.0, 0.0);
+            let p = dr.price(region, 12.0, load);
+            prop_assert!((p - p0 - gamma * load).abs() < 1e-9);
+            prop_assert_eq!(p0, base.price(region, 12.0, 0.0));
+        }
+    }
+
+    /// OU paths with zero volatility decay monotonically toward the target.
+    #[test]
+    fn ou_noiseless_decay_is_monotone(
+        kappa in 0.1f64..5.0,
+        x0 in -10.0f64..10.0,
+        theta in -5.0f64..5.0,
+    ) {
+        let ou = OrnsteinUhlenbeck::new(kappa, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut x = x0;
+        let mut dist = (x - theta).abs();
+        for _ in 0..20 {
+            x = ou.step(&mut rng, x, theta, 0.3);
+            let d = (x - theta).abs();
+            prop_assert!(d <= dist + 1e-12);
+            dist = d;
+        }
+    }
+
+    /// Bid-stack prices are positive and increase with injected demand.
+    #[test]
+    fn bid_stack_prices_respond_to_demand(region in 0usize..3, extra in 0.0f64..1.0) {
+        let m = BidStackModel::paper_like(region);
+        prop_assert!(m.price() > 0.0);
+        prop_assert!(m.price_with_extra_demand(extra) >= m.price());
+    }
+}

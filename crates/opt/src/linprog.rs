@@ -1,0 +1,567 @@
+//! Dense two-phase primal simplex for linear programs.
+//!
+//! Solves problems of the form
+//!
+//! ```text
+//! minimize    cᵀx
+//! subject to  A_eq x  = b_eq
+//!             A_ub x ≤ b_ub
+//!             x ≥ 0
+//! ```
+//!
+//! which is exactly the shape of the paper's control-reference problem
+//! (eq. 46): workload shares `λij ≥ 0`, one conservation equality per
+//! front-end portal (eq. 2) and one latency/capacity inequality per IDC
+//! (eq. 30). Bland's rule is used for both the entering and leaving
+//! variable, which guarantees termination even on degenerate vertices
+//! (degeneracy is common here — optima sit on capacity faces).
+
+use crate::{Error, Result};
+
+/// Numerical tolerance for pivoting and feasibility decisions.
+const TOL: f64 = 1e-9;
+
+/// A linear program under construction. See the [module docs](self) for the
+/// canonical form.
+///
+/// # Example
+///
+/// ```
+/// use idc_opt::linprog::LinearProgram;
+///
+/// # fn main() -> Result<(), idc_opt::Error> {
+/// // min -x0 - 2 x1  s.t.  x0 + x1 ≤ 4,  x1 ≤ 3,  x ≥ 0
+/// let sol = LinearProgram::minimize(vec![-1.0, -2.0])
+///     .inequality(vec![1.0, 1.0], 4.0)
+///     .inequality(vec![0.0, 1.0], 3.0)
+///     .solve()?;
+/// assert!((sol.objective() + 7.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    c: Vec<f64>,
+    a_eq: Vec<Vec<f64>>,
+    b_eq: Vec<f64>,
+    a_ub: Vec<Vec<f64>>,
+    b_ub: Vec<f64>,
+}
+
+impl LinearProgram {
+    /// Starts a minimization of `cᵀx` over `x ≥ 0`.
+    pub fn minimize(c: Vec<f64>) -> Self {
+        LinearProgram {
+            c,
+            a_eq: Vec::new(),
+            b_eq: Vec::new(),
+            a_ub: Vec::new(),
+            b_ub: Vec::new(),
+        }
+    }
+
+    /// Adds an equality constraint `rowᵀx = rhs`.
+    pub fn equality(mut self, row: Vec<f64>, rhs: f64) -> Self {
+        self.a_eq.push(row);
+        self.b_eq.push(rhs);
+        self
+    }
+
+    /// Adds an inequality constraint `rowᵀx ≤ rhs`.
+    pub fn inequality(mut self, row: Vec<f64>, rhs: f64) -> Self {
+        self.a_ub.push(row);
+        self.b_ub.push(rhs);
+        self
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.c.len()
+    }
+
+    /// Solves the program with the two-phase simplex method.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] if a constraint row length differs
+    ///   from the number of variables.
+    /// * [`Error::Infeasible`] if no point satisfies the constraints.
+    /// * [`Error::Unbounded`] if the objective decreases without bound.
+    /// * [`Error::IterationLimit`] on (pathological) failure to terminate.
+    pub fn solve(&self) -> Result<LpSolution> {
+        let n = self.c.len();
+        for (i, row) in self.a_eq.iter().chain(&self.a_ub).enumerate() {
+            if row.len() != n {
+                return Err(Error::DimensionMismatch {
+                    what: format!("constraint {i} has {} coefficients, expected {n}", row.len()),
+                });
+            }
+        }
+        Tableau::new(self).solve()
+    }
+}
+
+/// A solved linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    x: Vec<f64>,
+    objective: f64,
+    duals_eq: Vec<f64>,
+    duals_ub: Vec<f64>,
+}
+
+impl LpSolution {
+    /// The optimal point.
+    pub fn x(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// The optimal objective value `cᵀx`.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Shadow prices of the equality constraints, in the order they were
+    /// added: `duals_eq()[i] ≈ ∂objective/∂b_eq[i]`.
+    pub fn duals_eq(&self) -> &[f64] {
+        &self.duals_eq
+    }
+
+    /// Shadow prices of the inequality constraints, in the order they were
+    /// added: `duals_ub()[i] ≈ ∂objective/∂b_ub[i]` (≤ 0 for a
+    /// minimization — relaxing a `≤` bound can only help).
+    pub fn duals_ub(&self) -> &[f64] {
+        &self.duals_ub
+    }
+
+    /// Consumes the solution, returning the optimal point.
+    pub fn into_x(self) -> Vec<f64> {
+        self.x
+    }
+}
+
+/// Dense simplex tableau.
+///
+/// Columns: `n` structural variables, `m_ub` slacks, `m` artificials, RHS.
+/// Every row receives an artificial so the phase-1 basis is trivially the
+/// artificial block.
+struct Tableau {
+    /// `(m + 1) × (total + 1)` matrix; last row is the reduced-cost row,
+    /// last column the RHS.
+    t: Vec<Vec<f64>>,
+    /// Index of the basic variable of each constraint row.
+    basis: Vec<usize>,
+    n: usize,
+    n_slack: usize,
+    m: usize,
+    /// Number of equality rows (they precede the inequality rows).
+    m_eq: usize,
+    /// Rows whose sign was flipped to normalize the RHS (flips the dual).
+    negated: Vec<bool>,
+    c: Vec<f64>,
+}
+
+impl Tableau {
+    fn new(lp: &LinearProgram) -> Self {
+        let n = lp.c.len();
+        let m_eq = lp.a_eq.len();
+        let m_ub = lp.a_ub.len();
+        let m = m_eq + m_ub;
+        let total = n + m_ub + m; // structural + slack + artificial
+        let mut t = vec![vec![0.0; total + 1]; m + 1];
+
+        // Equality rows first, then inequality rows with slacks.
+        for (i, (row, &rhs)) in lp.a_eq.iter().zip(&lp.b_eq).enumerate() {
+            t[i][..n].copy_from_slice(row);
+            t[i][total] = rhs;
+        }
+        for (k, (row, &rhs)) in lp.a_ub.iter().zip(&lp.b_ub).enumerate() {
+            let i = m_eq + k;
+            t[i][..n].copy_from_slice(row);
+            t[i][n + k] = 1.0;
+            t[i][total] = rhs;
+        }
+        // Normalize RHS signs, then install artificials as the basis.
+        let mut negated = vec![false; m];
+        for i in 0..m {
+            if t[i][total] < 0.0 {
+                for v in t[i].iter_mut() {
+                    *v = -*v;
+                }
+                negated[i] = true;
+            }
+            t[i][n + m_ub + i] = 1.0;
+        }
+        let basis: Vec<usize> = (0..m).map(|i| n + m_ub + i).collect();
+
+        Tableau {
+            t,
+            basis,
+            n,
+            n_slack: m_ub,
+            m,
+            m_eq,
+            negated,
+            c: lp.c.clone(),
+        }
+    }
+
+    fn total_cols(&self) -> usize {
+        self.n + self.n_slack + self.m
+    }
+
+    fn solve(mut self) -> Result<LpSolution> {
+        let total = self.total_cols();
+        let obj_row = self.m;
+
+        // ---- Phase 1: minimize the sum of artificials. ----
+        // Reduced costs: 1 on artificials, 0 elsewhere, then eliminate the
+        // basic (artificial) columns by subtracting each constraint row.
+        for j in 0..=total {
+            self.t[obj_row][j] = 0.0;
+        }
+        for a in 0..self.m {
+            self.t[obj_row][self.n + self.n_slack + a] = 1.0;
+        }
+        for i in 0..self.m {
+            let row = self.t[i].clone();
+            for j in 0..=total {
+                self.t[obj_row][j] -= row[j];
+            }
+        }
+        self.run_simplex(total)?;
+        let phase1_obj = -self.t[obj_row][total];
+        if phase1_obj > 1e-7 {
+            return Err(Error::Infeasible);
+        }
+        self.evict_basic_artificials();
+
+        // ---- Phase 2: original objective, artificial columns frozen. ----
+        let usable = self.n + self.n_slack;
+        for j in 0..=total {
+            self.t[obj_row][j] = 0.0;
+        }
+        for j in 0..self.n {
+            self.t[obj_row][j] = self.c[j];
+        }
+        for i in 0..self.m {
+            let b = self.basis[i];
+            let coeff = self.t[obj_row][b];
+            if coeff != 0.0 {
+                let row = self.t[i].clone();
+                for j in 0..=total {
+                    self.t[obj_row][j] -= coeff * row[j];
+                }
+            }
+        }
+        self.run_simplex(usable)?;
+
+        // Extract solution.
+        let mut x = vec![0.0; self.n];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < self.n {
+                x[b] = self.t[i][total];
+            }
+        }
+        let objective = self.c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum();
+
+        // Shadow prices from the final reduced-cost row. For a column that
+        // is a unit vector of row i with zero objective coefficient, the
+        // reduced cost equals −y_i. Artificial columns are +e_i in the
+        // (possibly sign-normalized) tableau, so equality duals flip back
+        // when the row was negated. Slack columns were −e_i in negated
+        // rows, which cancels the row flip — no correction there.
+        let art_start = self.n + self.n_slack;
+        let duals_eq: Vec<f64> = (0..self.m_eq)
+            .map(|i| {
+                let y = -self.t[obj_row][art_start + i];
+                if self.negated[i] {
+                    -y
+                } else {
+                    y
+                }
+            })
+            .collect();
+        let duals_ub: Vec<f64> = (0..self.n_slack)
+            .map(|k| -self.t[obj_row][self.n + k])
+            .collect();
+        Ok(LpSolution {
+            x,
+            objective,
+            duals_eq,
+            duals_ub,
+        })
+    }
+
+    /// Runs simplex iterations allowing entering columns `< allowed_cols`.
+    fn run_simplex(&mut self, allowed_cols: usize) -> Result<()> {
+        let total = self.total_cols();
+        let obj_row = self.m;
+        // Generous cap: Bland's rule terminates, this guards NaN poisoning.
+        let max_iter = 50 * (self.m + allowed_cols + 10);
+        for _ in 0..max_iter {
+            // Bland: entering = smallest index with negative reduced cost.
+            let Some(enter) = (0..allowed_cols).find(|&j| self.t[obj_row][j] < -TOL) else {
+                return Ok(());
+            };
+            // Ratio test; Bland tie-break on smallest basis index.
+            let mut leave: Option<usize> = None;
+            let mut best = f64::INFINITY;
+            for i in 0..self.m {
+                let a = self.t[i][enter];
+                if a > TOL {
+                    let ratio = self.t[i][total] / a;
+                    let better = ratio < best - TOL
+                        || (ratio < best + TOL
+                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]));
+                    if better {
+                        best = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(leave) = leave else {
+                return Err(Error::Unbounded);
+            };
+            self.pivot(leave, enter);
+        }
+        Err(Error::IterationLimit {
+            iterations: max_iter,
+        })
+    }
+
+    /// Pivots so column `enter` becomes basic in row `leave`.
+    fn pivot(&mut self, leave: usize, enter: usize) {
+        let total = self.total_cols();
+        let pivot = self.t[leave][enter];
+        for v in self.t[leave].iter_mut() {
+            *v /= pivot;
+        }
+        let pivot_row = self.t[leave].clone();
+        for i in 0..=self.m {
+            if i == leave {
+                continue;
+            }
+            let factor = self.t[i][enter];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in 0..=total {
+                self.t[i][j] -= factor * pivot_row[j];
+            }
+        }
+        self.basis[leave] = enter;
+    }
+
+    /// After phase 1, pivots any artificial still basic (at value 0) out of
+    /// the basis where possible. Rows that cannot be pivoted are redundant
+    /// constraints; their artificial stays basic at zero, which is harmless
+    /// because artificial columns are excluded from phase-2 pricing.
+    fn evict_basic_artificials(&mut self) {
+        let art_start = self.n + self.n_slack;
+        for i in 0..self.m {
+            if self.basis[i] >= art_start {
+                if let Some(j) = (0..art_start).find(|&j| self.t[i][j].abs() > TOL) {
+                    self.pivot(i, j);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_near(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+    }
+
+    #[test]
+    fn unconstrained_nonnegative_lp_sits_at_origin() {
+        let sol = LinearProgram::minimize(vec![1.0, 2.0]).solve().unwrap();
+        assert_eq!(sol.x(), &[0.0, 0.0]);
+        assert_eq!(sol.objective(), 0.0);
+    }
+
+    #[test]
+    fn textbook_maximization_via_negated_costs() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), z = 36.
+        let sol = LinearProgram::minimize(vec![-3.0, -5.0])
+            .inequality(vec![1.0, 0.0], 4.0)
+            .inequality(vec![0.0, 2.0], 12.0)
+            .inequality(vec![3.0, 2.0], 18.0)
+            .solve()
+            .unwrap();
+        assert_near(sol.x()[0], 2.0);
+        assert_near(sol.x()[1], 6.0);
+        assert_near(sol.objective(), -36.0);
+    }
+
+    #[test]
+    fn equality_constraint_is_enforced() {
+        let sol = LinearProgram::minimize(vec![2.0, 1.0])
+            .equality(vec![1.0, 1.0], 5.0)
+            .solve()
+            .unwrap();
+        assert_near(sol.x()[0], 0.0);
+        assert_near(sol.x()[1], 5.0);
+        assert_near(sol.objective(), 5.0);
+    }
+
+    #[test]
+    fn infeasible_program_is_reported() {
+        let r = LinearProgram::minimize(vec![1.0])
+            .equality(vec![1.0], 5.0)
+            .inequality(vec![1.0], 2.0)
+            .solve();
+        assert!(matches!(r, Err(Error::Infeasible)));
+    }
+
+    #[test]
+    fn contradictory_equalities_are_infeasible() {
+        let r = LinearProgram::minimize(vec![0.0, 0.0])
+            .equality(vec![1.0, 1.0], 1.0)
+            .equality(vec![1.0, 1.0], 2.0)
+            .solve();
+        assert!(matches!(r, Err(Error::Infeasible)));
+    }
+
+    #[test]
+    fn unbounded_program_is_reported() {
+        let r = LinearProgram::minimize(vec![-1.0]).solve();
+        assert!(matches!(r, Err(Error::Unbounded)));
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // x0 − x1 ≤ −2 with min x0 + x1 → (0, 2).
+        let sol = LinearProgram::minimize(vec![1.0, 1.0])
+            .inequality(vec![1.0, -1.0], -2.0)
+            .solve()
+            .unwrap();
+        assert_near(sol.x()[0], 0.0);
+        assert_near(sol.x()[1], 2.0);
+    }
+
+    #[test]
+    fn redundant_constraints_are_tolerated() {
+        let sol = LinearProgram::minimize(vec![1.0, 1.0])
+            .equality(vec![1.0, 1.0], 4.0)
+            .equality(vec![2.0, 2.0], 8.0) // same hyperplane
+            .solve()
+            .unwrap();
+        assert_near(sol.x()[0] + sol.x()[1], 4.0);
+    }
+
+    #[test]
+    fn degenerate_vertex_terminates() {
+        // Multiple constraints active at the optimum.
+        let sol = LinearProgram::minimize(vec![-1.0, -1.0])
+            .inequality(vec![1.0, 0.0], 1.0)
+            .inequality(vec![0.0, 1.0], 1.0)
+            .inequality(vec![1.0, 1.0], 2.0)
+            .inequality(vec![1.0, 1.0], 2.0)
+            .solve()
+            .unwrap();
+        assert_near(sol.objective(), -2.0);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let r = LinearProgram::minimize(vec![1.0, 2.0])
+            .equality(vec![1.0], 1.0)
+            .solve();
+        assert!(matches!(r, Err(Error::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn paper_shaped_allocation_lp() {
+        // 2 portals × 2 IDCs. Variables x = [λ11, λ12, λ21, λ22].
+        // Marginal costs: IDC1 cheap (1.0), IDC2 expensive (3.0).
+        // Portal loads 10 and 20; IDC1 capacity 12.
+        let sol = LinearProgram::minimize(vec![1.0, 3.0, 1.0, 3.0])
+            .equality(vec![1.0, 1.0, 0.0, 0.0], 10.0)
+            .equality(vec![0.0, 0.0, 1.0, 1.0], 20.0)
+            .inequality(vec![1.0, 0.0, 1.0, 0.0], 12.0)
+            .solve()
+            .unwrap();
+        let x = sol.x();
+        // IDC1 saturated at 12, remaining 18 on IDC2.
+        assert_near(x[0] + x[2], 12.0);
+        assert_near(x[1] + x[3], 18.0);
+        assert_near(sol.objective(), 12.0 + 54.0);
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality_and_perturbation() {
+        // min -3x -5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18.
+        let build = |b3: f64| {
+            LinearProgram::minimize(vec![-3.0, -5.0])
+                .inequality(vec![1.0, 0.0], 4.0)
+                .inequality(vec![0.0, 2.0], 12.0)
+                .inequality(vec![3.0, 2.0], 18.0 + b3)
+        };
+        let sol = build(0.0).solve().unwrap();
+        let y = sol.duals_ub();
+        // Strong duality: obj = Σ y_i b_i (no equalities here).
+        let dual_obj = y[0] * 4.0 + y[1] * 12.0 + y[2] * 18.0;
+        assert!((dual_obj - sol.objective()).abs() < 1e-7, "{dual_obj} vs {}", sol.objective());
+        // Complementary slackness: x ≤ 4 is slack at optimum (x = 2) → y = 0.
+        assert!(y[0].abs() < 1e-9, "{y:?}");
+        // Minimization with ≤ rows: shadow prices are non-positive.
+        assert!(y.iter().all(|&v| v <= 1e-9), "{y:?}");
+        // Perturbation check: ∂obj/∂b3 ≈ y[2].
+        let eps = 1e-3;
+        let bumped = build(eps).solve().unwrap();
+        let fd = (bumped.objective() - sol.objective()) / eps;
+        assert!((fd - y[2]).abs() < 1e-6, "fd {fd} vs dual {}", y[2]);
+    }
+
+    #[test]
+    fn equality_duals_match_perturbation() {
+        let build = |rhs: f64| {
+            LinearProgram::minimize(vec![2.0, 1.0]).equality(vec![1.0, 1.0], rhs)
+        };
+        let sol = build(5.0).solve().unwrap();
+        // Marginal unit of demand is served by the cheaper variable: y = 1.
+        assert!((sol.duals_eq()[0] - 1.0).abs() < 1e-9, "{:?}", sol.duals_eq());
+        let eps = 1e-3;
+        let bumped = build(5.0 + eps).solve().unwrap();
+        let fd = (bumped.objective() - sol.objective()) / eps;
+        assert!((fd - sol.duals_eq()[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duals_handle_negative_rhs_rows() {
+        // x0 − x1 ≤ −2 (normalized internally); min x0 + x1 → (0, 2).
+        let build = |rhs: f64| {
+            LinearProgram::minimize(vec![1.0, 1.0]).inequality(vec![1.0, -1.0], rhs)
+        };
+        let sol = build(-2.0).solve().unwrap();
+        let eps = 1e-3;
+        let bumped = build(-2.0 + eps).solve().unwrap();
+        let fd = (bumped.objective() - sol.objective()) / eps;
+        assert!(
+            (fd - sol.duals_ub()[0]).abs() < 1e-6,
+            "fd {fd} vs dual {}",
+            sol.duals_ub()[0]
+        );
+    }
+
+    #[test]
+    fn zero_variable_program() {
+        let sol = LinearProgram::minimize(vec![]).solve().unwrap();
+        assert!(sol.x().is_empty());
+        assert_eq!(sol.objective(), 0.0);
+    }
+
+    #[test]
+    fn into_x_returns_point() {
+        let sol = LinearProgram::minimize(vec![1.0])
+            .equality(vec![1.0], 3.0)
+            .solve()
+            .unwrap();
+        assert_eq!(sol.into_x(), vec![3.0]);
+    }
+}

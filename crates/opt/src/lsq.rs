@@ -1,0 +1,318 @@
+//! Constrained weighted least squares.
+//!
+//! The paper transforms its MPC optimization into "a standard least-squares
+//! problem" (eq. 42):
+//!
+//! ```text
+//! min  ‖ A x − b ‖²_Q  +  ‖ x ‖²_R     s.t.  A_eq x = b_eq,  A_in x ≤ b_in
+//! ```
+//!
+//! with `A = W′Θ`, `b = Π(k)`, `x = ΔU(k)` and diagonal weights `Q(s)`,
+//! `R(s)`. This module lowers that form onto the [active-set QP
+//! solver](crate::qp) (`H = 2(AᵀQA + R)`, `g = −2AᵀQb`), or onto a plain QR
+//! solve when no constraints are present.
+
+use idc_linalg::{qr, Matrix};
+
+use crate::qp::{QpSolution, QuadraticProgram};
+use crate::{Error, Result};
+
+/// A weighted, linearly constrained least-squares problem.
+///
+/// # Example
+///
+/// ```
+/// use idc_linalg::Matrix;
+/// use idc_opt::lsq::ConstrainedLeastSquares;
+///
+/// # fn main() -> Result<(), idc_opt::Error> {
+/// // Fit x ≈ (1, 1) but require x0 + x1 = 1.
+/// let a = Matrix::identity(2);
+/// let sol = ConstrainedLeastSquares::new(a, vec![1.0, 1.0])?
+///     .equality(vec![1.0, 1.0], 1.0)
+///     .solve()?;
+/// assert!((sol.x()[0] - 0.5).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConstrainedLeastSquares {
+    a: Matrix,
+    b: Vec<f64>,
+    /// Diagonal of the residual weight `Q` (length = rows of `a`).
+    q_diag: Vec<f64>,
+    /// Diagonal of the regularizer `R` (length = cols of `a`).
+    r_diag: Vec<f64>,
+    eq: Vec<(Vec<f64>, f64)>,
+    ineq: Vec<(Vec<f64>, f64)>,
+}
+
+impl ConstrainedLeastSquares {
+    /// Starts a problem `min ‖Ax − b‖²` with unit weights and no
+    /// regularization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `b.len() != a.rows()`.
+    pub fn new(a: Matrix, b: Vec<f64>) -> Result<Self> {
+        if b.len() != a.rows() {
+            return Err(Error::DimensionMismatch {
+                what: format!("rhs length {} vs {} rows", b.len(), a.rows()),
+            });
+        }
+        let rows = a.rows();
+        let cols = a.cols();
+        Ok(ConstrainedLeastSquares {
+            a,
+            b,
+            q_diag: vec![1.0; rows],
+            r_diag: vec![0.0; cols],
+            eq: Vec::new(),
+            ineq: Vec::new(),
+        })
+    }
+
+    /// Sets the diagonal residual weights `Q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] on wrong length.
+    pub fn residual_weights(mut self, q_diag: Vec<f64>) -> Result<Self> {
+        if q_diag.len() != self.a.rows() {
+            return Err(Error::DimensionMismatch {
+                what: format!("Q diagonal length {} vs {} rows", q_diag.len(), self.a.rows()),
+            });
+        }
+        self.q_diag = q_diag;
+        Ok(self)
+    }
+
+    /// Sets the diagonal regularization weights `R` (the paper's input-rate
+    /// penalty — larger `R` smooths power demand harder).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] on wrong length.
+    pub fn regularization(mut self, r_diag: Vec<f64>) -> Result<Self> {
+        if r_diag.len() != self.a.cols() {
+            return Err(Error::DimensionMismatch {
+                what: format!("R diagonal length {} vs {} cols", r_diag.len(), self.a.cols()),
+            });
+        }
+        self.r_diag = r_diag;
+        Ok(self)
+    }
+
+    /// Adds an equality constraint `rowᵀx = rhs`.
+    pub fn equality(mut self, row: Vec<f64>, rhs: f64) -> Self {
+        self.eq.push((row, rhs));
+        self
+    }
+
+    /// Adds an inequality constraint `rowᵀx ≤ rhs`.
+    pub fn inequality(mut self, row: Vec<f64>, rhs: f64) -> Self {
+        self.ineq.push((row, rhs));
+        self
+    }
+
+    /// Solves the problem.
+    ///
+    /// Falls back to a direct QR solve when there are no constraints and no
+    /// regularization; otherwise lowers to the active-set QP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::Infeasible`] / [`Error::IterationLimit`] /
+    /// [`Error::Numerical`] from the underlying solver.
+    pub fn solve(&self) -> Result<LsqSolution> {
+        if self.eq.is_empty()
+            && self.ineq.is_empty()
+            && self.r_diag.iter().all(|&r| r == 0.0)
+            && self.a.rows() >= self.a.cols()
+        {
+            let weighted_a = self.apply_sqrt_weights();
+            let weighted_b = self.weighted_rhs();
+            let x = qr::least_squares(&weighted_a, &weighted_b)?;
+            let residual = self.residual_norm(&x);
+            return Ok(LsqSolution {
+                x,
+                residual,
+                iterations: 0,
+            });
+        }
+
+        // H = 2(AᵀQA + R), g = −2 AᵀQb.
+        let n = self.a.cols();
+        let qa = self.apply_sqrt_weights();
+        let mut h = qa.tr_mul_mat(&qa)?.scale(2.0);
+        for i in 0..n {
+            h[(i, i)] += 2.0 * self.r_diag[i];
+        }
+        let qb = self.weighted_rhs();
+        let g = qa.tr_mul_vec(&qb)?.iter().map(|v| -2.0 * v).collect();
+
+        let mut qp = QuadraticProgram::new(h, g)?;
+        for (row, rhs) in &self.eq {
+            qp = qp.equality(row.clone(), *rhs);
+        }
+        for (row, rhs) in &self.ineq {
+            qp = qp.inequality(row.clone(), *rhs);
+        }
+        let sol: QpSolution = qp.solve()?;
+        let residual = self.residual_norm(sol.x());
+        let iterations = sol.iterations();
+        Ok(LsqSolution {
+            x: sol.into_x(),
+            residual,
+            iterations,
+        })
+    }
+
+    /// `√Q · A`.
+    fn apply_sqrt_weights(&self) -> Matrix {
+        let mut m = self.a.clone();
+        for i in 0..m.rows() {
+            let w = self.q_diag[i].sqrt();
+            for v in m.row_mut(i) {
+                *v *= w;
+            }
+        }
+        m
+    }
+
+    /// `√Q · b`.
+    fn weighted_rhs(&self) -> Vec<f64> {
+        self.b
+            .iter()
+            .zip(&self.q_diag)
+            .map(|(&bi, &qi)| bi * qi.sqrt())
+            .collect()
+    }
+
+    /// Weighted residual norm `‖Ax − b‖_Q`.
+    pub fn residual_norm(&self, x: &[f64]) -> f64 {
+        let ax = self.a.mul_vec(x).expect("validated dimensions");
+        ax.iter()
+            .zip(&self.b)
+            .zip(&self.q_diag)
+            .map(|((axi, bi), qi)| qi * (axi - bi).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// A solved constrained least-squares problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LsqSolution {
+    x: Vec<f64>,
+    residual: f64,
+    iterations: usize,
+}
+
+impl LsqSolution {
+    /// The minimizer.
+    pub fn x(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Weighted residual norm at the minimizer.
+    pub fn residual(&self) -> f64 {
+        self.residual
+    }
+
+    /// Active-set iterations used (0 for the direct QR path).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Consumes the solution, returning the minimizer.
+    pub fn into_x(self) -> Vec<f64> {
+        self.x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_path_matches_qr() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let b = vec![1.0, 2.0, 2.0];
+        let sol = ConstrainedLeastSquares::new(a.clone(), b.clone())
+            .unwrap()
+            .solve()
+            .unwrap();
+        let direct = qr::least_squares(&a, &b).unwrap();
+        assert!((sol.x()[0] - direct[0]).abs() < 1e-10);
+        assert!((sol.x()[1] - direct[1]).abs() < 1e-10);
+        assert_eq!(sol.iterations(), 0);
+    }
+
+    #[test]
+    fn equality_constraint_moves_solution() {
+        let a = Matrix::identity(2);
+        let sol = ConstrainedLeastSquares::new(a, vec![3.0, 1.0])
+            .unwrap()
+            .equality(vec![1.0, 1.0], 2.0)
+            .solve()
+            .unwrap();
+        // Projection of (3,1) onto x0+x1=2 is (2,0).
+        assert!((sol.x()[0] - 2.0).abs() < 1e-7, "{:?}", sol.x());
+        assert!(sol.x()[1].abs() < 1e-7);
+    }
+
+    #[test]
+    fn regularization_shrinks_solution() {
+        let a = Matrix::identity(2);
+        let plain = ConstrainedLeastSquares::new(a.clone(), vec![4.0, 4.0])
+            .unwrap()
+            // Force the QP path with a slack inequality.
+            .inequality(vec![1.0, 0.0], 100.0)
+            .solve()
+            .unwrap();
+        let ridged = ConstrainedLeastSquares::new(a, vec![4.0, 4.0])
+            .unwrap()
+            .regularization(vec![1.0, 1.0])
+            .unwrap()
+            .inequality(vec![1.0, 0.0], 100.0)
+            .solve()
+            .unwrap();
+        assert!(ridged.x()[0] < plain.x()[0]);
+        // Analytical ridge solution: x = b / (1 + r) = 2.
+        assert!((ridged.x()[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn residual_weights_prioritize_rows() {
+        // Two incompatible targets for a single variable; weight decides.
+        let a = Matrix::from_rows(&[&[1.0], &[1.0]]).unwrap();
+        let heavy_first = ConstrainedLeastSquares::new(a, vec![0.0, 10.0])
+            .unwrap()
+            .residual_weights(vec![100.0, 1.0])
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert!(heavy_first.x()[0] < 1.0, "{:?}", heavy_first.x());
+    }
+
+    #[test]
+    fn inequality_binds() {
+        let a = Matrix::identity(1);
+        let sol = ConstrainedLeastSquares::new(a, vec![5.0])
+            .unwrap()
+            .inequality(vec![1.0], 2.0)
+            .solve()
+            .unwrap();
+        assert!((sol.x()[0] - 2.0).abs() < 1e-7);
+        assert!((sol.residual() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dimension_validation() {
+        assert!(ConstrainedLeastSquares::new(Matrix::identity(2), vec![1.0]).is_err());
+        let lsq = ConstrainedLeastSquares::new(Matrix::identity(2), vec![1.0, 1.0]).unwrap();
+        assert!(lsq.clone().residual_weights(vec![1.0]).is_err());
+        assert!(lsq.regularization(vec![1.0]).is_err());
+    }
+}

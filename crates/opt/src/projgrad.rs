@@ -1,0 +1,282 @@
+//! Penalized projected-gradient QP solver and simplex projection.
+//!
+//! This is the *ablation* solver: the paper's MPC problem has a natural
+//! product-of-simplices structure (each front-end portal's workload split
+//! `λi·` lives on the scaled simplex `{λ ≥ 0, Σj λij = Li}`), so a
+//! projected-gradient method with exact simplex projection and quadratic
+//! penalties for the coupling (capacity) constraints is a cheap approximate
+//! alternative to the exact active-set method. The `qp_ablation` bench
+//! compares the two on identical MPC instances.
+
+use idc_linalg::{vec_ops, Matrix};
+
+use crate::{Error, Result};
+
+/// Euclidean projection of `v` onto the scaled simplex
+/// `{x : x ≥ 0, Σ x = total}`.
+///
+/// Uses the classic sort-based algorithm (Held–Wolfe–Crowder); `O(n log n)`.
+///
+/// # Panics
+///
+/// Panics if `total` is negative or `v` is empty while `total > 0`.
+///
+/// # Example
+///
+/// ```
+/// use idc_opt::projgrad::project_simplex;
+///
+/// let p = project_simplex(&[0.8, 0.8], 1.0);
+/// assert!((p[0] - 0.5).abs() < 1e-12 && (p[1] - 0.5).abs() < 1e-12);
+/// ```
+pub fn project_simplex(v: &[f64], total: f64) -> Vec<f64> {
+    assert!(total >= 0.0, "simplex total must be non-negative");
+    if total == 0.0 {
+        return vec![0.0; v.len()];
+    }
+    assert!(!v.is_empty(), "cannot project an empty vector onto a positive simplex");
+    let mut sorted = v.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite entries"));
+    let mut cumsum = 0.0;
+    let mut rho = 0;
+    let mut theta = 0.0;
+    for (k, &u) in sorted.iter().enumerate() {
+        cumsum += u;
+        let t = (cumsum - total) / (k + 1) as f64;
+        if u - t > 0.0 {
+            rho = k + 1;
+            theta = t;
+        }
+    }
+    debug_assert!(rho > 0);
+    let _ = rho;
+    v.iter().map(|&x| (x - theta).max(0.0)).collect()
+}
+
+/// A block structure: variables are partitioned into contiguous blocks,
+/// each constrained to a scaled simplex.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimplexBlock {
+    /// Index of the first variable of the block.
+    pub start: usize,
+    /// Number of variables in the block.
+    pub len: usize,
+    /// Required sum over the block.
+    pub total: f64,
+}
+
+/// Approximate QP solver: projected gradient over a product of simplices
+/// with quadratic penalties for additional `≤` constraints.
+///
+/// Minimizes `½xᵀHx + gᵀx + ρ Σ max(0, aᵢᵀx − bᵢ)²` over the product of
+/// [`SimplexBlock`]s, by projected gradient descent with a Lipschitz step.
+#[derive(Debug, Clone)]
+pub struct ProjectedGradientQp {
+    h: Matrix,
+    g: Vec<f64>,
+    blocks: Vec<SimplexBlock>,
+    a_pen: Vec<Vec<f64>>,
+    b_pen: Vec<f64>,
+    penalty: f64,
+    max_iter: usize,
+    tol: f64,
+}
+
+impl ProjectedGradientQp {
+    /// Starts a solver for `min ½xᵀHx + gᵀx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `h` is not square or `g` has
+    /// the wrong length.
+    pub fn new(h: Matrix, g: Vec<f64>) -> Result<Self> {
+        if !h.is_square() || h.rows() != g.len() {
+            return Err(Error::DimensionMismatch {
+                what: format!(
+                    "hessian {}x{} incompatible with gradient of length {}",
+                    h.rows(),
+                    h.cols(),
+                    g.len()
+                ),
+            });
+        }
+        Ok(ProjectedGradientQp {
+            h,
+            g,
+            blocks: Vec::new(),
+            a_pen: Vec::new(),
+            b_pen: Vec::new(),
+            penalty: 1e3,
+            max_iter: 5000,
+            tol: 1e-9,
+        })
+    }
+
+    /// Adds a simplex block constraint over `start..start+len`.
+    pub fn simplex_block(mut self, start: usize, len: usize, total: f64) -> Self {
+        self.blocks.push(SimplexBlock { start, len, total });
+        self
+    }
+
+    /// Adds a penalized inequality `rowᵀx ≤ rhs`.
+    pub fn penalized_inequality(mut self, row: Vec<f64>, rhs: f64) -> Self {
+        self.a_pen.push(row);
+        self.b_pen.push(rhs);
+        self
+    }
+
+    /// Sets the penalty weight ρ (default 1e3).
+    pub fn penalty_weight(mut self, rho: f64) -> Self {
+        self.penalty = rho;
+        self
+    }
+
+    /// Sets the iteration budget (default 5000).
+    pub fn max_iterations(mut self, it: usize) -> Self {
+        self.max_iter = it;
+        self
+    }
+
+    /// Runs projected gradient from the block-uniform starting point.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] on malformed blocks/rows.
+    /// * [`Error::IterationLimit`] when the step change never falls below
+    ///   tolerance (the last iterate is *not* returned — tighten the budget
+    ///   or penalty instead).
+    pub fn solve(&self) -> Result<Vec<f64>> {
+        let n = self.g.len();
+        for b in &self.blocks {
+            if b.start + b.len > n {
+                return Err(Error::DimensionMismatch {
+                    what: format!("block {}..{} exceeds {n} variables", b.start, b.start + b.len),
+                });
+            }
+        }
+        for row in &self.a_pen {
+            if row.len() != n {
+                return Err(Error::DimensionMismatch {
+                    what: format!("penalty row has {} coefficients, expected {n}", row.len()),
+                });
+            }
+        }
+
+        // Start at the uniform point of each block, zero elsewhere.
+        let mut x = vec![0.0; n];
+        for b in &self.blocks {
+            let share = b.total / b.len as f64;
+            for xi in &mut x[b.start..b.start + b.len] {
+                *xi = share;
+            }
+        }
+
+        // Lipschitz constant of the smooth part: λmax(H) + ρ Σ‖aᵢ‖² bound.
+        let mut lip = self.h.norm_inf();
+        for row in &self.a_pen {
+            lip += 2.0 * self.penalty * vec_ops::dot(row, row);
+        }
+        let step = 1.0 / lip.max(1e-12);
+
+        for _ in 0..self.max_iter {
+            let mut grad = self.h.mul_vec(&x)?;
+            vec_ops::axpy(1.0, &self.g, &mut grad);
+            for (row, &b) in self.a_pen.iter().zip(&self.b_pen) {
+                let viol = vec_ops::dot(row, &x) - b;
+                if viol > 0.0 {
+                    vec_ops::axpy(2.0 * self.penalty * viol, row, &mut grad);
+                }
+            }
+            let mut next = x.clone();
+            vec_ops::axpy(-step, &grad, &mut next);
+            for b in &self.blocks {
+                let proj = project_simplex(&next[b.start..b.start + b.len], b.total);
+                next[b.start..b.start + b.len].copy_from_slice(&proj);
+            }
+            let delta = vec_ops::norm_inf(&vec_ops::sub(&next, &x));
+            x = next;
+            if delta < self.tol {
+                return Ok(x);
+            }
+        }
+        Err(Error::IterationLimit {
+            iterations: self.max_iter,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_preserves_points_already_on_simplex() {
+        let p = project_simplex(&[0.3, 0.7], 1.0);
+        assert!((p[0] - 0.3).abs() < 1e-12 && (p[1] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_clips_negative_entries() {
+        let p = project_simplex(&[-1.0, 2.0], 1.0);
+        assert_eq!(p[0], 0.0);
+        assert!((p[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_sums_to_total() {
+        let p = project_simplex(&[5.0, 1.0, -3.0, 0.2], 10.0);
+        assert!((vec_ops::sum(&p) - 10.0).abs() < 1e-9);
+        assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn projection_onto_zero_simplex_is_zero() {
+        assert_eq!(project_simplex(&[1.0, 2.0], 0.0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn matches_active_set_on_simplex_qp() {
+        // min (x0−2)² + x1²  s.t. x0 + x1 = 1, x ≥ 0 → (1, 0).
+        let h = Matrix::diag(&[2.0, 2.0]);
+        let x = ProjectedGradientQp::new(h, vec![-4.0, 0.0])
+            .unwrap()
+            .simplex_block(0, 2, 1.0)
+            .solve()
+            .unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-6, "{x:?}");
+        assert!(x[1].abs() < 1e-6, "{x:?}");
+    }
+
+    #[test]
+    fn penalty_enforces_capacity_approximately() {
+        // min ‖x − (2,0)‖² over simplex Σ = 2 with capacity x0 ≤ 1.2.
+        let h = Matrix::diag(&[2.0, 2.0]);
+        let x = ProjectedGradientQp::new(h, vec![-4.0, 0.0])
+            .unwrap()
+            .simplex_block(0, 2, 2.0)
+            .penalized_inequality(vec![1.0, 0.0], 1.2)
+            .penalty_weight(1e4)
+            .solve()
+            .unwrap();
+        assert!(x[0] <= 1.2 + 1e-2, "{x:?}");
+        assert!((vec_ops::sum(&x) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_block_out_of_range() {
+        let r = ProjectedGradientQp::new(Matrix::identity(2), vec![0.0, 0.0])
+            .unwrap()
+            .simplex_block(1, 2, 1.0)
+            .solve();
+        assert!(matches!(r, Err(Error::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_penalty_row() {
+        let r = ProjectedGradientQp::new(Matrix::identity(2), vec![0.0, 0.0])
+            .unwrap()
+            .penalized_inequality(vec![1.0], 0.0)
+            .solve();
+        assert!(matches!(r, Err(Error::DimensionMismatch { .. })));
+    }
+}

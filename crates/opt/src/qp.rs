@@ -1,0 +1,533 @@
+//! Primal active-set solver for convex quadratic programs.
+//!
+//! Solves
+//!
+//! ```text
+//! minimize    ½ xᵀH x + gᵀx          (H symmetric positive definite)
+//! subject to  A_eq x  = b_eq
+//!             A_in x ≤ b_in
+//! ```
+//!
+//! This is the workhorse behind the paper's condensed MPC problem
+//! (eq. 42–45): `x = ΔU(k)` stacked over the control horizon, the equalities
+//! are the per-portal workload-conservation rows (eq. 45) and the
+//! inequalities are the latency/capacity rows (eq. 43) plus non-negativity
+//! of the allocated workload (eq. 44).
+//!
+//! The method is the textbook primal active-set iteration (Nocedal & Wright,
+//! Alg. 16.3): each step solves an equality-constrained subproblem through
+//! an LU-factored KKT system, then either takes a blocking step (adding a
+//! constraint to the working set) or drops the constraint with the most
+//! negative multiplier.
+
+use idc_linalg::{lu::Lu, vec_ops, Matrix};
+
+use crate::linprog::LinearProgram;
+use crate::{Error, Result};
+
+/// Feasibility/optimality tolerance.
+const TOL: f64 = 1e-8;
+
+/// A convex QP under construction. See the [module docs](self) for the
+/// canonical form.
+///
+/// # Example
+///
+/// ```
+/// use idc_linalg::Matrix;
+/// use idc_opt::qp::QuadraticProgram;
+///
+/// # fn main() -> Result<(), idc_opt::Error> {
+/// // min (x0−1)² + (x1−2)²  s.t. x0 + x1 ≤ 2  → (0.5, 1.5)
+/// let h = Matrix::diag(&[2.0, 2.0]);
+/// let sol = QuadraticProgram::new(h, vec![-2.0, -4.0])?
+///     .inequality(vec![1.0, 1.0], 2.0)
+///     .solve()?;
+/// assert!((sol.x()[0] - 0.5).abs() < 1e-8);
+/// assert!((sol.x()[1] - 1.5).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuadraticProgram {
+    h: Matrix,
+    g: Vec<f64>,
+    a_eq: Vec<Vec<f64>>,
+    b_eq: Vec<f64>,
+    a_in: Vec<Vec<f64>>,
+    b_in: Vec<f64>,
+    max_iter: usize,
+}
+
+impl QuadraticProgram {
+    /// Starts a QP `min ½xᵀHx + gᵀx` with an `n × n` Hessian.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `h` is not square or
+    /// `g.len()` differs from its dimension.
+    pub fn new(h: Matrix, g: Vec<f64>) -> Result<Self> {
+        if !h.is_square() || h.rows() != g.len() {
+            return Err(Error::DimensionMismatch {
+                what: format!(
+                    "hessian {}x{} incompatible with gradient of length {}",
+                    h.rows(),
+                    h.cols(),
+                    g.len()
+                ),
+            });
+        }
+        Ok(QuadraticProgram {
+            h,
+            g,
+            a_eq: Vec::new(),
+            b_eq: Vec::new(),
+            a_in: Vec::new(),
+            b_in: Vec::new(),
+            max_iter: 500,
+        })
+    }
+
+    /// Adds an equality constraint `rowᵀx = rhs`.
+    pub fn equality(mut self, row: Vec<f64>, rhs: f64) -> Self {
+        self.a_eq.push(row);
+        self.b_eq.push(rhs);
+        self
+    }
+
+    /// Adds an inequality constraint `rowᵀx ≤ rhs`.
+    pub fn inequality(mut self, row: Vec<f64>, rhs: f64) -> Self {
+        self.a_in.push(row);
+        self.b_in.push(rhs);
+        self
+    }
+
+    /// Overrides the iteration budget. The default scales with problem
+    /// size: `max(500, 4·(variables + constraints))` — an active-set
+    /// method may need to add or drop each constraint once.
+    pub fn max_iterations(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter;
+        self
+    }
+
+    /// The effective iteration budget for this problem instance.
+    fn iteration_budget(&self) -> usize {
+        self.max_iter
+            .max(4 * (self.num_vars() + self.a_in.len() + self.a_eq.len()))
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.g.len()
+    }
+
+    /// Solves the program, computing a feasible starting point internally
+    /// via a phase-1 linear program.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Infeasible`] if the constraints admit no point.
+    /// * [`Error::IterationLimit`] if the active-set loop fails to converge.
+    /// * [`Error::DimensionMismatch`] on malformed constraint rows.
+    /// * [`Error::Numerical`] if a KKT system is singular beyond recovery.
+    pub fn solve(&self) -> Result<QpSolution> {
+        self.validate()?;
+        let x0 = self.find_feasible_point()?;
+        self.solve_from_feasible(&x0)
+    }
+
+    /// Solves the program starting from a caller-supplied point.
+    ///
+    /// A warm start from the previous MPC step's shifted solution typically
+    /// converges in a handful of iterations.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Infeasible`] if `x0` violates the constraints by more than
+    /// the internal tolerance, plus the failure modes of [`Self::solve`].
+    pub fn solve_from(&self, x0: &[f64]) -> Result<QpSolution> {
+        self.validate()?;
+        if x0.len() != self.num_vars() {
+            return Err(Error::DimensionMismatch {
+                what: format!(
+                    "starting point has length {}, expected {}",
+                    x0.len(),
+                    self.num_vars()
+                ),
+            });
+        }
+        if !self.is_feasible(x0, 1e-6) {
+            return Err(Error::Infeasible);
+        }
+        self.solve_from_feasible(x0)
+    }
+
+    /// Checks whether `x` satisfies all constraints within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        let scale = 1.0 + vec_ops::norm_inf(x);
+        self.a_eq
+            .iter()
+            .zip(&self.b_eq)
+            .all(|(row, &b)| (vec_ops::dot(row, x) - b).abs() <= tol * scale)
+            && self
+                .a_in
+                .iter()
+                .zip(&self.b_in)
+                .all(|(row, &b)| vec_ops::dot(row, x) - b <= tol * scale)
+    }
+
+    fn validate(&self) -> Result<()> {
+        let n = self.num_vars();
+        for row in self.a_eq.iter().chain(&self.a_in) {
+            if row.len() != n {
+                return Err(Error::DimensionMismatch {
+                    what: format!("constraint row has {} coefficients, expected {n}", row.len()),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase 1: finds any feasible point by splitting `x = x⁺ − x⁻` and
+    /// solving an LP over non-negative variables.
+    fn find_feasible_point(&self) -> Result<Vec<f64>> {
+        let n = self.num_vars();
+        // Minimize Σ(x⁺ + x⁻) to keep the point bounded and small.
+        let mut lp = LinearProgram::minimize(vec![1.0; 2 * n]);
+        for (row, &b) in self.a_eq.iter().zip(&self.b_eq) {
+            let mut split = Vec::with_capacity(2 * n);
+            split.extend_from_slice(row);
+            split.extend(row.iter().map(|v| -v));
+            lp = lp.equality(split, b);
+        }
+        for (row, &b) in self.a_in.iter().zip(&self.b_in) {
+            let mut split = Vec::with_capacity(2 * n);
+            split.extend_from_slice(row);
+            split.extend(row.iter().map(|v| -v));
+            lp = lp.inequality(split, b);
+        }
+        let z = lp.solve()?.into_x();
+        Ok((0..n).map(|i| z[i] - z[n + i]).collect())
+    }
+
+    fn solve_from_feasible(&self, x0: &[f64]) -> Result<QpSolution> {
+        let mut x = x0.to_vec();
+        // Working set: indices into a_in. Equalities are always active.
+        let mut working: Vec<usize> = Vec::new();
+        let mut iterations = 0;
+        let budget = self.iteration_budget();
+
+        while iterations < budget {
+            iterations += 1;
+            let (p, mult) = match self.kkt_step(&x, &working) {
+                Ok(res) => res,
+                Err(Error::Numerical(_)) if !working.is_empty() => {
+                    // Degenerate working set — drop the most recent addition.
+                    working.pop();
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+
+            // Stationarity is judged relative to the iterate's scale: with
+            // workload-sized variables (O(1e4)) a step of 1e-8 is numerical
+            // noise, not progress.
+            if vec_ops::norm_inf(&p) < TOL * (1.0 + vec_ops::norm_inf(&x)) {
+                // Multipliers of working inequality constraints live after
+                // the equality multipliers. Bland-style anti-cycling: drop
+                // the negative-multiplier constraint with the smallest
+                // *constraint index*, not the most negative multiplier —
+                // the latter can cycle on degenerate vertices.
+                let ineq_mult = &mult[self.a_eq.len()..];
+                let worst = ineq_mult
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &m)| m < -TOL)
+                    .min_by_key(|&(k, _)| working[k]);
+                match worst {
+                    None => {
+                        let objective = self.objective_at(&x);
+                        working.sort_unstable();
+                        return Ok(QpSolution {
+                            x,
+                            objective,
+                            iterations,
+                            active_set: working,
+                        });
+                    }
+                    Some((idx, _)) => {
+                        working.remove(idx);
+                    }
+                }
+            } else {
+                // Ratio test against inactive inequality constraints.
+                let mut alpha = 1.0;
+                let mut blocking = None;
+                for (i, (row, &b)) in self.a_in.iter().zip(&self.b_in).enumerate() {
+                    if working.contains(&i) {
+                        continue;
+                    }
+                    let ap = vec_ops::dot(row, &p);
+                    if ap > TOL {
+                        let slack = b - vec_ops::dot(row, &x);
+                        let ai = (slack / ap).max(0.0);
+                        if ai < alpha {
+                            alpha = ai;
+                            blocking = Some(i);
+                        }
+                    }
+                }
+                vec_ops::axpy(alpha, &p, &mut x);
+                if let Some(i) = blocking {
+                    working.push(i);
+                }
+            }
+        }
+        Err(Error::IterationLimit { iterations: budget })
+    }
+
+    /// Solves the equality-constrained subproblem at `x` for the working set:
+    /// returns the step `p` and the constraint multipliers.
+    fn kkt_step(&self, x: &[f64], working: &[usize]) -> Result<(Vec<f64>, Vec<f64>)> {
+        let n = self.num_vars();
+        let m = self.a_eq.len() + working.len();
+        let dim = n + m;
+        let mut kkt = Matrix::zeros(dim, dim);
+        kkt.set_block(0, 0, &self.h);
+        // Tiny ridge keeps nearly-singular Hessians factorable.
+        for i in 0..n {
+            kkt[(i, i)] += 1e-12;
+        }
+        let mut fill_row = |r: usize, row: &[f64]| {
+            for (j, &v) in row.iter().enumerate() {
+                kkt[(n + r, j)] = v;
+                kkt[(j, n + r)] = v;
+            }
+        };
+        for (r, row) in self.a_eq.iter().enumerate() {
+            fill_row(r, row);
+        }
+        for (k, &i) in working.iter().enumerate() {
+            fill_row(self.a_eq.len() + k, &self.a_in[i]);
+        }
+
+        // rhs = [−(Hx + g); 0]
+        let mut rhs = vec![0.0; dim];
+        let hx = self.h.mul_vec(x)?;
+        for i in 0..n {
+            rhs[i] = -(hx[i] + self.g[i]);
+        }
+        let sol = Lu::factor(&kkt)?.solve(&rhs)?;
+        let p = sol[..n].to_vec();
+        let mult = sol[n..].to_vec();
+        Ok((p, mult))
+    }
+
+    /// Objective value `½xᵀHx + gᵀx`.
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        let hx = self.h.mul_vec(x).expect("validated dimensions");
+        0.5 * vec_ops::dot(x, &hx) + vec_ops::dot(&self.g, x)
+    }
+}
+
+/// A solved quadratic program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QpSolution {
+    x: Vec<f64>,
+    objective: f64,
+    iterations: usize,
+    active_set: Vec<usize>,
+}
+
+impl QpSolution {
+    /// The optimal point.
+    pub fn x(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// The optimal objective value.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Number of active-set iterations performed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Indices of the inequality constraints active at the optimum.
+    pub fn active_set(&self) -> &[usize] {
+        &self.active_set
+    }
+
+    /// Consumes the solution, returning the optimal point.
+    pub fn into_x(self) -> Vec<f64> {
+        self.x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_near(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn unconstrained_qp_solves_newton_system() {
+        // min (x0−3)² + (x1+1)²
+        let sol = QuadraticProgram::new(Matrix::diag(&[2.0, 2.0]), vec![-6.0, 2.0])
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert_near(sol.x()[0], 3.0);
+        assert_near(sol.x()[1], -1.0);
+        assert!(sol.active_set().is_empty());
+    }
+
+    #[test]
+    fn equality_constrained_qp() {
+        // min x0² + x1² s.t. x0 + x1 = 2 → (1, 1)
+        let sol = QuadraticProgram::new(Matrix::diag(&[2.0, 2.0]), vec![0.0, 0.0])
+            .unwrap()
+            .equality(vec![1.0, 1.0], 2.0)
+            .solve()
+            .unwrap();
+        assert_near(sol.x()[0], 1.0);
+        assert_near(sol.x()[1], 1.0);
+        assert_near(sol.objective(), 2.0);
+    }
+
+    #[test]
+    fn inactive_inequality_is_ignored() {
+        let sol = QuadraticProgram::new(Matrix::diag(&[2.0]), vec![-2.0])
+            .unwrap()
+            .inequality(vec![1.0], 100.0)
+            .solve()
+            .unwrap();
+        assert_near(sol.x()[0], 1.0);
+        assert!(sol.active_set().is_empty());
+    }
+
+    #[test]
+    fn active_inequality_binds() {
+        // min (x−5)² s.t. x ≤ 2 → x = 2, constraint 0 active.
+        let sol = QuadraticProgram::new(Matrix::diag(&[2.0]), vec![-10.0])
+            .unwrap()
+            .inequality(vec![1.0], 2.0)
+            .solve()
+            .unwrap();
+        assert_near(sol.x()[0], 2.0);
+        assert_eq!(sol.active_set(), &[0]);
+    }
+
+    #[test]
+    fn nocedal_wright_example_16_4() {
+        // min (x0−1)² + (x1−2.5)²
+        // s.t. −x0 + 2x1 ≤ 2; x0 + 2x1 ≤ 6; x0 − 2x1 ≤ 2; x ≥ 0.
+        // Optimum (1.4, 1.7).
+        let sol = QuadraticProgram::new(Matrix::diag(&[2.0, 2.0]), vec![-2.0, -5.0])
+            .unwrap()
+            .inequality(vec![-1.0, 2.0], 2.0)
+            .inequality(vec![1.0, 2.0], 6.0)
+            .inequality(vec![1.0, -2.0], 2.0)
+            .inequality(vec![-1.0, 0.0], 0.0)
+            .inequality(vec![0.0, -1.0], 0.0)
+            .solve()
+            .unwrap();
+        assert_near(sol.x()[0], 1.4);
+        assert_near(sol.x()[1], 1.7);
+    }
+
+    #[test]
+    fn warm_start_from_feasible_point() {
+        let qp = QuadraticProgram::new(Matrix::diag(&[2.0, 2.0]), vec![-2.0, -4.0])
+            .unwrap()
+            .inequality(vec![1.0, 1.0], 2.0);
+        let cold = qp.solve().unwrap();
+        let warm = qp.solve_from(&[0.4, 1.5]).unwrap();
+        assert_near(cold.x()[0], warm.x()[0]);
+        assert_near(cold.x()[1], warm.x()[1]);
+    }
+
+    #[test]
+    fn infeasible_warm_start_is_rejected() {
+        let qp = QuadraticProgram::new(Matrix::diag(&[2.0]), vec![0.0])
+            .unwrap()
+            .inequality(vec![1.0], 1.0);
+        assert!(matches!(qp.solve_from(&[5.0]), Err(Error::Infeasible)));
+    }
+
+    #[test]
+    fn infeasible_constraints_are_reported() {
+        let qp = QuadraticProgram::new(Matrix::diag(&[2.0]), vec![0.0])
+            .unwrap()
+            .equality(vec![1.0], 3.0)
+            .inequality(vec![1.0], 1.0);
+        assert!(matches!(qp.solve(), Err(Error::Infeasible)));
+    }
+
+    #[test]
+    fn kkt_conditions_hold_at_solution() {
+        let h = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let qp = QuadraticProgram::new(h.clone(), vec![1.0, -2.0])
+            .unwrap()
+            .inequality(vec![1.0, 0.0], 0.3)
+            .inequality(vec![0.0, 1.0], 0.4)
+            .equality(vec![1.0, 1.0], 0.5);
+        let sol = qp.solve().unwrap();
+        let x = sol.x();
+        // Primal feasibility.
+        assert!(qp.is_feasible(x, 1e-7));
+        // Stationarity along the equality manifold: the projected gradient
+        // onto the null space of active constraints must vanish. With the
+        // equality x0+x1 = 0.5 and possibly one active bound, verify the
+        // objective cannot be improved by feasible perturbations.
+        let base = qp.objective_at(x);
+        for eps in [1e-4, -1e-4] {
+            let trial = [x[0] + eps, x[1] - eps];
+            if qp.is_feasible(&trial, 1e-9) {
+                assert!(qp.objective_at(&trial) >= base - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn negative_rhs_feasible_point_found() {
+        // Feasible region entirely in negative orthant: x ≤ −1, min (x+3)².
+        let sol = QuadraticProgram::new(Matrix::diag(&[2.0]), vec![6.0])
+            .unwrap()
+            .inequality(vec![1.0], -1.0)
+            .solve()
+            .unwrap();
+        assert_near(sol.x()[0], -3.0);
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        assert!(QuadraticProgram::new(Matrix::zeros(2, 3), vec![0.0, 0.0]).is_err());
+        assert!(QuadraticProgram::new(Matrix::identity(2), vec![0.0]).is_err());
+        let qp = QuadraticProgram::new(Matrix::identity(2), vec![0.0, 0.0])
+            .unwrap()
+            .equality(vec![1.0], 0.0);
+        assert!(matches!(qp.solve(), Err(Error::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn mpc_shaped_delta_u_problem() {
+        // Two-variable ΔU with conservation equality Δu0 + Δu1 = 0 (total
+        // workload unchanged), rate penalty Hessian, and a capacity bound.
+        let qp = QuadraticProgram::new(Matrix::diag(&[2.0, 4.0]), vec![-4.0, 0.0])
+            .unwrap()
+            .equality(vec![1.0, 1.0], 0.0);
+        // Unconstrained optimum on the manifold: min 3Δu0² − 4Δu0 → Δu0 = 2/3.
+        let free = qp.clone().solve().unwrap();
+        assert_near(free.x()[0], 2.0 / 3.0);
+        assert_near(free.x()[1], -2.0 / 3.0);
+        // A capacity bound below 2/3 must bind.
+        let sol = qp.inequality(vec![1.0, 0.0], 0.5).solve().unwrap();
+        assert_near(sol.x()[0], 0.5);
+        assert_near(sol.x()[1], -0.5);
+    }
+}

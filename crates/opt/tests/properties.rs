@@ -1,0 +1,178 @@
+//! Property-based tests for the optimization solvers.
+
+use idc_linalg::{vec_ops, Matrix};
+use idc_opt::linprog::LinearProgram;
+use idc_opt::projgrad::project_simplex;
+use idc_opt::qp::QuadraticProgram;
+use proptest::prelude::*;
+
+/// Strategy: a strictly-positive diagonal Hessian of dimension `n`.
+fn pd_diag(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.5f64..5.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On a bounded random LP the simplex optimum must weakly beat every
+    /// random feasible point we can construct.
+    #[test]
+    fn lp_optimum_beats_random_feasible_points(
+        c in prop::collection::vec(-3.0f64..3.0, 3),
+        caps in prop::collection::vec(1.0f64..10.0, 3),
+        trial in prop::collection::vec(0.0f64..1.0, 3),
+    ) {
+        let mut lp = LinearProgram::minimize(c.clone());
+        for (j, &cap) in caps.iter().enumerate() {
+            let mut row = vec![0.0; 3];
+            row[j] = 1.0;
+            lp = lp.inequality(row, cap);
+        }
+        let sol = lp.solve().unwrap();
+        // Random feasible point: scale each coordinate into [0, cap].
+        let feas: Vec<f64> = trial.iter().zip(&caps).map(|(t, cap)| t * cap).collect();
+        let feas_obj: f64 = c.iter().zip(&feas).map(|(ci, xi)| ci * xi).sum();
+        prop_assert!(sol.objective() <= feas_obj + 1e-7);
+    }
+
+    /// Transport-shaped LP: total shipped equals total demanded, and the
+    /// optimum never exceeds capacity.
+    #[test]
+    fn lp_conservation_and_capacity_hold(
+        costs in prop::collection::vec(0.1f64..5.0, 6),
+        demand in 1.0f64..20.0,
+    ) {
+        // 2 portals × 3 IDCs; ample capacity on the last IDC.
+        let caps = [demand * 0.6, demand * 0.7, demand * 2.5];
+        let mut lp = LinearProgram::minimize(costs);
+        lp = lp.equality(vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0], demand * 0.5);
+        lp = lp.equality(vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0], demand * 0.5);
+        for j in 0..3 {
+            let mut row = vec![0.0; 6];
+            row[j] = 1.0;
+            row[3 + j] = 1.0;
+            lp = lp.inequality(row, caps[j]);
+        }
+        let x = lp.solve().unwrap().into_x();
+        prop_assert!((vec_ops::sum(&x) - demand).abs() < 1e-6);
+        for j in 0..3 {
+            prop_assert!(x[j] + x[3 + j] <= caps[j] + 1e-6);
+        }
+        prop_assert!(x.iter().all(|&v| v >= -1e-9));
+    }
+
+    /// The QP optimum must satisfy its constraints and weakly beat feasible
+    /// perturbations (local optimality certificate for a convex problem).
+    #[test]
+    fn qp_optimum_is_feasible_and_locally_optimal(
+        hdiag in pd_diag(3),
+        g in prop::collection::vec(-3.0f64..3.0, 3),
+        cap in 0.5f64..3.0,
+    ) {
+        let qp = QuadraticProgram::new(Matrix::diag(&hdiag), g)
+            .unwrap()
+            .equality(vec![1.0, 1.0, 1.0], 1.0)
+            .inequality(vec![1.0, 0.0, 0.0], cap)
+            .inequality(vec![-1.0, 0.0, 0.0], cap);
+        let sol = qp.solve().unwrap();
+        prop_assert!(qp.is_feasible(sol.x(), 1e-6));
+        let base = sol.objective();
+        // Perturb along the equality manifold.
+        for (i, j) in [(0usize, 1usize), (1, 2), (0, 2)] {
+            for eps in [1e-4, -1e-4] {
+                let mut trial = sol.x().to_vec();
+                trial[i] += eps;
+                trial[j] -= eps;
+                if qp.is_feasible(&trial, 1e-9) {
+                    prop_assert!(qp.objective_at(&trial) >= base - 1e-8);
+                }
+            }
+        }
+    }
+
+    /// Shadow prices predict the objective's response to small RHS
+    /// perturbations on random bounded LPs.
+    #[test]
+    fn lp_duals_match_finite_differences(
+        c in prop::collection::vec(-3.0f64..3.0, 3),
+        caps in prop::collection::vec(1.0f64..10.0, 3),
+        demand in 0.5f64..2.5,
+    ) {
+        let build = |caps: &[f64], demand: f64| {
+            let mut lp = LinearProgram::minimize(c.clone())
+                .equality(vec![1.0, 1.0, 1.0], demand);
+            for (j, &cap) in caps.iter().enumerate() {
+                let mut row = vec![0.0; 3];
+                row[j] = 1.0;
+                lp = lp.inequality(row, cap);
+            }
+            lp.solve()
+        };
+        let base = build(&caps, demand).unwrap();
+        let eps = 1e-4;
+        // Demand (equality) dual.
+        let bumped = build(&caps, demand + eps).unwrap();
+        let fd = (bumped.objective() - base.objective()) / eps;
+        prop_assert!(
+            (fd - base.duals_eq()[0]).abs() < 1e-4,
+            "eq dual {} vs fd {fd}", base.duals_eq()[0]
+        );
+        // One capacity dual (may be degenerate at kinks; allow one-sided).
+        let mut caps2 = caps.clone();
+        caps2[0] += eps;
+        let bumped = build(&caps2, demand).unwrap();
+        let fd = (bumped.objective() - base.objective()) / eps;
+        prop_assert!(
+            fd <= base.duals_ub()[0] + 1e-4,
+            "ub dual {} vs fd {fd}", base.duals_ub()[0]
+        );
+    }
+
+    /// Simplex projection is idempotent and 1-Lipschitz (non-expansive).
+    #[test]
+    fn simplex_projection_properties(
+        v in prop::collection::vec(-5.0f64..5.0, 4),
+        w in prop::collection::vec(-5.0f64..5.0, 4),
+        total in 0.1f64..10.0,
+    ) {
+        let pv = project_simplex(&v, total);
+        prop_assert!((vec_ops::sum(&pv) - total).abs() < 1e-9);
+        prop_assert!(pv.iter().all(|&x| x >= 0.0));
+        // Idempotence.
+        let ppv = project_simplex(&pv, total);
+        prop_assert!(vec_ops::approx_eq(&pv, &ppv, 1e-9));
+        // Non-expansiveness.
+        let pw = project_simplex(&w, total);
+        let d_proj = vec_ops::norm2(&vec_ops::sub(&pv, &pw));
+        let d_orig = vec_ops::norm2(&vec_ops::sub(&v, &w));
+        prop_assert!(d_proj <= d_orig + 1e-9);
+    }
+
+    /// Active-set QP and projected-gradient agree on simplex-constrained
+    /// problems (the MPC ablation pairing).
+    #[test]
+    fn qp_and_projgrad_agree_on_simplex(
+        hdiag in pd_diag(3),
+        g in prop::collection::vec(-2.0f64..2.0, 3),
+    ) {
+        let h = Matrix::diag(&hdiag);
+        let exact = QuadraticProgram::new(h.clone(), g.clone())
+            .unwrap()
+            .equality(vec![1.0, 1.0, 1.0], 1.0)
+            .inequality(vec![-1.0, 0.0, 0.0], 0.0)
+            .inequality(vec![0.0, -1.0, 0.0], 0.0)
+            .inequality(vec![0.0, 0.0, -1.0], 0.0)
+            .solve()
+            .unwrap();
+        let approx = idc_opt::projgrad::ProjectedGradientQp::new(h, g)
+            .unwrap()
+            .simplex_block(0, 3, 1.0)
+            .max_iterations(20000)
+            .solve()
+            .unwrap();
+        prop_assert!(
+            vec_ops::approx_eq(exact.x(), &approx, 1e-4),
+            "exact {:?} vs approx {:?}", exact.x(), approx
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Autoregressive AR(p) models (paper eq. 12).
+//!
+//! The paper models workload arrival as a time-varying AR(p) process
+//! `µ(k) = Σ_{s=1..p} α_s µ(k−s) + ε(k)` with i.i.d. white-noise
+//! innovations. This module provides the *generative* side (simulation with
+//! known coefficients); the *estimation* side lives in
+//! [`crate::rls`] / [`crate::predictor`].
+
+use rand::Rng;
+
+use crate::gaussian::standard_normal;
+
+/// An AR(p) process with fixed coefficients and Gaussian innovations.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use idc_timeseries::ar::ArModel;
+///
+/// let model = ArModel::new(vec![0.6, 0.3], 1.0).expect("valid");
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let path = model.simulate(&mut rng, &[10.0, 10.0], 100);
+/// assert_eq!(path.len(), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArModel {
+    coeffs: Vec<f64>,
+    noise_std: f64,
+}
+
+impl ArModel {
+    /// Creates an AR(p) model from lag coefficients `[α₁, …, α_p]` and the
+    /// innovation standard deviation.
+    ///
+    /// Returns `None` when `coeffs` is empty, any value is non-finite, or
+    /// `noise_std` is negative.
+    pub fn new(coeffs: Vec<f64>, noise_std: f64) -> Option<Self> {
+        if coeffs.is_empty()
+            || noise_std < 0.0
+            || !noise_std.is_finite()
+            || coeffs.iter().any(|c| !c.is_finite())
+        {
+            return None;
+        }
+        Some(ArModel { coeffs, noise_std })
+    }
+
+    /// Model order `p`.
+    pub fn order(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Borrow of the lag coefficients `[α₁, …, α_p]`.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Innovation standard deviation.
+    pub fn noise_std(&self) -> f64 {
+        self.noise_std
+    }
+
+    /// Sufficient (not necessary) stationarity test: `Σ|α_s| < 1`.
+    ///
+    /// Processes passing this test are guaranteed stationary; the paper's
+    /// fitted workload models land comfortably inside this region.
+    pub fn is_contractive(&self) -> bool {
+        self.coeffs.iter().map(|c| c.abs()).sum::<f64>() < 1.0
+    }
+
+    /// One-step conditional mean given `history`, ordered oldest → newest.
+    ///
+    /// Uses however many of the most recent values are available (up to
+    /// `p`); with an empty history the prediction is 0.
+    pub fn predict(&self, history: &[f64]) -> f64 {
+        self.coeffs
+            .iter()
+            .enumerate()
+            .map(|(s, &alpha)| {
+                history
+                    .len()
+                    .checked_sub(s + 1)
+                    .map_or(0.0, |idx| alpha * history[idx])
+            })
+            .sum()
+    }
+
+    /// Simulates `n` steps starting from `init` (oldest → newest; values
+    /// beyond `p` are ignored, missing values are treated as 0).
+    pub fn simulate<R: Rng + ?Sized>(&self, rng: &mut R, init: &[f64], n: usize) -> Vec<f64> {
+        let mut history: Vec<f64> = init.to_vec();
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mean = self.predict(&history);
+            let value = mean + self.noise_std * standard_normal(rng);
+            history.push(value);
+            out.push(value);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn constructor_validates() {
+        assert!(ArModel::new(vec![], 1.0).is_none());
+        assert!(ArModel::new(vec![0.5], -1.0).is_none());
+        assert!(ArModel::new(vec![f64::NAN], 1.0).is_none());
+        assert!(ArModel::new(vec![0.5], 0.0).is_some());
+    }
+
+    #[test]
+    fn predict_uses_most_recent_values_first() {
+        // α₁ applies to the newest sample.
+        let m = ArModel::new(vec![1.0, 0.0], 0.0).unwrap();
+        assert_eq!(m.predict(&[5.0, 9.0]), 9.0);
+        let m2 = ArModel::new(vec![0.0, 1.0], 0.0).unwrap();
+        assert_eq!(m2.predict(&[5.0, 9.0]), 5.0);
+    }
+
+    #[test]
+    fn predict_handles_short_history() {
+        let m = ArModel::new(vec![0.5, 0.25], 0.0).unwrap();
+        assert_eq!(m.predict(&[]), 0.0);
+        assert_eq!(m.predict(&[4.0]), 2.0); // only α₁ contributes
+    }
+
+    #[test]
+    fn noiseless_simulation_is_deterministic_recursion() {
+        let m = ArModel::new(vec![0.5], 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let path = m.simulate(&mut rng, &[8.0], 3);
+        assert_eq!(path, vec![4.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn contractive_process_stays_bounded() {
+        let m = ArModel::new(vec![0.5, 0.3], 1.0).unwrap();
+        assert!(m.is_contractive());
+        let mut rng = StdRng::seed_from_u64(3);
+        let path = m.simulate(&mut rng, &[0.0, 0.0], 5000);
+        let max = path.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        // Stationary variance is finite; 1000σ would indicate divergence.
+        assert!(max < 50.0, "max |x| = {max}");
+    }
+
+    #[test]
+    fn explosive_process_diverges() {
+        let m = ArModel::new(vec![1.2], 0.0).unwrap();
+        assert!(!m.is_contractive());
+        let mut rng = StdRng::seed_from_u64(3);
+        let path = m.simulate(&mut rng, &[1.0], 100);
+        assert!(path.last().unwrap() > &1e6);
+    }
+
+    #[test]
+    fn accessors_expose_parameters() {
+        let m = ArModel::new(vec![0.1, 0.2, 0.3], 2.5).unwrap();
+        assert_eq!(m.order(), 3);
+        assert_eq!(m.coeffs(), &[0.1, 0.2, 0.3]);
+        assert_eq!(m.noise_std(), 2.5);
+    }
+}

@@ -1,0 +1,66 @@
+//! Box–Muller standard-normal sampling.
+//!
+//! Implemented in-crate so the workspace depends only on the core `rand`
+//! crate (no `rand_distr`), keeping the offline dependency footprint small.
+
+use rand::{Rng, RngExt};
+
+/// Draws one standard-normal (`N(0, 1)`) variate via the Box–Muller
+/// transform.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use idc_timeseries::standard_normal;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let samples: Vec<f64> = (0..1000).map(|_| standard_normal(&mut rng)).collect();
+/// let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+/// assert!(mean.abs() < 0.15);
+/// ```
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Reject u1 == 0 so ln(u1) stays finite.
+    let mut u1: f64 = rng.random();
+    while u1 <= f64::MIN_POSITIVE {
+        u1 = rng.random();
+    }
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn moments_are_approximately_standard() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(1);
+            (0..10).map(|_| standard_normal(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(1);
+            (0..10).map(|_| standard_normal(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn values_are_finite() {
+        let mut rng = StdRng::seed_from_u64(99);
+        assert!((0..10_000).all(|_| standard_normal(&mut rng).is_finite()));
+    }
+}

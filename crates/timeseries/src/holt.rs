@@ -1,0 +1,161 @@
+//! Holt's double-exponential (level + trend) smoothing predictor.
+//!
+//! An alternative to the paper's AR(p)+RLS workload predictor, used as an
+//! ablation: Holt tracks a local level `ℓ` and trend `b`,
+//!
+//! ```text
+//! ℓ(k) = α·y(k) + (1−α)(ℓ(k−1) + b(k−1))
+//! b(k) = β·(ℓ(k) − ℓ(k−1)) + (1−β)·b(k−1)
+//! ŷ(k+h) = ℓ(k) + h·b(k)
+//! ```
+//!
+//! It adapts faster to ramps than low-order AR but has no notion of
+//! oscillation; the `prediction` bench and the Fig. 3 harness compare the
+//! two on the same traces.
+
+/// Holt linear-trend exponential smoother.
+///
+/// # Example
+///
+/// ```
+/// use idc_timeseries::holt::HoltPredictor;
+///
+/// let mut h = HoltPredictor::new(0.5, 0.2).expect("valid smoothing factors");
+/// for t in 0..50 {
+///     h.observe(100.0 + 3.0 * t as f64);
+/// }
+/// // Extrapolates the ramp.
+/// assert!((h.predict(1) - 250.0).abs() < 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HoltPredictor {
+    alpha: f64,
+    beta: f64,
+    level: Option<f64>,
+    trend: f64,
+    observations: usize,
+}
+
+impl HoltPredictor {
+    /// Creates a smoother with level factor `alpha` and trend factor
+    /// `beta`, both in `(0, 1]`. Returns `None` outside that range.
+    pub fn new(alpha: f64, beta: f64) -> Option<Self> {
+        if !(alpha > 0.0 && alpha <= 1.0 && beta > 0.0 && beta <= 1.0) {
+            return None;
+        }
+        Some(HoltPredictor {
+            alpha,
+            beta,
+            level: None,
+            trend: 0.0,
+            observations: 0,
+        })
+    }
+
+    /// Level smoothing factor α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Trend smoothing factor β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Number of samples consumed.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Incorporates one sample; returns the a-priori one-step error.
+    pub fn observe(&mut self, value: f64) -> f64 {
+        self.observations += 1;
+        match self.level {
+            None => {
+                self.level = Some(value);
+                self.trend = 0.0;
+                0.0
+            }
+            Some(prev_level) => {
+                let err = value - (prev_level + self.trend);
+                let level = self.alpha * value + (1.0 - self.alpha) * (prev_level + self.trend);
+                self.trend = self.beta * (level - prev_level) + (1.0 - self.beta) * self.trend;
+                self.level = Some(level);
+                err
+            }
+        }
+    }
+
+    /// `h`-step-ahead forecast `ℓ + h·b`, clamped non-negative (workload).
+    pub fn predict(&self, h: usize) -> f64 {
+        match self.level {
+            None => 0.0,
+            Some(level) => (level + h as f64 * self.trend).max(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates_factors() {
+        assert!(HoltPredictor::new(0.0, 0.5).is_none());
+        assert!(HoltPredictor::new(0.5, 1.5).is_none());
+        assert!(HoltPredictor::new(1.0, 1.0).is_some());
+    }
+
+    #[test]
+    fn empty_predictor_returns_zero() {
+        let h = HoltPredictor::new(0.5, 0.2).unwrap();
+        assert_eq!(h.predict(3), 0.0);
+        assert_eq!(h.observations(), 0);
+    }
+
+    #[test]
+    fn constant_signal_is_learned_exactly() {
+        let mut h = HoltPredictor::new(0.4, 0.1).unwrap();
+        for _ in 0..100 {
+            h.observe(420.0);
+        }
+        assert!((h.predict(1) - 420.0).abs() < 1e-9);
+        assert!((h.predict(10) - 420.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_ramp_is_extrapolated() {
+        let mut h = HoltPredictor::new(0.5, 0.3).unwrap();
+        for t in 0..200 {
+            h.observe(10.0 + 2.5 * t as f64);
+        }
+        // Next value ≈ 10 + 2.5·200 = 510; 4 steps out ≈ 517.5.
+        assert!((h.predict(1) - 510.0).abs() < 1.0, "{}", h.predict(1));
+        assert!((h.predict(4) - 517.5).abs() < 1.5, "{}", h.predict(4));
+    }
+
+    #[test]
+    fn forecast_is_clamped_nonnegative() {
+        let mut h = HoltPredictor::new(1.0, 1.0).unwrap();
+        h.observe(10.0);
+        h.observe(1.0); // steep downward trend
+        assert!(h.predict(50) >= 0.0);
+    }
+
+    #[test]
+    fn one_step_error_shrinks_on_smooth_signal() {
+        let mut h = HoltPredictor::new(0.6, 0.3).unwrap();
+        let mut early = 0.0;
+        let mut late = 0.0;
+        for t in 0..300 {
+            let e = h.observe(500.0 + 100.0 * (t as f64 * 0.02).sin()).abs();
+            if (5..25).contains(&t) {
+                early += e;
+            }
+            if t >= 280 {
+                late += e;
+            }
+        }
+        assert!(late < early, "early {early}, late {late}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Workload modelling and online prediction for the `idc-mpc` workspace.
+//!
+//! The ICDCS 2012 paper predicts the arriving Internet workload with a
+//! *time-varying p-th order autoregressive model* whose coefficients are
+//! estimated online by *Recursive Least Squares* (paper Sec. III-D,
+//! eq. 12–13, Fig. 3). This crate provides:
+//!
+//! * [`ar::ArModel`] — AR(p) simulation and one-step prediction,
+//! * [`rls::RecursiveLeastSquares`] — exponentially-weighted RLS estimation,
+//! * [`predictor::WorkloadPredictor`] — the combination the paper uses: an
+//!   online-estimated AR(p) one-step/h-step workload forecaster,
+//! * [`holt::HoltPredictor`] — a double-exponential-smoothing alternative
+//!   used to ablate the predictor choice,
+//! * [`traces`] — synthetic diurnal/bursty web-workload generators standing
+//!   in for the EPA-HTTP trace of Fig. 3 (not redistributable offline),
+//! * [`mmpp::MarkovModulatedPoisson`] — the MMPP arrival model the paper
+//!   cites (\[15\]) as a standard fit for web service workloads,
+//! * [`metrics`] — MAPE/RMSE prediction-accuracy metrics.
+//!
+//! # Example
+//!
+//! ```
+//! use idc_timeseries::predictor::WorkloadPredictor;
+//!
+//! let mut predictor = WorkloadPredictor::new(3).expect("order > 0");
+//! // Feed a gentle ramp; the predictor should extrapolate it.
+//! for t in 0..50 {
+//!     predictor.observe(100.0 + 2.0 * t as f64);
+//! }
+//! let next = predictor.predict_next();
+//! assert!((next - 200.0).abs() < 10.0, "prediction {next}");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ar;
+mod gaussian;
+pub mod holt;
+pub mod metrics;
+pub mod mmpp;
+pub mod predictor;
+pub mod rls;
+pub mod traces;
+
+pub use gaussian::standard_normal;

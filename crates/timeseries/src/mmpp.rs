@@ -1,0 +1,212 @@
+//! Markov-Modulated Poisson Process workload model.
+//!
+//! The paper (Sec. III-D) cites MMPP \[15\] as a standard fit for web-service
+//! arrival processes. We implement a discrete-time MMPP: a hidden Markov
+//! chain over "activity states" (e.g. quiet / busy / flash-crowd), each
+//! with its own Poisson arrival rate; per sampling interval the chain
+//! transitions and an arrival count is drawn.
+
+use rand::{Rng, RngExt};
+
+/// A discrete-time Markov-Modulated Poisson Process.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use idc_timeseries::mmpp::MarkovModulatedPoisson;
+///
+/// let mmpp = MarkovModulatedPoisson::new(
+///     vec![100.0, 1000.0],
+///     vec![vec![0.95, 0.05], vec![0.10, 0.90]],
+/// ).expect("valid chain");
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let arrivals = mmpp.sample_path(&mut rng, 0, 500, 1.0);
+/// assert_eq!(arrivals.len(), 500);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovModulatedPoisson {
+    rates: Vec<f64>,
+    transition: Vec<Vec<f64>>,
+}
+
+impl MarkovModulatedPoisson {
+    /// Creates an MMPP from per-state arrival rates (req/s) and a row-
+    /// stochastic transition matrix.
+    ///
+    /// Returns `None` when the dimensions disagree, a rate is negative, a
+    /// probability is outside `[0, 1]` or a row does not sum to 1 (within
+    /// 1e-9).
+    pub fn new(rates: Vec<f64>, transition: Vec<Vec<f64>>) -> Option<Self> {
+        let n = rates.len();
+        if n == 0 || transition.len() != n {
+            return None;
+        }
+        if rates.iter().any(|&r| !(r >= 0.0) || !r.is_finite()) {
+            return None;
+        }
+        for row in &transition {
+            if row.len() != n {
+                return None;
+            }
+            if row.iter().any(|&p| !(0.0..=1.0).contains(&p)) {
+                return None;
+            }
+            if (row.iter().sum::<f64>() - 1.0).abs() > 1e-9 {
+                return None;
+            }
+        }
+        Some(MarkovModulatedPoisson { rates, transition })
+    }
+
+    /// Number of hidden states.
+    pub fn num_states(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Arrival rate of state `s` (req/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn rate(&self, s: usize) -> f64 {
+        self.rates[s]
+    }
+
+    /// Draws the next hidden state given the current one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn step_state<R: Rng + ?Sized>(&self, rng: &mut R, state: usize) -> usize {
+        let u: f64 = rng.random();
+        let mut acc = 0.0;
+        for (next, &p) in self.transition[state].iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return next;
+            }
+        }
+        self.num_states() - 1
+    }
+
+    /// Samples `n` intervals of length `dt` seconds starting in
+    /// `initial_state`, returning the observed arrival *rate* (count / dt)
+    /// per interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_state` is out of range or `dt ≤ 0`.
+    pub fn sample_path<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        initial_state: usize,
+        n: usize,
+        dt: f64,
+    ) -> Vec<f64> {
+        assert!(initial_state < self.num_states(), "state out of range");
+        assert!(dt > 0.0, "interval length must be positive");
+        let mut state = initial_state;
+        (0..n)
+            .map(|_| {
+                state = self.step_state(rng, state);
+                poisson(rng, self.rates[state] * dt) as f64 / dt
+            })
+            .collect()
+    }
+}
+
+/// Draws a Poisson(λ) count. Uses Knuth's product method for small λ and a
+/// Gaussian approximation (clamped at 0) for large λ, which is ample for
+/// workload simulation.
+fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.random();
+        let mut count = 0;
+        while product > limit {
+            product *= rng.random::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        let z = crate::standard_normal(rng);
+        (lambda + lambda.sqrt() * z).round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn two_state() -> MarkovModulatedPoisson {
+        MarkovModulatedPoisson::new(
+            vec![50.0, 500.0],
+            vec![vec![0.9, 0.1], vec![0.2, 0.8]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn constructor_validates_dimensions_and_stochasticity() {
+        assert!(MarkovModulatedPoisson::new(vec![], vec![]).is_none());
+        assert!(MarkovModulatedPoisson::new(vec![1.0], vec![vec![0.5]]).is_none());
+        assert!(MarkovModulatedPoisson::new(vec![1.0], vec![vec![0.5, 0.5]]).is_none());
+        assert!(MarkovModulatedPoisson::new(vec![-1.0], vec![vec![1.0]]).is_none());
+        assert!(MarkovModulatedPoisson::new(vec![1.0, 2.0], vec![vec![1.0, 0.0]]).is_none());
+        assert!(two_state().num_states() == 2);
+    }
+
+    #[test]
+    fn mean_rate_lies_between_state_rates() {
+        let mmpp = two_state();
+        let mut rng = StdRng::seed_from_u64(11);
+        let path = mmpp.sample_path(&mut rng, 0, 20_000, 1.0);
+        let mean = path.iter().sum::<f64>() / path.len() as f64;
+        assert!(mean > 50.0 && mean < 500.0, "mean {mean}");
+        // Stationary distribution of the chain is (2/3, 1/3) → mean = 200.
+        assert!((mean - 200.0).abs() < 25.0, "mean {mean}");
+    }
+
+    #[test]
+    fn large_lambda_uses_gaussian_branch_with_right_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 5000;
+        let mean = (0..n).map(|_| poisson(&mut rng, 1000.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 1000.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn small_lambda_mean_matches() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let mean = (0..n).map(|_| poisson(&mut rng, 3.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_lambda_gives_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn path_is_deterministic_per_seed() {
+        let mmpp = two_state();
+        let a = mmpp.sample_path(&mut StdRng::seed_from_u64(1), 0, 50, 1.0);
+        let b = mmpp.sample_path(&mut StdRng::seed_from_u64(1), 0, 50, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "state out of range")]
+    fn sample_path_rejects_bad_state() {
+        let mmpp = two_state();
+        let mut rng = StdRng::seed_from_u64(0);
+        mmpp.sample_path(&mut rng, 9, 10, 1.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! The paper's workload predictor: an AR(p) model whose coefficients are
+//! estimated online by RLS (paper eq. 13, Fig. 3).
+
+use std::collections::VecDeque;
+
+use crate::rls::RecursiveLeastSquares;
+
+/// Default RLS forgetting factor; slightly below 1 so the predictor tracks
+/// the time-varying diurnal workload, as the paper's "time-varying AR"
+/// phrasing requires.
+pub const DEFAULT_FORGETTING: f64 = 0.995;
+
+/// An online AR(p)+RLS workload forecaster.
+///
+/// Feed observations with [`observe`](Self::observe); read one-step
+/// forecasts with [`predict_next`](Self::predict_next) or multi-step
+/// forecasts (needed for the MPC prediction horizon β₁) with
+/// [`forecast`](Self::forecast).
+///
+/// Before `p + 1` observations have been seen the predictor falls back to
+/// persistence (the last observed value).
+///
+/// # Example
+///
+/// ```
+/// use idc_timeseries::predictor::WorkloadPredictor;
+///
+/// let mut p = WorkloadPredictor::new(2).expect("order > 0");
+/// for t in 0..60 {
+///     p.observe(500.0 + 100.0 * (t as f64 * 0.1).sin());
+/// }
+/// let horizon = p.forecast(5);
+/// assert_eq!(horizon.len(), 5);
+/// assert!(horizon.iter().all(|v| *v >= 0.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadPredictor {
+    order: usize,
+    rls: RecursiveLeastSquares,
+    history: VecDeque<f64>,
+}
+
+impl WorkloadPredictor {
+    /// Creates a predictor of AR order `order` with the default forgetting
+    /// factor. Returns `None` if `order == 0`.
+    pub fn new(order: usize) -> Option<Self> {
+        Self::with_forgetting(order, DEFAULT_FORGETTING)
+    }
+
+    /// Creates a predictor with an explicit forgetting factor `λ ∈ (0, 1]`.
+    /// Returns `None` if `order == 0` or `λ` is out of range.
+    pub fn with_forgetting(order: usize, forgetting: f64) -> Option<Self> {
+        if order == 0 || !(forgetting > 0.0 && forgetting <= 1.0) {
+            return None;
+        }
+        Some(WorkloadPredictor {
+            order,
+            rls: RecursiveLeastSquares::new(order, forgetting),
+            history: VecDeque::with_capacity(order + 1),
+        })
+    }
+
+    /// AR model order `p`.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Current estimated AR coefficients `[α̂₁, …, α̂_p]` (α̂₁ is the weight
+    /// of the most recent sample).
+    pub fn coefficients(&self) -> &[f64] {
+        self.rls.coefficients()
+    }
+
+    /// Number of observations consumed so far.
+    pub fn observations(&self) -> usize {
+        self.rls.updates() + self.history.len().min(self.order)
+    }
+
+    /// Incorporates a new workload sample, updating the AR coefficients,
+    /// and returns the a-priori one-step prediction error (0 while the
+    /// history is still warming up).
+    pub fn observe(&mut self, value: f64) -> f64 {
+        let err = if self.history.len() >= self.order {
+            let x = self.regressor();
+            self.rls.update(&x, value)
+        } else {
+            0.0
+        };
+        self.history.push_back(value);
+        if self.history.len() > self.order {
+            self.history.pop_front();
+        }
+        err
+    }
+
+    /// One-step-ahead forecast `µ̂(k+1)`, clamped to be non-negative
+    /// (workload cannot be negative).
+    pub fn predict_next(&self) -> f64 {
+        if self.history.is_empty() {
+            return 0.0;
+        }
+        if self.rls.updates() == 0 {
+            // Persistence fallback during warm-up.
+            return *self.history.back().expect("checked non-empty");
+        }
+        self.rls.predict(&self.regressor()).max(0.0)
+    }
+
+    /// Recursive `h`-step forecast: each step feeds the previous prediction
+    /// back as a pseudo-observation. Used to fill the MPC prediction
+    /// horizon.
+    pub fn forecast(&self, h: usize) -> Vec<f64> {
+        let mut virtual_history: VecDeque<f64> = self.history.clone();
+        let mut out = Vec::with_capacity(h);
+        for _ in 0..h {
+            let pred = if virtual_history.is_empty() {
+                0.0
+            } else if self.rls.updates() == 0 {
+                *virtual_history.back().expect("checked non-empty")
+            } else {
+                let x: Vec<f64> = (0..self.order)
+                    .map(|s| {
+                        virtual_history
+                            .len()
+                            .checked_sub(s + 1)
+                            .map_or(0.0, |i| virtual_history[i])
+                    })
+                    .collect();
+                self.rls.predict(&x).max(0.0)
+            };
+            virtual_history.push_back(pred);
+            if virtual_history.len() > self.order {
+                virtual_history.pop_front();
+            }
+            out.push(pred);
+        }
+        out
+    }
+
+    /// Regressor `[µ(k−1), …, µ(k−p)]`, newest first, zero-padded.
+    fn regressor(&self) -> Vec<f64> {
+        (0..self.order)
+            .map(|s| {
+                self.history
+                    .len()
+                    .checked_sub(s + 1)
+                    .map_or(0.0, |i| self.history[i])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(WorkloadPredictor::new(0).is_none());
+        assert!(WorkloadPredictor::with_forgetting(2, 0.0).is_none());
+        assert!(WorkloadPredictor::with_forgetting(2, 1.1).is_none());
+        assert!(WorkloadPredictor::new(3).is_some());
+    }
+
+    #[test]
+    fn empty_predictor_predicts_zero() {
+        let p = WorkloadPredictor::new(2).unwrap();
+        assert_eq!(p.predict_next(), 0.0);
+        assert_eq!(p.forecast(3), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn warmup_uses_persistence() {
+        let mut p = WorkloadPredictor::new(3).unwrap();
+        p.observe(42.0);
+        assert_eq!(p.predict_next(), 42.0);
+    }
+
+    #[test]
+    fn learns_constant_signal() {
+        let mut p = WorkloadPredictor::new(2).unwrap();
+        for _ in 0..100 {
+            p.observe(750.0);
+        }
+        assert!((p.predict_next() - 750.0).abs() < 1.0);
+        // Multi-step forecast of a constant stays constant.
+        for v in p.forecast(10) {
+            assert!((v - 750.0).abs() < 2.0);
+        }
+    }
+
+    #[test]
+    fn learns_linear_ramp() {
+        let mut p = WorkloadPredictor::new(2).unwrap();
+        for t in 0..200 {
+            p.observe(100.0 + 5.0 * t as f64);
+        }
+        // Next value should be ≈ 100 + 5·200 = 1100.
+        let next = p.predict_next();
+        assert!((next - 1100.0).abs() < 15.0, "next {next}");
+    }
+
+    #[test]
+    fn tracks_sinusoid_with_small_error() {
+        let mut p = WorkloadPredictor::new(4).unwrap();
+        let mut abs_err = 0.0;
+        let mut count = 0;
+        for t in 0..500 {
+            let v = 1000.0 + 400.0 * (t as f64 * 0.05).sin();
+            let e = p.observe(v);
+            if t > 100 {
+                abs_err += e.abs();
+                count += 1;
+            }
+        }
+        let mae = abs_err / count as f64;
+        // Relative error under 2% of the mean level.
+        assert!(mae < 20.0, "mae {mae}");
+    }
+
+    #[test]
+    fn forecast_is_nonnegative() {
+        let mut p = WorkloadPredictor::new(2).unwrap();
+        for v in [10.0, 5.0, 1.0, 0.5, 0.1, 0.0, 0.0] {
+            p.observe(v);
+        }
+        assert!(p.forecast(20).iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn observation_counter() {
+        let mut p = WorkloadPredictor::new(2).unwrap();
+        for i in 0..5 {
+            p.observe(i as f64);
+        }
+        assert_eq!(p.observations(), 5);
+    }
+}

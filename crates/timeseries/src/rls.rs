@@ -1,0 +1,202 @@
+//! Exponentially-weighted Recursive Least Squares (paper Sec. III-D).
+//!
+//! The paper estimates the time-varying AR coefficients online with RLS
+//! (citing Yao et al., JSA 2010). The implementation below is the standard
+//! covariance-form recursion with a forgetting factor `λ ∈ (0, 1]`:
+//!
+//! ```text
+//! k(t)  = P x / (λ + xᵀ P x)
+//! θ(t)  = θ + k (y − xᵀθ)
+//! P(t)  = (P − k xᵀ P) / λ
+//! ```
+
+use idc_linalg::{vec_ops, Matrix};
+
+/// Online recursive least-squares estimator of `y ≈ θᵀx`.
+///
+/// # Example
+///
+/// ```
+/// use idc_timeseries::rls::RecursiveLeastSquares;
+///
+/// // Learn y = 2·x0 − 1·x1 from noiseless samples.
+/// let mut rls = RecursiveLeastSquares::new(2, 1.0);
+/// for t in 0..100 {
+///     let x = [(t as f64).sin(), (t as f64 * 0.7).cos()];
+///     let y = 2.0 * x[0] - x[1];
+///     rls.update(&x, y);
+/// }
+/// let theta = rls.coefficients();
+/// assert!((theta[0] - 2.0).abs() < 1e-6);
+/// assert!((theta[1] + 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecursiveLeastSquares {
+    theta: Vec<f64>,
+    p: Matrix,
+    forgetting: f64,
+    updates: usize,
+}
+
+impl RecursiveLeastSquares {
+    /// Creates an estimator for `dim` coefficients with forgetting factor
+    /// `forgetting` (1.0 = ordinary RLS; < 1.0 tracks time-varying systems).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `forgetting ∉ (0, 1]`.
+    pub fn new(dim: usize, forgetting: f64) -> Self {
+        assert!(dim > 0, "rls requires at least one coefficient");
+        assert!(
+            forgetting > 0.0 && forgetting <= 1.0,
+            "forgetting factor must lie in (0, 1], got {forgetting}"
+        );
+        RecursiveLeastSquares {
+            theta: vec![0.0; dim],
+            // Large initial covariance ⇒ fast initial adaptation.
+            p: Matrix::identity(dim).scale(1e6),
+            forgetting,
+            updates: 0,
+        }
+    }
+
+    /// Number of coefficients being estimated.
+    pub fn dim(&self) -> usize {
+        self.theta.len()
+    }
+
+    /// Current coefficient estimate `θ`.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.theta
+    }
+
+    /// Number of updates performed so far.
+    pub fn updates(&self) -> usize {
+        self.updates
+    }
+
+    /// Predicted output `θᵀx` for a regressor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        vec_ops::dot(&self.theta, x)
+    }
+
+    /// Incorporates one observation pair `(x, y)` and returns the *a
+    /// priori* prediction error `y − θᵀx` (before the update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn update(&mut self, x: &[f64], y: f64) -> f64 {
+        assert_eq!(x.len(), self.dim(), "regressor length mismatch");
+        let err = y - self.predict(x);
+
+        // px = P x ; denom = λ + xᵀ P x
+        let px = self.p.mul_vec(x).expect("square covariance");
+        let denom = self.forgetting + vec_ops::dot(x, &px);
+        // Gain k = P x / denom.
+        let k: Vec<f64> = px.iter().map(|v| v / denom).collect();
+
+        // θ ← θ + k · err
+        vec_ops::axpy(err, &k, &mut self.theta);
+
+        // P ← (P − k (Px)ᵀ) / λ   (using symmetry of P: xᵀP = (Px)ᵀ)
+        let n = self.dim();
+        for i in 0..n {
+            for j in 0..n {
+                self.p[(i, j)] = (self.p[(i, j)] - k[i] * px[j]) / self.forgetting;
+            }
+        }
+        self.updates += 1;
+        err
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_static_system() {
+        let mut rls = RecursiveLeastSquares::new(3, 1.0);
+        let truth = [1.5, -0.7, 0.2];
+        for t in 0..200 {
+            let x = [
+                (t as f64 * 0.3).sin(),
+                (t as f64 * 0.11).cos(),
+                ((t % 7) as f64) / 7.0,
+            ];
+            let y = vec_ops::dot(&truth, &x);
+            rls.update(&x, y);
+        }
+        for (est, tru) in rls.coefficients().iter().zip(&truth) {
+            assert!((est - tru).abs() < 1e-5, "{est} vs {tru}");
+        }
+    }
+
+    #[test]
+    fn forgetting_tracks_parameter_change() {
+        let mut rls = RecursiveLeastSquares::new(1, 0.9);
+        // First regime: y = 2x.
+        for t in 0..100 {
+            let x = [1.0 + (t % 3) as f64];
+            rls.update(&x, 2.0 * x[0]);
+        }
+        assert!((rls.coefficients()[0] - 2.0).abs() < 1e-6);
+        // Regime switch: y = −1·x. With λ = 0.9 it must re-converge fast.
+        for t in 0..100 {
+            let x = [1.0 + (t % 3) as f64];
+            rls.update(&x, -x[0]);
+        }
+        assert!((rls.coefficients()[0] + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn prediction_error_shrinks() {
+        let mut rls = RecursiveLeastSquares::new(2, 1.0);
+        let mut early = 0.0;
+        let mut late = 0.0;
+        for t in 0..100 {
+            let x = [(t as f64 * 0.5).sin(), 1.0];
+            let e = rls.update(&x, 3.0 * x[0] + 0.5).abs();
+            if t < 5 {
+                early += e;
+            }
+            if t >= 95 {
+                late += e;
+            }
+        }
+        assert!(late < early * 1e-3 + 1e-9, "early {early}, late {late}");
+    }
+
+    #[test]
+    fn updates_counter_increments() {
+        let mut rls = RecursiveLeastSquares::new(1, 1.0);
+        assert_eq!(rls.updates(), 0);
+        rls.update(&[1.0], 1.0);
+        rls.update(&[1.0], 1.0);
+        assert_eq!(rls.updates(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "forgetting factor")]
+    fn rejects_bad_forgetting_factor() {
+        let _ = RecursiveLeastSquares::new(1, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one coefficient")]
+    fn rejects_zero_dimension() {
+        let _ = RecursiveLeastSquares::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "regressor length mismatch")]
+    fn rejects_wrong_regressor_length() {
+        let mut rls = RecursiveLeastSquares::new(2, 1.0);
+        rls.update(&[1.0], 1.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for workload models and prediction.
+
+use idc_timeseries::ar::ArModel;
+use idc_timeseries::metrics;
+use idc_timeseries::predictor::WorkloadPredictor;
+use idc_timeseries::rls::RecursiveLeastSquares;
+use idc_timeseries::traces::DiurnalTrace;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// RLS with λ = 1 recovers an arbitrary linear system from rich data.
+    #[test]
+    fn rls_recovers_true_coefficients(
+        truth in prop::collection::vec(-3.0f64..3.0, 3),
+    ) {
+        let mut rls = RecursiveLeastSquares::new(3, 1.0);
+        for t in 0..300 {
+            let x = [
+                (t as f64 * 0.37).sin(),
+                (t as f64 * 0.13).cos(),
+                1.0,
+            ];
+            let y: f64 = truth.iter().zip(&x).map(|(a, b)| a * b).sum();
+            rls.update(&x, y);
+        }
+        for (est, tru) in rls.coefficients().iter().zip(&truth) {
+            prop_assert!((est - tru).abs() < 1e-4, "{est} vs {tru}");
+        }
+    }
+
+    /// Contractive AR processes driven by bounded noise stay bounded by the
+    /// geometric-series bound `max_noise / (1 − Σ|α|)` (plus initial decay).
+    #[test]
+    fn contractive_ar_is_bounded(
+        a1 in -0.45f64..0.45,
+        a2 in -0.45f64..0.45,
+        seed in 0u64..1000,
+    ) {
+        let m = ArModel::new(vec![a1, a2], 0.5).unwrap();
+        prop_assert!(m.is_contractive());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let path = m.simulate(&mut rng, &[1.0, 1.0], 2000);
+        let max = path.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
+        // 0.5σ noise, |α| sum < 0.9 → loose bound of 100 catches divergence.
+        prop_assert!(max < 100.0, "max {max}");
+    }
+
+    /// The predictor's one-step error on a noiseless AR(2) process goes to
+    /// zero: RLS identifies the process exactly.
+    #[test]
+    fn predictor_identifies_noiseless_ar(
+        a1 in 0.1f64..0.6,
+        a2 in -0.3f64..0.3,
+    ) {
+        let m = ArModel::new(vec![a1, a2], 0.0).unwrap();
+        let mut p = WorkloadPredictor::with_forgetting(2, 1.0).unwrap();
+        let mut history = vec![100.0, 90.0];
+        let mut last_errors = Vec::new();
+        for t in 0..120 {
+            let v = m.predict(&history) + 10.0; // +10 keeps it from decaying to 0
+            history.push(v);
+            let e = p.observe(v);
+            if t > 100 {
+                last_errors.push(e.abs());
+            }
+        }
+        let tail = metrics::mean(&last_errors);
+        prop_assert!(tail < 1.0, "tail error {tail}");
+    }
+
+    /// Generated diurnal traces are non-negative and deterministic per seed.
+    #[test]
+    fn traces_nonnegative_and_reproducible(
+        base in 0.0f64..2000.0,
+        amp in 0.0f64..1000.0,
+        noise in 0.0f64..300.0,
+        seed in 0u64..100,
+    ) {
+        let t = DiurnalTrace::new(base).amplitude(amp).noise_std(noise);
+        let a = t.generate(&mut StdRng::seed_from_u64(seed), 200, 60.0);
+        let b = t.generate(&mut StdRng::seed_from_u64(seed), 200, 60.0);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|&v| v >= 0.0));
+    }
+
+    /// MAPE and RMSE are zero iff prediction equals actual (on clean data).
+    #[test]
+    fn metrics_zero_iff_equal(xs in prop::collection::vec(1.0f64..100.0, 1..20)) {
+        prop_assert_eq!(metrics::rmse(&xs, &xs), 0.0);
+        prop_assert_eq!(metrics::mape(&xs, &xs, 0.5), 0.0);
+        let shifted: Vec<f64> = xs.iter().map(|v| v + 1.0).collect();
+        prop_assert!(metrics::rmse(&xs, &shifted) > 0.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! The demand↔price "vicious cycle" (paper Sec. I).
+//!
+//! When a MW-scale consumer's own demand moves the wholesale price, naive
+//! price-chasing re-optimizes against the price its *previous* move
+//! created: load floods the cheapest region, the price there rises, the
+//! ranking flips, and the allocation sloshes back — price and power
+//! oscillate. The MPC's input-rate penalty damps exactly this loop.
+//!
+//! This example sweeps the price-impact coefficient γ and reports the
+//! realized price volatility and worst power jump under both policies.
+//!
+//! Run with: `cargo run -p idc-examples --bin price_volatility`
+
+use idc_core::metrics::price_volatility;
+use idc_core::policy::{MpcPolicy, OptimalPolicy, ReferenceKind};
+use idc_core::scenario::vicious_cycle_scenario;
+use idc_core::simulation::Simulator;
+
+fn main() -> Result<(), idc_core::Error> {
+    let sim = Simulator::new();
+    println!("gamma | price volatility ($/MWh)   | worst power jump (MW)");
+    println!("      |    optimal        MPC      |   optimal      MPC");
+    for gamma in [0.0, 0.5, 1.0, 2.0, 4.0] {
+        let scenario = vicious_cycle_scenario(gamma);
+        let opt = sim.run(
+            &scenario,
+            &mut OptimalPolicy::new(ReferenceKind::PriceGreedy),
+        )?;
+        let mpc = sim.run(&scenario, &mut MpcPolicy::paper_tuned(&scenario)?)?;
+
+        let jump = |r: &idc_core::simulation::SimulationResult| {
+            (0..r.num_idcs())
+                .map(|j| r.power_stats(j).expect("nonempty").max_abs_step_mw)
+                .fold(0.0f64, f64::max)
+        };
+        println!(
+            "{gamma:>5.1} | {:>10.3} {:>10.3} | {:>10.3} {:>8.3}",
+            price_volatility(opt.prices()),
+            price_volatility(mpc.prices()),
+            jump(&opt),
+            jump(&mpc),
+        );
+    }
+    println!();
+    println!("Larger gamma = stronger demand response. The baseline's oscillation grows with");
+    println!("gamma while the MPC's damped moves keep both price and demand volatility low.");
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! Quickstart: run the paper's headline experiment in a dozen lines.
+//!
+//! Simulates the 6H→7H electricity-price flip on the three-IDC fleet and
+//! compares the paper's MPC controller against the instantaneous-optimal
+//! baseline: same workload served, drastically smoother power demand.
+//!
+//! Run with: `cargo run -p idc-examples --bin quickstart`
+
+use idc_core::metrics::Comparison;
+use idc_core::policy::{MpcPolicy, OptimalPolicy, ReferenceKind};
+use idc_core::report;
+use idc_core::scenario::smoothing_scenario;
+use idc_core::simulation::Simulator;
+
+fn main() -> Result<(), idc_core::Error> {
+    let scenario = smoothing_scenario();
+    let sim = Simulator::new();
+
+    let mpc = sim.run(&scenario, &mut MpcPolicy::paper_tuned(&scenario)?)?;
+    let opt = sim.run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))?;
+
+    let names = ["Michigan", "Minnesota", "Wisconsin"];
+    println!("{}", report::render_trajectories(&mpc, &names));
+    println!("{}", report::render_trajectories(&opt, &names));
+
+    let cmp = Comparison::between(&mpc, &opt).expect("same scenario");
+    println!("{}", report::render_comparison(&cmp, &names));
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! Closed-loop stability analysis of the MPC workload controller
+//! (paper Sec. IV-E).
+//!
+//! The paper appeals to the contraction-mapping stability argument of
+//! Mayne et al. \[21\] for constrained MPC. Here we *verify* the property
+//! computationally for the paper's instance:
+//!
+//! 1. build the closed-loop map `λ_WI(k) → λ_WI(k+1)` (one degree of
+//!    freedom once conservation fixes the rest, with Minnesota pinned),
+//! 2. numerically linearize it around the tracking equilibrium and check
+//!    the spectral radius (local Schur stability),
+//! 3. run an empirical contraction test over a grid of initial
+//!    allocations, and
+//! 4. measure the convergence horizon from the Fig. 4 starting point.
+//!
+//! Run with: `cargo run -p idc-examples --bin stability_analysis`
+
+use idc_control::mpc::{MpcConfig, MpcController, MpcProblem};
+use idc_control::stability::{converges_to_fixed_point, is_contraction, linearized_jacobian};
+use idc_core::config;
+use idc_linalg::eigen::spectral_radius;
+
+/// Closed-loop map on the (MI, WI) workload pair at the 7H prices; MN held
+/// at its saturated 49 999 req/s. Input and output are `[λ_MI, λ_WI]`.
+fn closed_loop_step(lam: &[f64]) -> Vec<f64> {
+    let fleet = config::paper_fleet_calibrated();
+    let idcs = fleet.idcs();
+    let mn = 49_999.0;
+    let total = 100_000.0 - mn;
+    // Re-project the probe point onto the conservation manifold.
+    let mi = lam[0].clamp(0.0, total);
+    let wi = total - mi;
+
+    let controller = MpcController::new(MpcConfig::default());
+    // 7H reference (greedy): MI full at 39 999, WI the rest.
+    let mi_ref = 39_999.0_f64.min(total);
+    let wi_ref = total - mi_ref;
+    let b1: Vec<f64> = idcs.iter().map(|i| i.server().b1() / 1e6).collect();
+    let b0: Vec<f64> = idcs.iter().map(|i| i.server().b0() / 1e6).collect();
+    let servers = [20_000u64, 40_000, 20_000]; // ample capacity everywhere
+    let reference = vec![
+        b1[0] * mi_ref + b0[0] * servers[0] as f64,
+        b1[1] * mn + b0[1] * servers[1] as f64,
+        b1[2] * wi_ref + b0[2] * servers[2] as f64,
+    ];
+    let problem = MpcProblem {
+        b1_mw: b1,
+        b0_mw: b0,
+        servers_on: servers.to_vec(),
+        capacities: idcs
+            .iter()
+            .zip(servers)
+            .map(|(idc, m)| idc.capacity_with(m))
+            .collect(),
+        // One portal per IDC block keeps the map one-dimensional per IDC.
+        prev_input: vec![mi, mn, wi],
+        workload_forecast: vec![vec![100_000.0]; 3],
+        power_reference_mw: vec![reference; 5],
+        tracking_multiplier: MpcProblem::uniform_tracking(3),
+    };
+    let plan = controller.plan(&problem).expect("feasible by construction");
+    vec![plan.next_input()[0], plan.next_input()[2]]
+}
+
+fn main() {
+    // 1. Linearize around the equilibrium (the reference allocation).
+    let eq = [39_999.0, 10_002.0];
+    let jac = linearized_jacobian(closed_loop_step, &eq, 50.0);
+    let rho = spectral_radius(&jac, 30).expect("finite Jacobian");
+    println!("closed-loop Jacobian at the tracking equilibrium:");
+    println!("  [{:>8.5} {:>8.5}]", jac[(0, 0)], jac[(0, 1)]);
+    println!("  [{:>8.5} {:>8.5}]", jac[(1, 0)], jac[(1, 1)]);
+    println!("spectral radius ρ = {rho:.5}  →  {}", if rho < 1.0 {
+        "locally Schur stable"
+    } else {
+        "NOT stable"
+    });
+
+    // 2. Empirical contraction over a grid of initial allocations.
+    let samples: Vec<Vec<f64>> = (0..6)
+        .map(|k| {
+            let mi = 5_000.0 + 7_000.0 * k as f64;
+            vec![mi, 50_001.0 - mi]
+        })
+        .collect();
+    let contracting = is_contraction(closed_loop_step, &samples, 5, 0.9);
+    println!("5-step contraction over 6 initial allocations: {contracting}");
+
+    // 3. Convergence horizon from the Fig. 4 starting point (everything
+    //    the 6H optimum gave Wisconsin).
+    let start = [15_002.0, 35_000.0];
+    match converges_to_fixed_point(closed_loop_step, &start, 200, 1.0) {
+        Some(steps) => println!(
+            "from the 6H operating point the loop reaches its fixed point in {steps} steps \
+             ({:.1} minutes at Ts = 30 s)",
+            steps as f64 * 0.5
+        ),
+        None => println!("no convergence within 200 steps"),
+    }
+}

@@ -1,0 +1,1 @@
+//! Placeholder library target; the content of this package lives in its integration tests.

@@ -1,0 +1,126 @@
+//! Cross-crate consistency: the substrates must agree with each other at
+//! their seams.
+
+use idc_control::discretize::discretize;
+use idc_control::reference::optimal_reference;
+use idc_control::statespace::CostStateSpace;
+use idc_core::config;
+use idc_datacenter::allocation::Allocation;
+use idc_datacenter::fleet::IdcFleet;
+use idc_market::trace::prices_at_hour;
+
+/// The discretized state-space cost (paper eq. 21) must agree with the
+/// simulator-style trapezoid accounting when both integrate the same
+/// constant power profile.
+#[test]
+fn state_space_energy_matches_direct_power_accounting() {
+    let fleet = IdcFleet::paper_fleet();
+    let prices = prices_at_hour(&config::paper_price_traces(), 6.0);
+    let b1: Vec<f64> = fleet.idcs().iter().map(|i| i.server().b1() / 1e6).collect();
+    let b0: Vec<f64> = fleet.idcs().iter().map(|i| i.server().b0() / 1e6).collect();
+    let ss = CostStateSpace::new(&prices, &b1, &b0, fleet.num_portals()).unwrap();
+    assert!(ss.is_controllable());
+
+    let ts = 1.0 / 120.0; // 30 s in hours
+    let model = discretize(&ss, ts).unwrap();
+
+    // One portal sends 10 000 req/s to IDC 0; 5 000 servers ON there.
+    let mut u = vec![0.0; fleet.num_portals() * fleet.num_idcs()];
+    u[0] = 10_000.0;
+    let v = [5_000.0, 0.0, 0.0];
+    let mut x = vec![0.0; ss.state_dim()];
+    let steps = 120; // one hour
+    for _ in 0..steps {
+        x = model.step(&x, &u, &v);
+    }
+    // Energy state E_1 after 1 h must equal P·1h.
+    let p_mw = b1[0] * 10_000.0 + b0[0] * 5_000.0;
+    assert!(
+        (x[1] - p_mw).abs() < 1e-9,
+        "state energy {} vs direct {}",
+        x[1],
+        p_mw
+    );
+    // And the direct power accounting through the fleet agrees.
+    let mut alloc = Allocation::zeros(fleet.num_portals(), fleet.num_idcs());
+    alloc.set(0, 0, 10_000.0);
+    let fleet_p = fleet.per_idc_power_mw(&[5_000, 0, 0], &alloc)[0];
+    assert!((fleet_p - p_mw).abs() < 1e-12);
+}
+
+/// The reference LP's allocation is feasible for the datacenter layer's
+/// invariants: conservation, non-negativity, capacity.
+#[test]
+fn reference_solution_respects_datacenter_invariants() {
+    let fleet = IdcFleet::paper_fleet();
+    for hour in 0..24 {
+        let prices = prices_at_hour(&config::paper_price_traces(), hour as f64);
+        let sol =
+            optimal_reference(fleet.idcs(), &fleet.offered_workloads(), &prices).unwrap();
+        let alloc = Allocation::from_control_vector(
+            fleet.num_portals(),
+            fleet.num_idcs(),
+            sol.allocation(),
+        )
+        .unwrap();
+        assert!(alloc.is_nonnegative(1e-7), "hour {hour}");
+        assert!(
+            alloc.conserves_workload(&fleet.offered_workloads(), 1e-6),
+            "hour {hour}"
+        );
+        let m = sol.servers_ceil(fleet.idcs());
+        for (j, idc) in fleet.idcs().iter().enumerate() {
+            assert!(
+                idc.meets_latency_bound(m[j], alloc.idc_total(j)),
+                "hour {hour}, IDC {j}: m={} λ={}",
+                m[j],
+                alloc.idc_total(j)
+            );
+        }
+    }
+}
+
+/// Heterogeneous PUE shifts the reference optimum: with a punitive PUE,
+/// the formerly cheapest region loses its workload.
+#[test]
+fn pue_shifts_the_reference_optimum() {
+    let fleet = IdcFleet::paper_fleet();
+    let prices = prices_at_hour(&config::paper_price_traces(), 6.0);
+    let offered = fleet.offered_workloads();
+
+    let base = optimal_reference(fleet.idcs(), &offered, &prices).unwrap();
+    // Wisconsin is saturated at 6H under uniform PUE.
+    assert!((base.idc_workloads(5)[2] - 34_000.0).abs() < 1.0);
+
+    // Give Wisconsin a terrible cooling plant (PUE 2.5).
+    let idcs: Vec<_> = fleet
+        .idcs()
+        .iter()
+        .enumerate()
+        .map(|(j, idc)| {
+            if j == 2 {
+                idc.clone().with_pue(2.5).expect("valid pue")
+            } else {
+                idc.clone()
+            }
+        })
+        .collect();
+    let cooled = optimal_reference(&idcs, &offered, &prices).unwrap();
+    // Its effective cost per request now exceeds both others: abandoned.
+    assert!(cooled.idc_workloads(5)[2] < 10_000.0, "{:?}", cooled.idc_workloads(5));
+    // And the reported power accounts for the facility overhead.
+    assert!(cooled.cost_rate_per_hour() > base.cost_rate_per_hour());
+}
+
+/// The market tariff layer and the simulator agree on what a budget
+/// violation is.
+#[test]
+fn tariff_clamp_matches_reference_clamp() {
+    let fleet = IdcFleet::paper_fleet();
+    let budgets = config::paper_power_budgets();
+    let prices = prices_at_hour(&config::paper_price_traces(), 7.0);
+    let sol = optimal_reference(fleet.idcs(), &fleet.offered_workloads(), &prices).unwrap();
+    let clamped_a = sol.clamped_power_mw(budgets.as_slice());
+    let clamped_b = budgets.clamp(sol.power_mw());
+    assert_eq!(clamped_a, clamped_b);
+}

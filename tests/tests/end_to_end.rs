@@ -1,0 +1,144 @@
+//! End-to-end integration: the full paper pipeline across every crate.
+
+use idc_core::metrics::Comparison;
+use idc_core::policy::{MpcPolicy, OptimalPolicy, ReferenceKind};
+use idc_core::scenario::{peak_shaving_scenario, smoothing_scenario, vicious_cycle_scenario};
+use idc_core::simulation::Simulator;
+
+/// The headline claim of the paper: same workload, same window, the MPC's
+/// demand is drastically smoother than the optimal baseline's at a small
+/// cost premium.
+#[test]
+fn figure_4_and_5_shape_holds() {
+    let scenario = smoothing_scenario();
+    let sim = Simulator::new();
+    let mpc = sim
+        .run(&scenario, &mut MpcPolicy::paper_tuned(&scenario).unwrap())
+        .unwrap();
+    let opt = sim
+        .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))
+        .unwrap();
+
+    // Paper endpoints (Figs. 4/5): optimal runs 2.1375→5.7, 11.4→11.4,
+    // 5.7→1.628775 MW; servers 7 500/40 000/20 000 → 20 000/40 000/5 715.
+    let opt_first: Vec<f64> = (0..3).map(|j| opt.power_mw(j)[0]).collect();
+    let opt_last: Vec<f64> = (0..3).map(|j| *opt.power_mw(j).last().unwrap()).collect();
+    for (measured, paper) in opt_first.iter().zip(&[2.1375, 11.4, 5.7]) {
+        assert!((measured - paper).abs() < 0.01, "{measured} vs {paper}");
+    }
+    for (measured, paper) in opt_last.iter().zip(&[5.7, 11.4, 1.628775]) {
+        assert!((measured - paper).abs() < 0.01, "{measured} vs {paper}");
+    }
+    assert!(opt.servers(0).last().unwrap().abs_diff(20_000) <= 2);
+    assert_eq!(*opt.servers(1).last().unwrap(), 40_000);
+    assert!(opt.servers(2).last().unwrap().abs_diff(5_715) <= 2);
+
+    // The MPC ends at (almost) the same operating point…
+    for j in 0..3 {
+        let mpc_end = *mpc.power_mw(j).last().unwrap();
+        assert!(
+            (mpc_end - opt_last[j]).abs() < 0.05,
+            "IDC {j}: MPC end {mpc_end} vs optimal {}",
+            opt_last[j]
+        );
+    }
+    // …with a far smaller worst jump and a modest cost premium.
+    let cmp = Comparison::between(&mpc, &opt).unwrap();
+    assert!(cmp.jump_reduction_percent() > 70.0, "{cmp:?}");
+    assert!(cmp.cost_overhead_percent() < 10.0, "{cmp:?}");
+    assert!(cmp.cost_overhead_percent() > 0.0, "smoothing cannot be free");
+}
+
+/// Peak shaving (Figs. 6/7): budget-violating IDCs are steered to their
+/// budgets; Wisconsin lands between its budget and its optimal value.
+#[test]
+fn figure_6_and_7_shape_holds() {
+    let scenario = peak_shaving_scenario();
+    let budgets = scenario.budgets().unwrap().clone();
+    let sim = Simulator::new();
+    let mpc = sim
+        .run(&scenario, &mut MpcPolicy::paper_tuned(&scenario).unwrap())
+        .unwrap();
+    let opt = sim
+        .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))
+        .unwrap();
+
+    // The baseline ends in violation of MI and MN budgets.
+    assert!(*opt.power_mw(0).last().unwrap() > budgets.budget_mw(0) + 0.5);
+    assert!(*opt.power_mw(1).last().unwrap() > budgets.budget_mw(1) + 1.0);
+    // The MPC ends at the budgets (small numeric slack).
+    assert!(*mpc.power_mw(0).last().unwrap() <= budgets.budget_mw(0) + 0.01);
+    assert!(*mpc.power_mw(1).last().unwrap() <= budgets.budget_mw(1) + 0.01);
+    // Wisconsin absorbs the displaced load: between optimal and budget.
+    let wi = *mpc.power_mw(2).last().unwrap();
+    let wi_opt = *opt.power_mw(2).last().unwrap();
+    assert!(wi > wi_opt && wi <= budgets.budget_mw(2) + 0.01, "WI {wi}");
+    // All workload still served within latency bounds at the end.
+    assert!(mpc.latency_ok_fraction() > 0.99);
+}
+
+/// The vicious cycle: with strong demand-responsive pricing the baseline's
+/// worst power jump exceeds the MPC's by a wide margin.
+#[test]
+fn vicious_cycle_is_damped_by_mpc() {
+    let scenario = vicious_cycle_scenario(4.0);
+    let sim = Simulator::new();
+    let mpc = sim
+        .run(&scenario, &mut MpcPolicy::paper_tuned(&scenario).unwrap())
+        .unwrap();
+    let opt = sim
+        .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))
+        .unwrap();
+    let worst = |r: &idc_core::simulation::SimulationResult| {
+        (0..r.num_idcs())
+            .map(|j| r.power_stats(j).unwrap().max_abs_step_mw)
+            .fold(0.0f64, f64::max)
+    };
+    assert!(worst(&opt) > 3.0 * worst(&mpc), "{} vs {}", worst(&opt), worst(&mpc));
+}
+
+/// A full diurnal day (hourly price changes + workload swings + noise):
+/// the MPC serves everything within latency bounds, never triggers
+/// admission control, and its worst power jump stays far below the
+/// baseline's.
+#[test]
+fn diurnal_day_is_served_smoothly() {
+    let scenario = idc_core::scenario::diurnal_day_scenario(2012);
+    let sim = Simulator::new();
+    let mpc = sim
+        .run(&scenario, &mut MpcPolicy::paper_tuned(&scenario).unwrap())
+        .unwrap();
+    let opt = sim
+        .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))
+        .unwrap();
+    assert!(mpc.latency_ok_fraction() > 0.999);
+    assert_eq!(mpc.shed_fraction(), 0.0);
+    let worst = |r: &idc_core::simulation::SimulationResult| {
+        (0..r.num_idcs())
+            .map(|j| r.power_stats(j).unwrap().max_abs_step_mw)
+            .fold(0.0f64, f64::max)
+    };
+    assert!(
+        worst(&mpc) < 0.35 * worst(&opt),
+        "MPC {} vs optimal {}",
+        worst(&mpc),
+        worst(&opt)
+    );
+    // The cost premium for a whole day of smoothing stays small.
+    let overhead = (mpc.total_cost() - opt.total_cost()) / opt.total_cost();
+    assert!(overhead < 0.05, "overhead {overhead}");
+}
+
+/// Determinism: identical runs produce bit-identical trajectories.
+#[test]
+fn simulation_is_deterministic() {
+    let scenario = smoothing_scenario();
+    let sim = Simulator::new();
+    let a = sim
+        .run(&scenario, &mut MpcPolicy::paper_tuned(&scenario).unwrap())
+        .unwrap();
+    let b = sim
+        .run(&scenario, &mut MpcPolicy::paper_tuned(&scenario).unwrap())
+        .unwrap();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,118 @@
+//! Property-based integration tests across the whole stack.
+
+use idc_control::mpc::{MpcConfig, MpcController, MpcProblem};
+use idc_control::reference::{optimal_reference, price_greedy_reference};
+use idc_datacenter::idc::IdcConfig;
+use idc_datacenter::server::ServerSpec;
+use proptest::prelude::*;
+
+/// Strategy: a small random fleet of 2–4 IDCs with sane parameters.
+fn idcs_strategy() -> impl Strategy<Value = Vec<IdcConfig>> {
+    prop::collection::vec(
+        (10_000u64..50_000, 1.0f64..3.0).prop_map(|(m, mu)| {
+            IdcConfig::new(
+                "gen",
+                m,
+                ServerSpec::new(150.0, 285.0, mu).expect("valid range"),
+                0.001,
+            )
+            .expect("valid range")
+        }),
+        2..=4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The eq. 46 LP optimum is never beaten by price-greedy filling, and
+    /// both conserve workload and respect capacities, for random fleets,
+    /// prices and loads.
+    #[test]
+    fn lp_dominates_greedy_on_random_instances(
+        idcs in idcs_strategy(),
+        prices_raw in prop::collection::vec(5.0f64..120.0, 4),
+        load_frac in 0.2f64..0.9,
+    ) {
+        let n = idcs.len();
+        let prices = &prices_raw[..n];
+        let capacity: f64 = idcs.iter().map(|i| i.max_workload()).sum();
+        let offered = [capacity * load_frac * 0.6, capacity * load_frac * 0.4];
+
+        let lp = optimal_reference(&idcs, &offered, prices).unwrap();
+        let greedy = price_greedy_reference(&idcs, &offered, prices).unwrap();
+        prop_assert!(lp.cost_rate_per_hour() <= greedy.cost_rate_per_hour() + 1e-6);
+
+        for sol in [&lp, &greedy] {
+            let lam = sol.idc_workloads(2);
+            let total: f64 = lam.iter().sum();
+            prop_assert!((total - offered.iter().sum::<f64>()).abs() < 1e-6);
+            for (j, idc) in idcs.iter().enumerate() {
+                prop_assert!(lam[j] <= idc.max_workload() + 1e-6);
+            }
+            prop_assert!(sol.allocation().iter().all(|&v| v >= -1e-9));
+        }
+    }
+
+    /// One MPC step from a random feasible interior point always conserves
+    /// workload, keeps inputs non-negative and respects capacities.
+    #[test]
+    fn mpc_step_invariants_on_random_instances(
+        split in 0.1f64..0.9,
+        ref0 in 0.5f64..5.0,
+        ref1 in 0.5f64..5.0,
+        smoothing in 0.01f64..50.0,
+    ) {
+        let total = 20_000.0;
+        let problem = MpcProblem {
+            b1_mw: vec![67.5e-6, 108.0e-6],
+            b0_mw: vec![150e-6, 150e-6],
+            servers_on: vec![15_000, 20_000],
+            capacities: vec![25_000.0, 24_000.0],
+            prev_input: vec![total * split, total * (1.0 - split)],
+            workload_forecast: vec![vec![total]; 3],
+            power_reference_mw: vec![vec![ref0, ref1]; 5],
+            tracking_multiplier: MpcProblem::uniform_tracking(2),
+        };
+        let controller = MpcController::new(MpcConfig {
+            smoothing_weight: smoothing,
+            ..MpcConfig::default()
+        });
+        let plan = controller.plan(&problem).unwrap();
+        let u = plan.next_input();
+        prop_assert!((u.iter().sum::<f64>() - total).abs() < 1e-5);
+        prop_assert!(u.iter().all(|&v| v >= 0.0));
+        prop_assert!(u[0] <= 25_000.0 + 1e-5);
+        prop_assert!(u[1] <= 24_000.0 + 1e-5);
+    }
+
+    /// Stronger smoothing never increases the size of the first move.
+    #[test]
+    fn smoothing_weight_is_monotone(step_gap in 1_000.0f64..15_000.0) {
+        let total = 20_000.0;
+        let mk = |smoothing: f64| {
+            let problem = MpcProblem {
+                b1_mw: vec![67.5e-6, 67.5e-6],
+                b0_mw: vec![150e-6, 150e-6],
+                servers_on: vec![20_000, 20_000],
+                capacities: vec![30_000.0, 30_000.0],
+                prev_input: vec![total, 0.0],
+                workload_forecast: vec![vec![total]; 3],
+                // Reference wants `step_gap` moved to IDC 1.
+                power_reference_mw: vec![vec![
+                    67.5e-6 * (total - step_gap) + 150e-6 * 20_000.0,
+                    67.5e-6 * step_gap + 150e-6 * 20_000.0,
+                ]; 5],
+                tracking_multiplier: MpcProblem::uniform_tracking(2),
+            };
+            let controller = MpcController::new(MpcConfig {
+                smoothing_weight: smoothing,
+                ..MpcConfig::default()
+            });
+            controller.plan(&problem).unwrap().next_input()[1]
+        };
+        let gentle = mk(100.0);
+        let aggressive = mk(0.01);
+        prop_assert!(gentle <= aggressive + 1e-6, "{gentle} vs {aggressive}");
+    }
+}
