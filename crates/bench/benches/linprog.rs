@@ -50,11 +50,7 @@ fn bench_reference(criterion: &mut Criterion) {
         let offered = vec![8_000.0; 10];
         let prices: Vec<f64> = (0..n).map(|j| 20.0 + (j as f64 * 7.3) % 40.0).collect();
         group.bench_with_input(BenchmarkId::new("eq46_lp_idcs", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(
-                    optimal_reference(&idcs, &offered, &prices).expect("feasible"),
-                )
-            })
+            b.iter(|| black_box(optimal_reference(&idcs, &offered, &prices).expect("feasible")))
         });
     }
     // A raw dense LP for the solver itself.

@@ -1,5 +1,12 @@
 //! Solve-time of one condensed MPC step (the paper's eq. 42 QP) as the
-//! horizons and fleet size grow.
+//! horizons and fleet size grow, cold-started vs warm-started.
+//!
+//! `cold_start` resets the controller before every plan, so each
+//! iteration pays the full pipeline: condensed-matrix build, QP
+//! lowering, Schur-complement factorization and a cold active-set solve.
+//! `warm_steady` keeps the controller state across iterations — the
+//! structure cache hits and the shifted previous solution seeds the
+//! active set, which is the steady-state cost of a receding-horizon run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -21,12 +28,7 @@ fn problem(n: usize, c: usize) -> MpcProblem {
         capacities: vec![c as f64 * per_portal * 1.2 / n as f64 + 20_000.0; n],
         prev_input: prev,
         workload_forecast: vec![vec![per_portal; c]; 3],
-        power_reference_mw: vec![
-            (0..n)
-                .map(|j| if j == 0 { 4.0 } else { 3.0 })
-                .collect();
-            5
-        ],
+        power_reference_mw: vec![(0..n).map(|j| if j == 0 { 4.0 } else { 3.0 }).collect(); 5],
         tracking_multiplier: MpcProblem::uniform_tracking(n),
     }
 }
@@ -36,30 +38,40 @@ fn bench_mpc(criterion: &mut Criterion) {
     // The cold-started active-set QP grows steeply with N·C; keep sample
     // counts modest so the sweep completes in minutes.
     group.sample_size(10);
-    for (n, c) in [(3usize, 5usize), (5, 8), (6, 12)] {
+    for (n, c) in [(3usize, 5usize), (5, 8), (6, 12), (8, 15)] {
         let p = problem(n, c);
-        let controller = MpcController::new(MpcConfig::default());
+        let mut controller = MpcController::new(MpcConfig::default());
         group.bench_with_input(
-            BenchmarkId::new("paper_horizons", format!("{n}idc_x_{c}portal")),
+            BenchmarkId::new("cold_start", format!("{n}idc_x_{c}portal")),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    controller.reset();
+                    black_box(controller.plan(black_box(p)).expect("feasible"))
+                })
+            },
+        );
+        let mut controller = MpcController::new(MpcConfig::default());
+        controller.plan(&p).expect("feasible"); // prime cache + warm state
+        group.bench_with_input(
+            BenchmarkId::new("warm_steady", format!("{n}idc_x_{c}portal")),
             &p,
             |b, p| b.iter(|| black_box(controller.plan(black_box(p)).expect("feasible"))),
         );
     }
-    // Horizon sweep on the paper-sized fleet.
+    // Horizon sweep on the paper-sized fleet (warm, steady state).
     for beta2 in [2usize, 3, 5] {
         let p = problem(3, 5);
-        let controller = MpcController::new(MpcConfig {
+        let mut controller = MpcController::new(MpcConfig {
             prediction_horizon: 5,
             control_horizon: beta2,
             ..MpcConfig::default()
         });
         let mut p2 = p;
         p2.workload_forecast = vec![vec![10_000.0; 5]; beta2];
-        group.bench_with_input(
-            BenchmarkId::new("control_horizon", beta2),
-            &p2,
-            |b, p| b.iter(|| black_box(controller.plan(black_box(p)).expect("feasible"))),
-        );
+        group.bench_with_input(BenchmarkId::new("control_horizon", beta2), &p2, |b, p| {
+            b.iter(|| black_box(controller.plan(black_box(p)).expect("feasible")))
+        });
     }
     group.finish();
 }

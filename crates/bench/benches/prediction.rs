@@ -15,16 +15,20 @@ fn bench_prediction(criterion: &mut Criterion) {
     let day = epa_like().generate(&mut rng, 1440, 60.0);
 
     for order in [2usize, 3, 8] {
-        group.bench_with_input(BenchmarkId::new("rls_update_day", order), &order, |b, &p| {
-            b.iter(|| {
-                let mut rls = RecursiveLeastSquares::new(p, 0.995);
-                for w in day.windows(p + 1) {
-                    let (x, y) = w.split_at(p);
-                    rls.update(black_box(x), y[0]);
-                }
-                black_box(rls.coefficients().to_vec())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("rls_update_day", order),
+            &order,
+            |b, &p| {
+                b.iter(|| {
+                    let mut rls = RecursiveLeastSquares::new(p, 0.995);
+                    for w in day.windows(p + 1) {
+                        let (x, y) = w.split_at(p);
+                        rls.update(black_box(x), y[0]);
+                    }
+                    black_box(rls.coefficients().to_vec())
+                })
+            },
+        );
     }
 
     group.bench_function("predictor_observe_day", |b| {

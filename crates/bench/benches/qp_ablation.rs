@@ -1,12 +1,14 @@
 //! Ablation: exact active-set QP vs penalized projected gradient on the
-//! MPC's product-of-simplices structure (DESIGN.md decision #1).
+//! MPC's product-of-simplices structure (DESIGN.md decision #1), plus the
+//! solve-path ladder the warm-start pipeline climbs: dense-KKT cold solve
+//! → Schur-prepared cold solve → warm start from the previous solution.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use idc_linalg::Matrix;
 use idc_opt::projgrad::ProjectedGradientQp;
-use idc_opt::qp::QuadraticProgram;
+use idc_opt::qp::{QpWorkspace, QuadraticProgram};
 
 /// `blocks` portals × 3 IDCs: minimize distance to a target allocation on
 /// each portal's simplex.
@@ -20,36 +22,71 @@ fn setup(blocks: usize) -> (Matrix, Vec<f64>) {
     (h, g)
 }
 
+/// The active-set QP for [`setup`], constraints included.
+fn build_qp(blocks: usize) -> QuadraticProgram {
+    let (h, g) = setup(blocks);
+    let mut qp = QuadraticProgram::new(h, g).expect("valid");
+    for b in 0..blocks {
+        let mut row = vec![0.0; 3 * blocks];
+        row[3 * b] = 1.0;
+        row[3 * b + 1] = 1.0;
+        row[3 * b + 2] = 1.0;
+        qp = qp.equality(row, 1.0);
+        for k in 0..3 {
+            let mut nn = vec![0.0; 3 * blocks];
+            nn[3 * b + k] = -1.0;
+            qp = qp.inequality(nn, 0.0);
+        }
+    }
+    qp
+}
+
 fn bench_qp(criterion: &mut Criterion) {
     let mut group = criterion.benchmark_group("qp_ablation");
     group.sample_size(20);
     for blocks in [2usize, 5, 10] {
         let (h, g) = setup(blocks);
         group.bench_with_input(BenchmarkId::new("active_set", blocks), &blocks, |bch, _| {
-            bch.iter(|| {
-                let mut qp = QuadraticProgram::new(h.clone(), g.clone()).expect("valid");
-                for b in 0..blocks {
-                    let mut row = vec![0.0; 3 * blocks];
-                    row[3 * b] = 1.0;
-                    row[3 * b + 1] = 1.0;
-                    row[3 * b + 2] = 1.0;
-                    qp = qp.equality(row, 1.0);
-                    for k in 0..3 {
-                        let mut nn = vec![0.0; 3 * blocks];
-                        nn[3 * b + k] = -1.0;
-                        qp = qp.inequality(nn, 0.0);
-                    }
-                }
-                black_box(qp.solve().expect("feasible"))
-            })
+            bch.iter(|| black_box(build_qp(blocks).solve().expect("feasible")))
         });
+        // Solve-path ladder on a fixed problem: dense-KKT cold solve
+        // (pre-`prepare()` path), Schur-prepared cold solve, and a warm
+        // start seeded with the optimum's own active set (the best case a
+        // receding-horizon shift can approach).
+        let dense = build_qp(blocks);
+        let mut ws = QpWorkspace::new();
+        group.bench_with_input(
+            BenchmarkId::new("active_set_dense_kkt", blocks),
+            &blocks,
+            |bch, _| bch.iter(|| black_box(dense.solve_with(&mut ws).expect("feasible"))),
+        );
+        let mut prepared = build_qp(blocks);
+        prepared.prepare().expect("factorizable");
+        group.bench_with_input(
+            BenchmarkId::new("active_set_prepared", blocks),
+            &blocks,
+            |bch, _| bch.iter(|| black_box(prepared.solve_with(&mut ws).expect("feasible"))),
+        );
+        let opt = prepared.solve_with(&mut ws).expect("feasible");
+        group.bench_with_input(
+            BenchmarkId::new("active_set_warm", blocks),
+            &blocks,
+            |bch, _| {
+                bch.iter(|| {
+                    black_box(
+                        prepared
+                            .warm_start(opt.x(), opt.active_set(), &mut ws)
+                            .expect("feasible"),
+                    )
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("projected_gradient", blocks),
             &blocks,
             |bch, _| {
                 bch.iter(|| {
-                    let mut pg =
-                        ProjectedGradientQp::new(h.clone(), g.clone()).expect("valid");
+                    let mut pg = ProjectedGradientQp::new(h.clone(), g.clone()).expect("valid");
                     for b in 0..blocks {
                         pg = pg.simplex_block(3 * b, 3, 1.0);
                     }

@@ -27,7 +27,9 @@ fn main() -> Result<(), idc_core::Error> {
         RenewableProfile::wind(1.0).expect("valid"),
     ];
 
-    println!("## extension — green-aware load balancing (MI wind 1.5, MN solar 8.0, WI wind 1.0 MW)");
+    println!(
+        "## extension — green-aware load balancing (MI wind 1.5, MN solar 8.0, WI wind 1.0 MW)"
+    );
     println!(
         "{:>4} {:>16} {:>16} {:>14} {:>14}",
         "hour", "green% blind", "green% aware", "brown$ blind", "brown$ aware"
@@ -46,17 +48,14 @@ fn main() -> Result<(), idc_core::Error> {
         let mut blind_total = 0.0;
         let mut blind_cost_h = 0.0;
         for j in 0..3 {
-            let (g, b) = green_brown_split(
-                blind.power_mw()[j],
-                renewables[j].available_at_hour(hour),
-            );
+            let (g, b) =
+                green_brown_split(blind.power_mw()[j], renewables[j].available_at_hour(hour));
             blind_green += g;
             blind_total += blind.power_mw()[j];
             blind_cost_h += b * prices[j].max(0.0);
         }
         // Green-aware LP.
-        let aware =
-            green_aware_reference(fleet.idcs(), &offered, &prices, &renewables, hour)?;
+        let aware = green_aware_reference(fleet.idcs(), &offered, &prices, &renewables, hour)?;
         let aware_total: f64 = aware.power_mw().iter().sum();
 
         blind_brown_cost += blind_cost_h;

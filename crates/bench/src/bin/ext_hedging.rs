@@ -27,8 +27,7 @@ fn costs(run: &SimulationResult, budgets: &[f64], ts_hours: f64) -> (f64, f64) {
         let power = run.power_mw(j);
         let prices: Vec<f64> = run.prices().iter().map(|p| p[j]).collect();
         spot += spot_trajectory_cost(power, &prices, ts_hours);
-        let contract =
-            ForwardContract::new(budgets[j], DISCOUNT, PREMIUM).expect("valid terms");
+        let contract = ForwardContract::new(budgets[j], DISCOUNT, PREMIUM).expect("valid terms");
         contracted += contract.trajectory_cost(power, &prices, ts_hours);
     }
     (spot, contracted)
@@ -62,7 +61,10 @@ fn main() -> Result<(), idc_core::Error> {
         ("dynamic control (MPC)", mpc_spot, mpc_hedged),
         ("optimal (price-greedy)", opt_spot, opt_hedged),
     ] {
-        println!("{name:>28} {spot:>12.2} {hedged:>14.2} {:>22.2}", hedged - spot * (1.0 - DISCOUNT));
+        println!(
+            "{name:>28} {spot:>12.2} {hedged:>14.2} {:>22.2}",
+            hedged - spot * (1.0 - DISCOUNT)
+        );
     }
     println!();
     println!(

@@ -60,42 +60,71 @@ fn synthetic(n: usize, c: usize) -> (IdcFleet, Vec<PriceTrace>) {
 fn main() -> Result<(), idc_core::Error> {
     println!("## extension — scaling study (one 12.5-minute price-flip window)");
     println!(
-        "{:>6} {:>8} {:>10} {:>16} {:>16} {:>14}",
-        "IDCs", "portals", "ΔU vars", "ms per step", "worst jump MW", "latency ok %"
+        "{:>6} {:>8} {:>10} {:>13} {:>13} {:>9} {:>16} {:>14} {:>8}",
+        "IDCs",
+        "portals",
+        "ΔU vars",
+        "cold ms/step",
+        "warm ms/step",
+        "speedup",
+        "worst jump MW",
+        "latency ok %",
+        "warm %"
     );
     let sim = Simulator::new();
     for (n, c) in [(3usize, 5usize), (4, 8), (6, 12), (8, 15)] {
-        let (fleet, traces) = synthetic(n, c);
         let ts = 30.0 / 3600.0;
-        let scenario = Scenario::new(
-            format!("scale-{n}x{c}"),
-            fleet,
-            PricingSpec::Trace(TracePricing::new(traces)),
-            7.0 - 5.0 * ts,
-            25.0 * ts,
-            ts,
-        )
-        .expect("consistent")
-        .with_init_hour(6.0);
-        let mut policy = MpcPolicy::new(MpcPolicyConfig::default())?;
-        let start = Instant::now();
-        let run = sim.run(&scenario, &mut policy)?;
-        let elapsed = start.elapsed().as_secs_f64();
-        let steps = run.times_min().len() as f64;
-        let worst = (0..n)
-            .map(|j| run.power_stats(j).expect("nonempty").max_abs_step_mw)
-            .fold(0.0f64, f64::max);
+        let mut per_mode = [0.0f64; 2];
+        let mut warm_pct = 0.0;
+        let mut worst = 0.0f64;
+        let mut latency_ok = 0.0;
+        for (mode, solver_reuse) in [false, true].into_iter().enumerate() {
+            let (fleet, traces) = synthetic(n, c);
+            let scenario = Scenario::new(
+                format!("scale-{n}x{c}"),
+                fleet,
+                PricingSpec::Trace(TracePricing::new(traces)),
+                7.0 - 5.0 * ts,
+                25.0 * ts,
+                ts,
+            )
+            .expect("consistent")
+            .with_init_hour(6.0);
+            let mut policy = MpcPolicy::new(MpcPolicyConfig {
+                solver_reuse,
+                ..MpcPolicyConfig::default()
+            })?;
+            let start = Instant::now();
+            let run = sim.run(&scenario, &mut policy)?;
+            let elapsed = start.elapsed().as_secs_f64();
+            let steps = run.times_min().len() as f64;
+            per_mode[mode] = 1e3 * elapsed / steps;
+            if solver_reuse {
+                worst = (0..n)
+                    .map(|j| run.power_stats(j).expect("nonempty").max_abs_step_mw)
+                    .fold(0.0f64, f64::max);
+                latency_ok = run.latency_ok_fraction();
+                let controller = policy.controller();
+                let solves = (controller.warm_solves() + controller.cold_solves()).max(1);
+                warm_pct = 100.0 * controller.warm_solves() as f64 / solves as f64;
+            }
+        }
         println!(
-            "{n:>6} {c:>8} {:>10} {:>16.2} {:>16.3} {:>14.2}",
+            "{n:>6} {c:>8} {:>10} {:>13.2} {:>13.2} {:>8.1}x {:>16.3} {:>14.2} {:>8.1}",
             n * c * 3, // β₂ = 3 blocks
-            1e3 * elapsed / steps,
+            per_mode[0],
+            per_mode[1],
+            per_mode[0] / per_mode[1].max(1e-9),
             worst,
-            100.0 * run.latency_ok_fraction(),
+            100.0 * latency_ok,
+            warm_pct,
         );
     }
     println!();
-    println!("the dense active-set QP (cold-started every step) scales steeply in N·C·β₂ —");
-    println!("fine for the paper-sized instance at a 30 s control period, and the clear");
-    println!("future-work item (warm starts / sparse KKT solves) for continental fleets.");
+    println!("cold = the controller state is reset every sampling period (rebuild + cold");
+    println!("active-set solve, the pre-warm-start baseline); warm = the structure cache,");
+    println!("Schur-complement factorizations and shifted warm starts are reused across");
+    println!("steps. The QP is strictly convex, so both modes land on the same plan up");
+    println!("to solver rounding (≲1e-5 relative cost over a closed-loop window).");
     Ok(())
 }

@@ -23,7 +23,13 @@ fn main() -> Result<(), idc_core::Error> {
     println!("## extension — vicious cycle (γ sweep, $/MWh per MW of own demand)");
     println!(
         "{:>6} {:>16} {:>16} {:>14} {:>14} {:>12} {:>12}",
-        "gamma", "price-vol opt", "price-vol mpc", "jump opt MW", "jump mpc MW", "cost opt $", "cost mpc $"
+        "gamma",
+        "price-vol opt",
+        "price-vol mpc",
+        "jump opt MW",
+        "jump mpc MW",
+        "cost opt $",
+        "cost mpc $"
     );
     for gamma in [0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
         let scenario = vicious_cycle_scenario(gamma);
@@ -44,6 +50,8 @@ fn main() -> Result<(), idc_core::Error> {
     }
     println!();
     println!("the paper argues this loop qualitatively (Sec. I); no figure to match —");
-    println!("the expectation is monotone growth of baseline volatility with γ and a flat MPC row.");
+    println!(
+        "the expectation is monotone growth of baseline volatility with γ and a flat MPC row."
+    );
     Ok(())
 }

@@ -14,10 +14,7 @@ use idc_core::config;
 fn main() {
     let traces = config::paper_price_traces();
     let hours: Vec<f64> = (0..24).map(|h| h as f64).collect();
-    let cols: Vec<Vec<f64>> = traces
-        .iter()
-        .map(|t| t.hourly().to_vec())
-        .collect();
+    let cols: Vec<Vec<f64>> = traces.iter().map(|t| t.hourly().to_vec()).collect();
     print_columns(
         "Fig. 2 — real-time prices ($/MWh), Oct 3 2011",
         &["hour", "Michigan", "Minnesota", "Wisconsin"],

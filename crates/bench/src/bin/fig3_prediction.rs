@@ -27,7 +27,10 @@ fn main() {
     }
 
     // Print every 15th minute to keep the series plot-sized (96 rows).
-    let times: Vec<f64> = (0..day.len()).step_by(15).map(|k| k as f64 / 60.0).collect();
+    let times: Vec<f64> = (0..day.len())
+        .step_by(15)
+        .map(|k| k as f64 / 60.0)
+        .collect();
     let orig: Vec<f64> = day.iter().step_by(15).copied().collect();
     let pred: Vec<f64> = predicted.iter().step_by(15).copied().collect();
     print_columns(
@@ -38,7 +41,11 @@ fn main() {
 
     let actual = &day[10..];
     let p = &predicted[10..];
-    println!("one-step accuracy: RMSE {:.1} req/s, MAPE {:.1}%", rmse(actual, p), mape(actual, p, 50.0));
+    println!(
+        "one-step accuracy: RMSE {:.1} req/s, MAPE {:.1}%",
+        rmse(actual, p),
+        mape(actual, p, 50.0)
+    );
     println!("paper: visual coincidence of the two curves (no metric reported).");
 
     // Predictor ablation: Holt double-exponential smoothing on the same

@@ -13,7 +13,10 @@ fn main() {
     let runs = run_both(&smoothing_scenario());
     for (j, name) in IDC_NAMES.iter().enumerate() {
         print_server_subfigure(
-            &format!("Fig. 5({}) — servers ON, {name}", char::from(b'a' + j as u8)),
+            &format!(
+                "Fig. 5({}) — servers ON, {name}",
+                char::from(b'a' + j as u8)
+            ),
             &runs,
             j,
         );

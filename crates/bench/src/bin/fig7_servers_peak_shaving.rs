@@ -11,7 +11,10 @@ fn main() {
     let runs = run_both(&scenario);
     for (j, name) in IDC_NAMES.iter().enumerate() {
         print_server_subfigure(
-            &format!("Fig. 7({}) — servers ON, {name}", char::from(b'a' + j as u8)),
+            &format!(
+                "Fig. 7({}) — servers ON, {name}",
+                char::from(b'a' + j as u8)
+            ),
             &runs,
             j,
         );

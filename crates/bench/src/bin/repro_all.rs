@@ -1,9 +1,15 @@
-//! Runs every table/figure reproduction in sequence (the contents of
-//! EXPERIMENTS.md are generated from this output).
+//! Runs every table/figure reproduction (the contents of EXPERIMENTS.md
+//! are generated from this output).
+//!
+//! The reproductions are independent processes, so they run concurrently;
+//! each child's output is captured whole and printed in the fixed bin
+//! order below, which makes the combined output byte-identical to a
+//! sequential run regardless of how the children are scheduled.
 //!
 //! Run with: `cargo run -p idc-bench --bin repro_all`
 
 use std::process::Command;
+use std::thread;
 
 fn main() {
     let bins = [
@@ -23,16 +29,34 @@ fn main() {
         "ext_green_energy",
         "ext_prediction_value",
     ];
-    for bin in bins {
-        println!("\n================================================================");
-        println!("==== {bin}");
-        println!("================================================================");
-        let status = Command::new(std::env::current_exe().expect("own path").with_file_name(bin))
-            .status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => eprintln!("{bin} exited with {s}"),
-            Err(e) => eprintln!("failed to launch {bin}: {e} (build with `cargo build -p idc-bench --bins` first)"),
+    let own = std::env::current_exe().expect("own path");
+    thread::scope(|scope| {
+        // Launch everything up front; `output()` drains each child's pipes
+        // on its own thread so no child ever blocks on a full pipe.
+        let handles: Vec<_> = bins
+            .iter()
+            .map(|bin| {
+                let path = own.with_file_name(bin);
+                scope.spawn(move || Command::new(path).output())
+            })
+            .collect();
+        // Print in launch order — completion order is scheduling noise.
+        for (bin, handle) in bins.iter().zip(handles) {
+            println!("\n================================================================");
+            println!("==== {bin}");
+            println!("================================================================");
+            match handle.join().expect("runner thread never panics") {
+                Ok(out) => {
+                    print!("{}", String::from_utf8_lossy(&out.stdout));
+                    eprint!("{}", String::from_utf8_lossy(&out.stderr));
+                    if !out.status.success() {
+                        eprintln!("{bin} exited with {}", out.status);
+                    }
+                }
+                Err(e) => eprintln!(
+                    "failed to launch {bin}: {e} (build with `cargo build -p idc-bench --bins` first)"
+                ),
+            }
         }
-    }
+    });
 }

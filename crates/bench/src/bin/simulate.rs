@@ -6,11 +6,17 @@
 //!     [--scenario smoothing|peak|table2|vicious:<gamma>|diurnal:<seed>] \
 //!     [--policy mpc|optimal|lp|static] \
 //!     [--smoothing-weight <R>] [--tracking-weight <Q>] \
-//!     [--ramp <servers/step>] [--slow-period <k>] [--quiet] [--csv]
+//!     [--ramp <servers/step>] [--slow-period <k>] [--quiet] [--csv] \
+//!     [--sweep]
 //! ```
 //!
-//! Prints the per-IDC trajectories and summary statistics.
+//! Prints the per-IDC trajectories and summary statistics. With `--sweep`
+//! it instead runs the full policy × smoothing-weight grid on the chosen
+//! scenario — one simulation per worker thread, each with its own policy
+//! and an independently rebuilt scenario, results printed in grid order so
+//! the output is bit-for-bit identical to a sequential sweep.
 
+use idc_control::mpc::MpcConfig;
 use idc_core::policy::{
     MpcPolicy, MpcPolicyConfig, OptimalPolicy, Policy, ReferenceKind, StaticProportionalPolicy,
 };
@@ -20,14 +26,13 @@ use idc_core::scenario::{
     vicious_cycle_scenario, Scenario,
 };
 use idc_core::simulation::Simulator;
-use idc_control::mpc::MpcConfig;
 
 fn usage() -> ! {
     eprintln!(
         "usage: simulate [--scenario smoothing|peak|table2|vicious:<gamma>|diurnal:<seed>]\n\
          \x20               [--policy mpc|optimal|lp|static]\n\
          \x20               [--smoothing-weight R] [--tracking-weight Q]\n\
-         \x20               [--ramp N] [--slow-period K] [--quiet] [--csv]"
+         \x20               [--ramp N] [--slow-period K] [--quiet] [--csv] [--sweep]"
     );
     std::process::exit(2);
 }
@@ -49,6 +54,94 @@ fn parse_scenario(spec: &str) -> Option<Scenario> {
     }
 }
 
+/// One row of the `--sweep` grid.
+struct SweepCell {
+    policy: &'static str,
+    smoothing_weight: Option<f64>,
+}
+
+/// Runs the policy × smoothing-weight grid over `scenario_spec`, one
+/// simulation per thread.
+///
+/// Each worker rebuilds the scenario from the spec (scenario constructors
+/// are deterministic in their seed, so every worker sees identical traces)
+/// and owns its policy outright; results are joined and printed in grid
+/// order, making the table bit-for-bit independent of thread scheduling.
+fn run_sweep(scenario_spec: &str, ramp: u64, slow_period: usize) -> Result<(), idc_core::Error> {
+    const WEIGHTS: [f64; 4] = [0.25, 1.0, 4.0, 16.0];
+    let grid: Vec<SweepCell> = ["static", "optimal", "lp"]
+        .into_iter()
+        .map(|policy| SweepCell {
+            policy,
+            smoothing_weight: None,
+        })
+        .chain(WEIGHTS.into_iter().map(|w| SweepCell {
+            policy: "mpc",
+            smoothing_weight: Some(w),
+        }))
+        .collect();
+
+    let rows = std::thread::scope(|scope| {
+        let handles: Vec<_> = grid
+            .iter()
+            .map(|cell| {
+                scope.spawn(move || -> Result<String, idc_core::Error> {
+                    let scenario = parse_scenario(scenario_spec).expect("validated by caller");
+                    let mut policy: Box<dyn Policy> = match cell.policy {
+                        "static" => Box::new(StaticProportionalPolicy::new()),
+                        "optimal" => Box::new(OptimalPolicy::new(ReferenceKind::PriceGreedy)),
+                        "lp" => Box::new(OptimalPolicy::new(ReferenceKind::LpOptimal)),
+                        _ => Box::new(MpcPolicy::new(MpcPolicyConfig {
+                            mpc: MpcConfig {
+                                smoothing_weight: cell.smoothing_weight.expect("mpc cell"),
+                                ..MpcConfig::default()
+                            },
+                            budgets: scenario.budgets().cloned(),
+                            server_ramp_limit: ramp,
+                            slow_period,
+                            ..MpcPolicyConfig::default()
+                        })?),
+                    };
+                    let result = Simulator::new().run(&scenario, policy.as_mut())?;
+                    let n = scenario.fleet().idcs().len();
+                    let (mut vol, mut worst) = (0.0f64, 0.0f64);
+                    for j in 0..n {
+                        let s = result.power_stats(j).expect("nonempty run");
+                        vol += s.mean_abs_step_mw / n as f64;
+                        worst = worst.max(s.max_abs_step_mw);
+                    }
+                    let weight = cell
+                        .smoothing_weight
+                        .map_or_else(|| "-".into(), |w| format!("{w}"));
+                    Ok(format!(
+                        "{:>8} {:>6} {:>12.2} {:>16.4} {:>14.3} {:>13.2}",
+                        cell.policy,
+                        weight,
+                        result.total_cost(),
+                        vol,
+                        worst,
+                        100.0 * result.latency_ok_fraction(),
+                    ))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker never panics"))
+            .collect::<Vec<_>>()
+    });
+
+    println!("## sweep — scenario: {scenario_spec}");
+    println!(
+        "{:>8} {:>6} {:>12} {:>16} {:>14} {:>13}",
+        "policy", "R", "cost $", "volatility MW", "worst jump MW", "latency ok %"
+    );
+    for row in rows {
+        println!("{}", row?);
+    }
+    Ok(())
+}
+
 fn main() -> Result<(), idc_core::Error> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scenario_spec = "smoothing".to_string();
@@ -58,6 +151,7 @@ fn main() -> Result<(), idc_core::Error> {
     let mut slow_period = 1usize;
     let mut quiet = false;
     let mut csv = false;
+    let mut sweep = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -71,10 +165,14 @@ fn main() -> Result<(), idc_core::Error> {
             "--scenario" => scenario_spec = value("--scenario"),
             "--policy" => policy_spec = value("--policy"),
             "--smoothing-weight" => {
-                mpc_cfg.smoothing_weight = value("--smoothing-weight").parse().unwrap_or_else(|_| usage())
+                mpc_cfg.smoothing_weight = value("--smoothing-weight")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             "--tracking-weight" => {
-                mpc_cfg.tracking_weight = value("--tracking-weight").parse().unwrap_or_else(|_| usage())
+                mpc_cfg.tracking_weight = value("--tracking-weight")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             "--ramp" => ramp = value("--ramp").parse().unwrap_or_else(|_| usage()),
             "--slow-period" => {
@@ -82,6 +180,7 @@ fn main() -> Result<(), idc_core::Error> {
             }
             "--quiet" => quiet = true,
             "--csv" => csv = true,
+            "--sweep" => sweep = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -94,6 +193,9 @@ fn main() -> Result<(), idc_core::Error> {
         eprintln!("unknown scenario: {scenario_spec}");
         usage()
     };
+    if sweep {
+        return run_sweep(&scenario_spec, ramp, slow_period);
+    }
     let mut policy: Box<dyn Policy> = match policy_spec.as_str() {
         "mpc" => Box::new(MpcPolicy::new(MpcPolicyConfig {
             mpc: mpc_cfg,

@@ -18,12 +18,7 @@ fn main() {
     println!("  j  name        mu (req/s)   M (printed)  M (calibrated)   D (printed)");
     let printed = config::paper_fleet_table_ii();
     let calibrated = config::paper_fleet_calibrated();
-    for (j, (a, b)) in printed
-        .idcs()
-        .iter()
-        .zip(calibrated.idcs())
-        .enumerate()
-    {
+    for (j, (a, b)) in printed.idcs().iter().zip(calibrated.idcs()).enumerate() {
         println!(
             "  {j}  {:<10} {:>10} {:>13} {:>15} {:>13}",
             a.name(),

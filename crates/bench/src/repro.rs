@@ -31,7 +31,10 @@ pub fn run_both(scenario: &Scenario) -> FigureRuns {
         )
         .expect("MPC run succeeds on paper scenario");
     let opt = sim
-        .run(scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))
+        .run(
+            scenario,
+            &mut OptimalPolicy::new(ReferenceKind::PriceGreedy),
+        )
         .expect("baseline run succeeds on paper scenario");
     FigureRuns { mpc, opt }
 }
@@ -65,11 +68,7 @@ pub fn print_server_subfigure(title: &str, runs: &FigureRuns, idc: usize) {
 }
 
 /// Prints the paper-vs-measured endpoint summary for one figure family.
-pub fn print_endpoint_summary(
-    runs: &FigureRuns,
-    paper_start_mw: [f64; 3],
-    paper_end_mw: [f64; 3],
-) {
+pub fn print_endpoint_summary(runs: &FigureRuns, paper_start_mw: [f64; 3], paper_end_mw: [f64; 3]) {
     println!("paper vs measured (optimal-method operating points, MW):");
     for (j, name) in IDC_NAMES.iter().enumerate() {
         let first = runs.opt.power_mw(j).first().copied().unwrap_or(f64::NAN);

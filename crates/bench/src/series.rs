@@ -23,7 +23,13 @@ pub fn print_columns(title: &str, headers: &[&str], columns: &[&[f64]]) {
     );
     assert_eq!(headers.len(), columns.len(), "one header per column");
     println!("## {title}");
-    println!("{}", headers.iter().map(|h| format!("{h:>16}")).collect::<String>());
+    println!(
+        "{}",
+        headers
+            .iter()
+            .map(|h| format!("{h:>16}"))
+            .collect::<String>()
+    );
     for i in 0..len {
         let row: String = columns.iter().map(|c| format!("{:>16.6}", c[i])).collect();
         println!("{row}");

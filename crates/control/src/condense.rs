@@ -49,42 +49,47 @@ impl PredictionMatrices {
         let m = model.g.cols();
         let mv = model.gamma.cols();
 
-        // Powers of Φ and their prefix sums times G / Γ.
-        let mut phi_pow = Matrix::identity(n);
-        let mut phi_powers = Vec::with_capacity(beta1 + 1);
-        phi_powers.push(phi_pow.clone());
-        for _ in 0..beta1 {
-            phi_pow = model.phi.mul_mat(&phi_pow).expect("square");
-            phi_powers.push(phi_pow.clone());
-        }
-        // cumsum_g[s] = Σ_{t=0}^{s} Φ^t G (so index s covers s+1 terms).
-        let mut cumsum_g = Vec::with_capacity(beta1);
-        let mut cumsum_gamma = Vec::with_capacity(beta1);
-        let mut acc_g = model.g.clone();
-        let mut acc_gamma = model.gamma.clone();
-        cumsum_g.push(acc_g.clone());
-        cumsum_gamma.push(acc_gamma.clone());
-        for s in 1..beta1 {
-            let term_g = phi_powers[s].mul_mat(&model.g).expect("shapes");
-            acc_g.scaled_add_assign(1.0, &term_g).expect("shapes");
-            cumsum_g.push(acc_g.clone());
-            let term_gamma = phi_powers[s].mul_mat(&model.gamma).expect("shapes");
-            acc_gamma
-                .scaled_add_assign(1.0, &term_gamma)
-                .expect("shapes");
-            cumsum_gamma.push(acc_gamma.clone());
-        }
-
         let mut phi_stack = Matrix::zeros(beta1 * n, n);
         let mut xi = Matrix::zeros(beta1 * n, m);
         let mut omega = Matrix::zeros(beta1 * n, mv);
         let mut theta = Matrix::zeros(beta1 * n, beta2 * m);
-        for s in 1..=beta1 {
-            phi_stack.set_block((s - 1) * n, 0, &phi_powers[s]);
-            xi.set_block((s - 1) * n, 0, &cumsum_g[s - 1]);
-            omega.set_block((s - 1) * n, 0, &cumsum_gamma[s - 1]);
-            for tau in 0..beta2.min(s) {
-                theta.set_block((s - 1) * n, tau * m, &cumsum_g[s - 1 - tau]);
+
+        // Stream the powers of Φ and the prefix sums Σ_{t=0}^{q} Φ^t G
+        // (resp. Γ), writing each into its destination blocks as soon as it
+        // is complete — no per-step clones, just four running accumulators
+        // and two ping-pong scratch matrices.
+        let mut phi_pow = Matrix::identity(n);
+        let mut phi_next = Matrix::zeros(n, n);
+        let mut acc_g = model.g.clone();
+        let mut acc_gamma = model.gamma.clone();
+        let mut term = Matrix::zeros(0, 0);
+        for q in 0..beta1 {
+            // `acc_g` now holds cumsum_g[q]: the Ξ/Ω̄ blocks for prediction
+            // step s = q + 1, and every Θ block (s, τ) with s − 1 − τ = q.
+            xi.set_block(q * n, 0, &acc_g);
+            omega.set_block(q * n, 0, &acc_gamma);
+            for tau in 0..beta2 {
+                let s = q + 1 + tau;
+                if s > beta1 {
+                    break;
+                }
+                theta.set_block((s - 1) * n, tau * m, &acc_g);
+            }
+
+            // Advance Φ^q → Φ^{q+1} and fold the next terms into the sums.
+            model
+                .phi
+                .mul_mat_into(&phi_pow, &mut phi_next)
+                .expect("square");
+            std::mem::swap(&mut phi_pow, &mut phi_next);
+            phi_stack.set_block(q * n, 0, &phi_pow);
+            if q + 1 < beta1 {
+                phi_pow.mul_mat_into(&model.g, &mut term).expect("shapes");
+                acc_g.scaled_add_assign(1.0, &term).expect("shapes");
+                phi_pow
+                    .mul_mat_into(&model.gamma, &mut term)
+                    .expect("shapes");
+                acc_gamma.scaled_add_assign(1.0, &term).expect("shapes");
             }
         }
         Some(PredictionMatrices {
@@ -193,7 +198,9 @@ mod tests {
         let n = model.phi.rows();
         let x0: Vec<f64> = (0..n).map(|i| 0.1 * i as f64).collect();
         let u_prev: Vec<f64> = (0..model.g.cols()).map(|i| 100.0 + i as f64).collect();
-        let v: Vec<f64> = (0..model.gamma.cols()).map(|i| 1000.0 * (i + 1) as f64).collect();
+        let v: Vec<f64> = (0..model.gamma.cols())
+            .map(|i| 1000.0 * (i + 1) as f64)
+            .collect();
         let delta_u = vec![0.0; beta2 * model.g.cols()];
 
         let stacked = p.predict(&x0, &u_prev, &delta_u, &v);

@@ -242,10 +242,8 @@ mod tests {
             RenewableProfile::solar(15.0).unwrap(),
             RenewableProfile::none(),
         ];
-        let at_noon =
-            green_aware_reference(&idcs, &LOADS, &PRICES_6H, &renewables, 13.0).unwrap();
-        let at_night =
-            green_aware_reference(&idcs, &LOADS, &PRICES_6H, &renewables, 2.0).unwrap();
+        let at_noon = green_aware_reference(&idcs, &LOADS, &PRICES_6H, &renewables, 13.0).unwrap();
+        let at_night = green_aware_reference(&idcs, &LOADS, &PRICES_6H, &renewables, 2.0).unwrap();
         assert!(at_night.green_fraction() < 1e-9);
         assert!(at_noon.green_fraction() > at_night.green_fraction());
     }

@@ -30,7 +30,7 @@
 //! use idc_control::mpc::{MpcConfig, MpcController, MpcProblem};
 //!
 //! # fn main() -> Result<(), idc_opt::Error> {
-//! let controller = MpcController::new(MpcConfig::default());
+//! let mut controller = MpcController::new(MpcConfig::default());
 //! // One portal (10 000 req/s), two IDCs; start fully on IDC 0, reference
 //! // wants everything on IDC 1.
 //! let problem = MpcProblem {

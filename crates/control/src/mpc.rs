@@ -23,6 +23,7 @@
 
 use idc_linalg::Matrix;
 use idc_opt::lsq::ConstrainedLeastSquares;
+use idc_opt::qp::{QpWorkspace, QuadraticProgram};
 use idc_opt::{Error, Result};
 
 /// Tuning of the MPC controller.
@@ -128,11 +129,68 @@ impl MpcProblem {
     }
 }
 
-/// The receding-horizon controller. Stateless: all per-step state travels
-/// in the [`MpcProblem`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// The QP skeleton shared by every step with the same problem structure.
+///
+/// The tracking/smoothing matrix `A`, the weights `Q`, and the constraint
+/// rows depend only on the dimensions `(N, C)`, the per-IDC marginal power
+/// `b₁`, and the tracking multipliers — none of which change while the
+/// fleet operates in one regime. Rebuilding them every sampling period
+/// (and re-forming `H = 2(AᵀQA + R)`) dominated the solve time, so the
+/// controller caches the lowered [`QuadraticProgram`] and per step only
+/// refreshes the gradient and the constraint right-hand sides.
+#[derive(Debug, Clone)]
+struct StructureCache {
+    n: usize,
+    c: usize,
+    b1_mw: Vec<f64>,
+    tracking_multiplier: Vec<f64>,
+    /// The weighted least-squares skeleton; per-step gradient refresh via
+    /// [`ConstrainedLeastSquares::gradient_into`].
+    lsq: ConstrainedLeastSquares,
+    /// The lowered QP with the constraint structure baked in; per step only
+    /// `g`, `b_eq`, `b_in` are rewritten in place.
+    qp: QuadraticProgram,
+}
+
+/// The previous step's solution, kept to warm-start the next solve.
+#[derive(Debug, Clone)]
+struct WarmState {
+    delta_u: Vec<f64>,
+    active_set: Vec<usize>,
+}
+
+/// The receding-horizon controller.
+///
+/// Stateful across steps for performance only: it caches the condensed QP
+/// skeleton (rebuilt when the problem structure changes) and warm-starts
+/// the active-set solver from the previous step's shifted `ΔU` and active
+/// set, falling back to a cold solve whenever the warm point is infeasible
+/// for the new step. The *plan itself* is a pure function of the
+/// [`MpcProblem`] — the QP is strictly convex, so warm and cold solves
+/// agree on the unique minimizer — which keeps simulations deterministic.
+#[derive(Debug, Clone)]
 pub struct MpcController {
     config: MpcConfig,
+    cache: Option<StructureCache>,
+    warm: Option<WarmState>,
+    ws: QpWorkspace,
+    /// Scratch: stacked least-squares rhs `b` (tracking + smoothing rows).
+    rhs: Vec<f64>,
+    /// Scratch: QP gradient `g = −2AᵀQb`.
+    grad: Vec<f64>,
+    /// Scratch: equality / inequality right-hand sides, warm-start point.
+    eq_rhs: Vec<f64>,
+    in_rhs: Vec<f64>,
+    warm_x: Vec<f64>,
+    /// Scratch for the warm-point equality repair: running per-entry and
+    /// per-IDC cumulative allocations, and the distribution weights.
+    repair_cum_entry: Vec<f64>,
+    repair_cum_idc: Vec<f64>,
+    repair_weights: Vec<f64>,
+    /// Scratch: the previous active set re-indexed for the shifted horizon.
+    seed: Vec<usize>,
+    warm_solves: usize,
+    cold_solves: usize,
 }
 
 impl MpcController {
@@ -153,7 +211,23 @@ impl MpcController {
                 && config.input_ridge > 0.0,
             "weights must be non-negative and the ridge positive"
         );
-        MpcController { config }
+        MpcController {
+            config,
+            cache: None,
+            warm: None,
+            ws: QpWorkspace::new(),
+            rhs: Vec::new(),
+            grad: Vec::new(),
+            eq_rhs: Vec::new(),
+            in_rhs: Vec::new(),
+            warm_x: Vec::new(),
+            repair_cum_entry: Vec::new(),
+            repair_cum_idc: Vec::new(),
+            repair_weights: Vec::new(),
+            seed: Vec::new(),
+            warm_solves: 0,
+            cold_solves: 0,
+        }
     }
 
     /// The controller's tuning.
@@ -161,7 +235,30 @@ impl MpcController {
         &self.config
     }
 
+    /// Drops the cached QP skeleton and warm-start state. The next
+    /// [`plan`](Self::plan) call solves cold from scratch.
+    pub fn reset(&mut self) {
+        self.cache = None;
+        self.warm = None;
+    }
+
+    /// Number of plans solved from the previous step's warm start.
+    pub fn warm_solves(&self) -> usize {
+        self.warm_solves
+    }
+
+    /// Number of plans that required a cold solve (first step, structure
+    /// change, or infeasible warm point).
+    pub fn cold_solves(&self) -> usize {
+        self.cold_solves
+    }
+
     /// Solves one receding-horizon step and returns the plan.
+    ///
+    /// Reuses the cached QP skeleton when the problem structure matches the
+    /// previous call, and warm-starts the active-set solver from the
+    /// previous step's shifted solution; both are pure accelerations — the
+    /// plan is identical (up to solver tolerance) to a cold solve.
     ///
     /// # Errors
     ///
@@ -170,7 +267,7 @@ impl MpcController {
     ///   within the capacity constraints (the sleep loop must turn on more
     ///   servers first).
     /// * [`Error::IterationLimit`] / [`Error::Numerical`] from the QP.
-    pub fn plan(&self, problem: &MpcProblem) -> Result<MpcPlan> {
+    pub fn plan(&mut self, problem: &MpcProblem) -> Result<MpcPlan> {
         let n = problem.num_idcs();
         let c = problem.num_portals();
         self.validate(problem, n, c)?;
@@ -181,76 +278,216 @@ impl MpcController {
         let nv = nc * beta2;
         let lambda0 = problem.current_idc_workloads();
 
-        // ---- Least-squares rows: tracking then smoothing. ----
+        self.refresh_structure(problem, n, c)?;
+
+        // ---- Per-step data: the tracking rhs (smoothing rows stay zero),
+        // lowered to the QP gradient, plus the constraint right-hand
+        // sides — written into the cached QP in place. ----
         let rows = beta1 * n + beta2 * n;
-        let mut a = Matrix::zeros(rows, nv);
-        let mut b = vec![0.0; rows];
-        let mut weights = vec![0.0; rows];
+        self.rhs.clear();
+        self.rhs.resize(rows, 0.0);
         for s in 0..beta1 {
             for j in 0..n {
-                let row = s * n + j;
-                for t in 0..=s.min(beta2 - 1) {
-                    for i in 0..c {
-                        a[(row, t * nc + j * c + i)] = problem.b1_mw[j];
-                    }
-                }
-                let current_p = problem.b1_mw[j] * lambda0[j]
-                    + problem.b0_mw[j] * problem.servers_on[j] as f64;
-                b[row] = problem.power_reference_mw[s][j] - current_p;
-                weights[row] = self.config.tracking_weight * problem.tracking_multiplier[j];
+                let current_p =
+                    problem.b1_mw[j] * lambda0[j] + problem.b0_mw[j] * problem.servers_on[j] as f64;
+                self.rhs[s * n + j] = problem.power_reference_mw[s][j] - current_p;
             }
         }
-        for t in 0..beta2 {
-            for j in 0..n {
-                let row = beta1 * n + t * n + j;
-                for i in 0..c {
-                    a[(row, t * nc + j * c + i)] = problem.b1_mw[j];
-                }
-                weights[row] = self.config.smoothing_weight;
-            }
-        }
-
-        let mut lsq = ConstrainedLeastSquares::new(a, b)?
-            .residual_weights(weights)?
-            .regularization(vec![self.config.input_ridge; nv])?;
-
-        // ---- Workload conservation (paper eq. 45). ----
-        for (t, forecast) in problem.workload_forecast.iter().enumerate() {
+        self.eq_rhs.clear();
+        for forecast in &problem.workload_forecast {
             for i in 0..c {
-                let mut row = vec![0.0; nv];
-                for tp in 0..=t {
-                    for j in 0..n {
-                        row[tp * nc + j * c + i] = 1.0;
-                    }
-                }
                 let prev: f64 = (0..n).map(|j| problem.prev_input[j * c + i]).sum();
-                lsq = lsq.equality(row, forecast[i] - prev);
+                self.eq_rhs.push(forecast[i] - prev);
             }
         }
-        // ---- Capacity / latency (paper eq. 43). ----
-        for t in 0..beta2 {
+        self.in_rhs.clear();
+        for _t in 0..beta2 {
             for j in 0..n {
-                let mut row = vec![0.0; nv];
-                for tp in 0..=t {
-                    for i in 0..c {
-                        row[tp * nc + j * c + i] = 1.0;
+                self.in_rhs.push(problem.capacities[j] - lambda0[j]);
+            }
+        }
+        for _t in 0..beta2 {
+            for idx in 0..nc {
+                self.in_rhs.push(problem.prev_input[idx]);
+            }
+        }
+        let cache = self.cache.as_mut().expect("refreshed above");
+        cache.lsq.gradient_into(&self.rhs, &mut self.grad)?;
+        cache.qp.set_gradient(&self.grad)?;
+        cache.qp.set_equality_rhs(&self.eq_rhs)?;
+        cache.qp.set_inequality_rhs(&self.in_rhs)?;
+
+        // ---- Solve: warm-started from the previous step's shifted ΔU
+        // when possible; from a repaired zero point otherwise (skipping
+        // the phase-1 LP); by the full cold path as a last resort. ----
+        let mut warm_started = false;
+        let mut solution = None;
+        {
+            let has_base = matches!(&self.warm, Some(w) if w.delta_u.len() == nv);
+            // Re-index the previous active set for the shifted horizon.
+            // Both constraint families bound *cumulative* sums through
+            // block `t`, so after dropping the applied first block the
+            // activity at new block `t` is the old activity at `t + 1` —
+            // and the appended zero change block repeats the old final
+            // block's cumulative sums, hence its activity too. Without
+            // this shift most of the seed is filtered out as inactive and
+            // the solver re-discovers the set one iteration at a time.
+            self.seed.clear();
+            if has_base {
+                let w = self.warm.as_ref().expect("has_base");
+                let ncap = beta2 * n;
+                for &ci in &w.active_set {
+                    let (family, t, rest, stride) = if ci < ncap {
+                        (0, ci / n, ci % n, n)
+                    } else {
+                        (ncap, (ci - ncap) / nc, (ci - ncap) % nc, nc)
+                    };
+                    if t >= 1 {
+                        self.seed.push(family + (t - 1) * stride + rest);
+                    }
+                    if t == beta2 - 1 {
+                        self.seed.push(ci);
                     }
                 }
-                lsq = lsq.inequality(row, problem.capacities[j] - lambda0[j]);
             }
-        }
-        // ---- Non-negativity of U (paper eq. 44). ----
-        for t in 0..beta2 {
-            for idx in 0..nc {
-                let mut row = vec![0.0; nv];
-                for tp in 0..=t {
-                    row[tp * nc + idx] = -1.0;
+            {
+                // Receding-horizon shift: drop the applied first block,
+                // hold zero change in the newly revealed final block. With
+                // no usable previous solution the base is all zeros and
+                // the repair below builds a feasible point from scratch.
+                self.warm_x.clear();
+                self.warm_x.resize(nv, 0.0);
+                if let (true, Some(w)) = (has_base, &self.warm) {
+                    for t in 0..beta2 - 1 {
+                        self.warm_x[t * nc..(t + 1) * nc]
+                            .copy_from_slice(&w.delta_u[(t + 1) * nc..(t + 2) * nc]);
+                    }
                 }
-                lsq = lsq.inequality(row, problem.prev_input[idx]);
+                // Repair the conservation equalities exactly. The
+                // discrepancy per (step, portal) is the forecast drift
+                // since the previous solve; it is distributed across IDCs
+                // proportionally to the slack that keeps the point
+                // feasible — capacity headroom when load is added, the
+                // distance to the non-negativity floor when load is
+                // removed. If no slack fits, `warm_start`'s feasibility
+                // check rejects the point and we solve cold.
+                self.repair_cum_entry.clear();
+                self.repair_cum_entry.resize(nc, 0.0);
+                self.repair_cum_idc.clear();
+                self.repair_cum_idc.resize(n, 0.0);
+                self.repair_weights.clear();
+                self.repair_weights.resize(n, 0.0);
+                for t in 0..beta2 {
+                    for j in 0..n {
+                        for i in 0..c {
+                            let v = self.warm_x[t * nc + j * c + i];
+                            self.repair_cum_entry[j * c + i] += v;
+                            self.repair_cum_idc[j] += v;
+                        }
+                    }
+                    // Capacity projection: the slow loop may have turned
+                    // servers off since the previous solve, leaving the
+                    // shifted point above an IDC's shrunken capacity. Pull
+                    // the excess off that IDC's entries (limited by their
+                    // non-negativity slack); the equality repair below
+                    // re-routes it to IDCs that still have headroom.
+                    for j in 0..n {
+                        let excess = self.repair_cum_idc[j] - (problem.capacities[j] - lambda0[j]);
+                        if excess <= 0.0 {
+                            continue;
+                        }
+                        let slack_total: f64 = (0..c)
+                            .map(|i| {
+                                (self.repair_cum_entry[j * c + i] + problem.prev_input[j * c + i])
+                                    .max(0.0)
+                            })
+                            .sum();
+                        if slack_total <= 0.0 {
+                            continue;
+                        }
+                        let take = excess.min(slack_total);
+                        for i in 0..c {
+                            let slack = (self.repair_cum_entry[j * c + i]
+                                + problem.prev_input[j * c + i])
+                                .max(0.0);
+                            let red = take * slack / slack_total;
+                            self.warm_x[t * nc + j * c + i] -= red;
+                            self.repair_cum_entry[j * c + i] -= red;
+                            self.repair_cum_idc[j] -= red;
+                        }
+                    }
+                    for i in 0..c {
+                        let cum_i: f64 = (0..n).map(|j| self.repair_cum_entry[j * c + i]).sum();
+                        let d = self.eq_rhs[t * c + i] - cum_i;
+                        if d == 0.0 {
+                            continue;
+                        }
+                        let mut total = 0.0;
+                        for j in 0..n {
+                            let floor_dist =
+                                self.repair_cum_entry[j * c + i] + problem.prev_input[j * c + i];
+                            let slack = if d > 0.0 {
+                                // Keep entries sitting on their
+                                // non-negativity floor exactly there — the
+                                // MPC optimum is sparse and disturbing a
+                                // bound the seeded active set relies on
+                                // costs the solver one iteration per
+                                // constraint to re-discover.
+                                if floor_dist > 1e-6 {
+                                    problem.capacities[j] - lambda0[j] - self.repair_cum_idc[j]
+                                } else {
+                                    0.0
+                                }
+                            } else {
+                                floor_dist
+                            };
+                            self.repair_weights[j] = slack.max(0.0);
+                            total += self.repair_weights[j];
+                        }
+                        if d > 0.0 && total <= 0.0 {
+                            // No already-serving IDC has headroom: spread
+                            // over all remaining capacity instead.
+                            for j in 0..n {
+                                self.repair_weights[j] =
+                                    (problem.capacities[j] - lambda0[j] - self.repair_cum_idc[j])
+                                        .max(0.0);
+                                total += self.repair_weights[j];
+                            }
+                        }
+                        if total <= 0.0 {
+                            // No slack anywhere: the step is near-infeasible
+                            // and the cold path should handle it.
+                            self.repair_weights.iter_mut().for_each(|w| *w = 1.0);
+                            total = n as f64;
+                        }
+                        for j in 0..n {
+                            let add = d * self.repair_weights[j] / total;
+                            self.warm_x[t * nc + j * c + i] += add;
+                            self.repair_cum_entry[j * c + i] += add;
+                            self.repair_cum_idc[j] += add;
+                        }
+                    }
+                }
+                if let Ok(sol) = cache.qp.warm_start(&self.warm_x, &self.seed, &mut self.ws) {
+                    warm_started = has_base;
+                    solution = Some(sol);
+                }
             }
         }
+        let solution = match solution {
+            Some(sol) => sol,
+            None => cache.qp.solve_with(&mut self.ws)?,
+        };
+        if warm_started {
+            self.warm_solves += 1;
+        } else {
+            self.cold_solves += 1;
+        }
+        self.warm = Some(WarmState {
+            delta_u: solution.x().to_vec(),
+            active_set: solution.active_set().to_vec(),
+        });
 
-        let solution = lsq.solve()?;
         let iterations = solution.iterations();
         let delta_u = solution.into_x();
 
@@ -273,9 +510,8 @@ impl MpcController {
                         lam += delta_u[t * nc + j * c + i];
                     }
                 }
-                per_idc.push(
-                    problem.b1_mw[j] * lam + problem.b0_mw[j] * problem.servers_on[j] as f64,
-                );
+                per_idc
+                    .push(problem.b1_mw[j] * lam + problem.b0_mw[j] * problem.servers_on[j] as f64);
             }
             predicted_power_mw.push(per_idc);
         }
@@ -285,7 +521,118 @@ impl MpcController {
             next_input,
             predicted_power_mw,
             qp_iterations: iterations,
+            warm_started,
         })
+    }
+
+    /// Rebuilds the cached QP skeleton when the problem structure changed.
+    ///
+    /// The cache key is everything `A`, `Q`, and the constraint rows
+    /// depend on: the dimensions, the marginal power `b₁`, and the
+    /// tracking multipliers. Server counts, capacities, forecasts, and
+    /// references only enter the per-step right-hand sides.
+    fn refresh_structure(&mut self, problem: &MpcProblem, n: usize, c: usize) -> Result<()> {
+        if let Some(cache) = &self.cache {
+            if cache.n == n
+                && cache.c == c
+                && cache.b1_mw == problem.b1_mw
+                && cache.tracking_multiplier == problem.tracking_multiplier
+            {
+                return Ok(());
+            }
+            // A weight change keeps the warm state usable (same variable
+            // layout, same constraints); a dimension change does not.
+            if cache.n != n || cache.c != c {
+                self.warm = None;
+            }
+        }
+
+        let beta1 = self.config.prediction_horizon;
+        let beta2 = self.config.control_horizon;
+        let nc = n * c;
+        let nv = nc * beta2;
+
+        // ---- Least-squares rows: tracking then smoothing. Only the
+        // sparsity pattern and the weights matter here; the rhs is
+        // refreshed each step. ----
+        let rows = beta1 * n + beta2 * n;
+        let mut a = Matrix::zeros(rows, nv);
+        let mut weights = vec![0.0; rows];
+        for s in 0..beta1 {
+            for j in 0..n {
+                let row = s * n + j;
+                for t in 0..=s.min(beta2 - 1) {
+                    for i in 0..c {
+                        a[(row, t * nc + j * c + i)] = problem.b1_mw[j];
+                    }
+                }
+                weights[row] = self.config.tracking_weight * problem.tracking_multiplier[j];
+            }
+        }
+        for t in 0..beta2 {
+            for j in 0..n {
+                let row = beta1 * n + t * n + j;
+                for i in 0..c {
+                    a[(row, t * nc + j * c + i)] = problem.b1_mw[j];
+                }
+                weights[row] = self.config.smoothing_weight;
+            }
+        }
+
+        let mut lsq = ConstrainedLeastSquares::new(a, vec![0.0; rows])?
+            .residual_weights(weights)?
+            .regularization(vec![self.config.input_ridge; nv])?;
+
+        // ---- Constraint structure; rhs values are per-step. ----
+        // Workload conservation (paper eq. 45).
+        for t in 0..beta2 {
+            for i in 0..c {
+                let mut row = vec![0.0; nv];
+                for tp in 0..=t {
+                    for j in 0..n {
+                        row[tp * nc + j * c + i] = 1.0;
+                    }
+                }
+                lsq = lsq.equality(row, 0.0);
+            }
+        }
+        // Capacity / latency (paper eq. 43).
+        for t in 0..beta2 {
+            for j in 0..n {
+                let mut row = vec![0.0; nv];
+                for tp in 0..=t {
+                    for i in 0..c {
+                        row[tp * nc + j * c + i] = 1.0;
+                    }
+                }
+                lsq = lsq.inequality(row, 0.0);
+            }
+        }
+        // Non-negativity of U (paper eq. 44).
+        for t in 0..beta2 {
+            for idx in 0..nc {
+                let mut row = vec![0.0; nv];
+                for tp in 0..=t {
+                    row[tp * nc + idx] = -1.0;
+                }
+                lsq = lsq.inequality(row, 0.0);
+            }
+        }
+
+        let mut qp = lsq.lower_to_qp()?;
+        // Hoist the Hessian factorization and the all-rows Schur complement
+        // out of the active-set iteration — the skeleton is solved once per
+        // sampling period for as long as the structure lasts.
+        qp.prepare()?;
+        self.cache = Some(StructureCache {
+            n,
+            c,
+            b1_mw: problem.b1_mw.clone(),
+            tracking_multiplier: problem.tracking_multiplier.clone(),
+            lsq,
+            qp,
+        });
+        Ok(())
     }
 
     fn validate(&self, p: &MpcProblem, n: usize, c: usize) -> Result<()> {
@@ -332,6 +679,7 @@ pub struct MpcPlan {
     next_input: Vec<f64>,
     predicted_power_mw: Vec<Vec<f64>>,
     qp_iterations: usize,
+    warm_started: bool,
 }
 
 impl MpcPlan {
@@ -353,6 +701,11 @@ impl MpcPlan {
     /// Active-set iterations spent in the QP.
     pub fn qp_iterations(&self) -> usize {
         self.qp_iterations
+    }
+
+    /// Whether this plan was solved from the previous step's warm start.
+    pub fn warm_started(&self) -> bool {
+        self.warm_started
     }
 }
 
@@ -399,7 +752,7 @@ mod tests {
             power_reference_mw: vec![vec![5.13, 10.26, 1.6289828571428573]; 5],
             tracking_multiplier: vec![25.0, 25.0, 1.0],
         };
-        let controller = MpcController::new(MpcConfig::default());
+        let mut controller = MpcController::new(MpcConfig::default());
         let plan = controller.plan(&problem).expect("must terminate");
         let total: f64 = plan.next_input().iter().sum();
         assert!((total - 100_000.0).abs() < 1e-3, "total {total}");
@@ -407,7 +760,7 @@ mod tests {
 
     #[test]
     fn conservation_holds_after_step() {
-        let controller = MpcController::new(MpcConfig::default());
+        let mut controller = MpcController::new(MpcConfig::default());
         let problem = two_idc_problem([10_000.0, 0.0], [1.2, 2.28]);
         let plan = controller.plan(&problem).unwrap();
         let total: f64 = plan.next_input().iter().sum();
@@ -417,21 +770,18 @@ mod tests {
 
     #[test]
     fn tracking_moves_power_toward_reference() {
-        let controller = MpcController::new(MpcConfig::default());
+        let mut controller = MpcController::new(MpcConfig::default());
         // All load on IDC 0; the reference wants it on IDC 1.
         let problem = two_idc_problem(
             [10_000.0, 0.0],
             [
-                150.0e-6 * 8_000.0,                       // idle power only on IDC 0
+                150.0e-6 * 8_000.0,                        // idle power only on IDC 0
                 108.0e-6 * 10_000.0 + 150.0e-6 * 10_000.0, // full load on IDC 1
             ],
         );
         let before = power_of(&problem, &problem.current_idc_workloads());
         let plan = controller.plan(&problem).unwrap();
-        let after_lam = [
-            plan.next_input()[0],
-            plan.next_input()[1],
-        ];
+        let after_lam = [plan.next_input()[0], plan.next_input()[1]];
         let after = power_of(&problem, &after_lam);
         // Moves in the right direction...
         assert!(after[0] < before[0], "IDC0 {} → {}", before[0], after[0]);
@@ -445,11 +795,11 @@ mod tests {
 
     #[test]
     fn higher_smoothing_weight_slows_the_move() {
-        let fast = MpcController::new(MpcConfig {
+        let mut fast = MpcController::new(MpcConfig {
             smoothing_weight: 0.1,
             ..MpcConfig::default()
         });
-        let slow = MpcController::new(MpcConfig {
+        let mut slow = MpcController::new(MpcConfig {
             smoothing_weight: 50.0,
             ..MpcConfig::default()
         });
@@ -465,7 +815,7 @@ mod tests {
 
     #[test]
     fn capacity_constraint_binds() {
-        let controller = MpcController::new(MpcConfig {
+        let mut controller = MpcController::new(MpcConfig {
             smoothing_weight: 0.0001,
             ..MpcConfig::default()
         });
@@ -483,7 +833,7 @@ mod tests {
 
     #[test]
     fn workload_change_is_absorbed() {
-        let controller = MpcController::new(MpcConfig::default());
+        let mut controller = MpcController::new(MpcConfig::default());
         let mut problem = two_idc_problem([5_000.0, 5_000.0], [1.5, 1.5]);
         // Forecast says the workload jumps to 14 000.
         problem.workload_forecast = vec![vec![14_000.0]; 3];
@@ -494,18 +844,15 @@ mod tests {
 
     #[test]
     fn infeasible_capacity_is_reported() {
-        let controller = MpcController::new(MpcConfig::default());
+        let mut controller = MpcController::new(MpcConfig::default());
         let mut problem = two_idc_problem([10_000.0, 0.0], [1.0, 1.0]);
         problem.workload_forecast = vec![vec![30_000.0]; 3]; // > 26 500 total
-        assert!(matches!(
-            controller.plan(&problem),
-            Err(Error::Infeasible)
-        ));
+        assert!(matches!(controller.plan(&problem), Err(Error::Infeasible)));
     }
 
     #[test]
     fn dimension_validation() {
-        let controller = MpcController::new(MpcConfig::default());
+        let mut controller = MpcController::new(MpcConfig::default());
         let good = two_idc_problem([10_000.0, 0.0], [1.0, 1.0]);
         let mut bad = good.clone();
         bad.capacities = vec![1.0];
@@ -523,7 +870,7 @@ mod tests {
 
     #[test]
     fn perfect_start_stays_put() {
-        let controller = MpcController::new(MpcConfig::default());
+        let mut controller = MpcController::new(MpcConfig::default());
         // Current allocation already produces the reference power.
         let problem = two_idc_problem(
             [6_000.0, 4_000.0],
@@ -545,6 +892,85 @@ mod tests {
             control_horizon: 3,
             ..MpcConfig::default()
         });
+    }
+
+    #[test]
+    fn warm_started_steps_match_a_cold_controller() {
+        // Drive a closed loop for several steps. A stateful controller
+        // (structure cache + warm start) must produce the same plan as a
+        // fresh cold-solving controller at every step: the QP is strictly
+        // convex, so both find the unique minimizer.
+        let mut warm = MpcController::new(MpcConfig::default());
+        let mut problem = two_idc_problem([10_000.0, 0.0], [1.2, 2.28]);
+        for step in 0..6 {
+            let plan = warm.plan(&problem).unwrap();
+            let mut cold = MpcController::new(MpcConfig::default());
+            let cold_plan = cold.plan(&problem).unwrap();
+            for (w, c) in plan.next_input().iter().zip(cold_plan.next_input()) {
+                assert!((w - c).abs() < 1e-4, "step {step}: {w} vs {c}");
+            }
+            if step > 0 {
+                assert!(plan.warm_started(), "step {step} should warm start");
+            }
+            problem.prev_input = plan.next_input().to_vec();
+        }
+        assert_eq!(warm.warm_solves(), 5);
+        assert_eq!(warm.cold_solves(), 1);
+    }
+
+    #[test]
+    fn structure_cache_rebuilds_on_weight_change() {
+        let mut controller = MpcController::new(MpcConfig::default());
+        let mut problem = two_idc_problem([10_000.0, 0.0], [1.2, 2.28]);
+        controller.plan(&problem).unwrap();
+        // Flip to peak-shaving weights mid-run: the skeleton must rebuild
+        // and the result match a fresh controller's.
+        problem.tracking_multiplier = vec![25.0, 1.0];
+        let plan = controller.plan(&problem).unwrap();
+        let mut fresh = MpcController::new(MpcConfig::default());
+        let fresh_plan = fresh.plan(&problem).unwrap();
+        for (a, b) in plan.next_input().iter().zip(fresh_plan.next_input()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn infeasible_warm_start_falls_back_to_cold() {
+        let mut controller = MpcController::new(MpcConfig::default());
+        let mut problem = two_idc_problem([10_000.0, 0.0], [1.2, 2.28]);
+        let plan = controller.plan(&problem).unwrap();
+        assert!(!plan.warm_started(), "first solve is cold by definition");
+
+        // The caller overrides the input state externally (the policy's
+        // emergency fallback does exactly this). The remembered ΔU tail
+        // keeps draining IDC 0, but IDC 0 now holds nothing, so the
+        // shifted warm point violates non-negativity — a violation the
+        // equality repair cannot see. The controller must reject the warm
+        // point and still produce a valid plan via the cold path.
+        problem.prev_input = vec![0.0, 10_000.0];
+        let plan = controller.plan(&problem).unwrap();
+        assert!(!plan.warm_started(), "warm point should have been rejected");
+        let total: f64 = plan.next_input().iter().sum();
+        assert!((total - 10_000.0).abs() < 1e-6, "total {total}");
+        assert!(plan.next_input().iter().all(|&u| u >= 0.0));
+
+        // And the *next* step warm-starts again off the recovered state.
+        problem.prev_input = plan.next_input().to_vec();
+        let plan = controller.plan(&problem).unwrap();
+        assert!(plan.warm_started(), "recovery step should warm start");
+    }
+
+    #[test]
+    fn reset_forces_a_cold_solve() {
+        let mut controller = MpcController::new(MpcConfig::default());
+        let problem = two_idc_problem([10_000.0, 0.0], [1.2, 2.28]);
+        controller.plan(&problem).unwrap();
+        controller.plan(&problem).unwrap();
+        assert_eq!(controller.warm_solves(), 1);
+        controller.reset();
+        let plan = controller.plan(&problem).unwrap();
+        assert!(!plan.warm_started());
+        assert_eq!(controller.cold_solves(), 2);
     }
 
     #[test]

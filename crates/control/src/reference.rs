@@ -87,11 +87,7 @@ impl ReferenceSolution {
     ///
     /// Panics if `budgets_mw.len()` differs from the number of IDCs.
     pub fn clamped_power_mw(&self, budgets_mw: &[f64]) -> Vec<f64> {
-        assert_eq!(
-            budgets_mw.len(),
-            self.power_mw.len(),
-            "one budget per IDC"
-        );
+        assert_eq!(budgets_mw.len(), self.power_mw.len(), "one budget per IDC");
         self.power_mw
             .iter()
             .zip(budgets_mw)
@@ -189,15 +185,10 @@ pub fn optimal_reference(
     let power_mw: Vec<f64> = (0..n)
         .map(|j| {
             let lam: f64 = allocation[j * c..(j + 1) * c].iter().sum();
-            idcs[j].pue() * (idcs[j].server().b1() * lam + idcs[j].server().b0() * servers[j])
-                / 1e6
+            idcs[j].pue() * (idcs[j].server().b1() * lam + idcs[j].server().b0() * servers[j]) / 1e6
         })
         .collect();
-    let cost_rate_per_hour = power_mw
-        .iter()
-        .zip(prices)
-        .map(|(&p, &pr)| p * pr)
-        .sum();
+    let cost_rate_per_hour = power_mw.iter().zip(prices).map(|(&p, &pr)| p * pr).sum();
     Ok(ReferenceSolution {
         allocation,
         servers,
@@ -301,7 +292,8 @@ pub fn price_greedy_reference(
         .collect();
     let power_mw: Vec<f64> = (0..n)
         .map(|j| {
-            idcs[j].pue() * (idcs[j].server().b1() * targets[j] + idcs[j].server().b0() * servers[j])
+            idcs[j].pue()
+                * (idcs[j].server().b1() * targets[j] + idcs[j].server().b0() * servers[j])
                 / 1e6
         })
         .collect();
@@ -419,7 +411,11 @@ mod tests {
                 p * PRICES_6H[j]
             })
             .sum();
-        assert!(sol.cost_rate_per_hour() < prop_cost, "{} vs {prop_cost}", sol.cost_rate_per_hour());
+        assert!(
+            sol.cost_rate_per_hour() < prop_cost,
+            "{} vs {prop_cost}",
+            sol.cost_rate_per_hour()
+        );
     }
 
     #[test]

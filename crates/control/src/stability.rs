@@ -82,11 +82,7 @@ pub fn converges_to_fixed_point(
 /// Numerically linearizes the closed-loop map `step` around `x_eq` by
 /// central differences with stencil width `eps`, returning the Jacobian
 /// `J[i][j] = ∂step_i/∂x_j`.
-pub fn linearized_jacobian(
-    step: impl Fn(&[f64]) -> Vec<f64>,
-    x_eq: &[f64],
-    eps: f64,
-) -> Matrix {
+pub fn linearized_jacobian(step: impl Fn(&[f64]) -> Vec<f64>, x_eq: &[f64], eps: f64) -> Matrix {
     let n = x_eq.len();
     let mut jac = Matrix::zeros(n, n);
     for j in 0..n {

@@ -116,7 +116,7 @@ proptest! {
                 power_reference_mw: vec![vec![1.5, 2.4]; 5],
                 tracking_multiplier: MpcProblem::uniform_tracking(2),
             };
-            let controller = MpcController::new(MpcConfig {
+            let mut controller = MpcController::new(MpcConfig {
                 tracking_weight: q,
                 smoothing_weight: r,
                 // The ridge must scale with the weights too, or it changes

@@ -206,7 +206,9 @@ pub fn simulate_day(
         // Drain the queue EDF-first and account delays.
         let mut to_serve = release;
         while to_serve > 1e-9 {
-            let Some(front) = queue.front_mut() else { break };
+            let Some(front) = queue.front_mut() else {
+                break;
+            };
             let take = front.volume.min(to_serve);
             front.volume -= take;
             to_serve -= take;
@@ -243,7 +245,8 @@ pub fn simulate_day(
     let leftover: f64 = queue.iter().map(|c| c.volume).sum();
     if leftover > 1e-9 {
         let prices = prices_at_hour(traces, 23.0);
-        let reference = optimal_reference(fleet.idcs(), &[leftover.min(capacity * 0.999)], &prices)?;
+        let reference =
+            optimal_reference(fleet.idcs(), &[leftover.min(capacity * 0.999)], &prices)?;
         total_cost += reference.cost_rate_per_hour();
         for c in &queue {
             delay_volume += c.volume * (23usize.saturating_sub(c.arrival_hour)) as f64;

@@ -110,7 +110,10 @@ mod tests {
             .run(&scenario, &mut MpcPolicy::paper_tuned(&scenario).unwrap())
             .unwrap();
         let opt = sim
-            .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))
+            .run(
+                &scenario,
+                &mut OptimalPolicy::new(ReferenceKind::PriceGreedy),
+            )
             .unwrap();
         let cmp = Comparison::between(&mpc, &opt).unwrap();
         assert_eq!(cmp.peak_mw.len(), 3);
@@ -126,7 +129,10 @@ mod tests {
         let scenario = smoothing_scenario();
         let sim = Simulator::new();
         let a = sim
-            .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))
+            .run(
+                &scenario,
+                &mut OptimalPolicy::new(ReferenceKind::PriceGreedy),
+            )
             .unwrap();
         // Same run compared with itself: zero overhead, zero reduction.
         let cmp = Comparison::between(&a, &a).unwrap();

@@ -193,6 +193,12 @@ pub struct MpcPolicyConfig {
     /// current-step reference across the horizon (the no-prediction
     /// ablation).
     pub anticipatory_reference: bool,
+    /// When `true` (default) the inner controller keeps its solve state —
+    /// cached QP skeleton, factorizations, warm start — across sampling
+    /// periods. `false` resets it every step, forcing a from-scratch solve:
+    /// the cold baseline for benchmarks and ablations. The plan itself is
+    /// identical either way (the QP has a unique minimizer).
+    pub solver_reuse: bool,
 }
 
 impl Default for MpcPolicyConfig {
@@ -205,6 +211,7 @@ impl Default for MpcPolicyConfig {
             slow_period: 1,
             predictor_order: 3,
             anticipatory_reference: true,
+            solver_reuse: true,
         }
     }
 }
@@ -282,6 +289,12 @@ impl MpcPolicy {
         self.state.as_ref().map(|(u, _)| u.as_slice())
     }
 
+    /// The inner receding-horizon controller (e.g. to inspect its
+    /// warm-/cold-solve counters after a run).
+    pub fn controller(&self) -> &MpcController {
+        &self.controller
+    }
+
     /// Per-portal workload forecasts for the control horizon, with the
     /// first step pinned to the observed workload (the conservation
     /// constraint must hold for what is actually served).
@@ -353,8 +366,8 @@ impl Policy for MpcPolicy {
             .offered
             .iter()
             .map(|&l| {
-                let mut p = WorkloadPredictor::new(self.config.predictor_order)
-                    .expect("validated order");
+                let mut p =
+                    WorkloadPredictor::new(self.config.predictor_order).expect("validated order");
                 p.observe(l);
                 p
             })
@@ -521,6 +534,9 @@ impl Policy for MpcPolicy {
             power_reference_mw,
             tracking_multiplier,
         };
+        if !self.config.solver_reuse {
+            self.controller.reset();
+        }
         match self.controller.plan(&problem) {
             Ok(plan) => {
                 let u = plan.next_input().to_vec();
@@ -570,10 +586,22 @@ mod tests {
         let d = policy.decide(&c).unwrap();
         // 6H greedy: WI and MN saturated, MI takes the rest (Fig. 4/5).
         let lam = d.allocation.idc_totals();
-        assert!((lam[2] - fleet.idcs()[2].max_workload()).abs() < 2.0, "WI {}", lam[2]);
-        assert!((lam[1] - fleet.idcs()[1].max_workload()).abs() < 2.0, "MN {}", lam[1]);
+        assert!(
+            (lam[2] - fleet.idcs()[2].max_workload()).abs() < 2.0,
+            "WI {}",
+            lam[2]
+        );
+        assert!(
+            (lam[1] - fleet.idcs()[1].max_workload()).abs() < 2.0,
+            "MN {}",
+            lam[1]
+        );
         // Server counts ≈ the paper's 7 500 / 40 000 / 20 000.
-        assert!((d.servers_on[0] as f64 - 7_500.0).abs() < 5.0, "{:?}", d.servers_on);
+        assert!(
+            (d.servers_on[0] as f64 - 7_500.0).abs() < 5.0,
+            "{:?}",
+            d.servers_on
+        );
         assert_eq!(d.servers_on[1], 40_000);
         assert_eq!(d.servers_on[2], 20_000);
     }
@@ -683,7 +711,12 @@ mod tests {
     #[test]
     fn policy_names_are_informative() {
         let scenario = crate::scenario::smoothing_scenario();
-        assert!(OptimalPolicy::new(ReferenceKind::LpOptimal).name().contains("LP"));
-        assert!(MpcPolicy::paper_tuned(&scenario).unwrap().name().contains("MPC"));
+        assert!(OptimalPolicy::new(ReferenceKind::LpOptimal)
+            .name()
+            .contains("LP"));
+        assert!(MpcPolicy::paper_tuned(&scenario)
+            .unwrap()
+            .name()
+            .contains("MPC"));
     }
 }

@@ -109,7 +109,10 @@ mod tests {
     fn trajectory_rendering_contains_headers_and_rows() {
         let scenario = smoothing_scenario();
         let result = Simulator::new()
-            .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))
+            .run(
+                &scenario,
+                &mut OptimalPolicy::new(ReferenceKind::PriceGreedy),
+            )
             .unwrap();
         let text = render_trajectories(&result, &["MI", "MN", "WI"]);
         assert!(text.contains("MI MW"));
@@ -121,7 +124,10 @@ mod tests {
     fn csv_has_header_and_one_row_per_step() {
         let scenario = smoothing_scenario();
         let result = Simulator::new()
-            .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))
+            .run(
+                &scenario,
+                &mut OptimalPolicy::new(ReferenceKind::PriceGreedy),
+            )
             .unwrap();
         let csv = render_csv(&result, &["MI", "MN", "WI"]);
         let lines: Vec<&str> = csv.lines().collect();
@@ -141,7 +147,10 @@ mod tests {
             .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::LpOptimal))
             .unwrap();
         let b = sim
-            .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))
+            .run(
+                &scenario,
+                &mut OptimalPolicy::new(ReferenceKind::PriceGreedy),
+            )
             .unwrap();
         let cmp = crate::metrics::Comparison::between(&a, &b).unwrap();
         let text = render_comparison(&cmp, &["MI", "MN", "WI"]);

@@ -117,9 +117,7 @@ impl Scenario {
         duration_hours: f64,
         ts_hours: f64,
     ) -> Option<Self> {
-        if pricing.num_regions() != fleet.num_idcs()
-            || !(duration_hours > 0.0)
-            || !(ts_hours > 0.0)
+        if pricing.num_regions() != fleet.num_idcs() || !(duration_hours > 0.0) || !(ts_hours > 0.0)
         {
             return None;
         }
@@ -385,7 +383,10 @@ mod tests {
     #[test]
     fn peak_shaving_scenario_has_budgets() {
         let s = peak_shaving_scenario();
-        assert_eq!(s.budgets().expect("budgets set").as_slice(), &[5.13, 10.26, 4.275]);
+        assert_eq!(
+            s.budgets().expect("budgets set").as_slice(),
+            &[5.13, 10.26, 4.275]
+        );
         assert!(s.name().contains("peak"));
     }
 
@@ -411,8 +412,15 @@ mod tests {
         let fleet = config::paper_fleet_calibrated();
         // Wrong region count.
         let one_region = TracePricing::new(vec![config::paper_price_traces().remove(0)]);
-        assert!(Scenario::new("x", fleet.clone(), PricingSpec::Trace(one_region), 0.0, 1.0, 0.1)
-            .is_none());
+        assert!(Scenario::new(
+            "x",
+            fleet.clone(),
+            PricingSpec::Trace(one_region),
+            0.0,
+            1.0,
+            0.1
+        )
+        .is_none());
         // Bad durations.
         let pricing = PricingSpec::Trace(TracePricing::new(config::paper_price_traces()));
         assert!(Scenario::new("x", fleet.clone(), pricing.clone(), 0.0, 0.0, 0.1).is_none());
@@ -443,7 +451,10 @@ mod tests {
             .run(&scenario, &mut MpcPolicy::paper_tuned(&scenario).unwrap())
             .unwrap();
         let opt = sim
-            .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))
+            .run(
+                &scenario,
+                &mut OptimalPolicy::new(ReferenceKind::PriceGreedy),
+            )
             .unwrap();
         // Flash-crowd jumps of ±15 % per step must be absorbed by *both*
         // policies (conservation is hard), so smoothness is comparable

@@ -139,9 +139,7 @@ impl SimulationResult {
         self.power_mw
             .iter()
             .zip(budgets_mw)
-            .map(|(series, &b)| {
-                idc_datacenter::power::budget_violation_fraction(series, b)
-            })
+            .map(|(series, &b)| idc_datacenter::power::budget_violation_fraction(series, b))
             .collect()
     }
 }
@@ -311,7 +309,10 @@ mod tests {
         let scenario = smoothing_scenario();
         let sim = Simulator::new();
         let result = sim
-            .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))
+            .run(
+                &scenario,
+                &mut OptimalPolicy::new(ReferenceKind::PriceGreedy),
+            )
             .unwrap();
         assert_eq!(result.times_min().len(), 25);
         // Before the flip: the paper's 6H operating point
@@ -366,7 +367,10 @@ mod tests {
             .run(&scenario, &mut MpcPolicy::paper_tuned(&scenario).unwrap())
             .unwrap();
         let opt = sim
-            .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))
+            .run(
+                &scenario,
+                &mut OptimalPolicy::new(ReferenceKind::PriceGreedy),
+            )
             .unwrap();
         let budgets = [5.13, 10.26, 4.275];
         let mpc_viol = mpc.budget_violation_fractions(&budgets);
@@ -404,7 +408,10 @@ mod tests {
         let scenario = smoothing_scenario();
         let sim = Simulator::new();
         let result = sim
-            .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))
+            .run(
+                &scenario,
+                &mut OptimalPolicy::new(ReferenceKind::PriceGreedy),
+            )
             .unwrap();
         let total = result.total_power_mw();
         let manual: f64 = (0..3).map(|j| result.power_mw(j)[5]).sum();
@@ -419,7 +426,10 @@ mod tests {
             .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::LpOptimal))
             .unwrap();
         let greedy = sim
-            .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))
+            .run(
+                &scenario,
+                &mut OptimalPolicy::new(ReferenceKind::PriceGreedy),
+            )
             .unwrap();
         // At 7H on the calibrated fleet the two allocations coincide, so
         // only integer-deployment rounding (⌈m⌉) separates the realized

@@ -72,7 +72,10 @@ impl Allocation {
     ///
     /// Panics if an index is out of range.
     pub fn get(&self, portal: usize, idc: usize) -> f64 {
-        assert!(portal < self.portals && idc < self.idcs, "index out of range");
+        assert!(
+            portal < self.portals && idc < self.idcs,
+            "index out of range"
+        );
         self.shares[portal * self.idcs + idc]
     }
 
@@ -82,7 +85,10 @@ impl Allocation {
     ///
     /// Panics if an index is out of range.
     pub fn set(&mut self, portal: usize, idc: usize, value: f64) {
-        assert!(portal < self.portals && idc < self.idcs, "index out of range");
+        assert!(
+            portal < self.portals && idc < self.idcs,
+            "index out of range"
+        );
         self.shares[portal * self.idcs + idc] = value;
     }
 

@@ -103,7 +103,11 @@ impl IdcFleet {
     /// Panics if dimensions disagree with the fleet.
     pub fn per_idc_power_mw(&self, servers_on: &[u64], allocation: &Allocation) -> Vec<f64> {
         assert_eq!(servers_on.len(), self.num_idcs(), "one count per IDC");
-        assert_eq!(allocation.idcs(), self.num_idcs(), "allocation IDC mismatch");
+        assert_eq!(
+            allocation.idcs(),
+            self.num_idcs(),
+            "allocation IDC mismatch"
+        );
         assert_eq!(
             allocation.portals(),
             self.num_portals(),

@@ -106,8 +106,7 @@ impl IdcConfig {
     /// Workload capacity with `m` servers ON under the latency bound
     /// (paper eq. 30): `λ̄ = µ(m − 1/(µD)) = mµ − 1/D`, floored at 0.
     pub fn capacity_with(&self, servers_on: u64) -> f64 {
-        (servers_on.min(self.total_servers) as f64 * self.service_rate()
-            - 1.0 / self.latency_bound)
+        (servers_on.min(self.total_servers) as f64 * self.service_rate() - 1.0 / self.latency_bound)
             .max(0.0)
     }
 
@@ -120,8 +119,7 @@ impl IdcConfig {
     /// Servers required for workload `lambda` (paper eq. 35), clamped to
     /// `Mj`. Returns `None` when even all servers cannot satisfy the bound.
     pub fn required_servers(&self, lambda: f64) -> Option<u64> {
-        let needed =
-            queueing::servers_for_latency(lambda, self.service_rate(), self.latency_bound);
+        let needed = queueing::servers_for_latency(lambda, self.service_rate(), self.latency_bound);
         (needed <= self.total_servers).then_some(needed)
     }
 
@@ -268,7 +266,10 @@ mod tests {
         assert!((cooled.power_w(100, 100.0) - 1.5 * base.power_w(100, 100.0)).abs() < 1e-9);
         // Queueing-side quantities are unaffected.
         assert_eq!(cooled.capacity_with(100), base.capacity_with(100));
-        assert_eq!(cooled.required_servers(1_000.0), base.required_servers(1_000.0));
+        assert_eq!(
+            cooled.required_servers(1_000.0),
+            base.required_servers(1_000.0)
+        );
     }
 
     #[test]

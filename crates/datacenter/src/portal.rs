@@ -72,7 +72,10 @@ mod tests {
         let ps = paper_portals();
         assert_eq!(ps.len(), 5);
         let loads: Vec<f64> = ps.iter().map(|p| p.offered_workload()).collect();
-        assert_eq!(loads, vec![30_000.0, 15_000.0, 15_000.0, 20_000.0, 20_000.0]);
+        assert_eq!(
+            loads,
+            vec![30_000.0, 15_000.0, 15_000.0, 20_000.0, 20_000.0]
+        );
         assert_eq!(loads.iter().sum::<f64>(), 100_000.0);
         assert_eq!(ps[0].name(), "portal-1");
     }

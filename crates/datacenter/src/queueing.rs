@@ -168,10 +168,7 @@ mod tests {
         for (n, mu, lambda) in [(10u64, 2.0, 15.0), (100, 1.25, 110.0), (50, 1.75, 80.0)] {
             let approx = busy_latency(n, mu, lambda);
             let exact = mmn_mean_wait(n, mu, lambda);
-            assert!(
-                approx >= exact,
-                "approx {approx} < exact {exact} for n={n}"
-            );
+            assert!(approx >= exact, "approx {approx} < exact {exact} for n={n}");
         }
     }
 

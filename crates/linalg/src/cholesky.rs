@@ -130,8 +130,7 @@ mod tests {
 
     #[test]
     fn reconstruction_matches_input() {
-        let a =
-            Matrix::from_rows(&[&[6.0, 3.0, 1.0], &[3.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]).unwrap();
+        let a = Matrix::from_rows(&[&[6.0, 3.0, 1.0], &[3.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]).unwrap();
         let chol = Cholesky::factor(&a).unwrap();
         let rebuilt = chol.l().mul_mat(&chol.l().transpose()).unwrap();
         assert!((&rebuilt - &a).unwrap().norm_max() < 1e-13);
@@ -139,8 +138,7 @@ mod tests {
 
     #[test]
     fn solve_matches_lu() {
-        let a =
-            Matrix::from_rows(&[&[6.0, 3.0, 1.0], &[3.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]).unwrap();
+        let a = Matrix::from_rows(&[&[6.0, 3.0, 1.0], &[3.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]).unwrap();
         let b = [1.0, -1.0, 2.5];
         let x_chol = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
         let x_lu = crate::lu::solve(&a, &b).unwrap();

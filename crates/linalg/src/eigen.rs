@@ -39,13 +39,7 @@ pub fn symmetric_eigenvalues(a: &Matrix, sweeps: usize) -> Result<Vec<f64>> {
     }
     let n = a.rows();
     // Work on a symmetrized copy.
-    let mut m = Matrix::from_fn(n, n, |i, j| {
-        if i >= j {
-            a[(i, j)]
-        } else {
-            a[(j, i)]
-        }
-    });
+    let mut m = Matrix::from_fn(n, n, |i, j| if i >= j { a[(i, j)] } else { a[(j, i)] });
     if n <= 1 {
         return Ok((0..n).map(|i| m[(i, i)]).collect());
     }
@@ -190,12 +184,8 @@ mod tests {
 
     #[test]
     fn jacobi_preserves_trace_and_det() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 3.0, 0.5],
-            &[-2.0, 0.5, 5.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 3.0, 0.5], &[-2.0, 0.5, 5.0]]).unwrap();
         let ev = symmetric_eigenvalues(&a, 16).unwrap();
         let trace: f64 = ev.iter().sum();
         assert!((trace - 12.0).abs() < 1e-10);
@@ -214,7 +204,10 @@ mod tests {
 
     #[test]
     fn jacobi_handles_trivial_sizes() {
-        assert_eq!(symmetric_eigenvalues(&Matrix::zeros(0, 0), 12).unwrap(), Vec::<f64>::new());
+        assert_eq!(
+            symmetric_eigenvalues(&Matrix::zeros(0, 0), 12).unwrap(),
+            Vec::<f64>::new()
+        );
         assert_eq!(
             symmetric_eigenvalues(&Matrix::diag(&[7.0]), 12).unwrap(),
             vec![7.0]

@@ -175,7 +175,11 @@ mod tests {
 
     #[test]
     fn exp_of_zero_is_identity() {
-        assert_close(&expm(&Matrix::zeros(4, 4)).unwrap(), &Matrix::identity(4), 1e-15);
+        assert_close(
+            &expm(&Matrix::zeros(4, 4)).unwrap(),
+            &Matrix::identity(4),
+            1e-15,
+        );
     }
 
     #[test]
@@ -202,15 +206,14 @@ mod tests {
         let t = 1.3;
         let a = Matrix::from_rows(&[&[0.0, -t], &[t, 0.0]]).unwrap();
         let e = expm(&a).unwrap();
-        let expected =
-            Matrix::from_rows(&[&[t.cos(), -t.sin()], &[t.sin(), t.cos()]]).unwrap();
+        let expected = Matrix::from_rows(&[&[t.cos(), -t.sin()], &[t.sin(), t.cos()]]).unwrap();
         assert_close(&e, &expected, 1e-13);
     }
 
     #[test]
     fn inverse_property_holds() {
-        let a = Matrix::from_rows(&[&[0.2, 1.0, 0.0], &[-0.5, 0.1, 0.3], &[0.0, 0.2, -0.4]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[0.2, 1.0, 0.0], &[-0.5, 0.1, 0.3], &[0.0, 0.2, -0.4]]).unwrap();
         let e = expm(&a).unwrap();
         let einv = expm(&a.scale(-1.0)).unwrap();
         assert_close(&e.mul_mat(&einv).unwrap(), &Matrix::identity(3), 1e-12);

@@ -97,7 +97,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: r, cols: c, data })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Creates a matrix by evaluating `f(i, j)` for each entry.
@@ -250,12 +254,49 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Reshapes `self` to `rows × cols` with every entry zero, reusing the
+    /// existing allocation when its capacity suffices.
+    ///
+    /// This is the entry point for workspace reuse: hot loops keep one
+    /// `Matrix` alive and `resize_zeroed` it each iteration instead of
+    /// constructing a fresh [`Matrix::zeros`].
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing the allocation.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Returns `self * other`.
     ///
     /// # Errors
     ///
     /// Returns [`Error::DimensionMismatch`] if the inner dimensions disagree.
     pub fn mul_mat(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.mul_mat_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Writes `self * other` into `out`, reusing `out`'s allocation.
+    ///
+    /// The kernel is a blocked row-major i-k-j loop: the shared dimension
+    /// and the output columns are tiled so the active rows of `other` and
+    /// `out` stay cache-resident while a tile is swept, which is what makes
+    /// the large condensed-MPC products scale past L2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the inner dimensions disagree.
+    pub fn mul_mat_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != other.rows {
             return Err(Error::DimensionMismatch {
                 op: "mul",
@@ -263,21 +304,126 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self[(i, k)];
-                if aik == 0.0 {
-                    continue;
-                }
-                let orow = other.row(k);
-                let dest = out.row_mut(i);
-                for (d, &b) in dest.iter_mut().zip(orow) {
-                    *d += aik * b;
+        // Tile sizes: KB rows of `other` (each up to JB wide) ≈ 128 KiB,
+        // comfortably within L2 alongside the output tile.
+        const KB: usize = 64;
+        const JB: usize = 256;
+        out.resize_zeroed(self.rows, other.cols);
+        for k0 in (0..self.cols).step_by(KB) {
+            let k1 = (k0 + KB).min(self.cols);
+            for j0 in (0..other.cols).step_by(JB) {
+                let j1 = (j0 + JB).min(other.cols);
+                for i in 0..self.rows {
+                    let arow = &self.row(i)[k0..k1];
+                    let dest = &mut out.row_mut(i)[j0..j1];
+                    for (dk, &aik) in arow.iter().enumerate() {
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let brow = &other.row(k0 + dk)[j0..j1];
+                        for (d, &b) in dest.iter_mut().zip(brow) {
+                            *d += aik * b;
+                        }
+                    }
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Returns `self * otherᵀ` without forming the transpose.
+    ///
+    /// Both operands are traversed row-wise (each output entry is a dot
+    /// product of two rows), so this is the cache-friendly way to multiply
+    /// by a matrix that is conceptually transposed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `self.cols() != other.cols()`.
+    pub fn mul_mat_transpose(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.mul_mat_transpose_into(other, &mut out)?;
         Ok(out)
+    }
+
+    /// Writes `self * otherᵀ` into `out`, reusing `out`'s allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `self.cols() != other.cols()`.
+    pub fn mul_mat_transpose_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.cols != other.cols {
+            return Err(Error::DimensionMismatch {
+                op: "mul_t",
+                lhs: self.shape(),
+                rhs: (other.cols, other.rows),
+            });
+        }
+        out.resize_zeroed(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            let dest = out.row_mut(i);
+            for (j, d) in dest.iter_mut().enumerate() {
+                let brow = other.row(j);
+                let mut acc = 0.0;
+                for (a, b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                *d = acc;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes `self * v` into `out`, reusing `out`'s allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `v.len() != self.cols()`.
+    pub fn mul_vec_into(&self, v: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        if v.len() != self.cols {
+            return Err(Error::DimensionMismatch {
+                op: "mul_vec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        out.clear();
+        out.resize(self.rows, 0.0);
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(v) {
+                acc += a * b;
+            }
+            *o = acc;
+        }
+        Ok(())
+    }
+
+    /// Writes `selfᵀ * v` into `out`, reusing `out`'s allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `v.len() != self.rows()`.
+    pub fn tr_mul_vec_into(&self, v: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        if v.len() != self.rows {
+            return Err(Error::DimensionMismatch {
+                op: "tr_mul_vec",
+                lhs: (self.cols, self.rows),
+                rhs: (v.len(), 1),
+            });
+        }
+        out.clear();
+        out.resize(self.cols, 0.0);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let vi = v[i];
+            for (o, a) in out.iter_mut().zip(row) {
+                *o += a * vi;
+            }
+        }
+        Ok(())
     }
 
     /// Returns `selfᵀ * other` without forming the transpose.
@@ -665,6 +811,78 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         assert!(a.mul_mat(&b).is_err());
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_across_tile_boundaries() {
+        // Shapes straddling the KB=64 / JB=256 tile edges exercise every
+        // partial-tile path in the blocked kernel.
+        for &(m, k, n) in &[(1, 1, 1), (3, 64, 256), (5, 65, 257), (70, 130, 300)] {
+            let a = Matrix::from_fn(m, k, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+            let b = Matrix::from_fn(k, n, |i, j| ((i * 5 + j) % 13) as f64 - 6.0);
+            let fast = a.mul_mat(&b).unwrap();
+            let mut naive = Matrix::zeros(m, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for p in 0..k {
+                        acc += a[(i, p)] * b[(p, j)];
+                    }
+                    naive[(i, j)] = acc;
+                }
+            }
+            assert_eq!(fast, naive, "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn mul_mat_into_reuses_dirty_buffers() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(5.0, 6.0, 7.0, 8.0);
+        // Wrong shape and stale contents: must be fully overwritten.
+        let mut out = Matrix::filled(5, 7, f64::NAN);
+        a.mul_mat_into(&b, &mut out).unwrap();
+        assert_eq!(out, m22(19.0, 22.0, 43.0, 50.0));
+        // Second use reuses the allocation and still gets the right answer.
+        a.mul_mat_into(&a, &mut out).unwrap();
+        assert_eq!(out, m22(7.0, 10.0, 15.0, 22.0));
+        assert!(a.mul_mat_into(&Matrix::zeros(3, 2), &mut out).is_err());
+    }
+
+    #[test]
+    fn mul_mat_transpose_matches_explicit_transpose() {
+        let a = Matrix::from_fn(4, 6, |i, j| (i * 6 + j) as f64 * 0.25 - 2.0);
+        let b = Matrix::from_fn(5, 6, |i, j| ((i + 2 * j) % 7) as f64 - 3.0);
+        let fast = a.mul_mat_transpose(&b).unwrap();
+        let slow = a.mul_mat(&b.transpose()).unwrap();
+        assert_eq!(fast, slow);
+        let mut out = Matrix::filled(1, 1, f64::NAN);
+        a.mul_mat_transpose_into(&b, &mut out).unwrap();
+        assert_eq!(out, slow);
+        assert!(a.mul_mat_transpose(&Matrix::zeros(5, 7)).is_err());
+    }
+
+    #[test]
+    fn vec_into_variants_match_allocating_versions() {
+        let a = Matrix::from_fn(3, 2, |i, j| (i + 3 * j) as f64);
+        let v3 = [1.0, -1.0, 2.0];
+        let v2 = [0.5, -2.0];
+        let mut out = vec![f64::NAN; 9];
+        a.mul_vec_into(&v2, &mut out).unwrap();
+        assert_eq!(out, a.mul_vec(&v2).unwrap());
+        a.tr_mul_vec_into(&v3, &mut out).unwrap();
+        assert_eq!(out, a.tr_mul_vec(&v3).unwrap());
+        assert!(a.mul_vec_into(&v3, &mut out).is_err());
+        assert!(a.tr_mul_vec_into(&v2, &mut out).is_err());
+    }
+
+    #[test]
+    fn resize_zeroed_clears_and_reshapes() {
+        let mut m = m22(1.0, 2.0, 3.0, 4.0);
+        m.resize_zeroed(1, 3);
+        assert_eq!(m, Matrix::zeros(1, 3));
+        m.resize_zeroed(3, 3);
+        assert_eq!(m, Matrix::zeros(3, 3));
     }
 
     #[test]

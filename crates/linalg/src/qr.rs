@@ -175,13 +175,7 @@ mod tests {
     #[test]
     fn overdetermined_fit_minimizes_residual() {
         // y = 3x - 2 with symmetric noise that a LS fit must average away.
-        let a = Matrix::from_rows(&[
-            &[0.0, 1.0],
-            &[1.0, 1.0],
-            &[2.0, 1.0],
-            &[3.0, 1.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0], &[3.0, 1.0]]).unwrap();
         let b = [-2.0 + 0.1, 1.0 - 0.1, 4.0 + 0.1, 7.0 - 0.1];
         let x = least_squares(&a, &b).unwrap();
         assert!((x[0] - 3.0).abs() < 0.05, "slope {x:?}");

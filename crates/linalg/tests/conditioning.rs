@@ -77,19 +77,11 @@ fn qr_least_squares_handles_nearly_collinear_columns() {
 fn scaled_systems_solve_across_ten_orders_of_magnitude() {
     // Mixed-unit systems (MW vs req/s) produce badly scaled matrices; the
     // partial-pivoting LU must cope.
-    let a = Matrix::from_rows(&[
-        &[1e-6, 2.0, 0.0],
-        &[3.0, 1e6, 1.0],
-        &[0.0, 4.0, 1e-3],
-    ])
-    .unwrap();
+    let a = Matrix::from_rows(&[&[1e-6, 2.0, 0.0], &[3.0, 1e6, 1.0], &[0.0, 4.0, 1e-3]]).unwrap();
     let x_true = [2.0, -1e-5, 30.0];
     let b = a.mul_vec(&x_true).unwrap();
     let x = lu::solve(&a, &b).unwrap();
     for (xi, ti) in x.iter().zip(&x_true) {
-        assert!(
-            (xi - ti).abs() < 1e-9 * ti.abs().max(1.0),
-            "{xi} vs {ti}"
-        );
+        assert!((xi - ti).abs() < 1e-9 * ti.abs().max(1.0), "{xi} vs {ti}");
     }
 }

@@ -161,8 +161,7 @@ mod tests {
         let smooth = vec![10.0; 8];
         let spiky = vec![2.0, 18.0, 2.0, 18.0, 2.0, 18.0, 2.0, 18.0];
         let prices = vec![50.0; 8];
-        let contract_smooth =
-            ForwardContract::sized_at_mean(&smooth, 0.15, 2.0).unwrap();
+        let contract_smooth = ForwardContract::sized_at_mean(&smooth, 0.15, 2.0).unwrap();
         let contract_spiky = ForwardContract::sized_at_mean(&spiky, 0.15, 2.0).unwrap();
         let spot = spot_trajectory_cost(&smooth, &prices, 1.0);
         assert_eq!(spot, spot_trajectory_cost(&spiky, &prices, 1.0));

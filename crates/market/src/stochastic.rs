@@ -40,8 +40,7 @@ impl OrnsteinUhlenbeck {
     /// `x' = θ + (x − θ)e^{−κ·dt} + σ√((1−e^{−2κ·dt})/(2κ)) · z`.
     pub fn step<R: Rng + ?Sized>(&self, rng: &mut R, x: f64, theta: f64, dt: f64) -> f64 {
         let decay = (-self.mean_reversion * dt).exp();
-        let std = self.volatility
-            * ((1.0 - decay * decay) / (2.0 * self.mean_reversion)).sqrt();
+        let std = self.volatility * ((1.0 - decay * decay) / (2.0 * self.mean_reversion)).sqrt();
         theta + (x - theta) * decay + std * standard_normal(rng)
     }
 }
@@ -49,7 +48,6 @@ impl OrnsteinUhlenbeck {
 /// Box–Muller normal variate (local copy to avoid a cross-crate dependency
 /// for one function).
 fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    use rand::RngExt as _;
     let mut u1: f64 = rng.random();
     while u1 <= f64::MIN_POSITIVE {
         u1 = rng.random();
@@ -157,7 +155,9 @@ impl BidStackModel {
         let phase = (hour - self.load_peak_hour) * std::f64::consts::TAU / 24.0;
         let load_target = self.load_mean + self.load_swing * phase.cos();
         self.load = self.load_process.step(rng, self.load, load_target, dt);
-        self.supply = self.supply_process.step(rng, self.supply, self.supply_mean, dt);
+        self.supply = self
+            .supply_process
+            .step(rng, self.supply, self.supply_mean, dt);
         self.price()
     }
 

@@ -81,16 +81,16 @@ impl PriceTrace {
 /// | 7H   | 49.90    | 29.47     | 77.97     |
 pub fn miso_oct3_2011() -> Vec<PriceTrace> {
     let michigan = vec![
-        28.5, 26.1, 24.8, 23.9, 24.5, 31.2, 43.26, 49.90, 55.3, 58.7, 61.2, 63.8, 66.4, 70.1,
-        73.5, 75.2, 72.8, 68.4, 62.1, 55.6, 48.9, 41.7, 35.2, 30.8,
+        28.5, 26.1, 24.8, 23.9, 24.5, 31.2, 43.26, 49.90, 55.3, 58.7, 61.2, 63.8, 66.4, 70.1, 73.5,
+        75.2, 72.8, 68.4, 62.1, 55.6, 48.9, 41.7, 35.2, 30.8,
     ];
     let minnesota = vec![
-        26.4, 24.9, 23.7, 22.8, 23.1, 27.4, 30.26, 29.47, 32.8, 35.6, 38.2, 40.5, 42.3, 44.1,
-        45.0, 44.2, 42.7, 40.3, 37.8, 34.9, 32.1, 29.8, 27.6, 26.9,
+        26.4, 24.9, 23.7, 22.8, 23.1, 27.4, 30.26, 29.47, 32.8, 35.6, 38.2, 40.5, 42.3, 44.1, 45.0,
+        44.2, 42.7, 40.3, 37.8, 34.9, 32.1, 29.8, 27.6, 26.9,
     ];
     let wisconsin = vec![
-        22.4, 18.7, 5.2, -12.6, -21.3, 2.8, 19.06, 77.97, 64.3, 52.1, 45.8, 41.2, 43.7, 48.9,
-        53.2, 57.6, 54.1, 49.3, 42.8, 36.4, 30.2, 26.7, 24.1, 23.0,
+        22.4, 18.7, 5.2, -12.6, -21.3, 2.8, 19.06, 77.97, 64.3, 52.1, 45.8, 41.2, 43.7, 48.9, 53.2,
+        57.6, 54.1, 49.3, 42.8, 36.4, 30.2, 26.7, 24.1, 23.0,
     ];
     vec![
         PriceTrace::new(Region::new(0, "Michigan"), michigan).expect("24 finite values"),
@@ -167,7 +167,11 @@ mod tests {
     #[test]
     fn wisconsin_has_negative_morning_dip_like_fig2() {
         let traces = miso_oct3_2011();
-        let min = traces[2].hourly().iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = traces[2]
+            .hourly()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         assert!(min < 0.0, "Wisconsin min {min}");
         // And the other regions stay positive.
         assert!(traces[0].hourly().iter().all(|&p| p > 0.0));
@@ -198,7 +202,10 @@ mod tests {
     fn helpers_work() {
         let traces = miso_oct3_2011();
         assert_eq!(
-            trace_for_region(&traces, RegionId(1)).unwrap().region().name(),
+            trace_for_region(&traces, RegionId(1))
+                .unwrap()
+                .region()
+                .name(),
             "Minnesota"
         );
         assert!(trace_for_region(&traces, RegionId(9)).is_none());

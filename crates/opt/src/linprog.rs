@@ -93,7 +93,10 @@ impl LinearProgram {
         for (i, row) in self.a_eq.iter().chain(&self.a_ub).enumerate() {
             if row.len() != n {
                 return Err(Error::DimensionMismatch {
-                    what: format!("constraint {i} has {} coefficients, expected {n}", row.len()),
+                    what: format!(
+                        "constraint {i} has {} coefficients, expected {n}",
+                        row.len()
+                    ),
                 });
             }
         }
@@ -506,7 +509,11 @@ mod tests {
         let y = sol.duals_ub();
         // Strong duality: obj = Σ y_i b_i (no equalities here).
         let dual_obj = y[0] * 4.0 + y[1] * 12.0 + y[2] * 18.0;
-        assert!((dual_obj - sol.objective()).abs() < 1e-7, "{dual_obj} vs {}", sol.objective());
+        assert!(
+            (dual_obj - sol.objective()).abs() < 1e-7,
+            "{dual_obj} vs {}",
+            sol.objective()
+        );
         // Complementary slackness: x ≤ 4 is slack at optimum (x = 2) → y = 0.
         assert!(y[0].abs() < 1e-9, "{y:?}");
         // Minimization with ≤ rows: shadow prices are non-positive.
@@ -520,12 +527,15 @@ mod tests {
 
     #[test]
     fn equality_duals_match_perturbation() {
-        let build = |rhs: f64| {
-            LinearProgram::minimize(vec![2.0, 1.0]).equality(vec![1.0, 1.0], rhs)
-        };
+        let build =
+            |rhs: f64| LinearProgram::minimize(vec![2.0, 1.0]).equality(vec![1.0, 1.0], rhs);
         let sol = build(5.0).solve().unwrap();
         // Marginal unit of demand is served by the cheaper variable: y = 1.
-        assert!((sol.duals_eq()[0] - 1.0).abs() < 1e-9, "{:?}", sol.duals_eq());
+        assert!(
+            (sol.duals_eq()[0] - 1.0).abs() < 1e-9,
+            "{:?}",
+            sol.duals_eq()
+        );
         let eps = 1e-3;
         let bumped = build(5.0 + eps).solve().unwrap();
         let fd = (bumped.objective() - sol.objective()) / eps;
@@ -535,9 +545,8 @@ mod tests {
     #[test]
     fn duals_handle_negative_rhs_rows() {
         // x0 − x1 ≤ −2 (normalized internally); min x0 + x1 → (0, 2).
-        let build = |rhs: f64| {
-            LinearProgram::minimize(vec![1.0, 1.0]).inequality(vec![1.0, -1.0], rhs)
-        };
+        let build =
+            |rhs: f64| LinearProgram::minimize(vec![1.0, 1.0]).inequality(vec![1.0, -1.0], rhs);
         let sol = build(-2.0).solve().unwrap();
         let eps = 1e-3;
         let bumped = build(-2.0 + eps).solve().unwrap();

@@ -80,7 +80,11 @@ impl ConstrainedLeastSquares {
     pub fn residual_weights(mut self, q_diag: Vec<f64>) -> Result<Self> {
         if q_diag.len() != self.a.rows() {
             return Err(Error::DimensionMismatch {
-                what: format!("Q diagonal length {} vs {} rows", q_diag.len(), self.a.rows()),
+                what: format!(
+                    "Q diagonal length {} vs {} rows",
+                    q_diag.len(),
+                    self.a.rows()
+                ),
             });
         }
         self.q_diag = q_diag;
@@ -96,7 +100,11 @@ impl ConstrainedLeastSquares {
     pub fn regularization(mut self, r_diag: Vec<f64>) -> Result<Self> {
         if r_diag.len() != self.a.cols() {
             return Err(Error::DimensionMismatch {
-                what: format!("R diagonal length {} vs {} cols", r_diag.len(), self.a.cols()),
+                what: format!(
+                    "R diagonal length {} vs {} cols",
+                    r_diag.len(),
+                    self.a.cols()
+                ),
             });
         }
         self.r_diag = r_diag;
@@ -141,7 +149,32 @@ impl ConstrainedLeastSquares {
             });
         }
 
-        // H = 2(AᵀQA + R), g = −2 AᵀQb.
+        let qp = self.lower_to_qp()?;
+        let sol: QpSolution = qp.solve()?;
+        let residual = self.residual_norm(sol.x());
+        let iterations = sol.iterations();
+        Ok(LsqSolution {
+            x: sol.into_x(),
+            residual,
+            iterations,
+        })
+    }
+
+    /// Lowers the problem onto its quadratic-program form
+    /// `H = 2(AᵀQA + R)`, `g = −2AᵀQb`, carrying the constraints over.
+    ///
+    /// The returned [`QuadraticProgram`] is self-contained: callers that
+    /// solve the same structure repeatedly (MPC) can keep it cached and
+    /// re-aim it each step via
+    /// [`set_gradient`](QuadraticProgram::set_gradient) /
+    /// [`set_equality_rhs`](QuadraticProgram::set_equality_rhs) /
+    /// [`set_inequality_rhs`](QuadraticProgram::set_inequality_rhs)
+    /// instead of re-lowering — building `H` is the expensive part.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] on inconsistent dimensions.
+    pub fn lower_to_qp(&self) -> Result<QuadraticProgram> {
         let n = self.a.cols();
         let qa = self.apply_sqrt_weights();
         let mut h = qa.tr_mul_mat(&qa)?.scale(2.0);
@@ -158,14 +191,38 @@ impl ConstrainedLeastSquares {
         for (row, rhs) in &self.ineq {
             qp = qp.inequality(row.clone(), *rhs);
         }
-        let sol: QpSolution = qp.solve()?;
-        let residual = self.residual_norm(sol.x());
-        let iterations = sol.iterations();
-        Ok(LsqSolution {
-            x: sol.into_x(),
-            residual,
-            iterations,
-        })
+        Ok(qp)
+    }
+
+    /// Writes the QP gradient `g = −2AᵀQb` for the current right-hand side
+    /// into `out`, reusing its allocation.
+    ///
+    /// This is the only part of the lowered QP that depends on `b` alone,
+    /// so callers holding a cached [`QuadraticProgram`] refresh it with
+    /// this plus the rhs setters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] on inconsistent dimensions.
+    pub fn gradient_into(&self, b: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        if b.len() != self.a.rows() {
+            return Err(Error::DimensionMismatch {
+                what: format!("rhs length {} vs {} rows", b.len(), self.a.rows()),
+            });
+        }
+        // out = −2 Aᵀ (Q b), accumulated without forming AᵀQ.
+        out.clear();
+        out.resize(self.a.cols(), 0.0);
+        for i in 0..self.a.rows() {
+            let qb = self.q_diag[i] * b[i];
+            if qb == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.a.row(i)) {
+                *o -= 2.0 * a * qb;
+            }
+        }
+        Ok(())
     }
 
     /// `√Q · A`.
@@ -306,6 +363,34 @@ mod tests {
             .unwrap();
         assert!((sol.x()[0] - 2.0).abs() < 1e-7);
         assert!((sol.residual() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lowered_qp_matches_direct_solve_and_retargets() {
+        let a = Matrix::identity(2);
+        let lsq = ConstrainedLeastSquares::new(a, vec![3.0, 1.0])
+            .unwrap()
+            .equality(vec![1.0, 1.0], 2.0);
+        let direct = lsq.solve().unwrap();
+        let mut qp = lsq.lower_to_qp().unwrap();
+        let via_qp = qp.solve().unwrap();
+        assert!((direct.x()[0] - via_qp.x()[0]).abs() < 1e-9);
+        assert!((direct.x()[1] - via_qp.x()[1]).abs() < 1e-9);
+
+        // Retarget the cached QP at a new rhs b′ = (1, 5): the gradient
+        // refresh must reproduce a from-scratch lowering.
+        let mut g = Vec::new();
+        lsq.gradient_into(&[1.0, 5.0], &mut g).unwrap();
+        qp.set_gradient(&g).unwrap();
+        let moved = qp.solve().unwrap();
+        let fresh = ConstrainedLeastSquares::new(Matrix::identity(2), vec![1.0, 5.0])
+            .unwrap()
+            .equality(vec![1.0, 1.0], 2.0)
+            .solve()
+            .unwrap();
+        assert!((moved.x()[0] - fresh.x()[0]).abs() < 1e-9);
+        assert!((moved.x()[1] - fresh.x()[1]).abs() < 1e-9);
+        assert!(lsq.gradient_into(&[1.0], &mut g).is_err());
     }
 
     #[test]

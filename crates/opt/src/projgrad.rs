@@ -34,7 +34,10 @@ pub fn project_simplex(v: &[f64], total: f64) -> Vec<f64> {
     if total == 0.0 {
         return vec![0.0; v.len()];
     }
-    assert!(!v.is_empty(), "cannot project an empty vector onto a positive simplex");
+    assert!(
+        !v.is_empty(),
+        "cannot project an empty vector onto a positive simplex"
+    );
     let mut sorted = v.to_vec();
     sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite entries"));
     let mut cumsum = 0.0;
@@ -150,7 +153,11 @@ impl ProjectedGradientQp {
         for b in &self.blocks {
             if b.start + b.len > n {
                 return Err(Error::DimensionMismatch {
-                    what: format!("block {}..{} exceeds {n} variables", b.start, b.start + b.len),
+                    what: format!(
+                        "block {}..{} exceeds {n} variables",
+                        b.start,
+                        b.start + b.len
+                    ),
                 });
             }
         }

@@ -28,6 +28,68 @@ use crate::{Error, Result};
 /// Feasibility/optimality tolerance.
 const TOL: f64 = 1e-8;
 
+/// Tolerance used to accept caller-supplied starting points and to decide
+/// which seeded constraints are still active at a warm-start point.
+const WARM_TOL: f64 = 1e-6;
+
+/// Consecutive degenerate (zero-length, blocked) steps tolerated before the
+/// drop rule switches from Dantzig's most-negative multiplier to Bland's
+/// anti-cycling smallest index.
+const DEGENERATE_PATIENCE: usize = 12;
+
+/// Reusable scratch memory for [`QuadraticProgram`] solves.
+///
+/// Every active-set iteration assembles and LU-factors a KKT system; with a
+/// workspace those buffers are allocated once and reused, so a steady-state
+/// solve (same problem dimensions step after step, as in MPC) performs no
+/// per-iteration heap allocation. One workspace may be shared across
+/// problems of different sizes — buffers grow to the largest size seen.
+#[derive(Debug, Clone)]
+pub struct QpWorkspace {
+    /// KKT matrix of the equality-constrained subproblem (or, on the
+    /// [`QuadraticProgram::prepare`]d fast path, the working-set block of
+    /// the Schur complement).
+    kkt: Matrix,
+    /// Its LU factorization (buffers reused across refactors).
+    lu: Lu,
+    /// Right-hand side `[−(Hx + g); 0]`.
+    rhs: Vec<f64>,
+    /// Scratch for `H x`.
+    hx: Vec<f64>,
+    /// KKT solution `[p; multipliers]`.
+    sol: Vec<f64>,
+    /// Fast path scratch: `t = H⁻¹·(−(Hx + g))`.
+    t: Vec<f64>,
+    /// Fast path scratch: Schur rhs and multipliers.
+    srhs: Vec<f64>,
+    lam: Vec<f64>,
+    /// Working set buffer, reused across solves.
+    working: Vec<usize>,
+}
+
+impl QpWorkspace {
+    /// Creates an empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        QpWorkspace {
+            kkt: Matrix::zeros(0, 0),
+            lu: Lu::empty(),
+            rhs: Vec::new(),
+            hx: Vec::new(),
+            sol: Vec::new(),
+            t: Vec::new(),
+            srhs: Vec::new(),
+            lam: Vec::new(),
+            working: Vec::new(),
+        }
+    }
+}
+
+impl Default for QpWorkspace {
+    fn default() -> Self {
+        QpWorkspace::new()
+    }
+}
+
 /// A convex QP under construction. See the [module docs](self) for the
 /// canonical form.
 ///
@@ -57,6 +119,27 @@ pub struct QuadraticProgram {
     a_in: Vec<Vec<f64>>,
     b_in: Vec<f64>,
     max_iter: usize,
+    kkt_cache: Option<KktCache>,
+}
+
+/// Precomputed factorizations for the active-set iteration, built by
+/// [`QuadraticProgram::prepare`].
+///
+/// The Hessian and the constraint *rows* are fixed for the lifetime of a
+/// problem (only `g` and the right-hand sides are retargeted between MPC
+/// steps), so the expensive parts of every KKT solve can be hoisted out of
+/// the iteration: factor `H` once, and precompute `Y = H⁻¹Aᵀ` and the full
+/// Schur complement `S = A H⁻¹ Aᵀ` over *all* constraint rows. Each
+/// iteration then only gathers the working-set block of `S` and factors
+/// that `m × m` system instead of the dense `(n + m) × (n + m)` KKT matrix.
+#[derive(Debug, Clone)]
+struct KktCache {
+    /// LU factors of `H + εI`.
+    hfac: Lu,
+    /// `H⁻¹ [A_eqᵀ A_inᵀ]`, shape `n × (m_eq + m_in)`.
+    y: Matrix,
+    /// `[A_eq; A_in] H⁻¹ [A_eqᵀ A_inᵀ]`, shape `(m_eq+m_in) × (m_eq+m_in)`.
+    s: Matrix,
 }
 
 impl QuadraticProgram {
@@ -85,6 +168,7 @@ impl QuadraticProgram {
             a_in: Vec::new(),
             b_in: Vec::new(),
             max_iter: 500,
+            kkt_cache: None,
         })
     }
 
@@ -92,6 +176,7 @@ impl QuadraticProgram {
     pub fn equality(mut self, row: Vec<f64>, rhs: f64) -> Self {
         self.a_eq.push(row);
         self.b_eq.push(rhs);
+        self.kkt_cache = None;
         self
     }
 
@@ -99,7 +184,49 @@ impl QuadraticProgram {
     pub fn inequality(mut self, row: Vec<f64>, rhs: f64) -> Self {
         self.a_in.push(row);
         self.b_in.push(rhs);
+        self.kkt_cache = None;
         self
+    }
+
+    /// Precomputes the factorizations that make repeated solves cheap.
+    ///
+    /// Factors the Hessian and forms the Schur complement `A H⁻¹ Aᵀ` over
+    /// all constraint rows, so every active-set iteration solves an
+    /// `m × m` working-set system instead of refactoring the dense
+    /// `(n+m) × (n+m)` KKT matrix. Worth calling whenever the same problem
+    /// skeleton is solved more than a handful of times (the MPC controller
+    /// prepares its cached QP once per structure change); pointless for a
+    /// one-shot solve. The cache survives [`Self::set_gradient`] and the
+    /// rhs setters, and is dropped if constraint rows are added.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] on malformed constraint rows.
+    /// * [`Error::Numerical`] if the (ridged) Hessian is singular.
+    pub fn prepare(&mut self) -> Result<()> {
+        self.validate()?;
+        let n = self.num_vars();
+        let mt = self.a_eq.len() + self.a_in.len();
+        let mut ridged = self.h.clone();
+        for i in 0..n {
+            ridged[(i, i)] += 1e-12;
+        }
+        let hfac = Lu::factor(&ridged)?;
+        let mut a_all = Matrix::zeros(mt, n);
+        for (r, row) in self.a_eq.iter().chain(&self.a_in).enumerate() {
+            a_all.row_mut(r).copy_from_slice(row);
+        }
+        let mut y = Matrix::zeros(n, mt);
+        let mut col = Vec::new();
+        for r in 0..mt {
+            hfac.solve_into(a_all.row(r), &mut col)?;
+            for i in 0..n {
+                y[(i, r)] = col[i];
+            }
+        }
+        let s = a_all.mul_mat(&y)?;
+        self.kkt_cache = Some(KktCache { hfac, y, s });
+        Ok(())
     }
 
     /// Overrides the iteration budget. The default scales with problem
@@ -131,9 +258,18 @@ impl QuadraticProgram {
     /// * [`Error::DimensionMismatch`] on malformed constraint rows.
     /// * [`Error::Numerical`] if a KKT system is singular beyond recovery.
     pub fn solve(&self) -> Result<QpSolution> {
+        self.solve_with(&mut QpWorkspace::new())
+    }
+
+    /// Like [`Self::solve`], reusing caller-provided scratch memory.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::solve`].
+    pub fn solve_with(&self, ws: &mut QpWorkspace) -> Result<QpSolution> {
         self.validate()?;
         let x0 = self.find_feasible_point()?;
-        self.solve_from_feasible(&x0)
+        self.solve_from_feasible(&x0, &[], ws)
     }
 
     /// Solves the program starting from a caller-supplied point.
@@ -146,6 +282,27 @@ impl QuadraticProgram {
     /// [`Error::Infeasible`] if `x0` violates the constraints by more than
     /// the internal tolerance, plus the failure modes of [`Self::solve`].
     pub fn solve_from(&self, x0: &[f64]) -> Result<QpSolution> {
+        self.warm_start(x0, &[], &mut QpWorkspace::new())
+    }
+
+    /// Warm-started solve: starts from `x0` with the working set seeded
+    /// from `active_set` (typically the previous solve's
+    /// [`QpSolution::active_set`]), reusing `ws`'s scratch memory.
+    ///
+    /// Seeded indices that are out of range or no longer active at `x0`
+    /// are ignored, so a slightly stale active set degrades gracefully
+    /// into a few extra iterations rather than a failure.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Infeasible`] if `x0` violates the constraints by more than
+    /// the internal tolerance, plus the failure modes of [`Self::solve`].
+    pub fn warm_start(
+        &self,
+        x0: &[f64],
+        active_set: &[usize],
+        ws: &mut QpWorkspace,
+    ) -> Result<QpSolution> {
         self.validate()?;
         if x0.len() != self.num_vars() {
             return Err(Error::DimensionMismatch {
@@ -156,10 +313,61 @@ impl QuadraticProgram {
                 ),
             });
         }
-        if !self.is_feasible(x0, 1e-6) {
+        if !self.is_feasible(x0, WARM_TOL) {
             return Err(Error::Infeasible);
         }
-        self.solve_from_feasible(x0)
+        self.solve_from_feasible(x0, active_set, ws)
+    }
+
+    /// Replaces the gradient `g`, keeping the Hessian and constraints.
+    ///
+    /// Together with the rhs setters this lets a cached QP skeleton be
+    /// re-aimed at a new MPC step without rebuilding matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the length differs from the
+    /// variable count.
+    pub fn set_gradient(&mut self, g: &[f64]) -> Result<()> {
+        if g.len() != self.g.len() {
+            return Err(Error::DimensionMismatch {
+                what: format!("gradient length {} != {}", g.len(), self.g.len()),
+            });
+        }
+        self.g.copy_from_slice(g);
+        Ok(())
+    }
+
+    /// Replaces the equality right-hand sides, keeping the rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the length differs from the
+    /// number of equality constraints.
+    pub fn set_equality_rhs(&mut self, rhs: &[f64]) -> Result<()> {
+        if rhs.len() != self.b_eq.len() {
+            return Err(Error::DimensionMismatch {
+                what: format!("equality rhs length {} != {}", rhs.len(), self.b_eq.len()),
+            });
+        }
+        self.b_eq.copy_from_slice(rhs);
+        Ok(())
+    }
+
+    /// Replaces the inequality right-hand sides, keeping the rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the length differs from the
+    /// number of inequality constraints.
+    pub fn set_inequality_rhs(&mut self, rhs: &[f64]) -> Result<()> {
+        if rhs.len() != self.b_in.len() {
+            return Err(Error::DimensionMismatch {
+                what: format!("inequality rhs length {} != {}", rhs.len(), self.b_in.len()),
+            });
+        }
+        self.b_in.copy_from_slice(rhs);
+        Ok(())
     }
 
     /// Checks whether `x` satisfies all constraints within `tol`.
@@ -181,7 +389,10 @@ impl QuadraticProgram {
         for row in self.a_eq.iter().chain(&self.a_in) {
             if row.len() != n {
                 return Err(Error::DimensionMismatch {
-                    what: format!("constraint row has {} coefficients, expected {n}", row.len()),
+                    what: format!(
+                        "constraint row has {} coefficients, expected {n}",
+                        row.len()
+                    ),
                 });
             }
         }
@@ -210,49 +421,86 @@ impl QuadraticProgram {
         Ok((0..n).map(|i| z[i] - z[n + i]).collect())
     }
 
-    fn solve_from_feasible(&self, x0: &[f64]) -> Result<QpSolution> {
+    /// Core active-set loop from a feasible `x0`, with the working set
+    /// seeded from `seed` (invalid or inactive entries are skipped).
+    fn solve_from_feasible(
+        &self,
+        x0: &[f64],
+        seed: &[usize],
+        ws: &mut QpWorkspace,
+    ) -> Result<QpSolution> {
+        let n = self.num_vars();
         let mut x = x0.to_vec();
         // Working set: indices into a_in. Equalities are always active.
-        let mut working: Vec<usize> = Vec::new();
+        // Taken out of the workspace so the KKT scratch can be borrowed
+        // mutably alongside it; restored before returning.
+        let mut working = std::mem::take(&mut ws.working);
+        working.clear();
+        let scale = 1.0 + vec_ops::norm_inf(x0);
+        for &i in seed {
+            // Keep the KKT system square-solvable: never seed more working
+            // constraints than free directions.
+            if self.a_eq.len() + working.len() >= n {
+                break;
+            }
+            if i < self.a_in.len()
+                && !working.contains(&i)
+                && (vec_ops::dot(&self.a_in[i], x0) - self.b_in[i]).abs() <= WARM_TOL * scale
+            {
+                working.push(i);
+            }
+        }
         let mut iterations = 0;
+        let mut degenerate_streak = 0usize;
         let budget = self.iteration_budget();
 
-        while iterations < budget {
+        let result = loop {
+            if iterations >= budget {
+                break Err(Error::IterationLimit { iterations: budget });
+            }
             iterations += 1;
-            let (p, mult) = match self.kkt_step(&x, &working) {
-                Ok(res) => res,
+            match self.kkt_step(&x, &working, ws) {
+                Ok(()) => {}
                 Err(Error::Numerical(_)) if !working.is_empty() => {
                     // Degenerate working set — drop the most recent addition.
                     working.pop();
                     continue;
                 }
-                Err(e) => return Err(e),
-            };
+                Err(e) => break Err(e),
+            }
+            let (p, mult) = ws.sol.split_at(n);
 
             // Stationarity is judged relative to the iterate's scale: with
             // workload-sized variables (O(1e4)) a step of 1e-8 is numerical
             // noise, not progress.
-            if vec_ops::norm_inf(&p) < TOL * (1.0 + vec_ops::norm_inf(&x)) {
+            let p_norm = vec_ops::norm_inf(p);
+            let x_scale = TOL * (1.0 + vec_ops::norm_inf(&x));
+            if p_norm < x_scale {
                 // Multipliers of working inequality constraints live after
-                // the equality multipliers. Bland-style anti-cycling: drop
-                // the negative-multiplier constraint with the smallest
-                // *constraint index*, not the most negative multiplier —
-                // the latter can cycle on degenerate vertices.
+                // the equality multipliers. Normally drop the *most
+                // negative* multiplier (Dantzig's rule — converges in few
+                // iterations); after a streak of degenerate zero-length
+                // steps, switch to Bland's smallest-constraint-index rule,
+                // which cannot cycle. Pure Bland is safe but walks the
+                // working set essentially one index at a time, which on a
+                // large warm-started transient costs thousands of
+                // refactorizations.
                 let ineq_mult = &mult[self.a_eq.len()..];
-                let worst = ineq_mult
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &m)| m < -TOL)
-                    .min_by_key(|&(k, _)| working[k]);
+                let candidates = ineq_mult.iter().enumerate().filter(|(_, &m)| m < -TOL);
+                let worst = if degenerate_streak < DEGENERATE_PATIENCE {
+                    candidates.min_by(|a, b| a.1.partial_cmp(b.1).expect("multipliers are finite"))
+                } else {
+                    candidates.min_by_key(|&(k, _)| working[k])
+                };
                 match worst {
                     None => {
                         let objective = self.objective_at(&x);
                         working.sort_unstable();
-                        return Ok(QpSolution {
+                        break Ok(QpSolution {
                             x,
                             objective,
                             iterations,
-                            active_set: working,
+                            active_set: working.clone(),
                         });
                     }
                     Some((idx, _)) => {
@@ -267,7 +515,7 @@ impl QuadraticProgram {
                     if working.contains(&i) {
                         continue;
                     }
-                    let ap = vec_ops::dot(row, &p);
+                    let ap = vec_ops::dot(row, p);
                     if ap > TOL {
                         let slack = b - vec_ops::dot(row, &x);
                         let ai = (slack / ap).max(0.0);
@@ -277,25 +525,39 @@ impl QuadraticProgram {
                         }
                     }
                 }
-                vec_ops::axpy(alpha, &p, &mut x);
+                // A blocked step whose *displacement* is negligible at the
+                // iterate's scale means a degenerate vertex — the only
+                // place Dantzig's rule can cycle.
+                if alpha * p_norm <= x_scale && blocking.is_some() {
+                    degenerate_streak += 1;
+                } else {
+                    degenerate_streak = 0;
+                }
+                vec_ops::axpy(alpha, p, &mut x);
                 if let Some(i) = blocking {
                     working.push(i);
                 }
             }
-        }
-        Err(Error::IterationLimit { iterations: budget })
+        };
+        ws.working = working;
+        result
     }
 
-    /// Solves the equality-constrained subproblem at `x` for the working set:
-    /// returns the step `p` and the constraint multipliers.
-    fn kkt_step(&self, x: &[f64], working: &[usize]) -> Result<(Vec<f64>, Vec<f64>)> {
+    /// Solves the equality-constrained subproblem at `x` for the working
+    /// set, leaving `[p; multipliers]` in `ws.sol`. Allocation-free once
+    /// the workspace buffers have grown to the problem size.
+    fn kkt_step(&self, x: &[f64], working: &[usize], ws: &mut QpWorkspace) -> Result<()> {
+        if self.kkt_cache.is_some() {
+            return self.kkt_step_prepared(x, working, ws);
+        }
         let n = self.num_vars();
         let m = self.a_eq.len() + working.len();
         let dim = n + m;
-        let mut kkt = Matrix::zeros(dim, dim);
-        kkt.set_block(0, 0, &self.h);
-        // Tiny ridge keeps nearly-singular Hessians factorable.
+        let kkt = &mut ws.kkt;
+        kkt.resize_zeroed(dim, dim);
         for i in 0..n {
+            kkt.row_mut(i)[..n].copy_from_slice(self.h.row(i));
+            // Tiny ridge keeps nearly-singular Hessians factorable.
             kkt[(i, i)] += 1e-12;
         }
         let mut fill_row = |r: usize, row: &[f64]| {
@@ -312,15 +574,93 @@ impl QuadraticProgram {
         }
 
         // rhs = [−(Hx + g); 0]
-        let mut rhs = vec![0.0; dim];
-        let hx = self.h.mul_vec(x)?;
+        self.h.mul_vec_into(x, &mut ws.hx)?;
+        ws.rhs.clear();
+        ws.rhs.resize(dim, 0.0);
         for i in 0..n {
-            rhs[i] = -(hx[i] + self.g[i]);
+            ws.rhs[i] = -(ws.hx[i] + self.g[i]);
         }
-        let sol = Lu::factor(&kkt)?.solve(&rhs)?;
-        let p = sol[..n].to_vec();
-        let mult = sol[n..].to_vec();
-        Ok((p, mult))
+        ws.lu.refactor(kkt)?;
+        ws.lu.solve_into(&ws.rhs, &mut ws.sol)?;
+        Ok(())
+    }
+
+    /// [`Self::kkt_step`] via the [`prepare`](Self::prepare)d Schur
+    /// complement: with `v = −(Hx + g)` and `t = H⁻¹v`, the multipliers
+    /// solve `S_RR λ = A_R t` over the working rows `R`, and the step is
+    /// `p = t − Y_R λ`. Only the `m × m` gather-and-factor of `S_RR`
+    /// depends on the working set.
+    fn kkt_step_prepared(&self, x: &[f64], working: &[usize], ws: &mut QpWorkspace) -> Result<()> {
+        let cache = self.kkt_cache.as_ref().expect("checked by caller");
+        let n = self.num_vars();
+        let me = self.a_eq.len();
+        let m = me + working.len();
+        // v = −(Hx + g), t = H⁻¹ v.
+        self.h.mul_vec_into(x, &mut ws.hx)?;
+        ws.rhs.clear();
+        ws.rhs.extend((0..n).map(|i| -(ws.hx[i] + self.g[i])));
+        cache.hfac.solve_into(&ws.rhs, &mut ws.t)?;
+        ws.sol.clear();
+        if m == 0 {
+            ws.sol.extend_from_slice(&ws.t);
+            return Ok(());
+        }
+        // Gather the working-set block of S (row r of the working system is
+        // equality r for r < m_eq, else inequality working[r − m_eq], whose
+        // column in the precomputed S/Y lives at m_eq + index).
+        let scol = |r: usize| {
+            if r < me {
+                r
+            } else {
+                me + working[r - me]
+            }
+        };
+        let srr = &mut ws.kkt;
+        srr.resize_zeroed(m, m);
+        for r in 0..m {
+            let src = cache.s.row(scol(r));
+            let dst = srr.row_mut(r);
+            for (q, d) in dst.iter_mut().enumerate() {
+                *d = src[scol(q)];
+            }
+        }
+        ws.srhs.clear();
+        for r in 0..m {
+            let row = if r < me {
+                &self.a_eq[r]
+            } else {
+                &self.a_in[working[r - me]]
+            };
+            ws.srhs.push(vec_ops::dot(row, &ws.t));
+        }
+        ws.lu.refactor(srr)?;
+        ws.lu.solve_into(&ws.srhs, &mut ws.lam)?;
+        // One step of iterative refinement: S is substantially worse
+        // conditioned than the full KKT matrix it replaces, and multiplier
+        // noise near the drop threshold makes the active-set loop cycle.
+        // `refactor` copies, so `srr` still holds the unfactored block.
+        // (`rhs` and `hx` are dead at this point — reused as residual and
+        // correction scratch.)
+        ws.rhs.clear();
+        for r in 0..m {
+            ws.rhs
+                .push(ws.srhs[r] - vec_ops::dot(&srr.row(r)[..m], &ws.lam));
+        }
+        ws.lu.solve_into(&ws.rhs, &mut ws.hx)?;
+        for (l, &d) in ws.lam.iter_mut().zip(&ws.hx) {
+            *l += d;
+        }
+        // p = t − Y_R λ, stacked with the multipliers as in the dense path.
+        for i in 0..n {
+            let yrow = cache.y.row(i);
+            let mut acc = 0.0;
+            for (r, &l) in ws.lam.iter().enumerate() {
+                acc += yrow[scol(r)] * l;
+            }
+            ws.sol.push(ws.t[i] - acc);
+        }
+        ws.sol.extend_from_slice(&ws.lam);
+        Ok(())
     }
 
     /// Objective value `½xᵀHx + gᵀx`.
@@ -449,6 +789,74 @@ mod tests {
         let warm = qp.solve_from(&[0.4, 1.5]).unwrap();
         assert_near(cold.x()[0], warm.x()[0]);
         assert_near(cold.x()[1], warm.x()[1]);
+    }
+
+    #[test]
+    fn warm_start_with_seeded_active_set_matches_cold() {
+        // Nocedal & Wright 16.4 again, this time warm-started at the known
+        // optimum with its active set: must converge immediately to the
+        // same point.
+        let qp = QuadraticProgram::new(Matrix::diag(&[2.0, 2.0]), vec![-2.0, -5.0])
+            .unwrap()
+            .inequality(vec![-1.0, 2.0], 2.0)
+            .inequality(vec![1.0, 2.0], 6.0)
+            .inequality(vec![1.0, -2.0], 2.0)
+            .inequality(vec![-1.0, 0.0], 0.0)
+            .inequality(vec![0.0, -1.0], 0.0);
+        let cold = qp.solve().unwrap();
+        let mut ws = QpWorkspace::new();
+        let warm = qp.warm_start(cold.x(), cold.active_set(), &mut ws).unwrap();
+        assert_near(warm.x()[0], cold.x()[0]);
+        assert_near(warm.x()[1], cold.x()[1]);
+        assert_eq!(warm.active_set(), cold.active_set());
+        assert!(warm.iterations() <= cold.iterations());
+
+        // Garbage seed entries (out of range, inactive) are tolerated.
+        let sloppy = qp.warm_start(cold.x(), &[99, 1, 1, 0], &mut ws).unwrap();
+        assert_near(sloppy.x()[0], cold.x()[0]);
+        assert_near(sloppy.x()[1], cold.x()[1]);
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_different_problems() {
+        let mut ws = QpWorkspace::new();
+        let a = QuadraticProgram::new(Matrix::diag(&[2.0]), vec![-10.0])
+            .unwrap()
+            .inequality(vec![1.0], 2.0);
+        let b = QuadraticProgram::new(Matrix::diag(&[2.0, 2.0, 2.0]), vec![0.0, 0.0, -2.0])
+            .unwrap()
+            .equality(vec![1.0, 1.0, 0.0], 1.0);
+        for _ in 0..3 {
+            let sa = a.solve_with(&mut ws).unwrap();
+            assert_near(sa.x()[0], 2.0);
+            let sb = b.solve_with(&mut ws).unwrap();
+            assert_near(sb.x()[2], 1.0);
+            assert_near(sb.x()[0] + sb.x()[1], 1.0);
+        }
+    }
+
+    #[test]
+    fn rhs_and_gradient_mutators_retarget_cached_problem() {
+        // min (x0−5)² + x1²  s.t. x1 = 0.5, x0 ≤ 2  → (2, 0.5)
+        let mut qp = QuadraticProgram::new(Matrix::diag(&[2.0, 2.0]), vec![-10.0, 0.0])
+            .unwrap()
+            .equality(vec![0.0, 1.0], 0.5)
+            .inequality(vec![1.0, 0.0], 2.0);
+        let first = qp.solve().unwrap();
+        assert_near(first.x()[0], 2.0);
+        assert_near(first.x()[1], 0.5);
+        // Move the target, the bound and the equality level: same skeleton,
+        // new step data → (1, 1).
+        qp.set_gradient(&[-2.0, 0.0]).unwrap();
+        qp.set_inequality_rhs(&[5.0]).unwrap();
+        qp.set_equality_rhs(&[1.0]).unwrap();
+        let second = qp.solve().unwrap();
+        assert_near(second.x()[0], 1.0);
+        assert_near(second.x()[1], 1.0);
+        // Length mismatches are rejected.
+        assert!(qp.set_gradient(&[1.0]).is_err());
+        assert!(qp.set_equality_rhs(&[]).is_err());
+        assert!(qp.set_inequality_rhs(&[1.0, 2.0]).is_err());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use idc_linalg::{vec_ops, Matrix};
 use idc_opt::linprog::LinearProgram;
 use idc_opt::projgrad::project_simplex;
-use idc_opt::qp::QuadraticProgram;
+use idc_opt::qp::{QpWorkspace, QuadraticProgram};
 use proptest::prelude::*;
 
 /// Strategy: a strictly-positive diagonal Hessian of dimension `n`.
@@ -146,6 +146,70 @@ proptest! {
         let d_proj = vec_ops::norm2(&vec_ops::sub(&pv, &pw));
         let d_orig = vec_ops::norm2(&vec_ops::sub(&v, &w));
         prop_assert!(d_proj <= d_orig + 1e-9);
+    }
+
+    /// Warm-started solves seeded with a perturbed previous optimum and a
+    /// possibly-stale active set land on the cold solve's answer — same
+    /// minimizer, objective and final active set — on random
+    /// product-of-simplices QPs, on both the dense-KKT and the
+    /// Schur-prepared solve paths. This is the contract the MPC's
+    /// shift-and-repair warm start relies on.
+    #[test]
+    fn qp_warm_start_matches_cold_solve(
+        hdiag in pd_diag(6),
+        g in prop::collection::vec(-2.0f64..2.0, 6),
+        blend in 0.0f64..1.0,
+    ) {
+        let build = || {
+            let mut qp = QuadraticProgram::new(Matrix::diag(&hdiag), g.clone()).unwrap();
+            for b in 0..2 {
+                let mut row = vec![0.0; 6];
+                for k in 0..3 {
+                    row[3 * b + k] = 1.0;
+                }
+                qp = qp.equality(row, 1.0);
+                for k in 0..3 {
+                    let mut nn = vec![0.0; 6];
+                    nn[3 * b + k] = -1.0;
+                    qp = qp.inequality(nn, 0.0);
+                }
+            }
+            qp
+        };
+        let qp = build();
+        let cold = qp.solve().unwrap();
+        // A feasible stand-in for the receding-horizon shift: blend the
+        // optimum toward the simplex centers (stays on the equality
+        // manifold and nonnegative), seeding with the now-stale set.
+        let x0: Vec<f64> = cold.x().iter().map(|&x| (1.0 - blend) * x + blend / 3.0).collect();
+        let mut ws = QpWorkspace::new();
+        let warm = qp.warm_start(&x0, cold.active_set(), &mut ws).unwrap();
+        let obj_tol = 1e-8 * (1.0 + cold.objective().abs());
+        prop_assert!(
+            (warm.objective() - cold.objective()).abs() <= obj_tol,
+            "warm objective {} vs cold {}", warm.objective(), cold.objective()
+        );
+        prop_assert!(
+            vec_ops::approx_eq(warm.x(), cold.x(), 1e-6),
+            "warm x {:?} vs cold {:?}", warm.x(), cold.x()
+        );
+        let mut cold_set = cold.active_set().to_vec();
+        cold_set.sort_unstable();
+        let mut warm_set = warm.active_set().to_vec();
+        warm_set.sort_unstable();
+        prop_assert_eq!(cold_set.clone(), warm_set);
+        // The Schur-prepared fast path reaches the same answer.
+        let mut prepared = build();
+        prepared.prepare().unwrap();
+        let fast = prepared.warm_start(&x0, cold.active_set(), &mut ws).unwrap();
+        prop_assert!(
+            (fast.objective() - cold.objective()).abs() <= obj_tol,
+            "prepared objective {} vs cold {}", fast.objective(), cold.objective()
+        );
+        prop_assert!(vec_ops::approx_eq(fast.x(), cold.x(), 1e-6));
+        let mut fast_set = fast.active_set().to_vec();
+        fast_set.sort_unstable();
+        prop_assert_eq!(cold_set, fast_set);
     }
 
     /// Active-set QP and projected-gradient agree on simplex-constrained

@@ -3,7 +3,7 @@
 //! Implemented in-crate so the workspace depends only on the core `rand`
 //! crate (no `rand_distr`), keeping the offline dependency footprint small.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Draws one standard-normal (`N(0, 1)`) variate via the Box–Muller
 /// transform.

@@ -6,7 +6,7 @@
 //! with its own Poisson arrival rate; per sampling interval the chain
 //! transitions and an arrival count is drawn.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A discrete-time Markov-Modulated Poisson Process.
 ///
@@ -144,11 +144,8 @@ mod tests {
     use rand::{rngs::StdRng, SeedableRng};
 
     fn two_state() -> MarkovModulatedPoisson {
-        MarkovModulatedPoisson::new(
-            vec![50.0, 500.0],
-            vec![vec![0.9, 0.1], vec![0.2, 0.8]],
-        )
-        .unwrap()
+        MarkovModulatedPoisson::new(vec![50.0, 500.0], vec![vec![0.9, 0.1], vec![0.2, 0.8]])
+            .unwrap()
     }
 
     #[test]
@@ -176,7 +173,10 @@ mod tests {
     fn large_lambda_uses_gaussian_branch_with_right_mean() {
         let mut rng = StdRng::seed_from_u64(5);
         let n = 5000;
-        let mean = (0..n).map(|_| poisson(&mut rng, 1000.0) as f64).sum::<f64>() / n as f64;
+        let mean = (0..n)
+            .map(|_| poisson(&mut rng, 1000.0) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 1000.0).abs() < 5.0, "mean {mean}");
     }
 

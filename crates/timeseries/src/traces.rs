@@ -9,7 +9,7 @@
 //! (≈ 0–2000 req/s, night trough, office-hours plateau) matches the
 //! published figure.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::gaussian::standard_normal;
 

@@ -17,7 +17,9 @@ fn main() -> Result<(), idc_core::Error> {
     let offered = fleet.offered_workloads();
     let names = ["Michigan", "Minnesota", "Wisconsin"];
 
-    println!("hour |  prices ($/MWh)        |  LP workload split (kreq/s)  | LP $/h   | greedy $/h");
+    println!(
+        "hour |  prices ($/MWh)        |  LP workload split (kreq/s)  | LP $/h   | greedy $/h"
+    );
     let mut lp_total = 0.0;
     let mut greedy_total = 0.0;
     let mut static_total = 0.0;
@@ -35,8 +37,7 @@ fn main() -> Result<(), idc_core::Error> {
             .map(|j| {
                 let idc = &fleet.idcs()[j];
                 let lam = static_alloc.idc_total(j);
-                let m = lam / idc.service_rate()
-                    + 1.0 / (idc.service_rate() * idc.latency_bound());
+                let m = lam / idc.service_rate() + 1.0 / (idc.service_rate() * idc.latency_bound());
                 prices[j] * (idc.server().b1() * lam + idc.server().b0() * m) / 1e6
             })
             .sum::<f64>();

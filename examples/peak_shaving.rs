@@ -19,7 +19,10 @@ fn main() -> Result<(), idc_core::Error> {
     let sim = Simulator::new();
 
     let mpc = sim.run(&scenario, &mut MpcPolicy::paper_tuned(&scenario)?)?;
-    let opt = sim.run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))?;
+    let opt = sim.run(
+        &scenario,
+        &mut OptimalPolicy::new(ReferenceKind::PriceGreedy),
+    )?;
 
     let names = ["Michigan", "Minnesota", "Wisconsin"];
     println!("{}", report::render_trajectories(&mpc, &names));

@@ -31,7 +31,7 @@ fn closed_loop_step(lam: &[f64]) -> Vec<f64> {
     let mi = lam[0].clamp(0.0, total);
     let wi = total - mi;
 
-    let controller = MpcController::new(MpcConfig::default());
+    let mut controller = MpcController::new(MpcConfig::default());
     // 7H reference (greedy): MI full at 39 999, WI the rest.
     let mi_ref = 39_999.0_f64.min(total);
     let wi_ref = total - mi_ref;
@@ -70,11 +70,14 @@ fn main() {
     println!("closed-loop Jacobian at the tracking equilibrium:");
     println!("  [{:>8.5} {:>8.5}]", jac[(0, 0)], jac[(0, 1)]);
     println!("  [{:>8.5} {:>8.5}]", jac[(1, 0)], jac[(1, 1)]);
-    println!("spectral radius ρ = {rho:.5}  →  {}", if rho < 1.0 {
-        "locally Schur stable"
-    } else {
-        "NOT stable"
-    });
+    println!(
+        "spectral radius ρ = {rho:.5}  →  {}",
+        if rho < 1.0 {
+            "locally Schur stable"
+        } else {
+            "NOT stable"
+        }
+    );
 
     // 2. Empirical contraction over a grid of initial allocations.
     let samples: Vec<Vec<f64>> = (0..6)

@@ -55,8 +55,7 @@ fn reference_solution_respects_datacenter_invariants() {
     let fleet = IdcFleet::paper_fleet();
     for hour in 0..24 {
         let prices = prices_at_hour(&config::paper_price_traces(), hour as f64);
-        let sol =
-            optimal_reference(fleet.idcs(), &fleet.offered_workloads(), &prices).unwrap();
+        let sol = optimal_reference(fleet.idcs(), &fleet.offered_workloads(), &prices).unwrap();
         let alloc = Allocation::from_control_vector(
             fleet.num_portals(),
             fleet.num_idcs(),
@@ -107,7 +106,11 @@ fn pue_shifts_the_reference_optimum() {
         .collect();
     let cooled = optimal_reference(&idcs, &offered, &prices).unwrap();
     // Its effective cost per request now exceeds both others: abandoned.
-    assert!(cooled.idc_workloads(5)[2] < 10_000.0, "{:?}", cooled.idc_workloads(5));
+    assert!(
+        cooled.idc_workloads(5)[2] < 10_000.0,
+        "{:?}",
+        cooled.idc_workloads(5)
+    );
     // And the reported power accounts for the facility overhead.
     assert!(cooled.cost_rate_per_hour() > base.cost_rate_per_hour());
 }

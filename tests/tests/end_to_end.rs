@@ -16,7 +16,10 @@ fn figure_4_and_5_shape_holds() {
         .run(&scenario, &mut MpcPolicy::paper_tuned(&scenario).unwrap())
         .unwrap();
     let opt = sim
-        .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))
+        .run(
+            &scenario,
+            &mut OptimalPolicy::new(ReferenceKind::PriceGreedy),
+        )
         .unwrap();
 
     // Paper endpoints (Figs. 4/5): optimal runs 2.1375→5.7, 11.4→11.4,
@@ -46,7 +49,10 @@ fn figure_4_and_5_shape_holds() {
     let cmp = Comparison::between(&mpc, &opt).unwrap();
     assert!(cmp.jump_reduction_percent() > 70.0, "{cmp:?}");
     assert!(cmp.cost_overhead_percent() < 10.0, "{cmp:?}");
-    assert!(cmp.cost_overhead_percent() > 0.0, "smoothing cannot be free");
+    assert!(
+        cmp.cost_overhead_percent() > 0.0,
+        "smoothing cannot be free"
+    );
 }
 
 /// Peak shaving (Figs. 6/7): budget-violating IDCs are steered to their
@@ -60,7 +66,10 @@ fn figure_6_and_7_shape_holds() {
         .run(&scenario, &mut MpcPolicy::paper_tuned(&scenario).unwrap())
         .unwrap();
     let opt = sim
-        .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))
+        .run(
+            &scenario,
+            &mut OptimalPolicy::new(ReferenceKind::PriceGreedy),
+        )
         .unwrap();
 
     // The baseline ends in violation of MI and MN budgets.
@@ -87,14 +96,22 @@ fn vicious_cycle_is_damped_by_mpc() {
         .run(&scenario, &mut MpcPolicy::paper_tuned(&scenario).unwrap())
         .unwrap();
     let opt = sim
-        .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))
+        .run(
+            &scenario,
+            &mut OptimalPolicy::new(ReferenceKind::PriceGreedy),
+        )
         .unwrap();
     let worst = |r: &idc_core::simulation::SimulationResult| {
         (0..r.num_idcs())
             .map(|j| r.power_stats(j).unwrap().max_abs_step_mw)
             .fold(0.0f64, f64::max)
     };
-    assert!(worst(&opt) > 3.0 * worst(&mpc), "{} vs {}", worst(&opt), worst(&mpc));
+    assert!(
+        worst(&opt) > 3.0 * worst(&mpc),
+        "{} vs {}",
+        worst(&opt),
+        worst(&mpc)
+    );
 }
 
 /// A full diurnal day (hourly price changes + workload swings + noise):
@@ -109,7 +126,10 @@ fn diurnal_day_is_served_smoothly() {
         .run(&scenario, &mut MpcPolicy::paper_tuned(&scenario).unwrap())
         .unwrap();
     let opt = sim
-        .run(&scenario, &mut OptimalPolicy::new(ReferenceKind::PriceGreedy))
+        .run(
+            &scenario,
+            &mut OptimalPolicy::new(ReferenceKind::PriceGreedy),
+        )
         .unwrap();
     assert!(mpc.latency_ok_fraction() > 0.999);
     assert_eq!(mpc.shed_fraction(), 0.0);

@@ -74,7 +74,7 @@ proptest! {
             power_reference_mw: vec![vec![ref0, ref1]; 5],
             tracking_multiplier: MpcProblem::uniform_tracking(2),
         };
-        let controller = MpcController::new(MpcConfig {
+        let mut controller = MpcController::new(MpcConfig {
             smoothing_weight: smoothing,
             ..MpcConfig::default()
         });
@@ -105,7 +105,7 @@ proptest! {
                 ]; 5],
                 tracking_multiplier: MpcProblem::uniform_tracking(2),
             };
-            let controller = MpcController::new(MpcConfig {
+            let mut controller = MpcController::new(MpcConfig {
                 smoothing_weight: smoothing,
                 ..MpcConfig::default()
             });

@@ -1,0 +1,264 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! Provides the same bench-authoring surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `BenchmarkId`,
+//! `Bencher::iter`) with a plain wall-clock harness: per benchmark it
+//! warms up, runs `sample_size` samples, and prints min/median/mean times.
+//! Statistical analysis, plots and baseline comparison of real criterion
+//! are intentionally out of scope.
+
+use std::fmt::Write as _;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = function_name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handed to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Nanoseconds per iteration observed for each sample.
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running enough iterations per sample for a stable
+    /// reading.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: find an iteration count taking ≥ ~5 ms, capped so a
+        // slow routine still completes quickly.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples_ns.push(elapsed * 1e9 / iters as f64);
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timing samples per benchmark (criterion's default is 100;
+    /// this harness defaults to 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs `routine` as the benchmark `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        routine: impl FnMut(&mut Bencher),
+    ) {
+        self.run(id.into(), routine);
+    }
+
+    /// Runs `routine` with an input value as the benchmark `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(id.into(), |b| routine(b, input));
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut routine: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples_ns: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        routine(&mut b);
+        let full = format!("{}/{}", self.name, id.id);
+        report(self.criterion, &full, &mut b.samples_ns);
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is per-bench).
+    pub fn finish(self) {}
+}
+
+fn report(criterion: &mut Criterion, name: &str, samples_ns: &mut [f64]) {
+    if samples_ns.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let min = samples_ns[0];
+    let median = samples_ns[samples_ns.len() / 2];
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    println!(
+        "{name:<48} min {:>12} | median {:>12} | mean {:>12}",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+    criterion.results.push(BenchResult {
+        name: name.to_string(),
+        min_ns: min,
+        median_ns: median,
+        mean_ns: mean,
+    });
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// One finished benchmark's summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// `group/function/parameter` id.
+    pub name: String,
+    /// Fastest sample (ns per iteration).
+    pub min_ns: f64,
+    /// Median sample (ns per iteration).
+    pub median_ns: f64,
+    /// Mean over all samples (ns per iteration).
+    pub mean_ns: f64,
+}
+
+/// The top-level benchmark harness.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// Every result reported so far (drives machine-readable summaries).
+    pub results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs `routine` as a stand-alone benchmark.
+    pub fn bench_function(&mut self, id: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group(id.to_string());
+        // Avoid a doubled name: stand-alone benches report as `id/id`-free.
+        group.name = String::new();
+        let trimmed = id.trim_start_matches('/');
+        group.bench_function(trimmed, &mut routine);
+    }
+
+    /// Kept for drop-in compatibility with generated mains.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Kept for drop-in compatibility with generated mains.
+    pub fn final_summary(&self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_demo(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.bench_with_input(BenchmarkId::new("times", 4), &4u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_collects_results() {
+        let mut criterion = Criterion::default();
+        bench_demo(&mut criterion);
+        assert_eq!(criterion.results.len(), 2);
+        assert!(criterion.results[0].name.starts_with("demo/"));
+        assert!(criterion.results.iter().all(|r| r.min_ns > 0.0));
+    }
+}

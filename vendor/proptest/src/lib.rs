@@ -1,0 +1,413 @@
+//! Offline vendored subset of the `proptest` API used by this workspace.
+//!
+//! Implements the slice of proptest the property tests rely on — the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`/`prop_flat_map`,
+//! [`Just`], range strategies, `prop::collection::vec` and the
+//! `prop_assert*` macros — on top of a deterministic [`rand::StdRng`].
+//! Each test case draws from a seed derived from the case index, so runs
+//! are reproducible. Shrinking is not implemented: a failing case panics
+//! with the drawn inputs included in the assertion message.
+
+use rand::{Rng, SeedableRng};
+
+/// Runtime configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases to draw per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy draws.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut rand::StdRng) -> Self::Value;
+
+    /// Maps drawn values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Draws a value, then draws from the strategy `f` builds from it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Redraws until `pred` accepts the value (up to an internal retry cap).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            pred,
+            whence,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut rand::StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut rand::StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut rand::StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut rand::StdRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut rand::StdRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 consecutive draws: {}",
+            self.whence
+        );
+    }
+}
+
+macro_rules! float_range_strategy {
+    ($ty:ty) => {
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut rand::StdRng) -> $ty {
+                let u: f64 = rng.random();
+                self.start + (self.end - self.start) * u as $ty
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut rand::StdRng) -> $ty {
+                let u: f64 = rng.random();
+                let (lo, hi) = (*self.start(), *self.end());
+                lo + (hi - lo) * u as $ty
+            }
+        }
+    };
+}
+
+float_range_strategy!(f64);
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut rand::StdRng) -> $ty {
+                let span = (self.end - self.start) as u64;
+                assert!(span > 0, "empty integer range strategy");
+                self.start + (rng.random::<u64>() % span) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, i64, i32);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut rand::StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::Strategy;
+
+    /// A count or count range for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut rand::StdRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo;
+            let n = if span <= 1 {
+                self.size.lo
+            } else {
+                self.size.lo + (rand::Rng::random::<u64>(rng) % span as u64) as usize
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Draws `Vec`s of `size` elements of `element` (the count may be a
+    /// fixed `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Namespace alias mirroring `proptest::prop`.
+pub mod prop {
+    pub use super::collection;
+}
+
+/// The per-test driver behind the [`proptest!`] macro.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Draws `config.cases` values and runs `test` on each.
+    pub fn run<S: Strategy>(&mut self, strategy: &S, mut test: impl FnMut(S::Value)) {
+        for case in 0..self.config.cases {
+            // Deterministic per-case seed: reruns reproduce failures.
+            let mut rng = rand::StdRng::seed_from_u64(0x5EED_0000_0000_0000 | case as u64);
+            let value = strategy.generate(&mut rng);
+            test(value);
+        }
+    }
+}
+
+/// Everything a property test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestRunner,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategy = ($($strat,)+);
+                let mut runner = $crate::TestRunner::new(config);
+                runner.run(&strategy, |($($pat,)+)| $body);
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_draw_within_bounds() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(64));
+        runner.run(
+            &(-1.0f64..1.0, prop::collection::vec(0.5f64..5.0, 1..4)),
+            |(x, v)| {
+                assert!((-1.0..1.0).contains(&x));
+                assert!(!v.is_empty() && v.len() < 4);
+                assert!(v.iter().all(|e| (0.5..5.0).contains(e)));
+            },
+        );
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let strat = (0.0f64..1.0)
+            .prop_flat_map(|a| (Just(a), prop::collection::vec(0.0f64..a.max(1e-6), 3)));
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(32));
+        runner.run(&strat, |(a, v)| {
+            assert_eq!(v.len(), 3);
+            assert!(v.iter().all(|&e| e <= a.max(1e-6)));
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_single_arg(x in 0.0f64..10.0) {
+            prop_assert!((0.0..10.0).contains(&x));
+        }
+
+        #[test]
+        fn macro_tuple_pattern((a, b) in (0.0f64..1.0).prop_flat_map(|a| (Just(a), 0.0f64..1.0))) {
+            prop_assert!(a < 1.0);
+            prop_assert_eq!(b.is_nan(), false);
+        }
+
+        #[test]
+        fn macro_mapped(v in prop::collection::vec(1.0f64..2.0, 4).prop_map(|v| v.len())) {
+            prop_assert_eq!(v, 4);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Offline vendored subset of the `rand` crate API used by this workspace.
+//!
+//! The build environment has no network access, so the workspace ships the
+//! small slice of `rand` it actually uses: a deterministic [`StdRng`]
+//! seedable from a `u64`, the [`Rng`]/[`RngExt`] traits with a uniform
+//! `random::<T>()` draw, and nothing else. [`StdRng`] is a fixed
+//! xoshiro256** generator: the same seed always yields the same stream on
+//! every platform, which is the property the simulator's bit-for-bit
+//! determinism guarantee rests on.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types drawable uniformly from an [`Rng`] via [`Rng::random`].
+pub trait Uniform: Sized {
+    /// Draws one value from `rng`'s uniform distribution for this type
+    /// (`[0, 1)` for floats, the full range for integers).
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Uniform for f64 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Uniform for f32 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Uniform for u64 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Uniform for u32 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Uniform for bool {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The user-facing random-number trait.
+pub trait Rng: RngCore {
+    /// Draws a uniformly distributed value (`[0, 1)` for floats).
+    fn random<T: Uniform>(&mut self) -> T {
+        T::sample_uniform(self)
+    }
+
+    /// Draws a uniform value in `[low, high)`.
+    fn random_range(&mut self, low: f64, high: f64) -> f64 {
+        low + (high - low) * self.random::<f64>()
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Extension alias kept for drop-in compatibility with call sites that
+/// import `rand::RngExt`; every method lives on [`Rng`] itself.
+pub trait RngExt: Rng {}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// The workspace's standard deterministic generator (xoshiro256**,
+/// seeded through SplitMix64).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut state = seed;
+        let s = [
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+        ];
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_draws_live_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn generic_bounds_allow_unsized_receivers() {
+        fn via_dynish<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.random()
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = via_dynish(&mut rng);
+        let _: bool = rng.random();
+        let _: u32 = rng.random();
+        let _: f32 = rng.random();
+        let _: u64 = rng.random();
+        let r = rng.random_range(2.0, 3.0);
+        assert!((2.0..3.0).contains(&r));
+    }
+}

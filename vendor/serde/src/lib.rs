@@ -1,0 +1,233 @@
+//! Offline vendored subset of the `serde` API used by this workspace.
+//!
+//! Real serde abstracts over data formats with generic
+//! `Serializer`/`Deserializer` traits; the only format this workspace uses
+//! is JSON, so the vendored version collapses the data model to one
+//! concrete [`Value`] tree. `#[derive(Serialize, Deserialize)]` (from the
+//! sibling `serde_derive` crate, re-exported here) generates conversions
+//! to and from [`Value`]; `serde_json` renders and parses the tree.
+//!
+//! Supported surface: named-field structs, tuple structs, unit-variant
+//! enums, the `#[serde(default = "path")]` field attribute, and
+//! `Serialize`/`Deserialize` impls for the primitive, `String`, `Option`
+//! and `Vec` types the workspace's configuration structs contain.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of serde's `de` module for the names downstream code imports.
+pub mod de {
+    /// In real serde `DeserializeOwned` distinguishes owned from borrowed
+    /// deserialization; the vendored data model is always owned, so the
+    /// bound is just [`Deserialize`](crate::Deserialize).
+    pub use crate::Deserialize as DeserializeOwned;
+}
+
+/// The JSON-shaped data model all (de)serialization flows through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// JSON numbers (stored as `f64`, like JavaScript).
+    Number(f64),
+    /// JSON strings.
+    String(String),
+    /// JSON arrays.
+    Array(Vec<Value>),
+    /// JSON objects, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Errors produced while mapping a [`Value`] onto a Rust type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types constructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value's shape does not match `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! serde_number {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => Ok(*n as $ty),
+                    other => Err(Error::custom(format!(
+                        concat!("expected number for ", stringify!($ty), ", got {:?}"),
+                        other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+serde_number!(f64, f32, u64, u32, u16, u8, usize, i64, i32, i16, i8, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_through_value() {
+        assert_eq!(f64::from_value(&(3.5f64).to_value()).unwrap(), 3.5);
+        assert_eq!(u64::from_value(&(7u64).to_value()).unwrap(), 7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let s = "hi".to_string();
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), "hi");
+        let v = vec![1.0f64, 2.0];
+        assert_eq!(Vec::<f64>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_value(&o.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn shape_mismatches_error() {
+        assert!(f64::from_value(&Value::Bool(true)).is_err());
+        assert!(String::from_value(&Value::Number(1.0)).is_err());
+        assert!(Vec::<f64>::from_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn object_lookup_finds_keys() {
+        let v = Value::Object(vec![("a".into(), Value::Number(1.0))]);
+        assert_eq!(v.get("a"), Some(&Value::Number(1.0)));
+        assert_eq!(v.get("b"), None);
+        assert_eq!(Value::Null.get("a"), None);
+    }
+}

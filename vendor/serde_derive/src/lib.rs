@@ -1,0 +1,381 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Hand-parses the item definition from the raw [`proc_macro`] token stream
+//! (no `syn`/`quote`, which are unavailable offline) and emits impls of the
+//! vendored `serde::Serialize` / `serde::Deserialize` traits, which convert
+//! through the concrete `serde::Value` JSON data model.
+//!
+//! Supported item shapes — exactly what this workspace derives on:
+//! - named-field structs (unknown JSON keys are ignored, missing keys error
+//!   unless the field type accepts `null`, so `Option` fields default to
+//!   `None` like real serde);
+//! - tuple structs: one field is "transparent" (newtype serializes as its
+//!   inner value), several fields map to a JSON array;
+//! - enums with unit variants only, mapped to the variant name as a string.
+//!
+//! Field attribute support: `#[serde(default = "path")]` — a missing key
+//! calls `path()` instead of erroring.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field: its identifier and the optional
+/// `#[serde(default = "path")]` fallback.
+struct Field {
+    name: String,
+    default_path: Option<String>,
+}
+
+/// The shapes of item this derive understands.
+enum Item {
+    Named { name: String, fields: Vec<Field> },
+    Tuple { name: String, arity: usize },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Named { name, fields } => {
+            let mut entries = String::new();
+            for f in fields {
+                entries.push_str(&format!(
+                    "(\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})),",
+                    f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Tuple { name, arity } => {
+            let mut entries = String::new();
+            for i in 0..*arity {
+                entries.push_str(&format!("::serde::Serialize::to_value(&self.{i}),"));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitEnum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!(
+                    "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("derive(Serialize): generated code failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Named { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                // Missing key: prefer the declared default; otherwise probe
+                // with `null` so `Option` fields fall back to `None` (this
+                // mirrors real serde's `missing_field` behaviour).
+                let missing = match &f.default_path {
+                    Some(path) => format!("{path}()"),
+                    None => format!(
+                        "match ::serde::Deserialize::from_value(&::serde::Value::Null) {{\n\
+                             Ok(v) => v,\n\
+                             Err(_) => return Err(::serde::Error::custom(\n\
+                                 \"missing field `{0}` in {name}\")),\n\
+                         }}",
+                        f.name
+                    ),
+                };
+                inits.push_str(&format!(
+                    "{0}: match value.get(\"{0}\") {{\n\
+                         Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                         None => {missing},\n\
+                     }},",
+                    f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Object(_) => Ok({name} {{ {inits} }}),\n\
+                             other => Err(::serde::Error::custom(format!(\n\
+                                 \"expected object for {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                     Ok({name}(::serde::Deserialize::from_value(value)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Tuple { name, arity } => {
+            let mut inits = String::new();
+            for i in 0..*arity {
+                inits.push_str(&format!("::serde::Deserialize::from_value(&items[{i}])?,"));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Array(items) if items.len() == {arity} =>\n\
+                                 Ok({name}({inits})),\n\
+                             other => Err(::serde::Error::custom(format!(\n\
+                                 \"expected {arity}-element array for {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitEnum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),"));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::String(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(::serde::Error::custom(format!(\n\
+                                     \"unknown {name} variant {{other:?}}\"))),\n\
+                             }},\n\
+                             other => Err(::serde::Error::custom(format!(\n\
+                                 \"expected string for {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("derive(Deserialize): generated code failed to parse")
+}
+
+/// Parses the derive input down to the [`Item`] shapes we support.
+///
+/// Panics (a compile error at the derive site) on anything else — better a
+/// loud failure than silently wrong (de)serialization.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility until the `struct` / `enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(_) => i += 1,
+            None => panic!("derive(serde): no struct or enum found in input"),
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(serde): expected item name, got {other:?}"),
+    };
+    i += 1;
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                Item::Named {
+                    name,
+                    fields: parse_named_fields(&body),
+                }
+            } else {
+                Item::UnitEnum {
+                    name,
+                    variants: parse_unit_variants(&body),
+                }
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            assert_eq!(
+                kind, "struct",
+                "derive(serde): unexpected parenthesized enum body"
+            );
+            Item::Tuple {
+                name,
+                arity: count_tuple_fields(&g.stream().into_iter().collect::<Vec<_>>()),
+            }
+        }
+        other => panic!(
+            "derive(serde): unsupported body for `{name}` (unit structs \
+             and generics are not supported): {other:?}"
+        ),
+    }
+}
+
+/// Parses `name: Type` fields (with optional attributes and visibility)
+/// from the token list inside a struct's braces.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default_path = None;
+        // Field attributes: doc comments and `#[serde(...)]`.
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(attr)) = tokens.get(i + 1) {
+                if let Some(path) =
+                    parse_serde_default(&attr.stream().into_iter().collect::<Vec<_>>())
+                {
+                    default_path = Some(path);
+                }
+            }
+            i += 2;
+        }
+        // Visibility.
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("derive(serde): expected field name, got {other:?}"),
+        };
+        i += 1;
+        assert!(
+            matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "derive(serde): expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Skip the type: scan to the next comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default_path });
+    }
+    fields
+}
+
+/// Extracts `path` from attribute content `serde(default = "path")`;
+/// `None` for any other attribute (e.g. doc comments).
+fn parse_serde_default(tokens: &[TokenTree]) -> Option<String> {
+    match tokens {
+        [TokenTree::Ident(id), TokenTree::Group(args)] if id.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            match inner.as_slice() {
+                [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+                    if key.to_string() == "default" && eq.as_char() == '=' =>
+                {
+                    let s = lit.to_string();
+                    Some(s.trim_matches('"').to_string())
+                }
+                other => panic!(
+                    "derive(serde): only `default = \"path\"` is supported \
+                     inside #[serde(...)], got {other:?}"
+                ),
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Counts comma-separated fields of a tuple struct body.
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    let mut arity = 0;
+    let mut seen_any = false;
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                arity += 1;
+                seen_any = false;
+            }
+            _ => seen_any = true,
+        }
+    }
+    if seen_any {
+        arity += 1;
+    }
+    assert!(
+        arity > 0,
+        "derive(serde): empty tuple struct is not supported"
+    );
+    arity
+}
+
+/// Parses unit variant names from an enum body; panics on data variants.
+fn parse_unit_variants(tokens: &[TokenTree]) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            None => break,
+            other => panic!("derive(serde): expected enum variant, got {other:?}"),
+        }
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => break,
+            other => panic!("derive(serde): only unit enum variants are supported, got {other:?}"),
+        }
+    }
+    variants
+}
