@@ -1,8 +1,10 @@
-//! `bench_summary` — machine-readable before/after numbers for the
-//! warm-started MPC solve pipeline, written to `BENCH_mpc.json`.
+//! `bench_summary` — machine-readable before/after numbers for the MPC
+//! solve pipeline, written to `BENCH_mpc.json`.
 //!
-//! Two measurement families, both on the synthetic price-flip fleets of
-//! `ext_scaling`:
+//! Measurements cover both solver backends
+//! ([`SolverBackend::CondensedDense`] and
+//! [`SolverBackend::BandedRiccati`]) on the synthetic price-flip fleets
+//! of `ext_scaling`:
 //!
 //! * **single_step** — median wall-clock of one `MpcController::plan`
 //!   call, cold (controller reset before every call, so the structure
@@ -10,16 +12,31 @@
 //!   the steady-state cost of a receding-horizon run).
 //! * **end_to_end** — full simulated price-flip window through
 //!   `MpcPolicy`, `solver_reuse: false` vs `true`, including the
-//!   controller's own warm/cold solve accounting and the relative cost
-//!   difference between the two trajectories (the QP is strictly convex,
-//!   so both modes land on the same plan up to solver rounding).
+//!   controller's own warm/cold solve accounting, the relative cost
+//!   difference between the two trajectories, and the per-phase
+//!   wall-clock breakdown of the warm run (refresh / factor / condense /
+//!   solve / reference / simulate).
+//! * **backend_agreement** — per fleet size, a *lockstep* comparison: one
+//!   trajectory is driven forward and at every step both backends solve
+//!   the *identical* `MpcProblem`; the reported figure is the maximum
+//!   per-step relative difference of the plans' predicted fleet power
+//!   cost. This isolates solver agreement (the two backends factor the
+//!   same strictly convex QP through entirely different structures) from
+//!   closed-loop divergence: independently-run windows drift apart at the
+//!   10⁻⁶..10⁻⁴ level because integer server counts in the sleep loop
+//!   amplify last-bit rounding — the same mechanism behind the nonzero
+//!   same-backend `cost_rel_diff` — which says nothing about the solvers.
 //!
 //! Run with:
 //! `cargo run --release -p idc-bench --bin bench_summary [-- <output.json>]`
+//!
+//! `-- --smoke` runs the 3×5 case only, asserts lockstep backend cost
+//! agreement to ≤ 1e-8 and writes nothing — the CI regression gate.
 
 use std::time::Instant;
 
-use idc_control::mpc::{MpcConfig, MpcController, MpcProblem};
+use idc_control::mpc::{MpcConfig, MpcController, MpcProblem, SolverBackend};
+use idc_core::metrics::PhaseBreakdown;
 use idc_core::policy::{MpcPolicy, MpcPolicyConfig};
 use idc_core::scenario::{PricingSpec, Scenario};
 use idc_core::simulation::Simulator;
@@ -31,8 +48,18 @@ use idc_market::region::Region;
 use idc_market::rtp::TracePricing;
 use idc_market::trace::PriceTrace;
 
-const SIZES: [(usize, usize); 4] = [(3, 5), (4, 8), (6, 12), (8, 15)];
-const SINGLE_STEP_REPS: usize = 9;
+const SIZES: [(usize, usize); 5] = [(3, 5), (4, 8), (6, 12), (8, 15), (12, 24)];
+const BACKENDS: [SolverBackend; 2] = [SolverBackend::CondensedDense, SolverBackend::BandedRiccati];
+/// Backend cost agreement required by the smoke gate (the two backends
+/// solve the same strictly convex QP).
+const AGREEMENT_TOL: f64 = 1e-8;
+
+fn backend_label(b: SolverBackend) -> &'static str {
+    match b {
+        SolverBackend::CondensedDense => "condensed_dense",
+        SolverBackend::BandedRiccati => "banded_riccati",
+    }
+}
 
 /// A synthetic fleet of `n` IDCs × `c` portals sized like the paper's
 /// (same construction as `ext_scaling`).
@@ -70,6 +97,29 @@ fn synthetic(n: usize, c: usize) -> (IdcFleet, Vec<PriceTrace>) {
     (IdcFleet::new(portals, idcs).expect("non-empty"), traces)
 }
 
+/// An MPC step for the synthetic fleet with an explicit starting
+/// allocation and a reference "flip" (the cheap IDC moves from the first
+/// to the last position, like the price flip does mid-window).
+fn step_problem_at(n: usize, c: usize, prev: Vec<f64>, flip: bool) -> MpcProblem {
+    let per_portal = 10_000.0;
+    let favoured = if flip { n - 1 } else { 0 };
+    MpcProblem {
+        b1_mw: (0..n).map(|j| 60e-6 + 10e-6 * j as f64).collect(),
+        b0_mw: vec![150e-6; n],
+        servers_on: vec![20_000; n],
+        capacities: vec![c as f64 * per_portal * 1.2 / n as f64 + 20_000.0; n],
+        prev_input: prev,
+        workload_forecast: vec![vec![per_portal; c]; 3],
+        power_reference_mw: vec![
+            (0..n)
+                .map(|j| if j == favoured { 4.0 } else { 3.0 })
+                .collect();
+            5
+        ],
+        tracking_multiplier: MpcProblem::uniform_tracking(n),
+    }
+}
+
 /// One mid-transition MPC step for the synthetic fleet (same construction
 /// as the `mpc_solve` bench).
 fn step_problem(n: usize, c: usize) -> MpcProblem {
@@ -78,16 +128,7 @@ fn step_problem(n: usize, c: usize) -> MpcProblem {
     for i in 0..c {
         prev[(n - 1) * c + i] = per_portal;
     }
-    MpcProblem {
-        b1_mw: (0..n).map(|j| 60e-6 + 10e-6 * j as f64).collect(),
-        b0_mw: vec![150e-6; n],
-        servers_on: vec![20_000; n],
-        capacities: vec![c as f64 * per_portal * 1.2 / n as f64 + 20_000.0; n],
-        prev_input: prev,
-        workload_forecast: vec![vec![per_portal; c]; 3],
-        power_reference_mw: vec![(0..n).map(|j| if j == 0 { 4.0 } else { 3.0 }).collect(); 5],
-        tracking_multiplier: MpcProblem::uniform_tracking(n),
-    }
+    step_problem_at(n, c, prev, false)
 }
 
 fn median_ms(samples: &mut [f64]) -> f64 {
@@ -99,6 +140,7 @@ struct SingleStepRow {
     n: usize,
     c: usize,
     vars: usize,
+    backend: SolverBackend,
     cold_ms: f64,
     warm_ms: f64,
 }
@@ -107,26 +149,41 @@ struct EndToEndRow {
     n: usize,
     c: usize,
     vars: usize,
+    backend: SolverBackend,
     cold_ms_per_step: f64,
     warm_ms_per_step: f64,
     warm_solve_fraction: f64,
     cost_rel_diff: f64,
+    warm_total_cost: f64,
+    /// Per-phase breakdown of the warm (`solver_reuse: true`) run.
+    phases: PhaseBreakdown,
+    steps: usize,
 }
 
-fn measure_single_step(n: usize, c: usize) -> SingleStepRow {
+fn mpc_config(backend: SolverBackend) -> MpcConfig {
+    MpcConfig {
+        backend,
+        ..MpcConfig::default()
+    }
+}
+
+fn measure_single_step(n: usize, c: usize, backend: SolverBackend) -> SingleStepRow {
+    // The dense cold path refactors an O((ncβ₂)³) Hessian per rep; keep
+    // the big fleets to a few reps so the sweep stays minutes, not hours.
+    let reps = if n * c >= 200 { 3 } else { 9 };
     let p = step_problem(n, c);
-    let mut controller = MpcController::new(MpcConfig::default());
-    let mut cold = Vec::with_capacity(SINGLE_STEP_REPS);
-    for _ in 0..SINGLE_STEP_REPS {
+    let mut controller = MpcController::new(mpc_config(backend));
+    let mut cold = Vec::with_capacity(reps);
+    for _ in 0..reps {
         controller.reset();
         let start = Instant::now();
         std::hint::black_box(controller.plan(&p).expect("feasible"));
         cold.push(start.elapsed().as_secs_f64() * 1e3);
     }
-    let mut controller = MpcController::new(MpcConfig::default());
+    let mut controller = MpcController::new(mpc_config(backend));
     controller.plan(&p).expect("feasible"); // prime cache + warm state
-    let mut warm = Vec::with_capacity(SINGLE_STEP_REPS);
-    for _ in 0..SINGLE_STEP_REPS {
+    let mut warm = Vec::with_capacity(reps);
+    for _ in 0..reps {
         let start = Instant::now();
         std::hint::black_box(controller.plan(&p).expect("feasible"));
         warm.push(start.elapsed().as_secs_f64() * 1e3);
@@ -135,17 +192,24 @@ fn measure_single_step(n: usize, c: usize) -> SingleStepRow {
         n,
         c,
         vars: n * c * controller.config().control_horizon,
+        backend,
         cold_ms: median_ms(&mut cold),
         warm_ms: median_ms(&mut warm),
     }
 }
 
-fn measure_end_to_end(n: usize, c: usize) -> Result<EndToEndRow, idc_core::Error> {
+fn measure_end_to_end(
+    n: usize,
+    c: usize,
+    backend: SolverBackend,
+) -> Result<EndToEndRow, idc_core::Error> {
     let sim = Simulator::new();
     let ts = 30.0 / 3600.0;
     let mut per_mode = [0.0f64; 2];
     let mut costs = [0.0f64; 2];
     let mut warm_fraction = 0.0;
+    let mut phases = PhaseBreakdown::default();
+    let mut steps = 0;
     for (mode, solver_reuse) in [false, true].into_iter().enumerate() {
         let (fleet, traces) = synthetic(n, c);
         let scenario = Scenario::new(
@@ -160,44 +224,161 @@ fn measure_end_to_end(n: usize, c: usize) -> Result<EndToEndRow, idc_core::Error
         .with_init_hour(6.0);
         let mut policy = MpcPolicy::new(MpcPolicyConfig {
             solver_reuse,
+            mpc: mpc_config(backend),
             ..MpcPolicyConfig::default()
         })?;
         let start = Instant::now();
         let run = sim.run(&scenario, &mut policy)?;
-        let elapsed = start.elapsed().as_secs_f64();
-        per_mode[mode] = 1e3 * elapsed / run.times_min().len() as f64;
+        let elapsed = start.elapsed();
+        per_mode[mode] = 1e3 * elapsed.as_secs_f64() / run.times_min().len() as f64;
         costs[mode] = run.total_cost();
         if solver_reuse {
             let controller = policy.controller();
             let solves = (controller.warm_solves() + controller.cold_solves()).max(1);
             warm_fraction = controller.warm_solves() as f64 / solves as f64;
+            phases = policy
+                .phase_breakdown()
+                .with_total(elapsed.as_nanos() as u64);
+            steps = run.times_min().len();
         }
     }
     Ok(EndToEndRow {
         n,
         c,
         vars: n * c * 3,
+        backend,
         cold_ms_per_step: per_mode[0],
         warm_ms_per_step: per_mode[1],
         warm_solve_fraction: warm_fraction,
         cost_rel_diff: (costs[0] - costs[1]).abs() / costs[1].abs().max(1e-12),
+        warm_total_cost: costs[1],
+        phases,
+        steps,
     })
 }
 
+/// Per-size lockstep backend agreement: over one driven trajectory both
+/// backends solve identical problems every step; `rel_diff` is the
+/// maximum per-step relative difference of the plans' predicted fleet
+/// power cost, and the costs are the window sums of that per-plan cost.
+struct AgreementRow {
+    n: usize,
+    c: usize,
+    steps: usize,
+    dense_cost: f64,
+    banded_cost: f64,
+    rel_diff: f64,
+}
+
+/// Run both backends in lockstep over a price-flip-shaped window: the
+/// trajectory is advanced with the banded plan's `next_input`, so the
+/// dense backend sees the *same* `MpcProblem` at every step and any
+/// difference is pure solver disagreement (no closed-loop amplification).
+fn lockstep_agreement(n: usize, c: usize) -> AgreementRow {
+    const STEPS: usize = 25;
+    const FLIP_AT: usize = 10;
+    let mut dense = MpcController::new(mpc_config(SolverBackend::CondensedDense));
+    let mut banded = MpcController::new(mpc_config(SolverBackend::BandedRiccati));
+    let mut prev = vec![0.0; n * c];
+    for i in 0..c {
+        prev[(n - 1) * c + i] = 10_000.0;
+    }
+    let plan_cost = |p: &idc_control::mpc::MpcPlan| -> f64 {
+        p.predicted_power_mw()
+            .iter()
+            .map(|row| row.iter().sum::<f64>())
+            .sum()
+    };
+    let (mut dense_sum, mut banded_sum, mut max_rel) = (0.0f64, 0.0f64, 0.0f64);
+    for step in 0..STEPS {
+        let p = step_problem_at(n, c, prev.clone(), step >= FLIP_AT);
+        let pd = dense.plan(&p).expect("dense backend feasible");
+        let pb = banded.plan(&p).expect("banded backend feasible");
+        let (cd, cb) = (plan_cost(&pd), plan_cost(&pb));
+        dense_sum += cd;
+        banded_sum += cb;
+        max_rel = max_rel.max((cd - cb).abs() / cd.abs().max(1e-12));
+        prev = pb.next_input().to_vec();
+    }
+    AgreementRow {
+        n,
+        c,
+        steps: STEPS,
+        dense_cost: dense_sum,
+        banded_cost: banded_sum,
+        rel_diff: max_rel,
+    }
+}
+
+fn phase_ms(ns: u64, steps: usize) -> f64 {
+    ns as f64 / 1e6 / steps.max(1) as f64
+}
+
+fn print_e2e_row(e: &EndToEndRow) {
+    println!(
+        "{:>6} {:>8} {:>8} {:>16} | {:>17.2} {:>17.2} {:>7.1}x {:>7.1}",
+        e.n,
+        e.c,
+        e.vars,
+        backend_label(e.backend),
+        e.cold_ms_per_step,
+        e.warm_ms_per_step,
+        e.cold_ms_per_step / e.warm_ms_per_step.max(1e-9),
+        100.0 * e.warm_solve_fraction,
+    );
+    println!(
+        "{:>41} | per step: refresh {:.3} factor {:.3} condense {:.3} solve {:.3} \
+         reference {:.3} simulate {:.3} ms",
+        "phases",
+        phase_ms(e.phases.refresh_ns, e.steps),
+        phase_ms(e.phases.factor_ns, e.steps),
+        phase_ms(e.phases.condense_ns, e.steps),
+        phase_ms(e.phases.solve_ns, e.steps),
+        phase_ms(e.phases.reference_ns, e.steps),
+        phase_ms(e.phases.simulate_ns, e.steps),
+    );
+}
+
+fn run_smoke() -> Result<(), idc_core::Error> {
+    let (n, c) = SIZES[0];
+    println!("## bench_summary --smoke — {n}×{c}, both backends");
+    for backend in BACKENDS {
+        let e = measure_end_to_end(n, c, backend)?;
+        print_e2e_row(&e);
+    }
+    let a = lockstep_agreement(n, c);
+    println!(
+        "lockstep backend agreement over {} steps: dense {:.9} vs banded {:.9} \
+         (max step rel diff {:.3e})",
+        a.steps, a.dense_cost, a.banded_cost, a.rel_diff
+    );
+    if a.rel_diff > AGREEMENT_TOL {
+        return Err(idc_core::Error::Config(format!(
+            "backend cost disagreement {:.3e} exceeds {AGREEMENT_TOL:.0e}",
+            a.rel_diff
+        )));
+    }
+    println!("smoke OK");
+    Ok(())
+}
+
 fn main() -> Result<(), idc_core::Error> {
-    let out_path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        return run_smoke();
+    }
+    let out_path = args
+        .into_iter()
+        .next()
         .unwrap_or_else(|| "BENCH_mpc.json".to_string());
 
-    println!("## bench_summary — cold vs warm MPC solve pipeline");
+    println!("## bench_summary — cold vs warm MPC solve pipeline, both backends");
     println!(
-        "{:>6} {:>8} {:>8} | {:>16} {:>16} {:>8} | {:>17} {:>17} {:>8} {:>7}",
+        "{:>6} {:>8} {:>8} {:>16} | {:>17} {:>17} {:>8} {:>7}",
         "IDCs",
         "portals",
         "ΔU vars",
-        "1-step cold ms",
-        "1-step warm ms",
-        "speedup",
+        "backend",
         "e2e cold ms/step",
         "e2e warm ms/step",
         "speedup",
@@ -207,26 +388,34 @@ fn main() -> Result<(), idc_core::Error> {
     let mut single = Vec::new();
     let mut end_to_end = Vec::new();
     for (n, c) in SIZES {
-        let s = measure_single_step(n, c);
-        let e = measure_end_to_end(n, c)?;
+        for backend in BACKENDS {
+            let s = measure_single_step(n, c, backend);
+            let e = measure_end_to_end(n, c, backend)?;
+            print_e2e_row(&e);
+            println!(
+                "{:>41} | single step: cold {:.3} ms, warm {:.3} ms ({:.1}x)",
+                "1-step",
+                s.cold_ms,
+                s.warm_ms,
+                s.cold_ms / s.warm_ms.max(1e-9),
+            );
+            single.push(s);
+            end_to_end.push(e);
+        }
+    }
+    println!("\nbackend agreement (lockstep, identical problems per step):");
+    let mut agree = Vec::new();
+    for (n, c) in SIZES {
+        let a = lockstep_agreement(n, c);
         println!(
-            "{:>6} {:>8} {:>8} | {:>16.2} {:>16.2} {:>7.1}x | {:>17.2} {:>17.2} {:>7.1}x {:>7.1}",
-            n,
-            c,
-            s.vars,
-            s.cold_ms,
-            s.warm_ms,
-            s.cold_ms / s.warm_ms.max(1e-9),
-            e.cold_ms_per_step,
-            e.warm_ms_per_step,
-            e.cold_ms_per_step / e.warm_ms_per_step.max(1e-9),
-            100.0 * e.warm_solve_fraction,
+            "  {:>2}×{:<2}: dense {:.9} vs banded {:.9} over {} steps \
+             (max step rel diff {:.3e})",
+            a.n, a.c, a.dense_cost, a.banded_cost, a.steps, a.rel_diff
         );
-        single.push(s);
-        end_to_end.push(e);
+        agree.push(a);
     }
 
-    let json = render_json(&single, &end_to_end);
+    let json = render_json(&single, &end_to_end, &agree);
     std::fs::write(&out_path, &json)
         .map_err(|e| idc_core::Error::Config(format!("cannot write {out_path}: {e}")))?;
     println!("\nwrote {out_path}");
@@ -235,7 +424,11 @@ fn main() -> Result<(), idc_core::Error> {
 
 /// Hand-rendered pretty JSON (the vendored `serde_json` emits compact
 /// output only; review diffs want one field per line).
-fn render_json(single: &[SingleStepRow], end_to_end: &[EndToEndRow]) -> String {
+fn render_json(
+    single: &[SingleStepRow],
+    end_to_end: &[EndToEndRow],
+    agree: &[AgreementRow],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"generator\": \"cargo run --release -p idc-bench --bin bench_summary\",\n");
@@ -243,21 +436,32 @@ fn render_json(single: &[SingleStepRow], end_to_end: &[EndToEndRow]) -> String {
     s.push_str("  \"modes\": {\n");
     s.push_str(
         "    \"cold\": \"controller state reset before every step: structure cache rebuilt, \
-         Schur complement refactored, active-set QP solved from scratch\",\n",
+         Hessian refactored, active-set QP solved from scratch\",\n",
     );
     s.push_str(
-        "    \"warm\": \"state reused across steps: cached condensed matrices and \
-         factorizations, solve warm-started from the shifted previous solution\"\n",
+        "    \"warm\": \"state reused across steps: cached structure and factorizations, \
+         solve warm-started from the shifted previous solution\"\n",
+    );
+    s.push_str("  },\n");
+    s.push_str("  \"backends\": {\n");
+    s.push_str(
+        "    \"condensed_dense\": \"dense condensed Hessian over cumulative-sum lowering, \
+         Schur-complement KKT steps\",\n",
+    );
+    s.push_str(
+        "    \"banded_riccati\": \"block-tridiagonal Hessian in cumulative-input space, \
+         banded Cholesky + Riccati-style block recursion, never forms the dense Hessian\"\n",
     );
     s.push_str("  },\n");
     s.push_str("  \"single_step\": [\n");
     for (i, r) in single.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"idcs\": {}, \"portals\": {}, \"delta_u_vars\": {}, \
+            "    {{\"idcs\": {}, \"portals\": {}, \"delta_u_vars\": {}, \"backend\": \"{}\", \
              \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"speedup\": {:.2}}}{}\n",
             r.n,
             r.c,
             r.vars,
+            backend_label(r.backend),
             r.cold_ms,
             r.warm_ms,
             r.cold_ms / r.warm_ms.max(1e-9),
@@ -268,18 +472,53 @@ fn render_json(single: &[SingleStepRow], end_to_end: &[EndToEndRow]) -> String {
     s.push_str("  \"end_to_end\": [\n");
     for (i, r) in end_to_end.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"idcs\": {}, \"portals\": {}, \"delta_u_vars\": {}, \
+            "    {{\"idcs\": {}, \"portals\": {}, \"delta_u_vars\": {}, \"backend\": \"{}\", \
              \"cold_ms_per_step\": {:.3}, \"warm_ms_per_step\": {:.3}, \"speedup\": {:.2}, \
-             \"warm_solve_fraction\": {:.3}, \"cost_rel_diff\": {:.3e}}}{}\n",
+             \"warm_solve_fraction\": {:.3}, \"cost_rel_diff\": {:.3e}, \
+             \"warm_total_cost\": {:.9},\n",
             r.n,
             r.c,
             r.vars,
+            backend_label(r.backend),
             r.cold_ms_per_step,
             r.warm_ms_per_step,
             r.cold_ms_per_step / r.warm_ms_per_step.max(1e-9),
             r.warm_solve_fraction,
             r.cost_rel_diff,
+            r.warm_total_cost,
+        ));
+        s.push_str(&format!(
+            "     \"warm_phases_ms_per_step\": {{\"refresh\": {:.3}, \"factor\": {:.3}, \
+             \"condense\": {:.3}, \"solve\": {:.3}, \"reference\": {:.3}, \
+             \"simulate\": {:.3}}}}}{}\n",
+            phase_ms(r.phases.refresh_ns, r.steps),
+            phase_ms(r.phases.factor_ns, r.steps),
+            phase_ms(r.phases.condense_ns, r.steps),
+            phase_ms(r.phases.solve_ns, r.steps),
+            phase_ms(r.phases.reference_ns, r.steps),
+            phase_ms(r.phases.simulate_ns, r.steps),
             if i + 1 < end_to_end.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(
+        "  \"backend_agreement_mode\": \"lockstep: one driven trajectory, both backends \
+         solve the identical MpcProblem at every step; rel_diff is the max per-step \
+         relative difference of the plans' predicted fleet power cost\",\n",
+    );
+    s.push_str("  \"backend_agreement\": [\n");
+    for (i, a) in agree.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"idcs\": {}, \"portals\": {}, \"lockstep_steps\": {}, \
+             \"dense_lockstep_cost\": {:.9}, \"banded_lockstep_cost\": {:.9}, \
+             \"max_step_rel_diff\": {:.3e}}}{}\n",
+            a.n,
+            a.c,
+            a.steps,
+            a.dense_cost,
+            a.banded_cost,
+            a.rel_diff,
+            if i + 1 < agree.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");

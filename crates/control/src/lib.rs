@@ -58,5 +58,6 @@ pub mod discretize;
 pub mod green;
 pub mod mpc;
 pub mod reference;
+pub mod riccati;
 pub mod stability;
 pub mod statespace;

@@ -21,10 +21,36 @@
 //! tracking error against MW² of per-step demand change — exactly the
 //! paper's `Q` vs `R` trade-off.
 
+use std::time::Instant;
+
 use idc_linalg::Matrix;
+use idc_opt::banded_qp::BandedQpWorkspace;
 use idc_opt::lsq::ConstrainedLeastSquares;
 use idc_opt::qp::{QpWorkspace, QuadraticProgram};
 use idc_opt::{Error, Result};
+
+use crate::riccati::{self, RiccatiSkeleton};
+
+/// Which QP backend solves the condensed problem.
+///
+/// Both backends minimize the same strictly convex objective over the same
+/// constraints and agree on the unique minimizer to solver tolerance; they
+/// differ only in how the linear algebra is organised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverBackend {
+    /// The original dense path: condense the least squares into a full
+    /// `nv × nv` Hessian, solve working-set systems by dense factorization.
+    /// Fastest at small fleet sizes.
+    #[default]
+    CondensedDense,
+    /// The block-banded path of [`crate::riccati`]: a cumulative-input
+    /// change of variables makes the Hessian block-tridiagonal and every
+    /// constraint row stage-local, so KKT steps cost `O(β₂·(NC)²)` via a
+    /// Riccati-style block-Cholesky recursion and the working-set Schur
+    /// complement is updated incrementally across active-set changes.
+    /// Orders of magnitude faster once `N·C·β₂` reaches a few hundred.
+    BandedRiccati,
+}
 
 /// Tuning of the MPC controller.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,6 +68,8 @@ pub struct MpcConfig {
     /// positive definite (portal-level reshuffles that do not move any
     /// IDC's total are otherwise free).
     pub input_ridge: f64,
+    /// QP backend selection.
+    pub backend: SolverBackend,
 }
 
 impl Default for MpcConfig {
@@ -52,7 +80,38 @@ impl Default for MpcConfig {
             tracking_weight: 1.0,
             smoothing_weight: 4.0,
             input_ridge: 1e-9,
+            backend: SolverBackend::default(),
         }
+    }
+}
+
+/// Cumulative wall-clock nanoseconds the controller spent per internal
+/// phase, accumulated across [`MpcController::plan`] calls.
+///
+/// The split mirrors where a receding-horizon step can spend time:
+/// structure rebuilds (`refresh`) and Hessian/Schur factorization
+/// (`factor`) happen only when the problem structure changes, while
+/// per-step gradient/rhs assembly plus warm-start bookkeeping (`condense`)
+/// and the active-set iteration itself (`solve`) recur every step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanTimings {
+    /// Structure-cache rebuilds: least-squares lowering or banded assembly,
+    /// excluding factorization.
+    pub refresh_ns: u64,
+    /// `prepare()` — Hessian factorization and the all-rows Schur
+    /// complement precompute.
+    pub factor_ns: u64,
+    /// Per-step condensing: gradient and constraint-rhs refresh, active-set
+    /// seed re-indexing, and the warm-point shift/repair.
+    pub condense_ns: u64,
+    /// Active-set QP solves (warm-started and cold).
+    pub solve_ns: u64,
+}
+
+impl PlanTimings {
+    /// Total accounted time across all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.refresh_ns + self.factor_ns + self.condense_ns + self.solve_ns
     }
 }
 
@@ -144,12 +203,22 @@ struct StructureCache {
     c: usize,
     b1_mw: Vec<f64>,
     tracking_multiplier: Vec<f64>,
-    /// The weighted least-squares skeleton; per-step gradient refresh via
-    /// [`ConstrainedLeastSquares::gradient_into`].
-    lsq: ConstrainedLeastSquares,
-    /// The lowered QP with the constraint structure baked in; per step only
-    /// `g`, `b_eq`, `b_in` are rewritten in place.
-    qp: QuadraticProgram,
+    skeleton: Skeleton,
+}
+
+/// The backend-specific solver skeleton held by the structure cache; per
+/// step only the gradient and the constraint right-hand sides are rewritten
+/// in place.
+#[derive(Debug, Clone)]
+enum Skeleton {
+    /// The weighted least-squares skeleton (per-step gradient refresh via
+    /// [`ConstrainedLeastSquares::gradient_into`]) and its lowered QP.
+    Dense {
+        lsq: ConstrainedLeastSquares,
+        qp: QuadraticProgram,
+    },
+    /// The y-space block-banded QP of [`crate::riccati`].
+    Banded(RiccatiSkeleton),
 }
 
 /// The previous step's solution, kept to warm-start the next solve.
@@ -174,6 +243,7 @@ pub struct MpcController {
     cache: Option<StructureCache>,
     warm: Option<WarmState>,
     ws: QpWorkspace,
+    bws: BandedQpWorkspace,
     /// Scratch: stacked least-squares rhs `b` (tracking + smoothing rows).
     rhs: Vec<f64>,
     /// Scratch: QP gradient `g = −2AᵀQb`.
@@ -182,6 +252,8 @@ pub struct MpcController {
     eq_rhs: Vec<f64>,
     in_rhs: Vec<f64>,
     warm_x: Vec<f64>,
+    /// Scratch: the warm point in the banded backend's cumulative y-space.
+    warm_y: Vec<f64>,
     /// Scratch for the warm-point equality repair: running per-entry and
     /// per-IDC cumulative allocations, and the distribution weights.
     repair_cum_entry: Vec<f64>,
@@ -191,6 +263,7 @@ pub struct MpcController {
     seed: Vec<usize>,
     warm_solves: usize,
     cold_solves: usize,
+    timings: PlanTimings,
 }
 
 impl MpcController {
@@ -216,17 +289,20 @@ impl MpcController {
             cache: None,
             warm: None,
             ws: QpWorkspace::new(),
+            bws: BandedQpWorkspace::new(),
             rhs: Vec::new(),
             grad: Vec::new(),
             eq_rhs: Vec::new(),
             in_rhs: Vec::new(),
             warm_x: Vec::new(),
+            warm_y: Vec::new(),
             repair_cum_entry: Vec::new(),
             repair_cum_idc: Vec::new(),
             repair_weights: Vec::new(),
             seed: Vec::new(),
             warm_solves: 0,
             cold_solves: 0,
+            timings: PlanTimings::default(),
         }
     }
 
@@ -251,6 +327,17 @@ impl MpcController {
     /// change, or infeasible warm point).
     pub fn cold_solves(&self) -> usize {
         self.cold_solves
+    }
+
+    /// Per-phase wall-clock time accumulated across [`plan`](Self::plan)
+    /// calls since construction or the last [`reset_timings`](Self::reset_timings).
+    pub fn timings(&self) -> PlanTimings {
+        self.timings
+    }
+
+    /// Zeroes the per-phase timing counters.
+    pub fn reset_timings(&mut self) {
+        self.timings = PlanTimings::default();
     }
 
     /// Solves one receding-horizon step and returns the plan.
@@ -283,6 +370,7 @@ impl MpcController {
         // ---- Per-step data: the tracking rhs (smoothing rows stay zero),
         // lowered to the QP gradient, plus the constraint right-hand
         // sides — written into the cached QP in place. ----
+        let condense_start = Instant::now();
         let rows = beta1 * n + beta2 * n;
         self.rhs.clear();
         self.rhs.resize(rows, 0.0);
@@ -312,10 +400,21 @@ impl MpcController {
             }
         }
         let cache = self.cache.as_mut().expect("refreshed above");
-        cache.lsq.gradient_into(&self.rhs, &mut self.grad)?;
-        cache.qp.set_gradient(&self.grad)?;
-        cache.qp.set_equality_rhs(&self.eq_rhs)?;
-        cache.qp.set_inequality_rhs(&self.in_rhs)?;
+        match &mut cache.skeleton {
+            Skeleton::Dense { lsq, qp } => {
+                lsq.gradient_into(&self.rhs, &mut self.grad)?;
+                qp.set_gradient(&self.grad)?;
+                qp.set_equality_rhs(&self.eq_rhs)?;
+                qp.set_inequality_rhs(&self.in_rhs)?;
+            }
+            Skeleton::Banded(skel) => {
+                skel.gradient_into(&self.rhs, &mut self.grad);
+                let qp = skel.qp_mut();
+                qp.set_gradient(&self.grad)?;
+                qp.set_equality_rhs(&self.eq_rhs)?;
+                qp.set_inequality_rhs(&self.in_rhs)?;
+            }
+        }
 
         // ---- Solve: warm-started from the previous step's shifted ΔU
         // when possible; from a repaired zero point otherwise (skipping
@@ -468,28 +567,56 @@ impl MpcController {
                         }
                     }
                 }
-                if let Ok(sol) = cache.qp.warm_start(&self.warm_x, &self.seed, &mut self.ws) {
+                self.timings.condense_ns += condense_start.elapsed().as_nanos() as u64;
+                let solve_start = Instant::now();
+                let warm_res = match &mut cache.skeleton {
+                    Skeleton::Dense { qp, .. } => {
+                        qp.warm_start(&self.warm_x, &self.seed, &mut self.ws)
+                    }
+                    Skeleton::Banded(skel) => {
+                        // The banded backend optimizes cumulative changes;
+                        // convert the repaired warm point at the boundary.
+                        riccati::to_cumulative(nc, &self.warm_x, &mut self.warm_y);
+                        skel.qp_mut()
+                            .warm_start(&self.warm_y, &self.seed, &mut self.bws)
+                    }
+                };
+                self.timings.solve_ns += solve_start.elapsed().as_nanos() as u64;
+                if let Ok(sol) = warm_res {
                     warm_started = has_base;
                     solution = Some(sol);
                 }
             }
         }
+        let is_banded = matches!(cache.skeleton, Skeleton::Banded(_));
         let solution = match solution {
             Some(sol) => sol,
-            None => cache.qp.solve_with(&mut self.ws)?,
+            None => {
+                let solve_start = Instant::now();
+                let sol = match &mut cache.skeleton {
+                    Skeleton::Dense { qp, .. } => qp.solve_with(&mut self.ws)?,
+                    Skeleton::Banded(skel) => skel.qp_mut().solve_with(&mut self.bws)?,
+                };
+                self.timings.solve_ns += solve_start.elapsed().as_nanos() as u64;
+                sol
+            }
         };
         if warm_started {
             self.warm_solves += 1;
         } else {
             self.cold_solves += 1;
         }
-        self.warm = Some(WarmState {
-            delta_u: solution.x().to_vec(),
-            active_set: solution.active_set().to_vec(),
-        });
-
         let iterations = solution.iterations();
-        let delta_u = solution.into_x();
+        let active_set = solution.active_set().to_vec();
+        let mut delta_u = solution.into_x();
+        if is_banded {
+            // Back from cumulative y-space to the stacked input changes.
+            riccati::to_deltas(nc, &mut delta_u);
+        }
+        self.warm = Some(WarmState {
+            delta_u: delta_u.clone(),
+            active_set,
+        });
 
         // Receding horizon: apply only the first block.
         let next_input: Vec<f64> = problem
@@ -547,6 +674,39 @@ impl MpcController {
             }
         }
 
+        let refresh_start = Instant::now();
+        let factor_before = self.timings.factor_ns;
+        let skeleton = match self.config.backend {
+            SolverBackend::CondensedDense => self.build_dense_skeleton(problem, n, c)?,
+            SolverBackend::BandedRiccati => {
+                let mut skel = RiccatiSkeleton::build(&self.config, problem)?;
+                let factor_start = Instant::now();
+                skel.qp_mut().prepare()?;
+                self.timings.factor_ns += factor_start.elapsed().as_nanos() as u64;
+                Skeleton::Banded(skel)
+            }
+        };
+        let factored = self.timings.factor_ns - factor_before;
+        self.timings.refresh_ns +=
+            (refresh_start.elapsed().as_nanos() as u64).saturating_sub(factored);
+        self.cache = Some(StructureCache {
+            n,
+            c,
+            b1_mw: problem.b1_mw.clone(),
+            tracking_multiplier: problem.tracking_multiplier.clone(),
+            skeleton,
+        });
+        Ok(())
+    }
+
+    /// Builds the dense condensed skeleton (least-squares rows lowered to a
+    /// [`QuadraticProgram`], Hessian factored).
+    fn build_dense_skeleton(
+        &mut self,
+        problem: &MpcProblem,
+        n: usize,
+        c: usize,
+    ) -> Result<Skeleton> {
         let beta1 = self.config.prediction_horizon;
         let beta2 = self.config.control_horizon;
         let nc = n * c;
@@ -623,16 +783,10 @@ impl MpcController {
         // Hoist the Hessian factorization and the all-rows Schur complement
         // out of the active-set iteration — the skeleton is solved once per
         // sampling period for as long as the structure lasts.
+        let factor_start = Instant::now();
         qp.prepare()?;
-        self.cache = Some(StructureCache {
-            n,
-            c,
-            b1_mw: problem.b1_mw.clone(),
-            tracking_multiplier: problem.tracking_multiplier.clone(),
-            lsq,
-            qp,
-        });
-        Ok(())
+        self.timings.factor_ns += factor_start.elapsed().as_nanos() as u64;
+        Ok(Skeleton::Dense { lsq, qp })
     }
 
     fn validate(&self, p: &MpcProblem, n: usize, c: usize) -> Result<()> {
@@ -971,6 +1125,67 @@ mod tests {
         let plan = controller.plan(&problem).unwrap();
         assert!(!plan.warm_started());
         assert_eq!(controller.cold_solves(), 2);
+    }
+
+    #[test]
+    fn banded_backend_matches_dense_in_closed_loop() {
+        // Drive both backends through the same closed loop; the QP is
+        // strictly convex, so they must agree on the minimizer each step
+        // and both must settle into warm-started solves.
+        let mut dense = MpcController::new(MpcConfig::default());
+        let mut banded = MpcController::new(MpcConfig {
+            backend: SolverBackend::BandedRiccati,
+            ..MpcConfig::default()
+        });
+        let mut pd = two_idc_problem([10_000.0, 0.0], [1.2, 2.28]);
+        let mut pb = pd.clone();
+        for step in 0..6 {
+            let plan_d = dense.plan(&pd).unwrap();
+            let plan_b = banded.plan(&pb).unwrap();
+            for (a, b) in plan_d.next_input().iter().zip(plan_b.next_input()) {
+                assert!((a - b).abs() < 1e-4, "step {step}: {a} vs {b}");
+            }
+            pd.prev_input = plan_d.next_input().to_vec();
+            pb.prev_input = plan_b.next_input().to_vec();
+        }
+        assert_eq!(banded.warm_solves(), 5);
+        assert_eq!(banded.cold_solves(), 1);
+    }
+
+    #[test]
+    fn banded_backend_handles_degenerate_peak_shaving() {
+        let problem = MpcProblem {
+            b1_mw: vec![6.75e-5, 0.000108, 7.714285714285714e-5],
+            b0_mw: vec![0.00015, 0.00015, 0.00015],
+            servers_on: vec![9002, 40000, 20000],
+            capacities: vec![18003.0, 49999.0, 34999.0],
+            prev_input: vec![
+                0.0, 0.0, 0.0, 0.0, 15002.0, 0.0, 10001.0, 15000.0, 20000.0, 4998.0, 30000.0,
+                4999.0, 0.0, 0.0, 0.0,
+            ],
+            workload_forecast: vec![vec![30000.0, 15000.0, 15000.0, 20000.0, 20000.0]; 3],
+            power_reference_mw: vec![vec![5.13, 10.26, 1.6289828571428573]; 5],
+            tracking_multiplier: vec![25.0, 25.0, 1.0],
+        };
+        let mut controller = MpcController::new(MpcConfig {
+            backend: SolverBackend::BandedRiccati,
+            ..MpcConfig::default()
+        });
+        let plan = controller.plan(&problem).expect("must terminate");
+        let total: f64 = plan.next_input().iter().sum();
+        assert!((total - 100_000.0).abs() < 1e-3, "total {total}");
+    }
+
+    #[test]
+    fn plan_timings_accumulate_and_reset() {
+        let mut controller = MpcController::new(MpcConfig::default());
+        let problem = two_idc_problem([10_000.0, 0.0], [1.2, 2.28]);
+        controller.plan(&problem).unwrap();
+        let t = controller.timings();
+        assert!(t.factor_ns > 0 && t.condense_ns > 0 && t.solve_ns > 0);
+        assert!(t.total_ns() >= t.factor_ns + t.condense_ns + t.solve_ns);
+        controller.reset_timings();
+        assert_eq!(controller.timings(), PlanTimings::default());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! then tracks the clamped value, keeping demand under the budget.
 
 use idc_datacenter::idc::IdcConfig;
-use idc_opt::linprog::LinearProgram;
+use idc_opt::linprog::{LinearProgram, LpWorkspace};
 use idc_opt::{Error, Result};
 
 /// The optimizer's output: the cost-minimal operating point.
@@ -126,30 +126,149 @@ pub fn optimal_reference(
     offered: &[f64],
     prices: &[f64],
 ) -> Result<ReferenceSolution> {
-    let n = idcs.len();
-    let c = offered.len();
-    if n == 0 || c == 0 || prices.len() != n {
-        return Err(Error::DimensionMismatch {
-            what: format!(
-                "{n} IDCs, {c} portals, {} prices — all must be positive and consistent",
-                prices.len()
-            ),
-        });
-    }
-    validate_finite(prices, offered)?;
+    ReferenceSolver::new().optimal(idcs, offered, prices)
+}
 
+/// A stateful eq. 46 solver that reuses its LP structure and simplex
+/// workspace across calls.
+///
+/// For a fixed fleet the reference LP's constraint matrix never changes —
+/// only the objective (prices) and the equality right-hand sides (offered
+/// workloads) do. A policy solving the reference every sampling period
+/// (β₁ + 1 times per step with anticipatory references) should hold one of
+/// these instead of calling [`optimal_reference`], which rebuilds the LP
+/// and reallocates the simplex tableau from scratch on every call. Results
+/// are bit-identical either way — the cache changes where the numbers are
+/// stored, not what is computed.
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceSolver {
+    ws: LpWorkspace,
+    cache: Option<LpCache>,
+}
+
+/// A built reference LP plus the fleet fingerprint it corresponds to.
+#[derive(Debug, Clone)]
+struct LpCache {
+    lp: LinearProgram,
+    /// Everything the constraint structure depends on: dimensions and the
+    /// per-IDC parameters baked into rows/bounds. Cost coefficients and
+    /// equality RHS are excluded — they are rewritten in place per call.
+    key: FleetKey,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct FleetKey {
+    n: usize,
+    c: usize,
+    per_idc: Vec<[f64; 6]>,
+}
+
+impl FleetKey {
+    fn of(idcs: &[IdcConfig], c: usize) -> Self {
+        FleetKey {
+            n: idcs.len(),
+            c,
+            per_idc: idcs
+                .iter()
+                .map(|idc| {
+                    [
+                        idc.service_rate(),
+                        idc.latency_bound(),
+                        idc.total_servers() as f64,
+                        idc.pue(),
+                        idc.server().b1(),
+                        idc.server().b0(),
+                    ]
+                })
+                .collect(),
+        }
+    }
+}
+
+impl ReferenceSolver {
+    /// Creates a solver with empty caches; they fill on first use.
+    pub fn new() -> Self {
+        ReferenceSolver::default()
+    }
+
+    /// Solves the reference LP (paper eq. 46), reusing cached structure.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`optimal_reference`].
+    pub fn optimal(
+        &mut self,
+        idcs: &[IdcConfig],
+        offered: &[f64],
+        prices: &[f64],
+    ) -> Result<ReferenceSolution> {
+        let n = idcs.len();
+        let c = offered.len();
+        if n == 0 || c == 0 || prices.len() != n {
+            return Err(Error::DimensionMismatch {
+                what: format!(
+                    "{n} IDCs, {c} portals, {} prices — all must be positive and consistent",
+                    prices.len()
+                ),
+            });
+        }
+        validate_finite(prices, offered)?;
+
+        let key = FleetKey::of(idcs, c);
+        let rebuild = !matches!(&self.cache, Some(cached) if cached.key == key);
+        if rebuild {
+            self.cache = Some(LpCache {
+                lp: build_reference_lp(idcs, c),
+                key,
+            });
+        }
+        let lp = &mut self.cache.as_mut().expect("cache filled above").lp;
+
+        // Re-price and update demands in place; constraint rows are fixed.
+        let cost = lp.cost_mut();
+        for j in 0..n {
+            let b1_mw = idcs[j].pue() * idcs[j].server().b1() / 1e6;
+            let b0_mw = idcs[j].pue() * idcs[j].server().b0() / 1e6;
+            for i in 0..c {
+                cost[j * c + i] = prices[j] * b1_mw;
+            }
+            cost[n * c + j] = prices[j] * b0_mw;
+        }
+        lp.eq_rhs_mut().copy_from_slice(offered);
+
+        let solution = lp.solve_with(&mut self.ws)?;
+        // Inequality rows were added as: n capacity rows, then n installed
+        // bounds — the latter's duals are the build-out shadow prices.
+        let server_shadow = solution.duals_ub()[n..2 * n].to_vec();
+        let x = solution.x();
+        let allocation = x[..n * c].to_vec();
+        let servers = x[n * c..].to_vec();
+        let power_mw: Vec<f64> = (0..n)
+            .map(|j| {
+                let lam: f64 = allocation[j * c..(j + 1) * c].iter().sum();
+                idcs[j].pue() * (idcs[j].server().b1() * lam + idcs[j].server().b0() * servers[j])
+                    / 1e6
+            })
+            .collect();
+        let cost_rate_per_hour = power_mw.iter().zip(prices).map(|(&p, &pr)| p * pr).sum();
+        Ok(ReferenceSolution {
+            allocation,
+            servers,
+            power_mw,
+            cost_rate_per_hour,
+            server_shadow,
+        })
+    }
+}
+
+/// Builds the eq. 46 constraint structure for a fleet. Cost coefficients
+/// and equality RHS are left zero — [`ReferenceSolver::optimal`] fills
+/// them in per call.
+fn build_reference_lp(idcs: &[IdcConfig], c: usize) -> LinearProgram {
+    let n = idcs.len();
     // Variables: [λ_11…λ_C1, …, λ_1N…λ_CN, m_1…m_N] (IDC-major λ).
     let nv = n * c + n;
-    let mut cost = vec![0.0; nv];
-    for j in 0..n {
-        let b1_mw = idcs[j].pue() * idcs[j].server().b1() / 1e6;
-        let b0_mw = idcs[j].pue() * idcs[j].server().b0() / 1e6;
-        for i in 0..c {
-            cost[j * c + i] = prices[j] * b1_mw;
-        }
-        cost[n * c + j] = prices[j] * b0_mw;
-    }
-    let mut lp = LinearProgram::minimize(cost);
+    let mut lp = LinearProgram::minimize(vec![0.0; nv]);
 
     // Conservation per portal: Σ_j λij = L_i.
     for i in 0..c {
@@ -157,7 +276,7 @@ pub fn optimal_reference(
         for j in 0..n {
             row[j * c + i] = 1.0;
         }
-        lp = lp.equality(row, offered[i]);
+        lp = lp.equality(row, 0.0);
     }
     // Latency/capacity per IDC: Σ_i λij − µ_j m_j ≤ −1/D_j.
     for (j, idc) in idcs.iter().enumerate() {
@@ -174,28 +293,7 @@ pub fn optimal_reference(
         row[n * c + j] = 1.0;
         lp = lp.inequality(row, idc.total_servers() as f64);
     }
-
-    let solution = lp.solve()?;
-    // Inequality rows were added as: n capacity rows, then n installed
-    // bounds — the latter's duals are the build-out shadow prices.
-    let server_shadow = solution.duals_ub()[n..2 * n].to_vec();
-    let x = solution.x();
-    let allocation = x[..n * c].to_vec();
-    let servers = x[n * c..].to_vec();
-    let power_mw: Vec<f64> = (0..n)
-        .map(|j| {
-            let lam: f64 = allocation[j * c..(j + 1) * c].iter().sum();
-            idcs[j].pue() * (idcs[j].server().b1() * lam + idcs[j].server().b0() * servers[j]) / 1e6
-        })
-        .collect();
-    let cost_rate_per_hour = power_mw.iter().zip(prices).map(|(&p, &pr)| p * pr).sum();
-    Ok(ReferenceSolution {
-        allocation,
-        servers,
-        power_mw,
-        cost_rate_per_hour,
-        server_shadow,
-    })
+    lp
 }
 
 /// Rejects non-finite prices or negative/non-finite workloads before they
@@ -434,6 +532,69 @@ mod tests {
         // Greedy solutions carry no duals.
         let greedy = price_greedy_reference(&idcs, &PAPER_LOADS, &PRICES_6H).unwrap();
         assert!(greedy.server_shadow().is_empty());
+    }
+
+    #[test]
+    fn stateful_solver_matches_fresh_solves_across_price_flips() {
+        let idcs = paper_idcs();
+        let mut solver = ReferenceSolver::new();
+        // Interleave the 6H/7H regimes: the cached LP must be re-priced
+        // correctly every call, not just on the first.
+        for prices in [PRICES_6H, PRICES_7H, PRICES_6H, PRICES_7H] {
+            let cached = solver.optimal(&idcs, &PAPER_LOADS, &prices).unwrap();
+            let fresh = optimal_reference(&idcs, &PAPER_LOADS, &prices).unwrap();
+            assert_eq!(cached, fresh);
+        }
+        // Changing the offered workload only touches the equality RHS.
+        let half: Vec<f64> = PAPER_LOADS.iter().map(|l| l / 2.0).collect();
+        let cached = solver.optimal(&idcs, &half, &PRICES_6H).unwrap();
+        assert_eq!(cached, optimal_reference(&idcs, &half, &PRICES_6H).unwrap());
+    }
+
+    #[test]
+    fn stateful_solver_rebuilds_on_fleet_or_shape_change() {
+        let idcs = paper_idcs();
+        let mut solver = ReferenceSolver::new();
+        solver.optimal(&idcs, &PAPER_LOADS, &PRICES_6H).unwrap();
+        // Different portal count → different variable layout.
+        let one_portal = solver.optimal(&idcs, &[100_000.0], &PRICES_6H).unwrap();
+        assert_eq!(
+            one_portal,
+            optimal_reference(&idcs, &[100_000.0], &PRICES_6H).unwrap()
+        );
+        // Different fleet (subset) → different constraint rows.
+        let two = &idcs[..2];
+        let smaller = solver.optimal(two, &[50_000.0], &PRICES_6H[..2]).unwrap();
+        assert_eq!(
+            smaller,
+            optimal_reference(two, &[50_000.0], &PRICES_6H[..2]).unwrap()
+        );
+        // And back to the full fleet without stale structure.
+        let back = solver.optimal(&idcs, &PAPER_LOADS, &PRICES_7H).unwrap();
+        assert_eq!(
+            back,
+            optimal_reference(&idcs, &PAPER_LOADS, &PRICES_7H).unwrap()
+        );
+    }
+
+    #[test]
+    fn stateful_solver_validates_like_the_free_function() {
+        let mut solver = ReferenceSolver::new();
+        let idcs = paper_idcs();
+        assert!(matches!(
+            solver.optimal(&idcs, &[1.0], &[1.0, 2.0]),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        assert!(solver.optimal(&[], &[1.0], &[]).is_err());
+        assert!(solver
+            .optimal(&idcs, &[1.0], &[f64::NAN, 1.0, 1.0])
+            .is_err());
+        assert!(matches!(
+            solver.optimal(&idcs, &[150_000.0], &PRICES_6H),
+            Err(Error::Infeasible)
+        ));
+        // Errors leave the solver usable.
+        assert!(solver.optimal(&idcs, &PAPER_LOADS, &PRICES_6H).is_ok());
     }
 
     #[test]

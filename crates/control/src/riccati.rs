@@ -1,0 +1,247 @@
+//! Block-banded "Riccati" backend for the condensed MPC (paper eq. 42–45).
+//!
+//! The dense backend condenses the tracking/smoothing least squares into an
+//! `nv × nv` Hessian (`nv = N·C·β₂`) whose cumulative-sum constraint rows are
+//! fully dense — every active-set iteration then pays `O(nv·m)` gathers and an
+//! `O(m³)` working-set factorization. This module removes that density at the
+//! source by a change of variables: instead of the stacked input *changes*
+//! `ΔU = (x_0, …, x_{β₂−1})` it optimizes the stacked *cumulative* changes
+//!
+//! ```text
+//! y_t = Σ_{t'≤t} x_{t'}            (so x_t = y_t − y_{t−1}, y_{−1} = 0)
+//! ```
+//!
+//! In `y` every constraint of the paper becomes **stage-local**:
+//!
+//! * conservation (eq. 45): `Σ_j y_t[j·C+i] = rhs`, `n` entries in stage `t`;
+//! * capacity (eq. 43): `Σ_i y_t[j·C+i] ≤ rhs`, `c` entries in stage `t`;
+//! * non-negativity (eq. 44): `−y_t[idx] ≤ rhs`, a single entry;
+//!
+//! and the Hessian becomes **block-tridiagonal** — the tracking term touches
+//! one stage per prediction row and the smoothing/ridge term couples only
+//! adjacent stages (it is a first-order difference in `y`). The stages play
+//! the role of the time recursion in a Riccati sweep: [`idc_linalg::banded`]
+//! factors the Hessian by a backward block-Cholesky recursion and solves in
+//! `O(β₂·(NC)²)` instead of `O(nv²)`, and [`idc_opt::banded_qp`] keeps the
+//! working-set Schur complement factored incrementally across active-set
+//! changes.
+//!
+//! Constraint rows are emitted in exactly the dense backend's order
+//! (conservation `t`-major × portal, then capacity `t`-major × IDC, then
+//! non-negativity `t`-major × entry), so warm-start active sets, the
+//! receding-horizon seed shift in [`crate::mpc`], and reported active sets
+//! are interchangeable between backends. The objective value also matches the
+//! dense lowering exactly (both drop the same `bᵀQb` constant), which is what
+//! the cross-backend equivalence tests assert.
+
+use idc_linalg::banded::BlockTridiag;
+use idc_opt::banded_qp::{BandedQp, SparseRow};
+use idc_opt::Result;
+
+use crate::mpc::{MpcConfig, MpcProblem};
+
+/// The banded QP skeleton for one problem structure `(N, C, b₁, multipliers)`.
+///
+/// Mirrors the dense backend's cached `ConstrainedLeastSquares` +
+/// `QuadraticProgram` pair: built once per structure, then only the gradient
+/// and constraint right-hand sides are rewritten each sampling period.
+#[derive(Debug, Clone)]
+pub struct RiccatiSkeleton {
+    qp: BandedQp,
+    beta1: usize,
+    beta2: usize,
+    n: usize,
+    c: usize,
+    /// Per-IDC gradient coefficient `−2·b₁_j·Q·multiplier_j`.
+    grad_coeff: Vec<f64>,
+}
+
+impl RiccatiSkeleton {
+    /// Assembles the y-space Hessian, constraint rows, and placeholder
+    /// right-hand sides for the given structure. Call
+    /// [`BandedQp::prepare`] (via [`qp_mut`](Self::qp_mut)) afterwards to
+    /// factor the Hessian.
+    pub fn build(config: &MpcConfig, problem: &MpcProblem) -> Result<Self> {
+        let n = problem.num_idcs();
+        let c = problem.num_portals();
+        let nc = n * c;
+        let beta1 = config.prediction_horizon;
+        let beta2 = config.control_horizon;
+        let tw = config.tracking_weight;
+        let sw = config.smoothing_weight;
+        let ridge = config.input_ridge;
+
+        // ---- Hessian: H_y = 2·(Ŝ + B̂) with Ŝ the stagewise tracking
+        // normal matrix and B̂ the difference operator's normal matrix.
+        //
+        // Tracking row (s, j) reads b₁_j·Σ_i y_{τ(s)}[j·C+i] with
+        // τ(s) = min(s, β₂−1), so stage τ < β₂−1 receives one row per IDC
+        // and the final stage receives the β₁−β₂+1 tail rows. Each row
+        // contributes a rank-one `b₁²·𝟙𝟙ᵀ` coupling within its IDC block.
+        //
+        // Smoothing row (t, j) reads b₁_j·Σ_i (y_t − y_{t−1})[j·C+i] and the
+        // ridge penalizes (y_t − y_{t−1}) entrywise; a stage appears in the
+        // difference at `t` and (except the last) at `t+1`, hence the
+        // 2-vs-1 diagonal count, with `−B` on the subdiagonal blocks.
+        let mut h = BlockTridiag::new(nc, beta2);
+        for tau in 0..beta2 {
+            let track_count = if tau + 1 < beta2 {
+                1.0
+            } else {
+                (beta1 - beta2 + 1) as f64
+            };
+            let smooth_count = if tau + 1 < beta2 { 2.0 } else { 1.0 };
+            let block = h.diag_mut(tau);
+            for j in 0..n {
+                let b1 = problem.b1_mw[j];
+                let couple = 2.0
+                    * b1
+                    * b1
+                    * (tw * problem.tracking_multiplier[j] * track_count + sw * smooth_count);
+                for a in 0..c {
+                    for b in 0..c {
+                        block[(j * c + a) * nc + (j * c + b)] = couple;
+                    }
+                }
+            }
+            for d in 0..nc {
+                block[d * nc + d] += 2.0 * ridge * smooth_count;
+            }
+        }
+        for tau in 0..beta2.saturating_sub(1) {
+            let block = h.sub_mut(tau);
+            for j in 0..n {
+                let b1 = problem.b1_mw[j];
+                let couple = -2.0 * sw * b1 * b1;
+                for a in 0..c {
+                    for b in 0..c {
+                        block[(j * c + a) * nc + (j * c + b)] = couple;
+                    }
+                }
+            }
+            for d in 0..nc {
+                block[d * nc + d] -= 2.0 * ridge;
+            }
+        }
+
+        let mut qp = BandedQp::new(h, vec![0.0; beta2 * nc])?;
+        // Constraint rows in the dense backend's exact order; rhs values
+        // are per-step and rewritten in place.
+        for t in 0..beta2 {
+            for i in 0..c {
+                let mut row = SparseRow::new();
+                for j in 0..n {
+                    row.push(t * nc + j * c + i, 1.0);
+                }
+                qp = qp.equality(row, 0.0);
+            }
+        }
+        for t in 0..beta2 {
+            for j in 0..n {
+                let mut row = SparseRow::new();
+                for i in 0..c {
+                    row.push(t * nc + j * c + i, 1.0);
+                }
+                qp = qp.inequality(row, 0.0);
+            }
+        }
+        for t in 0..beta2 {
+            for idx in 0..nc {
+                qp = qp.inequality(SparseRow::from_entries(vec![(t * nc + idx, -1.0)]), 0.0);
+            }
+        }
+
+        let grad_coeff = (0..n)
+            .map(|j| -2.0 * problem.b1_mw[j] * tw * problem.tracking_multiplier[j])
+            .collect();
+        Ok(RiccatiSkeleton {
+            qp,
+            beta1,
+            beta2,
+            n,
+            c,
+            grad_coeff,
+        })
+    }
+
+    /// The underlying banded QP (for `prepare` and per-step rhs rewrites).
+    pub fn qp_mut(&mut self) -> &mut BandedQp {
+        &mut self.qp
+    }
+
+    /// Computes the y-space gradient from the per-step tracking rhs rows
+    /// (`rhs[s·N + j] = reference − current power`, the same buffer the dense
+    /// backend lowers through `ConstrainedLeastSquares::gradient_into`).
+    ///
+    /// `g_y[τ, j, i] = −2·b₁_j·Q·mult_j · Σ_{s: min(s,β₂−1)=τ} rhs[s·N+j]` —
+    /// the smoothing rows have zero targets and contribute nothing.
+    pub fn gradient_into(&self, rhs: &[f64], grad: &mut Vec<f64>) {
+        let (n, c) = (self.n, self.c);
+        let nc = n * c;
+        grad.clear();
+        grad.resize(self.beta2 * nc, 0.0);
+        for tau in 0..self.beta2 {
+            for j in 0..n {
+                let sum: f64 = if tau + 1 < self.beta2 {
+                    rhs[tau * n + j]
+                } else {
+                    (self.beta2 - 1..self.beta1).map(|s| rhs[s * n + j]).sum()
+                };
+                let g = self.grad_coeff[j] * sum;
+                for i in 0..c {
+                    grad[tau * nc + j * c + i] = g;
+                }
+            }
+        }
+    }
+}
+
+/// Stacks the running sums `y_t = Σ_{t'≤t} x_{t'}` of `nc`-sized blocks of
+/// `x` into `y` (the ΔU → cumulative change of variables).
+pub fn to_cumulative(nc: usize, x: &[f64], y: &mut Vec<f64>) {
+    debug_assert!(nc > 0 && x.len().is_multiple_of(nc));
+    y.clear();
+    y.extend_from_slice(x);
+    for t in 1..x.len() / nc {
+        for k in 0..nc {
+            y[t * nc + k] += y[(t - 1) * nc + k];
+        }
+    }
+}
+
+/// Inverse of [`to_cumulative`], in place: `x_t = y_t − y_{t−1}`.
+pub fn to_deltas(nc: usize, y: &mut [f64]) {
+    debug_assert!(nc > 0 && y.len().is_multiple_of(nc));
+    for t in (1..y.len() / nc).rev() {
+        for k in 0..nc {
+            y[t * nc + k] -= y[(t - 1) * nc + k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_and_delta_round_trip() {
+        let x = vec![1.0, 2.0, 3.0, -1.0, 0.5, 4.0];
+        let mut y = Vec::new();
+        to_cumulative(2, &x, &mut y);
+        assert_eq!(y, vec![1.0, 2.0, 4.0, 1.0, 4.5, 5.0]);
+        to_deltas(2, &mut y);
+        for (a, b) in y.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_stage_transform_is_identity() {
+        let x = vec![3.0, -2.0];
+        let mut y = Vec::new();
+        to_cumulative(2, &x, &mut y);
+        assert_eq!(y, x);
+        to_deltas(2, &mut y);
+        assert_eq!(y, x);
+    }
+}

@@ -2,7 +2,7 @@
 
 use idc_control::condense::PredictionMatrices;
 use idc_control::discretize::{discretize, zoh};
-use idc_control::mpc::{MpcConfig, MpcController, MpcProblem};
+use idc_control::mpc::{MpcConfig, MpcController, MpcProblem, SolverBackend};
 use idc_control::reference::optimal_reference;
 use idc_control::statespace::CostStateSpace;
 use idc_datacenter::idc::paper_idcs;
@@ -99,6 +99,91 @@ proptest! {
             after.cost_rate_per_hour(),
             before.cost_rate_per_hour()
         );
+    }
+
+    /// The two solver backends are interchangeable: on randomized fleets,
+    /// horizons and budget-style references they produce the same
+    /// closed-loop trajectory, with the fleet power cost agreeing to
+    /// ≤ 1e-8 relative. The condensed-dense path and the banded Riccati
+    /// path solve the same strictly convex QP through entirely different
+    /// factorizations, so this pins the y-space reformulation against the
+    /// x-space lowering.
+    #[test]
+    fn banded_backend_matches_dense_on_random_instances(
+        dims in prop::collection::vec(0usize..3, 4),
+        load_scale in 2_000.0f64..15_000.0,
+        ref_seed in prop::collection::vec(0.5f64..5.0, 4),
+        clamp_mask in prop::collection::vec(0usize..2, 4),
+        drift in 0.85f64..1.15,
+    ) {
+        // Fleet size, portal count and horizons from one draw (the shim
+        // proptest only supports small tuples).
+        let (n, c, beta2, extra) = (1 + dims[0], 1 + dims[1], 1 + dims[2], dims[3]);
+        let beta1 = beta2 + extra;
+        let b1_mw: Vec<f64> = (0..n).map(|j| 60e-6 + 15e-6 * j as f64).collect();
+        let total_load = load_scale * c as f64;
+        let mut prev = vec![0.0; n * c];
+        for i in 0..c {
+            // All load starts on the last IDC — the price-flip shape that
+            // forces a multi-step transfer.
+            prev[(n - 1) * c + i] = load_scale;
+        }
+        let mk_problem = |scale: f64, prev_input: Vec<f64>| MpcProblem {
+            b1_mw: b1_mw.clone(),
+            b0_mw: vec![150e-6; n],
+            servers_on: vec![20_000; n],
+            capacities: vec![total_load * 1.6 / n as f64; n],
+            prev_input,
+            workload_forecast: vec![vec![load_scale * scale; c]; beta2],
+            power_reference_mw: vec![
+                (0..n).map(|j| ref_seed[j % ref_seed.len()]).collect();
+                beta1
+            ],
+            // Budget-clamped IDCs carry the heavy peak-shaving weight.
+            tracking_multiplier: (0..n)
+                .map(|j| if clamp_mask[j % clamp_mask.len()] == 1 { 25.0 } else { 1.0 })
+                .collect(),
+        };
+        let config = |backend| MpcConfig {
+            prediction_horizon: beta1,
+            control_horizon: beta2,
+            backend,
+            ..MpcConfig::default()
+        };
+        let mut dense = MpcController::new(config(SolverBackend::CondensedDense));
+        let mut banded = MpcController::new(config(SolverBackend::BandedRiccati));
+        let mut prev_dense = prev.clone();
+        let mut prev_banded = prev;
+        for step in 0..3 {
+            // Drift the workload so warm starts see a moving problem, but
+            // keep it inside the 1.6× capacity margin.
+            let scale = drift.powi(step).min(1.5);
+            let pd = dense
+                .plan(&mk_problem(scale, prev_dense.clone()))
+                .unwrap();
+            let pb = banded
+                .plan(&mk_problem(scale, prev_banded.clone()))
+                .unwrap();
+            let cost = |p: &idc_control::mpc::MpcPlan| -> f64 {
+                p.predicted_power_mw()
+                    .iter()
+                    .map(|row| row.iter().sum::<f64>())
+                    .sum()
+            };
+            let (cd, cb) = (cost(&pd), cost(&pb));
+            prop_assert!(
+                (cd - cb).abs() <= 1e-8 * cd.abs().max(1e-12),
+                "step {step}: power cost {cd} vs {cb}"
+            );
+            for (i, (a, b)) in pd.next_input().iter().zip(pb.next_input()).enumerate() {
+                prop_assert!(
+                    (a - b).abs() <= 1e-5 * (1.0 + a.abs()),
+                    "step {step}, input {i}: {a} vs {b}"
+                );
+            }
+            prev_dense = pd.next_input().to_vec();
+            prev_banded = pb.next_input().to_vec();
+        }
     }
 
     /// MPC plans are insensitive to uniform scaling of both tracking and

@@ -16,6 +16,8 @@
 //! The reproduction harness reports both; EXPERIMENTS.md documents the
 //! discrepancy.
 
+pub use idc_control::mpc::{MpcConfig, SolverBackend};
+
 use idc_datacenter::fleet::IdcFleet;
 use idc_datacenter::idc::IdcConfig;
 use idc_datacenter::portal::{paper_portals, FrontEndPortal};

@@ -1,6 +1,54 @@
-//! Cross-policy comparison metrics (the numbers EXPERIMENTS.md reports).
+//! Cross-policy comparison metrics (the numbers EXPERIMENTS.md reports)
+//! and per-phase timing breakdowns (the numbers BENCH_mpc.json reports).
 
 use crate::simulation::SimulationResult;
+
+/// Wall-clock nanoseconds per pipeline phase for one simulation run.
+///
+/// The controller phases (`refresh`/`factor`/`condense`/`solve`) come from
+/// [`idc_control::mpc::PlanTimings`]; `reference_ns` is the rest of the
+/// policy's per-step work (reference solves, workload prediction, problem
+/// assembly), and `simulate_ns` is everything outside the policy (fleet
+/// bookkeeping, cost integration, recording) — filled in by harnesses that
+/// time the full run, zero otherwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Solver structure-cache rebuilds.
+    pub refresh_ns: u64,
+    /// Hessian factorization / Schur precompute.
+    pub factor_ns: u64,
+    /// Per-step gradient + rhs refresh and warm-start bookkeeping.
+    pub condense_ns: u64,
+    /// Active-set QP iterations.
+    pub solve_ns: u64,
+    /// Policy-side work outside the controller: reference optimization,
+    /// prediction, budget clamping, plan assembly.
+    pub reference_ns: u64,
+    /// Simulation work outside the policy.
+    pub simulate_ns: u64,
+}
+
+impl PhaseBreakdown {
+    /// Sum over all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.refresh_ns
+            + self.factor_ns
+            + self.condense_ns
+            + self.solve_ns
+            + self.reference_ns
+            + self.simulate_ns
+    }
+
+    /// Returns a copy with `simulate_ns` set to the difference between a
+    /// measured total run time and the already-accounted phases (saturating
+    /// at zero if the accounting overshoots the measurement).
+    pub fn with_total(mut self, total_ns: u64) -> Self {
+        self.simulate_ns = total_ns.saturating_sub(
+            self.refresh_ns + self.factor_ns + self.condense_ns + self.solve_ns + self.reference_ns,
+        );
+        self
+    }
+}
 
 /// Side-by-side summary of two runs of the same scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +149,35 @@ mod tests {
     use crate::policy::{MpcPolicy, OptimalPolicy, ReferenceKind};
     use crate::scenario::smoothing_scenario;
     use crate::simulation::Simulator;
+
+    #[test]
+    fn phase_breakdown_accounts_remainder_to_simulate() {
+        let b = PhaseBreakdown {
+            refresh_ns: 10,
+            factor_ns: 20,
+            condense_ns: 30,
+            solve_ns: 40,
+            reference_ns: 50,
+            simulate_ns: 0,
+        };
+        let filled = b.with_total(1_000);
+        assert_eq!(filled.simulate_ns, 850);
+        assert_eq!(filled.total_ns(), 1_000);
+        // Overshoot saturates instead of wrapping.
+        assert_eq!(b.with_total(100).simulate_ns, 0);
+    }
+
+    #[test]
+    fn mpc_policy_reports_phase_breakdown() {
+        let scenario = smoothing_scenario();
+        let sim = Simulator::new();
+        let mut policy = MpcPolicy::paper_tuned(&scenario).unwrap();
+        sim.run(&scenario, &mut policy).unwrap();
+        let phases = policy.phase_breakdown();
+        assert!(phases.solve_ns > 0 && phases.condense_ns > 0);
+        assert!(phases.factor_ns > 0);
+        assert_eq!(phases.simulate_ns, 0);
+    }
 
     #[test]
     fn comparison_captures_smoothing_advantage() {

@@ -1,7 +1,11 @@
 //! Control policies: the paper's MPC and the baseline optimal policies.
 
+use std::time::Instant;
+
 use idc_control::mpc::{MpcConfig, MpcController, MpcProblem};
-use idc_control::reference::{optimal_reference, price_greedy_reference, ReferenceSolution};
+use idc_control::reference::{
+    optimal_reference, price_greedy_reference, ReferenceSolution, ReferenceSolver,
+};
 use idc_datacenter::allocation::Allocation;
 use idc_datacenter::idc::IdcConfig;
 use idc_datacenter::sleep::SleepController;
@@ -83,14 +87,44 @@ impl ReferenceKind {
             ReferenceKind::PriceGreedy => price_greedy_reference(idcs, offered, prices),
         }
     }
+
+    /// Solves the associated reference problem through a stateful
+    /// [`ReferenceSolver`], reusing its cached LP structure and simplex
+    /// workspace (no-op for the LP-free greedy reference). Same results as
+    /// [`ReferenceKind::solve`], without the per-call allocations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the optimizer's failure modes (infeasibility etc.).
+    pub fn solve_with(
+        &self,
+        solver: &mut ReferenceSolver,
+        idcs: &[IdcConfig],
+        offered: &[f64],
+        prices: &[f64],
+    ) -> idc_opt::Result<ReferenceSolution> {
+        match self {
+            ReferenceKind::LpOptimal => solver.optimal(idcs, offered, prices),
+            ReferenceKind::PriceGreedy => price_greedy_reference(idcs, offered, prices),
+        }
+    }
 }
 
 /// The baseline of Rao et al. (INFOCOM'10): re-solve the instantaneous
 /// cost minimum every step and jump straight to it.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct OptimalPolicy {
     kind: ReferenceKind,
     name: String,
+    solver: ReferenceSolver,
+}
+
+impl PartialEq for OptimalPolicy {
+    /// Two baselines are equal when they solve the same reference problem;
+    /// the solver's scratch caches carry no behavioural state.
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
 }
 
 impl OptimalPolicy {
@@ -103,6 +137,7 @@ impl OptimalPolicy {
         OptimalPolicy {
             kind,
             name: name.into(),
+            solver: ReferenceSolver::new(),
         }
     }
 
@@ -118,7 +153,9 @@ impl Policy for OptimalPolicy {
     }
 
     fn decide(&mut self, ctx: &StepContext<'_>) -> Result<Decision> {
-        let reference = self.kind.solve(ctx.idcs, &ctx.offered, &ctx.prices)?;
+        let reference =
+            self.kind
+                .solve_with(&mut self.solver, ctx.idcs, &ctx.offered, &ctx.prices)?;
         let servers_on = reference.servers_ceil(ctx.idcs);
         let allocation = Allocation::from_control_vector(
             ctx.offered.len(),
@@ -225,8 +262,13 @@ pub struct MpcPolicy {
     config: MpcPolicyConfig,
     controller: MpcController,
     predictors: Vec<WorkloadPredictor>,
+    /// Reference-LP solver with cached structure and simplex workspace,
+    /// reused across every reference solve the policy performs.
+    ref_solver: ReferenceSolver,
     /// `(U(k−1), m(k−1))` once initialized.
     state: Option<(Vec<f64>, Vec<u64>)>,
+    /// Total wall-clock nanoseconds spent inside [`Policy::decide`].
+    decide_ns: u64,
 }
 
 impl MpcPolicy {
@@ -261,7 +303,9 @@ impl MpcPolicy {
             config,
             controller,
             predictors: Vec::new(),
+            ref_solver: ReferenceSolver::new(),
             state: None,
+            decide_ns: 0,
         })
     }
 
@@ -293,6 +337,23 @@ impl MpcPolicy {
     /// warm-/cold-solve counters after a run).
     pub fn controller(&self) -> &MpcController {
         &self.controller
+    }
+
+    /// Per-phase wall-clock breakdown of the time spent in this policy so
+    /// far: the controller's own phase counters plus everything else
+    /// [`Policy::decide`] does (reference solves, prediction, plan
+    /// assembly). `simulate_ns` is left zero — only the caller can measure
+    /// time spent outside the policy.
+    pub fn phase_breakdown(&self) -> crate::metrics::PhaseBreakdown {
+        let t = self.controller.timings();
+        crate::metrics::PhaseBreakdown {
+            refresh_ns: t.refresh_ns,
+            factor_ns: t.factor_ns,
+            condense_ns: t.condense_ns,
+            solve_ns: t.solve_ns,
+            reference_ns: self.decide_ns.saturating_sub(t.total_ns()),
+            simulate_ns: 0,
+        }
     }
 
     /// Per-portal workload forecasts for the control horizon, with the
@@ -355,10 +416,12 @@ impl Policy for MpcPolicy {
     }
 
     fn initialize(&mut self, ctx: &StepContext<'_>) -> Result<()> {
-        let reference = self
-            .config
-            .reference
-            .solve(ctx.idcs, &ctx.offered, &ctx.prices)?;
+        let reference = self.config.reference.solve_with(
+            &mut self.ref_solver,
+            ctx.idcs,
+            &ctx.offered,
+            &ctx.prices,
+        )?;
         let u = reference.allocation().to_vec();
         let m = reference.servers_ceil(ctx.idcs);
         self.state = Some((u, m));
@@ -376,6 +439,17 @@ impl Policy for MpcPolicy {
     }
 
     fn decide(&mut self, ctx: &StepContext<'_>) -> Result<Decision> {
+        let start = Instant::now();
+        let result = self.decide_inner(ctx);
+        self.decide_ns += start.elapsed().as_nanos() as u64;
+        result
+    }
+}
+
+impl MpcPolicy {
+    /// The actual decision logic, separated so [`Policy::decide`] can time
+    /// it inclusively across early returns.
+    fn decide_inner(&mut self, ctx: &StepContext<'_>) -> Result<Decision> {
         if self.state.is_none() {
             self.initialize(ctx)?;
         }
@@ -389,10 +463,12 @@ impl Policy for MpcPolicy {
 
         // ---- Reference (eq. 46 / greedy) on the one-step-ahead workload,
         // clamped to the power budget for peak shaving (Sec. IV-D). ----
-        let reference = self
-            .config
-            .reference
-            .solve(ctx.idcs, &ctx.offered, &ctx.prices)?;
+        let reference = self.config.reference.solve_with(
+            &mut self.ref_solver,
+            ctx.idcs,
+            &ctx.offered,
+            &ctx.prices,
+        )?;
         let power_ref = match &self.config.budgets {
             Some(b) => reference.clamped_power_mw(b.as_slice()),
             None => reference.power_mw().to_vec(),
@@ -499,7 +575,7 @@ impl Policy for MpcPolicy {
                 let step_ref = self
                     .config
                     .reference
-                    .solve(ctx.idcs, step_forecast, &ctx.prices)
+                    .solve_with(&mut self.ref_solver, ctx.idcs, step_forecast, &ctx.prices)
                     .map(|r| match &self.config.budgets {
                         Some(b) => r.clamped_power_mw(b.as_slice()),
                         None => r.power_mw().to_vec(),

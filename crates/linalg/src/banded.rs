@@ -1,0 +1,447 @@
+//! Symmetric block-tridiagonal matrices and their in-place block Cholesky.
+//!
+//! The stagewise MPC problem in cumulative-input coordinates has a Hessian
+//! that couples only neighbouring stages, i.e. it is symmetric
+//! block-tridiagonal with `β₂` diagonal blocks of size `C·N × C·N`. Factoring
+//! it block-row by block-row is the matrix form of the Riccati backward
+//! recursion: O(β₂) stages of O(nb³) work instead of the O((β₂·nb)³) dense
+//! factorization of the condensed Hessian.
+//!
+//! [`BlockTridiag`] stores only the diagonal and subdiagonal blocks;
+//! [`BlockTridiagChol`] owns reusable factor storage so repeated
+//! [`refactor`](BlockTridiagChol::refactor)/[`solve_in_place`](BlockTridiagChol::solve_in_place)
+//! cycles are allocation-free. Block products route through the packed
+//! [`gemm`](crate::gemm) microkernel.
+
+use crate::gemm::gemm_ws;
+use crate::workspace::Workspace;
+use crate::{Error, Result};
+
+/// A symmetric block-tridiagonal matrix stored as flat row-major blocks.
+///
+/// Block row `t` holds the diagonal block `D_t` (`nb × nb`) and, for
+/// `t ≥ 1`, the subdiagonal block `O_{t-1}` sitting at block position
+/// `(t, t-1)`. The superdiagonal is implied by symmetry (`O_{t-1}ᵀ`).
+#[derive(Debug, Clone)]
+pub struct BlockTridiag {
+    nb: usize,
+    nblocks: usize,
+    diag: Vec<f64>,
+    sub: Vec<f64>,
+}
+
+impl BlockTridiag {
+    /// Creates a zero matrix with `nblocks` diagonal blocks of size `nb`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nb == 0` or `nblocks == 0`.
+    pub fn new(nb: usize, nblocks: usize) -> Self {
+        assert!(nb > 0 && nblocks > 0, "empty block-tridiagonal matrix");
+        BlockTridiag {
+            nb,
+            nblocks,
+            diag: vec![0.0; nblocks * nb * nb],
+            sub: vec![0.0; nblocks.saturating_sub(1) * nb * nb],
+        }
+    }
+
+    /// Block size `nb`.
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    /// Number of diagonal blocks.
+    pub fn nblocks(&self) -> usize {
+        self.nblocks
+    }
+
+    /// Total matrix dimension `nb · nblocks`.
+    pub fn dim(&self) -> usize {
+        self.nb * self.nblocks
+    }
+
+    /// Row-major view of diagonal block `D_t`.
+    pub fn diag(&self, t: usize) -> &[f64] {
+        let s = self.nb * self.nb;
+        &self.diag[t * s..(t + 1) * s]
+    }
+
+    /// Mutable row-major view of diagonal block `D_t`.
+    pub fn diag_mut(&mut self, t: usize) -> &mut [f64] {
+        let s = self.nb * self.nb;
+        &mut self.diag[t * s..(t + 1) * s]
+    }
+
+    /// Row-major view of subdiagonal block `O_t` at block position `(t+1, t)`.
+    pub fn sub(&self, t: usize) -> &[f64] {
+        let s = self.nb * self.nb;
+        &self.sub[t * s..(t + 1) * s]
+    }
+
+    /// Mutable row-major view of subdiagonal block `O_t`.
+    pub fn sub_mut(&mut self, t: usize) -> &mut [f64] {
+        let s = self.nb * self.nb;
+        &mut self.sub[t * s..(t + 1) * s]
+    }
+
+    /// Zeroes every block, keeping the shape and storage.
+    pub fn clear(&mut self) {
+        self.diag.fill(0.0);
+        self.sub.fill(0.0);
+    }
+
+    /// Resizes to a new shape, zeroing all blocks and reusing storage.
+    pub fn resize(&mut self, nb: usize, nblocks: usize) {
+        assert!(nb > 0 && nblocks > 0, "empty block-tridiagonal matrix");
+        self.nb = nb;
+        self.nblocks = nblocks;
+        self.diag.clear();
+        self.diag.resize(nblocks * nb * nb, 0.0);
+        self.sub.clear();
+        self.sub.resize((nblocks - 1) * nb * nb, 0.0);
+    }
+
+    /// Multiplies `y ← A·x` (used by tests and iterative refinement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` have length different from [`dim`](Self::dim).
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        let (nb, t) = (self.nb, self.nblocks);
+        assert!(x.len() == nb * t && y.len() == nb * t, "dimension mismatch");
+        y.fill(0.0);
+        for bt in 0..t {
+            let d = self.diag(bt);
+            let xs = &x[bt * nb..(bt + 1) * nb];
+            let ys = &mut y[bt * nb..(bt + 1) * nb];
+            for i in 0..nb {
+                let mut acc = 0.0;
+                for j in 0..nb {
+                    acc += d[i * nb + j] * xs[j];
+                }
+                ys[i] += acc;
+            }
+        }
+        for bt in 0..t.saturating_sub(1) {
+            let o = self.sub(bt);
+            // y_{t+1} += O_t x_t  and  y_t += O_tᵀ x_{t+1}
+            for i in 0..nb {
+                let mut acc = 0.0;
+                for j in 0..nb {
+                    acc += o[i * nb + j] * x[bt * nb + j];
+                }
+                y[(bt + 1) * nb + i] += acc;
+            }
+            for j in 0..nb {
+                let mut acc = 0.0;
+                for i in 0..nb {
+                    acc += o[i * nb + j] * x[(bt + 1) * nb + i];
+                }
+                y[bt * nb + j] += acc;
+            }
+        }
+    }
+}
+
+/// Block Cholesky factor of a [`BlockTridiag`] matrix.
+///
+/// `A = L·Lᵀ` where `L` is block lower-bidiagonal: lower-triangular diagonal
+/// blocks `L_t` and dense subdiagonal blocks `M_t = O_{t-1}·L_{t-1}^{-ᵀ}`.
+/// The backward pass `L_t·L_tᵀ = D_t − M_t·M_tᵀ` is the Riccati recursion on
+/// the value-function Hessian; the forward/backward substitution sweeps in
+/// [`solve_in_place`](Self::solve_in_place) are the corresponding state and
+/// co-state passes.
+#[derive(Debug, Default, Clone)]
+pub struct BlockTridiagChol {
+    nb: usize,
+    nblocks: usize,
+    /// Diagonal factor blocks `L_t`, row-major, lower triangle significant.
+    l: Vec<f64>,
+    /// Subdiagonal factor blocks `M_t` (index `t-1`), row-major dense.
+    m: Vec<f64>,
+    /// Transpose scratch for the `M·Mᵀ` downdate.
+    mt_scratch: Vec<f64>,
+}
+
+impl BlockTridiagChol {
+    /// Creates an empty factor; call [`refactor`](Self::refactor) to fill it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total dimension of the factored matrix (0 before the first refactor).
+    pub fn dim(&self) -> usize {
+        self.nb * self.nblocks
+    }
+
+    /// Factors `a`, reusing all internal storage from previous calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotPositiveDefinite`] if a stage block loses positive
+    /// definiteness during the recursion.
+    pub fn refactor(&mut self, a: &BlockTridiag, ws: &mut Workspace) -> Result<()> {
+        let (nb, t) = (a.nb(), a.nblocks());
+        let s = nb * nb;
+        self.nb = nb;
+        self.nblocks = t;
+        self.l.clear();
+        self.l.resize(t * s, 0.0);
+        self.m.clear();
+        self.m.resize((t - 1) * s, 0.0);
+        self.mt_scratch.clear();
+        self.mt_scratch.resize(s, 0.0);
+
+        self.l[..s].copy_from_slice(a.diag(0));
+        chol_in_place(nb, &mut self.l[..s])?;
+        for bt in 1..t {
+            // M_t = O_{t-1} · L_{t-1}^{-ᵀ}: forward-substitute L_{t-1} against
+            // each row of O_{t-1}.
+            let (done_l, rest_l) = self.l.split_at_mut(bt * s);
+            let lprev = &done_l[(bt - 1) * s..];
+            let mblk = &mut self.m[(bt - 1) * s..bt * s];
+            mblk.copy_from_slice(a.sub(bt - 1));
+            for r in 0..nb {
+                forward_subst(nb, lprev, &mut mblk[r * nb..(r + 1) * nb]);
+            }
+            // L_t·L_tᵀ = D_t − M_t·M_tᵀ (Riccati downdate), via packed GEMM.
+            let lcur = &mut rest_l[..s];
+            lcur.copy_from_slice(a.diag(bt));
+            for i in 0..nb {
+                for j in 0..nb {
+                    self.mt_scratch[j * nb + i] = mblk[i * nb + j];
+                }
+            }
+            gemm_ws(
+                nb,
+                nb,
+                nb,
+                -1.0,
+                mblk,
+                nb,
+                &self.mt_scratch,
+                nb,
+                1.0,
+                lcur,
+                nb,
+                ws,
+            );
+            chol_in_place(nb, lcur)?;
+        }
+        Ok(())
+    }
+
+    /// Solves `A·x = b` in place (`x` holds `b` on entry, the solution on
+    /// exit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()` or the factor is empty.
+    pub fn solve_in_place(&self, x: &mut [f64]) {
+        let (nb, t) = (self.nb, self.nblocks);
+        assert!(t > 0, "solve on empty factor");
+        assert!(x.len() == nb * t, "dimension mismatch");
+        let s = nb * nb;
+        // Forward sweep: L y = b.
+        forward_subst(nb, &self.l[..s], &mut x[..nb]);
+        for bt in 1..t {
+            let mblk = &self.m[(bt - 1) * s..bt * s];
+            let (prev, cur) = x.split_at_mut(bt * nb);
+            let yprev = &prev[(bt - 1) * nb..];
+            let ycur = &mut cur[..nb];
+            for i in 0..nb {
+                let mut acc = 0.0;
+                for j in 0..nb {
+                    acc += mblk[i * nb + j] * yprev[j];
+                }
+                ycur[i] -= acc;
+            }
+            forward_subst(nb, &self.l[bt * s..(bt + 1) * s], ycur);
+        }
+        // Backward sweep: Lᵀ x = y.
+        back_subst_transposed(nb, &self.l[(t - 1) * s..], &mut x[(t - 1) * nb..]);
+        for bt in (0..t - 1).rev() {
+            let mblk = &self.m[bt * s..(bt + 1) * s];
+            let (cur, next) = x.split_at_mut((bt + 1) * nb);
+            let xnext = &next[..nb];
+            let xcur = &mut cur[bt * nb..];
+            for j in 0..nb {
+                let mut acc = 0.0;
+                for i in 0..nb {
+                    acc += mblk[i * nb + j] * xnext[i];
+                }
+                xcur[j] -= acc;
+            }
+            back_subst_transposed(nb, &self.l[bt * s..(bt + 1) * s], xcur);
+        }
+    }
+}
+
+/// In-place dense Cholesky of the lower triangle of a row-major `n×n` block.
+fn chol_in_place(n: usize, a: &mut [f64]) -> Result<()> {
+    for i in 0..n {
+        for j in 0..=i {
+            let mut acc = a[i * n + j];
+            for k in 0..j {
+                acc -= a[i * n + k] * a[j * n + k];
+            }
+            if i == j {
+                if acc <= 0.0 {
+                    return Err(Error::NotPositiveDefinite);
+                }
+                a[i * n + j] = acc.sqrt();
+            } else {
+                a[i * n + j] = acc / a[j * n + j];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solves `L·x = b` in place against the lower triangle of a row-major block.
+fn forward_subst(n: usize, l: &[f64], x: &mut [f64]) {
+    for i in 0..n {
+        let mut acc = x[i];
+        for j in 0..i {
+            acc -= l[i * n + j] * x[j];
+        }
+        x[i] = acc / l[i * n + i];
+    }
+}
+
+/// Solves `Lᵀ·x = y` in place against the lower triangle of a row-major block.
+fn back_subst_transposed(n: usize, l: &[f64], x: &mut [f64]) {
+    for i in (0..n).rev() {
+        let mut acc = x[i];
+        for j in (i + 1)..n {
+            acc -= l[j * n + i] * x[j];
+        }
+        x[i] = acc / l[i * n + i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::Lu;
+    use crate::Matrix;
+
+    fn pseudo(seed: &mut u64) -> f64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        ((seed.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+
+    /// Random diagonally dominant SPD block-tridiagonal matrix.
+    fn random_spd(nb: usize, t: usize, seed: &mut u64) -> BlockTridiag {
+        let mut a = BlockTridiag::new(nb, t);
+        for bt in 0..t.saturating_sub(1) {
+            for v in a.sub_mut(bt) {
+                *v = pseudo(seed);
+            }
+        }
+        for bt in 0..t {
+            let d = a.diag_mut(bt);
+            for i in 0..nb {
+                for j in 0..i {
+                    let v = pseudo(seed);
+                    d[i * nb + j] = v;
+                    d[j * nb + i] = v;
+                }
+                d[i * nb + i] = 3.0 * nb as f64 + pseudo(seed).abs();
+            }
+        }
+        a
+    }
+
+    fn dense_of(a: &BlockTridiag) -> Matrix {
+        let (nb, t) = (a.nb(), a.nblocks());
+        let mut d = Matrix::zeros(nb * t, nb * t);
+        for bt in 0..t {
+            for i in 0..nb {
+                for j in 0..nb {
+                    d[(bt * nb + i, bt * nb + j)] = a.diag(bt)[i * nb + j];
+                }
+            }
+        }
+        for bt in 0..t.saturating_sub(1) {
+            for i in 0..nb {
+                for j in 0..nb {
+                    let v = a.sub(bt)[i * nb + j];
+                    d[((bt + 1) * nb + i, bt * nb + j)] = v;
+                    d[(bt * nb + j, (bt + 1) * nb + i)] = v;
+                }
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn solve_matches_dense_lu() {
+        let mut seed = 0xfeed_beefu64;
+        for &(nb, t) in &[(1usize, 1usize), (2, 4), (5, 3), (8, 6), (3, 10)] {
+            let a = random_spd(nb, t, &mut seed);
+            let dense = dense_of(&a);
+            let b: Vec<f64> = (0..nb * t).map(|_| pseudo(&mut seed)).collect();
+            let mut chol = BlockTridiagChol::new();
+            let mut ws = Workspace::new();
+            chol.refactor(&a, &mut ws).unwrap();
+            let mut x = b.clone();
+            chol.solve_in_place(&mut x);
+            let expect = Lu::factor(&dense).unwrap().solve(&b).unwrap();
+            for (u, v) in x.iter().zip(&expect) {
+                assert!((u - v).abs() < 1e-10 * (1.0 + v.abs()), "nb={nb} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_reuses_storage_across_calls() {
+        let mut seed = 7u64;
+        let mut chol = BlockTridiagChol::new();
+        let mut ws = Workspace::new();
+        let a = random_spd(4, 5, &mut seed);
+        chol.refactor(&a, &mut ws).unwrap();
+        let b = random_spd(4, 5, &mut seed);
+        chol.refactor(&b, &mut ws).unwrap();
+        let rhs: Vec<f64> = (0..20).map(|_| pseudo(&mut seed)).collect();
+        let mut x = rhs.clone();
+        chol.solve_in_place(&mut x);
+        let mut back = vec![0.0; 20];
+        b.mul_vec_into(&x, &mut back);
+        for (u, v) in back.iter().zip(&rhs) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite_stage() {
+        let mut a = BlockTridiag::new(2, 2);
+        a.diag_mut(0).copy_from_slice(&[1.0, 0.0, 0.0, 1.0]);
+        // Large off-diagonal coupling destroys definiteness of stage 1.
+        a.sub_mut(0).copy_from_slice(&[5.0, 0.0, 0.0, 5.0]);
+        a.diag_mut(1).copy_from_slice(&[1.0, 0.0, 0.0, 1.0]);
+        let mut chol = BlockTridiagChol::new();
+        let mut ws = Workspace::new();
+        assert!(matches!(
+            chol.refactor(&a, &mut ws),
+            Err(Error::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let mut seed = 99u64;
+        let a = random_spd(3, 4, &mut seed);
+        let dense = dense_of(&a);
+        let x: Vec<f64> = (0..12).map(|_| pseudo(&mut seed)).collect();
+        let mut y = vec![0.0; 12];
+        a.mul_vec_into(&x, &mut y);
+        let expect = dense.mul_vec(&x).unwrap();
+        for (u, v) in y.iter().zip(&expect) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+}

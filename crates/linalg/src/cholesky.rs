@@ -116,6 +116,175 @@ impl Cholesky {
     }
 }
 
+/// An incrementally maintained Cholesky factor with O(n²) row append and
+/// O((n−k)²) row removal.
+///
+/// The active-set QP loop grows and shrinks the working-set Schur complement
+/// `S_W = C_W·H⁻¹·C_Wᵀ` by one row per iteration. Refactoring from scratch is
+/// O(n³) per iteration; this type instead maintains the packed lower factor
+/// `L` of `S_W` under single row/column appends (one triangular solve),
+/// end truncations (free), and interior removals (a Givens-style rank-1
+/// update of the trailing block).
+///
+/// Storage is a packed row-major lower triangle (`row i` occupies
+/// `i·(i+1)/2 .. i·(i+1)/2 + i + 1`), so no O(n²) dense buffer is touched on
+/// append.
+#[derive(Debug, Clone, Default)]
+pub struct UpdatableCholesky {
+    n: usize,
+    /// Packed row-major lower-triangular factor.
+    l: Vec<f64>,
+    /// Scratch for appends/removals.
+    w: Vec<f64>,
+}
+
+impl UpdatableCholesky {
+    /// Creates an empty (0×0) factor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets to the empty factor, keeping allocations.
+    pub fn clear(&mut self) {
+        self.n = 0;
+        self.l.clear();
+    }
+
+    /// Current factored dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Appends one symmetric row/column to the factored matrix.
+    ///
+    /// `col` holds the new matrix entries `[a(new, 0), …, a(new, n−1),
+    /// a(new, new)]`, i.e. length `n + 1`. Internally solves `L·w = col[..n]`
+    /// and sets the new diagonal to `√(a(new,new) − wᵀw)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotPositiveDefinite`] (factor left unchanged) when the
+    /// Schur complement of the new diagonal is not safely positive — the
+    /// caller should fall back to a full refactorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col.len() != self.dim() + 1`.
+    pub fn append(&mut self, col: &[f64]) -> Result<()> {
+        let n = self.n;
+        assert_eq!(col.len(), n + 1, "append column has wrong length");
+        self.w.clear();
+        self.w.extend_from_slice(&col[..n]);
+        for i in 0..n {
+            let row = &self.l[i * (i + 1) / 2..];
+            let mut acc = self.w[i];
+            for j in 0..i {
+                acc -= row[j] * self.w[j];
+            }
+            self.w[i] = acc / row[i];
+        }
+        let d2 = col[n] - self.w.iter().map(|v| v * v).sum::<f64>();
+        if d2 <= 0.0 || d2 <= 1e-12 * col[n].abs() {
+            return Err(Error::NotPositiveDefinite);
+        }
+        self.l.extend_from_slice(&self.w);
+        self.l.push(d2.sqrt());
+        self.n += 1;
+        Ok(())
+    }
+
+    /// Drops trailing rows/columns so the factor has dimension `new_dim`.
+    ///
+    /// This is exact and free: the leading principal factor of `L` is the
+    /// factor of the leading principal submatrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_dim > self.dim()`.
+    pub fn truncate(&mut self, new_dim: usize) {
+        assert!(new_dim <= self.n, "truncate beyond current dimension");
+        self.n = new_dim;
+        self.l.truncate(new_dim * (new_dim + 1) / 2);
+    }
+
+    /// Removes interior row/column `k` of the factored matrix.
+    ///
+    /// Rows above `k` are untouched; rows below shift up and the trailing
+    /// block absorbs the deleted column through a positive rank-1
+    /// (Givens-style) update, costing O((n−k)²).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.dim()`.
+    pub fn remove(&mut self, k: usize) {
+        let n = self.n;
+        assert!(k < n, "remove index out of bounds");
+        if k == n - 1 {
+            self.truncate(n - 1);
+            return;
+        }
+        // Save the deleted column below the diagonal, then shift rows up.
+        self.w.clear();
+        for i in k + 1..n {
+            self.w.push(self.l[i * (i + 1) / 2 + k]);
+        }
+        for i in k + 1..n {
+            let old = i * (i + 1) / 2;
+            let new = (i - 1) * i / 2;
+            // Writes land strictly below the source row, so ascending order
+            // never clobbers unread data.
+            self.l.copy_within(old..old + k, new);
+            self.l.copy_within(old + k + 1..old + i + 1, new + k);
+        }
+        self.n = n - 1;
+        self.l.truncate(self.n * (self.n + 1) / 2);
+        // Rank-1 update of the trailing block: A' = L₃₃L₃₃ᵀ + wwᵀ.
+        let m = self.n - k;
+        for t in 0..m {
+            let row = k + t;
+            let dpos = row * (row + 1) / 2 + row;
+            let lkk = self.l[dpos];
+            let x = self.w[t];
+            let r = lkk.hypot(x);
+            let c = r / lkk;
+            let s = x / lkk;
+            self.l[dpos] = r;
+            for i in t + 1..m {
+                let pos = (k + i) * (k + i + 1) / 2 + row;
+                let updated = (self.l[pos] + s * self.w[i]) / c;
+                self.l[pos] = updated;
+                self.w[i] = c * self.w[i] - s * updated;
+            }
+        }
+    }
+
+    /// Solves `A·x = b` in place (`x` holds `b` on entry, the solution on
+    /// exit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn solve_in_place(&self, x: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(x.len(), n, "dimension mismatch");
+        for i in 0..n {
+            let row = &self.l[i * (i + 1) / 2..];
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= row[j] * x[j];
+            }
+            x[i] = acc / row[i];
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in i + 1..n {
+                acc -= self.l[j * (j + 1) / 2 + i] * x[j];
+            }
+            x[i] = acc / self.l[i * (i + 1) / 2 + i];
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +335,96 @@ mod tests {
     fn rejects_wrong_rhs_length() {
         let chol = Cholesky::factor(&Matrix::identity(2)).unwrap();
         assert!(chol.solve(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    fn pseudo(seed: &mut u64) -> f64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        ((seed.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+
+    fn random_spd(n: usize, seed: &mut u64) -> Matrix {
+        let g = Matrix::from_fn(n, n, |_, _| pseudo(seed));
+        let mut a = g.mul_mat(&g.transpose()).unwrap();
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    fn updatable_from(a: &Matrix) -> UpdatableCholesky {
+        let mut up = UpdatableCholesky::new();
+        for i in 0..a.rows() {
+            let col: Vec<f64> = (0..=i).map(|j| a[(i, j)]).collect();
+            up.append(&col).unwrap();
+        }
+        up
+    }
+
+    #[test]
+    fn incremental_appends_match_batch_factor() {
+        let mut seed = 0xabcdu64;
+        let a = random_spd(7, &mut seed);
+        let up = updatable_from(&a);
+        assert_eq!(up.dim(), 7);
+        let b: Vec<f64> = (0..7).map(|_| pseudo(&mut seed)).collect();
+        let mut x = b.clone();
+        up.solve_in_place(&mut x);
+        let expect = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
+        assert!(vec_ops::approx_eq(&x, &expect, 1e-10));
+    }
+
+    #[test]
+    fn interior_removal_matches_downdated_matrix() {
+        let mut seed = 0x5eedu64;
+        let n = 8;
+        let a = random_spd(n, &mut seed);
+        for k in [0, 3, n - 1] {
+            let mut up = updatable_from(&a);
+            up.remove(k);
+            assert_eq!(up.dim(), n - 1);
+            let keep: Vec<usize> = (0..n).filter(|&i| i != k).collect();
+            let reduced = Matrix::from_fn(n - 1, n - 1, |i, j| a[(keep[i], keep[j])]);
+            let b: Vec<f64> = (0..n - 1).map(|_| pseudo(&mut seed)).collect();
+            let mut x = b.clone();
+            up.solve_in_place(&mut x);
+            let expect = Cholesky::factor(&reduced).unwrap().solve(&b).unwrap();
+            assert!(vec_ops::approx_eq(&x, &expect, 1e-9), "k={k}");
+        }
+    }
+
+    #[test]
+    fn repeated_mutation_stays_consistent() {
+        let mut seed = 0x77u64;
+        let n = 10;
+        let a = random_spd(n, &mut seed);
+        let mut up = updatable_from(&a);
+        up.remove(2);
+        up.remove(5);
+        up.truncate(6);
+        let keep: Vec<usize> = (0..n).filter(|&i| i != 2 && i != 6).take(6).collect();
+        let reduced = Matrix::from_fn(6, 6, |i, j| a[(keep[i], keep[j])]);
+        let b: Vec<f64> = (0..6).map(|_| pseudo(&mut seed)).collect();
+        let mut x = b.clone();
+        up.solve_in_place(&mut x);
+        let expect = Cholesky::factor(&reduced).unwrap().solve(&b).unwrap();
+        assert!(vec_ops::approx_eq(&x, &expect, 1e-9));
+    }
+
+    #[test]
+    fn append_rejects_indefinite_extension_and_preserves_factor() {
+        let mut up = UpdatableCholesky::new();
+        up.append(&[4.0]).unwrap();
+        // New row makes the 2×2 matrix singular: [[4, 2], [2, 1]].
+        assert!(matches!(
+            up.append(&[2.0, 1.0]),
+            Err(Error::NotPositiveDefinite)
+        ));
+        assert_eq!(up.dim(), 1);
+        let mut x = vec![8.0];
+        up.solve_in_place(&mut x);
+        assert!((x[0] - 2.0).abs() < 1e-15);
     }
 
     #[test]

@@ -33,14 +33,17 @@
 
 #![warn(missing_docs)]
 
+pub mod banded;
 pub mod cholesky;
 pub mod eigen;
 mod error;
 pub mod expm;
+pub mod gemm;
 pub mod lu;
 mod matrix;
 pub mod qr;
 pub mod vec_ops;
+pub mod workspace;
 
 pub use error::Error;
 pub use matrix::Matrix;

@@ -1,5 +1,7 @@
 //! Property-based tests for the dense linear-algebra kernels.
 
+use idc_linalg::gemm::{gemm, gemm_ws};
+use idc_linalg::workspace::Workspace;
 use idc_linalg::{expm::expm, lu::Lu, qr, vec_ops, Matrix};
 use proptest::prelude::*;
 
@@ -89,6 +91,115 @@ proptest! {
     fn rank_of_outer_product_is_at_most_one(u in vector(5), v in vector(5)) {
         let outer = Matrix::from_fn(5, 5, |i, j| u[i] * v[j]);
         prop_assert!(outer.rank(f64::EPSILON) <= 1);
+    }
+
+    /// The packed SIMD GEMM agrees with the blocked `mul_mat` reference on
+    /// arbitrary shapes, specifically shapes that are NOT multiples of the
+    /// 4×8 microkernel tile (partial edge tiles exercise the masked
+    /// write-back path).
+    #[test]
+    fn gemm_matches_mul_mat_on_arbitrary_shapes(
+        m in 1usize..18,
+        n in 1usize..21,
+        k in 1usize..15,
+        seed in prop::collection::vec(-3.0f64..3.0, 18 * 21),
+    ) {
+        let a: Vec<f64> = (0..m * k).map(|i| seed[i % seed.len()] + 0.1 * i as f64).collect();
+        let b: Vec<f64> = (0..k * n).map(|i| seed[(i * 7) % seed.len()] - 0.05 * i as f64).collect();
+        let am = Matrix::from_vec(m, k, a.clone()).unwrap();
+        let bm = Matrix::from_vec(k, n, b.clone()).unwrap();
+        let oracle = am.mul_mat(&bm).unwrap();
+
+        let mut c = vec![f64::NAN; m * n]; // beta = 0 must not read C
+        gemm(m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, n);
+        for i in 0..m {
+            for j in 0..n {
+                let got = c[i * n + j];
+                let want = oracle[(i, j)];
+                prop_assert!(
+                    (got - want).abs() <= 1e-10 * want.abs().max(1.0),
+                    "({i},{j}): {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    /// `C ← α·A·B + β·C` semantics hold, and a long-lived workspace gives
+    /// bit-identical results to the allocating wrapper.
+    #[test]
+    fn gemm_accumulates_and_workspace_reuse_is_exact(
+        m in 1usize..10,
+        n in 1usize..12,
+        k in 1usize..9,
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+    ) {
+        let a: Vec<f64> = (0..m * k).map(|i| (i as f64 * 0.37).sin()).collect();
+        let b: Vec<f64> = (0..k * n).map(|i| (i as f64 * 0.71).cos()).collect();
+        let c0: Vec<f64> = (0..m * n).map(|i| 0.5 - (i % 5) as f64 * 0.25).collect();
+
+        let mut expect = c0.clone();
+        for i in 0..m {
+            for j in 0..n {
+                let mut dot = 0.0;
+                for l in 0..k {
+                    dot += a[i * k + l] * b[l * n + j];
+                }
+                expect[i * n + j] = alpha * dot + beta * c0[i * n + j];
+            }
+        }
+
+        let mut c = c0.clone();
+        gemm(m, n, k, alpha, &a, k, &b, n, beta, &mut c, n);
+        let mut ws = Workspace::new();
+        let mut c_ws = c0.clone();
+        // Warm the workspace on an unrelated shape first, then reuse it.
+        let wa = vec![1.0; 6];
+        let wb = vec![2.0; 8];
+        let mut scratch = vec![0.0; 12];
+        gemm_ws(3, 4, 2, 1.0, &wa, 2, &wb, 4, 0.0, &mut scratch, 4, &mut ws);
+        gemm_ws(m, n, k, alpha, &a, k, &b, n, beta, &mut c_ws, n, &mut ws);
+
+        for (idx, (&got, &want)) in c.iter().zip(&expect).enumerate() {
+            prop_assert!(
+                (got - want).abs() <= 1e-10 * want.abs().max(1.0),
+                "idx {idx}: {got} vs {want}"
+            );
+        }
+        prop_assert_eq!(c, c_ws); // allocation strategy must not change bits
+    }
+
+    /// Padded leading dimensions (submatrix views) read and write only the
+    /// in-bounds parts of each row.
+    #[test]
+    fn gemm_honours_leading_dimensions(
+        m in 1usize..7,
+        n in 1usize..10,
+        k in 1usize..6,
+        pad in 1usize..4,
+    ) {
+        let (lda, ldb, ldc) = (k + pad, n + pad, n + pad);
+        let a: Vec<f64> = (0..m * lda).map(|i| (i as f64 * 0.13).sin()).collect();
+        let b: Vec<f64> = (0..k * ldb).map(|i| (i as f64 * 0.29).cos()).collect();
+        let mut c: Vec<f64> = vec![7.5; m * ldc];
+        gemm(m, n, k, 1.0, &a, lda, &b, ldb, 0.0, &mut c, ldc);
+        for i in 0..m {
+            for j in 0..n {
+                let mut dot = 0.0;
+                for l in 0..k {
+                    dot += a[i * lda + l] * b[l * ldb + j];
+                }
+                let got = c[i * ldc + j];
+                prop_assert!(
+                    (got - dot).abs() <= 1e-10 * dot.abs().max(1.0),
+                    "({i},{j}): {got} vs {dot}"
+                );
+            }
+            // The padding tail of each row is untouched.
+            for j in n..ldc.min(c.len() - i * ldc) {
+                prop_assert_eq!(c[i * ldc + j], 7.5);
+            }
+        }
     }
 
     #[test]

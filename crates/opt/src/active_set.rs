@@ -1,0 +1,194 @@
+//! Backend-agnostic primal active-set iteration.
+//!
+//! The textbook loop (Nocedal & Wright, Alg. 16.3) — solve an
+//! equality-constrained subproblem, take the largest feasible step, add the
+//! blocking constraint or drop the most negative multiplier — is identical
+//! for the dense condensed QP and the banded Riccati backend; only the KKT
+//! subproblem solve differs. This module owns the loop and drives a backend
+//! through [`ActiveSetOps`], so Dantzig/Bland switching, degeneracy
+//! bookkeeping and warm-start seeding behave bit-for-bit the same regardless
+//! of how the linear algebra is organised.
+
+use idc_linalg::vec_ops;
+
+use crate::qp::QpSolution;
+use crate::{Error, Result};
+
+/// Feasibility/optimality tolerance.
+pub(crate) const TOL: f64 = 1e-8;
+
+/// Tolerance used to accept caller-supplied starting points and to decide
+/// which seeded constraints are still active at a warm-start point.
+pub(crate) const WARM_TOL: f64 = 1e-6;
+
+/// Consecutive degenerate (zero-length, blocked) steps tolerated before the
+/// drop rule switches from Dantzig's most-negative multiplier to Bland's
+/// anti-cycling smallest index.
+const DEGENERATE_PATIENCE: usize = 12;
+
+/// Backend interface for the shared active-set loop.
+///
+/// `kkt_step` is the only expensive operation; the `on_*` hooks let a
+/// backend maintain incremental factorizations of the working-set system —
+/// they are called *after* the working set has been mutated. The default
+/// no-op hooks suit backends (like the dense path) that refactor per
+/// iteration.
+pub(crate) trait ActiveSetOps {
+    /// Number of decision variables.
+    fn num_vars(&self) -> usize;
+    /// Number of equality constraints (always in the working system).
+    fn num_eq(&self) -> usize;
+    /// Number of inequality constraints.
+    fn num_in(&self) -> usize;
+    /// Iteration budget for this problem instance.
+    fn iteration_budget(&self) -> usize;
+    /// Dot product of inequality row `i` with `v`.
+    fn in_dot(&self, i: usize, v: &[f64]) -> f64;
+    /// Right-hand side of inequality `i`.
+    fn in_rhs(&self, i: usize) -> f64;
+    /// Objective value at `x`.
+    fn objective_at(&self, x: &[f64]) -> f64;
+    /// Solves the equality-constrained subproblem at `x` for the working
+    /// set, leaving `[p; multipliers]` in `sol` (multipliers ordered
+    /// equalities first, then `working` in order).
+    fn kkt_step(&mut self, x: &[f64], working: &[usize], sol: &mut Vec<f64>) -> Result<()>;
+    /// Called once after warm-start seeding, before the first iteration.
+    fn begin(&mut self, _working: &[usize]) {}
+    /// Called after a blocking constraint was pushed onto `working`.
+    fn on_add(&mut self, _working: &[usize]) {}
+    /// Called after the entry at position `pos` was removed from `working`.
+    fn on_remove(&mut self, _working: &[usize], _pos: usize) {}
+    /// Called after a degenerate-KKT recovery popped the last entry.
+    fn on_pop(&mut self, _working: &[usize]) {}
+}
+
+/// Core active-set loop from a feasible `x0`, with the working set seeded
+/// from `seed` (invalid or inactive entries are skipped).
+///
+/// `working` and `sol` are caller-owned scratch so workspaces can recycle
+/// them across solves.
+pub(crate) fn solve_from_feasible<O: ActiveSetOps>(
+    ops: &mut O,
+    x0: &[f64],
+    seed: &[usize],
+    working: &mut Vec<usize>,
+    sol: &mut Vec<f64>,
+) -> Result<QpSolution> {
+    let n = ops.num_vars();
+    let mut x = x0.to_vec();
+    working.clear();
+    // Membership mask mirroring `working` — the ratio test consults it once
+    // per inequality per iteration, where a linear scan of the working set
+    // would cost O(m·num_in) per iteration.
+    let mut in_working = vec![false; ops.num_in()];
+    let scale = 1.0 + vec_ops::norm_inf(x0);
+    for &i in seed {
+        // Keep the KKT system square-solvable: never seed more working
+        // constraints than free directions.
+        if ops.num_eq() + working.len() >= n {
+            break;
+        }
+        if i < ops.num_in()
+            && !in_working[i]
+            && (ops.in_dot(i, x0) - ops.in_rhs(i)).abs() <= WARM_TOL * scale
+        {
+            working.push(i);
+            in_working[i] = true;
+        }
+    }
+    ops.begin(working);
+    let mut iterations = 0;
+    let mut degenerate_streak = 0usize;
+    let budget = ops.iteration_budget();
+
+    loop {
+        if iterations >= budget {
+            return Err(Error::IterationLimit { iterations: budget });
+        }
+        iterations += 1;
+        match ops.kkt_step(&x, working, sol) {
+            Ok(()) => {}
+            Err(Error::Numerical(_)) if !working.is_empty() => {
+                // Degenerate working set — drop the most recent addition.
+                let dropped = working.pop().expect("non-empty");
+                in_working[dropped] = false;
+                ops.on_pop(working);
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let (p, mult) = sol.split_at(n);
+
+        // Stationarity is judged relative to the iterate's scale: with
+        // workload-sized variables (O(1e4)) a step of 1e-8 is numerical
+        // noise, not progress.
+        let p_norm = vec_ops::norm_inf(p);
+        let x_scale = TOL * (1.0 + vec_ops::norm_inf(&x));
+        if p_norm < x_scale {
+            // Multipliers of working inequality constraints live after
+            // the equality multipliers. Normally drop the *most
+            // negative* multiplier (Dantzig's rule — converges in few
+            // iterations); after a streak of degenerate zero-length
+            // steps, switch to Bland's smallest-constraint-index rule,
+            // which cannot cycle. Pure Bland is safe but walks the
+            // working set essentially one index at a time, which on a
+            // large warm-started transient costs thousands of
+            // refactorizations.
+            let ineq_mult = &mult[ops.num_eq()..];
+            let candidates = ineq_mult.iter().enumerate().filter(|(_, &m)| m < -TOL);
+            let worst = if degenerate_streak < DEGENERATE_PATIENCE {
+                candidates.min_by(|a, b| a.1.partial_cmp(b.1).expect("multipliers are finite"))
+            } else {
+                candidates.min_by_key(|&(k, _)| working[k])
+            };
+            match worst {
+                None => {
+                    let objective = ops.objective_at(&x);
+                    working.sort_unstable();
+                    return Ok(QpSolution::from_parts(
+                        x,
+                        objective,
+                        iterations,
+                        working.clone(),
+                    ));
+                }
+                Some((idx, _)) => {
+                    in_working[working.remove(idx)] = false;
+                    ops.on_remove(working, idx);
+                }
+            }
+        } else {
+            // Ratio test against inactive inequality constraints.
+            let mut alpha = 1.0;
+            let mut blocking = None;
+            for i in 0..ops.num_in() {
+                if in_working[i] {
+                    continue;
+                }
+                let ap = ops.in_dot(i, p);
+                if ap > TOL {
+                    let slack = ops.in_rhs(i) - ops.in_dot(i, &x);
+                    let ai = (slack / ap).max(0.0);
+                    if ai < alpha {
+                        alpha = ai;
+                        blocking = Some(i);
+                    }
+                }
+            }
+            // A blocked step whose *displacement* is negligible at the
+            // iterate's scale means a degenerate vertex — the only
+            // place Dantzig's rule can cycle.
+            if alpha * p_norm <= x_scale && blocking.is_some() {
+                degenerate_streak += 1;
+            } else {
+                degenerate_streak = 0;
+            }
+            vec_ops::axpy(alpha, p, &mut x);
+            if let Some(i) = blocking {
+                working.push(i);
+                in_working[i] = true;
+                ops.on_add(working);
+            }
+        }
+    }
+}

@@ -37,6 +37,8 @@
 
 #![warn(missing_docs)]
 
+mod active_set;
+pub mod banded_qp;
 mod error;
 pub mod linprog;
 pub mod lsq;

@@ -79,7 +79,24 @@ impl LinearProgram {
         self.c.len()
     }
 
+    /// Mutable view of the objective coefficients, for re-pricing a built
+    /// program in place (e.g. new electricity prices on an unchanged
+    /// constraint structure) without reallocating constraint rows.
+    pub fn cost_mut(&mut self) -> &mut [f64] {
+        &mut self.c
+    }
+
+    /// Mutable view of the equality right-hand sides, in the order the
+    /// constraints were added — lets a caller update demand values (e.g.
+    /// new portal workloads) on an unchanged constraint structure.
+    pub fn eq_rhs_mut(&mut self) -> &mut [f64] {
+        &mut self.b_eq
+    }
+
     /// Solves the program with the two-phase simplex method.
+    ///
+    /// Allocates a fresh [`LpWorkspace`] per call; repeated solvers should
+    /// hold one and use [`LinearProgram::solve_with`].
     ///
     /// # Errors
     ///
@@ -89,6 +106,24 @@ impl LinearProgram {
     /// * [`Error::Unbounded`] if the objective decreases without bound.
     /// * [`Error::IterationLimit`] on (pathological) failure to terminate.
     pub fn solve(&self) -> Result<LpSolution> {
+        self.solve_with(&mut LpWorkspace::new())
+    }
+
+    /// Solves the program reusing `ws` for all tableau storage.
+    ///
+    /// The workspace grows to the largest problem it has seen and is
+    /// reset (not reallocated) on each call, so a per-step LP — like the
+    /// eq. 46 control reference — performs no heap allocation for the
+    /// simplex itself once the workspace is warm. The workspace carries no
+    /// numerical state between calls; `solve_with` and [`solve`] return
+    /// identical solutions.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`solve`].
+    ///
+    /// [`solve`]: LinearProgram::solve
+    pub fn solve_with(&self, ws: &mut LpWorkspace) -> Result<LpSolution> {
         let n = self.c.len();
         for (i, row) in self.a_eq.iter().chain(&self.a_ub).enumerate() {
             if row.len() != n {
@@ -100,7 +135,34 @@ impl LinearProgram {
                 });
             }
         }
-        Tableau::new(self).solve()
+        Tableau::new(self, ws).solve()
+    }
+}
+
+/// Reusable storage for the simplex tableau.
+///
+/// Holds the dense `(m + 1) × (total + 1)` tableau, the basis bookkeeping
+/// and a pivot-row scratch buffer. A workspace can be reused across
+/// programs of any (possibly different) size — each
+/// [`LinearProgram::solve_with`] call resizes and re-initializes it, so
+/// steady-state repeated solves allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct LpWorkspace {
+    /// Row-major `(m + 1) × stride` tableau; last row is the reduced-cost
+    /// row, last column of each row the RHS.
+    t: Vec<f64>,
+    /// Index of the basic variable of each constraint row.
+    basis: Vec<usize>,
+    /// Rows whose sign was flipped to normalize the RHS (flips the dual).
+    negated: Vec<bool>,
+    /// Scratch copy of the pivot row during elimination.
+    pivot_row: Vec<f64>,
+}
+
+impl LpWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        LpWorkspace::default()
     }
 }
 
@@ -143,69 +205,73 @@ impl LpSolution {
     }
 }
 
-/// Dense simplex tableau.
+/// Dense simplex tableau over workspace-owned flat storage.
 ///
 /// Columns: `n` structural variables, `m_ub` slacks, `m` artificials, RHS.
 /// Every row receives an artificial so the phase-1 basis is trivially the
-/// artificial block.
-struct Tableau {
-    /// `(m + 1) × (total + 1)` matrix; last row is the reduced-cost row,
-    /// last column the RHS.
-    t: Vec<Vec<f64>>,
-    /// Index of the basic variable of each constraint row.
-    basis: Vec<usize>,
+/// artificial block. All mutable state lives in the borrowed
+/// [`LpWorkspace`]; the tableau itself only carries dimensions.
+struct Tableau<'a> {
+    ws: &'a mut LpWorkspace,
     n: usize,
     n_slack: usize,
     m: usize,
     /// Number of equality rows (they precede the inequality rows).
     m_eq: usize,
-    /// Rows whose sign was flipped to normalize the RHS (flips the dual).
-    negated: Vec<bool>,
-    c: Vec<f64>,
+    /// Row length of the flat tableau: `total_cols() + 1` (RHS column).
+    stride: usize,
+    c: &'a [f64],
 }
 
-impl Tableau {
-    fn new(lp: &LinearProgram) -> Self {
+impl<'a> Tableau<'a> {
+    fn new(lp: &'a LinearProgram, ws: &'a mut LpWorkspace) -> Self {
         let n = lp.c.len();
         let m_eq = lp.a_eq.len();
         let m_ub = lp.a_ub.len();
         let m = m_eq + m_ub;
         let total = n + m_ub + m; // structural + slack + artificial
-        let mut t = vec![vec![0.0; total + 1]; m + 1];
+        let stride = total + 1;
+
+        // clear + resize reuses capacity and zero-fills in one pass.
+        ws.t.clear();
+        ws.t.resize((m + 1) * stride, 0.0);
+        ws.pivot_row.clear();
+        ws.pivot_row.resize(stride, 0.0);
 
         // Equality rows first, then inequality rows with slacks.
         for (i, (row, &rhs)) in lp.a_eq.iter().zip(&lp.b_eq).enumerate() {
-            t[i][..n].copy_from_slice(row);
-            t[i][total] = rhs;
+            ws.t[i * stride..i * stride + n].copy_from_slice(row);
+            ws.t[i * stride + total] = rhs;
         }
         for (k, (row, &rhs)) in lp.a_ub.iter().zip(&lp.b_ub).enumerate() {
             let i = m_eq + k;
-            t[i][..n].copy_from_slice(row);
-            t[i][n + k] = 1.0;
-            t[i][total] = rhs;
+            ws.t[i * stride..i * stride + n].copy_from_slice(row);
+            ws.t[i * stride + n + k] = 1.0;
+            ws.t[i * stride + total] = rhs;
         }
         // Normalize RHS signs, then install artificials as the basis.
-        let mut negated = vec![false; m];
+        ws.negated.clear();
+        ws.negated.resize(m, false);
         for i in 0..m {
-            if t[i][total] < 0.0 {
-                for v in t[i].iter_mut() {
+            if ws.t[i * stride + total] < 0.0 {
+                for v in &mut ws.t[i * stride..(i + 1) * stride] {
                     *v = -*v;
                 }
-                negated[i] = true;
+                ws.negated[i] = true;
             }
-            t[i][n + m_ub + i] = 1.0;
+            ws.t[i * stride + n + m_ub + i] = 1.0;
         }
-        let basis: Vec<usize> = (0..m).map(|i| n + m_ub + i).collect();
+        ws.basis.clear();
+        ws.basis.extend((0..m).map(|i| n + m_ub + i));
 
         Tableau {
-            t,
-            basis,
+            ws,
             n,
             n_slack: m_ub,
             m,
             m_eq,
-            negated,
-            c: lp.c.clone(),
+            stride,
+            c: &lp.c,
         }
     }
 
@@ -213,27 +279,37 @@ impl Tableau {
         self.n + self.n_slack + self.m
     }
 
+    /// Subtracts `coeff ×` constraint row `i` from the reduced-cost row.
+    /// The objective row is the last one, so a `split_at_mut` keeps the
+    /// borrows disjoint without copying the source row.
+    fn eliminate_from_objective(&mut self, i: usize, coeff: f64) {
+        let stride = self.stride;
+        let (rows, obj) = self.ws.t.split_at_mut(self.m * stride);
+        let row = &rows[i * stride..(i + 1) * stride];
+        for (o, &r) in obj.iter_mut().zip(row) {
+            *o -= coeff * r;
+        }
+    }
+
     fn solve(mut self) -> Result<LpSolution> {
         let total = self.total_cols();
-        let obj_row = self.m;
+        let stride = self.stride;
+        let ob = self.m * stride; // objective-row offset
 
         // ---- Phase 1: minimize the sum of artificials. ----
         // Reduced costs: 1 on artificials, 0 elsewhere, then eliminate the
         // basic (artificial) columns by subtracting each constraint row.
-        for j in 0..=total {
-            self.t[obj_row][j] = 0.0;
+        for v in &mut self.ws.t[ob..ob + stride] {
+            *v = 0.0;
         }
         for a in 0..self.m {
-            self.t[obj_row][self.n + self.n_slack + a] = 1.0;
+            self.ws.t[ob + self.n + self.n_slack + a] = 1.0;
         }
         for i in 0..self.m {
-            let row = self.t[i].clone();
-            for j in 0..=total {
-                self.t[obj_row][j] -= row[j];
-            }
+            self.eliminate_from_objective(i, 1.0);
         }
         self.run_simplex(total)?;
-        let phase1_obj = -self.t[obj_row][total];
+        let phase1_obj = -self.ws.t[ob + total];
         if phase1_obj > 1e-7 {
             return Err(Error::Infeasible);
         }
@@ -241,29 +317,26 @@ impl Tableau {
 
         // ---- Phase 2: original objective, artificial columns frozen. ----
         let usable = self.n + self.n_slack;
-        for j in 0..=total {
-            self.t[obj_row][j] = 0.0;
+        for v in &mut self.ws.t[ob..ob + stride] {
+            *v = 0.0;
         }
         for j in 0..self.n {
-            self.t[obj_row][j] = self.c[j];
+            self.ws.t[ob + j] = self.c[j];
         }
         for i in 0..self.m {
-            let b = self.basis[i];
-            let coeff = self.t[obj_row][b];
+            let b = self.ws.basis[i];
+            let coeff = self.ws.t[ob + b];
             if coeff != 0.0 {
-                let row = self.t[i].clone();
-                for j in 0..=total {
-                    self.t[obj_row][j] -= coeff * row[j];
-                }
+                self.eliminate_from_objective(i, coeff);
             }
         }
         self.run_simplex(usable)?;
 
         // Extract solution.
         let mut x = vec![0.0; self.n];
-        for (i, &b) in self.basis.iter().enumerate() {
+        for (i, &b) in self.ws.basis.iter().enumerate() {
             if b < self.n {
-                x[b] = self.t[i][total];
+                x[b] = self.ws.t[i * stride + total];
             }
         }
         let objective = self.c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum();
@@ -277,8 +350,8 @@ impl Tableau {
         let art_start = self.n + self.n_slack;
         let duals_eq: Vec<f64> = (0..self.m_eq)
             .map(|i| {
-                let y = -self.t[obj_row][art_start + i];
-                if self.negated[i] {
+                let y = -self.ws.t[ob + art_start + i];
+                if self.ws.negated[i] {
                     -y
                 } else {
                     y
@@ -286,7 +359,7 @@ impl Tableau {
             })
             .collect();
         let duals_ub: Vec<f64> = (0..self.n_slack)
-            .map(|k| -self.t[obj_row][self.n + k])
+            .map(|k| -self.ws.t[ob + self.n + k])
             .collect();
         Ok(LpSolution {
             x,
@@ -299,24 +372,25 @@ impl Tableau {
     /// Runs simplex iterations allowing entering columns `< allowed_cols`.
     fn run_simplex(&mut self, allowed_cols: usize) -> Result<()> {
         let total = self.total_cols();
-        let obj_row = self.m;
+        let stride = self.stride;
+        let ob = self.m * stride;
         // Generous cap: Bland's rule terminates, this guards NaN poisoning.
         let max_iter = 50 * (self.m + allowed_cols + 10);
         for _ in 0..max_iter {
             // Bland: entering = smallest index with negative reduced cost.
-            let Some(enter) = (0..allowed_cols).find(|&j| self.t[obj_row][j] < -TOL) else {
+            let Some(enter) = (0..allowed_cols).find(|&j| self.ws.t[ob + j] < -TOL) else {
                 return Ok(());
             };
             // Ratio test; Bland tie-break on smallest basis index.
             let mut leave: Option<usize> = None;
             let mut best = f64::INFINITY;
             for i in 0..self.m {
-                let a = self.t[i][enter];
+                let a = self.ws.t[i * stride + enter];
                 if a > TOL {
-                    let ratio = self.t[i][total] / a;
+                    let ratio = self.ws.t[i * stride + total] / a;
                     let better = ratio < best - TOL
                         || (ratio < best + TOL
-                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]));
+                            && leave.is_some_and(|l| self.ws.basis[i] < self.ws.basis[l]));
                     if better {
                         best = ratio;
                         leave = Some(i);
@@ -335,25 +409,30 @@ impl Tableau {
 
     /// Pivots so column `enter` becomes basic in row `leave`.
     fn pivot(&mut self, leave: usize, enter: usize) {
-        let total = self.total_cols();
-        let pivot = self.t[leave][enter];
-        for v in self.t[leave].iter_mut() {
+        let stride = self.stride;
+        let ws = &mut *self.ws;
+        let ps = leave * stride;
+        let pivot = ws.t[ps + enter];
+        for v in &mut ws.t[ps..ps + stride] {
             *v /= pivot;
         }
-        let pivot_row = self.t[leave].clone();
+        // Stash the normalized pivot row in the scratch buffer so the
+        // elimination below can borrow every other row mutably.
+        ws.pivot_row.copy_from_slice(&ws.t[ps..ps + stride]);
         for i in 0..=self.m {
             if i == leave {
                 continue;
             }
-            let factor = self.t[i][enter];
+            let rs = i * stride;
+            let factor = ws.t[rs + enter];
             if factor == 0.0 {
                 continue;
             }
-            for j in 0..=total {
-                self.t[i][j] -= factor * pivot_row[j];
+            for (v, &p) in ws.t[rs..rs + stride].iter_mut().zip(&ws.pivot_row) {
+                *v -= factor * p;
             }
         }
-        self.basis[leave] = enter;
+        ws.basis[leave] = enter;
     }
 
     /// After phase 1, pivots any artificial still basic (at value 0) out of
@@ -363,8 +442,10 @@ impl Tableau {
     fn evict_basic_artificials(&mut self) {
         let art_start = self.n + self.n_slack;
         for i in 0..self.m {
-            if self.basis[i] >= art_start {
-                if let Some(j) = (0..art_start).find(|&j| self.t[i][j].abs() > TOL) {
+            if self.ws.basis[i] >= art_start {
+                if let Some(j) =
+                    (0..art_start).find(|&j| self.ws.t[i * self.stride + j].abs() > TOL)
+                {
                     self.pivot(i, j);
                 }
             }
@@ -563,6 +644,72 @@ mod tests {
         let sol = LinearProgram::minimize(vec![]).solve().unwrap();
         assert!(sol.x().is_empty());
         assert_eq!(sol.objective(), 0.0);
+    }
+
+    #[test]
+    fn workspace_reuse_across_different_shapes_matches_fresh_solves() {
+        let mut ws = LpWorkspace::new();
+        let big = LinearProgram::minimize(vec![1.0, 3.0, 1.0, 3.0])
+            .equality(vec![1.0, 1.0, 0.0, 0.0], 10.0)
+            .equality(vec![0.0, 0.0, 1.0, 1.0], 20.0)
+            .inequality(vec![1.0, 0.0, 1.0, 0.0], 12.0);
+        let small = LinearProgram::minimize(vec![-3.0, -5.0])
+            .inequality(vec![1.0, 0.0], 4.0)
+            .inequality(vec![0.0, 2.0], 12.0)
+            .inequality(vec![3.0, 2.0], 18.0);
+        // Interleave sizes both ways: a stale tableau from a *larger*
+        // problem must not leak into a smaller one and vice versa.
+        for _ in 0..3 {
+            let a = big.solve_with(&mut ws).unwrap();
+            assert_eq!(a, big.solve().unwrap());
+            let b = small.solve_with(&mut ws).unwrap();
+            assert_eq!(b, small.solve().unwrap());
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_preserves_error_reporting() {
+        let mut ws = LpWorkspace::new();
+        // A successful solve first, then an infeasible and an unbounded one
+        // through the same workspace.
+        LinearProgram::minimize(vec![1.0])
+            .equality(vec![1.0], 3.0)
+            .solve_with(&mut ws)
+            .unwrap();
+        let infeasible = LinearProgram::minimize(vec![1.0])
+            .equality(vec![1.0], 5.0)
+            .inequality(vec![1.0], 2.0)
+            .solve_with(&mut ws);
+        assert!(matches!(infeasible, Err(Error::Infeasible)));
+        let unbounded = LinearProgram::minimize(vec![-1.0]).solve_with(&mut ws);
+        assert!(matches!(unbounded, Err(Error::Unbounded)));
+        // And the workspace still produces correct solutions afterwards.
+        let sol = LinearProgram::minimize(vec![2.0, 1.0])
+            .equality(vec![1.0, 1.0], 5.0)
+            .solve_with(&mut ws)
+            .unwrap();
+        assert_near(sol.objective(), 5.0);
+    }
+
+    #[test]
+    fn in_place_repricing_matches_rebuilt_program() {
+        // Same constraint structure, new costs and demands — the pattern
+        // the control reference uses every step.
+        let mut lp = LinearProgram::minimize(vec![1.0, 3.0])
+            .equality(vec![1.0, 1.0], 10.0)
+            .inequality(vec![1.0, 0.0], 6.0);
+        let mut ws = LpWorkspace::new();
+        lp.solve_with(&mut ws).unwrap();
+        lp.cost_mut().copy_from_slice(&[4.0, 2.0]);
+        lp.eq_rhs_mut()[0] = 8.0;
+        let reused = lp.solve_with(&mut ws).unwrap();
+        let fresh = LinearProgram::minimize(vec![4.0, 2.0])
+            .equality(vec![1.0, 1.0], 8.0)
+            .inequality(vec![1.0, 0.0], 6.0)
+            .solve()
+            .unwrap();
+        assert_eq!(reused, fresh);
+        assert_near(reused.objective(), 16.0);
     }
 
     #[test]

@@ -22,20 +22,9 @@
 
 use idc_linalg::{lu::Lu, vec_ops, Matrix};
 
+use crate::active_set::{self, ActiveSetOps, WARM_TOL};
 use crate::linprog::LinearProgram;
 use crate::{Error, Result};
-
-/// Feasibility/optimality tolerance.
-const TOL: f64 = 1e-8;
-
-/// Tolerance used to accept caller-supplied starting points and to decide
-/// which seeded constraints are still active at a warm-start point.
-const WARM_TOL: f64 = 1e-6;
-
-/// Consecutive degenerate (zero-length, blocked) steps tolerated before the
-/// drop rule switches from Dantzig's most-negative multiplier to Bland's
-/// anti-cycling smallest index.
-const DEGENERATE_PATIENCE: usize = 12;
 
 /// Reusable scratch memory for [`QuadraticProgram`] solves.
 ///
@@ -421,134 +410,40 @@ impl QuadraticProgram {
         Ok((0..n).map(|i| z[i] - z[n + i]).collect())
     }
 
-    /// Core active-set loop from a feasible `x0`, with the working set
-    /// seeded from `seed` (invalid or inactive entries are skipped).
+    /// Core active-set loop from a feasible `x0`, delegated to the shared
+    /// [`active_set`] driver with this problem's dense KKT backend.
     fn solve_from_feasible(
         &self,
         x0: &[f64],
         seed: &[usize],
         ws: &mut QpWorkspace,
     ) -> Result<QpSolution> {
-        let n = self.num_vars();
-        let mut x = x0.to_vec();
-        // Working set: indices into a_in. Equalities are always active.
-        // Taken out of the workspace so the KKT scratch can be borrowed
-        // mutably alongside it; restored before returning.
+        // Working set and solution buffers are taken out of the workspace so
+        // the KKT scratch can be borrowed mutably alongside them; restored
+        // before returning.
         let mut working = std::mem::take(&mut ws.working);
-        working.clear();
-        let scale = 1.0 + vec_ops::norm_inf(x0);
-        for &i in seed {
-            // Keep the KKT system square-solvable: never seed more working
-            // constraints than free directions.
-            if self.a_eq.len() + working.len() >= n {
-                break;
-            }
-            if i < self.a_in.len()
-                && !working.contains(&i)
-                && (vec_ops::dot(&self.a_in[i], x0) - self.b_in[i]).abs() <= WARM_TOL * scale
-            {
-                working.push(i);
-            }
-        }
-        let mut iterations = 0;
-        let mut degenerate_streak = 0usize;
-        let budget = self.iteration_budget();
-
-        let result = loop {
-            if iterations >= budget {
-                break Err(Error::IterationLimit { iterations: budget });
-            }
-            iterations += 1;
-            match self.kkt_step(&x, &working, ws) {
-                Ok(()) => {}
-                Err(Error::Numerical(_)) if !working.is_empty() => {
-                    // Degenerate working set — drop the most recent addition.
-                    working.pop();
-                    continue;
-                }
-                Err(e) => break Err(e),
-            }
-            let (p, mult) = ws.sol.split_at(n);
-
-            // Stationarity is judged relative to the iterate's scale: with
-            // workload-sized variables (O(1e4)) a step of 1e-8 is numerical
-            // noise, not progress.
-            let p_norm = vec_ops::norm_inf(p);
-            let x_scale = TOL * (1.0 + vec_ops::norm_inf(&x));
-            if p_norm < x_scale {
-                // Multipliers of working inequality constraints live after
-                // the equality multipliers. Normally drop the *most
-                // negative* multiplier (Dantzig's rule — converges in few
-                // iterations); after a streak of degenerate zero-length
-                // steps, switch to Bland's smallest-constraint-index rule,
-                // which cannot cycle. Pure Bland is safe but walks the
-                // working set essentially one index at a time, which on a
-                // large warm-started transient costs thousands of
-                // refactorizations.
-                let ineq_mult = &mult[self.a_eq.len()..];
-                let candidates = ineq_mult.iter().enumerate().filter(|(_, &m)| m < -TOL);
-                let worst = if degenerate_streak < DEGENERATE_PATIENCE {
-                    candidates.min_by(|a, b| a.1.partial_cmp(b.1).expect("multipliers are finite"))
-                } else {
-                    candidates.min_by_key(|&(k, _)| working[k])
-                };
-                match worst {
-                    None => {
-                        let objective = self.objective_at(&x);
-                        working.sort_unstable();
-                        break Ok(QpSolution {
-                            x,
-                            objective,
-                            iterations,
-                            active_set: working.clone(),
-                        });
-                    }
-                    Some((idx, _)) => {
-                        working.remove(idx);
-                    }
-                }
-            } else {
-                // Ratio test against inactive inequality constraints.
-                let mut alpha = 1.0;
-                let mut blocking = None;
-                for (i, (row, &b)) in self.a_in.iter().zip(&self.b_in).enumerate() {
-                    if working.contains(&i) {
-                        continue;
-                    }
-                    let ap = vec_ops::dot(row, p);
-                    if ap > TOL {
-                        let slack = b - vec_ops::dot(row, &x);
-                        let ai = (slack / ap).max(0.0);
-                        if ai < alpha {
-                            alpha = ai;
-                            blocking = Some(i);
-                        }
-                    }
-                }
-                // A blocked step whose *displacement* is negligible at the
-                // iterate's scale means a degenerate vertex — the only
-                // place Dantzig's rule can cycle.
-                if alpha * p_norm <= x_scale && blocking.is_some() {
-                    degenerate_streak += 1;
-                } else {
-                    degenerate_streak = 0;
-                }
-                vec_ops::axpy(alpha, p, &mut x);
-                if let Some(i) = blocking {
-                    working.push(i);
-                }
-            }
+        let mut sol = std::mem::take(&mut ws.sol);
+        let result = {
+            let mut ops = DenseOps { qp: self, ws };
+            active_set::solve_from_feasible(&mut ops, x0, seed, &mut working, &mut sol)
         };
         ws.working = working;
+        ws.sol = sol;
         result
     }
 
     /// Solves the equality-constrained subproblem at `x` for the working
-    /// set, leaving `[p; multipliers]` in `ws.sol`. Allocation-free once
+    /// set, leaving `[p; multipliers]` in `sol`. Allocation-free once
     /// the workspace buffers have grown to the problem size.
-    fn kkt_step(&self, x: &[f64], working: &[usize], ws: &mut QpWorkspace) -> Result<()> {
+    fn kkt_step(
+        &self,
+        x: &[f64],
+        working: &[usize],
+        sol: &mut Vec<f64>,
+        ws: &mut QpWorkspace,
+    ) -> Result<()> {
         if self.kkt_cache.is_some() {
-            return self.kkt_step_prepared(x, working, ws);
+            return self.kkt_step_prepared(x, working, sol, ws);
         }
         let n = self.num_vars();
         let m = self.a_eq.len() + working.len();
@@ -581,7 +476,7 @@ impl QuadraticProgram {
             ws.rhs[i] = -(ws.hx[i] + self.g[i]);
         }
         ws.lu.refactor(kkt)?;
-        ws.lu.solve_into(&ws.rhs, &mut ws.sol)?;
+        ws.lu.solve_into(&ws.rhs, sol)?;
         Ok(())
     }
 
@@ -590,7 +485,13 @@ impl QuadraticProgram {
     /// solve `S_RR λ = A_R t` over the working rows `R`, and the step is
     /// `p = t − Y_R λ`. Only the `m × m` gather-and-factor of `S_RR`
     /// depends on the working set.
-    fn kkt_step_prepared(&self, x: &[f64], working: &[usize], ws: &mut QpWorkspace) -> Result<()> {
+    fn kkt_step_prepared(
+        &self,
+        x: &[f64],
+        working: &[usize],
+        sol: &mut Vec<f64>,
+        ws: &mut QpWorkspace,
+    ) -> Result<()> {
         let cache = self.kkt_cache.as_ref().expect("checked by caller");
         let n = self.num_vars();
         let me = self.a_eq.len();
@@ -600,9 +501,9 @@ impl QuadraticProgram {
         ws.rhs.clear();
         ws.rhs.extend((0..n).map(|i| -(ws.hx[i] + self.g[i])));
         cache.hfac.solve_into(&ws.rhs, &mut ws.t)?;
-        ws.sol.clear();
+        sol.clear();
         if m == 0 {
-            ws.sol.extend_from_slice(&ws.t);
+            sol.extend_from_slice(&ws.t);
             return Ok(());
         }
         // Gather the working-set block of S (row r of the working system is
@@ -657,9 +558,9 @@ impl QuadraticProgram {
             for (r, &l) in ws.lam.iter().enumerate() {
                 acc += yrow[scol(r)] * l;
             }
-            ws.sol.push(ws.t[i] - acc);
+            sol.push(ws.t[i] - acc);
         }
-        ws.sol.extend_from_slice(&ws.lam);
+        sol.extend_from_slice(&ws.lam);
         Ok(())
     }
 
@@ -667,6 +568,48 @@ impl QuadraticProgram {
     pub fn objective_at(&self, x: &[f64]) -> f64 {
         let hx = self.h.mul_vec(x).expect("validated dimensions");
         0.5 * vec_ops::dot(x, &hx) + vec_ops::dot(&self.g, x)
+    }
+}
+
+/// Dense backend for the shared [`active_set`] loop: every KKT step gathers
+/// and factors the working-set system from scratch, so no incremental state
+/// needs to be maintained and all `on_*` hooks are no-ops.
+struct DenseOps<'a> {
+    qp: &'a QuadraticProgram,
+    ws: &'a mut QpWorkspace,
+}
+
+impl ActiveSetOps for DenseOps<'_> {
+    fn num_vars(&self) -> usize {
+        self.qp.num_vars()
+    }
+
+    fn num_eq(&self) -> usize {
+        self.qp.a_eq.len()
+    }
+
+    fn num_in(&self) -> usize {
+        self.qp.a_in.len()
+    }
+
+    fn iteration_budget(&self) -> usize {
+        self.qp.iteration_budget()
+    }
+
+    fn in_dot(&self, i: usize, v: &[f64]) -> f64 {
+        vec_ops::dot(&self.qp.a_in[i], v)
+    }
+
+    fn in_rhs(&self, i: usize) -> f64 {
+        self.qp.b_in[i]
+    }
+
+    fn objective_at(&self, x: &[f64]) -> f64 {
+        self.qp.objective_at(x)
+    }
+
+    fn kkt_step(&mut self, x: &[f64], working: &[usize], sol: &mut Vec<f64>) -> Result<()> {
+        self.qp.kkt_step(x, working, sol, self.ws)
     }
 }
 
@@ -680,6 +623,21 @@ pub struct QpSolution {
 }
 
 impl QpSolution {
+    /// Assembles a solution from the shared active-set loop's results.
+    pub(crate) fn from_parts(
+        x: Vec<f64>,
+        objective: f64,
+        iterations: usize,
+        active_set: Vec<usize>,
+    ) -> Self {
+        QpSolution {
+            x,
+            objective,
+            iterations,
+            active_set,
+        }
+    }
+
     /// The optimal point.
     pub fn x(&self) -> &[f64] {
         &self.x
