@@ -268,6 +268,12 @@ struct AgreementRow {
     dense_cost: f64,
     banded_cost: f64,
     rel_diff: f64,
+    /// Step index where `rel_diff` was attained, with the two per-plan
+    /// costs at that step — so a gate failure names the offending solve,
+    /// not just the aggregate maximum.
+    worst_step: usize,
+    worst_dense_cost: f64,
+    worst_banded_cost: f64,
 }
 
 /// Run both backends in lockstep over a price-flip-shaped window: the
@@ -290,6 +296,7 @@ fn lockstep_agreement(n: usize, c: usize) -> AgreementRow {
             .sum()
     };
     let (mut dense_sum, mut banded_sum, mut max_rel) = (0.0f64, 0.0f64, 0.0f64);
+    let (mut worst_step, mut worst_dense, mut worst_banded) = (0usize, 0.0f64, 0.0f64);
     for step in 0..STEPS {
         let p = step_problem_at(n, c, prev.clone(), step >= FLIP_AT);
         let pd = dense.plan(&p).expect("dense backend feasible");
@@ -297,7 +304,13 @@ fn lockstep_agreement(n: usize, c: usize) -> AgreementRow {
         let (cd, cb) = (plan_cost(&pd), plan_cost(&pb));
         dense_sum += cd;
         banded_sum += cb;
-        max_rel = max_rel.max((cd - cb).abs() / cd.abs().max(1e-12));
+        let rel = (cd - cb).abs() / cd.abs().max(1e-12);
+        if rel > max_rel {
+            max_rel = rel;
+            worst_step = step;
+            worst_dense = cd;
+            worst_banded = cb;
+        }
         prev = pb.next_input().to_vec();
     }
     AgreementRow {
@@ -307,6 +320,9 @@ fn lockstep_agreement(n: usize, c: usize) -> AgreementRow {
         dense_cost: dense_sum,
         banded_cost: banded_sum,
         rel_diff: max_rel,
+        worst_step,
+        worst_dense_cost: worst_dense,
+        worst_banded_cost: worst_banded,
     }
 }
 
@@ -349,13 +365,27 @@ fn run_smoke() -> Result<(), idc_core::Error> {
     let a = lockstep_agreement(n, c);
     println!(
         "lockstep backend agreement over {} steps: dense {:.9} vs banded {:.9} \
-         (max step rel diff {:.3e})",
-        a.steps, a.dense_cost, a.banded_cost, a.rel_diff
+         (max step rel diff {:.3e} at step {})",
+        a.steps, a.dense_cost, a.banded_cost, a.rel_diff, a.worst_step
     );
     if a.rel_diff > AGREEMENT_TOL {
+        // Name the offending solve precisely: size, backend pair, step,
+        // and the two per-plan costs behind the relative difference.
         return Err(idc_core::Error::Config(format!(
-            "backend cost disagreement {:.3e} exceeds {AGREEMENT_TOL:.0e}",
-            a.rel_diff
+            "backend cost disagreement on the {}x{} case: {} vs {} differ by \
+             rel {:.3e} (> {AGREEMENT_TOL:.0e}) at step {} of {} — \
+             {} cost {:.12e} vs {} cost {:.12e}",
+            a.n,
+            a.c,
+            backend_label(SolverBackend::CondensedDense),
+            backend_label(SolverBackend::BandedRiccati),
+            a.rel_diff,
+            a.worst_step,
+            a.steps,
+            backend_label(SolverBackend::CondensedDense),
+            a.worst_dense_cost,
+            backend_label(SolverBackend::BandedRiccati),
+            a.worst_banded_cost,
         )));
     }
     println!("smoke OK");
@@ -409,8 +439,8 @@ fn main() -> Result<(), idc_core::Error> {
         let a = lockstep_agreement(n, c);
         println!(
             "  {:>2}×{:<2}: dense {:.9} vs banded {:.9} over {} steps \
-             (max step rel diff {:.3e})",
-            a.n, a.c, a.dense_cost, a.banded_cost, a.steps, a.rel_diff
+             (max step rel diff {:.3e} at step {})",
+            a.n, a.c, a.dense_cost, a.banded_cost, a.steps, a.rel_diff, a.worst_step
         );
         agree.push(a);
     }

@@ -1,0 +1,71 @@
+//! `fault_matrix` — the seeded fault-injection matrix as a CI gate.
+//!
+//! Runs every fault kind (price spike, hold-last-value dropout, amplified
+//! prediction error, forced solver failure) across a fixed seed set on the
+//! paper's smoothing scenario. Each cell is executed **twice** and the two
+//! trajectories compared field-for-field: a deterministic harness must
+//! reproduce byte-identically or the cell fails. Cells also fail on hard
+//! invariant violations; budget overshoot and fallback activations are
+//! reported, not gated. One timed row per cell.
+//!
+//! Run with: `cargo run --release -p idc-bench --bin fault_matrix`
+
+use std::time::Instant;
+
+use idc_core::scenario::smoothing_scenario;
+use idc_testkit::faults::{FaultKind, FaultPlan};
+
+const SEEDS: [u64; 3] = [7, 2012, 0xFEED];
+
+fn main() -> Result<(), idc_core::Error> {
+    let base = smoothing_scenario();
+    println!(
+        "## fault_matrix — {} kinds × {} seeds on '{}'",
+        FaultKind::ALL.len(),
+        SEEDS.len(),
+        base.name()
+    );
+    println!(
+        "{:<18} {:>8} {:>12} {:>6} {:>6} {:>10} {:>12} {:>9}",
+        "fault", "seed", "cost $", "soft", "hard", "fallbacks", "reproduced", "ms"
+    );
+    let mut failures = Vec::new();
+    for kind in FaultKind::ALL {
+        for seed in SEEDS {
+            let plan = FaultPlan::new(kind, seed);
+            let t = Instant::now();
+            let first = plan.run(&base)?;
+            let second = plan.run(&base)?;
+            let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+            let reproduced = first.result == second.result
+                && first.report.violations == second.report.violations
+                && first.fallback_steps == second.fallback_steps;
+            let hard = first.report.hard_violations();
+            let soft = first.report.violations.len() - hard;
+            println!(
+                "{:<18} {:>8} {:>12.2} {:>6} {:>6} {:>10} {:>12} {:>9.1}",
+                kind.label(),
+                seed,
+                first.result.total_cost(),
+                soft,
+                hard,
+                first.fallback_steps.len(),
+                if reproduced { "yes" } else { "NO" },
+                elapsed_ms
+            );
+            if !reproduced {
+                failures.push(format!("{kind}#{seed}: re-run diverged"));
+            }
+            if hard > 0 {
+                eprintln!("{}", first.report.render());
+                failures.push(format!("{kind}#{seed}: {hard} hard violation(s)"));
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("fault matrix OK");
+        Ok(())
+    } else {
+        Err(idc_core::Error::Config(failures.join("; ")))
+    }
+}

@@ -28,6 +28,7 @@ fn main() {
         "ext_hedging",
         "ext_green_energy",
         "ext_prediction_value",
+        "verify_invariants",
     ];
     let own = std::env::current_exe().expect("own path");
     thread::scope(|scope| {
@@ -37,7 +38,15 @@ fn main() {
             .iter()
             .map(|bin| {
                 let path = own.with_file_name(bin);
-                scope.spawn(move || Command::new(path).output())
+                scope.spawn(move || {
+                    let mut cmd = Command::new(path);
+                    if *bin == "verify_invariants" {
+                        // Wall-clock columns would break the byte-identical
+                        // combined-output guarantee.
+                        cmd.arg("--no-timing");
+                    }
+                    cmd.output()
+                })
             })
             .collect();
         // Print in launch order — completion order is scheduling noise.

@@ -7,7 +7,7 @@
 //!     [--policy mpc|optimal|lp|static] \
 //!     [--smoothing-weight <R>] [--tracking-weight <Q>] \
 //!     [--ramp <servers/step>] [--slow-period <k>] [--quiet] [--csv] \
-//!     [--sweep]
+//!     [--sweep] [--validate]
 //! ```
 //!
 //! Prints the per-IDC trajectories and summary statistics. With `--sweep`
@@ -15,6 +15,12 @@
 //! scenario — one simulation per worker thread, each with its own policy
 //! and an independently rebuilt scenario, results printed in grid order so
 //! the output is bit-for-bit identical to a sequential sweep.
+//!
+//! `--validate` records the full trajectory through the validating
+//! simulator and checks the testkit invariants (conservation, `λ ≥ 0`,
+//! latency, budget margin, cost consistency) on every run; the exit code
+//! is nonzero if a hard invariant is violated. Under `--sweep` each grid
+//! cell is annotated with its invariant status.
 
 use idc_control::mpc::MpcConfig;
 use idc_core::policy::{
@@ -26,13 +32,15 @@ use idc_core::scenario::{
     vicious_cycle_scenario, Scenario,
 };
 use idc_core::simulation::Simulator;
+use idc_testkit::invariants::{check_run, Tolerances};
 
 fn usage() -> ! {
     eprintln!(
         "usage: simulate [--scenario smoothing|peak|table2|vicious:<gamma>|diurnal:<seed>]\n\
          \x20               [--policy mpc|optimal|lp|static]\n\
          \x20               [--smoothing-weight R] [--tracking-weight Q]\n\
-         \x20               [--ramp N] [--slow-period K] [--quiet] [--csv] [--sweep]"
+         \x20               [--ramp N] [--slow-period K] [--quiet] [--csv] [--sweep]\n\
+         \x20               [--validate]"
     );
     std::process::exit(2);
 }
@@ -67,7 +75,12 @@ struct SweepCell {
 /// are deterministic in their seed, so every worker sees identical traces)
 /// and owns its policy outright; results are joined and printed in grid
 /// order, making the table bit-for-bit independent of thread scheduling.
-fn run_sweep(scenario_spec: &str, ramp: u64, slow_period: usize) -> Result<(), idc_core::Error> {
+fn run_sweep(
+    scenario_spec: &str,
+    ramp: u64,
+    slow_period: usize,
+    validate: bool,
+) -> Result<(), idc_core::Error> {
     const WEIGHTS: [f64; 4] = [0.25, 1.0, 4.0, 16.0];
     let grid: Vec<SweepCell> = ["static", "optimal", "lp"]
         .into_iter()
@@ -85,7 +98,7 @@ fn run_sweep(scenario_spec: &str, ramp: u64, slow_period: usize) -> Result<(), i
         let handles: Vec<_> = grid
             .iter()
             .map(|cell| {
-                scope.spawn(move || -> Result<String, idc_core::Error> {
+                scope.spawn(move || -> Result<(String, bool), idc_core::Error> {
                     let scenario = parse_scenario(scenario_spec).expect("validated by caller");
                     let mut policy: Box<dyn Policy> = match cell.policy {
                         "static" => Box::new(StaticProportionalPolicy::new()),
@@ -102,7 +115,27 @@ fn run_sweep(scenario_spec: &str, ramp: u64, slow_period: usize) -> Result<(), i
                             ..MpcPolicyConfig::default()
                         })?),
                     };
-                    let result = Simulator::new().run(&scenario, policy.as_mut())?;
+                    let simulator = if validate {
+                        Simulator::with_validation()
+                    } else {
+                        Simulator::new()
+                    };
+                    let result = simulator.run(&scenario, policy.as_mut())?;
+                    // Invariant annotation for the cell: "-" when not
+                    // validating, "ok" / "SOFT(k)" / "HARD(k)" otherwise.
+                    let (invariants, hard_ok) = if validate {
+                        let report = check_run(&scenario, &result, &Tolerances::default());
+                        let label = if report.is_clean() {
+                            "ok".to_string()
+                        } else if report.hard_clean() {
+                            format!("SOFT({})", report.violations.len())
+                        } else {
+                            format!("HARD({})", report.violations.len())
+                        };
+                        (label, report.hard_clean())
+                    } else {
+                        ("-".to_string(), true)
+                    };
                     let n = scenario.fleet().idcs().len();
                     let (mut vol, mut worst) = (0.0f64, 0.0f64);
                     for j in 0..n {
@@ -113,14 +146,18 @@ fn run_sweep(scenario_spec: &str, ramp: u64, slow_period: usize) -> Result<(), i
                     let weight = cell
                         .smoothing_weight
                         .map_or_else(|| "-".into(), |w| format!("{w}"));
-                    Ok(format!(
-                        "{:>8} {:>6} {:>12.2} {:>16.4} {:>14.3} {:>13.2}",
-                        cell.policy,
-                        weight,
-                        result.total_cost(),
-                        vol,
-                        worst,
-                        100.0 * result.latency_ok_fraction(),
+                    Ok((
+                        format!(
+                            "{:>8} {:>6} {:>12.2} {:>16.4} {:>14.3} {:>13.2} {:>10}",
+                            cell.policy,
+                            weight,
+                            result.total_cost(),
+                            vol,
+                            worst,
+                            100.0 * result.latency_ok_fraction(),
+                            invariants,
+                        ),
+                        hard_ok,
                     ))
                 })
             })
@@ -133,11 +170,19 @@ fn run_sweep(scenario_spec: &str, ramp: u64, slow_period: usize) -> Result<(), i
 
     println!("## sweep — scenario: {scenario_spec}");
     println!(
-        "{:>8} {:>6} {:>12} {:>16} {:>14} {:>13}",
-        "policy", "R", "cost $", "volatility MW", "worst jump MW", "latency ok %"
+        "{:>8} {:>6} {:>12} {:>16} {:>14} {:>13} {:>10}",
+        "policy", "R", "cost $", "volatility MW", "worst jump MW", "latency ok %", "invariants"
     );
+    let mut all_hard_ok = true;
     for row in rows {
-        println!("{}", row?);
+        let (line, hard_ok) = row?;
+        println!("{line}");
+        all_hard_ok &= hard_ok;
+    }
+    if !all_hard_ok {
+        return Err(idc_core::Error::Config(
+            "sweep cells violated hard invariants (see HARD(..) rows)".into(),
+        ));
     }
     Ok(())
 }
@@ -152,6 +197,7 @@ fn main() -> Result<(), idc_core::Error> {
     let mut quiet = false;
     let mut csv = false;
     let mut sweep = false;
+    let mut validate = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -181,6 +227,7 @@ fn main() -> Result<(), idc_core::Error> {
             "--quiet" => quiet = true,
             "--csv" => csv = true,
             "--sweep" => sweep = true,
+            "--validate" => validate = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -194,7 +241,7 @@ fn main() -> Result<(), idc_core::Error> {
         usage()
     };
     if sweep {
-        return run_sweep(&scenario_spec, ramp, slow_period);
+        return run_sweep(&scenario_spec, ramp, slow_period, validate);
     }
     let mut policy: Box<dyn Policy> = match policy_spec.as_str() {
         "mpc" => Box::new(MpcPolicy::new(MpcPolicyConfig {
@@ -213,7 +260,12 @@ fn main() -> Result<(), idc_core::Error> {
         }
     };
 
-    let result = Simulator::new().run(&scenario, policy.as_mut())?;
+    let simulator = if validate {
+        Simulator::with_validation()
+    } else {
+        Simulator::new()
+    };
+    let result = simulator.run(&scenario, policy.as_mut())?;
     let names: Vec<&str> = scenario.fleet().idcs().iter().map(|i| i.name()).collect();
     if csv {
         print!("{}", render_csv(&result, &names));
@@ -243,5 +295,15 @@ fn main() -> Result<(), idc_core::Error> {
         100.0 * result.latency_ok_fraction(),
         100.0 * result.shed_fraction()
     );
+    if validate {
+        let report = check_run(&scenario, &result, &Tolerances::default());
+        println!("{}", report.render());
+        if !report.hard_clean() {
+            return Err(idc_core::Error::Config(format!(
+                "hard invariant violations on scenario '{}'",
+                scenario.name()
+            )));
+        }
+    }
     Ok(())
 }

@@ -1,0 +1,107 @@
+//! `verify_invariants` — the testkit invariant sweep as a CI gate.
+//!
+//! Replays every scenario the repo ships under every closed-loop policy
+//! through the validating simulator, checks the paper's trajectory
+//! invariants (conservation eq. 9, `λij ≥ 0`, M/M/n latency, budget
+//! margin, accumulated-cost consistency), prints one timed row per cell,
+//! and exits nonzero if any *hard* invariant is violated. Budget overshoot
+//! is soft — MPC transients may briefly exceed `P_rb` — so it is reported
+//! (worst margin, MW) rather than gated on.
+//!
+//! Run with: `cargo run --release -p idc-bench --bin verify_invariants`
+//!
+//! `--no-timing` replaces the wall-clock columns with `-` so the output
+//! is byte-reproducible (used by `repro_all`, whose combined output must
+//! be identical across runs).
+
+use std::time::Instant;
+
+use idc_core::policy::{MpcPolicy, OptimalPolicy, Policy, ReferenceKind, StaticProportionalPolicy};
+use idc_core::scenario::{
+    diurnal_day_scenario, mmpp_hour_scenario, noisy_day_scenario, peak_shaving_scenario,
+    smoothing_scenario, smoothing_scenario_table_ii, vicious_cycle_scenario, Scenario,
+};
+use idc_core::simulation::Simulator;
+use idc_testkit::invariants::{check_run, Tolerances};
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        smoothing_scenario(),
+        peak_shaving_scenario(),
+        smoothing_scenario_table_ii(),
+        vicious_cycle_scenario(0.9),
+        noisy_day_scenario(2012),
+        diurnal_day_scenario(2012),
+        mmpp_hour_scenario(2012),
+    ]
+}
+
+fn policies(scenario: &Scenario) -> Vec<(&'static str, Box<dyn Policy>)> {
+    vec![
+        (
+            "mpc",
+            Box::new(MpcPolicy::paper_tuned(scenario).expect("mpc policy")) as Box<dyn Policy>,
+        ),
+        (
+            "optimal",
+            Box::new(OptimalPolicy::new(ReferenceKind::PriceGreedy)),
+        ),
+        ("lp", Box::new(OptimalPolicy::new(ReferenceKind::LpOptimal))),
+        ("static", Box::new(StaticProportionalPolicy::new())),
+    ]
+}
+
+fn main() -> Result<(), idc_core::Error> {
+    let timing = !std::env::args().any(|a| a == "--no-timing");
+    println!("## verify_invariants — invariant sweep, all scenarios × policies");
+    println!(
+        "{:<42} {:>8} {:>8} {:>6} {:>6} {:>16} {:>9}",
+        "scenario", "policy", "checks", "soft", "hard", "budget margin MW", "ms"
+    );
+    let mut hard_failures = Vec::new();
+    let total = Instant::now();
+    for scenario in scenarios() {
+        for (label, mut policy) in policies(&scenario) {
+            let t = Instant::now();
+            let result = Simulator::with_validation().run(&scenario, policy.as_mut())?;
+            let report = check_run(&scenario, &result, &Tolerances::default());
+            let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+            let soft = report.violations.len() - report.hard_violations();
+            let hard = report.hard_violations();
+            let margin = report
+                .worst_budget_margin_mw
+                .map_or_else(|| "-".into(), |(_, _, m)| format!("{m:+.4}"));
+            let ms = if timing {
+                format!("{elapsed_ms:.1}")
+            } else {
+                "-".into()
+            };
+            println!(
+                "{:<42} {:>8} {:>8} {:>6} {:>6} {:>16} {:>9}",
+                scenario.name(),
+                label,
+                report.checks,
+                soft,
+                hard,
+                margin,
+                ms
+            );
+            if hard > 0 {
+                eprintln!("{}", report.render());
+                hard_failures.push(format!("{} / {label}", scenario.name()));
+            }
+        }
+    }
+    if timing {
+        println!("sweep total: {:.1} ms", total.elapsed().as_secs_f64() * 1e3);
+    }
+    if hard_failures.is_empty() {
+        println!("invariant sweep OK");
+        Ok(())
+    } else {
+        Err(idc_core::Error::Config(format!(
+            "hard invariant violations in: {}",
+            hard_failures.join(", ")
+        )))
+    }
+}

@@ -652,6 +652,19 @@ impl MpcController {
         })
     }
 
+    /// Solves one step with *no* reuse of any kind: drops the cached
+    /// skeleton, factorizations and warm-start state first, so the returned
+    /// plan comes from a from-scratch solve. Differential oracles use this
+    /// as the production baseline that cannot have been helped by caching.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`plan`](Self::plan).
+    pub fn plan_cold(&mut self, problem: &MpcProblem) -> Result<MpcPlan> {
+        self.reset();
+        self.plan(problem)
+    }
+
     /// Rebuilds the cached QP skeleton when the problem structure changed.
     ///
     /// The cache key is everything `A`, `Q`, and the constraint rows

@@ -236,6 +236,16 @@ pub struct MpcPolicyConfig {
     /// the cold baseline for benchmarks and ablations. The plan itself is
     /// identical either way (the QP has a unique minimizer).
     pub solver_reuse: bool,
+    /// Steps at which the inner QP solve is *forced to fail* (as if the
+    /// solver hit its iteration limit): the policy must drop its cached
+    /// solver state and take the same graceful-degradation path as a real
+    /// infeasibility. Empty in production; populated by the testkit's
+    /// fault plans.
+    pub forced_failure_steps: Vec<usize>,
+    /// When `true`, every per-step [`MpcProblem`] the policy assembles is
+    /// kept in a log ([`MpcPolicy::recorded_problems`]) so differential
+    /// oracles can re-solve them offline. Off by default.
+    pub record_problems: bool,
 }
 
 impl Default for MpcPolicyConfig {
@@ -249,6 +259,8 @@ impl Default for MpcPolicyConfig {
             predictor_order: 3,
             anticipatory_reference: true,
             solver_reuse: true,
+            forced_failure_steps: Vec::new(),
+            record_problems: false,
         }
     }
 }
@@ -269,6 +281,11 @@ pub struct MpcPolicy {
     state: Option<(Vec<f64>, Vec<u64>)>,
     /// Total wall-clock nanoseconds spent inside [`Policy::decide`].
     decide_ns: u64,
+    /// Per-step problems kept when `config.record_problems` is on.
+    problem_log: Vec<MpcProblem>,
+    /// Steps at which the policy degraded to its fallback (real
+    /// infeasibility or injected solver failure).
+    fallback_steps: Vec<usize>,
 }
 
 impl MpcPolicy {
@@ -306,6 +323,8 @@ impl MpcPolicy {
             ref_solver: ReferenceSolver::new(),
             state: None,
             decide_ns: 0,
+            problem_log: Vec::new(),
+            fallback_steps: Vec::new(),
         })
     }
 
@@ -337,6 +356,20 @@ impl MpcPolicy {
     /// warm-/cold-solve counters after a run).
     pub fn controller(&self) -> &MpcController {
         &self.controller
+    }
+
+    /// The per-step [`MpcProblem`]s assembled during the run, recorded when
+    /// `config.record_problems` is set (empty otherwise). Differential
+    /// oracles replay these offline against independent solvers.
+    pub fn recorded_problems(&self) -> &[MpcProblem] {
+        &self.problem_log
+    }
+
+    /// Steps at which this policy degraded to its capacity-proportional
+    /// fallback, whether through a genuine infeasibility or an injected
+    /// solver failure.
+    pub fn fallback_steps(&self) -> &[usize] {
+        &self.fallback_steps
     }
 
     /// Per-phase wall-clock breakdown of the time spent in this policy so
@@ -610,6 +643,22 @@ impl MpcPolicy {
             power_reference_mw,
             tracking_multiplier,
         };
+        if self.config.record_problems {
+            self.problem_log.push(problem.clone());
+        }
+        if self.config.forced_failure_steps.contains(&ctx.step) {
+            // Injected solver failure: behave exactly like an iteration-limit
+            // abort — the cached solver state is suspect, so drop it (the
+            // next solve is cold) and degrade to the fallback split.
+            self.controller.reset();
+            self.fallback_steps.push(ctx.step);
+            let decision = self.fallback(ctx)?;
+            self.state = Some((
+                decision.allocation.to_control_vector(),
+                decision.servers_on.clone(),
+            ));
+            return Ok(decision);
+        }
         if !self.config.solver_reuse {
             self.controller.reset();
         }
@@ -625,6 +674,7 @@ impl MpcPolicy {
                 })
             }
             Err(idc_opt::Error::Infeasible) => {
+                self.fallback_steps.push(ctx.step);
                 let decision = self.fallback(ctx)?;
                 self.state = Some((
                     decision.allocation.to_control_vector(),

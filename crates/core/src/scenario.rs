@@ -1,6 +1,7 @@
 //! Canned experiment scenarios behind the paper's figures.
 
 use idc_datacenter::fleet::IdcFleet;
+use idc_market::fault::FaultyTracePricing;
 use idc_market::rtp::{DemandResponsivePricing, PricingModel, TracePricing};
 use idc_market::tariff::PowerBudget;
 use idc_timeseries::traces::DiurnalTrace;
@@ -15,6 +16,9 @@ pub enum PricingSpec {
     /// Traces plus a linear own-demand response (the vicious-cycle
     /// extension).
     DemandResponsive(DemandResponsivePricing),
+    /// Traces perturbed by a deterministic fault schedule (spikes and
+    /// hold-last-value dropouts) — the testkit's degraded-feed setting.
+    FaultyTrace(FaultyTracePricing),
 }
 
 impl PricingSpec {
@@ -23,6 +27,7 @@ impl PricingSpec {
         match self {
             PricingSpec::Trace(p) => p.prices(hour, own_loads_mw),
             PricingSpec::DemandResponsive(p) => p.prices(hour, own_loads_mw),
+            PricingSpec::FaultyTrace(p) => p.prices(hour, own_loads_mw),
         }
     }
 
@@ -31,6 +36,17 @@ impl PricingSpec {
         match self {
             PricingSpec::Trace(p) => p.num_regions(),
             PricingSpec::DemandResponsive(p) => p.num_regions(),
+            PricingSpec::FaultyTrace(p) => p.num_regions(),
+        }
+    }
+
+    /// The underlying demand-independent trace source, when there is one
+    /// (faulty and vicious-cycle pricing are built on top of traces).
+    pub fn base_trace(&self) -> Option<&TracePricing> {
+        match self {
+            PricingSpec::Trace(p) => Some(p),
+            PricingSpec::FaultyTrace(p) => Some(p.base()),
+            PricingSpec::DemandResponsive(_) => None,
         }
     }
 }
@@ -154,6 +170,23 @@ impl Scenario {
     pub fn with_workload_noise(mut self, relative_std: f64, seed: u64) -> Self {
         self.workload_noise_std = relative_std.max(0.0);
         self.seed = seed;
+        self
+    }
+
+    /// Replaces the price source (e.g. with a fault-injected one).
+    /// Returns `None` when the new source's region count differs from the
+    /// fleet's IDC count.
+    pub fn with_pricing(mut self, pricing: PricingSpec) -> Option<Self> {
+        if pricing.num_regions() != self.fleet.num_idcs() {
+            return None;
+        }
+        self.pricing = pricing;
+        Some(self)
+    }
+
+    /// Renames the scenario (fault plans tag perturbed variants this way).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
         self
     }
 

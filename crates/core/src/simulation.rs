@@ -39,6 +39,12 @@ pub struct SimulationResult {
     latency_ok_fraction: f64,
     /// Fraction of offered request-volume shed by admission control.
     shed_fraction: f64,
+    /// `[step][portal]` offered workloads after admission control
+    /// (recorded only by a validating simulator).
+    offered: Option<Vec<Vec<f64>>>,
+    /// `[step]` IDC-major flattened allocation vectors `λ_{ij}`
+    /// (recorded only by a validating simulator).
+    allocations: Option<Vec<Vec<f64>>>,
 }
 
 impl SimulationResult {
@@ -129,6 +135,24 @@ impl SimulationResult {
             .collect()
     }
 
+    /// Sampling period in hours.
+    pub fn ts_hours(&self) -> f64 {
+        self.ts_hours
+    }
+
+    /// Per-step post-admission offered portal workloads (req/s), recorded
+    /// only when the run used [`Simulator::with_validation`].
+    pub fn offered_workloads(&self) -> Option<&[Vec<f64>]> {
+        self.offered.as_deref()
+    }
+
+    /// Per-step IDC-major flattened allocation vectors `λ_{ij}` (entry
+    /// `j·c + i` is IDC `j`'s share of portal `i`), recorded only when the
+    /// run used [`Simulator::with_validation`].
+    pub fn allocations(&self) -> Option<&[Vec<f64>]> {
+        self.allocations.as_deref()
+    }
+
     /// Per-IDC fraction of steps strictly above `budget_mw[j]`.
     ///
     /// # Panics
@@ -147,12 +171,27 @@ impl SimulationResult {
 /// The simulator. Stateless; a single instance can run many
 /// (scenario, policy) pairs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Simulator;
+pub struct Simulator {
+    validate: bool,
+}
 
 impl Simulator {
     /// Creates a simulator.
     pub fn new() -> Self {
-        Simulator
+        Simulator { validate: false }
+    }
+
+    /// Creates a *validating* simulator: identical dynamics, but the
+    /// result additionally records the per-step offered workloads and full
+    /// allocation vectors so `idc-testkit`'s invariant checkers can audit
+    /// the trajectory post-hoc.
+    pub fn with_validation() -> Self {
+        Simulator { validate: true }
+    }
+
+    /// Whether this simulator records validation extras.
+    pub fn validates(&self) -> bool {
+        self.validate
     }
 
     /// Runs `policy` through `scenario` and records the trajectory.
@@ -192,6 +231,8 @@ impl Simulator {
         let mut times_min = Vec::with_capacity(steps);
         let mut cost_cumulative = Vec::with_capacity(steps);
         let mut cost = 0.0;
+        let mut offered_log = self.validate.then(|| Vec::with_capacity(steps));
+        let mut allocation_log = self.validate.then(|| Vec::with_capacity(steps));
         let mut latency_ok = 0usize;
         let mut last_power = vec![0.0; n];
         let mut offered_volume = 0.0;
@@ -256,6 +297,12 @@ impl Simulator {
             }
 
             // ---- Record. ----
+            if let Some(log) = offered_log.as_mut() {
+                log.push(offered.clone());
+            }
+            if let Some(log) = allocation_log.as_mut() {
+                log.push(decision.allocation.to_control_vector());
+            }
             let per_idc = fleet.per_idc_power_mw(&decision.servers_on, &decision.allocation);
             for j in 0..n {
                 power_mw[j].push(per_idc[j]);
@@ -294,6 +341,8 @@ impl Simulator {
             } else {
                 0.0
             },
+            offered: offered_log,
+            allocations: allocation_log,
         })
     }
 }

@@ -1,0 +1,285 @@
+//! Deterministic price-feed fault injection for verification runs.
+//!
+//! Real-time price feeds are the least reliable input of the control loop:
+//! LMP publications arrive late, are revised, or drop out entirely, and
+//! price-driven load control is known to misbehave exactly there (Pan et
+//! al., "When Market Prices Drive the Load"). [`FaultyTracePricing`] wraps
+//! a [`TracePricing`] source with a *deterministic* fault schedule so the
+//! testkit can replay degraded-feed scenarios bit-for-bit from a seed:
+//!
+//! * [`PriceFault::Spike`] — the published price is multiplied by a factor
+//!   inside a time window (a scarcity event or a bad tick),
+//! * [`PriceFault::Dropout`] — the feed goes silent inside a window and
+//!   consumers see the **last value published before the window started**
+//!   (hold-last-value semantics, the standard stale-feed failure mode).
+
+use crate::rtp::{PricingModel, TracePricing};
+
+/// One deterministic perturbation of a regional price feed.
+///
+/// Windows are expressed in hours of day and do not wrap midnight:
+/// a fault is active for `hour ∈ [start_hour, start_hour + duration_hours)`
+/// after reducing `hour` modulo 24.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PriceFault {
+    /// The published price for `region` is multiplied by `factor` while
+    /// the window is active.
+    Spike {
+        /// Region whose feed spikes.
+        region: usize,
+        /// Window start (hour of day, `[0, 24)`).
+        start_hour: f64,
+        /// Window length in hours.
+        duration_hours: f64,
+        /// Multiplicative factor applied to the published price.
+        factor: f64,
+    },
+    /// The feed for `region` goes silent while the window is active;
+    /// consumers keep seeing the value published at `start_hour`.
+    Dropout {
+        /// Region whose feed drops out.
+        region: usize,
+        /// Window start (hour of day, `[0, 24)`).
+        start_hour: f64,
+        /// Window length in hours.
+        duration_hours: f64,
+    },
+}
+
+impl PriceFault {
+    /// The region this fault perturbs.
+    pub fn region(&self) -> usize {
+        match *self {
+            PriceFault::Spike { region, .. } | PriceFault::Dropout { region, .. } => region,
+        }
+    }
+
+    fn window(&self) -> (f64, f64) {
+        match *self {
+            PriceFault::Spike {
+                start_hour,
+                duration_hours,
+                ..
+            }
+            | PriceFault::Dropout {
+                start_hour,
+                duration_hours,
+                ..
+            } => (start_hour, duration_hours),
+        }
+    }
+
+    /// Whether the fault is active at `hour` (reduced modulo 24).
+    pub fn active_at(&self, hour: f64) -> bool {
+        let h = hour.rem_euclid(24.0);
+        let (start, duration) = self.window();
+        h >= start && h < start + duration
+    }
+}
+
+/// Demand-independent trace pricing with a deterministic fault schedule
+/// applied on top.
+///
+/// Dropouts are applied first (they pick *which* published value the
+/// consumer sees), then spikes multiply whatever value survives — a spike
+/// during a dropout therefore scales the held value, matching a bad tick
+/// injected downstream of a stale cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultyTracePricing {
+    base: TracePricing,
+    faults: Vec<PriceFault>,
+}
+
+impl FaultyTracePricing {
+    /// Wraps `base` with `faults`. Returns `None` if any fault names a
+    /// region the base model does not price, has a non-positive or
+    /// non-finite window, or (for spikes) a negative or non-finite factor.
+    pub fn new(base: TracePricing, faults: Vec<PriceFault>) -> Option<Self> {
+        for fault in &faults {
+            if fault.region() >= base.num_regions() {
+                return None;
+            }
+            let (start, duration) = fault.window();
+            if !start.is_finite() || !(0.0..24.0).contains(&start) {
+                return None;
+            }
+            if !duration.is_finite() || duration <= 0.0 {
+                return None;
+            }
+            if let PriceFault::Spike { factor, .. } = fault {
+                if !factor.is_finite() || *factor < 0.0 {
+                    return None;
+                }
+            }
+        }
+        Some(FaultyTracePricing { base, faults })
+    }
+
+    /// The unperturbed trace source.
+    pub fn base(&self) -> &TracePricing {
+        &self.base
+    }
+
+    /// The fault schedule.
+    pub fn faults(&self) -> &[PriceFault] {
+        &self.faults
+    }
+}
+
+impl PricingModel for FaultyTracePricing {
+    fn price(&self, region: usize, hour: f64, own_load_mw: f64) -> f64 {
+        let h = hour.rem_euclid(24.0);
+        // Hold-last-value: an active dropout redirects the lookup to the
+        // instant the feed died.
+        let mut effective_hour = h;
+        for fault in &self.faults {
+            if let PriceFault::Dropout {
+                region: r,
+                start_hour,
+                ..
+            } = fault
+            {
+                if *r == region && fault.active_at(h) {
+                    effective_hour = *start_hour;
+                }
+            }
+        }
+        let mut price = self.base.price(region, effective_hour, own_load_mw);
+        for fault in &self.faults {
+            if let PriceFault::Spike {
+                region: r, factor, ..
+            } = fault
+            {
+                if *r == region && fault.active_at(h) {
+                    price *= factor;
+                }
+            }
+        }
+        price
+    }
+
+    fn num_regions(&self) -> usize {
+        self.base.num_regions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::miso_oct3_2011;
+
+    fn base() -> TracePricing {
+        TracePricing::new(miso_oct3_2011())
+    }
+
+    #[test]
+    fn spike_multiplies_inside_window_only() {
+        let faulty = FaultyTracePricing::new(
+            base(),
+            vec![PriceFault::Spike {
+                region: 0,
+                start_hour: 6.0,
+                duration_hours: 1.0,
+                factor: 3.0,
+            }],
+        )
+        .unwrap();
+        assert_eq!(faulty.price(0, 6.5, 0.0), 3.0 * base().price(0, 6.5, 0.0));
+        // Outside the window and in other regions: untouched.
+        assert_eq!(faulty.price(0, 7.0, 0.0), base().price(0, 7.0, 0.0));
+        assert_eq!(faulty.price(1, 6.5, 0.0), base().price(1, 6.5, 0.0));
+    }
+
+    #[test]
+    fn dropout_holds_the_value_at_window_start() {
+        let faulty = FaultyTracePricing::new(
+            base(),
+            vec![PriceFault::Dropout {
+                region: 2,
+                start_hour: 6.0,
+                duration_hours: 2.0,
+            }],
+        )
+        .unwrap();
+        let held = base().price(2, 6.0, 0.0);
+        assert_eq!(faulty.price(2, 6.5, 0.0), held);
+        assert_eq!(faulty.price(2, 7.9, 0.0), held);
+        // Feed recovers at window end.
+        assert_eq!(faulty.price(2, 8.0, 0.0), base().price(2, 8.0, 0.0));
+    }
+
+    #[test]
+    fn spike_during_dropout_scales_the_held_value() {
+        let faulty = FaultyTracePricing::new(
+            base(),
+            vec![
+                PriceFault::Dropout {
+                    region: 1,
+                    start_hour: 6.0,
+                    duration_hours: 2.0,
+                },
+                PriceFault::Spike {
+                    region: 1,
+                    start_hour: 7.0,
+                    duration_hours: 1.0,
+                    factor: 2.0,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(faulty.price(1, 7.5, 0.0), 2.0 * base().price(1, 6.0, 0.0));
+    }
+
+    #[test]
+    fn constructor_validates_schedule() {
+        assert!(FaultyTracePricing::new(
+            base(),
+            vec![PriceFault::Dropout {
+                region: 3,
+                start_hour: 6.0,
+                duration_hours: 1.0
+            }]
+        )
+        .is_none());
+        assert!(FaultyTracePricing::new(
+            base(),
+            vec![PriceFault::Dropout {
+                region: 0,
+                start_hour: 6.0,
+                duration_hours: 0.0
+            }]
+        )
+        .is_none());
+        assert!(FaultyTracePricing::new(
+            base(),
+            vec![PriceFault::Spike {
+                region: 0,
+                start_hour: 6.0,
+                duration_hours: 1.0,
+                factor: -1.0
+            }]
+        )
+        .is_none());
+        assert!(FaultyTracePricing::new(
+            base(),
+            vec![PriceFault::Spike {
+                region: 0,
+                start_hour: 25.0,
+                duration_hours: 1.0,
+                factor: 2.0
+            }]
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn faultless_wrapper_matches_base_everywhere() {
+        let faulty = FaultyTracePricing::new(base(), vec![]).unwrap();
+        for h in 0..48 {
+            let hour = h as f64 * 0.5;
+            for r in 0..3 {
+                assert_eq!(faulty.price(r, hour, 1.0), base().price(r, hour, 1.0));
+            }
+        }
+    }
+}

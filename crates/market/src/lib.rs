@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod contract;
+pub mod fault;
 pub mod region;
 pub mod renewable;
 pub mod rtp;

@@ -1,0 +1,145 @@
+//! Golden-trace snapshot: the summary metrics of every repro scenario
+//! under the paper MPC policy, pinned to a committed JSON file. The
+//! simulator is bit-for-bit deterministic, so any drift here means a
+//! behaviour change — intended changes must regenerate the snapshot:
+//!
+//! ```text
+//! REGEN_GOLDEN=1 cargo test -p idc-testkit --test golden_trace
+//! ```
+//!
+//! and commit the updated `crates/testkit/golden/repro_metrics.json`
+//! alongside the change that moved the numbers.
+
+use idc_core::policy::MpcPolicy;
+use idc_core::scenario::{
+    diurnal_day_scenario, mmpp_hour_scenario, noisy_day_scenario, peak_shaving_scenario,
+    smoothing_scenario, smoothing_scenario_table_ii, vicious_cycle_scenario, Scenario,
+};
+use idc_core::simulation::Simulator;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/repro_metrics.json");
+/// Snapshots match to this relative tolerance. The run itself is
+/// deterministic; the slack only covers libm differences across hosts.
+const REL_TOL: f64 = 1e-9;
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        smoothing_scenario(),
+        smoothing_scenario_table_ii(),
+        peak_shaving_scenario(),
+        vicious_cycle_scenario(0.9),
+        noisy_day_scenario(2012),
+        diurnal_day_scenario(2012),
+        mmpp_hour_scenario(2012),
+    ]
+}
+
+struct Row {
+    scenario: String,
+    total_cost_usd: f64,
+    peak_fleet_mw: f64,
+    mean_abs_step_mw: f64,
+}
+
+fn measure() -> Vec<Row> {
+    scenarios()
+        .iter()
+        .map(|scenario| {
+            let mut policy = MpcPolicy::paper_tuned(scenario).expect("policy");
+            let result = Simulator::new().run(scenario, &mut policy).expect("run");
+            let fleet = result.total_power_mw();
+            let peak = fleet.iter().fold(0.0f64, |m, &p| m.max(p));
+            let steps = fleet.windows(2).map(|w| (w[1] - w[0]).abs());
+            let mean_abs_step = if fleet.len() > 1 {
+                steps.sum::<f64>() / (fleet.len() - 1) as f64
+            } else {
+                0.0
+            };
+            Row {
+                scenario: scenario.name().to_string(),
+                total_cost_usd: result.total_cost(),
+                peak_fleet_mw: peak,
+                mean_abs_step_mw: mean_abs_step,
+            }
+        })
+        .collect()
+}
+
+fn render(rows: &[Row]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"scenario\":{:?},\"policy\":\"mpc\",\"total_cost_usd\":{:.17e},\
+             \"peak_fleet_mw\":{:.17e},\"mean_abs_step_mw\":{:.17e}}}{}\n",
+            r.scenario,
+            r.total_cost_usd,
+            r.peak_fleet_mw,
+            r.mean_abs_step_mw,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Extracts `"key":<number>` from a JSON line (the format `render` emits).
+fn field(line: &str, key: &str) -> f64 {
+    let tag = format!("\"{key}\":");
+    let start = line
+        .find(&tag)
+        .unwrap_or_else(|| panic!("no {key} in {line}"))
+        + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|ch: char| !matches!(ch, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .unwrap_or_else(|e| panic!("bad {key} in {line}: {e}"))
+}
+
+#[test]
+fn repro_metrics_match_the_committed_golden_file() {
+    let rows = measure();
+    let rendered = render(&rows);
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden");
+        eprintln!("regenerated {GOLDEN_PATH}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!("cannot read {GOLDEN_PATH}: {e}\nregenerate with REGEN_GOLDEN=1")
+    });
+    let golden_lines: Vec<&str> = golden
+        .lines()
+        .filter(|l| l.contains("\"scenario\""))
+        .collect();
+    assert_eq!(
+        golden_lines.len(),
+        rows.len(),
+        "golden file covers {} scenarios, current run {} — regenerate with REGEN_GOLDEN=1",
+        golden_lines.len(),
+        rows.len()
+    );
+    for (row, line) in rows.iter().zip(&golden_lines) {
+        assert!(
+            line.contains(&format!("{:?}", row.scenario)),
+            "scenario order drifted: expected {:?} in {line}",
+            row.scenario
+        );
+        for (key, actual) in [
+            ("total_cost_usd", row.total_cost_usd),
+            ("peak_fleet_mw", row.peak_fleet_mw),
+            ("mean_abs_step_mw", row.mean_abs_step_mw),
+        ] {
+            let pinned = field(line, key);
+            let rel = (actual - pinned).abs() / pinned.abs().max(1.0);
+            assert!(
+                rel <= REL_TOL,
+                "{}: {key} drifted from golden {pinned:.12e} to {actual:.12e} (rel {rel:.3e})\n\
+                 if intended, regenerate with: REGEN_GOLDEN=1 cargo test -p idc-testkit --test golden_trace",
+                row.scenario
+            );
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Differential-oracle agreement: per-step problems captured from real
+//! closed-loop runs are re-solved by the naive dense oracles and must
+//! agree with **both** production backends to 1e-8 on the objective and
+//! the horizon power. A seeded subsample keeps the brute-force cost
+//! bounded without ever sampling the same steps twice across runs.
+
+use idc_control::mpc::{MpcConfig, MpcController, MpcProblem, SolverBackend};
+use idc_core::policy::{MpcPolicy, MpcPolicyConfig};
+use idc_core::scenario::{peak_shaving_scenario, smoothing_scenario, Scenario};
+use idc_core::simulation::Simulator;
+use idc_testkit::oracle::{
+    horizon_power_sum_mw, qp_feasible, qp_objective, reference_lp_oracle, replay_qp, AGREEMENT_TOL,
+};
+use rand::{Rng, SeedableRng, StdRng};
+
+/// Runs the paper MPC policy over `scenario` with problem recording on and
+/// returns every per-step [`MpcProblem`] it assembled.
+fn capture_problems(scenario: &Scenario) -> (MpcConfig, Vec<MpcProblem>) {
+    let config = MpcPolicyConfig {
+        budgets: scenario.budgets().cloned(),
+        record_problems: true,
+        ..MpcPolicyConfig::default()
+    };
+    let mpc = config.mpc;
+    let mut policy = MpcPolicy::new(config).expect("policy config");
+    Simulator::new()
+        .run(scenario, &mut policy)
+        .expect("simulation");
+    let problems = policy.recorded_problems().to_vec();
+    assert!(!problems.is_empty(), "no problems recorded");
+    (mpc, problems)
+}
+
+/// Draws `k` distinct indices out of `n` from a seeded stream.
+fn subsample(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut picked = Vec::with_capacity(k.min(n));
+    while picked.len() < k.min(n) {
+        let idx = (rng.random::<u64>() % n as u64) as usize;
+        if !picked.contains(&idx) {
+            picked.push(idx);
+        }
+    }
+    picked.sort_unstable();
+    picked
+}
+
+fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1.0)
+}
+
+/// The core agreement check for one captured problem: oracle vs both
+/// production backends, on objective value and summed horizon power.
+fn assert_agreement(mpc: &MpcConfig, problem: &MpcProblem, tag: &str) {
+    let oracle = replay_qp(mpc, problem)
+        .unwrap_or_else(|| panic!("{tag}: oracle failed on a problem production solved"));
+    assert!(
+        qp_feasible(mpc, problem, &oracle.delta_u, 1e-5),
+        "{tag}: oracle solution violates its own constraints"
+    );
+
+    for backend in [SolverBackend::CondensedDense, SolverBackend::BandedRiccati] {
+        let mut controller = MpcController::new(MpcConfig { backend, ..*mpc });
+        let plan = controller
+            .plan_cold(problem)
+            .unwrap_or_else(|e| panic!("{tag}: {backend:?} failed: {e}"));
+        assert!(
+            qp_feasible(mpc, problem, plan.delta_u(), 1e-5),
+            "{tag}: {backend:?} solution violates the oracle-assembled constraints"
+        );
+
+        let prod_obj = qp_objective(mpc, problem, plan.delta_u());
+        let obj_rel = rel_diff(prod_obj, oracle.objective);
+        assert!(
+            obj_rel <= AGREEMENT_TOL,
+            "{tag}: {backend:?} objective disagrees with oracle: \
+             {prod_obj:.12e} vs {:.12e} (rel {obj_rel:.3e})",
+            oracle.objective
+        );
+
+        let prod_power: f64 = plan.predicted_power_mw().iter().flatten().sum();
+        let oracle_power = horizon_power_sum_mw(mpc, problem, &oracle.delta_u);
+        let pw_rel = rel_diff(prod_power, oracle_power);
+        assert!(
+            pw_rel <= AGREEMENT_TOL,
+            "{tag}: {backend:?} horizon power disagrees with oracle: \
+             {prod_power:.12e} vs {oracle_power:.12e} MW (rel {pw_rel:.3e})"
+        );
+    }
+}
+
+#[test]
+fn qp_oracle_agrees_with_both_backends_on_smoothing_run() {
+    let scenario = smoothing_scenario();
+    let (mpc, problems) = capture_problems(&scenario);
+    for idx in subsample(problems.len(), 8, 0x5111) {
+        assert_agreement(&mpc, &problems[idx], &format!("smoothing step {idx}"));
+    }
+}
+
+#[test]
+fn qp_oracle_agrees_with_both_backends_on_peak_shaving_run() {
+    // Peak shaving clamps the reference and boosts tracking weights, which
+    // is exactly where the QP goes degenerate (active budget constraints).
+    let scenario = peak_shaving_scenario();
+    let (mpc, problems) = capture_problems(&scenario);
+    for idx in subsample(problems.len(), 8, 0x9ea7) {
+        assert_agreement(&mpc, &problems[idx], &format!("peak-shaving step {idx}"));
+    }
+}
+
+#[test]
+fn lp_oracle_agrees_with_production_reference_on_simulated_prices() {
+    // Re-solve the eq. 46 reference LP at prices/workloads taken from a
+    // recorded validating run, not just hand-picked instances.
+    let scenario = smoothing_scenario();
+    let mut policy = MpcPolicy::paper_tuned(&scenario).expect("policy");
+    let result = Simulator::with_validation()
+        .run(&scenario, &mut policy)
+        .expect("simulation");
+    let offered = result.offered_workloads().expect("validating run");
+    let prices = result.prices();
+    let idcs = scenario.fleet().idcs();
+    for idx in subsample(offered.len(), 6, 0x1f46) {
+        let oracle = reference_lp_oracle(idcs, &offered[idx], &prices[idx])
+            .unwrap_or_else(|| panic!("step {idx}: oracle LP infeasible"));
+        let prod = idc_control::reference::optimal_reference(idcs, &offered[idx], &prices[idx])
+            .unwrap_or_else(|e| panic!("step {idx}: production LP failed: {e}"));
+        let rel = rel_diff(oracle.objective, prod.cost_rate_per_hour());
+        assert!(
+            rel <= AGREEMENT_TOL,
+            "step {idx}: LP objectives disagree: oracle {:.12e} vs production {:.12e} (rel {rel:.3e})",
+            oracle.objective,
+            prod.cost_rate_per_hour()
+        );
+    }
+}

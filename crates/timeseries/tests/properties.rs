@@ -94,4 +94,73 @@ proptest! {
         let shifted: Vec<f64> = xs.iter().map(|v| v + 1.0).collect();
         prop_assert!(metrics::rmse(&xs, &shifted) > 0.0);
     }
+
+    /// The RLS-fitted AR(2) predictor converges to the *generating*
+    /// coefficients on a synthetic stationary (contractive) series — not
+    /// just to small prediction error, which weaker models also achieve.
+    #[test]
+    fn fitted_ar_converges_to_generating_coefficients(
+        a1 in 0.2f64..0.55,
+        a2 in -0.3f64..0.3,
+        seed in 0u64..500,
+    ) {
+        let model = ArModel::new(vec![a1, a2], 1.0).unwrap();
+        prop_assert!(model.is_contractive());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let path = model.simulate(&mut rng, &[0.0, 0.0], 4000);
+        let mut p = WorkloadPredictor::with_forgetting(2, 1.0).unwrap();
+        for &v in &path {
+            let e = p.observe(v);
+            prop_assert!(e.is_finite());
+        }
+        let est = p.coefficients();
+        // OLS on an AR process is consistent; 4000 noisy samples put the
+        // estimate within a few percent of the truth.
+        prop_assert!((est[0] - a1).abs() < 0.08, "α̂₁ {} vs {a1}", est[0]);
+        prop_assert!((est[1] - a2).abs() < 0.08, "α̂₂ {} vs {a2}", est[1]);
+    }
+
+    /// On a constant input the predictor stays finite (no NaN/∞ anywhere:
+    /// errors, coefficients, forecasts) and learns the constant.
+    #[test]
+    fn predictor_is_finite_on_constant_input(
+        level in 0.0f64..1.0e6,
+        order in 1usize..5,
+    ) {
+        let mut p = WorkloadPredictor::new(order).unwrap();
+        for _ in 0..200 {
+            let e = p.observe(level);
+            prop_assert!(e.is_finite());
+        }
+        prop_assert!(p.coefficients().iter().all(|c| c.is_finite()));
+        let next = p.predict_next();
+        prop_assert!(next.is_finite());
+        prop_assert!((next - level).abs() <= 0.01 * level.max(1.0), "{next} vs {level}");
+        for v in p.forecast(10) {
+            prop_assert!(v.is_finite() && v >= 0.0);
+        }
+    }
+
+    /// An impulse (a single spike in an otherwise flat series) must not
+    /// destabilize the estimator: every error, coefficient and forecast
+    /// stays finite, and the forecast recovers toward the flat level.
+    #[test]
+    fn predictor_is_finite_on_impulse_input(
+        base in 0.0f64..1000.0,
+        spike in 1.0e3f64..1.0e9,
+        at in 20usize..80,
+        order in 1usize..5,
+    ) {
+        let mut p = WorkloadPredictor::new(order).unwrap();
+        for t in 0..120 {
+            let v = if t == at { spike } else { base };
+            let e = p.observe(v);
+            prop_assert!(e.is_finite(), "error blew up at t={t}");
+            prop_assert!(p.coefficients().iter().all(|c| c.is_finite()));
+            prop_assert!(p.predict_next().is_finite());
+        }
+        for v in p.forecast(10) {
+            prop_assert!(v.is_finite() && v >= 0.0);
+        }
+    }
 }
