@@ -9,6 +9,11 @@
 //! reported, not gated. One timed row per cell.
 //!
 //! Run with: `cargo run --release -p idc-bench --bin fault_matrix`
+//!
+//! `--seed N` restricts the matrix to a single fault seed (default: the
+//! built-in seed set) and `--steps N` changes the scenario length
+//! (default: the smoothing scenario's 25 periods) — the defaults leave
+//! the golden output unchanged.
 
 use std::time::Instant;
 
@@ -17,12 +22,33 @@ use idc_testkit::faults::{FaultKind, FaultPlan};
 
 const SEEDS: [u64; 3] = [7, 2012, 0xFEED];
 
+/// Reads the value of `--<flag> N` from `args`, if the flag is present.
+/// Exits with a message on an unparsable value.
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("{flag} needs a numeric value");
+                std::process::exit(2);
+            })
+    })
+}
+
 fn main() -> Result<(), idc_core::Error> {
-    let base = smoothing_scenario();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seeds: Vec<u64> = match flag_value(&args, "--seed") {
+        Some(s) => vec![s],
+        None => SEEDS.to_vec(),
+    };
+    let base = match flag_value::<usize>(&args, "--steps") {
+        Some(n) => smoothing_scenario().with_num_steps(n),
+        None => smoothing_scenario(),
+    };
     println!(
         "## fault_matrix — {} kinds × {} seeds on '{}'",
         FaultKind::ALL.len(),
-        SEEDS.len(),
+        seeds.len(),
         base.name()
     );
     println!(
@@ -31,7 +57,7 @@ fn main() -> Result<(), idc_core::Error> {
     );
     let mut failures = Vec::new();
     for kind in FaultKind::ALL {
-        for seed in SEEDS {
+        for seed in seeds.iter().copied() {
             let plan = FaultPlan::new(kind, seed);
             let t = Instant::now();
             let first = plan.run(&base)?;

@@ -12,7 +12,10 @@
 //!
 //! `--no-timing` replaces the wall-clock columns with `-` so the output
 //! is byte-reproducible (used by `repro_all`, whose combined output must
-//! be identical across runs).
+//! be identical across runs). `--seed N` overrides the stochastic
+//! scenarios' workload seed (default 2012) and `--steps N` truncates or
+//! extends every scenario to N sampling periods (default: each scenario's
+//! own length) — the defaults leave the golden output unchanged.
 
 use std::time::Instant;
 
@@ -24,16 +27,35 @@ use idc_core::scenario::{
 use idc_core::simulation::Simulator;
 use idc_testkit::invariants::{check_run, Tolerances};
 
-fn scenarios() -> Vec<Scenario> {
-    vec![
+fn scenarios(seed: u64, steps: Option<usize>) -> Vec<Scenario> {
+    let base = vec![
         smoothing_scenario(),
         peak_shaving_scenario(),
         smoothing_scenario_table_ii(),
         vicious_cycle_scenario(0.9),
-        noisy_day_scenario(2012),
-        diurnal_day_scenario(2012),
-        mmpp_hour_scenario(2012),
-    ]
+        noisy_day_scenario(seed),
+        diurnal_day_scenario(seed),
+        mmpp_hour_scenario(seed),
+    ];
+    match steps {
+        Some(n) => base.into_iter().map(|s| s.with_num_steps(n)).collect(),
+        None => base,
+    }
+}
+
+/// Reads the value of `--<flag> N` from `args`, or `default` when absent.
+/// Exits with a message on an unparsable value.
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("{flag} needs a numeric value");
+                std::process::exit(2);
+            }),
+        None => default,
+    }
 }
 
 fn policies(scenario: &Scenario) -> Vec<(&'static str, Box<dyn Policy>)> {
@@ -52,7 +74,13 @@ fn policies(scenario: &Scenario) -> Vec<(&'static str, Box<dyn Policy>)> {
 }
 
 fn main() -> Result<(), idc_core::Error> {
-    let timing = !std::env::args().any(|a| a == "--no-timing");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let timing = !args.iter().any(|a| a == "--no-timing");
+    let seed = flag_value(&args, "--seed", 2012u64);
+    let steps = args
+        .iter()
+        .any(|a| a == "--steps")
+        .then(|| flag_value(&args, "--steps", 0usize));
     println!("## verify_invariants — invariant sweep, all scenarios × policies");
     println!(
         "{:<42} {:>8} {:>8} {:>6} {:>6} {:>16} {:>9}",
@@ -60,7 +88,7 @@ fn main() -> Result<(), idc_core::Error> {
     );
     let mut hard_failures = Vec::new();
     let total = Instant::now();
-    for scenario in scenarios() {
+    for scenario in scenarios(seed, steps) {
         for (label, mut policy) in policies(&scenario) {
             let t = Instant::now();
             let result = Simulator::with_validation().run(&scenario, policy.as_mut())?;

@@ -228,6 +228,17 @@ struct WarmState {
     active_set: Vec<usize>,
 }
 
+/// The warm-start state as plain exportable data: the stacked input
+/// changes `ΔU` of the previous solve and the indices of its active
+/// constraint set. See [`MpcController::warm_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStateData {
+    /// The previous solve's stacked `ΔU` (length `n·c·β₂`).
+    pub delta_u: Vec<f64>,
+    /// Indices of the constraints active at the previous solution.
+    pub active_set: Vec<usize>,
+}
+
 /// The receding-horizon controller.
 ///
 /// Stateful across steps for performance only: it caches the condensed QP
@@ -327,6 +338,44 @@ impl MpcController {
     /// change, or infeasible warm point).
     pub fn cold_solves(&self) -> usize {
         self.cold_solves
+    }
+
+    /// Exports the warm-start state — the previous step's `ΔU` and active
+    /// set — as plain data for checkpointing, or `None` before the first
+    /// solve (or after a [`reset`](Self::reset)).
+    ///
+    /// The warm start is behaviourally significant at solver tolerance
+    /// (warm and cold solves agree only to the QP's convergence tolerance),
+    /// so byte-identical checkpoint/restore of a closed loop must carry it.
+    /// The structure cache is *not* part of the export: it is a pure
+    /// function of the next [`MpcProblem`] and rebuilds deterministically.
+    pub fn warm_state(&self) -> Option<WarmStateData> {
+        self.warm.as_ref().map(|w| WarmStateData {
+            delta_u: w.delta_u.clone(),
+            active_set: w.active_set.clone(),
+        })
+    }
+
+    /// Restores warm-start state previously exported with
+    /// [`warm_state`](Self::warm_state); `None` clears it (the next solve
+    /// is cold, as after a fresh construction).
+    pub fn restore_warm_state(&mut self, state: Option<WarmStateData>) {
+        self.warm = state.map(|w| WarmState {
+            delta_u: w.delta_u,
+            active_set: w.active_set,
+        });
+    }
+
+    /// The `(warm, cold)` solve counters, for checkpointing alongside
+    /// [`warm_state`](Self::warm_state).
+    pub fn solve_counters(&self) -> (usize, usize) {
+        (self.warm_solves, self.cold_solves)
+    }
+
+    /// Restores the `(warm, cold)` solve counters.
+    pub fn restore_solve_counters(&mut self, warm: usize, cold: usize) {
+        self.warm_solves = warm;
+        self.cold_solves = cold;
     }
 
     /// Per-phase wall-clock time accumulated across [`plan`](Self::plan)
@@ -1083,6 +1132,43 @@ mod tests {
         }
         assert_eq!(warm.warm_solves(), 5);
         assert_eq!(warm.cold_solves(), 1);
+    }
+
+    #[test]
+    fn warm_state_roundtrip_resumes_bit_identically() {
+        // Drive one controller continuously; drive a second that is torn
+        // down and rebuilt from the exported warm state mid-run. Both must
+        // produce bit-identical plans afterwards: the structure cache
+        // rebuilds deterministically and the warm start carries over.
+        let mut continuous = MpcController::new(MpcConfig::default());
+        let mut problem = two_idc_problem([10_000.0, 0.0], [1.2, 2.28]);
+        for _ in 0..3 {
+            let plan = continuous.plan(&problem).unwrap();
+            problem.prev_input = plan.next_input().to_vec();
+        }
+        assert!(continuous.warm_state().is_some());
+
+        let mut restored = MpcController::new(MpcConfig::default());
+        restored.restore_warm_state(continuous.warm_state());
+        let (w, c) = continuous.solve_counters();
+        restored.restore_solve_counters(w, c);
+
+        for step in 0..4 {
+            let a = continuous.plan(&problem).unwrap();
+            let b = restored.plan(&problem).unwrap();
+            assert_eq!(a.warm_started(), b.warm_started(), "step {step}");
+            for (x, y) in a.next_input().iter().zip(b.next_input()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "step {step}: {x} vs {y}");
+            }
+            problem.prev_input = a.next_input().to_vec();
+        }
+        assert_eq!(continuous.solve_counters(), restored.solve_counters());
+        assert_eq!(continuous.warm_state(), restored.warm_state());
+
+        // Clearing the warm state forces the next solve cold.
+        restored.restore_warm_state(None);
+        let plan = restored.plan(&problem).unwrap();
+        assert!(!plan.warm_started());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! then tracks the clamped value, keeping demand under the budget.
 
 use idc_datacenter::idc::IdcConfig;
+use idc_datacenter::queueing;
 use idc_opt::linprog::{LinearProgram, LpWorkspace};
 use idc_opt::{Error, Result};
 
@@ -383,8 +384,11 @@ pub fn price_greedy_reference(
     // comparable.
     let servers: Vec<f64> = (0..n)
         .map(|j| {
-            (targets[j] / idcs[j].service_rate()
-                + 1.0 / (idcs[j].service_rate() * idcs[j].latency_bound()))
+            queueing::fractional_servers_for_latency(
+                targets[j],
+                idcs[j].service_rate(),
+                idcs[j].latency_bound(),
+            )
             .min(idcs[j].total_servers() as f64)
         })
         .collect();

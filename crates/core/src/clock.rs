@@ -1,0 +1,114 @@
+//! Time sources for online control loops.
+//!
+//! The batch [`crate::simulation::Simulator`] steps as fast as it can; an
+//! online runtime must pace its fast loop at the scenario's sampling
+//! period `Ts` (possibly accelerated for replays). The [`Clock`] trait
+//! abstracts that pacing so the same stepper runs under a no-op
+//! [`SimClock`] in tests and a [`WallClock`] in the daemon.
+
+use std::time::{Duration, Instant};
+
+/// Paces an online control loop: `wait_for_step(k)` blocks until step `k`
+/// is due to run.
+pub trait Clock {
+    /// Blocks until step `k` is due. Simulated clocks return immediately.
+    fn wait_for_step(&mut self, k: u64);
+}
+
+/// The simulated clock: every step is due immediately. Runs under this
+/// clock are exactly as fast — and exactly as deterministic — as the batch
+/// simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimClock;
+
+impl Clock for SimClock {
+    fn wait_for_step(&mut self, _k: u64) {}
+}
+
+/// A wall clock pacing steps at `Ts / speedup` of real time. The epoch is
+/// the first `wait_for_step` call, so construction cost never skews the
+/// schedule. A step that is already overdue returns immediately (no
+/// attempt to "catch up" by running faster than the remaining schedule).
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    start: Option<Instant>,
+    step_duration: Duration,
+}
+
+impl WallClock {
+    /// Creates a clock for sampling period `ts_hours`, accelerated by
+    /// `speedup` (2.0 = twice real time). A non-finite, zero or negative
+    /// `speedup` means "as fast as possible" — every step is immediately
+    /// due, like [`SimClock`].
+    pub fn new(ts_hours: f64, speedup: f64) -> Self {
+        let secs = if speedup.is_finite() && speedup > 0.0 {
+            (ts_hours * 3600.0 / speedup).max(0.0)
+        } else {
+            0.0
+        };
+        WallClock {
+            start: None,
+            step_duration: Duration::from_secs_f64(secs),
+        }
+    }
+
+    /// The real-time duration of one step under this clock.
+    pub fn step_duration(&self) -> Duration {
+        self.step_duration
+    }
+}
+
+impl Clock for WallClock {
+    fn wait_for_step(&mut self, k: u64) {
+        let start = *self.start.get_or_insert_with(Instant::now);
+        let due = start
+            + self.step_duration * u32::try_from(k.min(u64::from(u32::MAX))).unwrap_or(u32::MAX);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_never_blocks() {
+        let mut c = SimClock;
+        let t0 = Instant::now();
+        for k in 0..1_000 {
+            c.wait_for_step(k);
+        }
+        assert!(t0.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn wall_clock_max_speed_never_blocks() {
+        let mut c = WallClock::new(1.0 / 120.0, 0.0);
+        assert_eq!(c.step_duration(), Duration::ZERO);
+        let t0 = Instant::now();
+        for k in 0..1_000 {
+            c.wait_for_step(k);
+        }
+        assert!(t0.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn wall_clock_paces_steps() {
+        // 30 s sampling period at 3000× speedup → 10 ms per step.
+        let mut c = WallClock::new(30.0 / 3600.0, 3_000.0);
+        assert_eq!(c.step_duration(), Duration::from_millis(10));
+        let t0 = Instant::now();
+        for k in 0..4 {
+            c.wait_for_step(k);
+        }
+        // Step 3 is due 30 ms after the epoch.
+        assert!(
+            t0.elapsed() >= Duration::from_millis(28),
+            "{:?}",
+            t0.elapsed()
+        );
+    }
+}

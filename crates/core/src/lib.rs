@@ -50,16 +50,21 @@
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod config;
 pub mod delay_tolerant;
 mod error;
+pub mod feed;
 pub mod metrics;
 pub mod policy;
 pub mod report;
 pub mod scenario;
 pub mod simulation;
+pub mod snapshot;
 
 pub use error::Error;
+pub use idc_datacenter::idc::LatencyStatus;
+pub use idc_datacenter::queueing::fractional_servers_for_latency;
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use idc_control::mpc::{MpcConfig, MpcController, MpcProblem};
+use idc_control::mpc::{MpcConfig, MpcController, MpcProblem, WarmStateData};
 use idc_control::reference::{
     optimal_reference, price_greedy_reference, ReferenceSolution, ReferenceSolver,
 };
@@ -13,6 +13,7 @@ use idc_market::tariff::PowerBudget;
 use idc_timeseries::predictor::WorkloadPredictor;
 
 use crate::scenario::Scenario;
+use crate::snapshot::{MpcPolicySnapshot, WarmStartSnapshot};
 use crate::{Error, Result};
 
 /// What one policy step sees: the simulator assembles this each sampling
@@ -441,6 +442,108 @@ impl MpcPolicy {
             allocation,
         })
     }
+
+    /// Takes the capacity-proportional fallback decision for `ctx` without
+    /// consulting the solver, records the degradation in
+    /// [`fallback_steps`](Self::fallback_steps) and advances the policy's
+    /// internal state exactly as [`Policy::decide`]'s infeasibility path
+    /// would. This is the runtime's staleness escape hatch: when the feeds
+    /// are too stale to trust an MPC solve, the online stepper degrades to
+    /// this safe split and counts it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when the fleet has no capacity.
+    pub fn degrade(&mut self, ctx: &StepContext<'_>) -> Result<Decision> {
+        if self.state.is_none() {
+            self.initialize(ctx)?;
+        }
+        for (p, &l) in self.predictors.iter_mut().zip(&ctx.offered) {
+            p.observe(l);
+        }
+        let decision = self.fallback(ctx)?;
+        self.fallback_steps.push(ctx.step);
+        self.state = Some((
+            decision.allocation.to_control_vector(),
+            decision.servers_on.clone(),
+        ));
+        Ok(decision)
+    }
+
+    /// Exports the policy's complete evolving state for checkpointing (see
+    /// [`MpcPolicySnapshot`] for what is and is not captured).
+    pub fn snapshot(&self) -> MpcPolicySnapshot {
+        let (warm, cold) = self.controller.solve_counters();
+        MpcPolicySnapshot {
+            prev_input: self.state.as_ref().map(|(u, _)| u.clone()),
+            prev_servers: self.state.as_ref().map(|(_, m)| m.clone()),
+            predictors: self.predictors.iter().map(|p| p.state()).collect(),
+            warm_start: self.controller.warm_state().map(|w| WarmStartSnapshot {
+                delta_u: w.delta_u,
+                active_set: w.active_set.iter().map(|&i| i as u64).collect(),
+            }),
+            warm_solves: warm as u64,
+            cold_solves: cold as u64,
+            fallback_steps: self.fallback_steps.iter().map(|&s| s as u64).collect(),
+        }
+    }
+
+    /// Restores the policy's evolving state from a
+    /// [`snapshot`](Self::snapshot) export, so the next
+    /// [`Policy::decide`] call produces bit-for-bit the decision an
+    /// uninterrupted run would have.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when the snapshot is internally
+    /// inconsistent with this policy's tuning (corrupt predictor state, a
+    /// predictor order mismatch, or input/server vectors of different
+    /// lengths).
+    pub fn restore(&mut self, snapshot: &MpcPolicySnapshot) -> Result<()> {
+        let mut predictors = Vec::with_capacity(snapshot.predictors.len());
+        for (i, ps) in snapshot.predictors.iter().enumerate() {
+            let p = WorkloadPredictor::from_state(ps)
+                .ok_or_else(|| Error::Config(format!("corrupt predictor state #{i}")))?;
+            if p.order() != self.config.predictor_order {
+                return Err(Error::Config(format!(
+                    "predictor #{i} order {} does not match config order {}",
+                    p.order(),
+                    self.config.predictor_order
+                )));
+            }
+            predictors.push(p);
+        }
+        let state = match (&snapshot.prev_input, &snapshot.prev_servers) {
+            (Some(u), Some(m)) => Some((u.clone(), m.clone())),
+            (None, None) => None,
+            _ => {
+                return Err(Error::Config(
+                    "snapshot has input state without server state (or vice versa)".into(),
+                ))
+            }
+        };
+        if state.is_none() && !predictors.is_empty() {
+            return Err(Error::Config(
+                "snapshot has predictors but no controller state".into(),
+            ));
+        }
+        self.predictors = predictors;
+        self.state = state;
+        self.controller.reset();
+        self.controller
+            .restore_warm_state(snapshot.warm_start.as_ref().map(|w| WarmStateData {
+                delta_u: w.delta_u.clone(),
+                active_set: w.active_set.iter().map(|&i| i as usize).collect(),
+            }));
+        self.controller
+            .restore_solve_counters(snapshot.warm_solves as usize, snapshot.cold_solves as usize);
+        self.fallback_steps = snapshot
+            .fallback_steps
+            .iter()
+            .map(|&s| s as usize)
+            .collect();
+        Ok(())
+    }
 }
 
 impl Policy for MpcPolicy {
@@ -832,6 +935,94 @@ mod tests {
         let d = policy.decide(&step).unwrap();
         let total: f64 = d.allocation.idc_totals().iter().sum();
         assert!((total - 100_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let fleet = config::paper_fleet_calibrated();
+        let scenario = crate::scenario::smoothing_scenario();
+        let mut live = MpcPolicy::paper_tuned(&scenario).unwrap();
+        let init = ctx(fleet.idcs(), 6.5, vec![43.26, 30.26, 19.06]);
+        live.initialize(&init).unwrap();
+
+        let price_sets = [
+            vec![49.90, 29.47, 77.97],
+            vec![44.00, 31.00, 60.00],
+            vec![41.00, 35.00, 41.00],
+            vec![55.00, 28.00, 39.00],
+        ];
+        for (k, prices) in price_sets.iter().take(2).enumerate() {
+            let mut c = ctx(fleet.idcs(), 7.0 + k as f64, prices.clone());
+            c.step = k;
+            live.decide(&c).unwrap();
+        }
+
+        // Snapshot after step 1, rebuild a fresh policy, restore.
+        let snap = live.snapshot();
+        let mut resumed = MpcPolicy::paper_tuned(&scenario).unwrap();
+        resumed.restore(&snap).unwrap();
+        assert_eq!(resumed.snapshot(), snap);
+
+        for (k, prices) in price_sets.iter().enumerate().skip(2) {
+            let mut c = ctx(fleet.idcs(), 7.0 + k as f64, prices.clone());
+            c.step = k;
+            let a = live.decide(&c).unwrap();
+            let b = resumed.decide(&c).unwrap();
+            assert_eq!(a.servers_on, b.servers_on, "step {k}");
+            for (x, y) in a
+                .allocation
+                .to_control_vector()
+                .iter()
+                .zip(b.allocation.to_control_vector().iter())
+            {
+                assert_eq!(x.to_bits(), y.to_bits(), "step {k}");
+            }
+        }
+        assert_eq!(live.snapshot(), resumed.snapshot());
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_snapshot() {
+        let scenario = crate::scenario::smoothing_scenario();
+        let fleet = config::paper_fleet_calibrated();
+        let mut policy = MpcPolicy::paper_tuned(&scenario).unwrap();
+        let init = ctx(fleet.idcs(), 6.5, vec![43.26, 30.26, 19.06]);
+        policy.initialize(&init).unwrap();
+        let good = policy.snapshot();
+
+        let mut bad = good.clone();
+        bad.prev_servers = None;
+        assert!(policy.restore(&bad).is_err());
+
+        let mut bad = good.clone();
+        bad.predictors[0].order = 0; // corrupt predictor
+        assert!(policy.restore(&bad).is_err());
+
+        let mut bad = good;
+        bad.predictors[0].rls.forgetting = 7.0;
+        assert!(policy.restore(&bad).is_err());
+    }
+
+    #[test]
+    fn degrade_counts_and_advances_state() {
+        let scenario = crate::scenario::smoothing_scenario();
+        let fleet = config::paper_fleet_calibrated();
+        let mut policy = MpcPolicy::paper_tuned(&scenario).unwrap();
+        let mut c = ctx(fleet.idcs(), 7.0, vec![49.90, 29.47, 77.97]);
+        c.step = 3;
+        let d = policy.degrade(&c).unwrap();
+        assert_eq!(policy.fallback_steps(), &[3]);
+        // State advanced to the fallback operating point.
+        let total: f64 = d.allocation.idc_totals().iter().sum();
+        assert!((total - 100_000.0).abs() < 1e-3);
+        assert_eq!(
+            policy.current_input().unwrap(),
+            d.allocation.to_control_vector().as_slice()
+        );
+        // A normal decide still works afterwards.
+        c.step = 4;
+        policy.decide(&c).unwrap();
+        assert_eq!(policy.fallback_steps(), &[3]);
     }
 
     #[test]

@@ -256,6 +256,14 @@ impl Scenario {
     pub fn num_steps(&self) -> usize {
         (self.duration_hours / self.ts_hours).round().max(1.0) as usize
     }
+
+    /// Truncates or extends the scenario to exactly `steps` sampling
+    /// periods (sets the duration to `steps · Ts`). Handy for smoke runs
+    /// of long scenarios and for the online runtime's bounded soaks.
+    pub fn with_num_steps(mut self, steps: usize) -> Self {
+        self.duration_hours = steps.max(1) as f64 * self.ts_hours;
+        self
+    }
 }
 
 /// Figs. 4/5 — power-demand smoothing across the 6H→7H price flip:

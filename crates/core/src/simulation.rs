@@ -11,6 +11,7 @@ use rand::{rngs::StdRng, SeedableRng};
 
 use idc_timeseries::standard_normal;
 
+use idc_datacenter::idc::LatencyStatus;
 use idc_datacenter::power::{power_stats, PowerStats};
 
 use crate::policy::{Policy, StepContext};
@@ -309,7 +310,8 @@ impl Simulator {
                 servers[j].push(decision.servers_on[j]);
                 workload[j].push(decision.allocation.idc_total(j));
                 if fleet.idcs()[j]
-                    .meets_latency_bound(decision.servers_on[j], decision.allocation.idc_total(j))
+                    .latency_status(decision.servers_on[j], decision.allocation.idc_total(j))
+                    == LatencyStatus::WithinBound
                 {
                     latency_ok += 1;
                 }

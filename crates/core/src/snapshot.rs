@@ -1,0 +1,52 @@
+//! Serializable snapshots of the evolving controller state, for
+//! checkpoint/restore of online runs (the `idc-runtime` daemon).
+//!
+//! The structs here are *plain data*: no solver scratch, no wall-clock
+//! timings, nothing derivable deterministically from the problem. They
+//! capture exactly what [`crate::policy::MpcPolicy::decide`] reads or
+//! writes across steps, so `restore` + `decide` reproduces an
+//! uninterrupted run bit-for-bit.
+//!
+//! Kept in a module of its own (rather than next to the policy) because
+//! the serde derives expand unqualified `Result`/`Error` paths and must
+//! not collide with this crate's aliases.
+
+use idc_timeseries::predictor::PredictorState;
+use serde::{Deserialize, Serialize};
+
+/// Serializable form of the inner controller's warm-start carry-over
+/// (`ΔU` guess plus active constraint set). The QP structure cache itself
+/// is *not* captured — it rebuilds deterministically from the problem — but
+/// the warm start must be, because warm and cold solves agree only to
+/// solver tolerance, not bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmStartSnapshot {
+    /// Stacked `ΔU` solution of the previous solve.
+    pub delta_u: Vec<f64>,
+    /// Indices of the constraints active at the previous solution.
+    pub active_set: Vec<u64>,
+}
+
+/// The complete evolving state of a [`crate::policy::MpcPolicy`] as plain
+/// serializable data: everything `decide` reads or writes across steps, so
+/// [`crate::policy::MpcPolicy::restore`] resumes a run bit-for-bit.
+///
+/// Wall-clock timings and the diagnostic problem log are deliberately
+/// excluded — they never influence decisions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MpcPolicySnapshot {
+    /// `U(k−1)`, IDC-major flat — `None` before initialization.
+    pub prev_input: Option<Vec<f64>>,
+    /// `m(k−1)` — `None` before initialization.
+    pub prev_servers: Option<Vec<u64>>,
+    /// Per-portal AR/RLS predictor states.
+    pub predictors: Vec<PredictorState>,
+    /// The inner controller's warm-start state, if a solve has happened.
+    pub warm_start: Option<WarmStartSnapshot>,
+    /// Warm-solve counter of the inner controller.
+    pub warm_solves: u64,
+    /// Cold-solve counter of the inner controller.
+    pub cold_solves: u64,
+    /// Steps at which the policy degraded to its fallback so far.
+    pub fallback_steps: Vec<u64>,
+}

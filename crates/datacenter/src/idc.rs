@@ -5,6 +5,21 @@ use serde::{Deserialize, Serialize};
 use crate::queueing;
 use crate::server::ServerSpec;
 
+/// Classification of an operating point `(m, λ)` against the M/M/n latency
+/// model — the one place the simulator, the invariant checkers and any
+/// online monitor agree on what "meets the bound" means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyStatus {
+    /// Stable and the mean latency satisfies the bound (eq. 30 with
+    /// tolerance).
+    WithinBound,
+    /// Stable (`λ < mµ`) but the mean latency exceeds the bound.
+    BoundExceeded,
+    /// Overloaded past M/M/n stability (`λ ≥ mµ` with `λ > 0`): the queue
+    /// grows without bound and latency diverges.
+    Unstable,
+}
+
 /// Static configuration of one IDC: `Mj` homogeneous servers of a given
 /// [`ServerSpec`], subject to the latency bound `Dj`.
 ///
@@ -158,6 +173,25 @@ impl IdcConfig {
     pub fn meets_latency_bound(&self, servers_on: u64, lambda: f64) -> bool {
         lambda <= self.capacity_with(servers_on) + 1e-6 * lambda.abs().max(1.0)
     }
+
+    /// Full classification of the operating point `(m, λ)`: within bound,
+    /// bound exceeded, or past M/M/n stability. `status == WithinBound` is
+    /// equivalent to [`Self::meets_latency_bound`] for stable points; zero
+    /// workload is always within bound.
+    pub fn latency_status(&self, servers_on: u64, lambda: f64) -> LatencyStatus {
+        let m = servers_on.min(self.total_servers) as f64;
+        if lambda < m * self.service_rate() {
+            if self.meets_latency_bound(servers_on, lambda) {
+                LatencyStatus::WithinBound
+            } else {
+                LatencyStatus::BoundExceeded
+            }
+        } else if lambda > 0.0 {
+            LatencyStatus::Unstable
+        } else {
+            LatencyStatus::WithinBound
+        }
+    }
 }
 
 /// The paper's three IDCs (Table II): Michigan (30 000 × 2.0 req/s),
@@ -277,6 +311,33 @@ mod tests {
         assert!(michigan().with_pue(0.9).is_none());
         assert!(michigan().with_pue(f64::NAN).is_none());
         assert!(michigan().with_pue(1.0).is_some());
+    }
+
+    #[test]
+    fn latency_status_classifies_operating_points() {
+        let idc = michigan();
+        // Comfortable headroom.
+        assert_eq!(
+            idc.latency_status(10_000, 15_000.0),
+            LatencyStatus::WithinBound
+        );
+        // Stable but past the bound: λ < mµ yet λ > mµ − 1/D.
+        assert_eq!(
+            idc.latency_status(10_000, 19_500.0),
+            LatencyStatus::BoundExceeded
+        );
+        // Overloaded past stability.
+        assert_eq!(idc.latency_status(10, 1e6), LatencyStatus::Unstable);
+        // Zero workload is always fine, even with everything asleep.
+        assert_eq!(idc.latency_status(0, 0.0), LatencyStatus::WithinBound);
+        // Agreement with the boolean check on stable points.
+        for &(m, lam) in &[(8_000u64, 15_000.0), (500, 900.0), (30_000, 59_000.0)] {
+            assert_eq!(
+                idc.latency_status(m, lam) == LatencyStatus::WithinBound,
+                idc.meets_latency_bound(m, lam),
+                "m={m} lam={lam}"
+            );
+        }
     }
 
     #[test]

@@ -18,6 +18,22 @@ pub fn busy_latency(servers: u64, mu: f64, lambda: f64) -> f64 {
     }
 }
 
+/// Fractional server requirement `λ/µ + 1/(µ·bound)` (eq. 35 before integer
+/// rounding).
+///
+/// This is the single definition of the paper's M/M/n latency inversion that
+/// both [`servers_for_latency`] and the LP reference governor derive from;
+/// keep any tweak to the formula here so every layer stays consistent.
+///
+/// # Panics
+///
+/// Panics if `mu ≤ 0` or `bound ≤ 0`.
+pub fn fractional_servers_for_latency(lambda: f64, mu: f64, bound: f64) -> f64 {
+    assert!(mu > 0.0, "service rate must be positive");
+    assert!(bound > 0.0, "latency bound must be positive");
+    lambda.max(0.0) / mu + 1.0 / (mu * bound)
+}
+
 /// Minimum number of servers needed so the busy-system latency stays at or
 /// below `bound` (inverts eq. 30): `m ≥ λ/µ + 1/(µ·bound)`.
 ///
@@ -25,9 +41,7 @@ pub fn busy_latency(servers: u64, mu: f64, lambda: f64) -> f64 {
 ///
 /// Panics if `mu ≤ 0` or `bound ≤ 0`.
 pub fn servers_for_latency(lambda: f64, mu: f64, bound: f64) -> u64 {
-    assert!(mu > 0.0, "service rate must be positive");
-    assert!(bound > 0.0, "latency bound must be positive");
-    (lambda.max(0.0) / mu + 1.0 / (mu * bound)).ceil() as u64
+    fractional_servers_for_latency(lambda, mu, bound).ceil() as u64
 }
 
 /// Erlang-C probability that an arriving request must wait, for an M/M/n

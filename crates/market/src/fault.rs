@@ -47,6 +47,27 @@ pub enum PriceFault {
 }
 
 impl PriceFault {
+    /// A [`PriceFault::Spike`] on `region`'s feed over
+    /// `[start_hour, start_hour + duration_hours)`.
+    pub fn spike(region: usize, start_hour: f64, duration_hours: f64, factor: f64) -> Self {
+        PriceFault::Spike {
+            region,
+            start_hour,
+            duration_hours,
+            factor,
+        }
+    }
+
+    /// A [`PriceFault::Dropout`] on `region`'s feed over
+    /// `[start_hour, start_hour + duration_hours)`.
+    pub fn dropout(region: usize, start_hour: f64, duration_hours: f64) -> Self {
+        PriceFault::Dropout {
+            region,
+            start_hour,
+            duration_hours,
+        }
+    }
+
     /// The region this fault perturbs.
     pub fn region(&self) -> usize {
         match *self {

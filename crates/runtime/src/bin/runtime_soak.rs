@@ -1,0 +1,221 @@
+//! Soak test for the online runtime: replays a full simulated day (288
+//! five-minute periods of the noisy diurnal scenario) through the online
+//! stepper and asserts, via `idc-testkit`'s equivalence oracles, that
+//!
+//! 1. the fault-free online run matches the batch simulator's final
+//!    accumulated cost and per-IDC power trajectory to 1e-9 (they are in
+//!    fact bit-identical, which is also asserted);
+//! 2. killing the run at an arbitrary step and restarting from its
+//!    checkpoint reproduces the uninterrupted trajectory bit for bit,
+//!    through a real serialize→disk→parse round trip;
+//! 3. a run with injected feed faults (drops and delays on both feeds)
+//!    completes, degrades at least once, and keeps the accounting finite.
+//!
+//! Exits non-zero with a description on the first failed assertion.
+
+use std::process::ExitCode;
+
+use idc_core::clock::SimClock;
+use idc_core::policy::MpcPolicy;
+use idc_core::simulation::Simulator;
+use idc_runtime::feed::FeedFaults;
+use idc_runtime::registry::scenario_by_key;
+use idc_runtime::snapshot::RuntimeSnapshot;
+use idc_runtime::stepper::{Stepper, StepperConfig};
+use idc_testkit::equivalence::{bitwise_f64, exact_u64, within_tolerance_f64, Mismatch};
+
+const SCENARIO: &str = "noisy_day";
+const SEED: u64 = 2012;
+const KILL_STEP: u64 = 97;
+
+fn check(label: &str, mismatch: Option<Mismatch>) -> Result<(), String> {
+    match mismatch {
+        None => {
+            println!("runtime_soak: {label}: ok");
+            Ok(())
+        }
+        Some(m) => Err(format!("{label}: {m}")),
+    }
+}
+
+fn batch_vs_online() -> Result<(), String> {
+    let mut online =
+        Stepper::new(StepperConfig::fault_free(SCENARIO, SEED)).map_err(|e| e.to_string())?;
+    online.run(&mut SimClock).map_err(|e| e.to_string())?;
+    if online.degraded_steps() != 0 {
+        return Err(format!(
+            "fault-free run degraded {} times",
+            online.degraded_steps()
+        ));
+    }
+
+    let scenario = scenario_by_key(SCENARIO, SEED, None).expect("known key");
+    let mut policy = MpcPolicy::paper_tuned(&scenario).map_err(|e| e.to_string())?;
+    let batch = Simulator::new()
+        .run(&scenario, &mut policy)
+        .map_err(|e| e.to_string())?;
+
+    check(
+        "batch vs online: accumulated cost (1e-9)",
+        within_tolerance_f64(
+            "cost_cumulative",
+            online.cost_cumulative(),
+            batch.cost_cumulative(),
+            1e-9,
+        ),
+    )?;
+    for j in 0..batch.num_idcs() {
+        check(
+            &format!("batch vs online: power[{j}] (1e-9)"),
+            within_tolerance_f64(
+                &format!("power_mw[{j}]"),
+                online.power_mw(j),
+                batch.power_mw(j),
+                1e-9,
+            ),
+        )?;
+        // The equivalence is in fact exact, and the checkpoint guarantees
+        // depend on that — hold the stronger line too.
+        check(
+            &format!("batch vs online: power[{j}] (bitwise)"),
+            bitwise_f64(
+                &format!("power_mw[{j}]"),
+                online.power_mw(j),
+                batch.power_mw(j),
+            ),
+        )?;
+        check(
+            &format!("batch vs online: servers[{j}]"),
+            exact_u64(
+                &format!("servers[{j}]"),
+                online.servers(j),
+                batch.servers(j),
+            ),
+        )?;
+    }
+    check(
+        "batch vs online: cost (bitwise)",
+        bitwise_f64(
+            "cost_cumulative",
+            online.cost_cumulative(),
+            batch.cost_cumulative(),
+        ),
+    )
+}
+
+fn faulted_config() -> StepperConfig {
+    StepperConfig {
+        workload_faults: FeedFaults::new(41, 0.10, 2),
+        price_faults: FeedFaults::new(43, 0.10, 2),
+        max_staleness_ticks: 1,
+        ..StepperConfig::fault_free(SCENARIO, SEED)
+    }
+}
+
+fn kill_and_restart() -> Result<(), String> {
+    // The uninterrupted faulted run is the truth...
+    let mut uninterrupted = Stepper::new(faulted_config()).map_err(|e| e.to_string())?;
+    uninterrupted
+        .run(&mut SimClock)
+        .map_err(|e| e.to_string())?;
+
+    // ...then "kill" a second instance at KILL_STEP, checkpoint through an
+    // actual file, restore and finish.
+    let mut killed = Stepper::new(faulted_config()).map_err(|e| e.to_string())?;
+    for _ in 0..KILL_STEP {
+        killed.step_once().map_err(|e| e.to_string())?;
+    }
+    let path = std::env::temp_dir().join(format!("runtime_soak_{}.json", std::process::id()));
+    killed
+        .snapshot()
+        .write_atomic(&path)
+        .map_err(|e| e.to_string())?;
+    drop(killed);
+    let snapshot = RuntimeSnapshot::read(&path).map_err(|e| e.to_string())?;
+    let _ = std::fs::remove_file(&path);
+    let mut restarted = Stepper::restore(&snapshot).map_err(|e| e.to_string())?;
+    restarted.run(&mut SimClock).map_err(|e| e.to_string())?;
+
+    check(
+        "kill/restart: cost (bitwise)",
+        bitwise_f64(
+            "cost_cumulative",
+            restarted.cost_cumulative(),
+            uninterrupted.cost_cumulative(),
+        ),
+    )?;
+    for j in 0..3 {
+        check(
+            &format!("kill/restart: power[{j}] (bitwise)"),
+            bitwise_f64(
+                &format!("power_mw[{j}]"),
+                restarted.power_mw(j),
+                uninterrupted.power_mw(j),
+            ),
+        )?;
+        check(
+            &format!("kill/restart: servers[{j}]"),
+            exact_u64(
+                &format!("servers[{j}]"),
+                restarted.servers(j),
+                uninterrupted.servers(j),
+            ),
+        )?;
+    }
+    if restarted.degraded_steps() != uninterrupted.degraded_steps() {
+        return Err(format!(
+            "kill/restart: degraded steps {} vs {}",
+            restarted.degraded_steps(),
+            uninterrupted.degraded_steps()
+        ));
+    }
+    if restarted.snapshot() != uninterrupted.snapshot() {
+        return Err("kill/restart: final snapshots differ".into());
+    }
+    println!(
+        "runtime_soak: kill/restart at step {KILL_STEP}: byte-identical \
+         ({} degraded steps replayed)",
+        uninterrupted.degraded_steps()
+    );
+    Ok(())
+}
+
+fn faulted_run_stays_sane() -> Result<(), String> {
+    let mut stepper = Stepper::new(faulted_config()).map_err(|e| e.to_string())?;
+    stepper.run(&mut SimClock).map_err(|e| e.to_string())?;
+    if stepper.degraded_steps() == 0 {
+        return Err("faulted run never degraded — fault injection inert?".into());
+    }
+    if !stepper.accumulated_cost().is_finite() || stepper.accumulated_cost() <= 0.0 {
+        return Err(format!(
+            "faulted run cost not finite-positive: {}",
+            stepper.accumulated_cost()
+        ));
+    }
+    println!(
+        "runtime_soak: faulted run: {} / {} steps degraded, cost {:.2} $, latency ok {:.4}",
+        stepper.degraded_steps(),
+        stepper.num_steps(),
+        stepper.accumulated_cost(),
+        stepper.latency_ok_fraction()
+    );
+    Ok(())
+}
+
+type Check = fn() -> Result<(), String>;
+
+fn main() -> ExitCode {
+    let checks: [(&str, Check); 3] = [
+        ("batch_vs_online", batch_vs_online),
+        ("kill_and_restart", kill_and_restart),
+        ("faulted_run", faulted_run_stays_sane),
+    ];
+    for (name, run) in checks {
+        if let Err(msg) = run() {
+            eprintln!("runtime_soak: FAIL [{name}]: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("runtime_soak: all checks passed");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,51 @@
+//! The runtime's error type: wraps control-stack and I/O failures and adds
+//! snapshot/configuration variants of its own.
+
+use std::fmt;
+
+/// Errors produced by the online runtime.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The control/simulation stack failed.
+    Core(idc_core::Error),
+    /// Filesystem or socket I/O failed.
+    Io(std::io::Error),
+    /// A snapshot could not be written, parsed or validated.
+    Snapshot(String),
+    /// Invalid runtime configuration (unknown scenario key, bad flag).
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Core(e) => write!(f, "control stack failure: {e}"),
+            Error::Io(e) => write!(f, "i/o failure: {e}"),
+            Error::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            Error::Config(msg) => write!(f, "runtime configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            Error::Io(e) => Some(e),
+            Error::Snapshot(_) | Error::Config(_) => None,
+        }
+    }
+}
+
+impl From<idc_core::Error> for Error {
+    fn from(e: idc_core::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}

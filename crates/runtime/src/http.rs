@@ -1,0 +1,161 @@
+//! A minimal HTTP/1.1 responder for the metrics endpoint, hand-rolled on
+//! [`std::net::TcpListener`] (the environment vendors no HTTP crates).
+//!
+//! Routes:
+//!
+//! * `GET /metrics` — Prometheus text exposition format
+//! * `GET /metrics.json` — the same registry as JSON
+//! * `GET /healthz` — `ok` once the server is up
+//!
+//! Everything else is a 404. Connections are served one at a time from a
+//! single background thread (the scrape rate of a control daemon is a few
+//! requests per minute); requests are read until the header terminator and
+//! the connection is closed after each response.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::metrics::MetricsRegistry;
+use crate::Result;
+
+/// A running metrics endpoint. Dropping the handle without calling
+/// [`shutdown`](Self::shutdown) detaches the serving thread.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `listen` (use port 0 for an ephemeral port) and starts serving
+    /// `registry` on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Io`] when the address cannot be bound.
+    pub fn start(listen: &str, registry: Arc<MetricsRegistry>) -> Result<Self> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if thread_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    // A slow or dead scraper must not wedge the daemon.
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                    let _ = serve_one(stream, &registry);
+                }
+            }
+        });
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the serving thread and waits for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop only observes the flag on its next connection;
+        // poke it with one.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Reads one request head and writes one response.
+fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 16 * 1024 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            registry.render_prometheus(),
+        ),
+        "/metrics.json" => ("200 OK", "application/json", registry.render_json()),
+        "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        let status = head.lines().next().unwrap().to_string();
+        (status, body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_health_and_404() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.inc_counter("idc_steps_total", 42);
+        registry.set_gauge("idc_accumulated_cost_dollars", 3.5);
+        let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("idc_steps_total 42"), "{body}");
+
+        let (status, body) = get(addr, "/metrics.json");
+        assert!(status.contains("200"));
+        assert!(body.contains("\"idc_steps_total\":42"), "{body}");
+
+        let (status, body) = get(addr, "/healthz");
+        assert!(status.contains("200"));
+        assert_eq!(body, "ok\n");
+
+        let (status, _) = get(addr, "/nope");
+        assert!(status.contains("404"), "{status}");
+
+        server.shutdown();
+    }
+}

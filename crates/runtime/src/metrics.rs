@@ -1,0 +1,271 @@
+//! Embedded metrics registry: counters, gauges and histograms rendered in
+//! Prometheus text format and JSON.
+//!
+//! Hand-rolled and std-only by design (the build environment vendors no
+//! metrics crates). Thread-safe behind a single mutex — the write rates
+//! here are one control step per sampling period, not a hot path. Metric
+//! keys may carry a Prometheus label suffix directly in the name (e.g.
+//! `idc_power_mw{idc="Michigan"}`); the renderer emits one `# TYPE` line
+//! per base name.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Cumulative histogram with static bucket bounds.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: Vec<f64>) -> Self {
+        let n = bounds.len();
+        Histogram {
+            bounds,
+            counts: vec![0; n + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The runtime's metrics registry. Cheap to share: wrap in an
+/// `Arc<MetricsRegistry>` and hand clones to the stepper and the HTTP
+/// responder.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+/// The base name of a possibly-labelled metric key.
+fn base_name(key: &str) -> &str {
+    key.split('{').next().unwrap_or(key)
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to the counter `key`, creating it at zero first.
+    pub fn inc_counter(&self, key: &str, v: u64) {
+        let mut inner = self.inner.lock().expect("metrics mutex");
+        *inner.counters.entry(key.to_string()).or_insert(0) += v;
+    }
+
+    /// Sets the counter `key` to an absolute cumulative value (for
+    /// counters whose source is itself cumulative, e.g. solver totals).
+    pub fn set_counter(&self, key: &str, v: u64) {
+        let mut inner = self.inner.lock().expect("metrics mutex");
+        inner.counters.insert(key.to_string(), v);
+    }
+
+    /// Sets the gauge `key`.
+    pub fn set_gauge(&self, key: &str, v: f64) {
+        let mut inner = self.inner.lock().expect("metrics mutex");
+        inner.gauges.insert(key.to_string(), v);
+    }
+
+    /// Records `v` into the histogram `key`, creating it with `bounds` on
+    /// first use (later calls ignore `bounds`).
+    pub fn observe(&self, key: &str, bounds: &[f64], v: f64) {
+        let mut inner = self.inner.lock().expect("metrics mutex");
+        inner
+            .histograms
+            .entry(key.to_string())
+            .or_insert_with(|| Histogram::new(bounds.to_vec()))
+            .observe(v);
+    }
+
+    /// Current value of a counter, if present.
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        self.inner
+            .lock()
+            .expect("metrics mutex")
+            .counters
+            .get(key)
+            .copied()
+    }
+
+    /// Current value of a gauge, if present.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        self.inner
+            .lock()
+            .expect("metrics mutex")
+            .gauges
+            .get(key)
+            .copied()
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock().expect("metrics mutex");
+        let mut out = String::new();
+        let mut typed: Option<&str> = None;
+        let type_line = |out: &mut String, key: &str, kind: &str, typed: &mut Option<&str>| {
+            let base = base_name(key);
+            if *typed != Some(base) {
+                out.push_str(&format!("# TYPE {base} {kind}\n"));
+            }
+        };
+        for (key, v) in &inner.counters {
+            type_line(&mut out, key, "counter", &mut typed);
+            typed = Some(base_name(key));
+            out.push_str(&format!("{key} {v}\n"));
+        }
+        typed = None;
+        for (key, v) in &inner.gauges {
+            type_line(&mut out, key, "gauge", &mut typed);
+            typed = Some(base_name(key));
+            out.push_str(&format!("{key} {v}\n"));
+        }
+        for (key, h) in &inner.histograms {
+            out.push_str(&format!("# TYPE {key} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, &bound) in h.bounds.iter().enumerate() {
+                cumulative += h.counts[i];
+                out.push_str(&format!("{key}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!(
+                "{key}_bucket{{le=\"+Inf\"}} {}\n{key}_sum {}\n{key}_count {}\n",
+                h.count, h.sum, h.count
+            ));
+        }
+        out
+    }
+
+    /// Renders the registry as a JSON object
+    /// (`{"counters": .., "gauges": .., "histograms": ..}`).
+    pub fn render_json(&self) -> String {
+        use serde::Value;
+        let inner = self.inner.lock().expect("metrics mutex");
+        let counters = Value::Object(
+            inner
+                .counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), Value::Number(v as f64)))
+                .collect(),
+        );
+        let gauges = Value::Object(
+            inner
+                .gauges
+                .iter()
+                .map(|(k, &v)| (k.clone(), Value::Number(v)))
+                .collect(),
+        );
+        let histograms = Value::Object(
+            inner
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    let buckets = Value::Array(
+                        h.bounds
+                            .iter()
+                            .zip(&h.counts)
+                            .map(|(&b, &c)| {
+                                Value::Array(vec![Value::Number(b), Value::Number(c as f64)])
+                            })
+                            .collect(),
+                    );
+                    (
+                        k.clone(),
+                        Value::Object(vec![
+                            ("sum".to_string(), Value::Number(h.sum)),
+                            ("count".to_string(), Value::Number(h.count as f64)),
+                            ("buckets".to_string(), buckets),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let root = Value::Object(vec![
+            ("counters".to_string(), counters),
+            ("gauges".to_string(), gauges),
+            ("histograms".to_string(), histograms),
+        ]);
+        serde_json::to_string(&root).expect("metric values are finite")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render() {
+        let m = MetricsRegistry::new();
+        m.inc_counter("idc_steps_total", 1);
+        m.inc_counter("idc_steps_total", 2);
+        m.set_gauge("idc_accumulated_cost_dollars", 12.5);
+        m.set_gauge("idc_power_mw{idc=\"Michigan\"}", 2.14);
+        assert_eq!(m.counter("idc_steps_total"), Some(3));
+        assert_eq!(m.gauge("idc_accumulated_cost_dollars"), Some(12.5));
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE idc_steps_total counter"));
+        assert!(text.contains("idc_steps_total 3"));
+        assert!(text.contains("# TYPE idc_power_mw gauge"));
+        assert!(text.contains("idc_power_mw{idc=\"Michigan\"} 2.14"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = MetricsRegistry::new();
+        let bounds = [0.001, 0.01, 0.1];
+        for v in [0.0005, 0.005, 0.005, 0.05, 5.0] {
+            m.observe("idc_step_duration_seconds", &bounds, v);
+        }
+        let text = m.render_prometheus();
+        assert!(text.contains("idc_step_duration_seconds_bucket{le=\"0.001\"} 1"));
+        assert!(text.contains("idc_step_duration_seconds_bucket{le=\"0.01\"} 3"));
+        assert!(text.contains("idc_step_duration_seconds_bucket{le=\"0.1\"} 4"));
+        assert!(text.contains("idc_step_duration_seconds_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("idc_step_duration_seconds_count 5"));
+    }
+
+    #[test]
+    fn json_rendering_is_parseable() {
+        let m = MetricsRegistry::new();
+        m.inc_counter("a_total", 7);
+        m.set_gauge("b", 1.25);
+        m.observe("h", &[1.0], 0.5);
+        let json = m.render_json();
+        let v: serde::Value = serde_json::from_str(&json).unwrap();
+        let serde::Value::Object(fields) = v else {
+            panic!("not an object")
+        };
+        let keys: Vec<_> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["counters", "gauges", "histograms"]);
+    }
+}

@@ -1,0 +1,636 @@
+//! The event-driven online stepper: the batch simulator's per-step dynamics
+//! re-expressed over streaming feeds, with held-last-value staleness
+//! handling, checkpoint/restore and metrics.
+//!
+//! # Batch equivalence
+//!
+//! With fault-free feeds, [`Stepper`] reproduces
+//! [`idc_core::simulation::Simulator::run`] *bit for bit*: the workload
+//! feed draws noise in the batch simulator's exact RNG order, the price
+//! feed closes the same demand→price feedback loop on the previous step's
+//! power, and the accounting (admission control, latency classification,
+//! cost integration) is the same arithmetic in the same order. The
+//! `runtime_soak` bin asserts this equivalence on a full simulated day.
+//!
+//! # Staleness policy
+//!
+//! Each fast tick the stepper ingests whatever the feeds delivered and
+//! holds the newest observation per feed (hold-last-value). When the newest
+//! held observation of *either* feed is older than
+//! [`StepperConfig::max_staleness_ticks`], the stepper stops trusting the
+//! MPC pipeline for that step and degrades to the policy's
+//! capacity-proportional fallback via [`MpcPolicy::degrade`], counting the
+//! degradation. Observations never arrived count as infinitely stale.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use idc_core::clock::Clock;
+use idc_core::feed::{Observation, PriceFeed, WorkloadFeed};
+use idc_core::policy::{MpcPolicy, Policy, StepContext};
+use idc_core::scenario::Scenario;
+use idc_datacenter::idc::LatencyStatus;
+
+use crate::error::Error;
+use crate::feed::{FeedFaults, TracePriceFeed, TraceWorkloadFeed};
+use crate::metrics::MetricsRegistry;
+use crate::snapshot::{FeedFaultsSnap, HeldSnap, RuntimeSnapshot, SNAPSHOT_VERSION};
+use crate::Result;
+
+/// Bucket bounds (seconds) for the per-step wall-clock histogram.
+const STEP_DURATION_BOUNDS: [f64; 8] = [0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.1, 1.0];
+
+/// Configuration of an online run.
+#[derive(Debug, Clone)]
+pub struct StepperConfig {
+    /// Scenario registry key (see [`crate::registry::SCENARIO_KEYS`]).
+    pub scenario_key: String,
+    /// Workload-noise seed.
+    pub seed: u64,
+    /// Run length override in sampling periods (`None` = scenario default).
+    pub num_steps: Option<usize>,
+    /// Ticks a held observation may age before the stepper degrades.
+    pub max_staleness_ticks: u64,
+    /// Fault schedule for the workload feed.
+    pub workload_faults: FeedFaults,
+    /// Fault schedule for the price feed.
+    pub price_faults: FeedFaults,
+}
+
+impl StepperConfig {
+    /// A fault-free run of the named scenario with the given seed.
+    pub fn fault_free(scenario_key: &str, seed: u64) -> Self {
+        StepperConfig {
+            scenario_key: scenario_key.to_string(),
+            seed,
+            num_steps: None,
+            max_staleness_ticks: 3,
+            workload_faults: FeedFaults::none(),
+            price_faults: FeedFaults::none(),
+        }
+    }
+}
+
+/// A held last-value observation.
+#[derive(Debug, Clone)]
+struct Held {
+    value: Vec<f64>,
+    updated_tick: Option<u64>,
+}
+
+impl Held {
+    fn ingest(&mut self, obs: Vec<Observation<Vec<f64>>>) {
+        for o in obs {
+            if self.updated_tick.is_none_or(|t| o.tick > t) {
+                self.updated_tick = Some(o.tick);
+                self.value = o.value;
+            }
+        }
+    }
+
+    /// Age of the held observation at `tick`; never-arrived counts as
+    /// one past the maximum representable staleness at this tick.
+    fn staleness(&self, tick: u64) -> u64 {
+        match self.updated_tick {
+            Some(t) => tick.saturating_sub(t),
+            None => tick + 1,
+        }
+    }
+
+    fn snap(&self) -> HeldSnap {
+        HeldSnap {
+            value: self.value.clone(),
+            updated_tick: self.updated_tick,
+        }
+    }
+
+    fn from_snap(s: &HeldSnap) -> Self {
+        Held {
+            value: s.value.clone(),
+            updated_tick: s.updated_tick,
+        }
+    }
+}
+
+/// The online two-time-scale control stepper.
+#[derive(Debug)]
+pub struct Stepper {
+    config: StepperConfig,
+    scenario: Scenario,
+    policy: MpcPolicy,
+    workload_feed: TraceWorkloadFeed,
+    price_feed: TracePriceFeed,
+    held_offered: Held,
+    held_prices: Held,
+    step: u64,
+    last_power_mw: Vec<f64>,
+    accumulated_cost: f64,
+    latency_ok: u64,
+    offered_volume: f64,
+    shed_volume: f64,
+    degraded_steps: u64,
+    power_mw: Vec<Vec<f64>>,
+    servers: Vec<Vec<u64>>,
+    cost_cumulative: Vec<f64>,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl Stepper {
+    /// Builds a stepper at step 0, with the policy initialized exactly as
+    /// the batch simulator initializes it (init-hour prices, zero own-load
+    /// feedback, base offered workloads).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for an unknown scenario key and propagates
+    /// policy construction failures.
+    pub fn new(config: StepperConfig) -> Result<Self> {
+        let scenario =
+            crate::registry::scenario_by_key(&config.scenario_key, config.seed, config.num_steps)
+                .ok_or_else(|| {
+                Error::Config(format!("unknown scenario key '{}'", config.scenario_key))
+            })?;
+        let fleet = scenario.fleet();
+        let n = fleet.num_idcs();
+        let base_offered = fleet.offered_workloads();
+        let init_prices = scenario
+            .pricing()
+            .prices(scenario.init_hour(), &vec![0.0; n]);
+
+        let mut policy = MpcPolicy::paper_tuned(&scenario)?;
+        let init_ctx = StepContext {
+            step: 0,
+            hour: scenario.init_hour(),
+            dt_hours: scenario.ts_hours(),
+            prices: init_prices.clone(),
+            offered: base_offered.clone(),
+            idcs: fleet.idcs(),
+        };
+        policy.initialize(&init_ctx)?;
+
+        let workload_feed = TraceWorkloadFeed::new(&scenario, config.workload_faults);
+        let price_feed = TracePriceFeed::new(&scenario, config.price_faults);
+        Ok(Stepper {
+            config,
+            policy,
+            workload_feed,
+            price_feed,
+            held_offered: Held {
+                value: base_offered,
+                updated_tick: None,
+            },
+            held_prices: Held {
+                value: init_prices,
+                updated_tick: None,
+            },
+            step: 0,
+            last_power_mw: vec![0.0; n],
+            accumulated_cost: 0.0,
+            latency_ok: 0,
+            offered_volume: 0.0,
+            shed_volume: 0.0,
+            degraded_steps: 0,
+            power_mw: vec![Vec::new(); n],
+            servers: vec![Vec::new(); n],
+            cost_cumulative: Vec::new(),
+            metrics: None,
+            scenario,
+        })
+    }
+
+    /// Attaches a metrics registry; every subsequent step updates it.
+    pub fn attach_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        self.metrics = Some(registry);
+    }
+
+    /// The scenario being run.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Next step to execute (steps `0..step()` are accounted).
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Total steps of the run.
+    pub fn num_steps(&self) -> u64 {
+        self.scenario.num_steps() as u64
+    }
+
+    /// Whether the run has consumed every step.
+    pub fn is_finished(&self) -> bool {
+        self.step >= self.num_steps()
+    }
+
+    /// Accumulated electricity cost so far ($).
+    pub fn accumulated_cost(&self) -> f64 {
+        self.accumulated_cost
+    }
+
+    /// Cumulative cost after each executed step.
+    pub fn cost_cumulative(&self) -> &[f64] {
+        &self.cost_cumulative
+    }
+
+    /// Power trajectory of IDC `j` so far (MW).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn power_mw(&self, j: usize) -> &[f64] {
+        &self.power_mw[j]
+    }
+
+    /// Server trajectory of IDC `j` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn servers(&self, j: usize) -> &[u64] {
+        &self.servers[j]
+    }
+
+    /// Steps served by the degraded fallback path because of feed
+    /// staleness.
+    pub fn degraded_steps(&self) -> u64 {
+        self.degraded_steps
+    }
+
+    /// Fraction of (IDC, step) pairs that met the latency bound so far.
+    pub fn latency_ok_fraction(&self) -> f64 {
+        let denom = self.step * self.power_mw.len() as u64;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.latency_ok as f64 / denom as f64
+    }
+
+    /// The controller driving this run.
+    pub fn policy(&self) -> &MpcPolicy {
+        &self.policy
+    }
+
+    /// Executes one fast tick. Returns `false` (without stepping) once the
+    /// run is complete.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy failures and rejects decisions that violate the
+    /// same invariants the batch simulator enforces (dimension mismatch,
+    /// lost workload).
+    pub fn step_once(&mut self) -> Result<bool> {
+        if self.is_finished() {
+            return Ok(false);
+        }
+        let wall_start = Instant::now();
+        let k = self.step;
+        let fleet = self.scenario.fleet();
+        let n = fleet.num_idcs();
+        let ts = self.scenario.ts_hours();
+        let hour = self.scenario.start_hour() + k as f64 * ts;
+
+        // ---- Ingest feeds, newest-stamp-wins. ----
+        self.held_offered.ingest(self.workload_feed.poll(k));
+        self.held_prices
+            .ingest(self.price_feed.poll(k, hour, &self.last_power_mw));
+
+        // ---- Offered workload + admission control (batch-identical). ----
+        let mut offered = self.held_offered.value.clone();
+        let total_offered: f64 = offered.iter().sum();
+        self.offered_volume += total_offered;
+        let admission_cap = fleet.total_capacity() * 0.999;
+        if total_offered > admission_cap {
+            let scale = admission_cap / total_offered;
+            for v in &mut offered {
+                *v *= scale;
+            }
+            self.shed_volume += total_offered - admission_cap;
+        }
+        let prices = self.held_prices.value.clone();
+
+        // ---- Staleness gate. ----
+        let staleness = self
+            .held_offered
+            .staleness(k)
+            .max(self.held_prices.staleness(k));
+        let degraded = staleness > self.config.max_staleness_ticks;
+
+        let ctx = StepContext {
+            step: k as usize,
+            hour,
+            dt_hours: ts,
+            prices: prices.clone(),
+            offered: offered.clone(),
+            idcs: fleet.idcs(),
+        };
+        let decision = if degraded {
+            self.degraded_steps += 1;
+            self.policy.degrade(&ctx)?
+        } else {
+            self.policy.decide(&ctx)?
+        };
+
+        // ---- Validate (same invariants as the batch simulator). ----
+        if decision.servers_on.len() != n
+            || decision.allocation.idcs() != n
+            || decision.allocation.portals() != offered.len()
+        {
+            return Err(Error::Core(idc_core::Error::Config(format!(
+                "policy '{}' returned a decision with wrong dimensions",
+                self.policy.name()
+            ))));
+        }
+        if !decision.allocation.conserves_workload(&offered, 1e-3) {
+            return Err(Error::Core(idc_core::Error::Config(format!(
+                "policy '{}' lost workload at step {k}",
+                self.policy.name()
+            ))));
+        }
+
+        // ---- Account (batch-identical arithmetic and order). ----
+        let per_idc = fleet.per_idc_power_mw(&decision.servers_on, &decision.allocation);
+        for j in 0..n {
+            self.power_mw[j].push(per_idc[j]);
+            self.servers[j].push(decision.servers_on[j]);
+            if fleet.idcs()[j]
+                .latency_status(decision.servers_on[j], decision.allocation.idc_total(j))
+                == LatencyStatus::WithinBound
+            {
+                self.latency_ok += 1;
+            }
+        }
+        self.accumulated_cost += per_idc
+            .iter()
+            .zip(&prices)
+            .map(|(&p, &pr)| p * pr * ts)
+            .sum::<f64>();
+        self.cost_cumulative.push(self.accumulated_cost);
+        self.last_power_mw = per_idc;
+        self.step += 1;
+
+        if let Some(m) = self.metrics.clone() {
+            self.publish_metrics(&m, staleness, wall_start.elapsed().as_secs_f64());
+        }
+        Ok(true)
+    }
+
+    /// Runs every remaining step, pacing each tick through `clock`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`step_once`](Self::step_once) failure.
+    pub fn run(&mut self, clock: &mut dyn Clock) -> Result<()> {
+        while !self.is_finished() {
+            clock.wait_for_step(self.step);
+            self.step_once()?;
+        }
+        Ok(())
+    }
+
+    fn publish_metrics(&self, m: &MetricsRegistry, staleness: u64, step_seconds: f64) {
+        m.inc_counter("idc_steps_total", 1);
+        m.set_counter("idc_degraded_steps_total", self.degraded_steps);
+        m.set_counter(
+            "idc_fallback_steps_total",
+            self.policy.fallback_steps().len() as u64,
+        );
+        let (warm, cold) = self.policy.controller().solve_counters();
+        m.set_counter("idc_solver_warm_solves_total", warm as u64);
+        m.set_counter("idc_solver_cold_solves_total", cold as u64);
+        m.set_gauge("idc_accumulated_cost_dollars", self.accumulated_cost);
+        m.set_gauge("idc_feed_staleness_ticks", staleness as f64);
+        m.set_gauge("idc_latency_ok_fraction", self.latency_ok_fraction());
+        m.set_gauge("idc_step", self.step as f64);
+        for (j, idc) in self.scenario.fleet().idcs().iter().enumerate() {
+            m.set_gauge(
+                &format!("idc_power_mw{{idc=\"{}\"}}", idc.name()),
+                self.last_power_mw[j],
+            );
+            m.set_gauge(
+                &format!("idc_servers_on{{idc=\"{}\"}}", idc.name()),
+                *self.servers[j].last().unwrap_or(&0) as f64,
+            );
+        }
+        let phases = self.policy.phase_breakdown();
+        for (phase, ns) in [
+            ("refresh", phases.refresh_ns),
+            ("factor", phases.factor_ns),
+            ("condense", phases.condense_ns),
+            ("solve", phases.solve_ns),
+            ("reference", phases.reference_ns),
+        ] {
+            m.set_counter(
+                &format!("idc_policy_phase_ns_total{{phase=\"{phase}\"}}"),
+                ns,
+            );
+        }
+        m.observe(
+            "idc_step_duration_seconds",
+            &STEP_DURATION_BOUNDS,
+            step_seconds,
+        );
+    }
+
+    /// Exports the complete resume state. `restore` on the result yields a
+    /// stepper whose remaining trajectory is bit-for-bit the one this
+    /// stepper would produce.
+    pub fn snapshot(&self) -> RuntimeSnapshot {
+        RuntimeSnapshot {
+            version: SNAPSHOT_VERSION,
+            scenario_key: self.config.scenario_key.clone(),
+            seed: self.config.seed,
+            num_steps: self.num_steps(),
+            step: self.step,
+            max_staleness_ticks: self.config.max_staleness_ticks,
+            workload_faults: self.config.workload_faults.state(),
+            price_faults: self.config.price_faults.state(),
+            workload_feed: self.workload_feed.state(),
+            price_feed: self.price_feed.state(),
+            held_offered: self.held_offered.snap(),
+            held_prices: self.held_prices.snap(),
+            last_power_mw: self.last_power_mw.clone(),
+            accumulated_cost: self.accumulated_cost,
+            latency_ok: self.latency_ok,
+            offered_volume: self.offered_volume,
+            shed_volume: self.shed_volume,
+            degraded_steps: self.degraded_steps,
+            power_mw: self.power_mw.clone(),
+            servers: self.servers.clone(),
+            cost_cumulative: self.cost_cumulative.clone(),
+            policy: self.policy.snapshot(),
+        }
+    }
+
+    /// Rebuilds a stepper from a [`snapshot`](Self::snapshot) export: the
+    /// scenario is reconstructed from its registry key, the feeds are
+    /// fast-forwarded to their cursors, and the policy state is restored
+    /// in full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] / [`Error::Config`] when the snapshot
+    /// fails validation or is inconsistent with the rebuilt scenario.
+    pub fn restore(snapshot: &RuntimeSnapshot) -> Result<Self> {
+        snapshot.validate()?;
+        let workload_faults = FeedFaults::from_state(&snapshot.workload_faults)
+            .ok_or_else(|| bad_faults(&snapshot.workload_faults))?;
+        let price_faults = FeedFaults::from_state(&snapshot.price_faults)
+            .ok_or_else(|| bad_faults(&snapshot.price_faults))?;
+        let config = StepperConfig {
+            scenario_key: snapshot.scenario_key.clone(),
+            seed: snapshot.seed,
+            num_steps: Some(snapshot.num_steps as usize),
+            max_staleness_ticks: snapshot.max_staleness_ticks,
+            workload_faults,
+            price_faults,
+        };
+        let scenario =
+            crate::registry::scenario_by_key(&config.scenario_key, config.seed, config.num_steps)
+                .ok_or_else(|| {
+                Error::Snapshot(format!(
+                    "snapshot names unknown scenario '{}'",
+                    config.scenario_key
+                ))
+            })?;
+        let n = scenario.fleet().num_idcs();
+        if snapshot.last_power_mw.len() != n {
+            return Err(Error::Snapshot(format!(
+                "snapshot has {} IDCs but scenario '{}' has {n}",
+                snapshot.last_power_mw.len(),
+                config.scenario_key
+            )));
+        }
+        let mut policy = MpcPolicy::paper_tuned(&scenario)?;
+        policy.restore(&snapshot.policy)?;
+        let workload_feed =
+            TraceWorkloadFeed::from_state(&scenario, workload_faults, &snapshot.workload_feed);
+        let price_feed = TracePriceFeed::from_state(&scenario, price_faults, &snapshot.price_feed);
+        Ok(Stepper {
+            config,
+            policy,
+            workload_feed,
+            price_feed,
+            held_offered: Held::from_snap(&snapshot.held_offered),
+            held_prices: Held::from_snap(&snapshot.held_prices),
+            step: snapshot.step,
+            last_power_mw: snapshot.last_power_mw.clone(),
+            accumulated_cost: snapshot.accumulated_cost,
+            latency_ok: snapshot.latency_ok,
+            offered_volume: snapshot.offered_volume,
+            shed_volume: snapshot.shed_volume,
+            degraded_steps: snapshot.degraded_steps,
+            power_mw: snapshot.power_mw.clone(),
+            servers: snapshot.servers.clone(),
+            cost_cumulative: snapshot.cost_cumulative.clone(),
+            metrics: None,
+            scenario,
+        })
+    }
+}
+
+fn bad_faults(snap: &FeedFaultsSnap) -> Error {
+    Error::Snapshot(format!(
+        "fault schedule has out-of-range drop rate {} per mille",
+        snap.drop_per_mille
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idc_core::clock::SimClock;
+    use idc_core::simulation::Simulator;
+
+    #[test]
+    fn fault_free_run_matches_batch_simulator_bit_for_bit() {
+        let config = StepperConfig::fault_free("smoothing", 2012);
+        let mut stepper = Stepper::new(config).unwrap();
+        stepper.run(&mut SimClock).unwrap();
+        assert_eq!(stepper.degraded_steps(), 0);
+
+        let scenario = crate::registry::scenario_by_key("smoothing", 2012, None).unwrap();
+        let mut policy = MpcPolicy::paper_tuned(&scenario).unwrap();
+        let batch = Simulator::new().run(&scenario, &mut policy).unwrap();
+
+        assert_eq!(
+            stepper.cost_cumulative().len(),
+            batch.cost_cumulative().len()
+        );
+        for (a, b) in stepper
+            .cost_cumulative()
+            .iter()
+            .zip(batch.cost_cumulative())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for j in 0..3 {
+            assert_eq!(stepper.power_mw(j).len(), batch.power_mw(j).len());
+            for (a, b) in stepper.power_mw(j).iter().zip(batch.power_mw(j)) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(stepper.servers(j), batch.servers(j));
+        }
+        assert_eq!(stepper.latency_ok_fraction(), batch.latency_ok_fraction());
+    }
+
+    #[test]
+    fn snapshot_restore_mid_run_is_bit_identical() {
+        let config = StepperConfig {
+            workload_faults: FeedFaults::new(5, 0.15, 2),
+            price_faults: FeedFaults::new(17, 0.15, 2),
+            max_staleness_ticks: 1,
+            ..StepperConfig::fault_free("smoothing", 2012)
+        };
+        let mut live = Stepper::new(config.clone()).unwrap();
+        for _ in 0..12 {
+            live.step_once().unwrap();
+        }
+        let snap = live.snapshot();
+        let mut resumed = Stepper::restore(&snap).unwrap();
+        while live.step_once().unwrap() {
+            assert!(resumed.step_once().unwrap());
+        }
+        assert!(!resumed.step_once().unwrap());
+        assert_eq!(
+            live.accumulated_cost().to_bits(),
+            resumed.accumulated_cost().to_bits()
+        );
+        for j in 0..3 {
+            for (a, b) in live.power_mw(j).iter().zip(resumed.power_mw(j)) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        assert_eq!(live.degraded_steps(), resumed.degraded_steps());
+        // And their end-of-run snapshots agree entirely.
+        assert_eq!(live.snapshot(), resumed.snapshot());
+    }
+
+    #[test]
+    fn total_feed_loss_degrades_every_late_step() {
+        let config = StepperConfig {
+            // Drop every workload sample: after max_staleness_ticks the
+            // stepper must degrade and keep serving the held workload.
+            workload_faults: FeedFaults::new(1, 1.0, 0),
+            max_staleness_ticks: 2,
+            ..StepperConfig::fault_free("smoothing", 2012)
+        };
+        let mut stepper = Stepper::new(config).unwrap();
+        stepper.run(&mut SimClock).unwrap();
+        // Ticks 0 and 1 are within the staleness budget (never-arrived
+        // counts tick+1); everything after degrades.
+        assert_eq!(stepper.degraded_steps(), stepper.num_steps() - 2);
+        assert!(stepper.accumulated_cost().is_finite());
+        assert!(stepper.accumulated_cost() > 0.0);
+        assert_eq!(
+            stepper.policy().fallback_steps().len() as u64,
+            stepper.degraded_steps()
+        );
+    }
+
+    #[test]
+    fn unknown_scenario_key_is_rejected() {
+        let err = Stepper::new(StepperConfig::fault_free("nope", 1)).unwrap_err();
+        assert!(matches!(err, Error::Config(_)));
+    }
+}

@@ -1,0 +1,140 @@
+//! Trajectory-equivalence oracles: plain-slice comparators for checking
+//! that two runs (e.g. the batch simulator and the online runtime, or an
+//! uninterrupted run and a checkpoint-restored one) produced the same
+//! trajectory, either bit-for-bit or to a tolerance.
+//!
+//! Comparators return a [`Mismatch`] describing the *first* divergence —
+//! index, both values, and the bit distance for `f64` pairs — which is far
+//! more actionable than a bare `assert_eq!` over million-element series.
+
+use std::fmt;
+
+/// The first divergence between two series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mismatch {
+    /// Name of the series being compared.
+    pub series: String,
+    /// Index of the first diverging element.
+    pub index: usize,
+    /// Left value at the divergence, rendered exactly.
+    pub left: String,
+    /// Right value at the divergence, rendered exactly.
+    pub right: String,
+    /// Absolute difference for numeric series (`None` for length
+    /// mismatches).
+    pub abs_diff: Option<f64>,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {} vs {}",
+            self.series, self.index, self.left, self.right
+        )?;
+        if let Some(d) = self.abs_diff {
+            write!(f, " (|Δ| = {d:e})")?;
+        }
+        Ok(())
+    }
+}
+
+fn length_mismatch(series: &str, a: usize, b: usize) -> Mismatch {
+    Mismatch {
+        series: series.to_string(),
+        index: a.min(b),
+        left: format!("length {a}"),
+        right: format!("length {b}"),
+        abs_diff: None,
+    }
+}
+
+/// Checks that two `f64` series are identical *bit for bit* (so `-0.0` vs
+/// `0.0` or differently-quieted NaNs count as divergences). Returns the
+/// first divergence, or `None` when equal.
+pub fn bitwise_f64(series: &str, a: &[f64], b: &[f64]) -> Option<Mismatch> {
+    if a.len() != b.len() {
+        return Some(length_mismatch(series, a.len(), b.len()));
+    }
+    a.iter()
+        .zip(b)
+        .position(|(x, y)| x.to_bits() != y.to_bits())
+        .map(|i| Mismatch {
+            series: series.to_string(),
+            index: i,
+            left: format!("{:?} ({:#018x})", a[i], a[i].to_bits()),
+            right: format!("{:?} ({:#018x})", b[i], b[i].to_bits()),
+            abs_diff: Some((a[i] - b[i]).abs()),
+        })
+}
+
+/// Checks that two `f64` series agree to an absolute tolerance. Returns
+/// the first out-of-tolerance pair (non-finite values always diverge), or
+/// `None` when the series agree.
+pub fn within_tolerance_f64(series: &str, a: &[f64], b: &[f64], tol: f64) -> Option<Mismatch> {
+    if a.len() != b.len() {
+        return Some(length_mismatch(series, a.len(), b.len()));
+    }
+    a.iter()
+        .zip(b)
+        .position(|(x, y)| !((x - y).abs() <= tol) || !x.is_finite() || !y.is_finite())
+        .map(|i| Mismatch {
+            series: series.to_string(),
+            index: i,
+            left: format!("{:?}", a[i]),
+            right: format!("{:?}", b[i]),
+            abs_diff: Some((a[i] - b[i]).abs()),
+        })
+}
+
+/// Checks that two integer series are identical. Returns the first
+/// divergence, or `None` when equal.
+pub fn exact_u64(series: &str, a: &[u64], b: &[u64]) -> Option<Mismatch> {
+    if a.len() != b.len() {
+        return Some(length_mismatch(series, a.len(), b.len()));
+    }
+    a.iter().zip(b).position(|(x, y)| x != y).map(|i| Mismatch {
+        series: series.to_string(),
+        index: i,
+        left: a[i].to_string(),
+        right: b[i].to_string(),
+        abs_diff: Some((a[i] as f64 - b[i] as f64).abs()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitwise_distinguishes_signed_zero() {
+        assert_eq!(bitwise_f64("z", &[0.0, 1.0], &[0.0, 1.0]), None);
+        let m = bitwise_f64("z", &[0.0], &[-0.0]).unwrap();
+        assert_eq!(m.index, 0);
+        assert_eq!(m.abs_diff, Some(0.0));
+    }
+
+    #[test]
+    fn tolerance_comparator_accepts_small_and_rejects_large_gaps() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0 + 1e-12, 2.0, 3.0 + 1e-6];
+        assert_eq!(within_tolerance_f64("t", &a, &b, 1e-5), None);
+        let m = within_tolerance_f64("t", &a, &b, 1e-9).unwrap();
+        assert_eq!(m.index, 2);
+    }
+
+    #[test]
+    fn tolerance_comparator_rejects_non_finite() {
+        let m = within_tolerance_f64("n", &[f64::NAN], &[f64::NAN], 1.0).unwrap();
+        assert_eq!(m.index, 0);
+    }
+
+    #[test]
+    fn length_and_integer_mismatches_are_reported() {
+        let m = exact_u64("s", &[1, 2], &[1, 2, 3]).unwrap();
+        assert!(m.to_string().contains("length"));
+        let m = exact_u64("s", &[1, 2], &[1, 4]).unwrap();
+        assert_eq!(m.index, 1);
+        assert_eq!(m.abs_diff, Some(2.0));
+    }
+}

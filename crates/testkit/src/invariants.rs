@@ -10,6 +10,7 @@
 
 use idc_core::scenario::Scenario;
 use idc_core::simulation::SimulationResult;
+use idc_core::LatencyStatus;
 
 /// Explicit tolerances used by [`check_run`]. The defaults mirror the
 /// production pipeline: conservation uses the simulator's own admission
@@ -240,8 +241,9 @@ pub fn check_run(scenario: &Scenario, result: &SimulationResult, tol: &Tolerance
             let lam = lam_series[k];
             let m = m_series[k];
             report.checks += 1;
-            if lam < m as f64 * idc.service_rate() {
-                if !idc.meets_latency_bound(m, lam) {
+            match idc.latency_status(m, lam) {
+                LatencyStatus::WithinBound => {}
+                LatencyStatus::BoundExceeded => {
                     report.violations.push(Violation {
                         kind: ViolationKind::Latency,
                         step: k,
@@ -252,16 +254,17 @@ pub fn check_run(scenario: &Scenario, result: &SimulationResult, tol: &Tolerance
                         ),
                     });
                 }
-            } else if lam > 0.0 {
-                report.violations.push(Violation {
-                    kind: ViolationKind::Latency,
-                    step: k,
-                    index: Some(j),
-                    magnitude: lam - m as f64 * idc.service_rate(),
-                    detail: format!(
-                        "overloaded past M/M/n stability: {lam:.1} req/s on {m} servers"
-                    ),
-                });
+                LatencyStatus::Unstable => {
+                    report.violations.push(Violation {
+                        kind: ViolationKind::Latency,
+                        step: k,
+                        index: Some(j),
+                        magnitude: lam - m as f64 * idc.service_rate(),
+                        detail: format!(
+                            "overloaded past M/M/n stability: {lam:.1} req/s on {m} servers"
+                        ),
+                    });
+                }
             }
         }
     }

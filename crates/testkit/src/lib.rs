@@ -21,9 +21,13 @@
 //!   error scaling, forced solver failures) and check the policy degrades
 //!   gracefully: falls back, never panics, and either keeps the invariants
 //!   or surfaces the violations in a [`invariants::Report`].
+//! * [`equivalence`] — plain-slice trajectory comparators (bitwise and
+//!   tolerance-based) reporting the first divergence, used by the online
+//!   runtime's soak test to prove batch/online and restore equivalence.
 
 #![warn(missing_docs)]
 
+pub mod equivalence;
 pub mod faults;
 pub mod invariants;
 pub mod oracle;

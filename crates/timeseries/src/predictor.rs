@@ -3,7 +3,21 @@
 
 use std::collections::VecDeque;
 
-use crate::rls::RecursiveLeastSquares;
+use serde::{Deserialize, Serialize};
+
+use crate::rls::{RecursiveLeastSquares, RlsState};
+
+/// The complete evolving state of a [`WorkloadPredictor`] as plain
+/// serializable data, for checkpoint/restore of online controllers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictorState {
+    /// AR model order `p`.
+    pub order: u64,
+    /// The recent-sample window, oldest first (at most `order` entries).
+    pub history: Vec<f64>,
+    /// The RLS coefficient estimator's state.
+    pub rls: RlsState,
+}
 
 /// Default RLS forgetting factor; slightly below 1 so the predictor tracks
 /// the time-varying diurnal workload, as the paper's "time-varying AR"
@@ -137,6 +151,36 @@ impl WorkloadPredictor {
         out
     }
 
+    /// Exports the predictor's complete evolving state for checkpointing.
+    pub fn state(&self) -> PredictorState {
+        PredictorState {
+            order: self.order as u64,
+            history: self.history.iter().copied().collect(),
+            rls: self.rls.state(),
+        }
+    }
+
+    /// Rebuilds a predictor from a [`state`](Self::state) export, resuming
+    /// observation and forecasting bit-for-bit. Returns `None` when the
+    /// state is internally inconsistent (zero order, a history longer than
+    /// the order, an RLS dimension that does not match the order, or a
+    /// corrupt RLS state).
+    pub fn from_state(state: &PredictorState) -> Option<Self> {
+        let order = state.order as usize;
+        if order == 0 || state.history.len() > order {
+            return None;
+        }
+        let rls = RecursiveLeastSquares::from_state(&state.rls)?;
+        if rls.dim() != order {
+            return None;
+        }
+        Some(WorkloadPredictor {
+            order,
+            rls,
+            history: state.history.iter().copied().collect(),
+        })
+    }
+
     /// Regressor `[µ(k−1), …, µ(k−p)]`, newest first, zero-padded.
     fn regressor(&self) -> Vec<f64> {
         (0..self.order)
@@ -225,6 +269,39 @@ mod tests {
             p.observe(v);
         }
         assert!(p.forecast(20).iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn state_roundtrip_is_bit_exact() {
+        let mut p = WorkloadPredictor::new(3).unwrap();
+        for t in 0..40 {
+            p.observe(1000.0 + 300.0 * (t as f64 * 0.2).sin());
+        }
+        let mut restored = WorkloadPredictor::from_state(&p.state()).unwrap();
+        assert_eq!(restored.forecast(5), p.forecast(5));
+        for t in 40..60 {
+            let v = 1000.0 + 300.0 * (t as f64 * 0.2).sin();
+            let a = p.observe(v);
+            let b = restored.observe(v);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(p.state(), restored.state());
+    }
+
+    #[test]
+    fn from_state_rejects_inconsistent_data() {
+        let mut p = WorkloadPredictor::new(2).unwrap();
+        p.observe(5.0);
+        let good = p.state();
+        let mut bad = good.clone();
+        bad.order = 0;
+        assert!(WorkloadPredictor::from_state(&bad).is_none());
+        let mut bad = good.clone();
+        bad.history = vec![1.0, 2.0, 3.0]; // longer than the order
+        assert!(WorkloadPredictor::from_state(&bad).is_none());
+        let mut bad = good;
+        bad.order = 3; // RLS dimension no longer matches
+        assert!(WorkloadPredictor::from_state(&bad).is_none());
     }
 
     #[test]

@@ -11,6 +11,26 @@
 //! ```
 
 use idc_linalg::{vec_ops, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// The complete evolving state of a [`RecursiveLeastSquares`] estimator as
+/// plain serializable data, for checkpoint/restore of online controllers.
+///
+/// Captures everything [`RecursiveLeastSquares::update`] touches — the
+/// coefficient estimate `θ`, the covariance `P` (row-major), the forgetting
+/// factor and the update counter — so
+/// [`RecursiveLeastSquares::from_state`] resumes the recursion bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RlsState {
+    /// Coefficient estimate `θ`, one entry per regressor dimension.
+    pub theta: Vec<f64>,
+    /// Covariance matrix `P`, row-major, `theta.len()²` entries.
+    pub covariance: Vec<f64>,
+    /// Forgetting factor `λ ∈ (0, 1]`.
+    pub forgetting: f64,
+    /// Number of updates performed so far.
+    pub updates: u64,
+}
 
 /// Online recursive least-squares estimator of `y ≈ θᵀx`.
 ///
@@ -113,6 +133,51 @@ impl RecursiveLeastSquares {
         self.updates += 1;
         err
     }
+
+    /// Exports the estimator's complete evolving state for checkpointing.
+    pub fn state(&self) -> RlsState {
+        let n = self.dim();
+        let mut covariance = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                covariance.push(self.p[(i, j)]);
+            }
+        }
+        RlsState {
+            theta: self.theta.clone(),
+            covariance,
+            forgetting: self.forgetting,
+            updates: self.updates as u64,
+        }
+    }
+
+    /// Rebuilds an estimator from a [`state`](Self::state) export, resuming
+    /// the recursion bit-for-bit. Returns `None` when the state is
+    /// internally inconsistent (dimension mismatch, non-finite entries, or
+    /// an out-of-range forgetting factor).
+    pub fn from_state(state: &RlsState) -> Option<Self> {
+        let n = state.theta.len();
+        if n == 0
+            || state.covariance.len() != n * n
+            || !(state.forgetting > 0.0 && state.forgetting <= 1.0)
+            || state.theta.iter().any(|v| !v.is_finite())
+            || state.covariance.iter().any(|v| !v.is_finite())
+        {
+            return None;
+        }
+        let mut p = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                p[(i, j)] = state.covariance[i * n + j];
+            }
+        }
+        Some(RecursiveLeastSquares {
+            theta: state.theta.clone(),
+            p,
+            forgetting: state.forgetting,
+            updates: state.updates as usize,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +244,46 @@ mod tests {
         rls.update(&[1.0], 1.0);
         rls.update(&[1.0], 1.0);
         assert_eq!(rls.updates(), 2);
+    }
+
+    #[test]
+    fn state_roundtrip_is_bit_exact() {
+        let mut rls = RecursiveLeastSquares::new(3, 0.98);
+        for t in 0..50 {
+            let x = [(t as f64 * 0.3).sin(), (t as f64 * 0.11).cos(), 1.0];
+            rls.update(&x, 1.5 * x[0] - 0.7 * x[1] + 0.2);
+        }
+        let mut restored = RecursiveLeastSquares::from_state(&rls.state()).unwrap();
+        assert_eq!(restored.coefficients(), rls.coefficients());
+        assert_eq!(restored.updates(), rls.updates());
+        // The two recursions must stay bit-identical under further updates.
+        for t in 50..80 {
+            let x = [(t as f64 * 0.3).sin(), (t as f64 * 0.11).cos(), 1.0];
+            let y = 1.5 * x[0] - 0.7 * x[1] + 0.2;
+            let a = rls.update(&x, y);
+            let b = restored.update(&x, y);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(rls.state(), restored.state());
+    }
+
+    #[test]
+    fn from_state_rejects_inconsistent_data() {
+        let rls = RecursiveLeastSquares::new(2, 1.0);
+        let good = rls.state();
+        let mut bad = good.clone();
+        bad.covariance.pop();
+        assert!(RecursiveLeastSquares::from_state(&bad).is_none());
+        let mut bad = good.clone();
+        bad.forgetting = 1.5;
+        assert!(RecursiveLeastSquares::from_state(&bad).is_none());
+        let mut bad = good.clone();
+        bad.theta[0] = f64::NAN;
+        assert!(RecursiveLeastSquares::from_state(&bad).is_none());
+        let mut bad = good;
+        bad.theta.clear();
+        bad.covariance.clear();
+        assert!(RecursiveLeastSquares::from_state(&bad).is_none());
     }
 
     #[test]
