@@ -1,0 +1,191 @@
+//! `bench_diff` — compares two `BENCH_mpc.json` files and flags warm-step
+//! performance regressions.
+//!
+//! ```text
+//! cargo run -p idc-bench --bin bench_diff -- \
+//!     BASELINE.json CURRENT.json [--threshold F] [--warn-only]
+//! ```
+//!
+//! Rows are keyed by `(idcs, portals, backend)` and matched across the
+//! two files; the comparison metric is `warm_ms` for `single_step` rows
+//! and `warm_ms_per_step` for `end_to_end` rows (warm solves are the
+//! steady-state cost of the controller, so they are what CI guards).
+//! A row regresses when `current > baseline * (1 + threshold)`; the
+//! threshold is relative (default 0.10 = 10%). Improvements and rows
+//! present on only one side are reported but never gated on.
+//!
+//! Exit status: 0 when no row regresses (or with `--warn-only`, always,
+//! so CI can surface the table without flaking on shared-runner noise),
+//! 1 on regression, 2 on usage/parse errors.
+
+use serde::Value;
+
+/// A comparable row: table name, key, and the warm metric.
+struct Row {
+    table: &'static str,
+    key: String,
+    warm_ms: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_diff BASELINE.json CURRENT.json [--threshold F] [--warn-only]\n\
+         \x20 compares warm-step timings row by row; exits 1 when any row\n\
+         \x20 regresses by more than F (relative, default 0.10)"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("bench_diff: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn number(value: &Value, key: &str) -> Option<f64> {
+    match value.get(key) {
+        Some(Value::Number(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn text<'v>(value: &'v Value, key: &str) -> Option<&'v str> {
+    match value.get(key) {
+        Some(Value::String(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Extracts the comparable rows of one `BENCH_mpc.json` document.
+fn rows(doc: &Value) -> Vec<Row> {
+    let mut out = Vec::new();
+    for (table, metric) in [
+        ("single_step", "warm_ms"),
+        ("end_to_end", "warm_ms_per_step"),
+    ] {
+        let Some(Value::Array(items)) = doc.get(table) else {
+            continue;
+        };
+        for item in items {
+            let (Some(idcs), Some(portals), Some(backend)) = (
+                number(item, "idcs"),
+                number(item, "portals"),
+                text(item, "backend"),
+            ) else {
+                continue;
+            };
+            let Some(warm_ms) = number(item, metric) else {
+                continue;
+            };
+            out.push(Row {
+                table,
+                key: format!("{}x{} {backend}", idcs as u64, portals as u64),
+                warm_ms,
+            });
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = 0.10f64;
+    let mut warn_only = false;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--warn-only" => warn_only = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with("--") => paths.push(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        usage()
+    };
+    let baseline = rows(&load(baseline_path));
+    let current = rows(&load(current_path));
+
+    println!(
+        "## bench_diff — {baseline_path} -> {current_path} (threshold {:.0}%)",
+        100.0 * threshold
+    );
+    println!(
+        "{:<12} {:<28} {:>12} {:>12} {:>9} {:>10}",
+        "table", "row", "base ms", "cur ms", "change", "status"
+    );
+    let mut regressions = 0usize;
+    for base_row in &baseline {
+        let Some(cur_row) = current
+            .iter()
+            .find(|r| r.table == base_row.table && r.key == base_row.key)
+        else {
+            println!(
+                "{:<12} {:<28} {:>12.3} {:>12} {:>9} {:>10}",
+                base_row.table, base_row.key, base_row.warm_ms, "-", "-", "MISSING"
+            );
+            continue;
+        };
+        let rel = if base_row.warm_ms > 0.0 {
+            cur_row.warm_ms / base_row.warm_ms - 1.0
+        } else {
+            0.0
+        };
+        let status = if rel > threshold {
+            regressions += 1;
+            "REGRESSED"
+        } else if rel < -threshold {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<12} {:<28} {:>12.3} {:>12.3} {:>+8.1}% {:>10}",
+            base_row.table,
+            base_row.key,
+            base_row.warm_ms,
+            cur_row.warm_ms,
+            100.0 * rel,
+            status
+        );
+    }
+    for cur_row in &current {
+        if !baseline
+            .iter()
+            .any(|r| r.table == cur_row.table && r.key == cur_row.key)
+        {
+            println!(
+                "{:<12} {:<28} {:>12} {:>12.3} {:>9} {:>10}",
+                cur_row.table, cur_row.key, "-", cur_row.warm_ms, "-", "NEW"
+            );
+        }
+    }
+    if baseline.is_empty() {
+        eprintln!("bench_diff: no comparable rows in {baseline_path}");
+        std::process::exit(2);
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_diff: {regressions} row(s) regressed beyond {:.0}%{}",
+            100.0 * threshold,
+            if warn_only { " (warn-only)" } else { "" }
+        );
+        if !warn_only {
+            std::process::exit(1);
+        }
+    } else {
+        println!("bench_diff: no warm-step regressions");
+    }
+}

@@ -36,7 +36,7 @@
 use std::time::Instant;
 
 use idc_control::mpc::{MpcConfig, MpcController, MpcProblem, SolverBackend};
-use idc_core::metrics::PhaseBreakdown;
+use idc_core::metrics::{PhaseBreakdown, SolveStats};
 use idc_core::policy::{MpcPolicy, MpcPolicyConfig};
 use idc_core::scenario::{PricingSpec, Scenario};
 use idc_core::simulation::Simulator;
@@ -157,6 +157,8 @@ struct EndToEndRow {
     warm_total_cost: f64,
     /// Per-phase breakdown of the warm (`solver_reuse: true`) run.
     phases: PhaseBreakdown,
+    /// Solver introspection counters of the warm run.
+    stats: SolveStats,
     steps: usize,
 }
 
@@ -209,6 +211,7 @@ fn measure_end_to_end(
     let mut costs = [0.0f64; 2];
     let mut warm_fraction = 0.0;
     let mut phases = PhaseBreakdown::default();
+    let mut stats = SolveStats::default();
     let mut steps = 0;
     for (mode, solver_reuse) in [false, true].into_iter().enumerate() {
         let (fleet, traces) = synthetic(n, c);
@@ -239,6 +242,7 @@ fn measure_end_to_end(
             phases = policy
                 .phase_breakdown()
                 .with_total(elapsed.as_nanos() as u64);
+            stats = policy.solve_stats();
             steps = run.times_min().len();
         }
     }
@@ -253,6 +257,7 @@ fn measure_end_to_end(
         cost_rel_diff: (costs[0] - costs[1]).abs() / costs[1].abs().max(1e-12),
         warm_total_cost: costs[1],
         phases,
+        stats,
         steps,
     })
 }
@@ -353,6 +358,18 @@ fn print_e2e_row(e: &EndToEndRow) {
         phase_ms(e.phases.reference_ns, e.steps),
         phase_ms(e.phases.simulate_ns, e.steps),
     );
+    let per_step = |v: u64| v as f64 / e.steps.max(1) as f64;
+    println!(
+        "{:>41} | per step: iters {:.2} churn {:.2} refine {:.2} | seed survival \
+         {:.3} bland {} cold-fallbacks {}",
+        "solver",
+        per_step(e.stats.iterations),
+        per_step(e.stats.working_set_churn()),
+        per_step(e.stats.refinement_passes),
+        e.stats.seed_survival(),
+        e.stats.bland_switches,
+        e.stats.cold_fallbacks,
+    );
 }
 
 fn run_smoke() -> Result<(), idc_core::Error> {
@@ -392,15 +409,40 @@ fn run_smoke() -> Result<(), idc_core::Error> {
     Ok(())
 }
 
+/// Dumps the global flight recorder as a Chrome trace-event file.
+fn write_trace(path: &str) -> Result<(), idc_core::Error> {
+    std::fs::write(path, idc_obs::export_global_trace())
+        .map_err(|e| idc_core::Error::Config(format!("cannot write {path}: {e}")))?;
+    println!("wrote Chrome trace to {path} (open in Perfetto / chrome://tracing)");
+    Ok(())
+}
+
 fn main() -> Result<(), idc_core::Error> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--smoke") {
-        return run_smoke();
+    let mut smoke = false;
+    let mut trace_out: Option<String> = None;
+    let mut out_path = "BENCH_mpc.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--trace-out" => {
+                trace_out = Some(it.next().ok_or_else(|| {
+                    idc_core::Error::Config("--trace-out needs a path".to_string())
+                })?);
+            }
+            other => out_path = other.to_string(),
+        }
     }
-    let out_path = args
-        .into_iter()
-        .next()
-        .unwrap_or_else(|| "BENCH_mpc.json".to_string());
+    if trace_out.is_some() {
+        idc_obs::install_global_recorder(1 << 20);
+    }
+    if smoke {
+        run_smoke()?;
+        if let Some(path) = &trace_out {
+            write_trace(path)?;
+        }
+        return Ok(());
+    }
 
     println!("## bench_summary — cold vs warm MPC solve pipeline, both backends");
     println!(
@@ -449,6 +491,9 @@ fn main() -> Result<(), idc_core::Error> {
     std::fs::write(&out_path, &json)
         .map_err(|e| idc_core::Error::Config(format!("cannot write {out_path}: {e}")))?;
     println!("\nwrote {out_path}");
+    if let Some(path) = &trace_out {
+        write_trace(path)?;
+    }
     Ok(())
 }
 
@@ -520,13 +565,29 @@ fn render_json(
         s.push_str(&format!(
             "     \"warm_phases_ms_per_step\": {{\"refresh\": {:.3}, \"factor\": {:.3}, \
              \"condense\": {:.3}, \"solve\": {:.3}, \"reference\": {:.3}, \
-             \"simulate\": {:.3}}}}}{}\n",
+             \"simulate\": {:.3}}},\n",
             phase_ms(r.phases.refresh_ns, r.steps),
             phase_ms(r.phases.factor_ns, r.steps),
             phase_ms(r.phases.condense_ns, r.steps),
             phase_ms(r.phases.solve_ns, r.steps),
             phase_ms(r.phases.reference_ns, r.steps),
             phase_ms(r.phases.simulate_ns, r.steps),
+        ));
+        let per_step = |v: u64| v as f64 / r.steps.max(1) as f64;
+        s.push_str(&format!(
+            "     \"solve_stats\": {{\"iterations_per_step\": {:.3}, \
+             \"constraints_added_per_step\": {:.3}, \"constraints_dropped_per_step\": {:.3}, \
+             \"degenerate_pops\": {}, \"bland_switches\": {}, \
+             \"refinement_passes_per_step\": {:.3}, \"warm_seed_survival\": {:.4}, \
+             \"cold_fallbacks\": {}}}}}{}\n",
+            per_step(r.stats.iterations),
+            per_step(r.stats.constraints_added),
+            per_step(r.stats.constraints_dropped),
+            r.stats.degenerate_pops,
+            r.stats.bland_switches,
+            per_step(r.stats.refinement_passes),
+            r.stats.seed_survival(),
+            r.stats.cold_fallbacks,
             if i + 1 < end_to_end.len() { "," } else { "" }
         ));
     }

@@ -13,7 +13,9 @@
 //! `--seed N` restricts the matrix to a single fault seed (default: the
 //! built-in seed set) and `--steps N` changes the scenario length
 //! (default: the smoothing scenario's 25 periods) — the defaults leave
-//! the golden output unchanged.
+//! the golden output unchanged. `--trace-out PATH` additionally records
+//! every cell (and the spans inside it) through the flight recorder and
+//! writes a Chrome trace-event file; the console output is unchanged.
 
 use std::time::Instant;
 
@@ -35,8 +37,21 @@ fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
     })
 }
 
+/// Reads the value of `--trace-out PATH` and installs the global flight
+/// recorder when present.
+fn trace_flag(args: &[String]) -> Option<String> {
+    let i = args.iter().position(|a| a == "--trace-out")?;
+    let path = args.get(i + 1).cloned().unwrap_or_else(|| {
+        eprintln!("--trace-out needs a path");
+        std::process::exit(2);
+    });
+    idc_obs::install_global_recorder(1 << 20);
+    Some(path)
+}
+
 fn main() -> Result<(), idc_core::Error> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = trace_flag(&args);
     let seeds: Vec<u64> = match flag_value(&args, "--seed") {
         Some(s) => vec![s],
         None => SEEDS.to_vec(),
@@ -59,10 +74,13 @@ fn main() -> Result<(), idc_core::Error> {
     for kind in FaultKind::ALL {
         for seed in seeds.iter().copied() {
             let plan = FaultPlan::new(kind, seed);
+            let cell_span =
+                idc_obs::Span::enter_cat(format!("fault.{}#{seed}", kind.label()), "verify");
             let t = Instant::now();
             let first = plan.run(&base)?;
             let second = plan.run(&base)?;
             let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+            drop(cell_span);
             let reproduced = first.result == second.result
                 && first.report.violations == second.report.violations
                 && first.fallback_steps == second.fallback_steps;
@@ -87,6 +105,11 @@ fn main() -> Result<(), idc_core::Error> {
                 failures.push(format!("{kind}#{seed}: {hard} hard violation(s)"));
             }
         }
+    }
+    if let Some(path) = &trace_out {
+        std::fs::write(path, idc_obs::export_global_trace())
+            .map_err(|e| idc_core::Error::Config(format!("cannot write {path}: {e}")))?;
+        eprintln!("wrote Chrome trace to {path}");
     }
     if failures.is_empty() {
         println!("fault matrix OK");

@@ -7,7 +7,7 @@
 //!     [--policy mpc|optimal|lp|static] \
 //!     [--smoothing-weight <R>] [--tracking-weight <Q>] \
 //!     [--ramp <servers/step>] [--slow-period <k>] [--quiet] [--csv] \
-//!     [--sweep] [--validate]
+//!     [--sweep] [--validate] [--trace-out <path>] [--anomaly-out <path>]
 //! ```
 //!
 //! Prints the per-IDC trajectories and summary statistics. With `--sweep`
@@ -21,6 +21,13 @@
 //! latency, budget margin, cost consistency) on every run; the exit code
 //! is nonzero if a hard invariant is violated. Under `--sweep` each grid
 //! cell is annotated with its invariant status.
+//!
+//! `--trace-out` installs the flight recorder and writes a Chrome
+//! trace-event JSON file when the run finishes (open in Perfetto);
+//! `--anomaly-out` streams per-step anomaly records (solver failures,
+//! fallback degradations, iteration spikes) as JSON lines. Neither flag
+//! changes the simulated trajectory — output is byte-identical with and
+//! without them.
 
 use idc_control::mpc::MpcConfig;
 use idc_core::policy::{
@@ -40,7 +47,7 @@ fn usage() -> ! {
          \x20               [--policy mpc|optimal|lp|static]\n\
          \x20               [--smoothing-weight R] [--tracking-weight Q]\n\
          \x20               [--ramp N] [--slow-period K] [--quiet] [--csv] [--sweep]\n\
-         \x20               [--validate]"
+         \x20               [--validate] [--trace-out PATH] [--anomaly-out PATH]"
     );
     std::process::exit(2);
 }
@@ -187,6 +194,16 @@ fn run_sweep(
     Ok(())
 }
 
+/// Writes the flight recorder out as Chrome trace-event JSON, if requested.
+fn write_trace(path: Option<&str>) -> Result<(), idc_core::Error> {
+    if let Some(path) = path {
+        std::fs::write(path, idc_obs::export_global_trace())
+            .map_err(|e| idc_core::Error::Config(format!("cannot write {path}: {e}")))?;
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    Ok(())
+}
+
 fn main() -> Result<(), idc_core::Error> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scenario_spec = "smoothing".to_string();
@@ -198,6 +215,7 @@ fn main() -> Result<(), idc_core::Error> {
     let mut csv = false;
     let mut sweep = false;
     let mut validate = false;
+    let mut trace_out: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -228,6 +246,15 @@ fn main() -> Result<(), idc_core::Error> {
             "--csv" => csv = true,
             "--sweep" => sweep = true,
             "--validate" => validate = true,
+            "--trace-out" => {
+                trace_out = Some(value("--trace-out"));
+                idc_obs::install_global_recorder(1 << 20);
+            }
+            "--anomaly-out" => {
+                let path = value("--anomaly-out");
+                idc_obs::set_anomaly_log(std::path::Path::new(&path))
+                    .map_err(|e| idc_core::Error::Config(format!("--anomaly-out {path}: {e}")))?;
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -241,7 +268,9 @@ fn main() -> Result<(), idc_core::Error> {
         usage()
     };
     if sweep {
-        return run_sweep(&scenario_spec, ramp, slow_period, validate);
+        let outcome = run_sweep(&scenario_spec, ramp, slow_period, validate);
+        write_trace(trace_out.as_deref())?;
+        return outcome;
     }
     let mut policy: Box<dyn Policy> = match policy_spec.as_str() {
         "mpc" => Box::new(MpcPolicy::new(MpcPolicyConfig {
@@ -266,6 +295,7 @@ fn main() -> Result<(), idc_core::Error> {
         Simulator::new()
     };
     let result = simulator.run(&scenario, policy.as_mut())?;
+    write_trace(trace_out.as_deref())?;
     let names: Vec<&str> = scenario.fleet().idcs().iter().map(|i| i.name()).collect();
     if csv {
         print!("{}", render_csv(&result, &names));

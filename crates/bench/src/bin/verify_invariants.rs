@@ -16,6 +16,10 @@
 //! scenarios' workload seed (default 2012) and `--steps N` truncates or
 //! extends every scenario to N sampling periods (default: each scenario's
 //! own length) — the defaults leave the golden output unchanged.
+//! `--trace-out PATH` records per-cell timings (and the MPC spans inside
+//! each cell) through the flight recorder and writes a Chrome trace-event
+//! file on exit; it does not change the console output, so it composes
+//! with `--no-timing`.
 
 use std::time::Instant;
 
@@ -73,9 +77,22 @@ fn policies(scenario: &Scenario) -> Vec<(&'static str, Box<dyn Policy>)> {
     ]
 }
 
+/// Reads `--trace-out PATH` and installs the global flight recorder when
+/// present.
+fn trace_flag(args: &[String]) -> Option<String> {
+    let i = args.iter().position(|a| a == "--trace-out")?;
+    let path = args.get(i + 1).cloned().unwrap_or_else(|| {
+        eprintln!("--trace-out needs a path");
+        std::process::exit(2);
+    });
+    idc_obs::install_global_recorder(1 << 20);
+    Some(path)
+}
+
 fn main() -> Result<(), idc_core::Error> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let timing = !args.iter().any(|a| a == "--no-timing");
+    let trace_out = trace_flag(&args);
     let seed = flag_value(&args, "--seed", 2012u64);
     let steps = args
         .iter()
@@ -90,10 +107,13 @@ fn main() -> Result<(), idc_core::Error> {
     let total = Instant::now();
     for scenario in scenarios(seed, steps) {
         for (label, mut policy) in policies(&scenario) {
+            let cell_span =
+                idc_obs::Span::enter_cat(format!("verify.{}/{label}", scenario.name()), "verify");
             let t = Instant::now();
             let result = Simulator::with_validation().run(&scenario, policy.as_mut())?;
             let report = check_run(&scenario, &result, &Tolerances::default());
             let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+            drop(cell_span);
             let soft = report.violations.len() - report.hard_violations();
             let hard = report.hard_violations();
             let margin = report
@@ -122,6 +142,11 @@ fn main() -> Result<(), idc_core::Error> {
     }
     if timing {
         println!("sweep total: {:.1} ms", total.elapsed().as_secs_f64() * 1e3);
+    }
+    if let Some(path) = &trace_out {
+        std::fs::write(path, idc_obs::export_global_trace())
+            .map_err(|e| idc_core::Error::Config(format!("cannot write {path}: {e}")))?;
+        eprintln!("wrote Chrome trace to {path}");
     }
     if hard_failures.is_empty() {
         println!("invariant sweep OK");

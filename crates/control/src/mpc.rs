@@ -24,10 +24,11 @@
 use std::time::Instant;
 
 use idc_linalg::Matrix;
+use idc_obs::Span;
 use idc_opt::banded_qp::BandedQpWorkspace;
 use idc_opt::lsq::ConstrainedLeastSquares;
 use idc_opt::qp::{QpWorkspace, QuadraticProgram};
-use idc_opt::{Error, Result};
+use idc_opt::{Error, Result, SolveStats};
 
 use crate::riccati::{self, RiccatiSkeleton};
 
@@ -275,6 +276,7 @@ pub struct MpcController {
     warm_solves: usize,
     cold_solves: usize,
     timings: PlanTimings,
+    solve_stats: SolveStats,
 }
 
 impl MpcController {
@@ -314,6 +316,7 @@ impl MpcController {
             warm_solves: 0,
             cold_solves: 0,
             timings: PlanTimings::default(),
+            solve_stats: SolveStats::default(),
         }
     }
 
@@ -389,6 +392,24 @@ impl MpcController {
         self.timings = PlanTimings::default();
     }
 
+    /// Cumulative solver introspection counters across [`plan`](Self::plan)
+    /// calls since construction or the last
+    /// [`reset_solve_stats`](Self::reset_solve_stats).
+    ///
+    /// Like [`timings`](Self::timings) these are observability-only: they
+    /// are *not* part of the checkpointed controller state
+    /// ([`warm_state`](Self::warm_state) /
+    /// [`solve_counters`](Self::solve_counters)), so restored runs resume
+    /// with whatever was accumulated locally.
+    pub fn solve_stats(&self) -> SolveStats {
+        self.solve_stats
+    }
+
+    /// Zeroes the solver introspection counters.
+    pub fn reset_solve_stats(&mut self) {
+        self.solve_stats = SolveStats::default();
+    }
+
     /// Solves one receding-horizon step and returns the plan.
     ///
     /// Reuses the cached QP skeleton when the problem structure matches the
@@ -404,6 +425,7 @@ impl MpcController {
     ///   servers first).
     /// * [`Error::IterationLimit`] / [`Error::Numerical`] from the QP.
     pub fn plan(&mut self, problem: &MpcProblem) -> Result<MpcPlan> {
+        let _plan_span = Span::enter_cat("mpc.plan", "control");
         let n = problem.num_idcs();
         let c = problem.num_portals();
         self.validate(problem, n, c)?;
@@ -469,6 +491,7 @@ impl MpcController {
         // when possible; from a repaired zero point otherwise (skipping
         // the phase-1 LP); by the full cold path as a last resort. ----
         let mut warm_started = false;
+        let mut warm_failed = false;
         let mut solution = None;
         {
             let has_base = matches!(&self.warm, Some(w) if w.delta_u.len() == nv);
@@ -618,6 +641,7 @@ impl MpcController {
                 }
                 self.timings.condense_ns += condense_start.elapsed().as_nanos() as u64;
                 let solve_start = Instant::now();
+                let span = Span::enter_cat("mpc.solve.warm", "solver");
                 let warm_res = match &mut cache.skeleton {
                     Skeleton::Dense { qp, .. } => {
                         qp.warm_start(&self.warm_x, &self.seed, &mut self.ws)
@@ -630,10 +654,14 @@ impl MpcController {
                             .warm_start(&self.warm_y, &self.seed, &mut self.bws)
                     }
                 };
+                drop(span);
                 self.timings.solve_ns += solve_start.elapsed().as_nanos() as u64;
-                if let Ok(sol) = warm_res {
-                    warm_started = has_base;
-                    solution = Some(sol);
+                match warm_res {
+                    Ok(sol) => {
+                        warm_started = has_base;
+                        solution = Some(sol);
+                    }
+                    Err(_) => warm_failed = true,
                 }
             }
         }
@@ -642,12 +670,14 @@ impl MpcController {
             Some(sol) => sol,
             None => {
                 let solve_start = Instant::now();
+                let span = Span::enter_cat("mpc.solve.cold", "solver");
                 let sol = match &mut cache.skeleton {
-                    Skeleton::Dense { qp, .. } => qp.solve_with(&mut self.ws)?,
-                    Skeleton::Banded(skel) => skel.qp_mut().solve_with(&mut self.bws)?,
+                    Skeleton::Dense { qp, .. } => qp.solve_with(&mut self.ws),
+                    Skeleton::Banded(skel) => skel.qp_mut().solve_with(&mut self.bws),
                 };
+                drop(span);
                 self.timings.solve_ns += solve_start.elapsed().as_nanos() as u64;
-                sol
+                sol?
             }
         };
         if warm_started {
@@ -655,6 +685,11 @@ impl MpcController {
         } else {
             self.cold_solves += 1;
         }
+        let mut step_stats = *solution.stats();
+        if warm_failed {
+            step_stats.cold_fallbacks = 1;
+        }
+        self.solve_stats.merge(&step_stats);
         let iterations = solution.iterations();
         let active_set = solution.active_set().to_vec();
         let mut delta_u = solution.into_x();

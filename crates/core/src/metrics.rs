@@ -3,6 +3,12 @@
 
 use crate::simulation::SimulationResult;
 
+// `PhaseBreakdown`'s sibling: where the breakdown says *where* the time
+// went, `SolveStats` (defined in `idc-obs`, collected by `idc-opt`'s
+// active-set loop) says *why* — iterations, working-set churn, warm-seed
+// survival, pivot-rule switches, refinement passes, cold fallbacks.
+pub use idc_obs::SolveStats;
+
 /// Wall-clock nanoseconds per pipeline phase for one simulation run.
 ///
 /// The controller phases (`refresh`/`factor`/`condense`/`solve`) come from

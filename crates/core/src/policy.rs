@@ -287,6 +287,10 @@ pub struct MpcPolicy {
     /// Steps at which the policy degraded to its fallback (real
     /// infeasibility or injected solver failure).
     fallback_steps: Vec<usize>,
+    /// EWMA of per-step QP iteration counts, used only to flag
+    /// iteration-count spikes in the anomaly log. Observability state:
+    /// deliberately *not* checkpointed and never fed back into control.
+    iter_ewma: f64,
 }
 
 impl MpcPolicy {
@@ -326,6 +330,7 @@ impl MpcPolicy {
             decide_ns: 0,
             problem_log: Vec::new(),
             fallback_steps: Vec::new(),
+            iter_ewma: 0.0,
         })
     }
 
@@ -388,6 +393,16 @@ impl MpcPolicy {
             reference_ns: self.decide_ns.saturating_sub(t.total_ns()),
             simulate_ns: 0,
         }
+    }
+
+    /// Cumulative solver introspection counters
+    /// ([`crate::metrics::SolveStats`]) from the inner controller:
+    /// iterations, working-set churn, warm-seed survival, pivot-rule
+    /// switches, refinement passes and cold fallbacks across the run so
+    /// far. [`PhaseBreakdown`](crate::metrics::PhaseBreakdown)'s sibling:
+    /// the breakdown says where the time went, this says why.
+    pub fn solve_stats(&self) -> crate::metrics::SolveStats {
+        self.controller.solve_stats()
     }
 
     /// Per-portal workload forecasts for the control horizon, with the
@@ -461,6 +476,7 @@ impl MpcPolicy {
         for (p, &l) in self.predictors.iter_mut().zip(&ctx.offered) {
             p.observe(l);
         }
+        idc_obs::record_anomaly("staleness_degrade", ctx.step as u64, &[]);
         let decision = self.fallback(ctx)?;
         self.fallback_steps.push(ctx.step);
         self.state = Some((
@@ -576,13 +592,36 @@ impl Policy for MpcPolicy {
 
     fn decide(&mut self, ctx: &StepContext<'_>) -> Result<Decision> {
         let start = Instant::now();
+        let span = idc_obs::Span::enter_cat("policy.decide", "control");
         let result = self.decide_inner(ctx);
+        drop(span);
         self.decide_ns += start.elapsed().as_nanos() as u64;
         result
     }
 }
 
 impl MpcPolicy {
+    /// Updates the iteration EWMA and, when the anomaly log is enabled,
+    /// dumps a record for steps whose QP iteration count spikes well above
+    /// the recent average. Pure observability: the EWMA feeds nothing back
+    /// into control and is not checkpointed.
+    fn note_iteration_spike(&mut self, step: usize, iterations: usize) {
+        let it = iterations as f64;
+        let ewma = self.iter_ewma;
+        if idc_obs::anomaly_enabled() && ewma > 0.0 && it > 3.0 * ewma && it > ewma + 8.0 {
+            idc_obs::record_anomaly(
+                "qp_iteration_spike",
+                step as u64,
+                &[("iterations", it), ("ewma", ewma)],
+            );
+        }
+        self.iter_ewma = if ewma == 0.0 {
+            it
+        } else {
+            0.9 * ewma + 0.1 * it
+        };
+    }
+
     /// The actual decision logic, separated so [`Policy::decide`] can time
     /// it inclusively across early returns.
     fn decide_inner(&mut self, ctx: &StepContext<'_>) -> Result<Decision> {
@@ -753,6 +792,7 @@ impl MpcPolicy {
             // Injected solver failure: behave exactly like an iteration-limit
             // abort — the cached solver state is suspect, so drop it (the
             // next solve is cold) and degrade to the fallback split.
+            idc_obs::record_anomaly("injected_solver_failure", ctx.step as u64, &[]);
             self.controller.reset();
             self.fallback_steps.push(ctx.step);
             let decision = self.fallback(ctx)?;
@@ -767,6 +807,7 @@ impl MpcPolicy {
         }
         match self.controller.plan(&problem) {
             Ok(plan) => {
+                self.note_iteration_spike(ctx.step, plan.qp_iterations());
                 let u = plan.next_input().to_vec();
                 let allocation = Allocation::from_control_vector(c, n, &u)
                     .expect("controller output has fleet dimensions");
@@ -777,6 +818,7 @@ impl MpcPolicy {
                 })
             }
             Err(idc_opt::Error::Infeasible) => {
+                idc_obs::record_anomaly("qp_infeasible_fallback", ctx.step as u64, &[]);
                 self.fallback_steps.push(ctx.step);
                 let decision = self.fallback(ctx)?;
                 self.state = Some((

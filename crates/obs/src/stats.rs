@@ -1,0 +1,173 @@
+//! Cumulative introspection counters for the active-set QP solver.
+
+/// Counters collected by the shared primal active-set loop and its two
+/// backends (condensed dense and banded Riccati).
+///
+/// All fields are cumulative over however many solves were merged in —
+/// [`merge`](Self::merge) is associative, so a controller can accumulate
+/// per-solve stats into a running total and a caller can subtract
+/// checkpoints with [`since`](Self::since) to get per-step deltas.
+///
+/// Semantics of each counter (see DESIGN §9 for the full taxonomy):
+///
+/// * `solves` — number of active-set solves merged in (warm and cold).
+/// * `iterations` — active-set iterations, summed over solves.
+/// * `constraints_added` — inequality constraints activated by a blocking
+///   ratio test (`working.push`).
+/// * `constraints_dropped` — constraints deactivated on a negative
+///   multiplier (Dantzig or Bland rule).
+/// * `degenerate_pops` — constraints popped after a singular KKT
+///   factorization, the numerical-degeneracy recovery path.
+/// * `bland_switches` — times the pivot rule switched from Dantzig's most
+///   negative multiplier to Bland's smallest index after the degeneracy
+///   patience ran out (transitions, not Bland-rule drops).
+/// * `seed_offered` / `seed_accepted` — warm-start seed constraints offered
+///   to and accepted by the seeding filter; their ratio is the
+///   [`seed_survival`](Self::seed_survival) fraction.
+/// * `refinement_passes` — iterative-refinement passes performed inside KKT
+///   solves.
+/// * `cold_fallbacks` — solves where a warm start was attempted and failed,
+///   forcing a cold re-solve (counted by the controller, not the loop).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Active-set solves merged into this total.
+    pub solves: u64,
+    /// Active-set iterations across all solves.
+    pub iterations: u64,
+    /// Constraints activated by blocking ratio tests.
+    pub constraints_added: u64,
+    /// Constraints deactivated on negative multipliers.
+    pub constraints_dropped: u64,
+    /// Constraints popped on singular KKT factorizations.
+    pub degenerate_pops: u64,
+    /// Dantzig→Bland pivot-rule switches.
+    pub bland_switches: u64,
+    /// Warm-start seed constraints offered to the seeding filter.
+    pub seed_offered: u64,
+    /// Warm-start seed constraints accepted as the initial working set.
+    pub seed_accepted: u64,
+    /// Iterative-refinement passes inside KKT solves.
+    pub refinement_passes: u64,
+    /// Warm-start attempts that failed and fell back to a cold solve.
+    pub cold_fallbacks: u64,
+}
+
+impl SolveStats {
+    /// Field-wise accumulation of `other` into `self`.
+    pub fn merge(&mut self, other: &SolveStats) {
+        self.solves += other.solves;
+        self.iterations += other.iterations;
+        self.constraints_added += other.constraints_added;
+        self.constraints_dropped += other.constraints_dropped;
+        self.degenerate_pops += other.degenerate_pops;
+        self.bland_switches += other.bland_switches;
+        self.seed_offered += other.seed_offered;
+        self.seed_accepted += other.seed_accepted;
+        self.refinement_passes += other.refinement_passes;
+        self.cold_fallbacks += other.cold_fallbacks;
+    }
+
+    /// Field-wise saturating difference `self - earlier`, for per-step
+    /// deltas between two cumulative checkpoints.
+    pub fn since(&self, earlier: &SolveStats) -> SolveStats {
+        SolveStats {
+            solves: self.solves.saturating_sub(earlier.solves),
+            iterations: self.iterations.saturating_sub(earlier.iterations),
+            constraints_added: self
+                .constraints_added
+                .saturating_sub(earlier.constraints_added),
+            constraints_dropped: self
+                .constraints_dropped
+                .saturating_sub(earlier.constraints_dropped),
+            degenerate_pops: self.degenerate_pops.saturating_sub(earlier.degenerate_pops),
+            bland_switches: self.bland_switches.saturating_sub(earlier.bland_switches),
+            seed_offered: self.seed_offered.saturating_sub(earlier.seed_offered),
+            seed_accepted: self.seed_accepted.saturating_sub(earlier.seed_accepted),
+            refinement_passes: self
+                .refinement_passes
+                .saturating_sub(earlier.refinement_passes),
+            cold_fallbacks: self.cold_fallbacks.saturating_sub(earlier.cold_fallbacks),
+        }
+    }
+
+    /// Total working-set churn: adds + drops + degenerate pops.
+    pub fn working_set_churn(&self) -> u64 {
+        self.constraints_added + self.constraints_dropped + self.degenerate_pops
+    }
+
+    /// Fraction of offered warm-seed constraints that survived the seeding
+    /// filter, in `[0, 1]`. Defined as 1 when nothing was offered (an empty
+    /// seed "survives" trivially — cold solves do not dilute the ratio).
+    pub fn seed_survival(&self) -> f64 {
+        if self.seed_offered == 0 {
+            1.0
+        } else {
+            self.seed_accepted as f64 / self.seed_offered as f64
+        }
+    }
+
+    /// Mean active-set iterations per solve (0 when no solves recorded).
+    pub fn iterations_per_solve(&self) -> f64 {
+        if self.solves == 0 {
+            0.0
+        } else {
+            self.iterations as f64 / self.solves as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_since_are_inverse() {
+        let a = SolveStats {
+            solves: 2,
+            iterations: 10,
+            constraints_added: 4,
+            constraints_dropped: 1,
+            degenerate_pops: 1,
+            bland_switches: 1,
+            seed_offered: 6,
+            seed_accepted: 5,
+            refinement_passes: 10,
+            cold_fallbacks: 1,
+        };
+        let b = SolveStats {
+            solves: 1,
+            iterations: 3,
+            seed_offered: 2,
+            seed_accepted: 2,
+            ..SolveStats::default()
+        };
+        let mut total = a;
+        total.merge(&b);
+        assert_eq!(total.since(&a), b);
+        assert_eq!(total.since(&b), a);
+        assert_eq!(total.working_set_churn(), 6);
+        assert_eq!(total.iterations, 13);
+    }
+
+    #[test]
+    fn seed_survival_handles_empty_seed() {
+        assert_eq!(SolveStats::default().seed_survival(), 1.0);
+        let s = SolveStats {
+            seed_offered: 4,
+            seed_accepted: 3,
+            ..SolveStats::default()
+        };
+        assert_eq!(s.seed_survival(), 0.75);
+    }
+
+    #[test]
+    fn iterations_per_solve_handles_zero() {
+        assert_eq!(SolveStats::default().iterations_per_solve(), 0.0);
+        let s = SolveStats {
+            solves: 4,
+            iterations: 10,
+            ..SolveStats::default()
+        };
+        assert_eq!(s.iterations_per_solve(), 2.5);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the flight recorder and trace exporter.
+//!
+//! Each test binds a private recorder to the test thread
+//! ([`bind_thread_recorder`]) so that parallel test threads — and any
+//! process-global recorder another test may have installed — cannot leak
+//! spans into each other's snapshots.
+
+use std::sync::Arc;
+
+use idc_obs::{bind_thread_recorder, chrome_trace, span_depth, FlightRecorder, Span};
+use proptest::prelude::*;
+
+/// Walks `shape`, opening one span per element and recursing one level
+/// deeper on nonzero entries; checks the depth counter on entry and exit
+/// of every level.
+fn nest(shape: &[u32], depth: u32) {
+    assert_eq!(span_depth(), depth);
+    let Some((&go_deeper, rest)) = shape.split_first() else {
+        return;
+    };
+    let span = Span::enter(format!("span.d{depth}"));
+    assert!(span.is_recording());
+    if go_deeper == 1 {
+        nest(rest, depth + 1);
+    } else {
+        // Two sequential siblings at this level instead of a child.
+        drop(Span::enter("leaf.a"));
+        drop(Span::enter("leaf.b"));
+    }
+    drop(span);
+    assert_eq!(span_depth(), depth);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary open/close sequences leave the thread-local span stack
+    /// balanced: the depth counter returns to zero, a child that starts
+    /// inside a parent's window ends inside it, and same-depth spans on
+    /// one thread never overlap.
+    #[test]
+    fn span_nesting_stays_balanced(shape in prop::collection::vec(0u32..2, 1..24)) {
+        let recorder = Arc::new(FlightRecorder::new(256));
+        bind_thread_recorder(Some(Arc::clone(&recorder)));
+        nest(&shape, 0);
+        bind_thread_recorder(None);
+        prop_assert_eq!(span_depth(), 0);
+
+        let events = recorder.snapshot();
+        prop_assert!(!events.is_empty());
+        for a in &events {
+            for b in &events {
+                if b.depth == a.depth + 1
+                    && b.start_ns >= a.start_ns
+                    && b.start_ns <= a.start_ns + a.dur_ns
+                {
+                    prop_assert!(b.start_ns + b.dur_ns <= a.start_ns + a.dur_ns);
+                }
+                if a.depth == b.depth && a.start_ns < b.start_ns {
+                    prop_assert!(a.start_ns + a.dur_ns <= b.start_ns);
+                }
+            }
+        }
+    }
+
+    /// The Chrome trace export of any recorded span set is valid JSON with
+    /// the trace-event envelope, one complete ("X") event per span, and
+    /// monotonically non-decreasing `ts` values.
+    #[test]
+    fn chrome_trace_is_valid_json_with_monotonic_ts(
+        shape in prop::collection::vec(0u32..2, 1..24),
+        capacity in 4usize..64,
+    ) {
+        let recorder = Arc::new(FlightRecorder::new(capacity));
+        bind_thread_recorder(Some(Arc::clone(&recorder)));
+        nest(&shape, 0);
+        bind_thread_recorder(None);
+
+        let events = recorder.snapshot();
+        prop_assert!(events.len() <= capacity);
+        let json = chrome_trace(&events);
+        let doc: serde::Value = serde_json::from_str(&json).expect("trace must be valid JSON");
+        let Some(serde::Value::Array(out)) = doc.get("traceEvents") else {
+            panic!("missing traceEvents array in {json}");
+        };
+        prop_assert_eq!(out.len(), events.len());
+        let mut prev_ts = f64::NEG_INFINITY;
+        for event in out {
+            let Some(serde::Value::String(ph)) = event.get("ph") else {
+                panic!("missing ph in {event:?}");
+            };
+            prop_assert_eq!(ph, "X");
+            let Some(serde::Value::Number(ts)) = event.get("ts") else {
+                panic!("missing ts in {event:?}");
+            };
+            prop_assert!(*ts >= prev_ts, "ts went backwards: {} < {}", ts, prev_ts);
+            prev_ts = *ts;
+            let Some(serde::Value::Number(dur)) = event.get("dur") else {
+                panic!("missing dur in {event:?}");
+            };
+            prop_assert!(*dur >= 0.0);
+        }
+    }
+}

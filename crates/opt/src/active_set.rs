@@ -10,6 +10,7 @@
 //! of how the linear algebra is organised.
 
 use idc_linalg::vec_ops;
+use idc_obs::SolveStats;
 
 use crate::qp::QpSolution;
 use crate::{Error, Result};
@@ -60,6 +61,12 @@ pub(crate) trait ActiveSetOps {
     fn on_remove(&mut self, _working: &[usize], _pos: usize) {}
     /// Called after a degenerate-KKT recovery popped the last entry.
     fn on_pop(&mut self, _working: &[usize]) {}
+    /// Iterative-refinement passes performed since the last call (the loop
+    /// drains this once per solve, on success). Backends without a
+    /// refinement counter report zero.
+    fn take_refinements(&mut self) -> u64 {
+        0
+    }
 }
 
 /// Core active-set loop from a feasible `x0`, with the working set seeded
@@ -81,6 +88,11 @@ pub(crate) fn solve_from_feasible<O: ActiveSetOps>(
     // per inequality per iteration, where a linear scan of the working set
     // would cost O(m·num_in) per iteration.
     let mut in_working = vec![false; ops.num_in()];
+    let mut stats = SolveStats {
+        solves: 1,
+        seed_offered: seed.len() as u64,
+        ..SolveStats::default()
+    };
     let scale = 1.0 + vec_ops::norm_inf(x0);
     for &i in seed {
         // Keep the KKT system square-solvable: never seed more working
@@ -96,6 +108,7 @@ pub(crate) fn solve_from_feasible<O: ActiveSetOps>(
             in_working[i] = true;
         }
     }
+    stats.seed_accepted = working.len() as u64;
     ops.begin(working);
     let mut iterations = 0;
     let mut degenerate_streak = 0usize;
@@ -112,6 +125,7 @@ pub(crate) fn solve_from_feasible<O: ActiveSetOps>(
                 // Degenerate working set — drop the most recent addition.
                 let dropped = working.pop().expect("non-empty");
                 in_working[dropped] = false;
+                stats.degenerate_pops += 1;
                 ops.on_pop(working);
                 continue;
             }
@@ -145,15 +159,19 @@ pub(crate) fn solve_from_feasible<O: ActiveSetOps>(
                 None => {
                     let objective = ops.objective_at(&x);
                     working.sort_unstable();
+                    stats.iterations = iterations as u64;
+                    stats.refinement_passes = ops.take_refinements();
                     return Ok(QpSolution::from_parts(
                         x,
                         objective,
                         iterations,
                         working.clone(),
+                        stats,
                     ));
                 }
                 Some((idx, _)) => {
                     in_working[working.remove(idx)] = false;
+                    stats.constraints_dropped += 1;
                     ops.on_remove(working, idx);
                 }
             }
@@ -180,6 +198,9 @@ pub(crate) fn solve_from_feasible<O: ActiveSetOps>(
             // place Dantzig's rule can cycle.
             if alpha * p_norm <= x_scale && blocking.is_some() {
                 degenerate_streak += 1;
+                if degenerate_streak == DEGENERATE_PATIENCE {
+                    stats.bland_switches += 1;
+                }
             } else {
                 degenerate_streak = 0;
             }
@@ -187,6 +208,7 @@ pub(crate) fn solve_from_feasible<O: ActiveSetOps>(
             if let Some(i) = blocking {
                 working.push(i);
                 in_working[i] = true;
+                stats.constraints_added += 1;
                 ops.on_add(working);
             }
         }

@@ -115,6 +115,9 @@ pub struct BandedQpWorkspace {
     working: Vec<usize>,
     /// `[p; multipliers]` buffer, reused across solves.
     sol: Vec<f64>,
+    /// Iterative-refinement passes since `begin` (introspection only;
+    /// drained into [`crate::SolveStats`] per solve).
+    refinements: u64,
 }
 
 impl BandedQpWorkspace {
@@ -522,6 +525,7 @@ impl ActiveSetOps for BandedOps<'_> {
     }
 
     fn begin(&mut self, _working: &[usize]) {
+        self.ws.refinements = 0;
         self.ws.factor.clear();
         // One banded solve per call amortizes the Newton point across the
         // whole active-set iteration: t(x) = −x − H̃⁻¹g for the fixed g.
@@ -592,6 +596,7 @@ impl ActiveSetOps for BandedOps<'_> {
         for (l, &d) in self.ws.lam.iter_mut().zip(&self.ws.resid) {
             *l += d;
         }
+        self.ws.refinements += 1;
         // p = t − Y_Rᵀλ, accumulated over contiguous rows of Yᵀ.
         sol.extend_from_slice(&self.ws.t);
         for r in 0..m {
@@ -605,6 +610,10 @@ impl ActiveSetOps for BandedOps<'_> {
         }
         sol.extend_from_slice(&self.ws.lam);
         Ok(())
+    }
+
+    fn take_refinements(&mut self) -> u64 {
+        std::mem::take(&mut self.ws.refinements)
     }
 }
 

@@ -46,6 +46,7 @@ pub mod projgrad;
 pub mod qp;
 
 pub use error::Error;
+pub use idc_obs::SolveStats;
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, Error>;

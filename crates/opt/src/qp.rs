@@ -54,6 +54,9 @@ pub struct QpWorkspace {
     lam: Vec<f64>,
     /// Working set buffer, reused across solves.
     working: Vec<usize>,
+    /// Iterative-refinement passes since the loop's `begin` (introspection
+    /// only; drained into [`crate::SolveStats`] per solve).
+    refinements: u64,
 }
 
 impl QpWorkspace {
@@ -69,6 +72,7 @@ impl QpWorkspace {
             srhs: Vec::new(),
             lam: Vec::new(),
             working: Vec::new(),
+            refinements: 0,
         }
     }
 }
@@ -551,6 +555,7 @@ impl QuadraticProgram {
         for (l, &d) in ws.lam.iter_mut().zip(&ws.hx) {
             *l += d;
         }
+        ws.refinements += 1;
         // p = t − Y_R λ, stacked with the multipliers as in the dense path.
         for i in 0..n {
             let yrow = cache.y.row(i);
@@ -611,6 +616,14 @@ impl ActiveSetOps for DenseOps<'_> {
     fn kkt_step(&mut self, x: &[f64], working: &[usize], sol: &mut Vec<f64>) -> Result<()> {
         self.qp.kkt_step(x, working, sol, self.ws)
     }
+
+    fn begin(&mut self, _working: &[usize]) {
+        self.ws.refinements = 0;
+    }
+
+    fn take_refinements(&mut self) -> u64 {
+        std::mem::take(&mut self.ws.refinements)
+    }
 }
 
 /// A solved quadratic program.
@@ -620,6 +633,7 @@ pub struct QpSolution {
     objective: f64,
     iterations: usize,
     active_set: Vec<usize>,
+    stats: idc_obs::SolveStats,
 }
 
 impl QpSolution {
@@ -629,12 +643,14 @@ impl QpSolution {
         objective: f64,
         iterations: usize,
         active_set: Vec<usize>,
+        stats: idc_obs::SolveStats,
     ) -> Self {
         QpSolution {
             x,
             objective,
             iterations,
             active_set,
+            stats,
         }
     }
 
@@ -656,6 +672,13 @@ impl QpSolution {
     /// Indices of the inequality constraints active at the optimum.
     pub fn active_set(&self) -> &[usize] {
         &self.active_set
+    }
+
+    /// Introspection counters collected during this solve (iteration,
+    /// churn, seeding and refinement detail beyond
+    /// [`iterations`](Self::iterations)).
+    pub fn stats(&self) -> &idc_obs::SolveStats {
+        &self.stats
     }
 
     /// Consumes the solution, returning the optimal point.

@@ -61,6 +61,8 @@ struct Args {
     workload_delay: u64,
     price_drop: f64,
     price_delay: u64,
+    trace_capacity: Option<usize>,
+    anomaly_log: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -80,6 +82,8 @@ impl Default for Args {
             workload_delay: 0,
             price_drop: 0.0,
             price_delay: 0,
+            trace_capacity: None,
+            anomaly_log: None,
         }
     }
 }
@@ -104,6 +108,10 @@ OPTIONS:
   --workload-delay N     workload-feed max delivery delay in ticks (default: 0)
   --price-drop P         price-feed drop probability in [0,1] (default: 0)
   --price-delay N        price-feed max delivery delay in ticks (default: 0)
+  --trace-capacity N     enable the span flight recorder, keeping the last
+                         N spans (served at /debug/trace as a Chrome trace)
+  --anomaly-log PATH     append JSONL anomaly records (solver failures,
+                         fallback degradations, iteration spikes) to PATH
   --help                 print this help
 ";
 
@@ -170,6 +178,16 @@ fn parse_args() -> Result<Args, String> {
                 args.price_delay = value(&mut it, "--price-delay")?
                     .parse()
                     .map_err(|e| format!("--price-delay: {e}"))?;
+            }
+            "--trace-capacity" => {
+                args.trace_capacity = Some(
+                    value(&mut it, "--trace-capacity")?
+                        .parse()
+                        .map_err(|e| format!("--trace-capacity: {e}"))?,
+                );
+            }
+            "--anomaly-log" => {
+                args.anomaly_log = Some(PathBuf::from(value(&mut it, "--anomaly-log")?));
             }
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -292,6 +310,14 @@ fn summary_json(stepper: &Stepper, interrupted: bool) -> String {
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     install_signal_handlers();
+    if let Some(capacity) = args.trace_capacity {
+        idc_obs::install_global_recorder(capacity);
+        eprintln!("idc-daemon: flight recorder enabled ({capacity} spans, /debug/trace)");
+    }
+    if let Some(path) = &args.anomaly_log {
+        idc_obs::set_anomaly_log(path)
+            .map_err(|e| format!("cannot open anomaly log {}: {e}", path.display()))?;
+    }
 
     let mut stepper = build_stepper(&args)?;
     let metrics = Arc::new(MetricsRegistry::new());

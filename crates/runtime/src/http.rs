@@ -6,6 +6,9 @@
 //! * `GET /metrics` — Prometheus text exposition format
 //! * `GET /metrics.json` — the same registry as JSON
 //! * `GET /healthz` — `ok` once the server is up
+//! * `GET /debug/trace` — the flight recorder as Chrome trace-event JSON
+//!   (open in Perfetto or `chrome://tracing`; empty unless the daemon ran
+//!   with `--trace-capacity`)
 //!
 //! Everything else is a 404. Connections are served one at a time from a
 //! single background thread (the scrape rate of a control daemon is a few
@@ -107,6 +110,7 @@ fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> std::io::Resu
             registry.render_prometheus(),
         ),
         "/metrics.json" => ("200 OK", "application/json", registry.render_json()),
+        "/debug/trace" => ("200 OK", "application/json", idc_obs::export_global_trace()),
         "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
         _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
     };
@@ -152,6 +156,11 @@ mod tests {
         let (status, body) = get(addr, "/healthz");
         assert!(status.contains("200"));
         assert_eq!(body, "ok\n");
+
+        let (status, body) = get(addr, "/debug/trace");
+        assert!(status.contains("200"), "{status}");
+        // No global recorder installed in tests: a valid empty trace.
+        assert!(body.contains("\"traceEvents\":["), "{body}");
 
         let (status, _) = get(addr, "/nope");
         assert!(status.contains("404"), "{status}");

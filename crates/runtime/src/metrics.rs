@@ -51,6 +51,40 @@ impl Histogram {
     pub fn sum(&self) -> f64 {
         self.sum
     }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`) by linear interpolation
+    /// within the bucket containing the target rank — the same estimator
+    /// Prometheus' `histogram_quantile` uses. Returns `None` when the
+    /// histogram is empty or `q` is out of range.
+    ///
+    /// The lowest bucket interpolates from 0 to its bound; a rank landing
+    /// in the overflow bucket is clamped to the highest finite bound (there
+    /// is no upper edge to interpolate toward).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) || self.bounds.is_empty() {
+            return None;
+        }
+        let rank = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let prev = cumulative;
+            cumulative += c;
+            if (cumulative as f64) >= rank {
+                if i == self.bounds.len() {
+                    // Overflow bucket: no finite upper edge.
+                    return Some(self.bounds[self.bounds.len() - 1]);
+                }
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = self.bounds[i];
+                if c == 0 {
+                    return Some(upper);
+                }
+                let frac = (rank - prev as f64) / c as f64;
+                return Some(lower + (upper - lower) * frac.clamp(0.0, 1.0));
+            }
+        }
+        Some(self.bounds[self.bounds.len() - 1])
+    }
 }
 
 #[derive(Debug, Default)]
@@ -58,6 +92,8 @@ struct Inner {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    /// `# HELP` text per metric *base* name (labels stripped).
+    help: BTreeMap<String, String>,
 }
 
 /// The runtime's metrics registry. Cheap to share: wrap in an
@@ -96,6 +132,13 @@ impl MetricsRegistry {
     pub fn set_gauge(&self, key: &str, v: f64) {
         let mut inner = self.inner.lock().expect("metrics mutex");
         inner.gauges.insert(key.to_string(), v);
+    }
+
+    /// Registers `# HELP` text for the metric base name `base` (pass the
+    /// name without labels), rendered ahead of the `# TYPE` line.
+    pub fn describe(&self, base: &str, help: &str) {
+        let mut inner = self.inner.lock().expect("metrics mutex");
+        inner.help.insert(base.to_string(), help.to_string());
     }
 
     /// Records `v` into the histogram `key`, creating it with `bounds` on
@@ -137,6 +180,9 @@ impl MetricsRegistry {
         let type_line = |out: &mut String, key: &str, kind: &str, typed: &mut Option<&str>| {
             let base = base_name(key);
             if *typed != Some(base) {
+                if let Some(help) = inner.help.get(base) {
+                    out.push_str(&format!("# HELP {base} {help}\n"));
+                }
                 out.push_str(&format!("# TYPE {base} {kind}\n"));
             }
         };
@@ -152,6 +198,9 @@ impl MetricsRegistry {
             out.push_str(&format!("{key} {v}\n"));
         }
         for (key, h) in &inner.histograms {
+            if let Some(help) = inner.help.get(base_name(key)) {
+                out.push_str(&format!("# HELP {key} {help}\n"));
+            }
             out.push_str(&format!("# TYPE {key} histogram\n"));
             let mut cumulative = 0u64;
             for (i, &bound) in h.bounds.iter().enumerate() {
@@ -199,11 +248,18 @@ impl MetricsRegistry {
                             })
                             .collect(),
                     );
+                    let quant = |q: f64| match h.quantile(q) {
+                        Some(v) => Value::Number(v),
+                        None => Value::Null,
+                    };
                     (
                         k.clone(),
                         Value::Object(vec![
                             ("sum".to_string(), Value::Number(h.sum)),
                             ("count".to_string(), Value::Number(h.count as f64)),
+                            ("p50".to_string(), quant(0.5)),
+                            ("p90".to_string(), quant(0.9)),
+                            ("p99".to_string(), quant(0.99)),
                             ("buckets".to_string(), buckets),
                         ]),
                     )
@@ -252,6 +308,75 @@ mod tests {
         assert!(text.contains("idc_step_duration_seconds_bucket{le=\"0.1\"} 4"));
         assert!(text.contains("idc_step_duration_seconds_bucket{le=\"+Inf\"} 5"));
         assert!(text.contains("idc_step_duration_seconds_count 5"));
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let m = MetricsRegistry::new();
+        let bounds = [1.0, 2.0, 4.0];
+        // 10 observations in (1, 2]: ranks spread linearly across the bucket.
+        for _ in 0..10 {
+            m.observe("h", &bounds, 1.5);
+        }
+        let inner = m.inner.lock().unwrap();
+        let h = inner.histograms.get("h").unwrap();
+        // p50 → rank 5 of 10 within (1, 2] → 1 + (5/10)·1 = 1.5.
+        assert!((h.quantile(0.5).unwrap() - 1.5).abs() < 1e-12);
+        // p90 → rank 9 of 10 → 1.9; p100 clamps to the bucket edge.
+        assert!((h.quantile(0.9).unwrap() - 1.9).abs() < 1e-12);
+        assert_eq!(h.quantile(1.0), Some(2.0));
+        assert_eq!(h.quantile(1.5), None);
+        drop(inner);
+
+        // Overflow-bucket ranks clamp to the highest finite bound.
+        let m2 = MetricsRegistry::new();
+        m2.observe("h", &bounds, 100.0);
+        let inner = m2.inner.lock().unwrap();
+        assert_eq!(inner.histograms.get("h").unwrap().quantile(0.5), Some(4.0));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new(vec![1.0]);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn help_lines_render_before_type() {
+        let m = MetricsRegistry::new();
+        m.describe("idc_steps_total", "Control steps completed.");
+        m.describe("idc_power_mw", "Per-IDC electric power draw.");
+        m.describe("idc_step_duration_seconds", "Wall-clock step duration.");
+        m.inc_counter("idc_steps_total", 3);
+        m.set_gauge("idc_power_mw{idc=\"Michigan\"}", 2.0);
+        m.set_gauge("idc_power_mw{idc=\"Ohio\"}", 1.0);
+        m.observe("idc_step_duration_seconds", &[0.1], 0.05);
+        let text = m.render_prometheus();
+        assert!(text.contains(
+            "# HELP idc_steps_total Control steps completed.\n# TYPE idc_steps_total counter"
+        ));
+        assert!(text.contains(
+            "# HELP idc_power_mw Per-IDC electric power draw.\n# TYPE idc_power_mw gauge"
+        ));
+        // One HELP line per base name even with several labelled series.
+        assert_eq!(text.matches("# HELP idc_power_mw").count(), 1);
+        assert!(text.contains("# HELP idc_step_duration_seconds Wall-clock step duration."));
+    }
+
+    #[test]
+    fn json_histograms_carry_quantiles() {
+        let m = MetricsRegistry::new();
+        for _ in 0..10 {
+            m.observe("h", &[1.0, 2.0], 1.5);
+        }
+        let v: serde::Value = serde_json::from_str(&m.render_json()).unwrap();
+        let h = v.get("histograms").unwrap().get("h").unwrap();
+        let serde::Value::Number(p50) = h.get("p50").unwrap() else {
+            panic!("p50 missing")
+        };
+        assert!((p50 - 1.5).abs() < 1e-12);
+        assert!(h.get("p90").is_some());
+        assert!(h.get("p99").is_some());
     }
 
     #[test]

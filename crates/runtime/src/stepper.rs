@@ -200,6 +200,83 @@ impl Stepper {
 
     /// Attaches a metrics registry; every subsequent step updates it.
     pub fn attach_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        for (base, help) in [
+            ("idc_steps_total", "Control steps completed."),
+            (
+                "idc_degraded_steps_total",
+                "Steps served by the staleness fallback instead of the solver.",
+            ),
+            (
+                "idc_fallback_steps_total",
+                "Steps where the policy fell back (infeasible QP or injected failure).",
+            ),
+            (
+                "idc_solver_warm_solves_total",
+                "MPC solves warm-started from the previous step.",
+            ),
+            ("idc_solver_cold_solves_total", "MPC solves from scratch."),
+            (
+                "idc_qp_iterations_total",
+                "Active-set QP iterations across all solves.",
+            ),
+            (
+                "idc_qp_constraints_added_total",
+                "Constraints activated by blocking ratio tests.",
+            ),
+            (
+                "idc_qp_constraints_dropped_total",
+                "Constraints deactivated on negative multipliers.",
+            ),
+            (
+                "idc_qp_degenerate_pops_total",
+                "Constraints popped on singular KKT factorizations.",
+            ),
+            (
+                "idc_qp_bland_switches_total",
+                "Dantzig-to-Bland pivot rule switches (anti-cycling).",
+            ),
+            (
+                "idc_qp_refinement_passes_total",
+                "Iterative refinement passes inside KKT solves.",
+            ),
+            (
+                "idc_qp_cold_fallbacks_total",
+                "Warm-start attempts that failed and re-solved cold.",
+            ),
+            (
+                "idc_qp_warm_seed_survival",
+                "Fraction of offered warm-seed constraints accepted (cumulative).",
+            ),
+            (
+                "idc_accumulated_cost_dollars",
+                "Electricity cost accumulated over the run.",
+            ),
+            (
+                "idc_feed_staleness_ticks",
+                "Age of the oldest held feed value at the last step.",
+            ),
+            (
+                "idc_latency_ok_fraction",
+                "Fraction of (IDC, step) pairs meeting the latency bound.",
+            ),
+            ("idc_step", "Next step index to execute."),
+            ("idc_power_mw", "Per-IDC electric power draw."),
+            ("idc_servers_on", "Per-IDC active server count."),
+            (
+                "idc_policy_phase_ns_total",
+                "Cumulative policy time per pipeline phase.",
+            ),
+            (
+                "idc_step_duration_seconds",
+                "Wall-clock duration of one control step.",
+            ),
+            (
+                "idc_snapshots_written_total",
+                "Checkpoints written by the daemon.",
+            ),
+        ] {
+            registry.describe(base, help);
+        }
         self.metrics = Some(registry);
     }
 
@@ -283,6 +360,7 @@ impl Stepper {
         if self.is_finished() {
             return Ok(false);
         }
+        let _step_span = idc_obs::Span::enter_cat("runtime.step", "runtime");
         let wall_start = Instant::now();
         let k = self.step;
         let fleet = self.scenario.fleet();
@@ -398,6 +476,18 @@ impl Stepper {
         let (warm, cold) = self.policy.controller().solve_counters();
         m.set_counter("idc_solver_warm_solves_total", warm as u64);
         m.set_counter("idc_solver_cold_solves_total", cold as u64);
+        let stats = self.policy.solve_stats();
+        m.set_counter("idc_qp_iterations_total", stats.iterations);
+        m.set_counter("idc_qp_constraints_added_total", stats.constraints_added);
+        m.set_counter(
+            "idc_qp_constraints_dropped_total",
+            stats.constraints_dropped,
+        );
+        m.set_counter("idc_qp_degenerate_pops_total", stats.degenerate_pops);
+        m.set_counter("idc_qp_bland_switches_total", stats.bland_switches);
+        m.set_counter("idc_qp_refinement_passes_total", stats.refinement_passes);
+        m.set_counter("idc_qp_cold_fallbacks_total", stats.cold_fallbacks);
+        m.set_gauge("idc_qp_warm_seed_survival", stats.seed_survival());
         m.set_gauge("idc_accumulated_cost_dollars", self.accumulated_cost);
         m.set_gauge("idc_feed_staleness_ticks", staleness as f64);
         m.set_gauge("idc_latency_ok_fraction", self.latency_ok_fraction());
