@@ -3,16 +3,21 @@
 //!
 //! ```text
 //! cargo run -p idc-bench --bin bench_diff -- \
-//!     BASELINE.json CURRENT.json [--threshold F] [--warn-only]
+//!     BASELINE.json CURRENT.json [--threshold F] [--iters-threshold F] [--warn-only]
 //! ```
 //!
 //! Rows are keyed by `(idcs, portals, backend)` and matched across the
-//! two files; the comparison metric is `warm_ms` for `single_step` rows
-//! and `warm_ms_per_step` for `end_to_end` rows (warm solves are the
-//! steady-state cost of the controller, so they are what CI guards).
-//! A row regresses when `current > baseline * (1 + threshold)`; the
-//! threshold is relative (default 0.10 = 10%). Improvements and rows
-//! present on only one side are reported but never gated on.
+//! two files; the comparison metrics are `warm_ms` for `single_step`
+//! rows, `warm_ms_per_step` for `end_to_end` rows (warm solves are the
+//! steady-state cost of the controller, so they are what CI guards) and
+//! `solve_stats.iterations_per_step` of the same `end_to_end` rows —
+//! iteration count is hardware-independent, so it catches active-set
+//! regressions that shared-runner timing noise would hide.
+//! A row regresses when `current > baseline * (1 + threshold)`; both
+//! thresholds are relative (`--threshold`, default 0.10 = 10%, gates the
+//! timing rows; `--iters-threshold`, default 0.25, gates the iteration
+//! rows). Improvements and rows present on only one side are reported
+//! but never gated on.
 //!
 //! Exit status: 0 when no row regresses (or with `--warn-only`, always,
 //! so CI can surface the table without flaking on shared-runner noise),
@@ -20,7 +25,8 @@
 
 use serde::Value;
 
-/// A comparable row: table name, key, and the warm metric.
+/// A comparable row: table name, key, and the compared metric (warm
+/// wall-clock for the timing tables, a per-step count for `iterations`).
 struct Row {
     table: &'static str,
     key: String,
@@ -29,9 +35,12 @@ struct Row {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_diff BASELINE.json CURRENT.json [--threshold F] [--warn-only]\n\
-         \x20 compares warm-step timings row by row; exits 1 when any row\n\
-         \x20 regresses by more than F (relative, default 0.10)"
+        "usage: bench_diff BASELINE.json CURRENT.json [--threshold F] \
+         [--iters-threshold F] [--warn-only]\n\
+         \x20 compares warm-step timings and iterations-per-step row by row;\n\
+         \x20 exits 1 when any timing row regresses by more than --threshold\n\
+         \x20 (default 0.10) or any iteration row by more than --iters-threshold\n\
+         \x20 (default 0.25), both relative"
     );
     std::process::exit(2);
 }
@@ -82,9 +91,25 @@ fn rows(doc: &Value) -> Vec<Row> {
             let Some(warm_ms) = number(item, metric) else {
                 continue;
             };
+            let key = format!("{}x{} {backend}", idcs as u64, portals as u64);
+            // The end-to-end rows carry nested solver introspection; gate
+            // on iterations per step too — it is hardware-independent, so
+            // it catches active-set regressions that timing noise hides.
+            if table == "end_to_end" {
+                if let Some(iters) = item
+                    .get("solve_stats")
+                    .and_then(|stats| number(stats, "iterations_per_step"))
+                {
+                    out.push(Row {
+                        table: "iterations",
+                        key: key.clone(),
+                        warm_ms: iters,
+                    });
+                }
+            }
             out.push(Row {
                 table,
-                key: format!("{}x{} {backend}", idcs as u64, portals as u64),
+                key,
                 warm_ms,
             });
         }
@@ -95,6 +120,7 @@ fn rows(doc: &Value) -> Vec<Row> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut threshold = 0.10f64;
+    let mut iters_threshold = 0.25f64;
     let mut warn_only = false;
     let mut paths: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -102,6 +128,12 @@ fn main() {
         match arg.as_str() {
             "--threshold" => {
                 threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--iters-threshold" => {
+                iters_threshold = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
@@ -119,8 +151,10 @@ fn main() {
     let current = rows(&load(current_path));
 
     println!(
-        "## bench_diff — {baseline_path} -> {current_path} (threshold {:.0}%)",
-        100.0 * threshold
+        "## bench_diff — {baseline_path} -> {current_path} \
+         (timing threshold {:.0}%, iterations threshold {:.0}%)",
+        100.0 * threshold,
+        100.0 * iters_threshold
     );
     println!(
         "{:<12} {:<28} {:>12} {:>12} {:>9} {:>10}",
@@ -143,10 +177,15 @@ fn main() {
         } else {
             0.0
         };
-        let status = if rel > threshold {
+        let row_threshold = if base_row.table == "iterations" {
+            iters_threshold
+        } else {
+            threshold
+        };
+        let status = if rel > row_threshold {
             regressions += 1;
             "REGRESSED"
-        } else if rel < -threshold {
+        } else if rel < -row_threshold {
             "improved"
         } else {
             "ok"
@@ -178,14 +217,13 @@ fn main() {
     }
     if regressions > 0 {
         eprintln!(
-            "bench_diff: {regressions} row(s) regressed beyond {:.0}%{}",
-            100.0 * threshold,
+            "bench_diff: {regressions} row(s) regressed beyond their threshold{}",
             if warn_only { " (warn-only)" } else { "" }
         );
         if !warn_only {
             std::process::exit(1);
         }
     } else {
-        println!("bench_diff: no warm-step regressions");
+        println!("bench_diff: no warm-step or iteration regressions");
     }
 }

@@ -32,6 +32,13 @@
 //!
 //! `-- --smoke` runs the 3×5 case only, asserts lockstep backend cost
 //! agreement to ≤ 1e-8 and writes nothing — the CI regression gate.
+//!
+//! `--sizes 3x5,12x24` overrides the measured fleet sizes and
+//! `--max-dense-vars N` caps the dense backend: sizes whose ΔU variable
+//! count exceeds `N` (default 600) run the banded backend only, and the
+//! skipped dense cells (plus the lockstep agreement rows that need both
+//! backends) are recorded explicitly in the JSON instead of silently
+//! missing.
 
 use std::time::Instant;
 
@@ -48,11 +55,18 @@ use idc_market::region::Region;
 use idc_market::rtp::TracePricing;
 use idc_market::trace::PriceTrace;
 
-const SIZES: [(usize, usize); 5] = [(3, 5), (4, 8), (6, 12), (8, 15), (12, 24)];
+const SIZES: [(usize, usize); 6] = [(3, 5), (4, 8), (6, 12), (8, 15), (12, 24), (32, 64)];
 const BACKENDS: [SolverBackend; 2] = [SolverBackend::CondensedDense, SolverBackend::BandedRiccati];
 /// Backend cost agreement required by the smoke gate (the two backends
 /// solve the same strictly convex QP).
 const AGREEMENT_TOL: f64 = 1e-8;
+/// Default `--max-dense-vars`: the dense backend refactors an O(vars³)
+/// Hessian per cold solve, so the big fleets (12×24 = 864 vars,
+/// 32×64 = 6144 vars) run banded-only unless the cap is raised.
+const DEFAULT_MAX_DENSE_VARS: usize = 600;
+/// ΔU horizon used by `MpcConfig::default()` (sizes are capped by
+/// `n·c·horizon` before any controller exists).
+const CONTROL_HORIZON: usize = 3;
 
 fn backend_label(b: SolverBackend) -> &'static str {
     match b {
@@ -331,6 +345,57 @@ fn lockstep_agreement(n: usize, c: usize) -> AgreementRow {
     }
 }
 
+/// A measurement cell deliberately not run, recorded in the JSON so a
+/// missing row reads as a decision, not an omission.
+struct SkipRow {
+    n: usize,
+    c: usize,
+    vars: usize,
+    /// JSON section the cell would have landed in.
+    section: &'static str,
+    backend: Option<SolverBackend>,
+    reason: String,
+}
+
+/// The skip rows for one size the dense cap excludes: both dense
+/// measurement sections plus the lockstep agreement (which needs both
+/// backends to run).
+fn dense_cap_skips(n: usize, c: usize, max_dense_vars: usize) -> Vec<SkipRow> {
+    let vars = n * c * CONTROL_HORIZON;
+    let reason = format!("{vars} ΔU vars exceed --max-dense-vars {max_dense_vars}");
+    let row = |section, backend| SkipRow {
+        n,
+        c,
+        vars,
+        section,
+        backend,
+        reason: reason.clone(),
+    };
+    vec![
+        row("single_step", Some(SolverBackend::CondensedDense)),
+        row("end_to_end", Some(SolverBackend::CondensedDense)),
+        row("backend_agreement", None),
+    ]
+}
+
+/// Parses `--sizes 3x5,12x24` into `(idcs, portals)` pairs.
+fn parse_sizes(spec: &str) -> Result<Vec<(usize, usize)>, idc_core::Error> {
+    spec.split(',')
+        .map(|pair| {
+            let bad = || {
+                idc_core::Error::Config(format!(
+                    "--sizes expects comma-separated NxC pairs (e.g. 3x5,12x24), got '{pair}'"
+                ))
+            };
+            let (n, c) = pair.split_once(['x', 'X']).ok_or_else(bad)?;
+            match (n.trim().parse(), c.trim().parse()) {
+                (Ok(n), Ok(c)) if n > 0 && c > 0 => Ok((n, c)),
+                _ => Err(bad()),
+            }
+        })
+        .collect()
+}
+
 fn phase_ms(ns: u64, steps: usize) -> f64 {
     ns as f64 / 1e6 / steps.max(1) as f64
 }
@@ -421,6 +486,8 @@ fn main() -> Result<(), idc_core::Error> {
     let mut smoke = false;
     let mut trace_out: Option<String> = None;
     let mut out_path = "BENCH_mpc.json".to_string();
+    let mut sizes: Vec<(usize, usize)> = SIZES.to_vec();
+    let mut max_dense_vars = DEFAULT_MAX_DENSE_VARS;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -429,6 +496,16 @@ fn main() -> Result<(), idc_core::Error> {
                 trace_out = Some(it.next().ok_or_else(|| {
                     idc_core::Error::Config("--trace-out needs a path".to_string())
                 })?);
+            }
+            "--sizes" => {
+                sizes = parse_sizes(&it.next().ok_or_else(|| {
+                    idc_core::Error::Config("--sizes needs NxC,... pairs".to_string())
+                })?)?;
+            }
+            "--max-dense-vars" => {
+                max_dense_vars = it.next().and_then(|v| v.parse().ok()).ok_or_else(|| {
+                    idc_core::Error::Config("--max-dense-vars needs a number".to_string())
+                })?;
             }
             other => out_path = other.to_string(),
         }
@@ -457,10 +534,27 @@ fn main() -> Result<(), idc_core::Error> {
         "warm %"
     );
 
+    let dense_fits = |n: usize, c: usize| n * c * CONTROL_HORIZON <= max_dense_vars;
     let mut single = Vec::new();
     let mut end_to_end = Vec::new();
-    for (n, c) in SIZES {
+    let mut skipped = Vec::new();
+    for &(n, c) in &sizes {
+        if !dense_fits(n, c) {
+            println!(
+                "{:>6} {:>8} {:>8} {:>16} | skipped ({} vars > --max-dense-vars {})",
+                n,
+                c,
+                n * c * CONTROL_HORIZON,
+                backend_label(SolverBackend::CondensedDense),
+                n * c * CONTROL_HORIZON,
+                max_dense_vars
+            );
+            skipped.extend(dense_cap_skips(n, c, max_dense_vars));
+        }
         for backend in BACKENDS {
+            if matches!(backend, SolverBackend::CondensedDense) && !dense_fits(n, c) {
+                continue;
+            }
             let s = measure_single_step(n, c, backend);
             let e = measure_end_to_end(n, c, backend)?;
             print_e2e_row(&e);
@@ -477,7 +571,11 @@ fn main() -> Result<(), idc_core::Error> {
     }
     println!("\nbackend agreement (lockstep, identical problems per step):");
     let mut agree = Vec::new();
-    for (n, c) in SIZES {
+    for &(n, c) in &sizes {
+        if !dense_fits(n, c) {
+            println!("  {n:>2}×{c:<2}: skipped (dense backend over --max-dense-vars cap)");
+            continue;
+        }
         let a = lockstep_agreement(n, c);
         println!(
             "  {:>2}×{:<2}: dense {:.9} vs banded {:.9} over {} steps \
@@ -487,7 +585,7 @@ fn main() -> Result<(), idc_core::Error> {
         agree.push(a);
     }
 
-    let json = render_json(&single, &end_to_end, &agree);
+    let json = render_json(&single, &end_to_end, &agree, &skipped);
     std::fs::write(&out_path, &json)
         .map_err(|e| idc_core::Error::Config(format!("cannot write {out_path}: {e}")))?;
     println!("\nwrote {out_path}");
@@ -503,6 +601,7 @@ fn render_json(
     single: &[SingleStepRow],
     end_to_end: &[EndToEndRow],
     agree: &[AgreementRow],
+    skipped: &[SkipRow],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -578,7 +677,9 @@ fn render_json(
             "     \"solve_stats\": {{\"iterations_per_step\": {:.3}, \
              \"constraints_added_per_step\": {:.3}, \"constraints_dropped_per_step\": {:.3}, \
              \"degenerate_pops\": {}, \"bland_switches\": {}, \
-             \"refinement_passes_per_step\": {:.3}, \"warm_seed_survival\": {:.4}, \
+             \"refinement_passes_per_step\": {:.3}, \"refactorizations_per_step\": {:.3}, \
+             \"updates_applied_per_step\": {:.3}, \"downdates_applied_per_step\": {:.3}, \
+             \"working_set_delta_per_step\": {:.3}, \"warm_seed_survival\": {:.4}, \
              \"cold_fallbacks\": {}}}}}{}\n",
             per_step(r.stats.iterations),
             per_step(r.stats.constraints_added),
@@ -586,9 +687,31 @@ fn render_json(
             r.stats.degenerate_pops,
             r.stats.bland_switches,
             per_step(r.stats.refinement_passes),
+            per_step(r.stats.refactorizations),
+            per_step(r.stats.updates_applied),
+            per_step(r.stats.downdates_applied),
+            per_step(r.stats.working_set_delta),
             r.stats.seed_survival(),
             r.stats.cold_fallbacks,
             if i + 1 < end_to_end.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"skipped\": [\n");
+    for (i, k) in skipped.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"idcs\": {}, \"portals\": {}, \"delta_u_vars\": {}, \"section\": \"{}\", \
+             \"backend\": {}, \"reason\": \"{}\"}}{}\n",
+            k.n,
+            k.c,
+            k.vars,
+            k.section,
+            match k.backend {
+                Some(b) => format!("\"{}\"", backend_label(b)),
+                None => "null".to_string(),
+            },
+            k.reason,
+            if i + 1 < skipped.len() { "," } else { "" }
         ));
     }
     s.push_str("  ],\n");

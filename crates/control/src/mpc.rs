@@ -410,6 +410,17 @@ impl MpcController {
         self.solve_stats = SolveStats::default();
     }
 
+    /// Arms both backends' workspaces so the next solve's incremental
+    /// working-set factor build is deterministically poisoned, forcing the
+    /// solver's stability-rebuild path. Fault-injection plumbing for the
+    /// testkit's forced-refactorization fault kind; the resulting plan is
+    /// unchanged (the rebuild recovers exactly), only
+    /// [`SolveStats::refactorizations`] moves.
+    pub fn force_refactor_next(&mut self) {
+        self.ws.force_refactor_next();
+        self.bws.force_refactor_next();
+    }
+
     /// Solves one receding-horizon step and returns the plan.
     ///
     /// Reuses the cached QP skeleton when the problem structure matches the

@@ -243,6 +243,13 @@ pub struct MpcPolicyConfig {
     /// infeasibility. Empty in production; populated by the testkit's
     /// fault plans.
     pub forced_failure_steps: Vec<usize>,
+    /// Steps at which the solver's incremental working-set factor is
+    /// deterministically *poisoned*, forcing its stability-rebuild path.
+    /// Unlike [`forced_failure_steps`](Self::forced_failure_steps) the plan
+    /// succeeds unchanged — only the refactorization counters move — so
+    /// this exercises the rebuild machinery without a fallback. Empty in
+    /// production; populated by the testkit's fault plans.
+    pub forced_refactor_steps: Vec<usize>,
     /// When `true`, every per-step [`MpcProblem`] the policy assembles is
     /// kept in a log ([`MpcPolicy::recorded_problems`]) so differential
     /// oracles can re-solve them offline. Off by default.
@@ -261,6 +268,7 @@ impl Default for MpcPolicyConfig {
             anticipatory_reference: true,
             solver_reuse: true,
             forced_failure_steps: Vec::new(),
+            forced_refactor_steps: Vec::new(),
             record_problems: false,
         }
     }
@@ -804,6 +812,12 @@ impl MpcPolicy {
         }
         if !self.config.solver_reuse {
             self.controller.reset();
+        }
+        if self.config.forced_refactor_steps.contains(&ctx.step) {
+            // Injected factor poison: the solver detects the drift and
+            // rebuilds — no fallback, no reset, the plan is unchanged.
+            idc_obs::record_anomaly("injected_forced_refactorization", ctx.step as u64, &[]);
+            self.controller.force_refactor_next();
         }
         match self.controller.plan(&problem) {
             Ok(plan) => {

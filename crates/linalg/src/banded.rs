@@ -14,8 +14,18 @@
 //! [`gemm`](crate::gemm) microkernel.
 
 use crate::gemm::gemm_ws;
+use crate::par::{default_threads, par_chunks_mut, par_gemm};
 use crate::workspace::Workspace;
 use crate::{Error, Result};
+
+/// Block size below which the scalar factorization path is used unchanged.
+const BLOCK_MIN: usize = 128;
+/// Column-panel width for the blocked Cholesky and triangular solves.
+const PANEL: usize = 48;
+/// Rows per chunk when banding row-parallel work across threads.
+const ROW_BAND: usize = 64;
+/// Right-hand sides per chunk in [`BlockTridiagChol::solve_rows_in_place`].
+const RHS_BAND: usize = 32;
 
 /// A symmetric block-tridiagonal matrix stored as flat row-major blocks.
 ///
@@ -162,6 +172,8 @@ pub struct BlockTridiagChol {
     m: Vec<f64>,
     /// Transpose scratch for the `M·Mᵀ` downdate.
     mt_scratch: Vec<f64>,
+    /// Transpose scratch for `L` blocks in the blocked triangular solves.
+    lt_scratch: Vec<f64>,
 }
 
 impl BlockTridiagChol {
@@ -177,11 +189,37 @@ impl BlockTridiagChol {
 
     /// Factors `a`, reusing all internal storage from previous calls.
     ///
+    /// Delegates to [`refactor_with_threads`](Self::refactor_with_threads)
+    /// with [`default_threads`] workers; the result is bitwise independent of
+    /// the thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::NotPositiveDefinite`] if a stage block loses positive
     /// definiteness during the recursion.
     pub fn refactor(&mut self, a: &BlockTridiag, ws: &mut Workspace) -> Result<()> {
+        self.refactor_with_threads(a, ws, default_threads())
+    }
+
+    /// Factors `a` using up to `threads` scoped worker threads.
+    ///
+    /// Small blocks (`nb <` [`BLOCK_MIN`]) take the scalar stage recursion;
+    /// larger blocks use a blocked right-looking Cholesky and blocked
+    /// triangular solves whose O(nb³) inner products all route through the
+    /// packed GEMM microkernel. Work is banded over rows with a static
+    /// partition, so the factor is **bitwise identical for every value of
+    /// `threads`** (see [`crate::par`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotPositiveDefinite`] if a stage block loses positive
+    /// definiteness during the recursion.
+    pub fn refactor_with_threads(
+        &mut self,
+        a: &BlockTridiag,
+        ws: &mut Workspace,
+        threads: usize,
+    ) -> Result<()> {
         let (nb, t) = (a.nb(), a.nblocks());
         let s = nb * nb;
         self.nb = nb;
@@ -192,9 +230,18 @@ impl BlockTridiagChol {
         self.m.resize((t - 1) * s, 0.0);
         self.mt_scratch.clear();
         self.mt_scratch.resize(s, 0.0);
+        let blocked = nb >= BLOCK_MIN;
+        if blocked {
+            self.lt_scratch.clear();
+            self.lt_scratch.resize(s, 0.0);
+        }
 
         self.l[..s].copy_from_slice(a.diag(0));
-        chol_in_place(nb, &mut self.l[..s])?;
+        if blocked {
+            chol_in_place_blocked(nb, &mut self.l[..s], threads, ws)?;
+        } else {
+            chol_in_place(nb, &mut self.l[..s])?;
+        }
         for bt in 1..t {
             // M_t = O_{t-1} · L_{t-1}^{-ᵀ}: forward-substitute L_{t-1} against
             // each row of O_{t-1}.
@@ -202,18 +249,23 @@ impl BlockTridiagChol {
             let lprev = &done_l[(bt - 1) * s..];
             let mblk = &mut self.m[(bt - 1) * s..bt * s];
             mblk.copy_from_slice(a.sub(bt - 1));
-            for r in 0..nb {
-                forward_subst(nb, lprev, &mut mblk[r * nb..(r + 1) * nb]);
+            if blocked {
+                transpose_into(nb, lprev, &mut self.lt_scratch);
+                let ltprev = &self.lt_scratch;
+                par_chunks_mut(mblk, ROW_BAND * nb, threads, |_, rows| {
+                    let mut local = Workspace::new();
+                    trsm_rows_lower(rows.len() / nb, nb, lprev, ltprev, rows, nb, &mut local);
+                });
+            } else {
+                for r in 0..nb {
+                    forward_subst(nb, lprev, &mut mblk[r * nb..(r + 1) * nb]);
+                }
             }
             // L_t·L_tᵀ = D_t − M_t·M_tᵀ (Riccati downdate), via packed GEMM.
             let lcur = &mut rest_l[..s];
             lcur.copy_from_slice(a.diag(bt));
-            for i in 0..nb {
-                for j in 0..nb {
-                    self.mt_scratch[j * nb + i] = mblk[i * nb + j];
-                }
-            }
-            gemm_ws(
+            transpose_into(nb, mblk, &mut self.mt_scratch);
+            par_gemm(
                 nb,
                 nb,
                 nb,
@@ -225,9 +277,14 @@ impl BlockTridiagChol {
                 1.0,
                 lcur,
                 nb,
+                if blocked { threads } else { 1 },
                 ws,
             );
-            chol_in_place(nb, lcur)?;
+            if blocked {
+                chol_in_place_blocked(nb, lcur, threads, ws)?;
+            } else {
+                chol_in_place(nb, lcur)?;
+            }
         }
         Ok(())
     }
@@ -276,6 +333,137 @@ impl BlockTridiagChol {
             back_subst_transposed(nb, &self.l[bt * s..(bt + 1) * s], xcur);
         }
     }
+
+    /// Solves `A·yᵣ = xᵣ` for `nrhs` independent right-hand sides stored as
+    /// the rows of the row-major `nrhs × dim` buffer `x`, in place, with
+    /// [`default_threads`] workers.
+    pub fn solve_rows_in_place(&self, x: &mut [f64], nrhs: usize, ws: &mut Workspace) {
+        self.solve_rows_with_threads(x, nrhs, ws, default_threads());
+    }
+
+    /// Multi-right-hand-side [`solve_in_place`](Self::solve_in_place): each
+    /// row of the row-major `nrhs × dim` buffer `x` is an independent RHS.
+    ///
+    /// Stage-coupling corrections are batched through GEMM and right-hand
+    /// sides are banded across up to `threads` scoped threads; the result is
+    /// bitwise independent of `threads` (static row partition), though not
+    /// bitwise identical to per-row [`solve_in_place`](Self::solve_in_place)
+    /// calls (different reduction order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != nrhs · dim` or the factor is empty.
+    pub fn solve_rows_with_threads(
+        &self,
+        x: &mut [f64],
+        nrhs: usize,
+        ws: &mut Workspace,
+        threads: usize,
+    ) {
+        let (nb, t) = (self.nb, self.nblocks);
+        assert!(t > 0, "solve on empty factor");
+        let dim = nb * t;
+        assert_eq!(x.len(), nrhs * dim, "dimension mismatch");
+        if nrhs == 0 {
+            return;
+        }
+        let s = nb * nb;
+        // Shared read-only transposes: Mᵀ blocks for the forward corrections,
+        // Lᵀ blocks for the blocked forward triangular solves.
+        let mut mts = ws.take((t - 1) * s);
+        for bt in 0..t - 1 {
+            transpose_into(
+                nb,
+                &self.m[bt * s..(bt + 1) * s],
+                &mut mts[bt * s..(bt + 1) * s],
+            );
+        }
+        let mut lts = ws.take(t * s);
+        for bt in 0..t {
+            transpose_into(
+                nb,
+                &self.l[bt * s..(bt + 1) * s],
+                &mut lts[bt * s..(bt + 1) * s],
+            );
+        }
+        let (lblk, mblk, mtref, ltref) = (&self.l, &self.m, &mts, &lts);
+        par_chunks_mut(x, RHS_BAND * dim, threads, |_, rows| {
+            let band = rows.len() / dim;
+            let mut local = Workspace::new();
+            let mut cloc = local.take(band * nb);
+            // Forward sweep: L Y = B, rows as right-hand sides.
+            for bt in 0..t {
+                if bt > 0 {
+                    // X_bt −= X_{bt−1}·M_btᵀ, computed into `cloc` to keep the
+                    // GEMM operands non-aliasing, then accumulated.
+                    gemm_ws(
+                        band,
+                        nb,
+                        nb,
+                        -1.0,
+                        &rows[(bt - 1) * nb..],
+                        dim,
+                        &mtref[(bt - 1) * s..bt * s],
+                        nb,
+                        0.0,
+                        &mut cloc,
+                        nb,
+                        &mut local,
+                    );
+                    for r in 0..band {
+                        for c in 0..nb {
+                            rows[r * dim + bt * nb + c] += cloc[r * nb + c];
+                        }
+                    }
+                }
+                trsm_rows_lower(
+                    band,
+                    nb,
+                    &lblk[bt * s..(bt + 1) * s],
+                    &ltref[bt * s..(bt + 1) * s],
+                    &mut rows[bt * nb..],
+                    dim,
+                    &mut local,
+                );
+            }
+            // Backward sweep: Lᵀ X = Y.
+            for bt in (0..t).rev() {
+                if bt + 1 < t {
+                    // X_bt −= X_{bt+1}·M_{bt+1}.
+                    gemm_ws(
+                        band,
+                        nb,
+                        nb,
+                        -1.0,
+                        &rows[(bt + 1) * nb..],
+                        dim,
+                        &mblk[bt * s..(bt + 1) * s],
+                        nb,
+                        0.0,
+                        &mut cloc,
+                        nb,
+                        &mut local,
+                    );
+                    for r in 0..band {
+                        for c in 0..nb {
+                            rows[r * dim + bt * nb + c] += cloc[r * nb + c];
+                        }
+                    }
+                }
+                trsm_rows_lower_transposed(
+                    band,
+                    nb,
+                    &lblk[bt * s..(bt + 1) * s],
+                    &mut rows[bt * nb..],
+                    dim,
+                    &mut local,
+                );
+            }
+            local.put(cloc);
+        });
+        ws.put(mts);
+        ws.put(lts);
+    }
 }
 
 /// In-place dense Cholesky of the lower triangle of a row-major `n×n` block.
@@ -319,6 +507,234 @@ fn back_subst_transposed(n: usize, l: &[f64], x: &mut [f64]) {
         }
         x[i] = acc / l[i * n + i];
     }
+}
+
+/// Transposes the row-major `n×n` block `src` into `dst`.
+fn transpose_into(n: usize, src: &[f64], dst: &mut [f64]) {
+    for i in 0..n {
+        for j in 0..n {
+            dst[j * n + i] = src[i * n + j];
+        }
+    }
+}
+
+/// Blocked right-looking in-place Cholesky of the lower triangle of a
+/// row-major `n×n` block.
+///
+/// The diagonal panel is factored scalar; the O(n³) trailing update runs
+/// through the packed GEMM microkernel, banded over row panels across up to
+/// `threads` scoped threads. Each row panel's output depends only on its own
+/// rows plus shared read-only panels, so the factor is bitwise independent
+/// of `threads`.
+pub(crate) fn chol_in_place_blocked(
+    n: usize,
+    a: &mut [f64],
+    threads: usize,
+    ws: &mut Workspace,
+) -> Result<()> {
+    if n < BLOCK_MIN {
+        return chol_in_place(n, a);
+    }
+    let mut bt = ws.take(PANEL * n);
+    let mut result = Ok(());
+    'outer: for k0 in (0..n).step_by(PANEL) {
+        let w = PANEL.min(n - k0);
+        // Diagonal panel: scalar Cholesky of the w×w submatrix at (k0, k0).
+        for i in 0..w {
+            for j in 0..=i {
+                let mut acc = a[(k0 + i) * n + k0 + j];
+                for p in 0..j {
+                    acc -= a[(k0 + i) * n + k0 + p] * a[(k0 + j) * n + k0 + p];
+                }
+                if i == j {
+                    if acc <= 0.0 {
+                        result = Err(Error::NotPositiveDefinite);
+                        break 'outer;
+                    }
+                    a[(k0 + i) * n + k0 + i] = acc.sqrt();
+                } else {
+                    a[(k0 + i) * n + k0 + j] = acc / a[(k0 + j) * n + k0 + j];
+                }
+            }
+        }
+        let r0 = k0 + w;
+        if r0 == n {
+            break;
+        }
+        // Panel solve L21 ← A21·L11⁻ᵀ, row-parallel.
+        let (head, tail) = a.split_at_mut(r0 * n);
+        let panel = &head[k0 * n..];
+        par_chunks_mut(tail, ROW_BAND * n, threads, |_, rows| {
+            for rr in rows.chunks_mut(n) {
+                for i in 0..w {
+                    let mut acc = rr[k0 + i];
+                    for j in 0..i {
+                        acc -= panel[i * n + k0 + j] * rr[k0 + j];
+                    }
+                    rr[k0 + i] = acc / panel[i * n + k0 + i];
+                }
+            }
+        });
+        // Bt = L21ᵀ, shared read-only by every trailing row panel.
+        let ncols_total = n - r0;
+        for (rr, row) in tail.chunks_exact(n).enumerate() {
+            for c in 0..w {
+                bt[c * ncols_total + rr] = row[k0 + c];
+            }
+        }
+        // Trailing update A22 −= L21·L21ᵀ, one GEMM per row panel covering
+        // the panel's lower-triangle columns (plus the few upper-triangle
+        // entries inside the panel's diagonal block, which stay
+        // insignificant — only the lower triangle of `a` is read).
+        let btref = &bt;
+        par_chunks_mut(tail, ROW_BAND * n, threads, |idx, rows| {
+            let nrows = rows.len() / n;
+            let band_r0 = r0 + idx * ROW_BAND;
+            let ncols = band_r0 + nrows - r0;
+            let mut local = Workspace::new();
+            let mut aloc = local.take(nrows * w);
+            for (rr, row) in rows.chunks_exact(n).enumerate() {
+                aloc[rr * w..(rr + 1) * w].copy_from_slice(&row[k0..k0 + w]);
+            }
+            gemm_ws(
+                nrows,
+                ncols,
+                w,
+                -1.0,
+                &aloc,
+                w,
+                btref,
+                ncols_total,
+                1.0,
+                &mut rows[r0..],
+                n,
+                &mut local,
+            );
+            local.put(aloc);
+        });
+    }
+    ws.put(bt);
+    result
+}
+
+/// Solves `L·yᵣ = xᵣ` for every row of the `nrhs × n` block `x` (leading
+/// dimension `ldx`), i.e. a right-side triangular solve against `Lᵀ`.
+///
+/// `lt` must hold the transpose of `l`. Column-panel corrections go through
+/// GEMM; only the small per-panel triangles are solved scalar. Falls back to
+/// scalar per-row substitution below [`BLOCK_MIN`].
+fn trsm_rows_lower(
+    nrhs: usize,
+    n: usize,
+    l: &[f64],
+    lt: &[f64],
+    x: &mut [f64],
+    ldx: usize,
+    ws: &mut Workspace,
+) {
+    if n < BLOCK_MIN {
+        for r in 0..nrhs {
+            forward_subst(n, l, &mut x[r * ldx..r * ldx + n]);
+        }
+        return;
+    }
+    let mut cloc = ws.take(nrhs * PANEL);
+    for j0 in (0..n).step_by(PANEL) {
+        let w = PANEL.min(n - j0);
+        if j0 > 0 {
+            // X[:, j0..j0+w] −= X[:, 0..j0]·(L[j0..j0+w, 0..j0])ᵀ.
+            gemm_ws(
+                nrhs,
+                w,
+                j0,
+                -1.0,
+                &x[..],
+                ldx,
+                &lt[j0..],
+                n,
+                0.0,
+                &mut cloc[..nrhs * w],
+                w,
+                ws,
+            );
+            for r in 0..nrhs {
+                for c in 0..w {
+                    x[r * ldx + j0 + c] += cloc[r * w + c];
+                }
+            }
+        }
+        for r in 0..nrhs {
+            let row = &mut x[r * ldx + j0..r * ldx + j0 + w];
+            for i in 0..w {
+                let mut acc = row[i];
+                for j in 0..i {
+                    acc -= l[(j0 + i) * n + j0 + j] * row[j];
+                }
+                row[i] = acc / l[(j0 + i) * n + j0 + i];
+            }
+        }
+    }
+    ws.put(cloc);
+}
+
+/// Solves `Lᵀ·yᵣ = xᵣ` for every row of the `nrhs × n` block `x` (leading
+/// dimension `ldx`), i.e. a right-side triangular solve against `L`.
+///
+/// Column panels proceed right to left; corrections go through GEMM reading
+/// `l` directly. Falls back to scalar per-row substitution below
+/// [`BLOCK_MIN`].
+fn trsm_rows_lower_transposed(
+    nrhs: usize,
+    n: usize,
+    l: &[f64],
+    x: &mut [f64],
+    ldx: usize,
+    ws: &mut Workspace,
+) {
+    if n < BLOCK_MIN {
+        for r in 0..nrhs {
+            back_subst_transposed(n, l, &mut x[r * ldx..r * ldx + n]);
+        }
+        return;
+    }
+    let mut cloc = ws.take(nrhs * PANEL);
+    for j0 in (0..n).step_by(PANEL).rev() {
+        let w = PANEL.min(n - j0);
+        let hi = j0 + w;
+        if hi < n {
+            // X[:, j0..hi] −= X[:, hi..n]·L[hi..n, j0..hi].
+            gemm_ws(
+                nrhs,
+                w,
+                n - hi,
+                -1.0,
+                &x[hi..],
+                ldx,
+                &l[hi * n + j0..],
+                n,
+                0.0,
+                &mut cloc[..nrhs * w],
+                w,
+                ws,
+            );
+            for r in 0..nrhs {
+                for c in 0..w {
+                    x[r * ldx + j0 + c] += cloc[r * w + c];
+                }
+            }
+        }
+        for r in 0..nrhs {
+            let row = &mut x[r * ldx + j0..r * ldx + hi];
+            for i in (0..w).rev() {
+                let mut acc = row[i];
+                for j in i + 1..w {
+                    acc -= l[(j0 + j) * n + j0 + i] * row[j];
+                }
+                row[i] = acc / l[(j0 + i) * n + j0 + i];
+            }
+        }
+    }
+    ws.put(cloc);
 }
 
 #[cfg(test)]
@@ -429,6 +845,67 @@ mod tests {
             chol.refactor(&a, &mut ws),
             Err(Error::NotPositiveDefinite)
         ));
+    }
+
+    #[test]
+    fn blocked_path_matches_dense_lu() {
+        // nb ≥ BLOCK_MIN exercises the blocked Cholesky + blocked trsm path.
+        let mut seed = 0x600d_cafeu64;
+        let (nb, t) = (BLOCK_MIN + 5, 2);
+        let a = random_spd(nb, t, &mut seed);
+        let dense = dense_of(&a);
+        let b: Vec<f64> = (0..nb * t).map(|_| pseudo(&mut seed)).collect();
+        let mut chol = BlockTridiagChol::new();
+        let mut ws = Workspace::new();
+        chol.refactor_with_threads(&a, &mut ws, 2).unwrap();
+        let mut x = b.clone();
+        chol.solve_in_place(&mut x);
+        let expect = Lu::factor(&dense).unwrap().solve(&b).unwrap();
+        for (u, v) in x.iter().zip(&expect) {
+            assert!((u - v).abs() < 1e-9 * (1.0 + v.abs()));
+        }
+    }
+
+    #[test]
+    fn refactor_is_bitwise_independent_of_thread_count() {
+        let mut seed = 0x7ead_5afeu64;
+        let (nb, t) = (BLOCK_MIN + 9, 3);
+        let a = random_spd(nb, t, &mut seed);
+        let mut ws = Workspace::new();
+        let mut serial = BlockTridiagChol::new();
+        serial.refactor_with_threads(&a, &mut ws, 1).unwrap();
+        for threads in [2, 3, 5] {
+            let mut par = BlockTridiagChol::new();
+            par.refactor_with_threads(&a, &mut ws, threads).unwrap();
+            assert_eq!(par.l, serial.l, "threads={threads}");
+            assert_eq!(par.m, serial.m, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn solve_rows_matches_per_row_solves() {
+        let mut seed = 0x0def_aced_u64;
+        for &(nb, t) in &[(6usize, 4usize), (BLOCK_MIN + 3, 2)] {
+            let a = random_spd(nb, t, &mut seed);
+            let dim = nb * t;
+            let nrhs = 5;
+            let mut chol = BlockTridiagChol::new();
+            let mut ws = Workspace::new();
+            chol.refactor(&a, &mut ws).unwrap();
+            let rhs: Vec<f64> = (0..nrhs * dim).map(|_| pseudo(&mut seed)).collect();
+            let mut batch = rhs.clone();
+            chol.solve_rows_with_threads(&mut batch, nrhs, &mut ws, 1);
+            let mut batch_par = rhs.clone();
+            chol.solve_rows_with_threads(&mut batch_par, nrhs, &mut ws, 3);
+            assert_eq!(batch, batch_par, "nb={nb}: thread count changed bits");
+            for r in 0..nrhs {
+                let mut x = rhs[r * dim..(r + 1) * dim].to_vec();
+                chol.solve_in_place(&mut x);
+                for (u, v) in batch[r * dim..(r + 1) * dim].iter().zip(&x) {
+                    assert!((u - v).abs() < 1e-9 * (1.0 + v.abs()), "nb={nb} r={r}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! Cholesky, which is roughly twice as fast as LU and certifies definiteness
 //! as a side effect.
 
+use crate::gemm::gemm_ws;
+use crate::workspace::Workspace;
 use crate::{Error, Matrix, Result};
 
 /// A lower-triangular Cholesky factor `A = L·Lᵀ`.
@@ -191,6 +193,101 @@ impl UpdatableCholesky {
         self.l.push(d2.sqrt());
         self.n += 1;
         Ok(())
+    }
+
+    /// Appends `k` symmetric rows/columns in one blocked operation.
+    ///
+    /// `cols` concatenates the [`append`](Self::append) columns of the `k`
+    /// new rows: row `j` contributes the `n + j + 1` entries `[a(n+j, 0), …,
+    /// a(n+j, n+j)]`, where `n` is the dimension before the call — total
+    /// length `k·n + k·(k+1)/2`, i.e. exactly what `k` successive `append`
+    /// calls would consume.
+    ///
+    /// The off-diagonal factor block `L21` comes from `k` triangular solves
+    /// against the existing factor, the k×k Schur complement
+    /// `S22 − L21·L21ᵀ` is downdated through the packed GEMM microkernel,
+    /// and its own Cholesky factor is built in scratch. Diagonal pivots must
+    /// pass the same relative positivity test as [`append`](Self::append).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotPositiveDefinite`] with the factor left
+    /// **unchanged** (no partial commit, unlike a sequence of `append`
+    /// calls) when any pivot fails; the caller can fall back to per-row
+    /// appends to locate the offending row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols.len()` does not match `k` stacked append columns.
+    pub fn append_block(&mut self, k: usize, cols: &[f64], ws: &mut Workspace) -> Result<()> {
+        let n = self.n;
+        assert_eq!(
+            cols.len(),
+            k * n + k * (k + 1) / 2,
+            "append block has wrong length"
+        );
+        if k == 0 {
+            return Ok(());
+        }
+        if k == 1 {
+            return self.append(cols);
+        }
+        // L21 rows: solve L11·w = colsⱼ[..n] against the packed factor.
+        let mut b = ws.take(k * n);
+        for j in 0..k {
+            let off = j * n + j * (j + 1) / 2;
+            let row = &mut b[j * n..(j + 1) * n];
+            row.copy_from_slice(&cols[off..off + n]);
+            for i in 0..n {
+                let lrow = &self.l[i * (i + 1) / 2..];
+                let mut acc = row[i];
+                for p in 0..i {
+                    acc -= lrow[p] * row[p];
+                }
+                row[i] = acc / lrow[i];
+            }
+        }
+        // Schur complement S22 − L21·L21ᵀ via GEMM (upper triangle of the
+        // scratch is written by GEMM but never read below).
+        let mut s22 = ws.take(k * k);
+        for j in 0..k {
+            let off = j * n + j * (j + 1) / 2;
+            for i in 0..=j {
+                s22[j * k + i] = cols[off + n + i];
+            }
+        }
+        let mut bt = ws.take(n * k);
+        for j in 0..k {
+            for i in 0..n {
+                bt[i * k + j] = b[j * n + i];
+            }
+        }
+        if n > 0 {
+            gemm_ws(k, k, n, -1.0, &b, n, &bt, k, 1.0, &mut s22, k, ws);
+        }
+        // Factor the Schur block in scratch; commit only on success.
+        let mut result = crate::banded::chol_in_place_blocked(k, &mut s22, 1, ws);
+        if result.is_ok() {
+            for j in 0..k {
+                let off = j * n + j * (j + 1) / 2;
+                let d2 = s22[j * k + j] * s22[j * k + j];
+                if d2 <= 1e-12 * cols[off + n + j].abs() {
+                    result = Err(Error::NotPositiveDefinite);
+                    break;
+                }
+            }
+        }
+        if result.is_ok() {
+            for j in 0..k {
+                self.l.extend_from_slice(&b[j * n..(j + 1) * n]);
+                self.l.extend_from_slice(&s22[j * k..j * k + j + 1]);
+            }
+            self.n += k;
+        }
+        ws.put(b);
+        ws.put(s22);
+        ws.put(bt);
+        result
     }
 
     /// Drops trailing rows/columns so the factor has dimension `new_dim`.
@@ -410,6 +507,50 @@ mod tests {
         up.solve_in_place(&mut x);
         let expect = Cholesky::factor(&reduced).unwrap().solve(&b).unwrap();
         assert!(vec_ops::approx_eq(&x, &expect, 1e-9));
+    }
+
+    #[test]
+    fn block_append_matches_per_row_appends() {
+        let mut seed = 0xb10cu64;
+        let n = 9;
+        let a = random_spd(n, &mut seed);
+        for split in [0usize, 3, 7] {
+            // Build the first `split` rows one at a time, the rest in a block.
+            let mut up = UpdatableCholesky::new();
+            for i in 0..split {
+                let col: Vec<f64> = (0..=i).map(|j| a[(i, j)]).collect();
+                up.append(&col).unwrap();
+            }
+            let mut cols = Vec::new();
+            for i in split..n {
+                cols.extend((0..=i).map(|j| a[(i, j)]));
+            }
+            let mut ws = Workspace::new();
+            up.append_block(n - split, &cols, &mut ws).unwrap();
+            assert_eq!(up.dim(), n);
+            let b: Vec<f64> = (0..n).map(|_| pseudo(&mut seed)).collect();
+            let mut x = b.clone();
+            up.solve_in_place(&mut x);
+            let expect = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
+            assert!(vec_ops::approx_eq(&x, &expect, 1e-9), "split={split}");
+        }
+    }
+
+    #[test]
+    fn block_append_rejects_indefinite_block_without_commit() {
+        let mut up = UpdatableCholesky::new();
+        up.append(&[4.0]).unwrap();
+        // Rows 1 and 2 make the matrix singular (row 2 = row 1).
+        let cols = [2.0, 2.0, 2.0, 2.0, 2.0];
+        let mut ws = Workspace::new();
+        assert!(matches!(
+            up.append_block(2, &cols, &mut ws),
+            Err(Error::NotPositiveDefinite)
+        ));
+        assert_eq!(up.dim(), 1, "failed block append must not commit rows");
+        let mut x = vec![8.0];
+        up.solve_in_place(&mut x);
+        assert!((x[0] - 2.0).abs() < 1e-15);
     }
 
     #[test]

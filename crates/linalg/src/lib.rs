@@ -41,6 +41,7 @@ pub mod expm;
 pub mod gemm;
 pub mod lu;
 mod matrix;
+pub mod par;
 pub mod qr;
 pub mod vec_ops;
 pub mod workspace;

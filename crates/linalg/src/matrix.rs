@@ -158,6 +158,11 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable borrow of the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Consumes the matrix, returning the row-major data vector.
     pub fn into_vec(self) -> Vec<f64> {
         self.data

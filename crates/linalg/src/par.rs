@@ -1,0 +1,176 @@
+//! Deterministic scoped-thread parallel helpers.
+//!
+//! Every helper here guarantees **bitwise reproducibility across thread
+//! counts**: work is split into fixed-size chunks whose outputs depend only
+//! on their own input slice (plus shared read-only data), and the
+//! chunk-to-thread assignment is a static contiguous partition. Each chunk
+//! therefore performs the identical sequence of floating-point operations
+//! whether it runs on one thread or sixteen, so `threads = 1` and
+//! `threads = k` produce byte-identical results — the property the MPC
+//! checkpoint/restore and lockstep backend-agreement gates rely on.
+
+use crate::gemm::{gemm_ws, MR};
+use crate::workspace::Workspace;
+
+/// Worker threads to use for parallel factorizations.
+///
+/// Reads `IDC_LINALG_THREADS` when set (clamped to `[1, 64]`), otherwise the
+/// machine's available parallelism. Falls back to 1 when neither is known.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("IDC_LINALG_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.clamp(1, 64);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(64))
+        .unwrap_or(1)
+}
+
+/// Processes `data` in contiguous chunks of `chunk` elements on up to
+/// `threads` scoped threads, calling `f(chunk_index, chunk_slice)` for each.
+///
+/// Chunks are assigned to threads as a static contiguous partition, so the
+/// result is bitwise independent of `threads`. The final chunk may be
+/// shorter than `chunk`.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0` while `data` is non-empty.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(chunk > 0, "zero chunk size");
+    let nchunks = data.len().div_ceil(chunk);
+    if threads <= 1 || nchunks <= 1 {
+        for (idx, c) in data.chunks_mut(chunk).enumerate() {
+            f(idx, c);
+        }
+        return;
+    }
+    let threads = threads.min(nchunks);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        for tid in 0..threads {
+            let lo = tid * nchunks / threads;
+            let hi = (tid + 1) * nchunks / threads;
+            let elems = ((hi - lo) * chunk).min(rest.len());
+            let (mine, tail) = rest.split_at_mut(elems);
+            rest = tail;
+            scope.spawn(move || {
+                for (k, c) in mine.chunks_mut(chunk).enumerate() {
+                    f(lo + k, c);
+                }
+            });
+        }
+    });
+}
+
+/// Row-parallel [`gemm_ws`]: `C ← α·A·B + β·C` with the rows of `C` (and
+/// `A`) split across up to `threads` scoped threads.
+///
+/// Row bands are aligned to the microkernel tile height [`MR`], so the packed
+/// panels — and therefore every floating-point operation — are identical to a
+/// single-threaded [`gemm_ws`] call: the output is bitwise independent of
+/// `threads`.
+#[allow(clippy::too_many_arguments)]
+pub fn par_gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+    threads: usize,
+    ws: &mut Workspace,
+) {
+    let band = m.div_ceil(threads.max(1)).div_ceil(MR) * MR;
+    if threads <= 1 || band >= m {
+        gemm_ws(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ws);
+        return;
+    }
+    // Row band i covers rows [i·band, min((i+1)·band, m)). The `c` slice for
+    // a band must stay within the caller's buffer: trailing bands may be
+    // ragged, so slice lengths are clamped against `c.len()`.
+    let nbands = m.div_ceil(band);
+    std::thread::scope(|scope| {
+        let mut crest = &mut c[..];
+        for bi in 0..nbands {
+            let r0 = bi * band;
+            let rows = band.min(m - r0);
+            let celems = if bi + 1 == nbands {
+                crest.len()
+            } else {
+                rows * ldc
+            };
+            let (cband, ctail) = crest.split_at_mut(celems);
+            crest = ctail;
+            let aband = &a[r0 * lda..];
+            scope.spawn(move || {
+                let mut local = Workspace::new();
+                gemm_ws(
+                    rows, n, k, alpha, aband, lda, b, ldb, beta, cband, ldc, &mut local,
+                );
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_chunks_visits_every_chunk_once() {
+        for threads in [1, 2, 3, 8] {
+            let mut data: Vec<u64> = vec![0; 37];
+            par_chunks_mut(&mut data, 5, threads, |idx, c| {
+                for v in c.iter_mut() {
+                    *v += 1 + idx as u64;
+                }
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, 1 + (i / 5) as u64, "threads={threads} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_gemm_is_bitwise_independent_of_threads() {
+        let mut seed = 0x1234_5678u64;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            ((seed.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let (m, n, k) = (23, 17, 9);
+        let a: Vec<f64> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f64> = (0..k * n).map(|_| next()).collect();
+        let base: Vec<f64> = (0..m * n).map(|_| next()).collect();
+        let mut ws = Workspace::new();
+        let mut serial = base.clone();
+        gemm_ws(m, n, k, 1.5, &a, k, &b, n, 0.5, &mut serial, n, &mut ws);
+        for threads in [1, 2, 3, 7] {
+            let mut c = base.clone();
+            par_gemm(m, n, k, 1.5, &a, k, &b, n, 0.5, &mut c, n, threads, &mut ws);
+            assert_eq!(c, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -24,7 +24,7 @@
 /// let again = ws.take(8);
 /// assert!(again.capacity() >= 8 && cap >= 16);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Workspace {
     free: Vec<Vec<f64>>,
 }

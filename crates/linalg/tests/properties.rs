@@ -1,5 +1,7 @@
 //! Property-based tests for the dense linear-algebra kernels.
 
+use idc_linalg::banded::{BlockTridiag, BlockTridiagChol};
+use idc_linalg::cholesky::UpdatableCholesky;
 use idc_linalg::gemm::{gemm, gemm_ws};
 use idc_linalg::workspace::Workspace;
 use idc_linalg::{expm::expm, lu::Lu, qr, vec_ops, Matrix};
@@ -209,5 +211,159 @@ proptest! {
         prop_assert!(a.norm_max() <= a.norm_1() + 1e-12);
         prop_assert!(a.norm_max() <= a.norm_inf() + 1e-12);
         prop_assert!(a.norm_fro() <= 4.0 * a.norm_max() + 1e-12);
+    }
+}
+
+/// Strategy: a symmetric strictly diagonally dominant (hence SPD) matrix.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = (data[i * n + j] + data[j * n + i]) / 2.0;
+            }
+        }
+        for i in 0..n {
+            m[(i, i)] += n as f64 + 1.0;
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// An incrementally up/downdated factor must agree with a factor built
+    /// fresh over the final index set, for arbitrary add/drop sequences —
+    /// the invariant behind the active-set solvers' working-set factors.
+    #[test]
+    fn updatable_cholesky_add_drop_matches_fresh(
+        s in spd_matrix(6),
+        ops in prop::collection::vec((0usize..2, 0usize..6), 1..14),
+        b in vector(6),
+    ) {
+        let n = 6;
+        let mut fac = UpdatableCholesky::new();
+        let mut active: Vec<usize> = Vec::new();
+        for (add, pick) in ops {
+            if add == 0 && active.len() < n {
+                let unused: Vec<usize> = (0..n).filter(|g| !active.contains(g)).collect();
+                let g = unused[pick % unused.len()];
+                let col: Vec<f64> = active
+                    .iter()
+                    .chain(std::iter::once(&g))
+                    .map(|&a| s[(g, a)])
+                    .collect();
+                fac.append(&col).unwrap();
+                active.push(g);
+            } else if !active.is_empty() {
+                let pos = pick % active.len();
+                fac.remove(pos);
+                active.remove(pos);
+            }
+        }
+        prop_assume!(!active.is_empty());
+        let mut fresh = UpdatableCholesky::new();
+        for (r, &gr) in active.iter().enumerate() {
+            let col: Vec<f64> = active[..=r].iter().map(|&gq| s[(gr, gq)]).collect();
+            fresh.append(&col).unwrap();
+        }
+        let mut x_inc = b[..active.len()].to_vec();
+        let mut x_fresh = x_inc.clone();
+        fac.solve_in_place(&mut x_inc);
+        fresh.solve_in_place(&mut x_fresh);
+        for (xi, xf) in x_inc.iter().zip(&x_fresh) {
+            prop_assert!(
+                (xi - xf).abs() <= 1e-8 * (1.0 + xf.abs()),
+                "up/downdated {xi} vs fresh {xf}"
+            );
+        }
+    }
+
+    /// The blocked multi-row append (batched pivoting's bulk admission)
+    /// must agree with row-by-row appends at any split point.
+    #[test]
+    fn cholesky_append_block_matches_row_appends(
+        s in spd_matrix(7),
+        split in 0usize..7,
+        b in vector(7),
+    ) {
+        let n = 7;
+        let col_of = |r: usize| -> Vec<f64> { (0..=r).map(|q| s[(r, q)]).collect() };
+        let mut rowwise = UpdatableCholesky::new();
+        for r in 0..n {
+            rowwise.append(&col_of(r)).unwrap();
+        }
+        let mut blocked = UpdatableCholesky::new();
+        for r in 0..split {
+            blocked.append(&col_of(r)).unwrap();
+        }
+        let packed: Vec<f64> = (split..n).flat_map(col_of).collect();
+        let mut ws = Workspace::new();
+        blocked.append_block(n - split, &packed, &mut ws).unwrap();
+        let mut x_row = b.clone();
+        let mut x_blk = b;
+        rowwise.solve_in_place(&mut x_row);
+        blocked.solve_in_place(&mut x_blk);
+        for (xr, xb) in x_row.iter().zip(&x_blk) {
+            prop_assert!(
+                (xr - xb).abs() <= 1e-8 * (1.0 + xr.abs()),
+                "row-by-row {xr} vs blocked {xb}"
+            );
+        }
+    }
+}
+
+proptest! {
+    // The blocked path factors 128-wide blocks; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The parallel blocked banded factorization must be bitwise identical
+    /// for every thread count (deterministic static partitioning).
+    #[test]
+    fn blocked_banded_refactor_is_bitwise_thread_independent(
+        seed in 0u64..u64::MAX,
+        t in 2usize..4,
+    ) {
+        // BLOCK_MIN-sized blocks engage the blocked/parallel path; filling
+        // t·nb² entries through proptest strategies would dwarf the test,
+        // so the content comes from a seeded LCG instead.
+        let nb = 128;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut a = BlockTridiag::new(nb, t);
+        for bt in 0..t {
+            for i in 0..nb {
+                for j in 0..=i {
+                    let v = 0.5 * next();
+                    a.diag_mut(bt)[i * nb + j] = v;
+                    a.diag_mut(bt)[j * nb + i] = v;
+                }
+                a.diag_mut(bt)[i * nb + i] += 2.0 * nb as f64;
+            }
+        }
+        for bt in 0..t - 1 {
+            for k in 0..nb * nb {
+                a.sub_mut(bt)[k] = 0.25 * next();
+            }
+        }
+        let rhs: Vec<f64> = (0..nb * t).map(|_| next()).collect();
+        let mut ws = Workspace::new();
+        let mut serial = BlockTridiagChol::new();
+        serial.refactor_with_threads(&a, &mut ws, 1).unwrap();
+        let mut x_serial = rhs.clone();
+        serial.solve_in_place(&mut x_serial);
+        for threads in [2usize, 3, 8] {
+            let mut par = BlockTridiagChol::new();
+            par.refactor_with_threads(&a, &mut ws, threads).unwrap();
+            let mut x = rhs.clone();
+            par.solve_in_place(&mut x);
+            prop_assert!(x == x_serial, "threads={threads} diverged from serial");
+        }
     }
 }

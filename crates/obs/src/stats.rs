@@ -28,6 +28,15 @@
 ///   solves.
 /// * `cold_fallbacks` — solves where a warm start was attempted and failed,
 ///   forcing a cold re-solve (counted by the controller, not the loop).
+/// * `refactorizations` — full rebuilds of the working-set factor, either
+///   at solve start, after a stability trigger (large refinement
+///   correction), or forced by fault injection.
+/// * `updates_applied` / `downdates_applied` — incremental rows appended
+///   to / removed from the working-set Cholesky factor in place of a fresh
+///   factorization.
+/// * `working_set_delta` — symmetric difference between the seeded initial
+///   working set and the converged final one, summed over solves; per-solve
+///   this is the gauge of how much the active set actually moved.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolveStats {
     /// Active-set solves merged into this total.
@@ -50,6 +59,14 @@ pub struct SolveStats {
     pub refinement_passes: u64,
     /// Warm-start attempts that failed and fell back to a cold solve.
     pub cold_fallbacks: u64,
+    /// Full working-set factor rebuilds (start-of-solve, stability, forced).
+    pub refactorizations: u64,
+    /// Incremental factor rows appended on constraint adds.
+    pub updates_applied: u64,
+    /// Incremental factor rows removed on constraint drops/pops.
+    pub downdates_applied: u64,
+    /// Symmetric difference between seeded and converged working sets.
+    pub working_set_delta: u64,
 }
 
 impl SolveStats {
@@ -65,6 +82,10 @@ impl SolveStats {
         self.seed_accepted += other.seed_accepted;
         self.refinement_passes += other.refinement_passes;
         self.cold_fallbacks += other.cold_fallbacks;
+        self.refactorizations += other.refactorizations;
+        self.updates_applied += other.updates_applied;
+        self.downdates_applied += other.downdates_applied;
+        self.working_set_delta += other.working_set_delta;
     }
 
     /// Field-wise saturating difference `self - earlier`, for per-step
@@ -87,6 +108,16 @@ impl SolveStats {
                 .refinement_passes
                 .saturating_sub(earlier.refinement_passes),
             cold_fallbacks: self.cold_fallbacks.saturating_sub(earlier.cold_fallbacks),
+            refactorizations: self
+                .refactorizations
+                .saturating_sub(earlier.refactorizations),
+            updates_applied: self.updates_applied.saturating_sub(earlier.updates_applied),
+            downdates_applied: self
+                .downdates_applied
+                .saturating_sub(earlier.downdates_applied),
+            working_set_delta: self
+                .working_set_delta
+                .saturating_sub(earlier.working_set_delta),
         }
     }
 
@@ -133,12 +164,18 @@ mod tests {
             seed_accepted: 5,
             refinement_passes: 10,
             cold_fallbacks: 1,
+            refactorizations: 2,
+            updates_applied: 7,
+            downdates_applied: 3,
+            working_set_delta: 5,
         };
         let b = SolveStats {
             solves: 1,
             iterations: 3,
             seed_offered: 2,
             seed_accepted: 2,
+            refactorizations: 1,
+            updates_applied: 4,
             ..SolveStats::default()
         };
         let mut total = a;

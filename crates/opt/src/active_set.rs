@@ -67,6 +67,19 @@ pub(crate) trait ActiveSetOps {
     fn take_refinements(&mut self) -> u64 {
         0
     }
+    /// Whether the loop must admit/drop at most one constraint per outer
+    /// iteration. Batched pivoting is the default; the single-pivot mode is
+    /// the reference semantics used by differential tests.
+    fn single_pivot(&self) -> bool {
+        false
+    }
+    /// Drains the backend's incremental-factor counters accumulated since
+    /// [`begin`](Self::begin): `(refactorizations, updates_applied,
+    /// downdates_applied)`. Backends without an incremental factor report
+    /// zeros.
+    fn take_factor_stats(&mut self) -> (u64, u64, u64) {
+        (0, 0, 0)
+    }
 }
 
 /// Core active-set loop from a feasible `x0`, with the working set seeded
@@ -109,10 +122,17 @@ pub(crate) fn solve_from_feasible<O: ActiveSetOps>(
         }
     }
     stats.seed_accepted = working.len() as u64;
+    // Snapshot of the accepted seed so the converged set can be diffed into
+    // the `working_set_delta` gauge.
+    let seeded_mask = in_working.clone();
     ops.begin(working);
     let mut iterations = 0;
     let mut degenerate_streak = 0usize;
     let budget = ops.iteration_budget();
+    // Scratch for batched pivoting: working-set positions with negative
+    // multipliers, and (index, a·p, slack) ratio-test candidates.
+    let mut drop_buf: Vec<usize> = Vec::new();
+    let mut add_buf: Vec<(usize, f64, f64)> = Vec::new();
 
     loop {
         if iterations >= budget {
@@ -138,47 +158,81 @@ pub(crate) fn solve_from_feasible<O: ActiveSetOps>(
         // noise, not progress.
         let p_norm = vec_ops::norm_inf(p);
         let x_scale = TOL * (1.0 + vec_ops::norm_inf(&x));
+        // Batched (blocked Dantzig) pivoting is the default; Bland's
+        // anti-cycling rule and the differential-test reference mode are
+        // strictly single-pivot.
+        let bland = degenerate_streak >= DEGENERATE_PATIENCE;
+        let batch_pivots = !bland && !ops.single_pivot();
         if p_norm < x_scale {
             // Multipliers of working inequality constraints live after
-            // the equality multipliers. Normally drop the *most
-            // negative* multiplier (Dantzig's rule — converges in few
-            // iterations); after a streak of degenerate zero-length
-            // steps, switch to Bland's smallest-constraint-index rule,
-            // which cannot cycle. Pure Bland is safe but walks the
-            // working set essentially one index at a time, which on a
-            // large warm-started transient costs thousands of
-            // refactorizations.
+            // the equality multipliers. Normally drop *every* negative
+            // multiplier in one outer iteration (blocked Dantzig — the
+            // working set jumps toward the optimal one instead of
+            // shedding a single constraint per KKT solve); after a
+            // streak of degenerate zero-length steps, switch to Bland's
+            // single smallest-constraint-index drop, which cannot
+            // cycle. Pure Bland is safe but walks the working set
+            // essentially one index at a time, which on a large
+            // warm-started transient costs thousands of KKT solves.
             let ineq_mult = &mult[ops.num_eq()..];
-            let candidates = ineq_mult.iter().enumerate().filter(|(_, &m)| m < -TOL);
-            let worst = if degenerate_streak < DEGENERATE_PATIENCE {
-                candidates.min_by(|a, b| a.1.partial_cmp(b.1).expect("multipliers are finite"))
-            } else {
-                candidates.min_by_key(|&(k, _)| working[k])
-            };
-            match worst {
-                None => {
-                    let objective = ops.objective_at(&x);
-                    working.sort_unstable();
-                    stats.iterations = iterations as u64;
-                    stats.refinement_passes = ops.take_refinements();
-                    return Ok(QpSolution::from_parts(
+            if batch_pivots {
+                drop_buf.clear();
+                drop_buf.extend(
+                    ineq_mult
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &m)| m < -TOL)
+                        .map(|(k, _)| k),
+                );
+                if drop_buf.is_empty() {
+                    return finish(
+                        ops,
                         x,
-                        objective,
                         iterations,
-                        working.clone(),
+                        working,
+                        &in_working,
+                        &seeded_mask,
                         stats,
-                    ));
+                    );
                 }
-                Some((idx, _)) => {
-                    in_working[working.remove(idx)] = false;
+                // Highest position first, so earlier positions stay valid
+                // across the removals.
+                for &k in drop_buf.iter().rev() {
+                    in_working[working.remove(k)] = false;
                     stats.constraints_dropped += 1;
-                    ops.on_remove(working, idx);
+                    ops.on_remove(working, k);
+                }
+            } else {
+                let candidates = ineq_mult.iter().enumerate().filter(|(_, &m)| m < -TOL);
+                let worst = if !bland {
+                    candidates.min_by(|a, b| a.1.partial_cmp(b.1).expect("multipliers are finite"))
+                } else {
+                    candidates.min_by_key(|&(k, _)| working[k])
+                };
+                match worst {
+                    None => {
+                        return finish(
+                            ops,
+                            x,
+                            iterations,
+                            working,
+                            &in_working,
+                            &seeded_mask,
+                            stats,
+                        );
+                    }
+                    Some((idx, _)) => {
+                        in_working[working.remove(idx)] = false;
+                        stats.constraints_dropped += 1;
+                        ops.on_remove(working, idx);
+                    }
                 }
             }
         } else {
             // Ratio test against inactive inequality constraints.
             let mut alpha = 1.0;
             let mut blocking = None;
+            add_buf.clear();
             for i in 0..ops.num_in() {
                 if in_working[i] {
                     continue;
@@ -190,6 +244,9 @@ pub(crate) fn solve_from_feasible<O: ActiveSetOps>(
                     if ai < alpha {
                         alpha = ai;
                         blocking = Some(i);
+                    }
+                    if batch_pivots {
+                        add_buf.push((i, ap, slack));
                     }
                 }
             }
@@ -210,7 +267,58 @@ pub(crate) fn solve_from_feasible<O: ActiveSetOps>(
                 in_working[i] = true;
                 stats.constraints_added += 1;
                 ops.on_add(working);
+                if batch_pivots {
+                    // Admit every constraint that became (numerically)
+                    // tight at the new iterate, not just the single
+                    // blocking one — ratio-test near-ties are what force
+                    // the one-at-a-time crawl on warm-started transients.
+                    // The working set is kept strictly smaller than the
+                    // free directions so the KKT system stays solvable.
+                    for &(j, ap, slack) in add_buf.iter() {
+                        if ops.num_eq() + working.len() >= n {
+                            break;
+                        }
+                        if !in_working[j] && slack - alpha * ap <= x_scale {
+                            working.push(j);
+                            in_working[j] = true;
+                            stats.constraints_added += 1;
+                            ops.on_add(working);
+                        }
+                    }
+                }
             }
         }
     }
+}
+
+/// Builds the optimal [`QpSolution`] once no negative multipliers remain.
+fn finish<O: ActiveSetOps>(
+    ops: &mut O,
+    x: Vec<f64>,
+    iterations: usize,
+    working: &mut [usize],
+    in_working: &[bool],
+    seeded_mask: &[bool],
+    mut stats: SolveStats,
+) -> Result<QpSolution> {
+    let objective = ops.objective_at(&x);
+    working.sort_unstable();
+    stats.iterations = iterations as u64;
+    stats.refinement_passes = ops.take_refinements();
+    let (refactorizations, updates, downdates) = ops.take_factor_stats();
+    stats.refactorizations = refactorizations;
+    stats.updates_applied = updates;
+    stats.downdates_applied = downdates;
+    stats.working_set_delta = seeded_mask
+        .iter()
+        .zip(in_working)
+        .filter(|(s, w)| s != w)
+        .count() as u64;
+    Ok(QpSolution::from_parts(
+        x,
+        objective,
+        iterations,
+        working.to_vec(),
+        stats,
+    ))
 }

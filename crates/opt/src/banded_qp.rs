@@ -33,7 +33,7 @@ use idc_linalg::{vec_ops, Matrix};
 
 use crate::active_set::{self, ActiveSetOps, WARM_TOL};
 use crate::linprog::LinearProgram;
-use crate::qp::QpSolution;
+use crate::qp::{QpSolution, REBUILD_TOL};
 use crate::{Error, Result};
 
 /// A sparse constraint row: sorted-by-construction `(index, value)` pairs.
@@ -115,15 +115,34 @@ pub struct BandedQpWorkspace {
     working: Vec<usize>,
     /// `[p; multipliers]` buffer, reused across solves.
     sol: Vec<f64>,
+    /// Linalg scratch pool for block factor updates.
+    fws: Workspace,
     /// Iterative-refinement passes since `begin` (introspection only;
     /// drained into [`crate::SolveStats`] per solve).
     refinements: u64,
+    /// Full (re)builds of the working-set factor since `begin`.
+    refactorizations: u64,
+    /// Incremental factor appends (constraint adds absorbed in place).
+    updates: u64,
+    /// Incremental factor row removals (constraint drops absorbed in place).
+    downdates: u64,
+    /// When set, the next factor build is deterministically poisoned so the
+    /// stability-rebuild path must fire (fault injection).
+    force_refactor: bool,
 }
 
 impl BandedQpWorkspace {
     /// Creates an empty workspace; buffers are sized lazily on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Poisons the incremental working-set factor: the next factor build
+    /// appends a deterministically corrupted row, forcing the refinement
+    /// check to take the full stability-rebuild path. Used by the testkit's
+    /// forced-refactorization fault kind.
+    pub fn force_refactor_next(&mut self) {
+        self.force_refactor = true;
     }
 }
 
@@ -153,6 +172,7 @@ pub struct BandedQp {
     a_in: Vec<SparseRow>,
     b_in: Vec<f64>,
     max_iter: usize,
+    single_pivot: bool,
     cache: Option<BandedCache>,
 }
 
@@ -181,6 +201,7 @@ impl BandedQp {
             a_in: Vec::new(),
             b_in: Vec::new(),
             max_iter: 500,
+            single_pivot: false,
             cache: None,
         })
     }
@@ -205,6 +226,15 @@ impl BandedQp {
     /// solver: `max(500, 4·(variables + constraints))`).
     pub fn max_iterations(mut self, max_iter: usize) -> Self {
         self.max_iter = max_iter;
+        self
+    }
+
+    /// Restricts the active-set loop to one constraint add/drop per outer
+    /// iteration (the textbook reference semantics; batched pivoting is the
+    /// default). Mirrors
+    /// [`QuadraticProgram::single_pivot`](crate::qp::QuadraticProgram::single_pivot).
+    pub fn single_pivot(mut self, yes: bool) -> Self {
+        self.single_pivot = yes;
         self
     }
 
@@ -336,11 +366,16 @@ impl BandedQp {
             }
             chol.refactor(&ridged, &mut pool)?;
         }
+        // All constraint rows are solved as one batched multi-RHS sweep:
+        // the stage-coupling corrections go through GEMM and the rows are
+        // banded across worker threads, instead of mt separate banded
+        // triangular solves.
         let mut yt = Matrix::zeros(mt, n);
         for r in 0..mt {
-            let dst = yt.row_mut(r);
-            self.crow(r).scatter_into(dst);
-            chol.solve_in_place(dst);
+            self.crow(r).scatter_into(yt.row_mut(r));
+        }
+        if mt > 0 {
+            chol.solve_rows_in_place(yt.as_mut_slice(), mt, &mut pool);
         }
         let mut s = Matrix::zeros(mt, mt);
         for r in 0..mt {
@@ -474,10 +509,59 @@ impl BandedOps<'_> {
     /// Extends the incremental factor until it covers every row of the
     /// current working system, gathering new rows from the precomputed
     /// Schur complement.
-    fn ensure_factor(&mut self, working: &[usize]) -> Result<()> {
+    ///
+    /// A build from dimension zero counts as a refactorization; appends to
+    /// an existing factor count as incremental updates. Multi-row growth
+    /// (batched pivoting admits several constraints per outer iteration)
+    /// goes through the blocked append, falling back to row-by-row on
+    /// failure so the error points at the first bad row. Returns whether a
+    /// pending poison was consumed by this build (the caller must then
+    /// rebuild before using the factor's solution).
+    fn ensure_factor(&mut self, working: &[usize]) -> Result<bool> {
         let me = self.qp.a_eq.len();
         let target = me + working.len();
         let cache = self.qp.cache.as_ref().expect("prepared by warm_start");
+        // Consume a pending poison request: corrupt the first row appended
+        // in this build so the caller's stability-rebuild path must fire
+        // (deterministic fault injection).
+        let poison = self.ws.force_refactor && target > 0;
+        if poison {
+            self.ws.force_refactor = false;
+            if self.ws.factor.dim() >= target {
+                self.ws.factor.clear();
+            }
+        }
+        let dim = self.ws.factor.dim();
+        if dim >= target {
+            return Ok(false);
+        }
+        let from_scratch = dim == 0;
+        if from_scratch {
+            self.ws.refactorizations += 1;
+        }
+        if target - dim > 1 && !poison {
+            self.ws.col.clear();
+            for r in dim..target {
+                let srow = cache.s.row(self.gcol(working, r));
+                for q in 0..=r {
+                    self.ws.col.push(srow[self.gcol(working, q)]);
+                }
+            }
+            if self
+                .ws
+                .factor
+                .append_block(target - dim, &self.ws.col, &mut self.ws.fws)
+                .is_ok()
+            {
+                if !from_scratch {
+                    self.ws.updates += (target - dim) as u64;
+                }
+                return Ok(false);
+            }
+            // Blocked append commits nothing on failure — fall through to
+            // per-row appends so the error points at the first bad row.
+        }
+        let mut poison_next = poison;
         while self.ws.factor.dim() < target {
             let r = self.ws.factor.dim();
             let gr = self.gcol(working, r);
@@ -487,11 +571,42 @@ impl BandedOps<'_> {
                 self.ws.col.push(srow[self.gcol(working, q)]);
             }
             self.ws.col.push(srow[gr]);
+            if poison_next {
+                // Double the diagonal: stays positive definite (the solve
+                // cannot fail) but is wrong by O(1) — the caller rebuilds
+                // before any step direction is taken from this factor.
+                let last = self.ws.col.len() - 1;
+                self.ws.col[last] *= 2.0;
+                poison_next = false;
+            }
             // A failed append leaves the prefix factor intact; surfacing
             // Numerical makes the outer loop pop the degenerate addition.
             self.ws.factor.append(&self.ws.col).map_err(Error::from)?;
+            if !from_scratch {
+                self.ws.updates += 1;
+            }
         }
-        Ok(())
+        Ok(poison)
+    }
+
+    /// One pass of iterative refinement of `lam` against the unfactored
+    /// Schur entries; returns `‖correction‖∞`.
+    fn refine_lambda(&mut self, m: usize) -> f64 {
+        let cache = self.qp.cache.as_ref().expect("prepared by warm_start");
+        self.ws.resid.clear();
+        for r in 0..m {
+            let srow = cache.s.row(self.ws.cols[r]);
+            let mut acc = self.ws.srhs[r];
+            for (&gq, &lq) in self.ws.cols.iter().zip(&self.ws.lam) {
+                acc -= srow[gq] * lq;
+            }
+            self.ws.resid.push(acc);
+        }
+        self.ws.factor.solve_in_place(&mut self.ws.resid);
+        for (l, &d) in self.ws.lam.iter_mut().zip(&self.ws.resid) {
+            *l += d;
+        }
+        vec_ops::norm_inf(&self.ws.resid)
     }
 }
 
@@ -526,6 +641,11 @@ impl ActiveSetOps for BandedOps<'_> {
 
     fn begin(&mut self, _working: &[usize]) {
         self.ws.refinements = 0;
+        self.ws.refactorizations = 0;
+        self.ws.updates = 0;
+        self.ws.downdates = 0;
+        // (`force_refactor` deliberately survives: it is armed between
+        // solves and consumed by the first factor build.)
         self.ws.factor.clear();
         // One banded solve per call amortizes the Newton point across the
         // whole active-set iteration: t(x) = −x − H̃⁻¹g for the fixed g.
@@ -539,6 +659,7 @@ impl ActiveSetOps for BandedOps<'_> {
         let row = self.qp.a_eq.len() + pos;
         if self.ws.factor.dim() > row {
             self.ws.factor.remove(row);
+            self.ws.downdates += 1;
         }
     }
 
@@ -546,6 +667,7 @@ impl ActiveSetOps for BandedOps<'_> {
         let target = self.qp.a_eq.len() + working.len();
         if self.ws.factor.dim() > target {
             self.ws.factor.truncate(target);
+            self.ws.downdates += 1;
         }
     }
 
@@ -565,7 +687,7 @@ impl ActiveSetOps for BandedOps<'_> {
             sol.extend_from_slice(&self.ws.t);
             return Ok(());
         }
-        self.ensure_factor(working)?;
+        let poisoned = self.ensure_factor(working)?;
         self.ws.cols.clear();
         for r in 0..m {
             self.ws.cols.push(self.gcol(working, r));
@@ -583,20 +705,23 @@ impl ActiveSetOps for BandedOps<'_> {
         self.ws.lam.clear();
         self.ws.lam.extend_from_slice(&self.ws.srhs);
         self.ws.factor.solve_in_place(&mut self.ws.lam);
-        self.ws.resid.clear();
-        for r in 0..m {
-            let srow = cache.s.row(self.ws.cols[r]);
-            let mut acc = self.ws.srhs[r];
-            for (&gq, &lq) in self.ws.cols.iter().zip(&self.ws.lam) {
-                acc -= srow[gq] * lq;
-            }
-            self.ws.resid.push(acc);
-        }
-        self.ws.factor.solve_in_place(&mut self.ws.resid);
-        for (l, &d) in self.ws.lam.iter_mut().zip(&self.ws.resid) {
-            *l += d;
-        }
+        let correction = self.refine_lambda(m);
         self.ws.refinements += 1;
+        // Stability rebuild: a large correction means the up/downdated
+        // factor has drifted from the true working block. Rebuild from
+        // scratch and re-solve (once per KKT step). A poisoned build
+        // rebuilds unconditionally — one refinement pass shrinks the
+        // multiplier error but need not reach solver tolerance, and inexact
+        // λ makes the step leave the equality manifold.
+        if poisoned || correction > REBUILD_TOL * (1.0 + vec_ops::norm_inf(&self.ws.lam)) {
+            self.ws.factor.clear();
+            self.ensure_factor(working)?;
+            self.ws.lam.clear();
+            self.ws.lam.extend_from_slice(&self.ws.srhs);
+            self.ws.factor.solve_in_place(&mut self.ws.lam);
+            self.refine_lambda(m);
+            self.ws.refinements += 1;
+        }
         // p = t − Y_Rᵀλ, accumulated over contiguous rows of Yᵀ.
         sol.extend_from_slice(&self.ws.t);
         for r in 0..m {
@@ -614,6 +739,18 @@ impl ActiveSetOps for BandedOps<'_> {
 
     fn take_refinements(&mut self) -> u64 {
         std::mem::take(&mut self.ws.refinements)
+    }
+
+    fn single_pivot(&self) -> bool {
+        self.qp.single_pivot
+    }
+
+    fn take_factor_stats(&mut self) -> (u64, u64, u64) {
+        (
+            std::mem::take(&mut self.ws.refactorizations),
+            std::mem::take(&mut self.ws.updates),
+            std::mem::take(&mut self.ws.downdates),
+        )
     }
 }
 
@@ -784,6 +921,44 @@ mod tests {
             bad.solve_with(&mut ws),
             Err(Error::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn batched_and_single_pivot_reach_same_optimum() {
+        let mut seed = 0xace1u64;
+        let (mut batched, _) = matched_pair(3, 4, &mut seed);
+        let mut single = batched.clone().single_pivot(true);
+        let sb = batched.solve_with(&mut BandedQpWorkspace::new()).unwrap();
+        let ss = single.solve_with(&mut BandedQpWorkspace::new()).unwrap();
+        assert!(
+            (sb.objective() - ss.objective()).abs() / (1.0 + ss.objective().abs()) <= 1e-8,
+            "batched {} vs single-pivot {}",
+            sb.objective(),
+            ss.objective()
+        );
+        assert!(sb.iterations() <= ss.iterations());
+    }
+
+    #[test]
+    fn forced_refactorization_triggers_stability_rebuild() {
+        let mut seed = 0x97531u64;
+        let (mut banded, _) = matched_pair(3, 3, &mut seed);
+        let mut ws = BandedQpWorkspace::new();
+        let cold = banded.solve_with(&mut ws).unwrap();
+        ws.force_refactor_next();
+        let poisoned = banded
+            .warm_start(cold.x(), cold.active_set(), &mut ws)
+            .unwrap();
+        assert!(
+            (poisoned.objective() - cold.objective()).abs()
+                <= 1e-8 * (1.0 + cold.objective().abs())
+        );
+        // Initial (poisoned) build plus the stability rebuild.
+        assert!(
+            poisoned.stats().refactorizations >= 2,
+            "stats: {:?}",
+            poisoned.stats()
+        );
     }
 
     #[test]

@@ -20,11 +20,16 @@
 //! constraint to the working set) or drops the constraint with the most
 //! negative multiplier.
 
-use idc_linalg::{lu::Lu, vec_ops, Matrix};
+use idc_linalg::{cholesky::UpdatableCholesky, lu::Lu, vec_ops, workspace::Workspace, Matrix};
 
 use crate::active_set::{self, ActiveSetOps, WARM_TOL};
 use crate::linprog::LinearProgram;
 use crate::{Error, Result};
+
+/// Relative size of the iterative-refinement correction above which the
+/// incrementally up/downdated working-set factor is judged to have drifted
+/// and is rebuilt from scratch (shared with the banded backend).
+pub(crate) const REBUILD_TOL: f64 = 1e-6;
 
 /// Reusable scratch memory for [`QuadraticProgram`] solves.
 ///
@@ -54,9 +59,31 @@ pub struct QpWorkspace {
     lam: Vec<f64>,
     /// Working set buffer, reused across solves.
     working: Vec<usize>,
+    /// Incremental Cholesky factor of the working-set Schur block `S_RR`
+    /// (prepared fast path only). Row `r` of the factor corresponds to
+    /// column `cols[r]` of the precomputed full Schur complement; the
+    /// active-set hooks keep it in sync across adds/drops so a working-set
+    /// change costs a rank-1 up/downdate instead of a dense refactorization.
+    factor: UpdatableCholesky,
+    /// Column map of the factored working system into the full `S`/`Y`.
+    cols: Vec<usize>,
+    /// Packed append columns / scratch for block factor updates.
+    fcol: Vec<f64>,
+    /// Linalg scratch pool for block factor updates.
+    fws: Workspace,
     /// Iterative-refinement passes since the loop's `begin` (introspection
     /// only; drained into [`crate::SolveStats`] per solve).
     refinements: u64,
+    /// Full (re)builds of the working-set factor since `begin`.
+    refactorizations: u64,
+    /// Incremental factor appends (constraint adds absorbed in place).
+    updates: u64,
+    /// Incremental factor row removals (constraint drops absorbed in place).
+    downdates: u64,
+    /// When set, the next working-set mutation discards the incremental
+    /// factor and forces a full rebuild (deterministic fault injection for
+    /// the stability-rebuild path).
+    force_refactor: bool,
 }
 
 impl QpWorkspace {
@@ -72,8 +99,25 @@ impl QpWorkspace {
             srhs: Vec::new(),
             lam: Vec::new(),
             working: Vec::new(),
+            factor: UpdatableCholesky::new(),
+            cols: Vec::new(),
+            fcol: Vec::new(),
+            fws: Workspace::new(),
             refinements: 0,
+            refactorizations: 0,
+            updates: 0,
+            downdates: 0,
+            force_refactor: false,
         }
+    }
+
+    /// Poisons the incremental working-set factor: the next constraint
+    /// add/drop discards it and forces the full stability-rebuild path.
+    /// Used by deterministic fault injection (the testkit's
+    /// forced-refactorization fault kind); harmless when no prepared cache
+    /// is in use.
+    pub fn force_refactor_next(&mut self) {
+        self.force_refactor = true;
     }
 }
 
@@ -112,6 +156,7 @@ pub struct QuadraticProgram {
     a_in: Vec<Vec<f64>>,
     b_in: Vec<f64>,
     max_iter: usize,
+    single_pivot: bool,
     kkt_cache: Option<KktCache>,
 }
 
@@ -161,6 +206,7 @@ impl QuadraticProgram {
             a_in: Vec::new(),
             b_in: Vec::new(),
             max_iter: 500,
+            single_pivot: false,
             kkt_cache: None,
         })
     }
@@ -227,6 +273,16 @@ impl QuadraticProgram {
     /// method may need to add or drop each constraint once.
     pub fn max_iterations(mut self, max_iter: usize) -> Self {
         self.max_iter = max_iter;
+        self
+    }
+
+    /// Restricts the active-set loop to one constraint add/drop per outer
+    /// iteration (the textbook reference semantics). The default admits and
+    /// drops constraints in batches, which reaches the same optimum in far
+    /// fewer KKT solves; single-pivot mode exists for differential tests
+    /// pinning the batched loop against the reference behaviour.
+    pub fn single_pivot(mut self, yes: bool) -> Self {
+        self.single_pivot = yes;
         self
     }
 
@@ -487,8 +543,10 @@ impl QuadraticProgram {
     /// [`Self::kkt_step`] via the [`prepare`](Self::prepare)d Schur
     /// complement: with `v = −(Hx + g)` and `t = H⁻¹v`, the multipliers
     /// solve `S_RR λ = A_R t` over the working rows `R`, and the step is
-    /// `p = t − Y_R λ`. Only the `m × m` gather-and-factor of `S_RR`
-    /// depends on the working set.
+    /// `p = t − Y_R λ`. The `m × m` Schur block is kept in an incrementally
+    /// maintained Cholesky factor — working-set changes cost a rank-1
+    /// up/downdate via the active-set hooks, and only a refinement
+    /// correction exceeding [`REBUILD_TOL`] triggers a full rebuild.
     fn kkt_step_prepared(
         &self,
         x: &[f64],
@@ -510,25 +568,14 @@ impl QuadraticProgram {
             sol.extend_from_slice(&ws.t);
             return Ok(());
         }
-        // Gather the working-set block of S (row r of the working system is
-        // equality r for r < m_eq, else inequality working[r − m_eq], whose
-        // column in the precomputed S/Y lives at m_eq + index).
-        let scol = |r: usize| {
-            if r < me {
-                r
-            } else {
-                me + working[r - me]
-            }
-        };
-        let srr = &mut ws.kkt;
-        srr.resize_zeroed(m, m);
+        // Column map of the working system into the precomputed S/Y (row r
+        // is equality r for r < m_eq, else inequality working[r − m_eq],
+        // whose column lives at m_eq + index).
+        ws.cols.clear();
         for r in 0..m {
-            let src = cache.s.row(scol(r));
-            let dst = srr.row_mut(r);
-            for (q, d) in dst.iter_mut().enumerate() {
-                *d = src[scol(q)];
-            }
+            ws.cols.push(if r < me { r } else { me + working[r - me] });
         }
+        let poisoned = self.ensure_schur_factor(ws, m)?;
         ws.srhs.clear();
         for r in 0..m {
             let row = if r < me {
@@ -538,35 +585,137 @@ impl QuadraticProgram {
             };
             ws.srhs.push(vec_ops::dot(row, &ws.t));
         }
-        ws.lu.refactor(srr)?;
-        ws.lu.solve_into(&ws.srhs, &mut ws.lam)?;
+        ws.lam.clear();
+        ws.lam.extend_from_slice(&ws.srhs);
+        ws.factor.solve_in_place(&mut ws.lam);
         // One step of iterative refinement: S is substantially worse
         // conditioned than the full KKT matrix it replaces, and multiplier
         // noise near the drop threshold makes the active-set loop cycle.
-        // `refactor` copies, so `srr` still holds the unfactored block.
-        // (`rhs` and `hx` are dead at this point — reused as residual and
-        // correction scratch.)
-        ws.rhs.clear();
-        for r in 0..m {
-            ws.rhs
-                .push(ws.srhs[r] - vec_ops::dot(&srr.row(r)[..m], &ws.lam));
-        }
-        ws.lu.solve_into(&ws.rhs, &mut ws.hx)?;
-        for (l, &d) in ws.lam.iter_mut().zip(&ws.hx) {
-            *l += d;
-        }
+        // The residual is gathered straight from the cached full S, so no
+        // dense copy of the working block is materialized.
+        let correction = self.refine_multipliers(ws, m);
         ws.refinements += 1;
+        // Stability rebuild: a large correction means the incrementally
+        // up/downdated factor has drifted from the true working block.
+        // Rebuild it from scratch and re-solve (once per KKT step). A
+        // poisoned build rebuilds unconditionally — one refinement pass
+        // shrinks the multiplier error but need not reach solver tolerance,
+        // and inexact λ makes the step leave the equality manifold.
+        if poisoned || correction > REBUILD_TOL * (1.0 + vec_ops::norm_inf(&ws.lam)) {
+            ws.factor.clear();
+            self.ensure_schur_factor(ws, m)?;
+            ws.lam.clear();
+            ws.lam.extend_from_slice(&ws.srhs);
+            ws.factor.solve_in_place(&mut ws.lam);
+            self.refine_multipliers(ws, m);
+            ws.refinements += 1;
+        }
         // p = t − Y_R λ, stacked with the multipliers as in the dense path.
         for i in 0..n {
             let yrow = cache.y.row(i);
             let mut acc = 0.0;
             for (r, &l) in ws.lam.iter().enumerate() {
-                acc += yrow[scol(r)] * l;
+                acc += yrow[ws.cols[r]] * l;
             }
             sol.push(ws.t[i] - acc);
         }
         sol.extend_from_slice(&ws.lam);
         Ok(())
+    }
+
+    /// Grows the incremental Cholesky factor of the working-set Schur block
+    /// to dimension `m`, appending the rows described by `ws.cols` from the
+    /// cached full Schur complement. A build from dimension zero counts as
+    /// a refactorization; appends to an existing factor count as
+    /// incremental updates. Multi-row growth goes through the blocked
+    /// append, falling back to row-by-row on failure so the offending row
+    /// is identified (and surfaced as [`Error::Numerical`] for the loop's
+    /// degenerate-pop recovery). Returns whether a pending poison was
+    /// consumed by this build (the caller must then rebuild before using
+    /// the factor's solution).
+    fn ensure_schur_factor(&self, ws: &mut QpWorkspace, m: usize) -> Result<bool> {
+        let cache = self.kkt_cache.as_ref().expect("checked by caller");
+        // Consume a pending poison request: corrupt the first row appended
+        // in this build so the caller's stability-rebuild path must fire
+        // (deterministic fault injection).
+        let poison = ws.force_refactor && m > 0;
+        if poison {
+            ws.force_refactor = false;
+            if ws.factor.dim() >= m {
+                ws.factor.clear();
+            }
+        }
+        let dim = ws.factor.dim();
+        debug_assert!(dim <= m, "factor larger than working system");
+        if dim >= m {
+            return Ok(false);
+        }
+        let from_scratch = dim == 0;
+        if from_scratch {
+            ws.refactorizations += 1;
+        }
+        if m - dim > 1 && !poison {
+            ws.fcol.clear();
+            for r in dim..m {
+                let src = cache.s.row(ws.cols[r]);
+                ws.fcol.extend(ws.cols[..=r].iter().map(|&c| src[c]));
+            }
+            if ws
+                .factor
+                .append_block(m - dim, &ws.fcol, &mut ws.fws)
+                .is_ok()
+            {
+                if !from_scratch {
+                    ws.updates += (m - dim) as u64;
+                }
+                return Ok(false);
+            }
+            // Blocked append commits nothing on failure — fall through to
+            // per-row appends so the error points at the first bad row.
+        }
+        let mut poison_next = poison;
+        for r in ws.factor.dim()..m {
+            let src = cache.s.row(ws.cols[r]);
+            ws.fcol.clear();
+            ws.fcol.extend(ws.cols[..=r].iter().map(|&c| src[c]));
+            if poison_next {
+                // Double the diagonal: stays positive definite (the solve
+                // cannot fail) but is wrong by O(1) — the caller rebuilds
+                // before any step direction is taken from this factor.
+                let last = ws.fcol.len() - 1;
+                ws.fcol[last] *= 2.0;
+                poison_next = false;
+            }
+            ws.factor.append(&ws.fcol)?;
+            if !from_scratch {
+                ws.updates += 1;
+            }
+        }
+        Ok(poison)
+    }
+
+    /// One pass of iterative refinement of `ws.lam` against the cached full
+    /// Schur complement; returns `‖correction‖∞`. (`rhs` and `hx` are dead
+    /// at this point of the KKT step — reused as residual and correction
+    /// scratch.)
+    fn refine_multipliers(&self, ws: &mut QpWorkspace, m: usize) -> f64 {
+        let cache = self.kkt_cache.as_ref().expect("checked by caller");
+        ws.rhs.clear();
+        for r in 0..m {
+            let src = cache.s.row(ws.cols[r]);
+            let mut acc = ws.srhs[r];
+            for (q, &l) in ws.lam.iter().enumerate() {
+                acc -= src[ws.cols[q]] * l;
+            }
+            ws.rhs.push(acc);
+        }
+        ws.hx.clear();
+        ws.hx.extend_from_slice(&ws.rhs);
+        ws.factor.solve_in_place(&mut ws.hx);
+        for (l, &d) in ws.lam.iter_mut().zip(&ws.hx) {
+            *l += d;
+        }
+        vec_ops::norm_inf(&ws.hx)
     }
 
     /// Objective value `½xᵀHx + gᵀx`.
@@ -576,9 +725,11 @@ impl QuadraticProgram {
     }
 }
 
-/// Dense backend for the shared [`active_set`] loop: every KKT step gathers
-/// and factors the working-set system from scratch, so no incremental state
-/// needs to be maintained and all `on_*` hooks are no-ops.
+/// Dense backend for the shared [`active_set`] loop. On the prepared fast
+/// path the `on_*` hooks keep the incremental Cholesky factor of the
+/// working-set Schur block in sync with the working set (drops downdate in
+/// place, adds are absorbed lazily at the next KKT step); the unprepared
+/// path refactors per iteration and leaves the factor empty.
 struct DenseOps<'a> {
     qp: &'a QuadraticProgram,
     ws: &'a mut QpWorkspace,
@@ -619,10 +770,46 @@ impl ActiveSetOps for DenseOps<'_> {
 
     fn begin(&mut self, _working: &[usize]) {
         self.ws.refinements = 0;
+        self.ws.refactorizations = 0;
+        self.ws.updates = 0;
+        self.ws.downdates = 0;
+        // The factor (if any) describes a previous solve's working set;
+        // the first KKT step rebuilds it for the seeded set.
+        // (`force_refactor` deliberately survives: it is armed between
+        // solves and consumed by the first factor build.)
+        self.ws.factor.clear();
+    }
+
+    fn on_remove(&mut self, _working: &[usize], pos: usize) {
+        let row = self.qp.a_eq.len() + pos;
+        if self.ws.factor.dim() > row {
+            self.ws.factor.remove(row);
+            self.ws.downdates += 1;
+        }
+    }
+
+    fn on_pop(&mut self, working: &[usize]) {
+        let keep = self.qp.a_eq.len() + working.len();
+        if self.ws.factor.dim() > keep {
+            self.ws.factor.truncate(keep);
+            self.ws.downdates += 1;
+        }
     }
 
     fn take_refinements(&mut self) -> u64 {
         std::mem::take(&mut self.ws.refinements)
+    }
+
+    fn single_pivot(&self) -> bool {
+        self.qp.single_pivot
+    }
+
+    fn take_factor_stats(&mut self) -> (u64, u64, u64) {
+        (
+            std::mem::take(&mut self.ws.refactorizations),
+            std::mem::take(&mut self.ws.updates),
+            std::mem::take(&mut self.ws.downdates),
+        )
     }
 }
 
@@ -901,6 +1088,66 @@ mod tests {
             .unwrap()
             .equality(vec![1.0], 0.0);
         assert!(matches!(qp.solve(), Err(Error::DimensionMismatch { .. })));
+    }
+
+    fn nocedal_16_4_qp() -> QuadraticProgram {
+        QuadraticProgram::new(Matrix::diag(&[2.0, 2.0]), vec![-2.0, -5.0])
+            .unwrap()
+            .inequality(vec![-1.0, 2.0], 2.0)
+            .inequality(vec![1.0, 2.0], 6.0)
+            .inequality(vec![1.0, -2.0], 2.0)
+            .inequality(vec![-1.0, 0.0], 0.0)
+            .inequality(vec![0.0, -1.0], 0.0)
+    }
+
+    #[test]
+    fn prepared_solve_matches_unprepared() {
+        let mut qp = nocedal_16_4_qp();
+        let plain = qp.solve().unwrap();
+        qp.prepare().unwrap();
+        let fast = qp.solve().unwrap();
+        assert_near(fast.x()[0], plain.x()[0]);
+        assert_near(fast.x()[1], plain.x()[1]);
+        assert_eq!(fast.active_set(), plain.active_set());
+        // The prepared path builds the working-set factor incrementally.
+        assert!(fast.stats().refactorizations >= 1);
+    }
+
+    #[test]
+    fn batched_and_single_pivot_reach_same_optimum() {
+        let mut batched = nocedal_16_4_qp();
+        batched.prepare().unwrap();
+        let mut reference = nocedal_16_4_qp().single_pivot(true);
+        reference.prepare().unwrap();
+        let b = batched.solve().unwrap();
+        let s = reference.solve().unwrap();
+        assert_near(b.x()[0], s.x()[0]);
+        assert_near(b.x()[1], s.x()[1]);
+        assert_near(b.objective(), s.objective());
+        assert!(b.iterations() <= s.iterations());
+    }
+
+    #[test]
+    fn forced_refactorization_triggers_stability_rebuild() {
+        // min (x−5)² s.t. x ≤ 2: the bound binds with multiplier 6, so a
+        // poisoned factor yields a large refinement correction and the
+        // rebuild path must fire — while the answer stays exact.
+        let mut qp = QuadraticProgram::new(Matrix::diag(&[2.0]), vec![-10.0])
+            .unwrap()
+            .inequality(vec![1.0], 2.0);
+        qp.prepare().unwrap();
+        let cold = qp.solve().unwrap();
+        assert_near(cold.x()[0], 2.0);
+        let mut ws = QpWorkspace::new();
+        ws.force_refactor_next();
+        let warm = qp.warm_start(cold.x(), cold.active_set(), &mut ws).unwrap();
+        assert_near(warm.x()[0], 2.0);
+        // Initial (poisoned) build plus the stability rebuild.
+        assert!(
+            warm.stats().refactorizations >= 2,
+            "stats: {:?}",
+            warm.stats()
+        );
     }
 
     #[test]

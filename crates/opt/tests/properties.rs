@@ -1,6 +1,8 @@
 //! Property-based tests for the optimization solvers.
 
+use idc_linalg::banded::BlockTridiag;
 use idc_linalg::{vec_ops, Matrix};
+use idc_opt::banded_qp::{BandedQp, BandedQpWorkspace, SparseRow};
 use idc_opt::linprog::LinearProgram;
 use idc_opt::projgrad::project_simplex;
 use idc_opt::qp::{QpWorkspace, QuadraticProgram};
@@ -238,5 +240,101 @@ proptest! {
             vec_ops::approx_eq(exact.x(), &approx, 1e-4),
             "exact {:?} vs approx {:?}", exact.x(), approx
         );
+    }
+}
+
+/// A random block-tridiagonal SPD Hessian (nb = 2, 3 stages → 6 vars)
+/// built from proptest-drawn entries.
+fn banded_hessian(diag: &[f64], sub: &[f64]) -> BlockTridiag {
+    let (nb, t) = (2, 3);
+    let mut h = BlockTridiag::new(nb, t);
+    for bt in 0..t {
+        // Symmetric 2×2 stage block from 3 draws, diagonally boosted so the
+        // assembled block-tridiagonal matrix stays positive definite.
+        let d = &diag[bt * 3..bt * 3 + 3];
+        let block = h.diag_mut(bt);
+        block[0] = d[0].abs() + 3.0;
+        block[3] = d[2].abs() + 3.0;
+        block[1] = d[1];
+        block[2] = d[1];
+    }
+    for bt in 0..t - 1 {
+        h.sub_mut(bt).copy_from_slice(&sub[bt * 4..bt * 4 + 4]);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batched pivoting (multiple working-set changes per outer iteration)
+    /// must reach the same optimum as the classical single-pivot loop on
+    /// random dense QPs.
+    #[test]
+    fn qp_batched_and_single_pivot_agree(
+        hdiag in pd_diag(4),
+        g in prop::collection::vec(-3.0f64..3.0, 4),
+        cap in 0.3f64..2.0,
+    ) {
+        let build = || {
+            let mut qp = QuadraticProgram::new(Matrix::diag(&hdiag), g.clone())
+                .unwrap()
+                .equality(vec![1.0; 4], 1.0);
+            for j in 0..4 {
+                let mut row = vec![0.0; 4];
+                row[j] = 1.0;
+                qp = qp.inequality(row.clone(), cap);
+                row[j] = -1.0;
+                qp = qp.inequality(row, cap);
+            }
+            qp
+        };
+        let batched = build().solve().unwrap();
+        let single = build().single_pivot(true).solve().unwrap();
+        prop_assert!(
+            (batched.objective() - single.objective()).abs()
+                <= 1e-8 * (1.0 + single.objective().abs()),
+            "batched {} vs single-pivot {}",
+            batched.objective(),
+            single.objective()
+        );
+        prop_assert!(build().is_feasible(batched.x(), 1e-7));
+    }
+
+    /// Same batched ≡ single-pivot equivalence for the banded backend.
+    #[test]
+    fn banded_batched_and_single_pivot_agree(
+        diag in prop::collection::vec(-1.0f64..1.0, 9),
+        sub in prop::collection::vec(-0.4f64..0.4, 8),
+        g in prop::collection::vec(-2.0f64..2.0, 6),
+        cap in 0.3f64..2.0,
+    ) {
+        let n = 6;
+        let build = |single: bool| {
+            let mut qp = BandedQp::new(banded_hessian(&diag, &sub), g.clone())
+                .unwrap()
+                .single_pivot(single)
+                .equality(
+                    SparseRow::from_entries((0..n).map(|i| (i, 1.0)).collect()),
+                    1.0,
+                );
+            for j in 0..n {
+                qp = qp
+                    .inequality(SparseRow::from_entries(vec![(j, 1.0)]), cap)
+                    .inequality(SparseRow::from_entries(vec![(j, -1.0)]), cap);
+            }
+            qp
+        };
+        let mut ws = BandedQpWorkspace::new();
+        let batched = build(false).solve_with(&mut ws).unwrap();
+        let single = build(true).solve_with(&mut ws).unwrap();
+        prop_assert!(
+            (batched.objective() - single.objective()).abs()
+                <= 1e-8 * (1.0 + single.objective().abs()),
+            "batched {} vs single-pivot {}",
+            batched.objective(),
+            single.objective()
+        );
+        prop_assert!(build(false).is_feasible(batched.x(), 1e-7));
     }
 }

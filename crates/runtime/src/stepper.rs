@@ -240,6 +240,22 @@ impl Stepper {
                 "Iterative refinement passes inside KKT solves.",
             ),
             (
+                "idc_qp_refactorizations_total",
+                "Full rebuilds of the working-set factor (cold builds and stability rebuilds).",
+            ),
+            (
+                "idc_qp_updates_applied_total",
+                "Incremental working-set factor updates (constraint adds absorbed in place).",
+            ),
+            (
+                "idc_qp_downdates_applied_total",
+                "Incremental working-set factor downdates (constraint drops absorbed in place).",
+            ),
+            (
+                "idc_qp_working_set_delta",
+                "Working-set churn: symmetric difference between warm seed and converged set (cumulative).",
+            ),
+            (
                 "idc_qp_cold_fallbacks_total",
                 "Warm-start attempts that failed and re-solved cold.",
             ),
@@ -486,6 +502,10 @@ impl Stepper {
         m.set_counter("idc_qp_degenerate_pops_total", stats.degenerate_pops);
         m.set_counter("idc_qp_bland_switches_total", stats.bland_switches);
         m.set_counter("idc_qp_refinement_passes_total", stats.refinement_passes);
+        m.set_counter("idc_qp_refactorizations_total", stats.refactorizations);
+        m.set_counter("idc_qp_updates_applied_total", stats.updates_applied);
+        m.set_counter("idc_qp_downdates_applied_total", stats.downdates_applied);
+        m.set_counter("idc_qp_working_set_delta", stats.working_set_delta);
         m.set_counter("idc_qp_cold_fallbacks_total", stats.cold_fallbacks);
         m.set_gauge("idc_qp_warm_seed_survival", stats.seed_survival());
         m.set_gauge("idc_accumulated_cost_dollars", self.accumulated_cost);

@@ -33,15 +33,21 @@ pub enum FaultKind {
     /// Forced inner-QP solve failures (as if the solver hit its iteration
     /// limit) at 2–4 derived steps; the policy must fall back gracefully.
     SolverFailure,
+    /// Deterministic poisoning of the solver's incremental working-set
+    /// factor at 2–4 derived steps: the solver must detect the drift and
+    /// take its stability-rebuild path, with the plan unchanged (no
+    /// fallback).
+    ForcedRefactorization,
 }
 
 impl FaultKind {
     /// Every kind, in matrix order.
-    pub const ALL: [FaultKind; 4] = [
+    pub const ALL: [FaultKind; 5] = [
         FaultKind::PriceSpike,
         FaultKind::PriceDropout,
         FaultKind::PredictionError,
         FaultKind::SolverFailure,
+        FaultKind::ForcedRefactorization,
     ];
 
     /// Stable lowercase label (used in CI matrix output and parsing).
@@ -51,6 +57,7 @@ impl FaultKind {
             FaultKind::PriceDropout => "price-dropout",
             FaultKind::PredictionError => "prediction-error",
             FaultKind::SolverFailure => "solver-failure",
+            FaultKind::ForcedRefactorization => "forced-refactorization",
         }
     }
 
@@ -158,21 +165,25 @@ impl FaultPlan {
                     .with_workload_noise(std, noise_seed)
                     .with_name(format!("{}+{}#{}", base.name(), self.kind, self.seed))
             }
-            FaultKind::SolverFailure => {
+            FaultKind::SolverFailure | FaultKind::ForcedRefactorization => {
                 let steps = base.num_steps();
                 if steps < 3 {
                     return None;
                 }
                 let count = 2 + (rng.random::<u64>() % 3) as usize;
-                let mut failures: Vec<usize> = Vec::with_capacity(count);
-                while failures.len() < count.min(steps - 1) {
+                let mut drawn: Vec<usize> = Vec::with_capacity(count);
+                while drawn.len() < count.min(steps - 1) {
                     let step = 1 + (rng.random::<u64>() % (steps as u64 - 1)) as usize;
-                    if !failures.contains(&step) {
-                        failures.push(step);
+                    if !drawn.contains(&step) {
+                        drawn.push(step);
                     }
                 }
-                failures.sort_unstable();
-                config.forced_failure_steps = failures;
+                drawn.sort_unstable();
+                if self.kind == FaultKind::SolverFailure {
+                    config.forced_failure_steps = drawn;
+                } else {
+                    config.forced_refactor_steps = drawn;
+                }
                 base.clone()
                     .with_name(format!("{}+{}#{}", base.name(), self.kind, self.seed))
             }
@@ -262,6 +273,37 @@ mod tests {
         assert!(FaultPlan::new(FaultKind::SolverFailure, 3)
             .apply(&base)
             .is_some());
+    }
+
+    #[test]
+    fn forced_refactorization_derives_steps_without_failures() {
+        let base = smoothing_scenario();
+        for seed in 0..10 {
+            let (_, config) = FaultPlan::new(FaultKind::ForcedRefactorization, seed)
+                .apply(&base)
+                .unwrap();
+            assert!(config.forced_failure_steps.is_empty());
+            let steps = &config.forced_refactor_steps;
+            assert!((2..=4).contains(&steps.len()), "{steps:?}");
+            assert!(steps.windows(2).all(|w| w[0] < w[1]), "{steps:?}");
+            assert!(steps.iter().all(|&s| s >= 1 && s < base.num_steps()));
+        }
+    }
+
+    #[test]
+    fn forced_refactorization_run_never_falls_back() {
+        let base = smoothing_scenario();
+        let run = FaultPlan::new(FaultKind::ForcedRefactorization, 7)
+            .run(&base)
+            .unwrap();
+        // The poison is absorbed by the solver's stability rebuild: the
+        // plan must succeed at every step with no graceful degradation.
+        assert!(
+            run.fallback_steps.is_empty(),
+            "fallbacks at {:?}",
+            run.fallback_steps
+        );
+        assert!(run.report.hard_clean(), "{}", run.report.render());
     }
 
     #[test]
