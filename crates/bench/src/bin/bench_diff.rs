@@ -6,8 +6,10 @@
 //!     BASELINE.json CURRENT.json [--threshold F] [--iters-threshold F] [--warn-only]
 //! ```
 //!
-//! Rows are keyed by `(idcs, portals, backend)` and matched across the
-//! two files; the comparison metrics are `warm_ms` for `single_step`
+//! Rows are keyed by `(idcs, portals, backend, shards)` — the shard
+//! count suffixes the key (e.g. `64x128 sharded[8]`) so sharded rows at
+//! different shard counts never silently compare — and matched across
+//! the two files; the comparison metrics are `warm_ms` for `single_step`
 //! rows, `warm_ms_per_step` for `end_to_end` rows (warm solves are the
 //! steady-state cost of the controller, so they are what CI guards) and
 //! `solve_stats.iterations_per_step` of the same `end_to_end` rows —
@@ -91,7 +93,16 @@ fn rows(doc: &Value) -> Vec<Row> {
             let Some(warm_ms) = number(item, metric) else {
                 continue;
             };
-            let key = format!("{}x{} {backend}", idcs as u64, portals as u64);
+            // Key by size × backend × shards: a row measured at a
+            // different shard count is a different experiment, not a
+            // regression candidate. Monolithic rows (shards 0 or the
+            // field absent in pre-sharding baselines) keep the bare key.
+            let shards = number(item, "shards").unwrap_or(0.0) as u64;
+            let key = if shards > 0 {
+                format!("{}x{} {backend}[{shards}]", idcs as u64, portals as u64)
+            } else {
+                format!("{}x{} {backend}", idcs as u64, portals as u64)
+            };
             // The end-to-end rows carry nested solver introspection; gate
             // on iterations per step too — it is hardware-independent, so
             // it catches active-set regressions that timing noise hides.

@@ -23,21 +23,24 @@
 
 use std::time::Instant;
 
+use idc_linalg::par::default_threads;
 use idc_linalg::Matrix;
 use idc_obs::Span;
 use idc_opt::banded_qp::BandedQpWorkspace;
 use idc_opt::lsq::ConstrainedLeastSquares;
 use idc_opt::qp::{QpWorkspace, QuadraticProgram};
 use idc_opt::{Error, Result, SolveStats};
+use idc_shard::shift_horizon;
 
 use crate::riccati::{self, RiccatiSkeleton};
+use crate::sharded::{ShardedSkeleton, ShardedStep, WarmRejection};
 
 /// Which QP backend solves the condensed problem.
 ///
-/// Both backends minimize the same strictly convex objective over the same
+/// All backends minimize the same strictly convex objective over the same
 /// constraints and agree on the unique minimizer to solver tolerance; they
 /// differ only in how the linear algebra is organised.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum SolverBackend {
     /// The original dense path: condense the least squares into a full
     /// `nv × nv` Hessian, solve working-set systems by dense factorization.
@@ -51,6 +54,47 @@ pub enum SolverBackend {
     /// complement is updated incrementally across active-set changes.
     /// Orders of magnitude faster once `N·C·β₂` reaches a few hundred.
     BandedRiccati,
+    /// The regional decomposition of [`crate::sharded`]: the fleet is
+    /// partitioned into contiguous IDC shards, each solving its own
+    /// warm-started banded QP over only its local variables, coordinated
+    /// by exchange ADMM on cross-region workload conservation (and
+    /// projected dual ascent on the optional global peak-power budget).
+    /// Subproblem cost drops quadratically with the shard count, so this
+    /// is the only backend that scales past a few thousand variables.
+    Sharded {
+        /// Number of regional shards (clamped to `[1, N]`).
+        shards: usize,
+        /// Consensus penalty relative to the objective's mean curvature.
+        rho: f64,
+        /// Coordinator round budget per step.
+        max_outer: usize,
+        /// Relative residual tolerance of the outer stopping rule.
+        tol: f64,
+    },
+}
+
+impl SolverBackend {
+    /// The sharded backend with default coordination tuning: the penalty
+    /// matched to the objective's own curvature, a round budget sized for
+    /// cold starts, and a residual tolerance far below the cross-backend
+    /// equivalence gate.
+    pub const fn sharded(shards: usize) -> Self {
+        SolverBackend::Sharded {
+            shards,
+            rho: 1.0,
+            max_outer: 400,
+            // Workload-relative residual tolerance: the conservation gap
+            // is repaired exactly after the loop, so its plan-cost effect
+            // is quadratically small — a 1e-6 residual measures as a
+            // ~1e-9 relative cost difference against the monolithic
+            // backend, three orders below the 1e-6 equivalence gate.
+            // Each decade of extra tightness costs ~50 consensus rounds
+            // per step on the transport-fiber tail, and below ~1e-8 the
+            // inner solver's noise floor makes the residual
+            // uncertifiable.
+            tol: 1e-6,
+        }
+    }
 }
 
 /// Tuning of the MPC controller.
@@ -71,6 +115,13 @@ pub struct MpcConfig {
     pub input_ridge: f64,
     /// QP backend selection.
     pub backend: SolverBackend,
+    /// Optional global peak-power budget (MW) enforced by the sharded
+    /// backend via projected dual ascent on the per-stage fleet total
+    /// (paper eq. 31 at fleet scope). `None` (the default) prices no cap,
+    /// which keeps the sharded backend exactly equivalent to the
+    /// monolithic ones; the monolithic backends ignore this field (they
+    /// shave peaks through the reference clamp instead).
+    pub sharded_peak_budget_mw: Option<f64>,
 }
 
 impl Default for MpcConfig {
@@ -82,6 +133,7 @@ impl Default for MpcConfig {
             smoothing_weight: 4.0,
             input_ridge: 1e-9,
             backend: SolverBackend::default(),
+            sharded_peak_budget_mw: None,
         }
     }
 }
@@ -220,6 +272,9 @@ enum Skeleton {
     },
     /// The y-space block-banded QP of [`crate::riccati`].
     Banded(RiccatiSkeleton),
+    /// The regional decomposition of [`crate::sharded`]: per-shard banded
+    /// QPs plus the consensus coordinator state.
+    Sharded(ShardedSkeleton),
 }
 
 /// The previous step's solution, kept to warm-start the next solve.
@@ -227,17 +282,26 @@ enum Skeleton {
 struct WarmState {
     delta_u: Vec<f64>,
     active_set: Vec<usize>,
+    /// Outer multipliers of the sharded backend (consensus duals then peak
+    /// duals); empty for the monolithic backends.
+    multipliers: Vec<f64>,
 }
 
 /// The warm-start state as plain exportable data: the stacked input
-/// changes `ΔU` of the previous solve and the indices of its active
-/// constraint set. See [`MpcController::warm_state`].
+/// changes `ΔU` of the previous solve, the indices of its active
+/// constraint set, and (sharded backend only) the outer coordination
+/// multipliers. See [`MpcController::warm_state`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct WarmStateData {
     /// The previous solve's stacked `ΔU` (length `n·c·β₂`).
     pub delta_u: Vec<f64>,
     /// Indices of the constraints active at the previous solution.
     pub active_set: Vec<usize>,
+    /// The sharded backend's outer multipliers (consensus conservation
+    /// duals followed by peak-budget duals), empty for the monolithic
+    /// backends. Multiplier warm starts shape the outer iteration count,
+    /// so byte-identical checkpoint/restore must carry them.
+    pub multipliers: Vec<f64>,
 }
 
 /// The receding-horizon controller.
@@ -277,6 +341,8 @@ pub struct MpcController {
     cold_solves: usize,
     timings: PlanTimings,
     solve_stats: SolveStats,
+    /// Fault injection: drop the next solve's second coordinator round.
+    stall_next: bool,
 }
 
 impl MpcController {
@@ -297,6 +363,20 @@ impl MpcController {
                 && config.input_ridge > 0.0,
             "weights must be non-negative and the ridge positive"
         );
+        if let SolverBackend::Sharded {
+            shards,
+            rho,
+            max_outer,
+            tol,
+        } = config.backend
+        {
+            assert!(shards > 0, "at least one shard required");
+            assert!(
+                rho > 0.0 && tol > 0.0,
+                "sharded penalty and tolerance must be positive"
+            );
+            assert!(max_outer > 0, "at least one coordinator round required");
+        }
         MpcController {
             config,
             cache: None,
@@ -317,6 +397,7 @@ impl MpcController {
             cold_solves: 0,
             timings: PlanTimings::default(),
             solve_stats: SolveStats::default(),
+            stall_next: false,
         }
     }
 
@@ -356,6 +437,7 @@ impl MpcController {
         self.warm.as_ref().map(|w| WarmStateData {
             delta_u: w.delta_u.clone(),
             active_set: w.active_set.clone(),
+            multipliers: w.multipliers.clone(),
         })
     }
 
@@ -366,6 +448,7 @@ impl MpcController {
         self.warm = state.map(|w| WarmState {
             delta_u: w.delta_u,
             active_set: w.active_set,
+            multipliers: w.multipliers,
         });
     }
 
@@ -421,6 +504,19 @@ impl MpcController {
         self.bws.force_refactor_next();
     }
 
+    /// Drops one coordinator round of the next sharded solve: the shards
+    /// re-solve against stale targets and that round's dual update plus
+    /// residual check are lost, as if the coordinator's exchange stalled in
+    /// flight. The outer loop must converge anyway (the following round
+    /// resumes from unchanged multipliers), so the resulting plan is
+    /// unchanged to solver tolerance — only
+    /// [`SolveStats::outer_iterations`] moves. Fault-injection plumbing for
+    /// the testkit's coordinator-stall fault kind; a no-op for the
+    /// monolithic backends.
+    pub fn force_coordinator_stall_next(&mut self) {
+        self.stall_next = true;
+    }
+
     /// Solves one receding-horizon step and returns the plan.
     ///
     /// Reuses the cached QP skeleton when the problem structure matches the
@@ -444,7 +540,6 @@ impl MpcController {
         let beta1 = self.config.prediction_horizon;
         let beta2 = self.config.control_horizon;
         let nc = n * c;
-        let nv = nc * beta2;
         let lambda0 = problem.current_idc_workloads();
 
         self.refresh_structure(problem, n, c)?;
@@ -481,176 +576,50 @@ impl MpcController {
                 self.in_rhs.push(problem.prev_input[idx]);
             }
         }
-        let cache = self.cache.as_mut().expect("refreshed above");
-        match &mut cache.skeleton {
-            Skeleton::Dense { lsq, qp } => {
-                lsq.gradient_into(&self.rhs, &mut self.grad)?;
-                qp.set_gradient(&self.grad)?;
-                qp.set_equality_rhs(&self.eq_rhs)?;
-                qp.set_inequality_rhs(&self.in_rhs)?;
-            }
-            Skeleton::Banded(skel) => {
-                skel.gradient_into(&self.rhs, &mut self.grad);
-                let qp = skel.qp_mut();
-                qp.set_gradient(&self.grad)?;
-                qp.set_equality_rhs(&self.eq_rhs)?;
-                qp.set_inequality_rhs(&self.in_rhs)?;
+        {
+            let cache = self.cache.as_mut().expect("refreshed above");
+            match &mut cache.skeleton {
+                Skeleton::Dense { lsq, qp } => {
+                    lsq.gradient_into(&self.rhs, &mut self.grad)?;
+                    qp.set_gradient(&self.grad)?;
+                    qp.set_equality_rhs(&self.eq_rhs)?;
+                    qp.set_inequality_rhs(&self.in_rhs)?;
+                }
+                Skeleton::Banded(skel) => {
+                    skel.gradient_into(&self.rhs, &mut self.grad);
+                    let qp = skel.qp_mut();
+                    qp.set_gradient(&self.grad)?;
+                    qp.set_equality_rhs(&self.eq_rhs)?;
+                    qp.set_inequality_rhs(&self.in_rhs)?;
+                }
+                // No monolithic QP: the sharded solver scatters the rhs
+                // buffers to its cells inside `ShardedSkeleton::solve`.
+                Skeleton::Sharded(_) => {}
             }
         }
 
-        // ---- Solve: warm-started from the previous step's shifted ΔU
-        // when possible; from a repaired zero point otherwise (skipping
-        // the phase-1 LP); by the full cold path as a last resort. ----
+        // ---- Warm start, shared by every backend: shift the previous
+        // active set and ΔU for the receding horizon, then repair the
+        // shifted point back to exact feasibility. ----
+        let has_base = self.shift_and_repair_warm(problem, &lambda0, n, c);
+
+        if matches!(
+            self.cache.as_ref().expect("refreshed above").skeleton,
+            Skeleton::Sharded(_)
+        ) {
+            return self.plan_sharded(problem, &lambda0, n, c, has_base, condense_start);
+        }
+
+        // ---- Solve: warm-started from the repaired point (skipping the
+        // phase-1 LP); by the full cold path as a last resort. ----
         let mut warm_started = false;
         let mut warm_failed = false;
+        let mut warm_rejection = None;
+        let cache = self.cache.as_mut().expect("refreshed above");
         let mut solution = None;
         {
-            let has_base = matches!(&self.warm, Some(w) if w.delta_u.len() == nv);
-            // Re-index the previous active set for the shifted horizon.
-            // Both constraint families bound *cumulative* sums through
-            // block `t`, so after dropping the applied first block the
-            // activity at new block `t` is the old activity at `t + 1` —
-            // and the appended zero change block repeats the old final
-            // block's cumulative sums, hence its activity too. Without
-            // this shift most of the seed is filtered out as inactive and
-            // the solver re-discovers the set one iteration at a time.
-            self.seed.clear();
-            if has_base {
-                let w = self.warm.as_ref().expect("has_base");
-                let ncap = beta2 * n;
-                for &ci in &w.active_set {
-                    let (family, t, rest, stride) = if ci < ncap {
-                        (0, ci / n, ci % n, n)
-                    } else {
-                        (ncap, (ci - ncap) / nc, (ci - ncap) % nc, nc)
-                    };
-                    if t >= 1 {
-                        self.seed.push(family + (t - 1) * stride + rest);
-                    }
-                    if t == beta2 - 1 {
-                        self.seed.push(ci);
-                    }
-                }
-            }
+            self.timings.condense_ns += condense_start.elapsed().as_nanos() as u64;
             {
-                // Receding-horizon shift: drop the applied first block,
-                // hold zero change in the newly revealed final block. With
-                // no usable previous solution the base is all zeros and
-                // the repair below builds a feasible point from scratch.
-                self.warm_x.clear();
-                self.warm_x.resize(nv, 0.0);
-                if let (true, Some(w)) = (has_base, &self.warm) {
-                    for t in 0..beta2 - 1 {
-                        self.warm_x[t * nc..(t + 1) * nc]
-                            .copy_from_slice(&w.delta_u[(t + 1) * nc..(t + 2) * nc]);
-                    }
-                }
-                // Repair the conservation equalities exactly. The
-                // discrepancy per (step, portal) is the forecast drift
-                // since the previous solve; it is distributed across IDCs
-                // proportionally to the slack that keeps the point
-                // feasible — capacity headroom when load is added, the
-                // distance to the non-negativity floor when load is
-                // removed. If no slack fits, `warm_start`'s feasibility
-                // check rejects the point and we solve cold.
-                self.repair_cum_entry.clear();
-                self.repair_cum_entry.resize(nc, 0.0);
-                self.repair_cum_idc.clear();
-                self.repair_cum_idc.resize(n, 0.0);
-                self.repair_weights.clear();
-                self.repair_weights.resize(n, 0.0);
-                for t in 0..beta2 {
-                    for j in 0..n {
-                        for i in 0..c {
-                            let v = self.warm_x[t * nc + j * c + i];
-                            self.repair_cum_entry[j * c + i] += v;
-                            self.repair_cum_idc[j] += v;
-                        }
-                    }
-                    // Capacity projection: the slow loop may have turned
-                    // servers off since the previous solve, leaving the
-                    // shifted point above an IDC's shrunken capacity. Pull
-                    // the excess off that IDC's entries (limited by their
-                    // non-negativity slack); the equality repair below
-                    // re-routes it to IDCs that still have headroom.
-                    for j in 0..n {
-                        let excess = self.repair_cum_idc[j] - (problem.capacities[j] - lambda0[j]);
-                        if excess <= 0.0 {
-                            continue;
-                        }
-                        let slack_total: f64 = (0..c)
-                            .map(|i| {
-                                (self.repair_cum_entry[j * c + i] + problem.prev_input[j * c + i])
-                                    .max(0.0)
-                            })
-                            .sum();
-                        if slack_total <= 0.0 {
-                            continue;
-                        }
-                        let take = excess.min(slack_total);
-                        for i in 0..c {
-                            let slack = (self.repair_cum_entry[j * c + i]
-                                + problem.prev_input[j * c + i])
-                                .max(0.0);
-                            let red = take * slack / slack_total;
-                            self.warm_x[t * nc + j * c + i] -= red;
-                            self.repair_cum_entry[j * c + i] -= red;
-                            self.repair_cum_idc[j] -= red;
-                        }
-                    }
-                    for i in 0..c {
-                        let cum_i: f64 = (0..n).map(|j| self.repair_cum_entry[j * c + i]).sum();
-                        let d = self.eq_rhs[t * c + i] - cum_i;
-                        if d == 0.0 {
-                            continue;
-                        }
-                        let mut total = 0.0;
-                        for j in 0..n {
-                            let floor_dist =
-                                self.repair_cum_entry[j * c + i] + problem.prev_input[j * c + i];
-                            let slack = if d > 0.0 {
-                                // Keep entries sitting on their
-                                // non-negativity floor exactly there — the
-                                // MPC optimum is sparse and disturbing a
-                                // bound the seeded active set relies on
-                                // costs the solver one iteration per
-                                // constraint to re-discover.
-                                if floor_dist > 1e-6 {
-                                    problem.capacities[j] - lambda0[j] - self.repair_cum_idc[j]
-                                } else {
-                                    0.0
-                                }
-                            } else {
-                                floor_dist
-                            };
-                            self.repair_weights[j] = slack.max(0.0);
-                            total += self.repair_weights[j];
-                        }
-                        if d > 0.0 && total <= 0.0 {
-                            // No already-serving IDC has headroom: spread
-                            // over all remaining capacity instead.
-                            for j in 0..n {
-                                self.repair_weights[j] =
-                                    (problem.capacities[j] - lambda0[j] - self.repair_cum_idc[j])
-                                        .max(0.0);
-                                total += self.repair_weights[j];
-                            }
-                        }
-                        if total <= 0.0 {
-                            // No slack anywhere: the step is near-infeasible
-                            // and the cold path should handle it.
-                            self.repair_weights.iter_mut().for_each(|w| *w = 1.0);
-                            total = n as f64;
-                        }
-                        for j in 0..n {
-                            let add = d * self.repair_weights[j] / total;
-                            self.warm_x[t * nc + j * c + i] += add;
-                            self.repair_cum_entry[j * c + i] += add;
-                            self.repair_cum_idc[j] += add;
-                        }
-                    }
-                }
-                self.timings.condense_ns += condense_start.elapsed().as_nanos() as u64;
                 let solve_start = Instant::now();
                 let span = Span::enter_cat("mpc.solve.warm", "solver");
                 let warm_res = match &mut cache.skeleton {
@@ -664,6 +633,7 @@ impl MpcController {
                         skel.qp_mut()
                             .warm_start(&self.warm_y, &self.seed, &mut self.bws)
                     }
+                    Skeleton::Sharded(_) => unreachable!("sharded solves returned above"),
                 };
                 drop(span);
                 self.timings.solve_ns += solve_start.elapsed().as_nanos() as u64;
@@ -672,7 +642,20 @@ impl MpcController {
                         warm_started = has_base;
                         solution = Some(sol);
                     }
-                    Err(_) => warm_failed = true,
+                    Err(_) => {
+                        warm_failed = true;
+                        // Diagnose *why* the repaired point was rejected so
+                        // the policy layer can stream an anomaly record —
+                        // a warm step must never pay a cold solve silently.
+                        warm_rejection = Some(warm_rejection_breakdown(
+                            &self.warm_x,
+                            &self.eq_rhs,
+                            &self.in_rhs,
+                            n,
+                            c,
+                            beta2,
+                        ));
+                    }
                 }
             }
         }
@@ -685,6 +668,7 @@ impl MpcController {
                 let sol = match &mut cache.skeleton {
                     Skeleton::Dense { qp, .. } => qp.solve_with(&mut self.ws),
                     Skeleton::Banded(skel) => skel.qp_mut().solve_with(&mut self.bws),
+                    Skeleton::Sharded(_) => unreachable!("sharded solves returned above"),
                 };
                 drop(span);
                 self.timings.solve_ns += solve_start.elapsed().as_nanos() as u64;
@@ -711,40 +695,294 @@ impl MpcController {
         self.warm = Some(WarmState {
             delta_u: delta_u.clone(),
             active_set,
+            multipliers: Vec::new(),
         });
 
-        // Receding horizon: apply only the first block.
-        let next_input: Vec<f64> = problem
-            .prev_input
-            .iter()
-            .zip(&delta_u[..nc])
-            .map(|(u, d)| (u + d).max(0.0))
-            .collect();
+        Ok(finish_plan(
+            problem,
+            &lambda0,
+            beta1,
+            beta2,
+            n,
+            c,
+            delta_u,
+            iterations,
+            warm_started,
+            0,
+            0.0,
+            warm_rejection.into_iter().collect(),
+        ))
+    }
 
-        // Predicted per-IDC power over the prediction horizon.
-        let mut predicted_power_mw = Vec::with_capacity(beta1);
-        for s in 0..beta1 {
-            let mut per_idc = Vec::with_capacity(n);
+    /// The sharded solve path of [`plan`](Self::plan): resume the outer
+    /// multipliers (horizon-shifted), run the consensus loop over the
+    /// per-shard warm solves, and persist both warm-start levels.
+    fn plan_sharded(
+        &mut self,
+        problem: &MpcProblem,
+        lambda0: &[f64],
+        n: usize,
+        c: usize,
+        has_base: bool,
+        condense_start: Instant,
+    ) -> Result<MpcPlan> {
+        let beta1 = self.config.prediction_horizon;
+        let beta2 = self.config.control_horizon;
+        let nc = n * c;
+        let drop_round = std::mem::take(&mut self.stall_next);
+        let threads = default_threads();
+        // The relative stopping rule is anchored to the forecast magnitude:
+        // conservation rows and portal sums live in req/s of workload.
+        let scale = problem
+            .workload_forecast
+            .iter()
+            .flatten()
+            .fold(0.0f64, |a, &v| a.max(v.abs()));
+        let base_power_mw: f64 = (0..n)
+            .map(|j| {
+                problem.b1_mw[j] * lambda0[j] + problem.b0_mw[j] * problem.servers_on[j] as f64
+            })
+            .sum();
+        riccati::to_cumulative(nc, &self.warm_x, &mut self.warm_y);
+
+        let cache = self.cache.as_mut().expect("refreshed above");
+        let Skeleton::Sharded(skel) = &mut cache.skeleton else {
+            unreachable!("plan_sharded is only entered with a sharded skeleton")
+        };
+        // Resume the outer multipliers from the previous step, shifted one
+        // stage for the receding horizon (the duals priced at new stage `t`
+        // are the old stage-`t+1` duals, final stage repeated) — the outer
+        // analogue of the active-set seed shift.
+        let mlen = skel.multiplier_len();
+        let mult_shifted = match (&self.warm, has_base) {
+            (Some(w), true) if w.multipliers.len() == mlen => {
+                let (crows, prows) = skel.multiplier_stage_lens();
+                let mut m = w.multipliers.clone();
+                shift_horizon(&mut m[..beta2 * crows], crows);
+                if prows > 0 {
+                    shift_horizon(&mut m[beta2 * crows..], prows);
+                }
+                Some(m)
+            }
+            _ => None,
+        };
+        self.timings.condense_ns += condense_start.elapsed().as_nanos() as u64;
+
+        let solve_start = Instant::now();
+        let span = Span::enter_cat("mpc.solve.sharded", "solver");
+        let outcome = skel.solve(&ShardedStep {
+            eq_rhs: &self.eq_rhs,
+            in_rhs: &self.in_rhs,
+            tracking_rhs: &self.rhs,
+            warm_y: &self.warm_y,
+            seed: &self.seed,
+            multipliers: mult_shifted.as_deref(),
+            base_power_mw,
+            scale,
+            drop_round,
+            threads,
+        });
+        drop(span);
+        self.timings.solve_ns += solve_start.elapsed().as_nanos() as u64;
+        let outcome = outcome?;
+
+        // A shard-level warm rejection pays a local cold solve, never a
+        // silent global one; it still demotes the step's warm accounting.
+        let warm_started = has_base && outcome.fallbacks == 0;
+        if warm_started {
+            self.warm_solves += 1;
+        } else {
+            self.cold_solves += 1;
+        }
+        self.solve_stats.merge(&outcome.stats);
+        let mut delta_u = outcome.y;
+        riccati::to_deltas(nc, &mut delta_u);
+        self.warm = Some(WarmState {
+            delta_u: delta_u.clone(),
+            active_set: outcome.active_set,
+            multipliers: outcome.multipliers,
+        });
+
+        Ok(finish_plan(
+            problem,
+            lambda0,
+            beta1,
+            beta2,
+            n,
+            c,
+            delta_u,
+            outcome.iterations,
+            warm_started,
+            outcome.outer.rounds,
+            outcome.outer.primal_residual,
+            outcome.rejections,
+        ))
+    }
+
+    /// Shifts the previous step's active set and `ΔU` one stage for the
+    /// receding horizon and repairs the shifted point back to exact
+    /// feasibility (capacity projection plus conservation redistribution).
+    /// Returns whether a usable previous solution existed. Shared by every
+    /// backend; with no usable base the repair builds a feasible point
+    /// from all zeros, which lets even the "cold" solve skip the phase-1
+    /// LP.
+    fn shift_and_repair_warm(
+        &mut self,
+        problem: &MpcProblem,
+        lambda0: &[f64],
+        n: usize,
+        c: usize,
+    ) -> bool {
+        let beta2 = self.config.control_horizon;
+        let nc = n * c;
+        let nv = nc * beta2;
+        let has_base = matches!(&self.warm, Some(w) if w.delta_u.len() == nv);
+        // Re-index the previous active set for the shifted horizon.
+        // Both constraint families bound *cumulative* sums through
+        // block `t`, so after dropping the applied first block the
+        // activity at new block `t` is the old activity at `t + 1` —
+        // and the appended zero change block repeats the old final
+        // block's cumulative sums, hence its activity too. Without
+        // this shift most of the seed is filtered out as inactive and
+        // the solver re-discovers the set one iteration at a time.
+        self.seed.clear();
+        if has_base {
+            let w = self.warm.as_ref().expect("has_base");
+            let ncap = beta2 * n;
+            for &ci in &w.active_set {
+                let (family, t, rest, stride) = if ci < ncap {
+                    (0, ci / n, ci % n, n)
+                } else {
+                    (ncap, (ci - ncap) / nc, (ci - ncap) % nc, nc)
+                };
+                if t >= 1 {
+                    self.seed.push(family + (t - 1) * stride + rest);
+                }
+                if t == beta2 - 1 {
+                    self.seed.push(ci);
+                }
+            }
+        }
+        // Receding-horizon shift: drop the applied first block,
+        // hold zero change in the newly revealed final block. With
+        // no usable previous solution the base is all zeros and
+        // the repair below builds a feasible point from scratch.
+        self.warm_x.clear();
+        self.warm_x.resize(nv, 0.0);
+        if let (true, Some(w)) = (has_base, &self.warm) {
+            for t in 0..beta2 - 1 {
+                self.warm_x[t * nc..(t + 1) * nc]
+                    .copy_from_slice(&w.delta_u[(t + 1) * nc..(t + 2) * nc]);
+            }
+        }
+        // Repair the conservation equalities exactly. The
+        // discrepancy per (step, portal) is the forecast drift
+        // since the previous solve; it is distributed across IDCs
+        // proportionally to the slack that keeps the point
+        // feasible — capacity headroom when load is added, the
+        // distance to the non-negativity floor when load is
+        // removed. If no slack fits, `warm_start`'s feasibility
+        // check rejects the point and we solve cold.
+        self.repair_cum_entry.clear();
+        self.repair_cum_entry.resize(nc, 0.0);
+        self.repair_cum_idc.clear();
+        self.repair_cum_idc.resize(n, 0.0);
+        self.repair_weights.clear();
+        self.repair_weights.resize(n, 0.0);
+        for t in 0..beta2 {
             for j in 0..n {
-                let mut lam = lambda0[j];
-                for t in 0..=s.min(beta2 - 1) {
-                    for i in 0..c {
-                        lam += delta_u[t * nc + j * c + i];
+                for i in 0..c {
+                    let v = self.warm_x[t * nc + j * c + i];
+                    self.repair_cum_entry[j * c + i] += v;
+                    self.repair_cum_idc[j] += v;
+                }
+            }
+            // Capacity projection: the slow loop may have turned
+            // servers off since the previous solve, leaving the
+            // shifted point above an IDC's shrunken capacity. Pull
+            // the excess off that IDC's entries (limited by their
+            // non-negativity slack); the equality repair below
+            // re-routes it to IDCs that still have headroom.
+            for j in 0..n {
+                let excess = self.repair_cum_idc[j] - (problem.capacities[j] - lambda0[j]);
+                if excess <= 0.0 {
+                    continue;
+                }
+                let slack_total: f64 = (0..c)
+                    .map(|i| {
+                        (self.repair_cum_entry[j * c + i] + problem.prev_input[j * c + i]).max(0.0)
+                    })
+                    .sum();
+                if slack_total <= 0.0 {
+                    continue;
+                }
+                let take = excess.min(slack_total);
+                for i in 0..c {
+                    let slack =
+                        (self.repair_cum_entry[j * c + i] + problem.prev_input[j * c + i]).max(0.0);
+                    let red = take * slack / slack_total;
+                    self.warm_x[t * nc + j * c + i] -= red;
+                    self.repair_cum_entry[j * c + i] -= red;
+                    self.repair_cum_idc[j] -= red;
+                }
+            }
+            for i in 0..c {
+                let cum_i: f64 = (0..n).map(|j| self.repair_cum_entry[j * c + i]).sum();
+                let d = self.eq_rhs[t * c + i] - cum_i;
+                if d == 0.0 {
+                    continue;
+                }
+                let mut total = 0.0;
+                for j in 0..n {
+                    let floor_dist =
+                        self.repair_cum_entry[j * c + i] + problem.prev_input[j * c + i];
+                    let slack = if d > 0.0 {
+                        // Keep entries sitting on their
+                        // non-negativity floor exactly there — the
+                        // MPC optimum is sparse and disturbing a
+                        // bound the seeded active set relies on
+                        // costs the solver one iteration per
+                        // constraint to re-discover.
+                        if floor_dist > 1e-6 {
+                            problem.capacities[j] - lambda0[j] - self.repair_cum_idc[j]
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        floor_dist
+                    };
+                    self.repair_weights[j] = slack.max(0.0);
+                    total += self.repair_weights[j];
+                }
+                if d > 0.0 && total < d {
+                    // The already-serving IDCs cannot absorb the full
+                    // addition — distributing `d` over less than `d` of
+                    // headroom would overshoot a capacity face and poison
+                    // the warm point into a silent cold fallback. Spread
+                    // over *all* remaining capacity instead, accepting the
+                    // weaker seed to stay feasible.
+                    total = 0.0;
+                    for j in 0..n {
+                        self.repair_weights[j] =
+                            (problem.capacities[j] - lambda0[j] - self.repair_cum_idc[j]).max(0.0);
+                        total += self.repair_weights[j];
                     }
                 }
-                per_idc
-                    .push(problem.b1_mw[j] * lam + problem.b0_mw[j] * problem.servers_on[j] as f64);
+                if total <= 0.0 {
+                    // No slack anywhere: the step is near-infeasible
+                    // and the cold path should handle it.
+                    self.repair_weights.iter_mut().for_each(|w| *w = 1.0);
+                    total = n as f64;
+                }
+                for j in 0..n {
+                    let add = d * self.repair_weights[j] / total;
+                    self.warm_x[t * nc + j * c + i] += add;
+                    self.repair_cum_entry[j * c + i] += add;
+                    self.repair_cum_idc[j] += add;
+                }
             }
-            predicted_power_mw.push(per_idc);
         }
-
-        Ok(MpcPlan {
-            delta_u,
-            next_input,
-            predicted_power_mw,
-            qp_iterations: iterations,
-            warm_started,
-        })
+        has_base
     }
 
     /// Solves one step with *no* reuse of any kind: drops the cached
@@ -792,6 +1030,19 @@ impl MpcController {
                 skel.qp_mut().prepare()?;
                 self.timings.factor_ns += factor_start.elapsed().as_nanos() as u64;
                 Skeleton::Banded(skel)
+            }
+            SolverBackend::Sharded {
+                shards,
+                rho,
+                max_outer,
+                tol,
+            } => {
+                let mut skel =
+                    ShardedSkeleton::build(&self.config, problem, shards, rho, max_outer, tol)?;
+                let factor_start = Instant::now();
+                skel.prepare(default_threads())?;
+                self.timings.factor_ns += factor_start.elapsed().as_nanos() as u64;
+                Skeleton::Sharded(skel)
             }
         };
         let factored = self.timings.factor_ns - factor_before;
@@ -934,6 +1185,96 @@ impl MpcController {
     }
 }
 
+/// Computes the per-family constraint violations of a rejected warm point
+/// (`warm_x` in stacked-ΔU space) so the rejection can be explained instead
+/// of silently paying a cold solve.
+fn warm_rejection_breakdown(
+    warm_x: &[f64],
+    eq_rhs: &[f64],
+    in_rhs: &[f64],
+    n: usize,
+    c: usize,
+    beta2: usize,
+) -> WarmRejection {
+    let nc = n * c;
+    let mut rej = WarmRejection::default();
+    let mut cum = vec![0.0; nc];
+    for t in 0..beta2 {
+        for k in 0..nc {
+            cum[k] += warm_x[t * nc + k];
+        }
+        for i in 0..c {
+            let sum: f64 = (0..n).map(|j| cum[j * c + i]).sum();
+            rej.conservation = rej.conservation.max((sum - eq_rhs[t * c + i]).abs());
+        }
+        for j in 0..n {
+            let total: f64 = cum[j * c..(j + 1) * c].iter().sum();
+            rej.capacity = rej.capacity.max(total - in_rhs[t * n + j]);
+        }
+        for k in 0..nc {
+            rej.nonnegativity = rej
+                .nonnegativity
+                .max(-(cum[k] + in_rhs[beta2 * n + t * nc + k]));
+        }
+    }
+    rej
+}
+
+/// Assembles the plan from the solved `ΔU`: the applied first block and the
+/// predicted per-IDC power trajectory. Shared by the monolithic and sharded
+/// solve paths.
+#[allow(clippy::too_many_arguments)]
+fn finish_plan(
+    problem: &MpcProblem,
+    lambda0: &[f64],
+    beta1: usize,
+    beta2: usize,
+    n: usize,
+    c: usize,
+    delta_u: Vec<f64>,
+    qp_iterations: usize,
+    warm_started: bool,
+    outer_rounds: u64,
+    consensus_residual: f64,
+    warm_rejections: Vec<WarmRejection>,
+) -> MpcPlan {
+    let nc = n * c;
+    // Receding horizon: apply only the first block.
+    let next_input: Vec<f64> = problem
+        .prev_input
+        .iter()
+        .zip(&delta_u[..nc])
+        .map(|(u, d)| (u + d).max(0.0))
+        .collect();
+
+    // Predicted per-IDC power over the prediction horizon.
+    let mut predicted_power_mw = Vec::with_capacity(beta1);
+    for s in 0..beta1 {
+        let mut per_idc = Vec::with_capacity(n);
+        for j in 0..n {
+            let mut lam = lambda0[j];
+            for t in 0..=s.min(beta2 - 1) {
+                for i in 0..c {
+                    lam += delta_u[t * nc + j * c + i];
+                }
+            }
+            per_idc.push(problem.b1_mw[j] * lam + problem.b0_mw[j] * problem.servers_on[j] as f64);
+        }
+        predicted_power_mw.push(per_idc);
+    }
+
+    MpcPlan {
+        delta_u,
+        next_input,
+        predicted_power_mw,
+        qp_iterations,
+        warm_started,
+        outer_rounds,
+        consensus_residual,
+        warm_rejections,
+    }
+}
+
 /// The result of one receding-horizon solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MpcPlan {
@@ -942,6 +1283,9 @@ pub struct MpcPlan {
     predicted_power_mw: Vec<Vec<f64>>,
     qp_iterations: usize,
     warm_started: bool,
+    outer_rounds: u64,
+    consensus_residual: f64,
+    warm_rejections: Vec<WarmRejection>,
 }
 
 impl MpcPlan {
@@ -968,6 +1312,27 @@ impl MpcPlan {
     /// Whether this plan was solved from the previous step's warm start.
     pub fn warm_started(&self) -> bool {
         self.warm_started
+    }
+
+    /// Coordinator rounds of the sharded backend (0 for the monolithic
+    /// backends).
+    pub fn outer_rounds(&self) -> u64 {
+        self.outer_rounds
+    }
+
+    /// Final relative consensus primal residual of the sharded backend
+    /// (0.0 for the monolithic backends).
+    pub fn consensus_residual(&self) -> f64 {
+        self.consensus_residual
+    }
+
+    /// Warm-start rejections this step, one per rejecting solver (the
+    /// monolithic backends report at most one, with `shard == 0`). Empty
+    /// whenever the warm path held — a non-empty list means a cold solve
+    /// was paid and says which constraint family the shifted point
+    /// violated.
+    pub fn warm_rejections(&self) -> &[WarmRejection] {
+        &self.warm_rejections
     }
 }
 
@@ -1319,6 +1684,263 @@ mod tests {
         let plan = controller.plan(&problem).expect("must terminate");
         let total: f64 = plan.next_input().iter().sum();
         assert!((total - 100_000.0).abs() < 1e-3, "total {total}");
+    }
+
+    #[test]
+    fn sharded_backend_matches_dense_in_closed_loop() {
+        // The consensus outer loop stops at a workload-relative residual
+        // and the final repair restores conservation exactly, so the
+        // sharded plans must track the monolithic minimizer step for
+        // step — per entry to within a few× the backend tolerance on the
+        // 10k req/s scale (the portal-split directions are near-flat, so
+        // entries are the loosest-determined quantity; plan cost agrees
+        // orders of magnitude tighter) — and settle into warm starts on
+        // both levels (active sets and multipliers).
+        let mut dense = MpcController::new(MpcConfig::default());
+        let mut sharded = MpcController::new(MpcConfig {
+            backend: SolverBackend::sharded(2),
+            ..MpcConfig::default()
+        });
+        let mut pd = two_idc_problem([10_000.0, 0.0], [1.2, 2.28]);
+        let mut ps = pd.clone();
+        for step in 0..6 {
+            let plan_d = dense.plan(&pd).unwrap();
+            let plan_s = sharded.plan(&ps).unwrap();
+            assert!(plan_s.outer_rounds() > 0, "step {step}: no outer rounds");
+            assert!(
+                plan_s.warm_rejections().is_empty(),
+                "step {step}: unexpected warm rejection {:?}",
+                plan_s.warm_rejections()
+            );
+            for (a, b) in plan_d.next_input().iter().zip(plan_s.next_input()) {
+                assert!((a - b).abs() < 5e-6 * 10_000.0, "step {step}: {a} vs {b}");
+            }
+            let total: f64 = plan_s.next_input().iter().sum();
+            assert!(
+                (total - 10_000.0).abs() < 1e-6,
+                "step {step}: total {total}"
+            );
+            pd.prev_input = plan_d.next_input().to_vec();
+            ps.prev_input = plan_s.next_input().to_vec();
+        }
+        assert_eq!(sharded.warm_solves(), 5);
+        assert_eq!(sharded.cold_solves(), 1);
+    }
+
+    #[test]
+    fn sharded_single_shard_still_converges() {
+        // One shard degenerates to an augmented-Lagrangian solve of the
+        // full problem (conservation enforced by the penalty + dual loop
+        // instead of hard equality rows); the fixed point is the same.
+        let mut dense = MpcController::new(MpcConfig::default());
+        let mut sharded = MpcController::new(MpcConfig {
+            backend: SolverBackend::sharded(1),
+            ..MpcConfig::default()
+        });
+        let problem = two_idc_problem([10_000.0, 0.0], [1.2, 2.28]);
+        let plan_d = dense.plan(&problem).unwrap();
+        let plan_s = sharded.plan(&problem).unwrap();
+        for (a, b) in plan_d.next_input().iter().zip(plan_s.next_input()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sharded_backend_handles_degenerate_peak_shaving() {
+        let problem = MpcProblem {
+            b1_mw: vec![6.75e-5, 0.000108, 7.714285714285714e-5],
+            b0_mw: vec![0.00015, 0.00015, 0.00015],
+            servers_on: vec![9002, 40000, 20000],
+            capacities: vec![18003.0, 49999.0, 34999.0],
+            prev_input: vec![
+                0.0, 0.0, 0.0, 0.0, 15002.0, 0.0, 10001.0, 15000.0, 20000.0, 4998.0, 30000.0,
+                4999.0, 0.0, 0.0, 0.0,
+            ],
+            workload_forecast: vec![vec![30000.0, 15000.0, 15000.0, 20000.0, 20000.0]; 3],
+            power_reference_mw: vec![vec![5.13, 10.26, 1.6289828571428573]; 5],
+            tracking_multiplier: vec![25.0, 25.0, 1.0],
+        };
+        let mut controller = MpcController::new(MpcConfig {
+            backend: SolverBackend::sharded(3),
+            ..MpcConfig::default()
+        });
+        let plan = controller.plan(&problem).expect("must terminate");
+        let total: f64 = plan.next_input().iter().sum();
+        assert!((total - 100_000.0).abs() < 1e-3, "total {total}");
+    }
+
+    #[test]
+    fn sharded_plans_are_bitwise_reproducible() {
+        // Two identical closed loops must produce byte-identical plans —
+        // the determinism the cross-process and cross-thread-count
+        // reproducibility gates build on.
+        let run = || {
+            let mut controller = MpcController::new(MpcConfig {
+                backend: SolverBackend::sharded(2),
+                ..MpcConfig::default()
+            });
+            let mut problem = two_idc_problem([10_000.0, 0.0], [1.2, 2.28]);
+            let mut plans = Vec::new();
+            for _ in 0..4 {
+                let plan = controller.plan(&problem).unwrap();
+                problem.prev_input = plan.next_input().to_vec();
+                plans.push(plan);
+            }
+            plans
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharded_infeasible_capacity_is_reported() {
+        let mut problem = two_idc_problem([10_000.0, 0.0], [1.2, 2.28]);
+        // Total capacity is 26 500; demand 30 000 cannot be served.
+        problem.workload_forecast = vec![vec![30_000.0]; 3];
+        let mut controller = MpcController::new(MpcConfig {
+            backend: SolverBackend::sharded(2),
+            ..MpcConfig::default()
+        });
+        assert!(matches!(controller.plan(&problem), Err(Error::Infeasible)));
+    }
+
+    #[test]
+    fn sharded_coordinator_stall_converges_to_the_same_plan() {
+        let mut baseline = MpcController::new(MpcConfig {
+            backend: SolverBackend::sharded(2),
+            ..MpcConfig::default()
+        });
+        let mut stalled = MpcController::new(MpcConfig {
+            backend: SolverBackend::sharded(2),
+            ..MpcConfig::default()
+        });
+        let mut pb = two_idc_problem([10_000.0, 0.0], [1.2, 2.28]);
+        let mut ps = pb.clone();
+        for step in 0..3 {
+            if step == 1 {
+                stalled.force_coordinator_stall_next();
+            }
+            let plan_b = baseline.plan(&pb).unwrap();
+            let plan_s = stalled.plan(&ps).unwrap();
+            for (a, b) in plan_b.next_input().iter().zip(plan_s.next_input()) {
+                assert!((a - b).abs() < 1e-3, "step {step}: {a} vs {b}");
+            }
+            let total: f64 = plan_s.next_input().iter().sum();
+            assert!(
+                (total - 10_000.0).abs() < 1e-6,
+                "step {step}: total {total}"
+            );
+            pb.prev_input = plan_b.next_input().to_vec();
+            ps.prev_input = plan_s.next_input().to_vec();
+        }
+    }
+
+    #[test]
+    fn sharded_warm_state_roundtrip_is_exact() {
+        // Checkpoint/restore must carry the outer multipliers: a restored
+        // controller has to replay the remaining steps byte-identically.
+        let mut problem = two_idc_problem([10_000.0, 0.0], [1.2, 2.28]);
+        let config = MpcConfig {
+            backend: SolverBackend::sharded(2),
+            ..MpcConfig::default()
+        };
+        let mut original = MpcController::new(config);
+        for _ in 0..2 {
+            let plan = original.plan(&problem).unwrap();
+            problem.prev_input = plan.next_input().to_vec();
+        }
+        let saved = original.warm_state().expect("warm state exists");
+        assert!(!saved.multipliers.is_empty(), "multipliers must persist");
+
+        let mut restored = MpcController::new(config);
+        restored.restore_warm_state(Some(saved));
+        let plan_o = original.plan(&problem).unwrap();
+        let plan_r = restored.plan(&problem).unwrap();
+        assert_eq!(plan_o, plan_r);
+        assert_eq!(original.warm_state(), restored.warm_state());
+    }
+
+    #[test]
+    fn sharded_peak_budget_holds_total_power_below_cap() {
+        // Reference wants everything on the expensive IDC 1; an
+        // unconstrained solve would push total fleet power to ~3.78 MW.
+        // With a 3.6 MW budget the peak duals must re-route load back to
+        // IDC 0 until every stage's total fits the cap.
+        let reference = [
+            150.0e-6 * 8_000.0,
+            108.0e-6 * 10_000.0 + 150.0e-6 * 10_000.0,
+        ];
+        let budget = 3.6;
+        let mut controller = MpcController::new(MpcConfig {
+            backend: SolverBackend::sharded(2),
+            sharded_peak_budget_mw: Some(budget),
+            ..MpcConfig::default()
+        });
+        let mut problem = two_idc_problem([10_000.0, 0.0], reference);
+        for _ in 0..8 {
+            let plan = controller.plan(&problem).unwrap();
+            problem.prev_input = plan.next_input().to_vec();
+        }
+        let plan = controller.plan(&problem).unwrap();
+        for (s, per_idc) in plan.predicted_power_mw().iter().enumerate() {
+            let total: f64 = per_idc.iter().sum();
+            assert!(
+                total <= budget + 1e-3,
+                "stage {s}: total power {total} exceeds budget {budget}"
+            );
+        }
+        // The budget binds (the unconstrained optimum is above the cap), so
+        // the converged allocation should sit near the budget, not far
+        // below it.
+        let stage0: f64 = plan.predicted_power_mw()[0].iter().sum();
+        assert!(
+            stage0 > budget - 0.2,
+            "stage 0 power {stage0} too far below cap"
+        );
+    }
+
+    #[test]
+    fn repair_survives_partial_serving_headroom() {
+        // Regression for the silent cold fallbacks: IDC 0 serves nearly at
+        // capacity while IDC 1 idles. A forecast jump larger than IDC 0's
+        // headroom used to be distributed over the *serving* IDCs only,
+        // overshooting IDC 0's capacity face and silently rejecting the
+        // warm point. The repair must spread the excess over all remaining
+        // capacity instead and keep the step warm.
+        let mut problem = two_idc_problem([9_990.0, 0.0], [0.5, 10.0]);
+        problem.workload_forecast = vec![vec![9_990.0]; 3];
+        let mut controller = MpcController::new(MpcConfig::default());
+        let plan = controller.plan(&problem).unwrap();
+        problem.prev_input = plan.next_input().to_vec();
+        // Forecast jumps by far more than IDC 0's remaining headroom.
+        problem.workload_forecast = vec![vec![12_000.0]; 3];
+        let plan = controller.plan(&problem).unwrap();
+        assert!(
+            plan.warm_started(),
+            "repair must keep the step warm when serving headroom is partial"
+        );
+        assert!(plan.warm_rejections().is_empty());
+        let total: f64 = plan.next_input().iter().sum();
+        assert!((total - 12_000.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn warm_rejection_breakdown_reports_violated_families() {
+        // 1 stage would hide cumulative effects; use the standard layout:
+        // n = 2 IDCs, c = 1 portal, β₂ = 2 stages.
+        let (n, c, beta2) = (2, 1, 2);
+        // Stage sums: IDC0 gets 5 then 5 more (cum 10), IDC1 stays 0.
+        let warm_x = vec![5.0, 0.0, 5.0, 0.0];
+        // Conservation wants 8 per stage: stage 0 off by 3, stage 1 by 2.
+        let eq_rhs = vec![8.0, 8.0];
+        // Capacity rows (t-major × IDC): IDC0 capacity 7 → cum 10 violates
+        // by 3 at stage 1. Non-negativity rhs = prev inputs (all 1).
+        let in_rhs = vec![7.0, 100.0, 7.0, 100.0, 1.0, 1.0, 1.0, 1.0];
+        let rej = warm_rejection_breakdown(&warm_x, &eq_rhs, &in_rhs, n, c, beta2);
+        assert!((rej.conservation - 3.0).abs() < 1e-12, "{rej:?}");
+        assert!((rej.capacity - 3.0).abs() < 1e-12, "{rej:?}");
+        assert_eq!(rej.nonnegativity, 0.0, "{rej:?}");
+        assert!((rej.worst() - 3.0).abs() < 1e-12);
     }
 
     #[test]

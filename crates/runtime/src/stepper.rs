@@ -260,6 +260,14 @@ impl Stepper {
                 "Warm-start attempts that failed and re-solved cold.",
             ),
             (
+                "idc_outer_iterations_total",
+                "Sharded-backend outer coordination rounds (zero for monolithic backends).",
+            ),
+            (
+                "idc_consensus_residual_nano",
+                "Last sharded solve's consensus primal residual, in nano-units (req/s scale).",
+            ),
+            (
                 "idc_qp_warm_seed_survival",
                 "Fraction of offered warm-seed constraints accepted (cumulative).",
             ),
@@ -507,6 +515,8 @@ impl Stepper {
         m.set_counter("idc_qp_downdates_applied_total", stats.downdates_applied);
         m.set_counter("idc_qp_working_set_delta", stats.working_set_delta);
         m.set_counter("idc_qp_cold_fallbacks_total", stats.cold_fallbacks);
+        m.set_counter("idc_outer_iterations_total", stats.outer_iterations);
+        m.set_counter("idc_consensus_residual_nano", stats.consensus_residual_nano);
         m.set_gauge("idc_qp_warm_seed_survival", stats.seed_survival());
         m.set_gauge("idc_accumulated_cost_dollars", self.accumulated_cost);
         m.set_gauge("idc_feed_staleness_ticks", staleness as f64);

@@ -1,0 +1,451 @@
+//! Consensus-ADMM coordinator state for the sharded MPC.
+//!
+//! The sharded solver splits the fleet QP into per-region subproblems that
+//! are exact except for two coupling structures:
+//!
+//! 1. **cross-region workload conservation** — each portal's cumulative
+//!    routed workload must sum to its forecast across *all* shards
+//!    (`Σ_s A_s x_s = b`, one row per `(stage, portal)`), and
+//! 2. **the global peak-power budget** — an optional eq. 31-style cap on the
+//!    fleet's total predicted power per stage.
+//!
+//! Conservation is coordinated by **exchange ADMM** (Boyd et al. §7.3): each
+//! shard `s` augments its objective with `(ρ/2)·‖A_s x_s − v_s‖²` where the
+//! coordinator-issued target
+//!
+//! ```text
+//! v_s = A_s x_s^k − w̄^k + b/S − u^k
+//! ```
+//!
+//! nudges the shard's portal sums `w_s = A_s x_s` toward an equal share of
+//! the residual, and the scaled dual `u` (the consensus multiplier,
+//! `λ = ρ·u`) integrates the average infeasibility:
+//!
+//! ```text
+//! u^{k+1} = u^k + w̄^{k+1} − b/S,      w̄ = (1/S)·Σ_s w_s.
+//! ```
+//!
+//! With **over-relaxation** (Boyd et al. §3.4.3, `α ∈ (1, 2)`), the shard
+//! sums entering the projection and dual update are replaced by
+//! `ŵ_s = α·w_s + (1−α)·z_s`, where `z_s` is the previous projection
+//! (`Σ_s z_s = b` by construction). Everything shard-dependent then factors
+//! through one broadcast vector, the relaxed average gap
+//! `g = α·(w̄ − b/S)`:
+//!
+//! ```text
+//! u ← u + g,      z_s ← α·w_s + (1−α)·z_s − g,      v_s = z_s − u,
+//! ```
+//!
+//! so each shard keeps `z_s` locally and the coordinator never touches
+//! per-shard state. `α = 1` recovers the plain exchange update
+//! (`z_s = w_s − w̄ + b/S`), and any fixed point satisfies `w̄ = b/S`
+//! regardless of `α` — relaxation changes the path, not the answer.
+//!
+//! At a fixed point `w̄ = b/S` (conservation holds) and every shard's
+//! stationarity condition carries the *same* multiplier `ρ·u` — exactly the
+//! KKT multiplier of the monolithic conservation row, which is why warm
+//! multipliers transfer across control steps just like warm active sets.
+//!
+//! The peak budget is coordinated by projected dual ascent
+//! ([`PeakDual`]): `μ_t ← max(0, μ_t + κ·(P_t − cap))`, with `μ_t·∂P/∂x`
+//! added to each shard's gradient. Both multiplier families are plain
+//! `Vec<f64>` state that a controller persists and receding-horizon-shifts
+//! ([`shift_horizon`]) between steps.
+//!
+//! Every reduction here is a sequential loop in fixed shard order, so the
+//! coordinator is bitwise deterministic regardless of how many threads the
+//! shard subproblems ran on.
+
+/// Residuals of one coordinator round, in the units of the coupling rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Residuals {
+    /// Primal conservation residual `‖Σ_s w_s − b‖_∞`.
+    pub primal: f64,
+    /// Consensus movement `‖w̄^{k+1} − w̄^k‖_∞` (the scaled dual residual is
+    /// `ρ·S` times this; comparing the movement itself against the primal
+    /// tolerance keeps both criteria in workload units).
+    pub dual: f64,
+}
+
+/// Exchange-ADMM coordinator state for `rows` coupling rows over `shards`
+/// shard contributions.
+#[derive(Debug, Clone)]
+pub struct ExchangeConsensus {
+    rows: usize,
+    shards: usize,
+    rho: f64,
+    /// Over-relaxation factor `α`; 1 is the plain exchange update.
+    alpha: f64,
+    /// Coupling targets `b` (one per row).
+    target: Vec<f64>,
+    /// Scaled dual `u`; the consensus multiplier is `ρ·u`.
+    u: Vec<f64>,
+    /// Current shard-average contribution `w̄`.
+    wbar: Vec<f64>,
+    /// Previous round's `w̄`, for the dual residual.
+    wbar_prev: Vec<f64>,
+    /// Relaxed average gap `g = α·(w̄ − b/S)` of the last update — the
+    /// round's broadcast to the shards (`prime` seeds it with `α = 1`).
+    gap: Vec<f64>,
+}
+
+impl ExchangeConsensus {
+    /// Creates coordinator state with zero multipliers and targets.
+    pub fn new(rows: usize, shards: usize, rho: f64) -> Self {
+        assert!(shards > 0, "at least one shard");
+        assert!(rho > 0.0, "penalty must be positive");
+        ExchangeConsensus {
+            rows,
+            shards,
+            rho,
+            alpha: 1.0,
+            target: vec![0.0; rows],
+            u: vec![0.0; rows],
+            wbar: vec![0.0; rows],
+            wbar_prev: vec![0.0; rows],
+            gap: vec![0.0; rows],
+        }
+    }
+
+    /// Sets the over-relaxation factor `α`. Values in `(1, 2)` (typically
+    /// 1.5–1.8) roughly halve the rounds to a fixed tolerance on problems
+    /// whose slow directions are near-flat; `1` is the plain update.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < α < 2`.
+    pub fn set_relaxation(&mut self, alpha: f64) {
+        assert!(alpha > 0.0 && alpha < 2.0, "relaxation must be in (0, 2)");
+        self.alpha = alpha;
+    }
+
+    /// Number of coupling rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The absolute ADMM penalty `ρ`.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The scaled dual `u` (persist this across control steps).
+    pub fn multipliers(&self) -> &[f64] {
+        &self.u
+    }
+
+    /// Retunes the penalty to `rho_new`, preserving the *unscaled*
+    /// consensus multipliers `λ = ρ·u` by rescaling the scaled dual with
+    /// the old/new ratio. Residual-balancing penalty adaptation calls this
+    /// whenever it changes ρ mid-solve, so the physical prices the shards
+    /// see stay continuous across the retune.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho_new` is not positive.
+    pub fn rescale_rho(&mut self, rho_new: f64) {
+        assert!(rho_new > 0.0, "penalty must be positive");
+        let factor = self.rho / rho_new;
+        for v in &mut self.u {
+            *v *= factor;
+        }
+        self.rho = rho_new;
+    }
+
+    /// Starts a control step: installs the coupling targets `b` and the
+    /// (possibly horizon-shifted, possibly zero) warm multipliers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target.len() != rows` or `multipliers.len() != rows`.
+    pub fn begin_step(&mut self, target: &[f64], multipliers: &[f64]) {
+        assert_eq!(target.len(), self.rows, "target length");
+        assert_eq!(multipliers.len(), self.rows, "multiplier length");
+        self.target.copy_from_slice(target);
+        self.u.copy_from_slice(multipliers);
+        self.wbar.fill(0.0);
+        self.wbar_prev.fill(0.0);
+    }
+
+    /// Installs the round-zero average `w̄` from the shards' initial
+    /// (warm-start) contributions, in fixed shard order, and seeds the
+    /// broadcast gap `g = w̄ − b/S` (`α = 1`: the shards' round-zero
+    /// `z_s ← w_s − g` is then the plain exchange projection of the warm
+    /// sums). No dual update and no residuals.
+    pub fn prime(&mut self, shard_w: &[&[f64]]) {
+        self.reduce_wbar(shard_w);
+        self.wbar_prev.copy_from_slice(&self.wbar);
+        let inv_s = 1.0 / self.shards as f64;
+        for r in 0..self.rows {
+            self.gap[r] = self.wbar[r] - self.target[r] * inv_s;
+        }
+    }
+
+    /// Writes shard `s`'s penalty target `v_s = w_s − w̄ + b/S − u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ from `rows`.
+    pub fn targets_into(&self, w_s: &[f64], v: &mut [f64]) {
+        assert_eq!(w_s.len(), self.rows, "shard contribution length");
+        assert_eq!(v.len(), self.rows, "target buffer length");
+        let inv_s = 1.0 / self.shards as f64;
+        for r in 0..self.rows {
+            v[r] = w_s[r] - self.wbar[r] + self.target[r] * inv_s - self.u[r];
+        }
+    }
+
+    /// The relaxed average gap `g = α·(w̄ − b/S)` of the last
+    /// [`Self::advance`] (or `w̄ − b/S` right after [`Self::prime`]) — the
+    /// per-round broadcast the shards fold into their local `z_s` update.
+    pub fn gap(&self) -> &[f64] {
+        &self.gap
+    }
+
+    /// One coordinator update after all shards re-solved: recomputes `w̄`
+    /// in fixed shard order, stores the relaxed gap `g = α·(w̄ − b/S)`,
+    /// advances the scaled dual `u ← u + g`, and reports the round's
+    /// residuals.
+    pub fn advance(&mut self, shard_w: &[&[f64]]) -> Residuals {
+        self.wbar_prev.copy_from_slice(&self.wbar);
+        self.reduce_wbar(shard_w);
+        let s = self.shards as f64;
+        let inv_s = 1.0 / s;
+        let mut primal = 0.0f64;
+        let mut dual = 0.0f64;
+        for r in 0..self.rows {
+            primal = primal.max((s * self.wbar[r] - self.target[r]).abs());
+            dual = dual.max((self.wbar[r] - self.wbar_prev[r]).abs());
+            self.gap[r] = self.alpha * (self.wbar[r] - self.target[r] * inv_s);
+            self.u[r] += self.gap[r];
+        }
+        Residuals { primal, dual }
+    }
+
+    /// Sequential fixed-order reduction `w̄ = (1/S)·Σ_s w_s`.
+    fn reduce_wbar(&mut self, shard_w: &[&[f64]]) {
+        assert_eq!(shard_w.len(), self.shards, "one contribution per shard");
+        self.wbar.fill(0.0);
+        for w in shard_w {
+            assert_eq!(w.len(), self.rows, "shard contribution length");
+            for r in 0..self.rows {
+                self.wbar[r] += w[r];
+            }
+        }
+        let inv_s = 1.0 / self.shards as f64;
+        for r in 0..self.rows {
+            self.wbar[r] *= inv_s;
+        }
+    }
+}
+
+/// Projected dual ascent on a per-stage resource cap `P_t ≤ cap_t`.
+///
+/// The multiplier `μ_t ≥ 0` prices the cap; shards fold `μ_t·∂P_t/∂x` into
+/// their gradients, and the coordinator ascends on the violation after each
+/// round. With the caps inactive (`P_t < cap_t` and `μ = 0`) the coupling
+/// vanishes and the sharded solution matches the uncapped monolithic one.
+#[derive(Debug, Clone)]
+pub struct PeakDual {
+    /// Per-stage multipliers `μ_t ≥ 0`.
+    mu: Vec<f64>,
+    /// Per-stage caps.
+    cap: Vec<f64>,
+    /// Ascent step `κ`.
+    step: f64,
+}
+
+impl PeakDual {
+    /// Creates zero multipliers for the given per-stage caps and ascent step.
+    pub fn new(cap: Vec<f64>, step: f64) -> Self {
+        assert!(step > 0.0, "ascent step must be positive");
+        PeakDual {
+            mu: vec![0.0; cap.len()],
+            cap,
+            step,
+        }
+    }
+
+    /// Current multipliers.
+    pub fn multipliers(&self) -> &[f64] {
+        &self.mu
+    }
+
+    /// Installs warm multipliers (clamped to `≥ 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch.
+    pub fn set_multipliers(&mut self, mu: &[f64]) {
+        assert_eq!(mu.len(), self.mu.len(), "multiplier length");
+        for (dst, &m) in self.mu.iter_mut().zip(mu) {
+            *dst = m.max(0.0);
+        }
+    }
+
+    /// Retunes the ascent step. The multipliers are unscaled prices and
+    /// survive unchanged; penalty adaptation keeps the step conditioned
+    /// like the consensus penalty it was derived from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive.
+    pub fn set_step(&mut self, step: f64) {
+        assert!(step > 0.0, "ascent step must be positive");
+        self.step = step;
+    }
+
+    /// One ascent step `μ_t ← max(0, μ_t + κ·(total_t − cap_t))`; returns
+    /// the worst cap violation `max_t (total_t − cap_t)` (negative when
+    /// every stage has headroom).
+    pub fn ascend(&mut self, totals: &[f64]) -> f64 {
+        assert_eq!(totals.len(), self.mu.len(), "stage totals length");
+        let mut worst = f64::NEG_INFINITY;
+        for t in 0..self.mu.len() {
+            let violation = totals[t] - self.cap[t];
+            worst = worst.max(violation);
+            self.mu[t] = (self.mu[t] + self.step * violation).max(0.0);
+        }
+        worst
+    }
+}
+
+/// Receding-horizon shift of per-stage multiplier state, in place: block
+/// `t` takes block `t+1`'s value and the final block is repeated — the same
+/// shift the controller applies to warm active sets, and for the same
+/// reason (stage `t` of the new step covers the window stage `t+1` covered
+/// last step).
+///
+/// `buf` is interpreted as `stages` consecutive blocks of `stage_len`
+/// values.
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a multiple of a nonzero `stage_len`.
+pub fn shift_horizon(buf: &mut [f64], stage_len: usize) {
+    assert!(stage_len > 0, "zero stage length");
+    assert!(
+        buf.len().is_multiple_of(stage_len),
+        "buffer is not whole stages"
+    );
+    let stages = buf.len() / stage_len;
+    for t in 0..stages.saturating_sub(1) {
+        buf.copy_within((t + 1) * stage_len..(t + 2) * stage_len, t * stage_len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_point_has_zero_residuals() {
+        // Two shards whose contributions already average to b/S: advancing
+        // must report zero primal residual and leave u unchanged.
+        let mut cons = ExchangeConsensus::new(2, 2, 1.0);
+        cons.begin_step(&[4.0, 6.0], &[0.5, -0.25]);
+        let w0 = [1.0, 2.0];
+        let w1 = [3.0, 4.0];
+        cons.prime(&[&w0, &w1]);
+        let res = cons.advance(&[&w0, &w1]);
+        assert!(res.primal.abs() < 1e-12);
+        assert_eq!(cons.multipliers(), &[0.5, -0.25]);
+    }
+
+    #[test]
+    fn dual_integrates_average_infeasibility() {
+        let mut cons = ExchangeConsensus::new(1, 2, 1.0);
+        cons.begin_step(&[10.0], &[0.0]);
+        let w0 = [2.0];
+        let w1 = [4.0];
+        cons.prime(&[&w0, &w1]);
+        let res = cons.advance(&[&w0, &w1]);
+        // Σw − b = −4, w̄ − b/S = −2.
+        assert!((res.primal - 4.0).abs() < 1e-12);
+        assert!((cons.multipliers()[0] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn targets_split_the_residual_evenly() {
+        let mut cons = ExchangeConsensus::new(1, 2, 1.0);
+        cons.begin_step(&[10.0], &[0.0]);
+        let w0 = [2.0];
+        let w1 = [4.0];
+        cons.prime(&[&w0, &w1]);
+        let mut v = [0.0];
+        cons.targets_into(&w0, &mut v);
+        // v_0 = w_0 − w̄ + b/S − u = 2 − 3 + 5 − 0 = 4: shard 0 is asked to
+        // grow its contribution by its share of the shortfall.
+        assert!((v[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn primed_gap_reproduces_the_plain_target() {
+        // Round zero's broadcast form (z = w − g, v = z − u) must equal
+        // targets_into's per-shard output.
+        let mut cons = ExchangeConsensus::new(1, 2, 1.0);
+        cons.begin_step(&[10.0], &[0.25]);
+        let w0 = [2.0];
+        let w1 = [4.0];
+        cons.prime(&[&w0, &w1]);
+        let z = w0[0] - cons.gap()[0];
+        let v_broadcast = z - cons.multipliers()[0];
+        let mut v = [0.0];
+        cons.targets_into(&w0, &mut v);
+        assert!((v_broadcast - v[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relaxation_scales_gap_and_dual_but_fixed_point_is_invariant() {
+        let mut cons = ExchangeConsensus::new(1, 2, 1.0);
+        cons.set_relaxation(1.6);
+        cons.begin_step(&[10.0], &[0.0]);
+        let w0 = [2.0];
+        let w1 = [4.0];
+        cons.prime(&[&w0, &w1]);
+        cons.advance(&[&w0, &w1]);
+        // w̄ − b/S = −2, so g = α·(−2) and u integrates g.
+        assert!((cons.gap()[0] + 3.2).abs() < 1e-12);
+        assert!((cons.multipliers()[0] + 3.2).abs() < 1e-12);
+        // At a feasible average the gap vanishes for any α.
+        let f0 = [4.0];
+        let f1 = [6.0];
+        let res = cons.advance(&[&f0, &f1]);
+        assert!(res.primal.abs() < 1e-12);
+        assert!(cons.gap()[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn rescale_preserves_unscaled_multipliers() {
+        // λ = ρ·u must be invariant: halving ρ doubles the scaled dual.
+        let mut cons = ExchangeConsensus::new(2, 2, 4.0);
+        cons.begin_step(&[1.0, 1.0], &[0.5, -0.25]);
+        cons.rescale_rho(2.0);
+        assert!((cons.rho() - 2.0).abs() < 1e-15);
+        assert_eq!(cons.multipliers(), &[1.0, -0.5]);
+        // And a shard's effective price ρ·u is unchanged.
+        assert!((2.0_f64 * 1.0 - 4.0 * 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn peak_dual_stays_nonnegative_and_prices_violations() {
+        let mut peak = PeakDual::new(vec![5.0, 5.0], 0.5);
+        let worst = peak.ascend(&[6.0, 3.0]);
+        assert!((worst - 1.0).abs() < 1e-12);
+        assert!((peak.multipliers()[0] - 0.5).abs() < 1e-12);
+        // Headroom drives μ back toward (and never below) zero.
+        assert_eq!(peak.multipliers()[1], 0.0);
+        peak.ascend(&[3.0, 3.0]);
+        assert_eq!(peak.multipliers()[1], 0.0);
+    }
+
+    #[test]
+    fn shift_horizon_repeats_the_final_stage() {
+        let mut buf = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        shift_horizon(&mut buf, 2);
+        assert_eq!(buf, vec![3.0, 4.0, 5.0, 6.0, 5.0, 6.0]);
+        let mut single = vec![7.0, 8.0];
+        shift_horizon(&mut single, 2);
+        assert_eq!(single, vec![7.0, 8.0]);
+    }
+}

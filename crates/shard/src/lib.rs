@@ -1,0 +1,47 @@
+//! Regional decomposition of the fleet MPC (the "distributed" in
+//! distributed Internet data centers).
+//!
+//! One monolithic QP over `N·C·β₂` variables cannot scale to a continental
+//! fleet no matter how fast its factorization gets — but the condensed
+//! Hessian is block-diagonal across IDCs, so the fleet splits into regional
+//! shards whose subproblems are exact and independent except for two thin
+//! coupling structures: cross-region workload conservation and the global
+//! peak-power budget. This crate owns the decomposition machinery that is
+//! independent of the control layer:
+//!
+//! * [`partition`] — the deterministic contiguous fleet partitioner,
+//! * [`consensus`] — exchange-ADMM coordinator state for conservation plus
+//!   projected dual ascent for the peak cap, with receding-horizon
+//!   multiplier shifting for warm starts,
+//! * [`runner`] — bitwise-deterministic scoped-thread execution of shard
+//!   subproblems.
+//!
+//! The control-layer glue (restricted Hessians, per-shard warm starts, the
+//! outer loop) lives in `idc_control::sharded`, which drives these pieces.
+
+#![warn(missing_docs)]
+
+pub mod consensus;
+pub mod partition;
+pub mod runner;
+
+pub use consensus::{shift_horizon, ExchangeConsensus, PeakDual, Residuals};
+pub use partition::Partition;
+pub use runner::run_shards;
+
+/// Outcome of one sharded solve's outer (coordinator) loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OuterStats {
+    /// Coordinator rounds executed.
+    pub rounds: u64,
+    /// Final relative primal conservation residual.
+    pub primal_residual: f64,
+    /// Final relative consensus-movement (dual) residual.
+    pub dual_residual: f64,
+    /// Whether the residual stopping rule was met within the round budget.
+    pub converged: bool,
+    /// Coordinator rounds whose update was dropped (fault injection).
+    pub stalled_rounds: u64,
+    /// Penalty retunes applied by residual balancing this solve.
+    pub rho_retunes: u64,
+}

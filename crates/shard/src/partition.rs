@@ -1,0 +1,130 @@
+//! Deterministic contiguous partitioning of the IDC fleet into shards.
+//!
+//! Shards are contiguous index ranges, computed by the same integer-division
+//! split the scoped-thread helpers in [`idc_linalg::par`] use
+//! (`lo = s·items/shards`). The split is a pure function of
+//! `(items, shards)`, so every process — and every thread count — derives
+//! the identical fleet → region assignment, which is what lets the sharded
+//! solver promise bitwise-reproducible plans.
+//!
+//! Contiguity is not just a convenience: the condensed MPC Hessian in
+//! cumulative-input space is block-diagonal across IDCs (tracking and
+//! smoothing couple portals *within* one IDC only — see
+//! `idc_control::riccati`), so a contiguous IDC range owns a contiguous
+//! per-stage variable slice and its restricted Hessian is *exact*, not an
+//! approximation. Only the workload-conservation and peak-budget rows couple
+//! shards, and those are handled by the consensus coordinator.
+
+/// A deterministic contiguous partition of `items` elements into shards.
+///
+/// The requested shard count is clamped to `[1, max(items, 1)]` so every
+/// shard is non-empty whenever `items > 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    items: usize,
+    shards: usize,
+}
+
+impl Partition {
+    /// Splits `items` elements into at most `shards` contiguous ranges.
+    pub fn contiguous(items: usize, shards: usize) -> Self {
+        Partition {
+            items,
+            shards: shards.clamp(1, items.max(1)),
+        }
+    }
+
+    /// Number of shards actually used (after clamping).
+    pub fn num_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of partitioned elements.
+    pub fn num_items(&self) -> usize {
+        self.items
+    }
+
+    /// Half-open element range `[lo, hi)` owned by shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= num_shards()`.
+    pub fn range(&self, s: usize) -> (usize, usize) {
+        assert!(s < self.shards, "shard {s} out of {}", self.shards);
+        (
+            s * self.items / self.shards,
+            (s + 1) * self.items / self.shards,
+        )
+    }
+
+    /// Number of elements owned by shard `s`.
+    pub fn len(&self, s: usize) -> usize {
+        let (lo, hi) = self.range(s);
+        hi - lo
+    }
+
+    /// Whether the partition covers zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// The shard owning element `item` (inverse of [`range`](Self::range)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item >= num_items()`.
+    pub fn shard_of(&self, item: usize) -> usize {
+        assert!(item < self.items, "item {item} out of {}", self.items);
+        // Inverse of the floor split: item ∈ [⌊s·I/S⌋, ⌊(s+1)·I/S⌋) exactly
+        // when s = ⌊((item+1)·S − 1)/I⌋.
+        ((item + 1) * self.shards - 1) / self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_and_are_disjoint() {
+        for items in [1usize, 2, 5, 7, 32, 64, 97] {
+            for shards in [1usize, 2, 3, 5, 8, 200] {
+                let p = Partition::contiguous(items, shards);
+                let mut next = 0;
+                for s in 0..p.num_shards() {
+                    let (lo, hi) = p.range(s);
+                    assert_eq!(lo, next, "items={items} shards={shards} s={s}");
+                    assert!(hi > lo, "empty shard: items={items} shards={shards} s={s}");
+                    next = hi;
+                }
+                assert_eq!(next, items);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_inverts_range() {
+        for items in [1usize, 3, 10, 31, 64] {
+            for shards in [1usize, 2, 4, 7, 64] {
+                let p = Partition::contiguous(items, shards);
+                for s in 0..p.num_shards() {
+                    let (lo, hi) = p.range(s);
+                    for item in lo..hi {
+                        assert_eq!(
+                            p.shard_of(item),
+                            s,
+                            "items={items} shards={shards} item={item}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        assert_eq!(Partition::contiguous(4, 0).num_shards(), 1);
+        assert_eq!(Partition::contiguous(4, 9).num_shards(), 4);
+        assert_eq!(Partition::contiguous(0, 3).num_shards(), 1);
+    }
+}

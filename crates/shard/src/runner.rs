@@ -1,0 +1,40 @@
+//! Deterministic scoped-thread execution of shard subproblems.
+//!
+//! A thin wrapper over [`idc_linalg::par::par_chunks_mut`] with a chunk size
+//! of one: each shard cell is processed exactly once, shard-to-thread
+//! assignment is a static contiguous partition, and each cell's output
+//! depends only on its own state — so the result is bitwise independent of
+//! `threads`, the property the sharded backend's reproducibility gates rely
+//! on.
+
+use idc_linalg::par::par_chunks_mut;
+
+/// Runs `f(shard_index, cell)` for every cell, on up to `threads` scoped
+/// threads, with a deterministic static shard-to-thread assignment.
+pub fn run_shards<T, F>(cells: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    par_chunks_mut(cells, 1, threads, |idx, chunk| f(idx, &mut chunk[0]));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_runs_once_with_its_own_index() {
+        for threads in [1, 2, 3, 8] {
+            let mut cells: Vec<(usize, u32)> = (0..11).map(|i| (i, 0)).collect();
+            run_shards(&mut cells, threads, |idx, cell| {
+                assert_eq!(idx, cell.0);
+                cell.1 += 1;
+            });
+            assert!(
+                cells.iter().all(|&(_, hits)| hits == 1),
+                "threads={threads}"
+            );
+        }
+    }
+}

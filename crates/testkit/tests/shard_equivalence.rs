@@ -1,0 +1,203 @@
+//! Sharded-vs-monolithic equivalence gate.
+//!
+//! The sharded backend decomposes the *same* strictly convex QP the
+//! monolithic backends solve, so with the peak budget off its fixed point
+//! is the unique monolithic minimizer: on randomized small fleets the plan
+//! cost (total predicted power over the horizon) must agree to a relative
+//! 1e-6, and the served split itself must agree to consensus tolerance.
+//! CI runs this as the `shard-equivalence` step.
+
+use idc_control::mpc::{MpcConfig, MpcController, MpcProblem, SolverBackend};
+use idc_testkit::equivalence::within_tolerance_f64;
+use rand::{Rng, SeedableRng, StdRng};
+
+/// A randomized small fleet plus a deterministic per-step workload path.
+struct RandomFleet {
+    n: usize,
+    c: usize,
+    b1_mw: Vec<f64>,
+    b0_mw: Vec<f64>,
+    servers_on: Vec<u64>,
+    capacities: Vec<f64>,
+    /// Base per-portal offered workload (req/s); steps jitter around it.
+    base_load: Vec<f64>,
+}
+
+impl RandomFleet {
+    fn draw(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 2 + (rng.random::<u64>() % 3) as usize; // 2..=4 IDCs
+        let c = 1 + (rng.random::<u64>() % 3) as usize; // 1..=3 portals
+        let b1_mw: Vec<f64> = (0..n).map(|_| rng.random_range(50e-6, 120e-6)).collect();
+        let b0_mw: Vec<f64> = (0..n).map(|_| rng.random_range(100e-6, 200e-6)).collect();
+        let servers_on: Vec<u64> = (0..n)
+            .map(|_| 5_000 + rng.random::<u64>() % 15_000)
+            .collect();
+        let capacities: Vec<f64> = (0..n)
+            .map(|_| rng.random_range(8_000.0, 20_000.0))
+            .collect();
+        // Keep total demand well inside total capacity so every step is
+        // feasible regardless of the jitter path.
+        let headroom: f64 = capacities.iter().sum::<f64>() * 0.6;
+        let mut base_load: Vec<f64> = (0..c).map(|_| rng.random_range(2_000.0, 8_000.0)).collect();
+        let total: f64 = base_load.iter().sum();
+        if total > headroom {
+            for l in &mut base_load {
+                *l *= headroom / total;
+            }
+        }
+        RandomFleet {
+            n,
+            c,
+            b1_mw,
+            b0_mw,
+            servers_on,
+            capacities,
+            base_load,
+        }
+    }
+
+    /// Offered workload at `step`: a deterministic ±10 % wobble per portal.
+    fn offered(&self, step: usize) -> Vec<f64> {
+        self.base_load
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| l * (1.0 + 0.1 * ((step * 7 + i * 3) % 5) as f64 / 5.0 - 0.05))
+            .collect()
+    }
+
+    /// The per-step problem: capacity-proportional reference power, the
+    /// previous plan's split as `prev_input`.
+    fn problem(&self, config: &MpcConfig, step: usize, prev_input: &[f64]) -> MpcProblem {
+        let cap_total: f64 = self.capacities.iter().sum();
+        let forecast: Vec<Vec<f64>> = (0..config.control_horizon)
+            .map(|s| self.offered(step + s))
+            .collect();
+        let power_reference_mw: Vec<Vec<f64>> = (0..config.prediction_horizon)
+            .map(|s| {
+                let total: f64 = self
+                    .offered(step + s.min(config.control_horizon - 1))
+                    .iter()
+                    .sum();
+                (0..self.n)
+                    .map(|j| {
+                        let share = total * self.capacities[j] / cap_total;
+                        self.b1_mw[j] * share + self.b0_mw[j] * self.servers_on[j] as f64
+                    })
+                    .collect()
+            })
+            .collect();
+        MpcProblem {
+            b1_mw: self.b1_mw.clone(),
+            b0_mw: self.b0_mw.clone(),
+            servers_on: self.servers_on.clone(),
+            capacities: self.capacities.clone(),
+            prev_input: prev_input.to_vec(),
+            workload_forecast: forecast,
+            power_reference_mw,
+            tracking_multiplier: MpcProblem::uniform_tracking(self.n),
+        }
+    }
+
+    /// Capacity-proportional initial split of the step-0 workload.
+    fn initial_input(&self) -> Vec<f64> {
+        let cap_total: f64 = self.capacities.iter().sum();
+        let offered = self.offered(0);
+        let mut u = vec![0.0; self.n * self.c];
+        for j in 0..self.n {
+            for (i, &l) in offered.iter().enumerate() {
+                u[j * self.c + i] = l * self.capacities[j] / cap_total;
+            }
+        }
+        u
+    }
+}
+
+/// Total predicted power over the horizon — the plan cost the gate
+/// compares (uniform prices make cost proportional to energy).
+fn plan_cost(plan: &idc_control::mpc::MpcPlan) -> f64 {
+    plan.predicted_power_mw()
+        .iter()
+        .map(|row| row.iter().sum::<f64>())
+        .sum()
+}
+
+#[test]
+fn sharded_plans_match_monolithic_cost_on_random_fleets() {
+    const STEPS: usize = 4;
+    for seed in 0..8u64 {
+        let fleet = RandomFleet::draw(seed);
+        let shards = 1 + (seed as usize % 4).min(fleet.n - 1); // 1..=n shards
+        let base = MpcConfig::default();
+        let mut mono = MpcController::new(MpcConfig {
+            backend: SolverBackend::BandedRiccati,
+            ..base
+        });
+        let mut shard = MpcController::new(MpcConfig {
+            backend: SolverBackend::sharded(shards),
+            ..base
+        });
+
+        let mut mono_u = fleet.initial_input();
+        let mut shard_u = mono_u.clone();
+        for step in 0..STEPS {
+            let tag = format!(
+                "seed {seed} ({}x{}, {shards} shards) step {step}",
+                fleet.n, fleet.c
+            );
+            let mono_plan = mono
+                .plan(&fleet.problem(&base, step, &mono_u))
+                .unwrap_or_else(|e| panic!("{tag}: monolithic solve failed: {e}"));
+            let shard_plan = shard
+                .plan(&fleet.problem(&base, step, &shard_u))
+                .unwrap_or_else(|e| panic!("{tag}: sharded solve failed: {e}"));
+
+            // The gate: plan cost agrees to a relative 1e-6.
+            let mc = plan_cost(&mono_plan);
+            let sc = plan_cost(&shard_plan);
+            let rel = (mc - sc).abs() / mc.abs().max(1.0);
+            assert!(rel <= 1e-6, "{tag}: cost {mc} vs {sc} (rel {rel:e})");
+
+            // And the served split itself is consensus-close, so the two
+            // closed loops cannot silently drift apart across steps.
+            let scale: f64 = fleet.offered(step).iter().sum();
+            if let Some(m) = within_tolerance_f64(
+                "next_input",
+                mono_plan.next_input(),
+                shard_plan.next_input(),
+                1e-5 * scale.max(1.0),
+            ) {
+                panic!("{tag}: {m}");
+            }
+            mono_u = mono_plan.next_input().to_vec();
+            shard_u = shard_plan.next_input().to_vec();
+        }
+    }
+}
+
+#[test]
+fn sharded_closed_loop_is_reproducible_across_runs() {
+    let fleet = RandomFleet::draw(42);
+    let base = MpcConfig::default();
+    let run = |_: ()| -> Vec<Vec<f64>> {
+        let mut ctl = MpcController::new(MpcConfig {
+            backend: SolverBackend::sharded(2),
+            ..base
+        });
+        let mut u = fleet.initial_input();
+        (0..3)
+            .map(|step| {
+                let plan = ctl.plan(&fleet.problem(&base, step, &u)).expect("solve");
+                u = plan.next_input().to_vec();
+                u.clone()
+            })
+            .collect()
+    };
+    let a = run(());
+    let b = run(());
+    for (step, (x, y)) in a.iter().zip(&b).enumerate() {
+        for (p, q) in x.iter().zip(y) {
+            assert_eq!(p.to_bits(), q.to_bits(), "step {step} diverged");
+        }
+    }
+}
