@@ -1,5 +1,5 @@
-//! `bench_diff` — compares two `BENCH_mpc.json` files and flags warm-step
-//! performance regressions.
+//! `bench_diff` — compares two `BENCH_mpc.json` (or `BENCH_runtime.json`)
+//! files and flags warm-step performance regressions.
 //!
 //! ```text
 //! cargo run -p idc-bench --bin bench_diff -- \
@@ -15,6 +15,11 @@
 //! `solve_stats.iterations_per_step` of the same `end_to_end` rows —
 //! iteration count is hardware-independent, so it catches active-set
 //! regressions that shared-runner timing noise would hide.
+//! `BENCH_runtime.json` documents (schema `bench.runtime.v1`, written by
+//! `runtime_soak`) contribute per-tenant `p99_step_ms` rows keyed by
+//! `tenant scenario backend` plus aggregate `p50_step_ms` / `p99_step_ms`
+//! / `step_ms` (the inverse of `steps_per_sec`, so lower is better like
+//! every other timing row); all are gated by `--threshold`.
 //! A row regresses when `current > baseline * (1 + threshold)`; both
 //! thresholds are relative (`--threshold`, default 0.10 = 10%, gates the
 //! timing rows; `--iters-threshold`, default 0.25, gates the iteration
@@ -123,6 +128,45 @@ fn rows(doc: &Value) -> Vec<Row> {
                 key,
                 warm_ms,
             });
+        }
+    }
+    // `BENCH_runtime.json` (schema bench.runtime.v1): per-tenant p99 step
+    // latency plus aggregate percentiles and throughput. Throughput is
+    // folded into `step_ms` (its inverse) so every compared metric is
+    // lower-is-better and the single gating rule applies unchanged.
+    if let Some(Value::Array(items)) = doc.get("runtime") {
+        for item in items {
+            let (Some(tenant), Some(p99)) = (text(item, "tenant"), number(item, "p99_step_ms"))
+            else {
+                continue;
+            };
+            let scenario = text(item, "scenario").unwrap_or("?");
+            let backend = text(item, "backend").unwrap_or("default");
+            out.push(Row {
+                table: "runtime",
+                key: format!("{tenant} {scenario} {backend}"),
+                warm_ms: p99,
+            });
+        }
+    }
+    if let Some(agg) = doc.get("aggregate") {
+        for metric in ["p50_step_ms", "p99_step_ms"] {
+            if let Some(ms) = number(agg, metric) {
+                out.push(Row {
+                    table: "runtime_agg",
+                    key: metric.to_string(),
+                    warm_ms: ms,
+                });
+            }
+        }
+        if let Some(sps) = number(agg, "steps_per_sec") {
+            if sps > 0.0 {
+                out.push(Row {
+                    table: "runtime_agg",
+                    key: "step_ms".to_string(),
+                    warm_ms: 1000.0 / sps,
+                });
+            }
         }
     }
     out

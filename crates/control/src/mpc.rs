@@ -709,6 +709,7 @@ impl MpcController {
             iterations,
             warm_started,
             0,
+            0,
             0.0,
             warm_rejection.into_iter().collect(),
         ))
@@ -814,6 +815,7 @@ impl MpcController {
             outcome.iterations,
             warm_started,
             outcome.outer.rounds,
+            outcome.outer.rho_retunes,
             outcome.outer.primal_residual,
             outcome.rejections,
         ))
@@ -1235,6 +1237,7 @@ fn finish_plan(
     qp_iterations: usize,
     warm_started: bool,
     outer_rounds: u64,
+    rho_retunes: u64,
     consensus_residual: f64,
     warm_rejections: Vec<WarmRejection>,
 ) -> MpcPlan {
@@ -1270,6 +1273,7 @@ fn finish_plan(
         qp_iterations,
         warm_started,
         outer_rounds,
+        rho_retunes,
         consensus_residual,
         warm_rejections,
     }
@@ -1284,6 +1288,7 @@ pub struct MpcPlan {
     qp_iterations: usize,
     warm_started: bool,
     outer_rounds: u64,
+    rho_retunes: u64,
     consensus_residual: f64,
     warm_rejections: Vec<WarmRejection>,
 }
@@ -1318,6 +1323,12 @@ impl MpcPlan {
     /// backends).
     pub fn outer_rounds(&self) -> u64 {
         self.outer_rounds
+    }
+
+    /// Penalty retunes applied by the sharded backend's residual
+    /// balancing during this solve (0 for the monolithic backends).
+    pub fn rho_retunes(&self) -> u64 {
+        self.rho_retunes
     }
 
     /// Final relative consensus primal residual of the sharded backend

@@ -123,6 +123,15 @@ struct ShardCell {
     q: Vec<f64>,
     /// Local inequality rhs (capacity rows then non-negativity rows).
     in_rhs: Vec<f64>,
+    /// Penalty-free values of the diagonal Hessian entries the consensus
+    /// penalty touches, one per `(stage, local IDC)` — all portals share
+    /// the value. Penalty retunes rewrite the touched entries *absolutely*
+    /// as `base + ρ` (off-diagonal entries are `ρ` alone), so the Hessian
+    /// bits are a pure function of the current ρ. Incremental `+= Δρ`
+    /// patches would accumulate rounding across retunes, and a
+    /// checkpoint-restored skeleton (rebuilt fresh at ρ₀) would then
+    /// diverge from the in-memory run in the last bits.
+    penalty_base: Vec<f64>,
     /// Local active-set seed for the next inner warm start.
     seed: Vec<usize>,
     /// Accumulated inner-solver stats for the current step.
@@ -223,12 +232,12 @@ impl RoundRunner<'_> {
                 beta2,
                 b1_mw,
             } => {
-                let delta = cmd.rho_abs - *cur_rho;
+                let changed = cmd.rho_abs != *cur_rho;
                 *cur_rho = cmd.rho_abs;
                 let mut out = Vec::with_capacity(cells.len());
                 for cell in cells.iter_mut() {
-                    if delta != 0.0 {
-                        cell.patch_rho(delta, *c, *beta2);
+                    if changed {
+                        cell.set_penalty_rho(cmd.rho_abs, *c, *beta2);
                     }
                     cell.solve_round(*c, *beta2, b1_mw, cmd);
                     out.push(cell.round_report());
@@ -688,6 +697,7 @@ impl ShardedSkeleton {
         // entry across the shard's IDCs within one stage, so the penalty is
         // stage-diagonal and the block-tridiagonal shape survives.
         let mut h = BlockTridiag::new(ncs, beta2);
+        let mut penalty_base = Vec::with_capacity(beta2 * ns);
         for tau in 0..beta2 {
             let track_count = if tau + 1 < beta2 {
                 1.0
@@ -711,6 +721,9 @@ impl ShardedSkeleton {
             }
             for d in 0..ncs {
                 block[d * ncs + d] += 2.0 * ridge * smooth_count;
+            }
+            for lj in 0..ns {
+                penalty_base.push(block[(lj * c) * ncs + (lj * c)]);
             }
             for i in 0..c {
                 for lj1 in 0..ns {
@@ -769,6 +782,7 @@ impl ShardedSkeleton {
             move_inf: 0.0,
             q: vec![0.0; beta2],
             in_rhs: vec![0.0; beta2 * ns + beta2 * ncs],
+            penalty_base,
             seed: Vec::new(),
             stats: SolveStats::default(),
             iterations: 0,
@@ -798,11 +812,10 @@ impl ShardedSkeleton {
     /// from the fresh Schur complement on the next inner solve, so nothing
     /// stale survives a retune.
     fn set_rho(&mut self, new_rho: f64, threads: usize) -> Result<()> {
-        let delta = new_rho - self.rho_abs;
-        if delta != 0.0 {
+        if new_rho != self.rho_abs {
             let (c, beta2) = (self.c, self.beta2);
             run_shards(&mut self.cells, threads, |_, cell| {
-                cell.patch_rho(delta, c, beta2);
+                cell.set_penalty_rho(new_rho, c, beta2);
             });
             self.take_first_error()?;
             self.rho_abs = new_rho;
@@ -1019,12 +1032,12 @@ impl ShardedSkeleton {
                         scope.spawn(move || {
                             let mut cur_rho = rho0_abs;
                             while let Ok(cmd) = cmd_rx.recv() {
-                                let delta = cmd.rho_abs - cur_rho;
+                                let changed = cmd.rho_abs != cur_rho;
                                 cur_rho = cmd.rho_abs;
                                 let mut out = Vec::with_capacity(mine.len());
                                 for cell in mine.iter_mut() {
-                                    if delta != 0.0 {
-                                        cell.patch_rho(delta, c, beta2);
+                                    if changed {
+                                        cell.set_penalty_rho(cmd.rho_abs, c, beta2);
                                     }
                                     cell.solve_round(c, beta2, b1_mw, &cmd);
                                     out.push(cell.round_report());
@@ -1164,16 +1177,26 @@ impl ShardCell {
     /// (`ρ·aaᵀ` is stage-diagonal: every portal-matched IDC pair carries
     /// the penalty) and refactors. A factorization error parks in
     /// `self.error`.
-    fn patch_rho(&mut self, delta: f64, c: usize, beta2: usize) {
+    /// Rewrites the consensus-penalty entries of the Hessian for a new
+    /// absolute ρ. The writes are absolute (`base + ρ` on the diagonal, ρ
+    /// alone off it, single rounding each — exactly how [`build_cell`]
+    /// assembles them) so the Hessian bits depend only on the current ρ,
+    /// never on the retune history; see [`ShardCell::penalty_base`].
+    fn set_penalty_rho(&mut self, rho_abs: f64, c: usize, beta2: usize) {
         let ns = self.num_local_idcs();
         let ncs = ns * c;
+        let base = &self.penalty_base;
         self.qp.update_hessian(|h| {
             for tau in 0..beta2 {
                 let block = h.diag_mut(tau);
                 for i in 0..c {
                     for lj1 in 0..ns {
                         for lj2 in 0..ns {
-                            block[(lj1 * c + i) * ncs + (lj2 * c + i)] += delta;
+                            block[(lj1 * c + i) * ncs + (lj2 * c + i)] = if lj1 == lj2 {
+                                base[tau * ns + lj1] + rho_abs
+                            } else {
+                                rho_abs
+                            };
                         }
                     }
                 }

@@ -10,9 +10,22 @@ use std::time::{Duration, Instant};
 
 /// Paces an online control loop: `wait_for_step(k)` blocks until step `k`
 /// is due to run.
+///
+/// Schedulers that multiplex many loops over a worker pool cannot afford
+/// to block one thread per loop, so the trait also exposes the
+/// *non-blocking* view of the same schedule: [`due_in`](Clock::due_in)
+/// reports how long until step `k` is due, letting a ready queue order
+/// loops by due time and sleep only until the earliest one.
 pub trait Clock {
     /// Blocks until step `k` is due. Simulated clocks return immediately.
     fn wait_for_step(&mut self, k: u64);
+
+    /// Remaining real time until step `k` is due; [`Duration::ZERO`] when
+    /// it is due now (the default — simulated clocks are always due).
+    /// Never blocks.
+    fn due_in(&mut self, _k: u64) -> Duration {
+        Duration::ZERO
+    }
 }
 
 /// The simulated clock: every step is due immediately. Runs under this
@@ -58,15 +71,25 @@ impl WallClock {
     }
 }
 
+impl WallClock {
+    /// The instant step `k` is due, establishing the epoch on first use.
+    fn due_at(&mut self, k: u64) -> Instant {
+        let start = *self.start.get_or_insert_with(Instant::now);
+        start + self.step_duration * u32::try_from(k.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+    }
+}
+
 impl Clock for WallClock {
     fn wait_for_step(&mut self, k: u64) {
-        let start = *self.start.get_or_insert_with(Instant::now);
-        let due = start
-            + self.step_duration * u32::try_from(k.min(u64::from(u32::MAX))).unwrap_or(u32::MAX);
+        let due = self.due_at(k);
         let now = Instant::now();
         if due > now {
             std::thread::sleep(due - now);
         }
+    }
+
+    fn due_in(&mut self, k: u64) -> Duration {
+        self.due_at(k).saturating_duration_since(Instant::now())
     }
 }
 
@@ -92,6 +115,29 @@ mod tests {
         for k in 0..1_000 {
             c.wait_for_step(k);
         }
+        assert!(t0.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn due_in_is_zero_for_sim_and_max_speed_clocks() {
+        assert_eq!(SimClock.due_in(1_000_000), Duration::ZERO);
+        let mut c = WallClock::new(1.0, 0.0);
+        assert_eq!(c.due_in(1_000_000), Duration::ZERO);
+    }
+
+    #[test]
+    fn due_in_tracks_the_schedule_without_blocking() {
+        // 36 s period at 3600× → 10 ms per step.
+        let mut c = WallClock::new(0.01, 1.0);
+        let t0 = Instant::now();
+        // Establishes the epoch; step 0 is due immediately.
+        assert_eq!(c.due_in(0), Duration::ZERO);
+        let far = c.due_in(100);
+        // Step 100 is due ~3.6 s out; the call itself must not sleep.
+        assert!(far > Duration::from_secs(3), "{far:?}");
+        assert!(t0.elapsed() < Duration::from_millis(100));
+        // Consistent with wait_for_step on the shared epoch.
+        c.wait_for_step(0);
         assert!(t0.elapsed() < Duration::from_millis(100));
     }
 

@@ -63,6 +63,7 @@ pub mod simulation;
 pub mod snapshot;
 
 pub use error::Error;
+pub use idc_control::mpc::SolverBackend;
 pub use idc_datacenter::idc::LatencyStatus;
 pub use idc_datacenter::queueing::fractional_servers_for_latency;
 

@@ -1,9 +1,14 @@
 //! Canned experiment scenarios behind the paper's figures.
 
 use idc_datacenter::fleet::IdcFleet;
+use idc_datacenter::idc::IdcConfig;
+use idc_datacenter::portal::FrontEndPortal;
+use idc_datacenter::server::ServerSpec;
 use idc_market::fault::FaultyTracePricing;
+use idc_market::region::Region;
 use idc_market::rtp::{DemandResponsivePricing, PricingModel, TracePricing};
 use idc_market::tariff::PowerBudget;
+use idc_market::trace::PriceTrace;
 use idc_timeseries::traces::DiurnalTrace;
 
 use crate::config;
@@ -369,6 +374,61 @@ pub fn diurnal_day_scenario(seed: u64) -> Scenario {
     )
     .expect("paper scenario is consistent")
     .with_workload_profile(WorkloadProfile::Diurnal(shape))
+    .with_workload_noise(0.03, seed)
+}
+
+/// Extension — a parametric fleet of `n` IDCs × `c` portals over a noisy
+/// full day (5-minute sampling, 3 % workload noise), for hosting many
+/// *heterogeneous* control loops: per-IDC efficiency, base price and
+/// post-7H price offsets are deterministic functions of the IDC index, so
+/// `scaled_fleet_scenario(4, 8, seed)` is the same experiment everywhere
+/// while differing from `scaled_fleet_scenario(6, 8, seed)` in shape, not
+/// just in seed. Mirrors the synthetic fleet of the `bench_summary`
+/// scaling study. `n` and `c` are clamped to at least 1.
+pub fn scaled_fleet_scenario(n: usize, c: usize, seed: u64) -> Scenario {
+    let n = n.max(1);
+    let c = c.max(1);
+    let idcs: Vec<IdcConfig> = (0..n)
+        .map(|j| {
+            IdcConfig::new(
+                format!("idc-{j}"),
+                30_000,
+                ServerSpec::new(150.0, 285.0, 1.25 + 0.25 * (j % 4) as f64).expect("valid spec"),
+                1.0,
+            )
+            .expect("valid IDC")
+        })
+        .collect();
+    // 60 % aggregate utilization at the daily mean leaves headroom for the
+    // diurnal-free noise excursions.
+    let per_portal = idcs.iter().map(|i| i.max_workload()).sum::<f64>() * 0.6 / c as f64;
+    let portals: Vec<FrontEndPortal> = (0..c)
+        .map(|i| FrontEndPortal::new(format!("portal-{i}"), per_portal).expect("valid portal"))
+        .collect();
+    let traces: Vec<PriceTrace> = (0..n)
+        .map(|j| {
+            let base = 25.0 + (j as f64 * 13.7) % 30.0;
+            let hourly: Vec<f64> = (0..24)
+                .map(|h| {
+                    if h >= 7 {
+                        base + ((j as f64 * 31.1) % 45.0) - 20.0
+                    } else {
+                        base
+                    }
+                })
+                .collect();
+            PriceTrace::new(Region::new(j, format!("region-{j}")), hourly).expect("24 values")
+        })
+        .collect();
+    Scenario::new(
+        format!("scaled-fleet-{n}x{c}"),
+        IdcFleet::new(portals, idcs).expect("non-empty fleet"),
+        PricingSpec::Trace(TracePricing::new(traces)),
+        0.0,
+        24.0,
+        5.0 / 60.0,
+    )
+    .expect("scaled fleet scenario is consistent")
     .with_workload_noise(0.03, seed)
 }
 

@@ -22,6 +22,34 @@ use crate::trace::escape_json;
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static SINK: Mutex<Option<File>> = Mutex::new(None);
 
+thread_local! {
+    static TENANT: std::cell::RefCell<Option<String>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Tags every [`record_anomaly`] call made *from this thread* with
+/// `"tenant":"<id>"` until the returned guard drops. A multi-tenant host
+/// steps many control loops on shared worker threads, so the tenant in
+/// scope is a property of the thread's current slice of work, not of the
+/// process; thread-local scoping keeps records attributed without
+/// threading an id through every solver-level call site.
+pub fn tenant_scope(id: &str) -> TenantScope {
+    let prev = TENANT.with(|t| t.borrow_mut().replace(id.to_string()));
+    TenantScope { prev }
+}
+
+/// Restores the previous (usually empty) tenant tag on drop. Returned by
+/// [`tenant_scope`]; scopes nest.
+#[must_use = "the tenant tag is cleared when this guard drops"]
+pub struct TenantScope {
+    prev: Option<String>,
+}
+
+impl Drop for TenantScope {
+    fn drop(&mut self) {
+        TENANT.with(|t| *t.borrow_mut() = self.prev.take());
+    }
+}
+
 /// Opens (creating or truncating) `path` as the process-global anomaly log
 /// and enables [`record_anomaly`].
 ///
@@ -54,6 +82,13 @@ pub fn record_anomaly(kind: &str, step: u64, fields: &[(&str, f64)]) {
     line.push_str("{\"kind\":\"");
     line.push_str(&escape_json(kind));
     line.push_str(&format!("\",\"step\":{step},\"ts_ns\":{}", now_ns()));
+    TENANT.with(|t| {
+        if let Some(id) = t.borrow().as_deref() {
+            line.push_str(",\"tenant\":\"");
+            line.push_str(&escape_json(id));
+            line.push('"');
+        }
+    });
     for (key, value) in fields {
         line.push_str(",\"");
         line.push_str(&escape_json(key));
@@ -80,5 +115,32 @@ mod tests {
     fn disabled_sink_is_a_noop() {
         // Must not panic or create files as a side effect.
         record_anomaly("qp_infeasible", 3, &[("iterations", 12.0)]);
+    }
+
+    fn current_tenant() -> Option<String> {
+        TENANT.with(|t| t.borrow().clone())
+    }
+
+    #[test]
+    fn tenant_scopes_nest_and_unwind() {
+        assert_eq!(current_tenant(), None);
+        {
+            let _outer = tenant_scope("t-007");
+            assert_eq!(current_tenant().as_deref(), Some("t-007"));
+            {
+                let _inner = tenant_scope("t-042");
+                assert_eq!(current_tenant().as_deref(), Some("t-042"));
+            }
+            assert_eq!(current_tenant().as_deref(), Some("t-007"));
+        }
+        assert_eq!(current_tenant(), None);
+    }
+
+    #[test]
+    fn tenant_tag_is_per_thread() {
+        let _scope = tenant_scope("t-main");
+        std::thread::spawn(|| assert_eq!(current_tenant(), None))
+            .join()
+            .expect("spawned thread");
     }
 }

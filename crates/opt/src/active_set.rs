@@ -24,7 +24,8 @@ pub(crate) const WARM_TOL: f64 = 1e-6;
 
 /// Consecutive degenerate (zero-length, blocked) steps tolerated before the
 /// drop rule switches from Dantzig's most-negative multiplier to Bland's
-/// anti-cycling smallest index.
+/// anti-cycling smallest index. The switch latches for the remainder of
+/// the solve (see `bland_latched` in [`solve_from_feasible`]).
 const DEGENERATE_PATIENCE: usize = 12;
 
 /// Backend interface for the shared active-set loop.
@@ -128,11 +129,29 @@ pub(crate) fn solve_from_feasible<O: ActiveSetOps>(
     ops.begin(working);
     let mut iterations = 0;
     let mut degenerate_streak = 0usize;
+    // Once the loop has been driven to Bland's rule, stay there for the
+    // rest of the solve. A resettable switch is unsound: a cycle whose
+    // period includes one tiny-but-nonzero step clears the streak, the
+    // loop re-enters batched Dantzig, and the same working sets repeat
+    // forever — observed on a degenerate scaled-fleet instance where a
+    // 10× iteration budget still never converged. Bland's smallest-index
+    // rule is finitely terminating, so latching it guarantees the loop
+    // ends; the Dantzig speed only matters on the non-degenerate bulk of
+    // solves, which never trip the latch.
+    let mut bland_latched = false;
     let budget = ops.iteration_budget();
     // Scratch for batched pivoting: working-set positions with negative
     // multipliers, and (index, a·p, slack) ratio-test candidates.
     let mut drop_buf: Vec<usize> = Vec::new();
     let mut add_buf: Vec<(usize, f64, f64)> = Vec::new();
+    // Constraints popped by degenerate-KKT recoveries since the iterate
+    // last made progress, excluded from the ratio test while their a·p is
+    // at noise level (see the recovery arm below). The set accumulates —
+    // a single-slot ban merely rotates a livelock through two or more
+    // mutually dependent rows — and clears whenever the iterate moves
+    // materially or a multiplier drop changes the working set.
+    let mut banned = vec![false; ops.num_in()];
+    let mut any_banned = false;
 
     loop {
         if iterations >= budget {
@@ -142,9 +161,17 @@ pub(crate) fn solve_from_feasible<O: ActiveSetOps>(
         match ops.kkt_step(&x, working, sol) {
             Ok(()) => {}
             Err(Error::Numerical(_)) if !working.is_empty() => {
-                // Degenerate working set — drop the most recent addition.
+                // Degenerate working set — drop the most recent addition
+                // and ban it from the next ratio test. Without the ban the
+                // loop can livelock: a constraint row that is numerically
+                // dependent on the working set (a·p at noise level) still
+                // passes the `ap > TOL` blocking test with a tiny negative
+                // slack, re-enters with a zero-length step, re-breaks the
+                // KKT factorization and is popped again, forever.
                 let dropped = working.pop().expect("non-empty");
                 in_working[dropped] = false;
+                banned[dropped] = true;
+                any_banned = true;
                 stats.degenerate_pops += 1;
                 ops.on_pop(working);
                 continue;
@@ -161,7 +188,7 @@ pub(crate) fn solve_from_feasible<O: ActiveSetOps>(
         // Batched (blocked Dantzig) pivoting is the default; Bland's
         // anti-cycling rule and the differential-test reference mode are
         // strictly single-pivot.
-        let bland = degenerate_streak >= DEGENERATE_PATIENCE;
+        let bland = bland_latched || degenerate_streak >= DEGENERATE_PATIENCE;
         let batch_pivots = !bland && !ops.single_pivot();
         if p_norm < x_scale {
             // Multipliers of working inequality constraints live after
@@ -175,6 +202,10 @@ pub(crate) fn solve_from_feasible<O: ActiveSetOps>(
             // essentially one index at a time, which on a large
             // warm-started transient costs thousands of KKT solves.
             let ineq_mult = &mult[ops.num_eq()..];
+            if any_banned {
+                banned.fill(false);
+                any_banned = false;
+            }
             if batch_pivots {
                 drop_buf.clear();
                 drop_buf.extend(
@@ -239,6 +270,13 @@ pub(crate) fn solve_from_feasible<O: ActiveSetOps>(
                 }
                 let ap = ops.in_dot(i, p);
                 if ap > TOL {
+                    // A popped row whose a·p is noise-level is the
+                    // degenerate-KKT livelock: skipping it is safe because
+                    // the step (alpha ≤ 1) can violate it by at most a·p,
+                    // which is WARM_TOL-relative to the step scale.
+                    if banned[i] && ap <= WARM_TOL * (1.0 + p_norm) {
+                        continue;
+                    }
                     let slack = ops.in_rhs(i) - ops.in_dot(i, &x);
                     let ai = (slack / ap).max(0.0);
                     if ai < alpha {
@@ -255,11 +293,18 @@ pub(crate) fn solve_from_feasible<O: ActiveSetOps>(
             // place Dantzig's rule can cycle.
             if alpha * p_norm <= x_scale && blocking.is_some() {
                 degenerate_streak += 1;
-                if degenerate_streak == DEGENERATE_PATIENCE {
+                if degenerate_streak == DEGENERATE_PATIENCE && !bland_latched {
+                    bland_latched = true;
                     stats.bland_switches += 1;
                 }
             } else {
                 degenerate_streak = 0;
+            }
+            if any_banned && alpha * p_norm > x_scale {
+                // Real movement: the slacks change, so stale dependency
+                // bans no longer describe the geometry at the new iterate.
+                banned.fill(false);
+                any_banned = false;
             }
             vec_ops::axpy(alpha, p, &mut x);
             if let Some(i) = blocking {

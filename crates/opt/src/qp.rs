@@ -949,6 +949,33 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_dependent_row_cannot_livelock_the_loop() {
+        // Regression: a row numerically dependent on the working set
+        // (here row 1 ≈ row 0 + noise) that is tight with a tiny negative
+        // slack blocks with alpha = 0, breaks the working-set KKT
+        // factorization when admitted, and is popped — then immediately
+        // re-selected by the ratio test, forever. The accumulated ban set
+        // must break the cycle and let the solve finish at the true
+        // optimum governed by the independent constraints.
+        let qp = QuadraticProgram::new(Matrix::diag(&[2.0, 2.0]), vec![0.0, -2000.0])
+            .unwrap()
+            .inequality(vec![1.0, 0.0], 0.0)
+            .inequality(vec![1.0, 1e-10], -1e-12)
+            .inequality(vec![0.0, 1.0], 500.0);
+        let sol = qp
+            .warm_start(&[0.0, 0.0], &[0], &mut QpWorkspace::new())
+            .unwrap();
+        assert_near(sol.x()[1], 500.0);
+        assert!(sol.x()[0].abs() < 1e-6, "{}", sol.x()[0]);
+        // The livelock geometry must actually have been exercised.
+        assert!(
+            sol.stats().degenerate_pops >= 1,
+            "expected a degenerate-KKT pop, stats: {:?}",
+            sol.stats()
+        );
+    }
+
+    #[test]
     fn warm_start_from_feasible_point() {
         let qp = QuadraticProgram::new(Matrix::diag(&[2.0, 2.0]), vec![-2.0, -4.0])
             .unwrap()

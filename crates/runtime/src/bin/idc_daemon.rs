@@ -18,12 +18,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use idc_core::clock::{Clock, WallClock};
-use idc_runtime::feed::FeedFaults;
+use idc_runtime::feed::{FeedFaults, OverloadFaults};
 use idc_runtime::http::MetricsServer;
 use idc_runtime::metrics::MetricsRegistry;
-use idc_runtime::registry::SCENARIO_KEYS;
+use idc_runtime::registry::{scenario_by_key, SCENARIO_KEYS};
 use idc_runtime::snapshot::RuntimeSnapshot;
 use idc_runtime::stepper::{Stepper, StepperConfig};
+use idc_runtime::tenant::{derive_tenants, ManagerConfig, TenantManager};
 
 /// Set by the signal handler; checked between steps.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
@@ -61,8 +62,14 @@ struct Args {
     workload_delay: u64,
     price_drop: f64,
     price_delay: u64,
+    backend: Option<String>,
+    ingest_bound: usize,
     trace_capacity: Option<usize>,
     anomaly_log: Option<PathBuf>,
+    tenants: usize,
+    workers: usize,
+    checkpoint_root: Option<PathBuf>,
+    keep_last: usize,
 }
 
 impl Default for Args {
@@ -82,8 +89,14 @@ impl Default for Args {
             workload_delay: 0,
             price_drop: 0.0,
             price_delay: 0,
+            backend: None,
+            ingest_bound: 0,
             trace_capacity: None,
             anomaly_log: None,
+            tenants: 0,
+            workers: 0,
+            checkpoint_root: None,
+            keep_last: 4,
         }
     }
 }
@@ -108,6 +121,18 @@ OPTIONS:
   --workload-delay N     workload-feed max delivery delay in ticks (default: 0)
   --price-drop P         price-feed drop probability in [0,1] (default: 0)
   --price-delay N        price-feed max delivery delay in ticks (default: 0)
+  --backend LABEL        solver backend: dense | banded | sharded[N]
+                         (default: dense)
+  --ingest-bound N       per-tick, per-feed admission bound; overflow is
+                         shed and counted (default: 0 = unbounded)
+  --tenants N            multi-tenant mode: host N heterogeneous control
+                         loops on a shared worker pool (default: 0 = the
+                         classic single-fleet loop)
+  --workers N            worker threads in multi-tenant mode
+                         (default: 0 = one per available CPU, capped at 8)
+  --checkpoint-root DIR  per-tenant checkpoint lineages under DIR/<tenant>/
+                         (multi-tenant mode; implies periodic checkpoints)
+  --keep-last K          checkpoints retained per tenant lineage (default: 4)
   --trace-capacity N     enable the span flight recorder, keeping the last
                          N spans (served at /debug/trace as a Chrome trace)
   --anomaly-log PATH     append JSONL anomaly records (solver failures,
@@ -179,6 +204,30 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--price-delay: {e}"))?;
             }
+            "--backend" => args.backend = Some(value(&mut it, "--backend")?),
+            "--ingest-bound" => {
+                args.ingest_bound = value(&mut it, "--ingest-bound")?
+                    .parse()
+                    .map_err(|e| format!("--ingest-bound: {e}"))?;
+            }
+            "--tenants" => {
+                args.tenants = value(&mut it, "--tenants")?
+                    .parse()
+                    .map_err(|e| format!("--tenants: {e}"))?;
+            }
+            "--workers" => {
+                args.workers = value(&mut it, "--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--checkpoint-root" => {
+                args.checkpoint_root = Some(PathBuf::from(value(&mut it, "--checkpoint-root")?));
+            }
+            "--keep-last" => {
+                args.keep_last = value(&mut it, "--keep-last")?
+                    .parse()
+                    .map_err(|e| format!("--keep-last: {e}"))?;
+            }
             "--trace-capacity" => {
                 args.trace_capacity = Some(
                     value(&mut it, "--trace-capacity")?
@@ -196,15 +245,21 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag '{other}' (see --help)")),
         }
     }
-    if !SCENARIO_KEYS.contains(&args.scenario.as_str()) {
+    if scenario_by_key(&args.scenario, 0, None).is_none() {
         return Err(format!(
-            "unknown scenario '{}'; known: {}",
+            "unknown scenario '{}'; known: {} or scaled_<n>x<c>",
             args.scenario,
             SCENARIO_KEYS.join(", ")
         ));
     }
-    if args.resume && args.snapshot.is_none() {
-        return Err("--resume needs --snapshot PATH".to_string());
+    if args.resume && args.snapshot.is_none() && args.checkpoint_root.is_none() {
+        return Err(
+            "--resume needs --snapshot PATH (or --checkpoint-root in multi-tenant mode)"
+                .to_string(),
+        );
+    }
+    if args.tenants > 0 && args.resume && args.checkpoint_root.is_none() {
+        return Err("--resume with --tenants needs --checkpoint-root DIR".to_string());
     }
     Ok(args)
 }
@@ -238,6 +293,9 @@ fn build_stepper(args: &Args) -> Result<Stepper, String> {
                 args.price_drop,
                 args.price_delay,
             ),
+            backend: args.backend.clone(),
+            ingest_bound: args.ingest_bound,
+            overload: OverloadFaults::none(),
         })
         .map_err(|e| e.to_string())
     }
@@ -307,6 +365,60 @@ fn summary_json(stepper: &Stepper, interrupted: bool) -> String {
     serde_json::to_string(&root).expect("summary is finite")
 }
 
+/// The multi-tenant daemon path: host `--tenants N` derived control loops
+/// on the shared worker pool, serve per-tenant metrics plus `/tenants`
+/// status, checkpoint into per-tenant lineages and resume from them.
+fn run_multi(args: &Args) -> Result<(), String> {
+    let mut manager = TenantManager::new(ManagerConfig {
+        workers: args.workers,
+        checkpoint_root: args.checkpoint_root.clone(),
+        keep_last: args.keep_last,
+        resume: args.resume,
+        ..ManagerConfig::default()
+    });
+    let metrics = Arc::new(MetricsRegistry::new());
+    manager.attach_metrics(Arc::clone(&metrics));
+    let mut resumed = 0usize;
+    for mut spec in derive_tenants(args.tenants, args.seed, args.steps) {
+        spec.speedup = args.speedup;
+        if manager.add_tenant(spec).map_err(|e| e.to_string())? {
+            resumed += 1;
+        }
+    }
+    eprintln!(
+        "idc-daemon: hosting {} tenants ({resumed} resumed from checkpoints)",
+        manager.num_tenants()
+    );
+
+    let server = match &args.listen {
+        Some(addr) => {
+            let board = manager.status_board();
+            let s = MetricsServer::start_with_status(
+                addr,
+                Arc::clone(&metrics),
+                Arc::new(move || board.render_json()),
+            )
+            .map_err(|e| e.to_string())?;
+            eprintln!(
+                "idc-daemon: metrics on http://{}/metrics (/tenants for status)",
+                s.addr()
+            );
+            Some(s)
+        }
+        None => None,
+    };
+
+    let report = manager.run_until(&SHUTDOWN).map_err(|e| e.to_string())?;
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    println!(
+        "{}",
+        serde_json::to_string(&report).expect("report serializes")
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     install_signal_handlers();
@@ -317,6 +429,9 @@ fn run() -> Result<(), String> {
     if let Some(path) = &args.anomaly_log {
         idc_obs::set_anomaly_log(path)
             .map_err(|e| format!("cannot open anomaly log {}: {e}", path.display()))?;
+    }
+    if args.tenants > 0 {
+        return run_multi(&args);
     }
 
     let mut stepper = build_stepper(&args)?;

@@ -21,7 +21,7 @@ use idc_core::scenario::{PricingSpec, Scenario, WorkloadProfile};
 use idc_timeseries::standard_normal;
 use rand::{rngs::StdRng, RngCore, SeedableRng};
 
-use crate::snapshot::{FeedCursorSnap, FeedFaultsSnap, PendingSnap};
+use crate::snapshot::{FeedCursorSnap, FeedFaultsSnap, OverloadSnap, PendingSnap};
 
 /// An [`RngCore`] wrapper that counts `next_u64` draws, so a checkpoint can
 /// record "how far into the stream we are" and a restore can fast-forward a
@@ -66,6 +66,11 @@ impl CountingRng<StdRng> {
 
 const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
 
+/// Fault-schedule seeds are clamped to 53 bits: they live inside JSON
+/// checkpoints whose number space is f64, and a wider seed would not
+/// survive the serialize→parse round trip bit-for-bit.
+const SEED_MASK: u64 = (1 << 53) - 1;
+
 /// SplitMix64 finalizer: a well-mixed pure function of the input word.
 fn mix(x: u64) -> u64 {
     let mut z = x.wrapping_add(SPLITMIX_GAMMA);
@@ -104,7 +109,7 @@ impl FeedFaults {
     /// `max_delay_ticks`.
     pub fn new(seed: u64, drop_prob: f64, max_delay_ticks: u64) -> Self {
         FeedFaults {
-            seed,
+            seed: seed & SEED_MASK,
             drop_per_mille: (drop_prob.clamp(0.0, 1.0) * 1000.0).round() as u16,
             max_delay_ticks,
         }
@@ -147,6 +152,107 @@ impl FeedFaults {
             seed: state.seed,
             drop_per_mille: state.drop_per_mille as u16,
             max_delay_ticks: state.max_delay_ticks,
+        })
+    }
+}
+
+/// A deterministic burst-arrival schedule modeling a tenant that floods
+/// its host's feed ingest: on roughly `burst_per_mille / 1000` of ticks,
+/// `burst_factor` duplicates of the tick's newest-stamped observation are
+/// appended *after* the genuine arrivals. Like [`FeedFaults`], each tick's
+/// outcome is a pure function of `(seed, tick)`, so the burst pattern is
+/// identical across checkpoint/restore, across machines, and across solo
+/// vs multi-tenant hosting of the same loop.
+///
+/// Because duplicates trail the genuine arrivals and carry an
+/// already-seen stamp, a prefix-keeping [`idc_core::feed::BoundedIngest`]
+/// sheds only duplicates whenever the genuine batch fits the bound — the
+/// held values (and therefore the control trajectory) are unchanged while
+/// the shed counters record the overload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadFaults {
+    seed: u64,
+    burst_per_mille: u16,
+    burst_factor: u16,
+}
+
+impl OverloadFaults {
+    /// The quiet schedule: no tick ever bursts.
+    pub fn none() -> Self {
+        OverloadFaults {
+            seed: 0,
+            burst_per_mille: 0,
+            burst_factor: 0,
+        }
+    }
+
+    /// A schedule bursting each tick with probability
+    /// `burst_per_mille / 1000` (clamped to 1000), appending
+    /// `burst_factor` duplicates when it does.
+    pub fn new(seed: u64, burst_per_mille: u16, burst_factor: u16) -> Self {
+        OverloadFaults {
+            seed: seed & SEED_MASK,
+            burst_per_mille: burst_per_mille.min(1000),
+            burst_factor,
+        }
+    }
+
+    /// Whether any tick can burst.
+    pub fn is_active(&self) -> bool {
+        self.burst_per_mille > 0 && self.burst_factor > 0
+    }
+
+    /// Number of duplicate observations to append at `tick` (0 on quiet
+    /// ticks). Deterministic in `(seed, tick)`.
+    pub fn burst_at(&self, tick: u64) -> u16 {
+        if !self.is_active() {
+            return 0;
+        }
+        // Salt differently from FeedFaults so an overloaded faulty feed
+        // does not burst exactly on its drop ticks.
+        let h = mix(self.seed ^ tick.wrapping_mul(SPLITMIX_GAMMA) ^ 0x4F56_4552_4C4F_4144);
+        if h % 1000 < u64::from(self.burst_per_mille) {
+            self.burst_factor
+        } else {
+            0
+        }
+    }
+
+    /// Appends the tick's duplicates to `batch`: copies of the
+    /// newest-stamped observation already in it. An empty batch stays
+    /// empty — bursts amplify arrivals, they cannot invent data.
+    pub fn amplify(&self, tick: u64, batch: &mut Vec<Observation<Vec<f64>>>) {
+        let dup = self.burst_at(tick);
+        if dup == 0 {
+            return;
+        }
+        let Some(newest) = batch.iter().max_by_key(|o| o.tick).cloned() else {
+            return;
+        };
+        for _ in 0..dup {
+            batch.push(newest.clone());
+        }
+    }
+
+    /// Serializable form for checkpointing.
+    pub fn state(&self) -> OverloadSnap {
+        OverloadSnap {
+            seed: self.seed,
+            burst_per_mille: u64::from(self.burst_per_mille),
+            burst_factor: u64::from(self.burst_factor),
+        }
+    }
+
+    /// Rebuilds a schedule from a [`state`](Self::state) export. Returns
+    /// `None` when a rate or factor is out of range.
+    pub fn from_state(state: &OverloadSnap) -> Option<Self> {
+        if state.burst_per_mille > 1000 || state.burst_factor > u64::from(u16::MAX) {
+            return None;
+        }
+        Some(OverloadFaults {
+            seed: state.seed,
+            burst_per_mille: state.burst_per_mille as u16,
+            burst_factor: state.burst_factor as u16,
         })
     }
 }
@@ -422,6 +528,48 @@ mod tests {
             let b = resumed.poll(t);
             assert_eq!(a, b, "tick {t}");
         }
+    }
+
+    #[test]
+    fn overload_bursts_are_deterministic_and_trail_genuine_arrivals() {
+        let ov = OverloadFaults::new(42, 300, 6);
+        assert!(ov.is_active());
+        let a: Vec<u16> = (0..500).map(|t| ov.burst_at(t)).collect();
+        assert_eq!(a, (0..500).map(|t| ov.burst_at(t)).collect::<Vec<_>>());
+        let bursts = a.iter().filter(|&&d| d > 0).count();
+        assert!((80..300).contains(&bursts), "bursts {bursts}");
+        assert!(a.iter().all(|&d| d == 0 || d == 6));
+
+        // Duplicates copy the newest stamp and are appended at the tail.
+        let burst_tick = (0..500).find(|&t| ov.burst_at(t) > 0).unwrap();
+        let mut batch = vec![
+            Observation {
+                tick: 3,
+                value: vec![1.0],
+            },
+            Observation {
+                tick: 7,
+                value: vec![2.0],
+            },
+        ];
+        ov.amplify(burst_tick, &mut batch);
+        assert_eq!(batch.len(), 8);
+        assert_eq!(batch[0].tick, 3);
+        assert!(batch[2..].iter().all(|o| o.tick == 7 && o.value == [2.0]));
+
+        // An empty tick stays empty: bursts cannot invent observations.
+        let mut empty: Vec<Observation<Vec<f64>>> = Vec::new();
+        ov.amplify(burst_tick, &mut empty);
+        assert!(empty.is_empty());
+
+        // Round-trips through its serializable form.
+        assert_eq!(OverloadFaults::from_state(&ov.state()), Some(ov));
+        let mut bad = ov.state();
+        bad.burst_per_mille = 1500;
+        assert_eq!(OverloadFaults::from_state(&bad), None);
+
+        // The quiet schedule never bursts.
+        assert!((0..500).all(|t| OverloadFaults::none().burst_at(t) == 0));
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! * `GET /debug/trace` — the flight recorder as Chrome trace-event JSON
 //!   (open in Perfetto or `chrome://tracing`; empty unless the daemon ran
 //!   with `--trace-capacity`)
+//! * `GET /tenants` — per-tenant status JSON, when the server was started
+//!   with [`MetricsServer::start_with_status`] (404 otherwise)
 //!
 //! Everything else is a 404. Connections are served one at a time from a
 //! single background thread (the scrape rate of a control daemon is a few
@@ -42,6 +44,29 @@ impl MetricsServer {
     ///
     /// Returns [`crate::Error::Io`] when the address cannot be bound.
     pub fn start(listen: &str, registry: Arc<MetricsRegistry>) -> Result<Self> {
+        Self::serve(listen, registry, None)
+    }
+
+    /// Like [`start`](Self::start), plus a `/tenants` route whose body is
+    /// produced by `status` on every request (the multi-tenant daemon
+    /// passes the status board's JSON renderer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Io`] when the address cannot be bound.
+    pub fn start_with_status(
+        listen: &str,
+        registry: Arc<MetricsRegistry>,
+        status: Arc<dyn Fn() -> String + Send + Sync>,
+    ) -> Result<Self> {
+        Self::serve(listen, registry, Some(status))
+    }
+
+    fn serve(
+        listen: &str,
+        registry: Arc<MetricsRegistry>,
+        status: Option<Arc<dyn Fn() -> String + Send + Sync>>,
+    ) -> Result<Self> {
         let listener = TcpListener::bind(listen)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -55,7 +80,7 @@ impl MetricsServer {
                     // A slow or dead scraper must not wedge the daemon.
                     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
                     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-                    let _ = serve_one(stream, &registry);
+                    let _ = serve_one(stream, &registry, status.as_deref());
                 }
             }
         });
@@ -84,7 +109,11 @@ impl MetricsServer {
 }
 
 /// Reads one request head and writes one response.
-fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+fn serve_one(
+    mut stream: TcpStream,
+    registry: &MetricsRegistry,
+    status: Option<&(dyn Fn() -> String + Send + Sync)>,
+) -> std::io::Result<()> {
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
     loop {
@@ -112,6 +141,14 @@ fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> std::io::Resu
         "/metrics.json" => ("200 OK", "application/json", registry.render_json()),
         "/debug/trace" => ("200 OK", "application/json", idc_obs::export_global_trace()),
         "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+        "/tenants" => match status {
+            Some(render) => ("200 OK", "application/json", render()),
+            None => (
+                "404 Not Found",
+                "text/plain",
+                "no tenant manager\n".to_string(),
+            ),
+        },
         _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
     };
     let response = format!(
@@ -165,6 +202,25 @@ mod tests {
         let (status, _) = get(addr, "/nope");
         assert!(status.contains("404"), "{status}");
 
+        // No status callback wired: /tenants is a 404.
+        let (status, _) = get(addr, "/tenants");
+        assert!(status.contains("404"), "{status}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_tenant_status_when_wired() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let server = MetricsServer::start_with_status(
+            "127.0.0.1:0",
+            registry,
+            Arc::new(|| "[{\"id\":\"t-000\"}]".to_string()),
+        )
+        .unwrap();
+        let (status, body) = get(server.addr(), "/tenants");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "[{\"id\":\"t-000\"}]");
         server.shutdown();
     }
 }

@@ -16,6 +16,11 @@
 //!   when the feeds go stale.
 //! * [`snapshot`] — the checkpoint format, written atomically; restore
 //!   resumes the run bit-for-bit.
+//! * [`lineage`] — per-tenant checkpoint directories with keep-last-K
+//!   compaction and startup GC of torn/corrupt files.
+//! * [`tenant`] — the multi-tenant manager: N independent control loops
+//!   scheduled over a thread-per-shard worker pool off a time-ordered
+//!   ready queue, with admission control and per-tenant histograms.
 //! * [`metrics`] / [`http`] — an embedded metrics registry served over
 //!   hand-rolled HTTP/1.1.
 //! * [`registry`] — stable string keys for the canned scenarios.
@@ -28,10 +33,12 @@
 pub mod error;
 pub mod feed;
 pub mod http;
+pub mod lineage;
 pub mod metrics;
 pub mod registry;
 pub mod snapshot;
 pub mod stepper;
+pub mod tenant;
 
 pub use error::Error;
 

@@ -162,6 +162,27 @@ impl MetricsRegistry {
             .copied()
     }
 
+    /// Estimated `q`-quantile of the histogram `key`, if it exists and is
+    /// non-empty (see [`Histogram::quantile`]).
+    pub fn histogram_quantile(&self, key: &str, q: f64) -> Option<f64> {
+        self.inner
+            .lock()
+            .expect("metrics mutex")
+            .histograms
+            .get(key)
+            .and_then(|h| h.quantile(q))
+    }
+
+    /// `(count, sum)` of the histogram `key`, if present.
+    pub fn histogram_stats(&self, key: &str) -> Option<(u64, f64)> {
+        self.inner
+            .lock()
+            .expect("metrics mutex")
+            .histograms
+            .get(key)
+            .map(|h| (h.count(), h.sum()))
+    }
+
     /// Current value of a gauge, if present.
     pub fn gauge(&self, key: &str) -> Option<f64> {
         self.inner

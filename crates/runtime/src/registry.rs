@@ -37,10 +37,27 @@ fn smoothing_faulty_price_scenario() -> Scenario {
         .with_name("power-demand-smoothing, faulty market feed")
 }
 
+/// Parses a parametric `scaled_<n>x<c>` key into `(idcs, portals)`.
+/// Dimensions are capped at 64 each so a typo cannot request a fleet
+/// that exhausts memory.
+fn parse_scaled_key(key: &str) -> Option<(usize, usize)> {
+    let body = key.strip_prefix("scaled_")?;
+    let (n, c) = body.split_once('x')?;
+    let n: usize = n.parse().ok()?;
+    let c: usize = c.parse().ok()?;
+    if n == 0 || c == 0 || n > 64 || c > 64 {
+        return None;
+    }
+    Some((n, c))
+}
+
 /// Builds the canned scenario named `key`, with the workload-noise seed
 /// overridden to `seed` (a no-op for noise-free scenarios beyond recording
 /// the seed) and optionally truncated/extended to `steps` sampling
-/// periods. Returns `None` for an unknown key.
+/// periods. Besides the fixed [`SCENARIO_KEYS`], parametric
+/// `scaled_<n>x<c>` keys (e.g. `scaled_5x4`) build an `n`-IDC,
+/// `c`-portal fleet via [`scenario::scaled_fleet_scenario`]. Returns
+/// `None` for an unknown key.
 pub fn scenario_by_key(key: &str, seed: u64, steps: Option<usize>) -> Option<Scenario> {
     let base = match key {
         "smoothing" => scenario::smoothing_scenario(),
@@ -50,7 +67,10 @@ pub fn scenario_by_key(key: &str, seed: u64, steps: Option<usize>) -> Option<Sce
         "noisy_day" => scenario::noisy_day_scenario(seed),
         "diurnal_day" => scenario::diurnal_day_scenario(seed),
         "mmpp_hour" => scenario::mmpp_hour_scenario(seed),
-        _ => return None,
+        _ => {
+            let (n, c) = parse_scaled_key(key)?;
+            scenario::scaled_fleet_scenario(n, c, seed)
+        }
     };
     let noise = base.workload_noise_std();
     let seeded = base.with_workload_noise(noise, seed);
@@ -72,6 +92,25 @@ mod tests {
             assert_eq!(s.seed(), 2012, "{key}");
         }
         assert!(scenario_by_key("nope", 2012, None).is_none());
+    }
+
+    #[test]
+    fn scaled_keys_parse_and_build_matching_fleets() {
+        let s = scenario_by_key("scaled_5x4", 7, Some(12)).unwrap();
+        assert_eq!(s.fleet().num_idcs(), 5);
+        assert_eq!(s.fleet().num_portals(), 4);
+        assert_eq!(s.num_steps(), 12);
+        assert_eq!(s.seed(), 7);
+        for bad in [
+            "scaled_0x4",
+            "scaled_5x0",
+            "scaled_65x2",
+            "scaled_5",
+            "scaled_x",
+            "scaled_ax2",
+        ] {
+            assert!(scenario_by_key(bad, 7, None).is_none(), "{bad}");
+        }
     }
 
     #[test]

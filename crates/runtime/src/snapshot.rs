@@ -25,7 +25,21 @@ use serde::{Deserialize, Serialize};
 use crate::error::Error;
 
 /// Format version; bump on any incompatible change.
-pub const SNAPSHOT_VERSION: u64 = 1;
+/// * v2 — multi-tenant daemon: solver-backend label, bounded-ingest
+///   admission state (bound + per-feed shed counters) and the
+///   burst-overload schedule joined the stepper's resume state.
+pub const SNAPSHOT_VERSION: u64 = 2;
+
+/// Serializable [`crate::feed::OverloadFaults`] parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverloadSnap {
+    /// Burst-schedule seed.
+    pub seed: u64,
+    /// Burst probability in per-mille (0..=1000).
+    pub burst_per_mille: u64,
+    /// Duplicates appended on a burst tick.
+    pub burst_factor: u64,
+}
 
 /// Serializable [`crate::feed::FeedFaults`] parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -87,6 +101,17 @@ pub struct RuntimeSnapshot {
     pub step: u64,
     /// Staleness ceiling in ticks before degrading to the fallback plan.
     pub max_staleness_ticks: u64,
+    /// Solver-backend label (`None` = the paper-tuned default backend).
+    /// See [`crate::stepper::parse_backend`] for the accepted labels.
+    pub backend: Option<String>,
+    /// Per-tick, per-feed admission bound (0 = unbounded).
+    pub ingest_bound: u64,
+    /// Observations shed by the workload feed's admission control.
+    pub workload_shed: u64,
+    /// Observations shed by the price feed's admission control.
+    pub price_shed: u64,
+    /// Burst-overload schedule applied to both feeds.
+    pub overload: OverloadSnap,
     /// Workload-feed fault schedule.
     pub workload_faults: FeedFaultsSnap,
     /// Price-feed fault schedule.

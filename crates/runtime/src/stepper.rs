@@ -26,13 +26,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use idc_core::clock::Clock;
-use idc_core::feed::{Observation, PriceFeed, WorkloadFeed};
-use idc_core::policy::{MpcPolicy, Policy, StepContext};
+use idc_core::feed::{BoundedIngest, Observation, PriceFeed, WorkloadFeed};
+use idc_core::policy::{MpcPolicy, MpcPolicyConfig, Policy, StepContext};
 use idc_core::scenario::Scenario;
+use idc_core::SolverBackend;
 use idc_datacenter::idc::LatencyStatus;
 
 use crate::error::Error;
-use crate::feed::{FeedFaults, TracePriceFeed, TraceWorkloadFeed};
+use crate::feed::{FeedFaults, OverloadFaults, TracePriceFeed, TraceWorkloadFeed};
 use crate::metrics::MetricsRegistry;
 use crate::snapshot::{FeedFaultsSnap, HeldSnap, RuntimeSnapshot, SNAPSHOT_VERSION};
 use crate::Result;
@@ -55,6 +56,16 @@ pub struct StepperConfig {
     pub workload_faults: FeedFaults,
     /// Fault schedule for the price feed.
     pub price_faults: FeedFaults,
+    /// Solver-backend label (see [`parse_backend`]); `None` keeps the
+    /// paper-tuned default. Part of the checkpoint identity: a tenant
+    /// restored from a snapshot re-solves on the backend it ran on.
+    pub backend: Option<String>,
+    /// Per-tick, per-feed admission bound (0 = unbounded). Applied after
+    /// overload amplification, before held-value ingest.
+    pub ingest_bound: usize,
+    /// Burst-overload schedule applied to both feeds (see
+    /// [`OverloadFaults`]).
+    pub overload: OverloadFaults,
 }
 
 impl StepperConfig {
@@ -67,8 +78,46 @@ impl StepperConfig {
             max_staleness_ticks: 3,
             workload_faults: FeedFaults::none(),
             price_faults: FeedFaults::none(),
+            backend: None,
+            ingest_bound: 0,
+            overload: OverloadFaults::none(),
         }
     }
+}
+
+/// Parses a solver-backend label: `dense` (condensed dense active-set,
+/// the default), `banded` (banded Riccati) or `sharded[N]` (ADMM-style
+/// consensus across `N` shards). Returns `None` for anything else.
+pub fn parse_backend(label: &str) -> Option<SolverBackend> {
+    match label {
+        "dense" => Some(SolverBackend::CondensedDense),
+        "banded" => Some(SolverBackend::BandedRiccati),
+        _ => {
+            let shards: usize = label
+                .strip_prefix("sharded[")?
+                .strip_suffix(']')?
+                .parse()
+                .ok()?;
+            if shards == 0 {
+                return None;
+            }
+            Some(SolverBackend::sharded(shards))
+        }
+    }
+}
+
+/// Builds the paper-tuned policy for `scenario`, optionally overriding
+/// the solver backend by label.
+fn build_policy(scenario: &Scenario, backend: Option<&str>) -> Result<MpcPolicy> {
+    let mut config = MpcPolicyConfig {
+        budgets: scenario.budgets().cloned(),
+        ..MpcPolicyConfig::default()
+    };
+    if let Some(label) = backend {
+        config.mpc.backend = parse_backend(label)
+            .ok_or_else(|| Error::Config(format!("unknown backend '{label}'")))?;
+    }
+    Ok(MpcPolicy::new(config)?)
 }
 
 /// A held last-value observation.
@@ -120,6 +169,8 @@ pub struct Stepper {
     policy: MpcPolicy,
     workload_feed: TraceWorkloadFeed,
     price_feed: TracePriceFeed,
+    workload_ingest: BoundedIngest,
+    price_ingest: BoundedIngest,
     held_offered: Held,
     held_prices: Held,
     step: u64,
@@ -157,7 +208,7 @@ impl Stepper {
             .pricing()
             .prices(scenario.init_hour(), &vec![0.0; n]);
 
-        let mut policy = MpcPolicy::paper_tuned(&scenario)?;
+        let mut policy = build_policy(&scenario, config.backend.as_deref())?;
         let init_ctx = StepContext {
             step: 0,
             hour: scenario.init_hour(),
@@ -170,11 +221,15 @@ impl Stepper {
 
         let workload_feed = TraceWorkloadFeed::new(&scenario, config.workload_faults);
         let price_feed = TracePriceFeed::new(&scenario, config.price_faults);
+        let workload_ingest = BoundedIngest::new(config.ingest_bound);
+        let price_ingest = BoundedIngest::new(config.ingest_bound);
         Ok(Stepper {
             config,
             policy,
             workload_feed,
             price_feed,
+            workload_ingest,
+            price_ingest,
             held_offered: Held {
                 value: base_offered,
                 updated_tick: None,
@@ -280,6 +335,10 @@ impl Stepper {
                 "Age of the oldest held feed value at the last step.",
             ),
             (
+                "idc_feed_shed_total",
+                "Observations shed by feed admission control.",
+            ),
+            (
                 "idc_latency_ok_fraction",
                 "Fraction of (IDC, step) pairs meeting the latency bound.",
             ),
@@ -307,6 +366,11 @@ impl Stepper {
     /// The scenario being run.
     pub fn scenario(&self) -> &Scenario {
         &self.scenario
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &StepperConfig {
+        &self.config
     }
 
     /// Next step to execute (steps `0..step()` are accounted).
@@ -358,6 +422,13 @@ impl Stepper {
         self.degraded_steps
     }
 
+    /// Observations shed by feed admission control, as
+    /// `(workload, price)`. Zero unless an ingest bound is configured and
+    /// something (a burst schedule, a fault backlog) exceeded it.
+    pub fn shed_observations(&self) -> (u64, u64) {
+        (self.workload_ingest.shed(), self.price_ingest.shed())
+    }
+
     /// Fraction of (IDC, step) pairs that met the latency bound so far.
     pub fn latency_ok_fraction(&self) -> f64 {
         let denom = self.step * self.power_mw.len() as u64;
@@ -392,10 +463,16 @@ impl Stepper {
         let ts = self.scenario.ts_hours();
         let hour = self.scenario.start_hour() + k as f64 * ts;
 
-        // ---- Ingest feeds, newest-stamp-wins. ----
-        self.held_offered.ingest(self.workload_feed.poll(k));
+        // ---- Ingest feeds: amplify (overload faults), admit (bounded
+        // ingest), hold newest-stamp-wins. ----
+        let mut workload_batch = self.workload_feed.poll(k);
+        self.config.overload.amplify(k, &mut workload_batch);
+        self.held_offered
+            .ingest(self.workload_ingest.admit(workload_batch));
+        let mut price_batch = self.price_feed.poll(k, hour, &self.last_power_mw);
+        self.config.overload.amplify(k, &mut price_batch);
         self.held_prices
-            .ingest(self.price_feed.poll(k, hour, &self.last_power_mw));
+            .ingest(self.price_ingest.admit(price_batch));
 
         // ---- Offered workload + admission control (batch-identical). ----
         let mut offered = self.held_offered.value.clone();
@@ -520,6 +597,8 @@ impl Stepper {
         m.set_gauge("idc_qp_warm_seed_survival", stats.seed_survival());
         m.set_gauge("idc_accumulated_cost_dollars", self.accumulated_cost);
         m.set_gauge("idc_feed_staleness_ticks", staleness as f64);
+        let (w_shed, p_shed) = self.shed_observations();
+        m.set_counter("idc_feed_shed_total", w_shed + p_shed);
         m.set_gauge("idc_latency_ok_fraction", self.latency_ok_fraction());
         m.set_gauge("idc_step", self.step as f64);
         for (j, idc) in self.scenario.fleet().idcs().iter().enumerate() {
@@ -563,6 +642,11 @@ impl Stepper {
             num_steps: self.num_steps(),
             step: self.step,
             max_staleness_ticks: self.config.max_staleness_ticks,
+            backend: self.config.backend.clone(),
+            ingest_bound: self.config.ingest_bound as u64,
+            workload_shed: self.workload_ingest.shed(),
+            price_shed: self.price_ingest.shed(),
+            overload: self.config.overload.state(),
             workload_faults: self.config.workload_faults.state(),
             price_faults: self.config.price_faults.state(),
             workload_feed: self.workload_feed.state(),
@@ -597,6 +681,12 @@ impl Stepper {
             .ok_or_else(|| bad_faults(&snapshot.workload_faults))?;
         let price_faults = FeedFaults::from_state(&snapshot.price_faults)
             .ok_or_else(|| bad_faults(&snapshot.price_faults))?;
+        let overload = OverloadFaults::from_state(&snapshot.overload).ok_or_else(|| {
+            Error::Snapshot(format!(
+                "overload schedule has out-of-range burst rate {} per mille",
+                snapshot.overload.burst_per_mille
+            ))
+        })?;
         let config = StepperConfig {
             scenario_key: snapshot.scenario_key.clone(),
             seed: snapshot.seed,
@@ -604,6 +694,9 @@ impl Stepper {
             max_staleness_ticks: snapshot.max_staleness_ticks,
             workload_faults,
             price_faults,
+            backend: snapshot.backend.clone(),
+            ingest_bound: snapshot.ingest_bound as usize,
+            overload,
         };
         let scenario =
             crate::registry::scenario_by_key(&config.scenario_key, config.seed, config.num_steps)
@@ -621,16 +714,20 @@ impl Stepper {
                 config.scenario_key
             )));
         }
-        let mut policy = MpcPolicy::paper_tuned(&scenario)?;
+        let mut policy = build_policy(&scenario, config.backend.as_deref())?;
         policy.restore(&snapshot.policy)?;
         let workload_feed =
             TraceWorkloadFeed::from_state(&scenario, workload_faults, &snapshot.workload_feed);
         let price_feed = TracePriceFeed::from_state(&scenario, price_faults, &snapshot.price_feed);
+        let workload_ingest = BoundedIngest::restore(config.ingest_bound, snapshot.workload_shed);
+        let price_ingest = BoundedIngest::restore(config.ingest_bound, snapshot.price_shed);
         Ok(Stepper {
             config,
             policy,
             workload_feed,
             price_feed,
+            workload_ingest,
+            price_ingest,
             held_offered: Held::from_snap(&snapshot.held_offered),
             held_prices: Held::from_snap(&snapshot.held_prices),
             step: snapshot.step,
@@ -752,5 +849,89 @@ mod tests {
     fn unknown_scenario_key_is_rejected() {
         let err = Stepper::new(StepperConfig::fault_free("nope", 1)).unwrap_err();
         assert!(matches!(err, Error::Config(_)));
+    }
+
+    #[test]
+    fn backend_labels_parse_and_select_the_solver() {
+        use idc_core::SolverBackend;
+        assert_eq!(parse_backend("dense"), Some(SolverBackend::CondensedDense));
+        assert_eq!(parse_backend("banded"), Some(SolverBackend::BandedRiccati));
+        assert!(matches!(
+            parse_backend("sharded[3]"),
+            Some(SolverBackend::Sharded { shards: 3, .. })
+        ));
+        for bad in ["", "Dense", "sharded[0]", "sharded[x]", "sharded[2"] {
+            assert_eq!(parse_backend(bad), None, "{bad:?} parsed");
+        }
+        let err = Stepper::new(StepperConfig {
+            backend: Some("warp".into()),
+            ..StepperConfig::fault_free("smoothing", 1)
+        })
+        .unwrap_err();
+        assert!(matches!(err, Error::Config(_)));
+    }
+
+    #[test]
+    fn non_default_backend_survives_snapshot_restore() {
+        let config = StepperConfig {
+            backend: Some("banded".into()),
+            ..StepperConfig::fault_free("smoothing", 2012)
+        };
+        let mut live = Stepper::new(config).unwrap();
+        for _ in 0..8 {
+            live.step_once().unwrap();
+        }
+        let snap = live.snapshot();
+        assert_eq!(snap.backend.as_deref(), Some("banded"));
+        let mut resumed = Stepper::restore(&snap).unwrap();
+        while live.step_once().unwrap() {
+            assert!(resumed.step_once().unwrap());
+        }
+        assert_eq!(live.snapshot(), resumed.snapshot());
+    }
+
+    #[test]
+    fn overload_bursts_shed_without_moving_the_trajectory() {
+        // Quiet reference run.
+        let mut quiet = Stepper::new(StepperConfig::fault_free("smoothing", 2012)).unwrap();
+        quiet.run(&mut SimClock).unwrap();
+        assert_eq!(quiet.shed_observations(), (0, 0));
+
+        // Same loop under a heavy burst schedule with a bound that admits
+        // every genuine arrival (fault-free feeds deliver exactly one
+        // observation per tick): the duplicates all shed, the trajectory
+        // does not move.
+        let config = StepperConfig {
+            overload: OverloadFaults::new(9, 400, 8),
+            ingest_bound: 2,
+            ..StepperConfig::fault_free("smoothing", 2012)
+        };
+        let mut bursty = Stepper::new(config).unwrap();
+        bursty.run(&mut SimClock).unwrap();
+        let (w_shed, p_shed) = bursty.shed_observations();
+        assert!(w_shed > 0, "no workload observations shed");
+        assert!(p_shed > 0, "no price observations shed");
+        assert_eq!(
+            quiet.accumulated_cost().to_bits(),
+            bursty.accumulated_cost().to_bits()
+        );
+        for j in 0..3 {
+            assert_eq!(quiet.power_mw(j), bursty.power_mw(j));
+            assert_eq!(quiet.servers(j), bursty.servers(j));
+        }
+
+        // And the shed counters survive checkpoint/restore mid-run.
+        let mut live = Stepper::new(bursty.config().clone()).unwrap();
+        for _ in 0..12 {
+            live.step_once().unwrap();
+        }
+        let snap = live.snapshot();
+        let mut resumed = Stepper::restore(&snap).unwrap();
+        assert_eq!(resumed.shed_observations(), live.shed_observations());
+        while live.step_once().unwrap() {
+            assert!(resumed.step_once().unwrap());
+        }
+        assert_eq!(live.snapshot(), resumed.snapshot());
+        assert_eq!(live.shed_observations(), (w_shed, p_shed));
     }
 }

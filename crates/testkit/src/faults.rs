@@ -47,18 +47,37 @@ pub enum FaultKind {
     /// [`idc_control::mpc::SolverBackend::Sharded`] so the fault has a
     /// coordinator to stall.
     CoordinatorStall,
+    /// Burst feed arrivals exceeding a tenant's per-tick admission bound:
+    /// on derived ticks the feed delivers a burst of duplicate
+    /// observations, forcing the host's bounded ingest to shed the excess
+    /// and bump its shed counters. This is a *runtime-layer* fault — it
+    /// perturbs observation **delivery** to an online control loop, not
+    /// the scenario or the policy, so [`FaultPlan::apply`] returns `None`
+    /// and batch harnesses skip it; online hosts consume the derived
+    /// [`FaultPlan::overload_params`] instead.
+    TenantOverload,
 }
 
 impl FaultKind {
     /// Every kind, in matrix order.
-    pub const ALL: [FaultKind; 6] = [
+    pub const ALL: [FaultKind; 7] = [
         FaultKind::PriceSpike,
         FaultKind::PriceDropout,
         FaultKind::PredictionError,
         FaultKind::SolverFailure,
         FaultKind::ForcedRefactorization,
         FaultKind::CoordinatorStall,
+        FaultKind::TenantOverload,
     ];
+
+    /// Whether this kind perturbs the *online delivery layer* rather than
+    /// the scenario/policy pair. Runtime-layer kinds cannot be expressed
+    /// on a batch simulation ([`FaultPlan::apply`] returns `None`); batch
+    /// fault matrices should skip them explicitly rather than treat the
+    /// `None` as a misconfigured base.
+    pub fn runtime_layer(&self) -> bool {
+        matches!(self, FaultKind::TenantOverload)
+    }
 
     /// Stable lowercase label (used in CI matrix output and parsing).
     pub fn label(&self) -> &'static str {
@@ -69,6 +88,7 @@ impl FaultKind {
             FaultKind::SolverFailure => "solver-failure",
             FaultKind::ForcedRefactorization => "forced-refactorization",
             FaultKind::CoordinatorStall => "coordinator-stall",
+            FaultKind::TenantOverload => "tenant-overload",
         }
     }
 
@@ -82,6 +102,29 @@ impl std::fmt::Display for FaultKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
     }
+}
+
+/// Derived parameters of a [`FaultKind::TenantOverload`] plan, consumed
+/// by an online host's feed layer: on roughly `burst_per_mille`/1000 of
+/// ticks (drawn from a stream derived from `seed`) the feed delivers
+/// `burst_factor` duplicate observations *after* the genuine arrivals,
+/// and the host admits at most `ingest_bound` observations per feed per
+/// tick. `burst_factor > ingest_bound` always, so every burst tick sheds
+/// — and because the duplicates trail the genuine arrivals, a
+/// prefix-keeping bounded ingest sheds *only* duplicates on fault-free
+/// ticks, leaving the admitted trajectory byte-identical to the
+/// unbursted run while the shed counters prove the overload happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OverloadParams {
+    /// Seed of the burst-schedule stream (derived, not the plan seed).
+    pub seed: u64,
+    /// Per-mille probability that a tick bursts (200–400).
+    pub burst_per_mille: u16,
+    /// Duplicate observations appended on a burst tick; always exceeds
+    /// `ingest_bound`.
+    pub burst_factor: u16,
+    /// Per-tick, per-feed admission bound the host should enforce (2–4).
+    pub ingest_bound: usize,
 }
 
 /// A seeded, reproducible fault to apply to a base scenario.
@@ -120,19 +163,51 @@ impl FaultPlan {
         self.seed
     }
 
+    /// The plan's derivation stream: seeded from the plan seed salted by
+    /// kind, so e.g. spike/seed-7 and dropout/seed-7 do not share their
+    /// region and window draws.
+    fn stream(&self) -> StdRng {
+        let salt = self.kind.label().bytes().fold(0u64, |h, b| {
+            h.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64)
+        });
+        StdRng::seed_from_u64(self.seed ^ salt)
+    }
+
+    /// Derives the burst/admission parameters of a
+    /// [`FaultKind::TenantOverload`] plan. `None` for every other kind.
+    /// Deterministic in the plan.
+    pub fn overload_params(&self) -> Option<OverloadParams> {
+        if self.kind != FaultKind::TenantOverload {
+            return None;
+        }
+        let mut rng = self.stream();
+        // Top 53 bits only: schedule seeds live in checkpoints, whose JSON
+        // number space is f64 — a full-range u64 would not round-trip.
+        let seed = rng.random::<u64>() >> 11;
+        let burst_per_mille = 200 + (rng.random::<u64>() % 201) as u16;
+        let ingest_bound = 2 + (rng.random::<u64>() % 3) as usize;
+        // Always over the bound: every burst tick must shed.
+        let burst_factor = ingest_bound as u16 + 4 + (rng.random::<u64>() % 5) as u16;
+        Some(OverloadParams {
+            seed,
+            burst_per_mille,
+            burst_factor,
+            ingest_bound,
+        })
+    }
+
     /// Derives the perturbed `(scenario, policy tuning)` pair from `base`.
     ///
     /// Deterministic: the same plan and base always produce identical
     /// output. Returns `None` when the fault does not apply to the base
     /// (price faults need trace-driven pricing, solver faults need at
-    /// least three steps).
+    /// least three steps, runtime-layer faults never apply — see
+    /// [`FaultKind::runtime_layer`]).
     pub fn apply(&self, base: &Scenario) -> Option<(Scenario, MpcPolicyConfig)> {
-        // Salt the stream by kind so e.g. spike/seed-7 and dropout/seed-7
-        // do not share their region and window draws.
-        let salt = self.kind.label().bytes().fold(0u64, |h, b| {
-            h.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64)
-        });
-        let mut rng = StdRng::seed_from_u64(self.seed ^ salt);
+        if self.kind.runtime_layer() {
+            return None;
+        }
+        let mut rng = self.stream();
         let mut config = MpcPolicyConfig {
             budgets: base.budgets().cloned(),
             ..MpcPolicyConfig::default()
@@ -207,6 +282,8 @@ impl FaultPlan {
                 base.clone()
                     .with_name(format!("{}+{}#{}", base.name(), self.kind, self.seed))
             }
+            // Handled by the runtime_layer early return above.
+            FaultKind::TenantOverload => return None,
         };
         Some((scenario, config))
     }
@@ -257,11 +334,46 @@ mod tests {
         let base = smoothing_scenario();
         for kind in FaultKind::ALL {
             let plan = FaultPlan::new(kind, 11);
+            if kind.runtime_layer() {
+                // Delivery-layer faults have no batch expression; their
+                // derived parameters must still be reproducible.
+                assert!(plan.apply(&base).is_none());
+                assert_eq!(plan.overload_params(), plan.overload_params());
+                continue;
+            }
             let a = plan.apply(&base).unwrap();
             let b = plan.apply(&base).unwrap();
             assert_eq!(a.0.name(), b.0.name());
             assert_eq!(a.1, b.1, "{kind}: derived configs differ");
         }
+    }
+
+    #[test]
+    fn overload_params_are_in_range_and_decorrelated() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..50 {
+            let params = FaultPlan::new(FaultKind::TenantOverload, seed)
+                .overload_params()
+                .unwrap();
+            assert!((200..=400).contains(&params.burst_per_mille), "{params:?}");
+            assert!((2..=4).contains(&params.ingest_bound), "{params:?}");
+            // Every burst tick must overflow the bound.
+            assert!(
+                usize::from(params.burst_factor) > params.ingest_bound,
+                "{params:?}"
+            );
+            seen.insert(params.seed);
+        }
+        // Burst schedules across plan seeds are (overwhelmingly) distinct.
+        assert!(
+            seen.len() > 45,
+            "only {} distinct schedule seeds",
+            seen.len()
+        );
+        // Non-overload plans derive nothing.
+        assert!(FaultPlan::new(FaultKind::PriceSpike, 1)
+            .overload_params()
+            .is_none());
     }
 
     #[test]
