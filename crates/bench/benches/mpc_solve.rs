@@ -30,6 +30,7 @@ fn problem(n: usize, c: usize) -> MpcProblem {
         workload_forecast: vec![vec![per_portal; c]; 3],
         power_reference_mw: vec![(0..n).map(|j| if j == 0 { 4.0 } else { 3.0 }).collect(); 5],
         tracking_multiplier: MpcProblem::uniform_tracking(n),
+        storage: None,
     }
 }
 

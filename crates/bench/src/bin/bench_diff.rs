@@ -10,11 +10,13 @@
 //! count suffixes the key (e.g. `64x128 sharded[8]`) so sharded rows at
 //! different shard counts never silently compare — and matched across
 //! the two files; the comparison metrics are `warm_ms` for `single_step`
-//! rows, `warm_ms_per_step` for `end_to_end` rows (warm solves are the
-//! steady-state cost of the controller, so they are what CI guards) and
-//! `solve_stats.iterations_per_step` of the same `end_to_end` rows —
-//! iteration count is hardware-independent, so it catches active-set
-//! regressions that shared-runner timing noise would hide.
+//! rows, `warm_ms_per_step` for `end_to_end` and `storage_end_to_end`
+//! rows (warm solves are the steady-state cost of the controller, so
+//! they are what CI guards) and `solve_stats.iterations_per_step` of the
+//! same rows — iteration count is hardware-independent, so it catches
+//! active-set regressions that shared-runner timing noise would hide.
+//! Storage rows carry a ` +storage` key suffix so they never collide
+//! with the plain row at the same size and backend.
 //! `BENCH_runtime.json` documents (schema `bench.runtime.v1`, written by
 //! `runtime_soak`) contribute per-tenant `p99_step_ms` rows keyed by
 //! `tenant scenario backend` plus aggregate `p50_step_ms` / `p99_step_ms`
@@ -83,6 +85,7 @@ fn rows(doc: &Value) -> Vec<Row> {
     for (table, metric) in [
         ("single_step", "warm_ms"),
         ("end_to_end", "warm_ms_per_step"),
+        ("storage_end_to_end", "warm_ms_per_step"),
     ] {
         let Some(Value::Array(items)) = doc.get(table) else {
             continue;
@@ -103,15 +106,18 @@ fn rows(doc: &Value) -> Vec<Row> {
             // regression candidate. Monolithic rows (shards 0 or the
             // field absent in pre-sharding baselines) keep the bare key.
             let shards = number(item, "shards").unwrap_or(0.0) as u64;
-            let key = if shards > 0 {
+            let mut key = if shards > 0 {
                 format!("{}x{} {backend}[{shards}]", idcs as u64, portals as u64)
             } else {
                 format!("{}x{} {backend}", idcs as u64, portals as u64)
             };
+            if table == "storage_end_to_end" {
+                key.push_str(" +storage");
+            }
             // The end-to-end rows carry nested solver introspection; gate
             // on iterations per step too — it is hardware-independent, so
             // it catches active-set regressions that timing noise hides.
-            if table == "end_to_end" {
+            if metric == "warm_ms_per_step" {
                 if let Some(iters) = item
                     .get("solve_stats")
                     .and_then(|stats| number(stats, "iterations_per_step"))

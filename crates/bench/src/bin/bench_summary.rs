@@ -17,6 +17,12 @@
 //!   difference between the two trajectories, and the per-phase
 //!   wall-clock breakdown of the warm run (refresh / factor / condense /
 //!   solve / reference / simulate).
+//! * **storage_end_to_end** — one storage-enabled cell at the paper-scale
+//!   8×15 size (banded backend): a battery per IDC plus the typical
+//!   commercial demand-charge tariff, so the QP carries the enlarged
+//!   charge/discharge/SoC blocks and the demand-charge epigraph row.
+//!   Same schema as `end_to_end` (including `solve_stats`), so
+//!   `bench_diff` gates it alongside the plain rows.
 //! * **backend_agreement** — per fleet size, a *lockstep* comparison: one
 //!   trajectory is driven forward and at every step both backends solve
 //!   the *identical* `MpcProblem`; the reported figure is the maximum
@@ -63,7 +69,9 @@ use idc_datacenter::portal::FrontEndPortal;
 use idc_datacenter::server::ServerSpec;
 use idc_market::region::Region;
 use idc_market::rtp::TracePricing;
+use idc_market::tariff::DemandCharge;
 use idc_market::trace::PriceTrace;
+use idc_storage::{paper_test_battery, StorageFleet};
 
 const SIZES: [(usize, usize); 7] = [
     (3, 5),
@@ -103,6 +111,9 @@ const DEFAULT_MAX_STEP_MS: f64 = 120_000.0;
 /// ΔU horizon used by `MpcConfig::default()` (sizes are capped by
 /// `n·c·horizon` before any controller exists).
 const CONTROL_HORIZON: usize = 3;
+/// Fleet size of the storage-enabled end-to-end cell: the paper-scale
+/// 8×15 case with a battery per IDC and a demand-charge tariff.
+const STORAGE_E2E_SIZE: (usize, usize) = (8, 15);
 
 fn backend_label(b: SolverBackend) -> &'static str {
     match b {
@@ -177,6 +188,7 @@ fn step_problem_at(n: usize, c: usize, prev: Vec<f64>, flip: bool) -> MpcProblem
             5
         ],
         tracking_multiplier: MpcProblem::uniform_tracking(n),
+        storage: None,
     }
 }
 
@@ -285,6 +297,7 @@ fn measure_end_to_end(
     n: usize,
     c: usize,
     backend: SolverBackend,
+    storage: bool,
 ) -> Result<EndToEndRow, idc_core::Error> {
     let sim = Simulator::new();
     let ts = 30.0 / 3600.0;
@@ -296,7 +309,7 @@ fn measure_end_to_end(
     let mut steps = 0;
     for (mode, solver_reuse) in [false, true].into_iter().enumerate() {
         let (fleet, traces) = synthetic(n, c);
-        let scenario = Scenario::new(
+        let mut scenario = Scenario::new(
             format!("scale-{n}x{c}"),
             fleet,
             PricingSpec::Trace(TracePricing::new(traces)),
@@ -306,9 +319,20 @@ fn measure_end_to_end(
         )
         .expect("consistent")
         .with_init_hour(6.0);
+        if storage {
+            // Battery + demand charge enlarge every QP block (3 extra
+            // decision variables per IDC per horizon step plus the
+            // epigraph row), so this cell prices the storage extension.
+            scenario = scenario
+                .with_storage(StorageFleet::uniform(n, paper_test_battery()).expect("non-empty"))
+                .expect("battery rates fit the fleet")
+                .with_demand_charge(DemandCharge::typical_commercial());
+        }
         let mut policy = MpcPolicy::new(MpcPolicyConfig {
             solver_reuse,
             mpc: mpc_config(backend),
+            storage: scenario.storage().cloned(),
+            demand_charge: scenario.demand_charge().copied(),
             ..MpcPolicyConfig::default()
         })?;
         let start = Instant::now();
@@ -567,7 +591,7 @@ fn run_smoke() -> Result<(), idc_core::Error> {
     let (n, c) = SIZES[0];
     println!("## bench_summary --smoke — {n}×{c}, both backends");
     for backend in BACKENDS {
-        let e = measure_end_to_end(n, c, backend)?;
+        let e = measure_end_to_end(n, c, backend, false)?;
         print_e2e_row(&e);
     }
     let a = lockstep_agreement(n, c);
@@ -752,7 +776,7 @@ fn main() -> Result<(), idc_core::Error> {
             }
             match measure_single_step(n, c, backend, max_step_ms) {
                 Ok(s) => {
-                    let e = measure_end_to_end(n, c, backend)?;
+                    let e = measure_end_to_end(n, c, backend, false)?;
                     print_e2e_row(&e);
                     println!(
                         "{:>41} | single step: cold {:.3} ms, warm {:.3} ms ({:.1}x)",
@@ -790,6 +814,19 @@ fn main() -> Result<(), idc_core::Error> {
             }
         }
     }
+    // One storage-enabled cell at the paper-scale 8×15 size: battery
+    // rates and SoC dynamics enlarge every QP block and the demand
+    // charge adds the epigraph row, so this row prices the storage
+    // extension against the plain 8×15 row above.
+    let mut storage_rows = Vec::new();
+    {
+        let (n, c) = STORAGE_E2E_SIZE;
+        println!("\nstorage-enabled end-to-end (battery + demand charge, banded backend):");
+        let e = measure_end_to_end(n, c, SolverBackend::BandedRiccati, true)?;
+        print_e2e_row(&e);
+        storage_rows.push(e);
+    }
+
     println!("\nbackend agreement (lockstep, identical problems per step):");
     let mut agree = Vec::new();
     for &(n, c) in &sizes {
@@ -849,7 +886,14 @@ fn main() -> Result<(), idc_core::Error> {
         shard_agree.push(a);
     }
 
-    let json = render_json(&single, &end_to_end, &agree, &shard_agree, &skipped);
+    let json = render_json(
+        &single,
+        &end_to_end,
+        &storage_rows,
+        &agree,
+        &shard_agree,
+        &skipped,
+    );
     std::fs::write(&out_path, &json)
         .map_err(|e| idc_core::Error::Config(format!("cannot write {out_path}: {e}")))?;
     println!("\nwrote {out_path}");
@@ -861,9 +905,69 @@ fn main() -> Result<(), idc_core::Error> {
 
 /// Hand-rendered pretty JSON (the vendored `serde_json` emits compact
 /// output only; review diffs want one field per line).
+/// Renders one end-to-end row (shared by the plain and storage-enabled
+/// sections — same schema, so `bench_diff` reads both).
+fn push_e2e_json(s: &mut String, r: &EndToEndRow, last: bool) {
+    s.push_str(&format!(
+        "    {{\"idcs\": {}, \"portals\": {}, \"delta_u_vars\": {}, \"backend\": \"{}\", \
+         \"shards\": {}, \"cold_ms_per_step\": {:.3}, \"warm_ms_per_step\": {:.3}, \
+         \"speedup\": {:.2}, \"warm_solve_fraction\": {:.3}, \"cost_rel_diff\": {:.3e}, \
+         \"warm_total_cost\": {:.9},\n",
+        r.n,
+        r.c,
+        r.vars,
+        backend_label(r.backend),
+        backend_shards(r.backend),
+        r.cold_ms_per_step,
+        r.warm_ms_per_step,
+        r.cold_ms_per_step / r.warm_ms_per_step.max(1e-9),
+        r.warm_solve_fraction,
+        r.cost_rel_diff,
+        r.warm_total_cost,
+    ));
+    s.push_str(&format!(
+        "     \"warm_phases_ms_per_step\": {{\"refresh\": {:.3}, \"factor\": {:.3}, \
+         \"condense\": {:.3}, \"solve\": {:.3}, \"reference\": {:.3}, \
+         \"simulate\": {:.3}}},\n",
+        phase_ms(r.phases.refresh_ns, r.steps),
+        phase_ms(r.phases.factor_ns, r.steps),
+        phase_ms(r.phases.condense_ns, r.steps),
+        phase_ms(r.phases.solve_ns, r.steps),
+        phase_ms(r.phases.reference_ns, r.steps),
+        phase_ms(r.phases.simulate_ns, r.steps),
+    ));
+    let per_step = |v: u64| v as f64 / r.steps.max(1) as f64;
+    s.push_str(&format!(
+        "     \"solve_stats\": {{\"iterations_per_step\": {:.3}, \
+         \"constraints_added_per_step\": {:.3}, \"constraints_dropped_per_step\": {:.3}, \
+         \"degenerate_pops\": {}, \"bland_switches\": {}, \
+         \"refinement_passes_per_step\": {:.3}, \"refactorizations_per_step\": {:.3}, \
+         \"updates_applied_per_step\": {:.3}, \"downdates_applied_per_step\": {:.3}, \
+         \"working_set_delta_per_step\": {:.3}, \"warm_seed_survival\": {:.4}, \
+         \"cold_fallbacks\": {}, \"outer_rounds_per_step\": {:.3}, \
+         \"consensus_residual_nano\": {}}}}}{}\n",
+        per_step(r.stats.iterations),
+        per_step(r.stats.constraints_added),
+        per_step(r.stats.constraints_dropped),
+        r.stats.degenerate_pops,
+        r.stats.bland_switches,
+        per_step(r.stats.refinement_passes),
+        per_step(r.stats.refactorizations),
+        per_step(r.stats.updates_applied),
+        per_step(r.stats.downdates_applied),
+        per_step(r.stats.working_set_delta),
+        r.stats.seed_survival(),
+        r.stats.cold_fallbacks,
+        per_step(r.stats.outer_iterations),
+        r.stats.consensus_residual_nano,
+        if last { "" } else { "," }
+    ));
+}
+
 fn render_json(
     single: &[SingleStepRow],
     end_to_end: &[EndToEndRow],
+    storage_rows: &[EndToEndRow],
     agree: &[AgreementRow],
     shard_agree: &[ShardedAgreementRow],
     skipped: &[SkipRow],
@@ -916,60 +1020,17 @@ fn render_json(
     s.push_str("  ],\n");
     s.push_str("  \"end_to_end\": [\n");
     for (i, r) in end_to_end.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"idcs\": {}, \"portals\": {}, \"delta_u_vars\": {}, \"backend\": \"{}\", \
-             \"shards\": {}, \"cold_ms_per_step\": {:.3}, \"warm_ms_per_step\": {:.3}, \
-             \"speedup\": {:.2}, \"warm_solve_fraction\": {:.3}, \"cost_rel_diff\": {:.3e}, \
-             \"warm_total_cost\": {:.9},\n",
-            r.n,
-            r.c,
-            r.vars,
-            backend_label(r.backend),
-            backend_shards(r.backend),
-            r.cold_ms_per_step,
-            r.warm_ms_per_step,
-            r.cold_ms_per_step / r.warm_ms_per_step.max(1e-9),
-            r.warm_solve_fraction,
-            r.cost_rel_diff,
-            r.warm_total_cost,
-        ));
-        s.push_str(&format!(
-            "     \"warm_phases_ms_per_step\": {{\"refresh\": {:.3}, \"factor\": {:.3}, \
-             \"condense\": {:.3}, \"solve\": {:.3}, \"reference\": {:.3}, \
-             \"simulate\": {:.3}}},\n",
-            phase_ms(r.phases.refresh_ns, r.steps),
-            phase_ms(r.phases.factor_ns, r.steps),
-            phase_ms(r.phases.condense_ns, r.steps),
-            phase_ms(r.phases.solve_ns, r.steps),
-            phase_ms(r.phases.reference_ns, r.steps),
-            phase_ms(r.phases.simulate_ns, r.steps),
-        ));
-        let per_step = |v: u64| v as f64 / r.steps.max(1) as f64;
-        s.push_str(&format!(
-            "     \"solve_stats\": {{\"iterations_per_step\": {:.3}, \
-             \"constraints_added_per_step\": {:.3}, \"constraints_dropped_per_step\": {:.3}, \
-             \"degenerate_pops\": {}, \"bland_switches\": {}, \
-             \"refinement_passes_per_step\": {:.3}, \"refactorizations_per_step\": {:.3}, \
-             \"updates_applied_per_step\": {:.3}, \"downdates_applied_per_step\": {:.3}, \
-             \"working_set_delta_per_step\": {:.3}, \"warm_seed_survival\": {:.4}, \
-             \"cold_fallbacks\": {}, \"outer_rounds_per_step\": {:.3}, \
-             \"consensus_residual_nano\": {}}}}}{}\n",
-            per_step(r.stats.iterations),
-            per_step(r.stats.constraints_added),
-            per_step(r.stats.constraints_dropped),
-            r.stats.degenerate_pops,
-            r.stats.bland_switches,
-            per_step(r.stats.refinement_passes),
-            per_step(r.stats.refactorizations),
-            per_step(r.stats.updates_applied),
-            per_step(r.stats.downdates_applied),
-            per_step(r.stats.working_set_delta),
-            r.stats.seed_survival(),
-            r.stats.cold_fallbacks,
-            per_step(r.stats.outer_iterations),
-            r.stats.consensus_residual_nano,
-            if i + 1 < end_to_end.len() { "," } else { "" }
-        ));
+        push_e2e_json(&mut s, r, i + 1 == end_to_end.len());
+    }
+    s.push_str("  ],\n");
+    s.push_str(
+        "  \"storage_end_to_end_mode\": \"same schema as end_to_end, with a battery per IDC \
+         (paper test battery) and the typical commercial demand-charge tariff enabled: the QP \
+         carries charge/discharge/SoC blocks and the demand-charge epigraph row\",\n",
+    );
+    s.push_str("  \"storage_end_to_end\": [\n");
+    for (i, r) in storage_rows.iter().enumerate() {
+        push_e2e_json(&mut s, r, i + 1 == storage_rows.len());
     }
     s.push_str("  ],\n");
     s.push_str("  \"skipped\": [\n");

@@ -25,8 +25,10 @@ use std::time::Instant;
 
 use idc_core::policy::{MpcPolicy, OptimalPolicy, Policy, ReferenceKind, StaticProportionalPolicy};
 use idc_core::scenario::{
-    diurnal_day_scenario, mmpp_hour_scenario, noisy_day_scenario, peak_shaving_scenario,
-    smoothing_scenario, smoothing_scenario_table_ii, vicious_cycle_scenario, Scenario,
+    demand_charge_scenario, diurnal_day_scenario, mmpp_hour_scenario, noisy_day_scenario,
+    peak_shaving_scenario, smoothing_scenario, smoothing_scenario_table_ii,
+    storage_peak_shaving_scenario, storage_plus_shifting_scenario, vicious_cycle_scenario,
+    Scenario,
 };
 use idc_core::simulation::Simulator;
 use idc_testkit::invariants::{check_run, Tolerances};
@@ -40,6 +42,9 @@ fn scenarios(seed: u64, steps: Option<usize>) -> Vec<Scenario> {
         noisy_day_scenario(seed),
         diurnal_day_scenario(seed),
         mmpp_hour_scenario(seed),
+        storage_peak_shaving_scenario(),
+        demand_charge_scenario(seed),
+        storage_plus_shifting_scenario(seed),
     ];
     match steps {
         Some(n) => base.into_iter().map(|s| s.with_num_steps(n)).collect(),

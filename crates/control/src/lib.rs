@@ -45,6 +45,7 @@
 //!     workload_forecast: vec![vec![10_000.0]; 3],
 //!     power_reference_mw: vec![vec![1.2, 2.28]; 5],
 //!     tracking_multiplier: MpcProblem::uniform_tracking(2),
+//!     storage: None,
 //! };
 //! let plan = controller.plan(&problem)?;
 //! // Workload stays conserved after the step.

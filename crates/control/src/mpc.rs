@@ -199,6 +199,49 @@ pub struct MpcProblem {
     /// load (paper Fig. 6: Wisconsin "converges to a value between its
     /// power budget and the optimal-policy value").
     pub tracking_multiplier: Vec<f64>,
+    /// Optional per-IDC battery/UPS actuator. When present the stage
+    /// vector grows from `N·C` workload changes to `N·C + 2N` — charge and
+    /// discharge rate *changes* join the decision variables and grid draw
+    /// becomes IT load + charge − discharge. `None` keeps the problem (and
+    /// every solver path) exactly as before.
+    pub storage: Option<StorageProblem>,
+}
+
+/// Per-IDC battery/UPS data for one sampling period.
+///
+/// All vectors hold one entry per IDC. Rates are in MW, energies in MWh;
+/// internally the controller rescales the rate variables by `1/b₁_j` into
+/// req/s equivalents so the enlarged Hessian keeps the workload variables'
+/// conditioning — callers never see the scaled units.
+///
+/// The charge/discharge decision variables are rate *changes* against
+/// `prev_charge_mw`/`prev_discharge_mw`, mirroring the `ΔU` formulation —
+/// in the banded backend's cumulative y-space that keeps every rate bound
+/// stage-local and the Hessian block-tridiagonal. State of charge evolves
+/// as `soc' = soc + dt·(η_c·c − d/η_d)` and is constrained to
+/// `[0, capacity]` at the end of every control stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageProblem {
+    /// Usable energy capacity per IDC (MWh). Zero disables the unit.
+    pub capacity_mwh: Vec<f64>,
+    /// Maximum charge rate per IDC (MW). Zero models a battery outage
+    /// (forced zero-rate step) without a structure rebuild — rate caps
+    /// enter the right-hand sides only.
+    pub max_charge_mw: Vec<f64>,
+    /// Maximum discharge rate per IDC (MW).
+    pub max_discharge_mw: Vec<f64>,
+    /// Charge efficiency `η_c ∈ (0, 1]` (grid MW → stored MW).
+    pub charge_efficiency: Vec<f64>,
+    /// Discharge efficiency `η_d ∈ (0, 1]` (stored MW → grid MW).
+    pub discharge_efficiency: Vec<f64>,
+    /// State of charge at the start of the period (MWh).
+    pub soc_mwh: Vec<f64>,
+    /// Charge rate applied in the previous period (MW).
+    pub prev_charge_mw: Vec<f64>,
+    /// Discharge rate applied in the previous period (MW).
+    pub prev_discharge_mw: Vec<f64>,
+    /// Sampling period (hours); converts rates to energy per stage.
+    pub dt_hours: f64,
 }
 
 impl MpcProblem {
@@ -231,13 +274,39 @@ impl MpcProblem {
             .collect()
     }
 
-    /// Current per-IDC power in MW.
+    /// Current per-IDC power in MW (IT draw only — see
+    /// [`current_grid_power_mw`](Self::current_grid_power_mw) for the
+    /// storage-adjusted draw).
     pub fn current_power_mw(&self) -> Vec<f64> {
         self.current_idc_workloads()
             .iter()
             .enumerate()
             .map(|(j, &l)| self.b1_mw[j] * l + self.b0_mw[j] * self.servers_on[j] as f64)
             .collect()
+    }
+
+    /// Current per-IDC *grid* power in MW: IT draw plus the previous
+    /// period's net battery rate (charge − discharge). Equal to
+    /// [`current_power_mw`](Self::current_power_mw) without storage.
+    pub fn current_grid_power_mw(&self) -> Vec<f64> {
+        let mut p = self.current_power_mw();
+        if let Some(st) = &self.storage {
+            for (j, pj) in p.iter_mut().enumerate() {
+                *pj += st.prev_charge_mw[j] - st.prev_discharge_mw[j];
+            }
+        }
+        p
+    }
+
+    /// Decision-variable block size per control stage: `N·C` workload
+    /// changes, plus `2N` rate changes when storage is attached.
+    pub fn block_size(&self) -> usize {
+        let nc = self.num_idcs() * self.num_portals();
+        if self.storage.is_some() {
+            nc + 2 * self.num_idcs()
+        } else {
+            nc
+        }
     }
 }
 
@@ -256,6 +325,12 @@ struct StructureCache {
     c: usize,
     b1_mw: Vec<f64>,
     tracking_multiplier: Vec<f64>,
+    /// Storage structure fingerprint: the efficiencies are the only
+    /// storage parameters that enter constraint *coefficients* (capacity,
+    /// rate caps, SoC and previous rates all live in the right-hand
+    /// sides), so a battery outage — zeroed rate caps — reuses the
+    /// skeleton. `None` when the problem carries no storage.
+    storage_key: Option<(Vec<f64>, Vec<f64>)>,
     skeleton: Skeleton,
 }
 
@@ -540,6 +615,7 @@ impl MpcController {
         let beta1 = self.config.prediction_horizon;
         let beta2 = self.config.control_horizon;
         let nc = n * c;
+        let nb = problem.block_size();
         let lambda0 = problem.current_idc_workloads();
 
         self.refresh_structure(problem, n, c)?;
@@ -553,8 +629,13 @@ impl MpcController {
         self.rhs.resize(rows, 0.0);
         for s in 0..beta1 {
             for j in 0..n {
-                let current_p =
+                let mut current_p =
                     problem.b1_mw[j] * lambda0[j] + problem.b0_mw[j] * problem.servers_on[j] as f64;
+                if let Some(st) = &problem.storage {
+                    // Grid draw carries the previous net battery rate; the
+                    // rate *changes* are decision variables.
+                    current_p += st.prev_charge_mw[j] - st.prev_discharge_mw[j];
+                }
                 self.rhs[s * n + j] = problem.power_reference_mw[s][j] - current_p;
             }
         }
@@ -574,6 +655,50 @@ impl MpcController {
         for _t in 0..beta2 {
             for idx in 0..nc {
                 self.in_rhs.push(problem.prev_input[idx]);
+            }
+        }
+        if let Some(st) = &problem.storage {
+            // Storage families, each t-major × IDC, in req/s-equivalent
+            // units (rates divided by b₁_j to match the workload
+            // variables' scale): charge upper/lower, discharge
+            // upper/lower, then SoC upper/lower (rows divided by dt·b₁_j).
+            for _t in 0..beta2 {
+                for j in 0..n {
+                    self.in_rhs
+                        .push((st.max_charge_mw[j] - st.prev_charge_mw[j]) / problem.b1_mw[j]);
+                }
+            }
+            for _t in 0..beta2 {
+                for j in 0..n {
+                    self.in_rhs.push(st.prev_charge_mw[j] / problem.b1_mw[j]);
+                }
+            }
+            for _t in 0..beta2 {
+                for j in 0..n {
+                    self.in_rhs
+                        .push((st.max_discharge_mw[j] - st.prev_discharge_mw[j]) / problem.b1_mw[j]);
+                }
+            }
+            for _t in 0..beta2 {
+                for j in 0..n {
+                    self.in_rhs.push(st.prev_discharge_mw[j] / problem.b1_mw[j]);
+                }
+            }
+            for t in 0..beta2 {
+                for j in 0..n {
+                    let drift = soc_drift(st, j, t);
+                    self.in_rhs.push(
+                        (st.capacity_mwh[j] - st.soc_mwh[j] - drift)
+                            / (st.dt_hours * problem.b1_mw[j]),
+                    );
+                }
+            }
+            for t in 0..beta2 {
+                for j in 0..n {
+                    let drift = soc_drift(st, j, t);
+                    self.in_rhs
+                        .push((st.soc_mwh[j] + drift) / (st.dt_hours * problem.b1_mw[j]));
+                }
             }
         }
         {
@@ -629,7 +754,7 @@ impl MpcController {
                     Skeleton::Banded(skel) => {
                         // The banded backend optimizes cumulative changes;
                         // convert the repaired warm point at the boundary.
-                        riccati::to_cumulative(nc, &self.warm_x, &mut self.warm_y);
+                        riccati::to_cumulative(nb, &self.warm_x, &mut self.warm_y);
                         skel.qp_mut()
                             .warm_start(&self.warm_y, &self.seed, &mut self.bws)
                     }
@@ -654,6 +779,7 @@ impl MpcController {
                             n,
                             c,
                             beta2,
+                            problem.storage.as_ref(),
                         ));
                     }
                 }
@@ -690,7 +816,7 @@ impl MpcController {
         let mut delta_u = solution.into_x();
         if is_banded {
             // Back from cumulative y-space to the stacked input changes.
-            riccati::to_deltas(nc, &mut delta_u);
+            riccati::to_deltas(nb, &mut delta_u);
         }
         self.warm = Some(WarmState {
             delta_u: delta_u.clone(),
@@ -837,25 +963,36 @@ impl MpcController {
     ) -> bool {
         let beta2 = self.config.control_horizon;
         let nc = n * c;
-        let nv = nc * beta2;
+        let nb = problem.block_size();
+        let nv = nb * beta2;
         let has_base = matches!(&self.warm, Some(w) if w.delta_u.len() == nv);
         // Re-index the previous active set for the shifted horizon.
-        // Both constraint families bound *cumulative* sums through
+        // Every constraint family bounds *cumulative* sums through
         // block `t`, so after dropping the applied first block the
         // activity at new block `t` is the old activity at `t + 1` —
         // and the appended zero change block repeats the old final
-        // block's cumulative sums, hence its activity too. Without
-        // this shift most of the seed is filtered out as inactive and
-        // the solver re-discovers the set one iteration at a time.
+        // block's cumulative sums, hence its activity too (for the SoC
+        // rows, which keep integrating, the repeat is a heuristic seed
+        // the solver filters if inactive). Without this shift most of
+        // the seed is filtered out as inactive and the solver
+        // re-discovers the set one iteration at a time.
         self.seed.clear();
         if has_base {
             let w = self.warm.as_ref().expect("has_base");
             let ncap = beta2 * n;
+            let nnn = beta2 * nc;
             for &ci in &w.active_set {
                 let (family, t, rest, stride) = if ci < ncap {
                     (0, ci / n, ci % n, n)
-                } else {
+                } else if ci < ncap + nnn {
                     (ncap, (ci - ncap) / nc, (ci - ncap) % nc, nc)
+                } else {
+                    // Storage families (charge/discharge bounds, SoC
+                    // bounds): six blocks of β₂·N rows, stride N.
+                    let k = ci - ncap - nnn;
+                    let fam = k / ncap;
+                    let within = k % ncap;
+                    (ncap + nnn + fam * ncap, within / n, within % n, n)
                 };
                 if t >= 1 {
                     self.seed.push(family + (t - 1) * stride + rest);
@@ -873,8 +1010,51 @@ impl MpcController {
         self.warm_x.resize(nv, 0.0);
         if let (true, Some(w)) = (has_base, &self.warm) {
             for t in 0..beta2 - 1 {
-                self.warm_x[t * nc..(t + 1) * nc]
-                    .copy_from_slice(&w.delta_u[(t + 1) * nc..(t + 2) * nc]);
+                self.warm_x[t * nb..(t + 1) * nb]
+                    .copy_from_slice(&w.delta_u[(t + 1) * nb..(t + 2) * nb]);
+            }
+        }
+        // Storage repair: forward-simulate each IDC's battery under the
+        // shifted rate changes and clamp to the rate and SoC boxes. The
+        // policy nets and the simulator clamps the applied rates, so the
+        // shifted plan's implied rates can sit outside the new step's
+        // boxes (and an outage zeroes the caps outright); the clamps
+        // below rewrite the Δ entries to the nearest feasible schedule.
+        if let Some(st) = &problem.storage {
+            for j in 0..n {
+                let b1 = problem.b1_mw[j];
+                let (ec, ed, dt) = (
+                    st.charge_efficiency[j],
+                    st.discharge_efficiency[j],
+                    st.dt_hours,
+                );
+                let cap = st.capacity_mwh[j];
+                let mut soc = st.soc_mwh[j].min(cap);
+                // Cumulative rate changes in req/s-equivalent units.
+                let (mut cum_gc, mut cum_gd) = (0.0, 0.0);
+                for t in 0..beta2 {
+                    let mut c_mw = (st.prev_charge_mw[j]
+                        + b1 * (cum_gc + self.warm_x[t * nb + nc + j]))
+                        .clamp(0.0, st.max_charge_mw[j]);
+                    let mut d_mw = (st.prev_discharge_mw[j]
+                        + b1 * (cum_gd + self.warm_x[t * nb + nc + n + j]))
+                        .clamp(0.0, st.max_discharge_mw[j]);
+                    // SoC upper: charge only up to full...
+                    if soc + dt * (ec * c_mw - d_mw / ed) > cap {
+                        c_mw = (((cap - soc) / dt + d_mw / ed) / ec).clamp(0.0, st.max_charge_mw[j]);
+                    }
+                    // ...SoC lower: discharge only down to empty.
+                    if soc + dt * (ec * c_mw - d_mw / ed) < 0.0 {
+                        d_mw = (ed * (soc / dt + ec * c_mw)).clamp(0.0, st.max_discharge_mw[j]);
+                    }
+                    soc = (soc + dt * (ec * c_mw - d_mw / ed)).clamp(0.0, cap);
+                    let new_cum_gc = (c_mw - st.prev_charge_mw[j]) / b1;
+                    let new_cum_gd = (d_mw - st.prev_discharge_mw[j]) / b1;
+                    self.warm_x[t * nb + nc + j] = new_cum_gc - cum_gc;
+                    self.warm_x[t * nb + nc + n + j] = new_cum_gd - cum_gd;
+                    cum_gc = new_cum_gc;
+                    cum_gd = new_cum_gd;
+                }
             }
         }
         // Repair the conservation equalities exactly. The
@@ -894,7 +1074,7 @@ impl MpcController {
         for t in 0..beta2 {
             for j in 0..n {
                 for i in 0..c {
-                    let v = self.warm_x[t * nc + j * c + i];
+                    let v = self.warm_x[t * nb + j * c + i];
                     self.repair_cum_entry[j * c + i] += v;
                     self.repair_cum_idc[j] += v;
                 }
@@ -923,7 +1103,7 @@ impl MpcController {
                     let slack =
                         (self.repair_cum_entry[j * c + i] + problem.prev_input[j * c + i]).max(0.0);
                     let red = take * slack / slack_total;
-                    self.warm_x[t * nc + j * c + i] -= red;
+                    self.warm_x[t * nb + j * c + i] -= red;
                     self.repair_cum_entry[j * c + i] -= red;
                     self.repair_cum_idc[j] -= red;
                 }
@@ -978,7 +1158,7 @@ impl MpcController {
                 }
                 for j in 0..n {
                     let add = d * self.repair_weights[j] / total;
-                    self.warm_x[t * nc + j * c + i] += add;
+                    self.warm_x[t * nb + j * c + i] += add;
                     self.repair_cum_entry[j * c + i] += add;
                     self.repair_cum_idc[j] += add;
                 }
@@ -1007,17 +1187,26 @@ impl MpcController {
     /// tracking multipliers. Server counts, capacities, forecasts, and
     /// references only enter the per-step right-hand sides.
     fn refresh_structure(&mut self, problem: &MpcProblem, n: usize, c: usize) -> Result<()> {
+        let storage_key = problem.storage.as_ref().map(|st| {
+            (
+                st.charge_efficiency.clone(),
+                st.discharge_efficiency.clone(),
+            )
+        });
         if let Some(cache) = &self.cache {
             if cache.n == n
                 && cache.c == c
                 && cache.b1_mw == problem.b1_mw
                 && cache.tracking_multiplier == problem.tracking_multiplier
+                && cache.storage_key == storage_key
             {
                 return Ok(());
             }
             // A weight change keeps the warm state usable (same variable
-            // layout, same constraints); a dimension change does not.
-            if cache.n != n || cache.c != c {
+            // layout, same constraints); a dimension change does not —
+            // and attaching or detaching storage changes the layout.
+            if cache.n != n || cache.c != c || cache.storage_key.is_some() != storage_key.is_some()
+            {
                 self.warm = None;
             }
         }
@@ -1055,6 +1244,7 @@ impl MpcController {
             c,
             b1_mw: problem.b1_mw.clone(),
             tracking_multiplier: problem.tracking_multiplier.clone(),
+            storage_key,
             skeleton,
         });
         Ok(())
@@ -1071,11 +1261,15 @@ impl MpcController {
         let beta1 = self.config.prediction_horizon;
         let beta2 = self.config.control_horizon;
         let nc = n * c;
-        let nv = nc * beta2;
+        let nb = problem.block_size();
+        let nv = nb * beta2;
+        let storage = problem.storage.as_ref();
 
         // ---- Least-squares rows: tracking then smoothing. Only the
         // sparsity pattern and the weights matter here; the rhs is
-        // refreshed each step. ----
+        // refreshed each step. With storage the per-IDC power row gains
+        // `+b₁·Δγc − b₁·Δγd` (rate changes in req/s equivalents, so the
+        // coefficient matches the workload entries'). ----
         let rows = beta1 * n + beta2 * n;
         let mut a = Matrix::zeros(rows, nv);
         let mut weights = vec![0.0; rows];
@@ -1084,7 +1278,11 @@ impl MpcController {
                 let row = s * n + j;
                 for t in 0..=s.min(beta2 - 1) {
                     for i in 0..c {
-                        a[(row, t * nc + j * c + i)] = problem.b1_mw[j];
+                        a[(row, t * nb + j * c + i)] = problem.b1_mw[j];
+                    }
+                    if storage.is_some() {
+                        a[(row, t * nb + nc + j)] = problem.b1_mw[j];
+                        a[(row, t * nb + nc + n + j)] = -problem.b1_mw[j];
                     }
                 }
                 weights[row] = self.config.tracking_weight * problem.tracking_multiplier[j];
@@ -1094,7 +1292,11 @@ impl MpcController {
             for j in 0..n {
                 let row = beta1 * n + t * n + j;
                 for i in 0..c {
-                    a[(row, t * nc + j * c + i)] = problem.b1_mw[j];
+                    a[(row, t * nb + j * c + i)] = problem.b1_mw[j];
+                }
+                if storage.is_some() {
+                    a[(row, t * nb + nc + j)] = problem.b1_mw[j];
+                    a[(row, t * nb + nc + n + j)] = -problem.b1_mw[j];
                 }
                 weights[row] = self.config.smoothing_weight;
             }
@@ -1111,7 +1313,7 @@ impl MpcController {
                 let mut row = vec![0.0; nv];
                 for tp in 0..=t {
                     for j in 0..n {
-                        row[tp * nc + j * c + i] = 1.0;
+                        row[tp * nb + j * c + i] = 1.0;
                     }
                 }
                 lsq = lsq.equality(row, 0.0);
@@ -1123,7 +1325,7 @@ impl MpcController {
                 let mut row = vec![0.0; nv];
                 for tp in 0..=t {
                     for i in 0..c {
-                        row[tp * nc + j * c + i] = 1.0;
+                        row[tp * nb + j * c + i] = 1.0;
                     }
                 }
                 lsq = lsq.inequality(row, 0.0);
@@ -1134,9 +1336,53 @@ impl MpcController {
             for idx in 0..nc {
                 let mut row = vec![0.0; nv];
                 for tp in 0..=t {
-                    row[tp * nc + idx] = -1.0;
+                    row[tp * nb + idx] = -1.0;
                 }
                 lsq = lsq.inequality(row, 0.0);
+            }
+        }
+        if let Some(st) = storage {
+            // Charge rate box: ±cumulative Δγc against the per-step rhs.
+            for sign in [1.0, -1.0] {
+                for t in 0..beta2 {
+                    for j in 0..n {
+                        let mut row = vec![0.0; nv];
+                        for tp in 0..=t {
+                            row[tp * nb + nc + j] = sign;
+                        }
+                        lsq = lsq.inequality(row, 0.0);
+                    }
+                }
+            }
+            // Discharge rate box.
+            for sign in [1.0, -1.0] {
+                for t in 0..beta2 {
+                    for j in 0..n {
+                        let mut row = vec![0.0; nv];
+                        for tp in 0..=t {
+                            row[tp * nb + nc + n + j] = sign;
+                        }
+                        lsq = lsq.inequality(row, 0.0);
+                    }
+                }
+            }
+            // SoC box: the stored energy after stage t is linear in the
+            // rate changes — Δγc at stage q charges for the t−q+1 stages
+            // it stays applied (rows scaled by 1/(dt·b₁), so the
+            // coefficients are the bare efficiencies).
+            for sign in [1.0, -1.0] {
+                for t in 0..beta2 {
+                    for j in 0..n {
+                        let mut row = vec![0.0; nv];
+                        for q in 0..=t {
+                            let steps = (t - q + 1) as f64;
+                            row[q * nb + nc + j] = sign * st.charge_efficiency[j] * steps;
+                            row[q * nb + nc + n + j] =
+                                -sign * steps / st.discharge_efficiency[j];
+                        }
+                        lsq = lsq.inequality(row, 0.0);
+                    }
+                }
             }
         }
 
@@ -1183,8 +1429,67 @@ impl MpcController {
         if p.tracking_multiplier.len() != n || p.tracking_multiplier.iter().any(|&m| !(m >= 0.0)) {
             return fail("tracking_multiplier must hold one non-negative value per IDC".into());
         }
+        if let Some(st) = &p.storage {
+            if matches!(self.config.backend, SolverBackend::Sharded { .. }) {
+                return fail(
+                    "storage-enabled problems are not supported by the sharded backend".into(),
+                );
+            }
+            if st.capacity_mwh.len() != n
+                || st.max_charge_mw.len() != n
+                || st.max_discharge_mw.len() != n
+                || st.charge_efficiency.len() != n
+                || st.discharge_efficiency.len() != n
+                || st.soc_mwh.len() != n
+                || st.prev_charge_mw.len() != n
+                || st.prev_discharge_mw.len() != n
+            {
+                return fail("storage vectors must hold one entry per IDC".into());
+            }
+            if !(st.dt_hours > 0.0) || !st.dt_hours.is_finite() {
+                return fail("storage dt_hours must be positive and finite".into());
+            }
+            for j in 0..n {
+                let ok = st.capacity_mwh[j].is_finite()
+                    && st.capacity_mwh[j] >= 0.0
+                    && st.max_charge_mw[j].is_finite()
+                    && st.max_charge_mw[j] >= 0.0
+                    && st.max_discharge_mw[j].is_finite()
+                    && st.max_discharge_mw[j] >= 0.0
+                    && st.charge_efficiency[j] > 0.0
+                    && st.charge_efficiency[j] <= 1.0
+                    && st.discharge_efficiency[j] > 0.0
+                    && st.discharge_efficiency[j] <= 1.0
+                    && st.soc_mwh[j] >= 0.0
+                    && st.soc_mwh[j] <= st.capacity_mwh[j]
+                    && st.prev_charge_mw[j].is_finite()
+                    && st.prev_charge_mw[j] >= 0.0
+                    && st.prev_discharge_mw[j].is_finite()
+                    && st.prev_discharge_mw[j] >= 0.0;
+                if !ok {
+                    return fail(format!("storage parameters for IDC {j} are out of range"));
+                }
+                if !(p.b1_mw[j] > 0.0) {
+                    // The rate variables are scaled by 1/b₁_j into req/s
+                    // equivalents; a zero marginal power leaves no scale.
+                    return fail(format!(
+                        "storage requires a positive marginal power b1_mw for IDC {j}"
+                    ));
+                }
+            }
+        }
         Ok(())
     }
+}
+
+/// The SoC drift the previous rates alone would cause through the end of
+/// stage `t` (MWh): the constant part of the stored-energy expression that
+/// moves into the SoC rows' right-hand sides.
+fn soc_drift(st: &StorageProblem, j: usize, t: usize) -> f64 {
+    st.dt_hours
+        * (t as f64 + 1.0)
+        * (st.charge_efficiency[j] * st.prev_charge_mw[j]
+            - st.prev_discharge_mw[j] / st.discharge_efficiency[j])
 }
 
 /// Computes the per-family constraint violations of a rejected warm point
@@ -1197,13 +1502,15 @@ fn warm_rejection_breakdown(
     n: usize,
     c: usize,
     beta2: usize,
+    storage: Option<&StorageProblem>,
 ) -> WarmRejection {
     let nc = n * c;
+    let nb = nc + if storage.is_some() { 2 * n } else { 0 };
     let mut rej = WarmRejection::default();
     let mut cum = vec![0.0; nc];
     for t in 0..beta2 {
         for k in 0..nc {
-            cum[k] += warm_x[t * nc + k];
+            cum[k] += warm_x[t * nb + k];
         }
         for i in 0..c {
             let sum: f64 = (0..n).map(|j| cum[j * c + i]).sum();
@@ -1217,6 +1524,34 @@ fn warm_rejection_breakdown(
             rej.nonnegativity = rej
                 .nonnegativity
                 .max(-(cum[k] + in_rhs[beta2 * n + t * nc + k]));
+        }
+    }
+    if let Some(st) = storage {
+        // Families C–H past the non-negativity block: cumulative charge /
+        // discharge boxes, then the SoC box (all in scaled units, matching
+        // the assembled rhs).
+        let base = beta2 * n + beta2 * nc;
+        let mut cum_gc = vec![0.0; n];
+        let mut cum_gd = vec![0.0; n];
+        let mut soc_c = vec![0.0; n];
+        let mut soc_d = vec![0.0; n];
+        for t in 0..beta2 {
+            for j in 0..n {
+                cum_gc[j] += warm_x[t * nb + nc + j];
+                cum_gd[j] += warm_x[t * nb + nc + n + j];
+                soc_c[j] += cum_gc[j];
+                soc_d[j] += cum_gd[j];
+                let soc = st.charge_efficiency[j] * soc_c[j] - soc_d[j] / st.discharge_efficiency[j];
+                let row = t * n + j;
+                rej.storage = rej
+                    .storage
+                    .max(cum_gc[j] - in_rhs[base + row])
+                    .max(-cum_gc[j] - in_rhs[base + beta2 * n + row])
+                    .max(cum_gd[j] - in_rhs[base + 2 * beta2 * n + row])
+                    .max(-cum_gd[j] - in_rhs[base + 3 * beta2 * n + row])
+                    .max(soc - in_rhs[base + 4 * beta2 * n + row])
+                    .max(-soc - in_rhs[base + 5 * beta2 * n + row]);
+            }
         }
     }
     rej
@@ -1242,6 +1577,7 @@ fn finish_plan(
     warm_rejections: Vec<WarmRejection>,
 ) -> MpcPlan {
     let nc = n * c;
+    let nb = problem.block_size();
     // Receding horizon: apply only the first block.
     let next_input: Vec<f64> = problem
         .prev_input
@@ -1250,7 +1586,33 @@ fn finish_plan(
         .map(|(u, d)| (u + d).max(0.0))
         .collect();
 
-    // Predicted per-IDC power over the prediction horizon.
+    // First-block battery rates, netted: the QP may plan simultaneous
+    // charge and discharge (round-trip losses are not in the objective),
+    // but physically only the net flow moves — fold it onto one side.
+    let (next_charge_mw, next_discharge_mw) = match &problem.storage {
+        Some(st) => {
+            let mut charge = Vec::with_capacity(n);
+            let mut discharge = Vec::with_capacity(n);
+            for j in 0..n {
+                let raw_c = (st.prev_charge_mw[j] + problem.b1_mw[j] * delta_u[nc + j])
+                    .clamp(0.0, st.max_charge_mw[j]);
+                let raw_d = (st.prev_discharge_mw[j] + problem.b1_mw[j] * delta_u[nc + n + j])
+                    .clamp(0.0, st.max_discharge_mw[j]);
+                let net = raw_c - raw_d;
+                if net >= 0.0 {
+                    charge.push(net);
+                    discharge.push(0.0);
+                } else {
+                    charge.push(0.0);
+                    discharge.push(-net);
+                }
+            }
+            (charge, discharge)
+        }
+        None => (Vec::new(), Vec::new()),
+    };
+
+    // Predicted per-IDC grid power over the prediction horizon.
     let mut predicted_power_mw = Vec::with_capacity(beta1);
     for s in 0..beta1 {
         let mut per_idc = Vec::with_capacity(n);
@@ -1258,10 +1620,18 @@ fn finish_plan(
             let mut lam = lambda0[j];
             for t in 0..=s.min(beta2 - 1) {
                 for i in 0..c {
-                    lam += delta_u[t * nc + j * c + i];
+                    lam += delta_u[t * nb + j * c + i];
                 }
             }
-            per_idc.push(problem.b1_mw[j] * lam + problem.b0_mw[j] * problem.servers_on[j] as f64);
+            let mut p = problem.b1_mw[j] * lam + problem.b0_mw[j] * problem.servers_on[j] as f64;
+            if let Some(st) = &problem.storage {
+                let mut net = st.prev_charge_mw[j] - st.prev_discharge_mw[j];
+                for t in 0..=s.min(beta2 - 1) {
+                    net += problem.b1_mw[j] * (delta_u[t * nb + nc + j] - delta_u[t * nb + nc + n + j]);
+                }
+                p += net;
+            }
+            per_idc.push(p);
         }
         predicted_power_mw.push(per_idc);
     }
@@ -1269,6 +1639,8 @@ fn finish_plan(
     MpcPlan {
         delta_u,
         next_input,
+        next_charge_mw,
+        next_discharge_mw,
         predicted_power_mw,
         qp_iterations,
         warm_started,
@@ -1284,6 +1656,8 @@ fn finish_plan(
 pub struct MpcPlan {
     delta_u: Vec<f64>,
     next_input: Vec<f64>,
+    next_charge_mw: Vec<f64>,
+    next_discharge_mw: Vec<f64>,
     predicted_power_mw: Vec<Vec<f64>>,
     qp_iterations: usize,
     warm_started: bool,
@@ -1302,6 +1676,19 @@ impl MpcPlan {
     /// The input to apply now: `U(k) = U(k−1) + ΔU(k|k)`, IDC-major flat.
     pub fn next_input(&self) -> &[f64] {
         &self.next_input
+    }
+
+    /// Per-IDC battery charge rate (MW) to apply now, netted against the
+    /// planned discharge (at most one of charge/discharge is nonzero per
+    /// IDC). Empty when the problem carried no storage.
+    pub fn next_charge_mw(&self) -> &[f64] {
+        &self.next_charge_mw
+    }
+
+    /// Per-IDC battery discharge rate (MW) to apply now, netted against
+    /// the planned charge. Empty when the problem carried no storage.
+    pub fn next_discharge_mw(&self) -> &[f64] {
+        &self.next_discharge_mw
     }
 
     /// Predicted per-IDC power (MW) for each prediction step.
@@ -1363,6 +1750,22 @@ mod tests {
             workload_forecast: vec![vec![10_000.0]; 3],
             power_reference_mw: vec![reference.to_vec(); 5],
             tracking_multiplier: MpcProblem::uniform_tracking(2),
+            storage: None,
+        }
+    }
+
+    /// A 4 MWh / 2 MW battery at 95%/95% efficiency per IDC, half charged.
+    fn test_storage(n: usize) -> StorageProblem {
+        StorageProblem {
+            capacity_mwh: vec![4.0; n],
+            max_charge_mw: vec![2.0; n],
+            max_discharge_mw: vec![2.0; n],
+            charge_efficiency: vec![0.95; n],
+            discharge_efficiency: vec![0.95; n],
+            soc_mwh: vec![2.0; n],
+            prev_charge_mw: vec![0.0; n],
+            prev_discharge_mw: vec![0.0; n],
+            dt_hours: 1.0 / 12.0,
         }
     }
 
@@ -1389,6 +1792,7 @@ mod tests {
             workload_forecast: vec![vec![30000.0, 15000.0, 15000.0, 20000.0, 20000.0]; 3],
             power_reference_mw: vec![vec![5.13, 10.26, 1.6289828571428573]; 5],
             tracking_multiplier: vec![25.0, 25.0, 1.0],
+            storage: None,
         };
         let mut controller = MpcController::new(MpcConfig::default());
         let plan = controller.plan(&problem).expect("must terminate");
@@ -1687,6 +2091,7 @@ mod tests {
             workload_forecast: vec![vec![30000.0, 15000.0, 15000.0, 20000.0, 20000.0]; 3],
             power_reference_mw: vec![vec![5.13, 10.26, 1.6289828571428573]; 5],
             tracking_multiplier: vec![25.0, 25.0, 1.0],
+            storage: None,
         };
         let mut controller = MpcController::new(MpcConfig {
             backend: SolverBackend::BandedRiccati,
@@ -1770,6 +2175,7 @@ mod tests {
             workload_forecast: vec![vec![30000.0, 15000.0, 15000.0, 20000.0, 20000.0]; 3],
             power_reference_mw: vec![vec![5.13, 10.26, 1.6289828571428573]; 5],
             tracking_multiplier: vec![25.0, 25.0, 1.0],
+            storage: None,
         };
         let mut controller = MpcController::new(MpcConfig {
             backend: SolverBackend::sharded(3),
@@ -1947,7 +2353,7 @@ mod tests {
         // Capacity rows (t-major × IDC): IDC0 capacity 7 → cum 10 violates
         // by 3 at stage 1. Non-negativity rhs = prev inputs (all 1).
         let in_rhs = vec![7.0, 100.0, 7.0, 100.0, 1.0, 1.0, 1.0, 1.0];
-        let rej = warm_rejection_breakdown(&warm_x, &eq_rhs, &in_rhs, n, c, beta2);
+        let rej = warm_rejection_breakdown(&warm_x, &eq_rhs, &in_rhs, n, c, beta2, None);
         assert!((rej.conservation - 3.0).abs() < 1e-12, "{rej:?}");
         assert!((rej.capacity - 3.0).abs() < 1e-12, "{rej:?}");
         assert_eq!(rej.nonnegativity, 0.0, "{rej:?}");
@@ -1974,5 +2380,242 @@ mod tests {
         assert_eq!(p.current_idc_workloads(), vec![6_000.0, 4_000.0]);
         let power = p.current_power_mw();
         assert!((power[0] - (67.5e-6 * 6_000.0 + 150.0e-6 * 8_000.0)).abs() < 1e-12);
+        assert_eq!(p.block_size(), 2);
+        let mut ps = p.clone();
+        ps.storage = Some(test_storage(2));
+        assert_eq!(ps.block_size(), 6);
+        ps.storage.as_mut().unwrap().prev_discharge_mw[1] = 0.5;
+        let grid = ps.current_grid_power_mw();
+        assert!((grid[0] - power[0]).abs() < 1e-12);
+        assert!((grid[1] - (power[1] - 0.5)).abs() < 1e-12);
+    }
+
+    /// Advances a belief battery state exactly as the controller's
+    /// constraints model it: `soc' = soc + dt·(η_c·c − d/η_d)`.
+    fn apply_rates(st: &mut StorageProblem, charge: &[f64], discharge: &[f64]) {
+        for j in 0..st.soc_mwh.len() {
+            st.soc_mwh[j] += st.dt_hours
+                * (st.charge_efficiency[j] * charge[j]
+                    - discharge[j] / st.discharge_efficiency[j]);
+            st.soc_mwh[j] = st.soc_mwh[j].clamp(0.0, st.capacity_mwh[j]);
+            st.prev_charge_mw[j] = charge[j];
+            st.prev_discharge_mw[j] = discharge[j];
+        }
+    }
+
+    #[test]
+    fn storage_discharges_against_a_low_reference() {
+        // Reference sits 0.5 MW below the IT power each IDC can reach by
+        // shifting alone (total workload is fixed), so the cheapest way to
+        // track it is battery discharge.
+        let mut controller = MpcController::new(MpcConfig::default());
+        let mut problem = two_idc_problem(
+            [6_000.0, 4_000.0],
+            [
+                67.5e-6 * 6_000.0 + 150.0e-6 * 8_000.0 - 0.5,
+                108.0e-6 * 4_000.0 + 150.0e-6 * 10_000.0 - 0.5,
+            ],
+        );
+        problem.storage = Some(test_storage(2));
+        let plan = controller.plan(&problem).unwrap();
+        for j in 0..2 {
+            assert!(
+                plan.next_discharge_mw()[j] > 0.1,
+                "IDC {j} should discharge, got {:?}",
+                plan.next_discharge_mw()
+            );
+            assert_eq!(plan.next_charge_mw()[j], 0.0);
+        }
+        // Predicted grid power moves below the IT-only draw.
+        let it_power = problem.current_power_mw();
+        assert!(plan.predicted_power_mw()[0][0] < it_power[0]);
+    }
+
+    #[test]
+    fn storage_rates_respect_caps_and_soc() {
+        // A nearly empty battery with a harsh low reference: discharge is
+        // wanted hard but must respect both the rate cap and the energy
+        // actually stored.
+        let mut st = test_storage(2);
+        st.soc_mwh = vec![0.05, 0.05];
+        let mut problem = two_idc_problem([6_000.0, 4_000.0], [0.2, 0.2]);
+        problem.storage = Some(st);
+        let mut controller = MpcController::new(MpcConfig::default());
+        for _ in 0..6 {
+            let plan = controller.plan(&problem).unwrap();
+            let st = problem.storage.as_ref().unwrap();
+            for j in 0..2 {
+                let (c_mw, d_mw) = (plan.next_charge_mw()[j], plan.next_discharge_mw()[j]);
+                assert!((0.0..=st.max_charge_mw[j] + 1e-9).contains(&c_mw), "{c_mw}");
+                assert!(
+                    (0.0..=st.max_discharge_mw[j] + 1e-9).contains(&d_mw),
+                    "{d_mw}"
+                );
+                // Discharging this hard for one step may not overdrain.
+                let drained = st.dt_hours * d_mw / st.discharge_efficiency[j];
+                assert!(
+                    drained <= st.soc_mwh[j] + 1e-9,
+                    "discharge {d_mw} MW would overdrain soc {}",
+                    st.soc_mwh[j]
+                );
+            }
+            problem.prev_input = plan.next_input().to_vec();
+            let (c, d) = (
+                plan.next_charge_mw().to_vec(),
+                plan.next_discharge_mw().to_vec(),
+            );
+            apply_rates(problem.storage.as_mut().unwrap(), &c, &d);
+            let st = problem.storage.as_ref().unwrap();
+            for j in 0..2 {
+                assert!(
+                    st.soc_mwh[j] >= -1e-9 && st.soc_mwh[j] <= st.capacity_mwh[j] + 1e-9,
+                    "soc out of bounds: {}",
+                    st.soc_mwh[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn storage_banded_matches_dense_in_closed_loop() {
+        let mut dense = MpcController::new(MpcConfig::default());
+        let mut banded = MpcController::new(MpcConfig {
+            backend: SolverBackend::BandedRiccati,
+            ..MpcConfig::default()
+        });
+        let mut pd = two_idc_problem([10_000.0, 0.0], [1.0, 2.0]);
+        pd.storage = Some(test_storage(2));
+        let mut pb = pd.clone();
+        for step in 0..6 {
+            let plan_d = dense.plan(&pd).unwrap();
+            let plan_b = banded.plan(&pb).unwrap();
+            for (a, b) in plan_d.next_input().iter().zip(plan_b.next_input()) {
+                assert!((a - b).abs() < 1e-4, "step {step}: {a} vs {b}");
+            }
+            for j in 0..2 {
+                let da = plan_d.next_charge_mw()[j] - plan_d.next_discharge_mw()[j];
+                let db = plan_b.next_charge_mw()[j] - plan_b.next_discharge_mw()[j];
+                assert!((da - db).abs() < 1e-6, "step {step}: net rate {da} vs {db}");
+            }
+            pd.prev_input = plan_d.next_input().to_vec();
+            pb.prev_input = plan_b.next_input().to_vec();
+            let (cd, dd) = (
+                plan_d.next_charge_mw().to_vec(),
+                plan_d.next_discharge_mw().to_vec(),
+            );
+            apply_rates(pd.storage.as_mut().unwrap(), &cd, &dd);
+            let (cb, db) = (
+                plan_b.next_charge_mw().to_vec(),
+                plan_b.next_discharge_mw().to_vec(),
+            );
+            apply_rates(pb.storage.as_mut().unwrap(), &cb, &db);
+        }
+        assert_eq!(banded.warm_solves(), 5, "banded must stay warm");
+    }
+
+    #[test]
+    fn storage_warm_steps_match_a_cold_controller() {
+        let mut warm = MpcController::new(MpcConfig::default());
+        let mut problem = two_idc_problem([10_000.0, 0.0], [1.0, 2.2]);
+        problem.storage = Some(test_storage(2));
+        for step in 0..6 {
+            let plan = warm.plan(&problem).unwrap();
+            let mut cold = MpcController::new(MpcConfig::default());
+            let cold_plan = cold.plan(&problem).unwrap();
+            for (w, c) in plan.next_input().iter().zip(cold_plan.next_input()) {
+                assert!((w - c).abs() < 1e-4, "step {step}: {w} vs {c}");
+            }
+            for j in 0..2 {
+                let a = plan.next_charge_mw()[j] - plan.next_discharge_mw()[j];
+                let b = cold_plan.next_charge_mw()[j] - cold_plan.next_discharge_mw()[j];
+                assert!((a - b).abs() < 1e-6, "step {step}: {a} vs {b}");
+            }
+            problem.prev_input = plan.next_input().to_vec();
+            let (c, d) = (
+                plan.next_charge_mw().to_vec(),
+                plan.next_discharge_mw().to_vec(),
+            );
+            apply_rates(problem.storage.as_mut().unwrap(), &c, &d);
+        }
+        assert_eq!(warm.warm_solves(), 5);
+    }
+
+    #[test]
+    fn battery_outage_forces_zero_rates() {
+        // Zero rate caps (the fault-matrix battery-outage kind) pin the
+        // rates without a structure rebuild and the plan degrades to the
+        // storage-free allocation.
+        let mut st = test_storage(2);
+        st.max_charge_mw = vec![0.0, 0.0];
+        st.max_discharge_mw = vec![0.0, 0.0];
+        let mut with = two_idc_problem([10_000.0, 0.0], [1.2, 2.28]);
+        with.storage = Some(st);
+        let without = two_idc_problem([10_000.0, 0.0], [1.2, 2.28]);
+        let mut ca = MpcController::new(MpcConfig::default());
+        let mut cb = MpcController::new(MpcConfig::default());
+        let plan = ca.plan(&with).unwrap();
+        let base = cb.plan(&without).unwrap();
+        assert_eq!(plan.next_charge_mw(), &[0.0, 0.0]);
+        assert_eq!(plan.next_discharge_mw(), &[0.0, 0.0]);
+        for (a, b) in plan.next_input().iter().zip(base.next_input()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sharded_backend_rejects_storage() {
+        let mut controller = MpcController::new(MpcConfig {
+            backend: SolverBackend::sharded(2),
+            ..MpcConfig::default()
+        });
+        let mut problem = two_idc_problem([10_000.0, 0.0], [1.2, 2.28]);
+        problem.storage = Some(test_storage(2));
+        assert!(matches!(
+            controller.plan(&problem),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn storage_dimension_validation() {
+        let mut controller = MpcController::new(MpcConfig::default());
+        let good = {
+            let mut p = two_idc_problem([10_000.0, 0.0], [1.2, 2.28]);
+            p.storage = Some(test_storage(2));
+            p
+        };
+        assert!(controller.plan(&good).is_ok());
+        let mut bad = good.clone();
+        bad.storage.as_mut().unwrap().soc_mwh = vec![1.0];
+        assert!(controller.plan(&bad).is_err());
+        let mut bad = good.clone();
+        bad.storage.as_mut().unwrap().charge_efficiency[0] = 1.5;
+        assert!(controller.plan(&bad).is_err());
+        let mut bad = good.clone();
+        bad.storage.as_mut().unwrap().soc_mwh[0] = 99.0; // above capacity
+        assert!(controller.plan(&bad).is_err());
+        let mut bad = good;
+        bad.storage.as_mut().unwrap().dt_hours = 0.0;
+        assert!(controller.plan(&bad).is_err());
+    }
+
+    #[test]
+    fn storage_structure_cache_survives_outage_but_not_detach() {
+        // Zeroing the caps (outage) must reuse the cached skeleton;
+        // detaching storage entirely must rebuild and still solve.
+        let mut controller = MpcController::new(MpcConfig::default());
+        let mut problem = two_idc_problem([10_000.0, 0.0], [1.2, 2.28]);
+        problem.storage = Some(test_storage(2));
+        controller.plan(&problem).unwrap();
+        let st = problem.storage.as_mut().unwrap();
+        st.max_charge_mw = vec![0.0, 0.0];
+        st.max_discharge_mw = vec![0.0, 0.0];
+        let plan = controller.plan(&problem).unwrap();
+        assert!(plan.warm_started(), "outage must not force a cold solve");
+        problem.storage = None;
+        let plan = controller.plan(&problem).unwrap();
+        assert!(!plan.warm_started(), "layout change must drop the warm state");
+        let total: f64 = plan.next_input().iter().sum();
+        assert!((total - 10_000.0).abs() < 1e-6);
     }
 }

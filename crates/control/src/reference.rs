@@ -18,6 +18,7 @@
 
 use idc_datacenter::idc::IdcConfig;
 use idc_datacenter::queueing;
+use idc_market::tariff::DemandCharge;
 use idc_opt::linprog::{LinearProgram, LpWorkspace};
 use idc_opt::{Error, Result};
 
@@ -145,6 +146,10 @@ pub fn optimal_reference(
 pub struct ReferenceSolver {
     ws: LpWorkspace,
     cache: Option<LpCache>,
+    /// Separate cache for the demand-charge variant — its variable layout
+    /// (`[λ, m, M]`) and row set differ from the plain eq. 46 LP, so the
+    /// two must not evict each other when a policy interleaves them.
+    dc_cache: Option<LpCache>,
 }
 
 /// A built reference LP plus the fleet fingerprint it corresponds to.
@@ -260,6 +265,220 @@ impl ReferenceSolver {
             server_shadow,
         })
     }
+}
+
+/// The demand-charge-aware optimum: the eq. 46 operating point plus the
+/// billed-peak epigraph values that priced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemandChargeSolution {
+    reference: ReferenceSolution,
+    billed_peak_mw: Vec<f64>,
+    demand_rate_per_hour: f64,
+}
+
+impl DemandChargeSolution {
+    /// The underlying operating point (allocation, servers, power, energy
+    /// cost rate).
+    pub fn reference(&self) -> &ReferenceSolution {
+        &self.reference
+    }
+
+    /// Per-IDC billed peaks `M_j` at the optimum, in MW: the larger of the
+    /// period's running peak and the power this operating point draws.
+    pub fn billed_peak_mw(&self) -> &[f64] {
+        &self.billed_peak_mw
+    }
+
+    /// Amortized demand-charge rate at the optimum, in $/hour
+    /// (`Σ_j w_j·M_j`).
+    pub fn demand_rate_per_hour(&self) -> f64 {
+        self.demand_rate_per_hour
+    }
+
+    /// Combined energy + amortized demand rate, in $/hour — the objective
+    /// the epigraph LP actually minimized.
+    pub fn total_rate_per_hour(&self) -> f64 {
+        self.reference.cost_rate_per_hour + self.demand_rate_per_hour
+    }
+}
+
+/// Solves the demand-charge-aware reference LP once, building the
+/// structure from scratch. Stateful callers should use
+/// [`ReferenceSolver::optimal_with_demand_charge`].
+///
+/// # Errors
+///
+/// Same failure modes as [`optimal_reference`], plus
+/// [`Error::DimensionMismatch`] when `peak_so_far_mw` has the wrong length
+/// or holds negative/non-finite entries.
+pub fn optimal_with_demand_charge(
+    idcs: &[IdcConfig],
+    offered: &[f64],
+    prices: &[f64],
+    tariff: &DemandCharge,
+    peak_so_far_mw: &[f64],
+) -> Result<DemandChargeSolution> {
+    ReferenceSolver::new().optimal_with_demand_charge(idcs, offered, prices, tariff, peak_so_far_mw)
+}
+
+impl ReferenceSolver {
+    /// Solves the demand-charge-aware reference LP, reusing cached
+    /// structure.
+    ///
+    /// Extends eq. 46 with one epigraph variable `M_j` per IDC (the billed
+    /// peak, per Wang et al. arXiv:1308.0585):
+    ///
+    /// ```text
+    /// min  Σ_j Pr_j·P_j(λ_j, m_j) + Σ_j w_j·M_j
+    /// s.t. eq. 46 rows, plus
+    ///      P_j(λ_j, m_j) − M_j ≤ 0          (epigraph)
+    ///      M_j ≥ peak_so_far_j              (the period peak ratchets)
+    /// ```
+    ///
+    /// where `w_j` is the tariff's [`DemandCharge::hourly_weight`]. While
+    /// the running peak exceeds the power an IDC would draw anyway, the
+    /// `M_j` floor is binding and the marginal demand-charge price of
+    /// routing load there is zero — the LP happily fills up to the ratchet
+    /// before demand charges start steering load elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`optimal_with_demand_charge`].
+    pub fn optimal_with_demand_charge(
+        &mut self,
+        idcs: &[IdcConfig],
+        offered: &[f64],
+        prices: &[f64],
+        tariff: &DemandCharge,
+        peak_so_far_mw: &[f64],
+    ) -> Result<DemandChargeSolution> {
+        let n = idcs.len();
+        let c = offered.len();
+        if n == 0 || c == 0 || prices.len() != n || peak_so_far_mw.len() != n {
+            return Err(Error::DimensionMismatch {
+                what: format!(
+                    "{n} IDCs, {c} portals, {} prices, {} peaks — all must be positive and consistent",
+                    prices.len(),
+                    peak_so_far_mw.len()
+                ),
+            });
+        }
+        validate_finite(prices, offered)?;
+        if peak_so_far_mw.iter().any(|p| !p.is_finite() || *p < 0.0) {
+            return Err(Error::DimensionMismatch {
+                what: "running peaks must be finite and non-negative".into(),
+            });
+        }
+
+        let key = FleetKey::of(idcs, c);
+        let rebuild = !matches!(&self.dc_cache, Some(cached) if cached.key == key);
+        if rebuild {
+            self.dc_cache = Some(LpCache {
+                lp: build_demand_charge_lp(idcs, c),
+                key,
+            });
+        }
+        let lp = &mut self.dc_cache.as_mut().expect("cache filled above").lp;
+
+        // Re-price in place. Variables: [λ (n·c), m (n), M (n)].
+        let weight = tariff.hourly_weight();
+        let cost = lp.cost_mut();
+        for j in 0..n {
+            let b1_mw = idcs[j].pue() * idcs[j].server().b1() / 1e6;
+            let b0_mw = idcs[j].pue() * idcs[j].server().b0() / 1e6;
+            for i in 0..c {
+                cost[j * c + i] = prices[j] * b1_mw;
+            }
+            cost[n * c + j] = prices[j] * b0_mw;
+            cost[n * c + n + j] = weight;
+        }
+        lp.eq_rhs_mut().copy_from_slice(offered);
+        // Inequality rows: [latency (n) | installed (n) | epigraph (n) |
+        // peak floor (n)] — only the floor moves between calls.
+        let ineq = lp.ineq_rhs_mut();
+        for j in 0..n {
+            ineq[3 * n + j] = -peak_so_far_mw[j];
+        }
+
+        let solution = lp.solve_with(&mut self.ws)?;
+        let server_shadow = solution.duals_ub()[n..2 * n].to_vec();
+        let x = solution.x();
+        let allocation = x[..n * c].to_vec();
+        let servers = x[n * c..n * c + n].to_vec();
+        let billed_peak_mw = x[n * c + n..].to_vec();
+        let power_mw: Vec<f64> = (0..n)
+            .map(|j| {
+                let lam: f64 = allocation[j * c..(j + 1) * c].iter().sum();
+                idcs[j].pue() * (idcs[j].server().b1() * lam + idcs[j].server().b0() * servers[j])
+                    / 1e6
+            })
+            .collect();
+        let cost_rate_per_hour = power_mw.iter().zip(prices).map(|(&p, &pr)| p * pr).sum();
+        let demand_rate_per_hour = billed_peak_mw.iter().map(|&m| weight * m).sum();
+        Ok(DemandChargeSolution {
+            reference: ReferenceSolution {
+                allocation,
+                servers,
+                power_mw,
+                cost_rate_per_hour,
+                server_shadow,
+            },
+            billed_peak_mw,
+            demand_rate_per_hour,
+        })
+    }
+}
+
+/// Builds the demand-charge epigraph LP structure. Cost coefficients, the
+/// equality RHS and the peak-floor RHS are rewritten per call.
+fn build_demand_charge_lp(idcs: &[IdcConfig], c: usize) -> LinearProgram {
+    let n = idcs.len();
+    // Variables: [λ (IDC-major, n·c), m (n), M (n)].
+    let nv = n * c + 2 * n;
+    let mut lp = LinearProgram::minimize(vec![0.0; nv]);
+
+    // Conservation per portal: Σ_j λij = L_i.
+    for i in 0..c {
+        let mut row = vec![0.0; nv];
+        for j in 0..n {
+            row[j * c + i] = 1.0;
+        }
+        lp = lp.equality(row, 0.0);
+    }
+    // Latency/capacity per IDC: Σ_i λij − µ_j m_j ≤ −1/D_j.
+    for (j, idc) in idcs.iter().enumerate() {
+        let mut row = vec![0.0; nv];
+        for i in 0..c {
+            row[j * c + i] = 1.0;
+        }
+        row[n * c + j] = -idc.service_rate();
+        lp = lp.inequality(row, -1.0 / idc.latency_bound());
+    }
+    // Installed bound: m_j ≤ M_j (installed servers).
+    for (j, idc) in idcs.iter().enumerate() {
+        let mut row = vec![0.0; nv];
+        row[n * c + j] = 1.0;
+        lp = lp.inequality(row, idc.total_servers() as f64);
+    }
+    // Epigraph: P_j(λ, m) − M_j ≤ 0, with P in MW.
+    for (j, idc) in idcs.iter().enumerate() {
+        let b1_mw = idc.pue() * idc.server().b1() / 1e6;
+        let b0_mw = idc.pue() * idc.server().b0() / 1e6;
+        let mut row = vec![0.0; nv];
+        for i in 0..c {
+            row[j * c + i] = b1_mw;
+        }
+        row[n * c + j] = b0_mw;
+        row[n * c + n + j] = -1.0;
+        lp = lp.inequality(row, 0.0);
+    }
+    // Ratchet floor: −M_j ≤ −peak_so_far_j (rewritten per call).
+    for j in 0..n {
+        let mut row = vec![0.0; nv];
+        row[n * c + n + j] = -1.0;
+        lp = lp.inequality(row, 0.0);
+    }
+    lp
 }
 
 /// Builds the eq. 46 constraint structure for a fleet. Cost coefficients
@@ -687,6 +906,123 @@ mod tests {
         assert!(optimal_reference(&idcs, &[f64::INFINITY], &[1.0, 1.0, 1.0]).is_err());
         assert!(optimal_reference(&idcs, &[-5.0], &[1.0, 1.0, 1.0]).is_err());
         assert!(price_greedy_reference(&idcs, &[1.0], &[f64::NAN, 1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn zero_rate_demand_charge_matches_plain_reference() {
+        let idcs = paper_idcs();
+        let tariff = DemandCharge::new(0.0, 720.0).unwrap();
+        let dc = optimal_with_demand_charge(&idcs, &PAPER_LOADS, &PRICES_6H, &tariff, &[0.0; 3])
+            .unwrap();
+        let plain = optimal_reference(&idcs, &PAPER_LOADS, &PRICES_6H).unwrap();
+        for (a, b) in dc.reference().power_mw().iter().zip(plain.power_mw()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        assert_eq!(dc.demand_rate_per_hour(), 0.0);
+        assert!((dc.total_rate_per_hour() - plain.cost_rate_per_hour()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn billed_peak_is_max_of_power_and_ratchet() {
+        let idcs = paper_idcs();
+        let tariff = DemandCharge::typical_commercial();
+        let peaks = [9.0, 0.0, 0.0]; // Michigan already peaked this period
+        let dc = optimal_with_demand_charge(&idcs, &PAPER_LOADS, &PRICES_6H, &tariff, &peaks)
+            .unwrap();
+        for j in 0..3 {
+            let m = dc.billed_peak_mw()[j];
+            let p = dc.reference().power_mw()[j];
+            assert!(m >= p - 1e-9, "IDC {j}: M {m} < P {p}");
+            assert!(m >= peaks[j] - 1e-9, "IDC {j}: M {m} < ratchet");
+            assert!(m <= p.max(peaks[j]) + 1e-6, "IDC {j}: M {m} padded");
+        }
+        assert!(
+            (dc.demand_rate_per_hour()
+                - tariff.hourly_weight() * dc.billed_peak_mw().iter().sum::<f64>())
+            .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn demand_charge_steers_load_off_a_fresh_peak() {
+        // Fresh billing period (no ratchet): every MW of peak is billable,
+        // so a dominant demand charge re-ranks the fleet by *power* per
+        // request instead of energy cost per request. At 7H prices those
+        // rankings disagree (energy: MN < MI ≪ WI; power: MI < WI < MN),
+        // so the allocation moves and total fleet power drops.
+        let idcs = paper_idcs();
+        let plain = optimal_reference(&idcs, &PAPER_LOADS, &PRICES_7H).unwrap();
+        let tariff = DemandCharge::new(500_000.0, 720.0).unwrap();
+        let dc = optimal_with_demand_charge(&idcs, &PAPER_LOADS, &PRICES_7H, &tariff, &[0.0; 3])
+            .unwrap();
+        let plain_total: f64 = plain.power_mw().iter().sum();
+        let dc_total: f64 = dc.reference().power_mw().iter().sum();
+        assert!(
+            dc_total < plain_total - 1.0,
+            "demand charge did not reshape the fleet: {dc_total} vs {plain_total}"
+        );
+        assert!(dc.demand_rate_per_hour() > 0.0);
+        // A ratchet at the plain peaks makes shaving pointless — the bill
+        // is sunk, so the allocation returns to pure energy pricing.
+        let ratchet: Vec<f64> = plain.power_mw().to_vec();
+        let sunk = optimal_with_demand_charge(&idcs, &PAPER_LOADS, &PRICES_7H, &tariff, &ratchet)
+            .unwrap();
+        for (a, b) in sunk.reference().power_mw().iter().zip(plain.power_mw()) {
+            assert!(*a <= b + 1e-6, "{a} vs {b}");
+        }
+        assert!(
+            (sunk.reference().cost_rate_per_hour() - plain.cost_rate_per_hour()).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn stateful_demand_charge_matches_fresh_and_coexists_with_plain() {
+        let idcs = paper_idcs();
+        let tariff = DemandCharge::typical_commercial();
+        let mut solver = ReferenceSolver::new();
+        let mut peaks = vec![0.0; 3];
+        for prices in [PRICES_6H, PRICES_7H, PRICES_6H] {
+            // Interleave plain and DC solves: separate caches, no eviction.
+            let plain = solver.optimal(&idcs, &PAPER_LOADS, &prices).unwrap();
+            assert_eq!(plain, optimal_reference(&idcs, &PAPER_LOADS, &prices).unwrap());
+            let cached = solver
+                .optimal_with_demand_charge(&idcs, &PAPER_LOADS, &prices, &tariff, &peaks)
+                .unwrap();
+            let fresh =
+                optimal_with_demand_charge(&idcs, &PAPER_LOADS, &prices, &tariff, &peaks).unwrap();
+            assert_eq!(cached, fresh);
+            // Ratchet the running peaks like a billing period would.
+            for (p, &m) in peaks.iter_mut().zip(cached.reference().power_mw()) {
+                *p = p.max(m);
+            }
+        }
+    }
+
+    #[test]
+    fn demand_charge_validates_peaks() {
+        let idcs = paper_idcs();
+        let tariff = DemandCharge::typical_commercial();
+        assert!(matches!(
+            optimal_with_demand_charge(&idcs, &PAPER_LOADS, &PRICES_6H, &tariff, &[0.0; 2]),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        assert!(optimal_with_demand_charge(
+            &idcs,
+            &PAPER_LOADS,
+            &PRICES_6H,
+            &tariff,
+            &[-1.0, 0.0, 0.0]
+        )
+        .is_err());
+        assert!(optimal_with_demand_charge(
+            &idcs,
+            &PAPER_LOADS,
+            &PRICES_6H,
+            &tariff,
+            &[f64::NAN, 0.0, 0.0]
+        )
+        .is_err());
     }
 
     #[test]

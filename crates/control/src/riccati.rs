@@ -52,6 +52,8 @@ pub struct RiccatiSkeleton {
     beta2: usize,
     n: usize,
     c: usize,
+    /// Stage block size: `N·C`, plus `2N` rate variables with storage.
+    nb: usize,
     /// Per-IDC gradient coefficient `−2·b₁_j·Q·multiplier_j`.
     grad_coeff: Vec<f64>,
 }
@@ -65,6 +67,8 @@ impl RiccatiSkeleton {
         let n = problem.num_idcs();
         let c = problem.num_portals();
         let nc = n * c;
+        let nb = problem.block_size();
+        let storage = problem.storage.as_ref();
         let beta1 = config.prediction_horizon;
         let beta2 = config.control_horizon;
         let tw = config.tracking_weight;
@@ -78,12 +82,24 @@ impl RiccatiSkeleton {
         // τ(s) = min(s, β₂−1), so stage τ < β₂−1 receives one row per IDC
         // and the final stage receives the β₁−β₂+1 tail rows. Each row
         // contributes a rank-one `b₁²·𝟙𝟙ᵀ` coupling within its IDC block.
+        // With storage the row also reads `+b₁·y[γc_j] − b₁·y[γd_j]` (rate
+        // changes in req/s equivalents), extending the rank-one pattern to
+        // the rate entries with a sign flip on the discharge column.
         //
-        // Smoothing row (t, j) reads b₁_j·Σ_i (y_t − y_{t−1})[j·C+i] and the
-        // ridge penalizes (y_t − y_{t−1}) entrywise; a stage appears in the
-        // difference at `t` and (except the last) at `t+1`, hence the
-        // 2-vs-1 diagonal count, with `−B` on the subdiagonal blocks.
-        let mut h = BlockTridiag::new(nc, beta2);
+        // Smoothing row (t, j) reads the same pattern of (y_t − y_{t−1})
+        // and the ridge penalizes (y_t − y_{t−1}) entrywise; a stage
+        // appears in the difference at `t` and (except the last) at `t+1`,
+        // hence the 2-vs-1 diagonal count, with `−B` on the subdiagonal
+        // blocks.
+        let signed_entries = |j: usize| -> Vec<(usize, f64)> {
+            let mut e: Vec<(usize, f64)> = (0..c).map(|a| (j * c + a, 1.0)).collect();
+            if storage.is_some() {
+                e.push((nc + j, 1.0));
+                e.push((nc + n + j, -1.0));
+            }
+            e
+        };
+        let mut h = BlockTridiag::new(nb, beta2);
         for tau in 0..beta2 {
             let track_count = if tau + 1 < beta2 {
                 1.0
@@ -98,14 +114,15 @@ impl RiccatiSkeleton {
                     * b1
                     * b1
                     * (tw * problem.tracking_multiplier[j] * track_count + sw * smooth_count);
-                for a in 0..c {
-                    for b in 0..c {
-                        block[(j * c + a) * nc + (j * c + b)] = couple;
+                let entries = signed_entries(j);
+                for &(ia, sa) in &entries {
+                    for &(ib, sb) in &entries {
+                        block[ia * nb + ib] = couple * sa * sb;
                     }
                 }
             }
-            for d in 0..nc {
-                block[d * nc + d] += 2.0 * ridge * smooth_count;
+            for d in 0..nb {
+                block[d * nb + d] += 2.0 * ridge * smooth_count;
             }
         }
         for tau in 0..beta2.saturating_sub(1) {
@@ -113,25 +130,26 @@ impl RiccatiSkeleton {
             for j in 0..n {
                 let b1 = problem.b1_mw[j];
                 let couple = -2.0 * sw * b1 * b1;
-                for a in 0..c {
-                    for b in 0..c {
-                        block[(j * c + a) * nc + (j * c + b)] = couple;
+                let entries = signed_entries(j);
+                for &(ia, sa) in &entries {
+                    for &(ib, sb) in &entries {
+                        block[ia * nb + ib] = couple * sa * sb;
                     }
                 }
             }
-            for d in 0..nc {
-                block[d * nc + d] -= 2.0 * ridge;
+            for d in 0..nb {
+                block[d * nb + d] -= 2.0 * ridge;
             }
         }
 
-        let mut qp = BandedQp::new(h, vec![0.0; beta2 * nc])?;
+        let mut qp = BandedQp::new(h, vec![0.0; beta2 * nb])?;
         // Constraint rows in the dense backend's exact order; rhs values
         // are per-step and rewritten in place.
         for t in 0..beta2 {
             for i in 0..c {
                 let mut row = SparseRow::new();
                 for j in 0..n {
-                    row.push(t * nc + j * c + i, 1.0);
+                    row.push(t * nb + j * c + i, 1.0);
                 }
                 qp = qp.equality(row, 0.0);
             }
@@ -140,14 +158,51 @@ impl RiccatiSkeleton {
             for j in 0..n {
                 let mut row = SparseRow::new();
                 for i in 0..c {
-                    row.push(t * nc + j * c + i, 1.0);
+                    row.push(t * nb + j * c + i, 1.0);
                 }
                 qp = qp.inequality(row, 0.0);
             }
         }
         for t in 0..beta2 {
             for idx in 0..nc {
-                qp = qp.inequality(SparseRow::from_entries(vec![(t * nc + idx, -1.0)]), 0.0);
+                qp = qp.inequality(SparseRow::from_entries(vec![(t * nb + idx, -1.0)]), 0.0);
+            }
+        }
+        if let Some(st) = storage {
+            // Storage families in the dense backend's order. In y-space
+            // the rate boxes are stage-local single entries (the
+            // cumulative rate change at stage t IS y_t's rate entry); the
+            // SoC rows sum the rate entries over stages ≤ t — multi-stage
+            // rows are fine here, only the Hessian must stay banded.
+            for sign in [1.0, -1.0] {
+                for t in 0..beta2 {
+                    for j in 0..n {
+                        qp = qp
+                            .inequality(SparseRow::from_entries(vec![(t * nb + nc + j, sign)]), 0.0);
+                    }
+                }
+            }
+            for sign in [1.0, -1.0] {
+                for t in 0..beta2 {
+                    for j in 0..n {
+                        qp = qp.inequality(
+                            SparseRow::from_entries(vec![(t * nb + nc + n + j, sign)]),
+                            0.0,
+                        );
+                    }
+                }
+            }
+            for sign in [1.0, -1.0] {
+                for t in 0..beta2 {
+                    for j in 0..n {
+                        let mut row = SparseRow::new();
+                        for r in 0..=t {
+                            row.push(r * nb + nc + j, sign * st.charge_efficiency[j]);
+                            row.push(r * nb + nc + n + j, -sign / st.discharge_efficiency[j]);
+                        }
+                        qp = qp.inequality(row, 0.0);
+                    }
+                }
             }
         }
 
@@ -160,6 +215,7 @@ impl RiccatiSkeleton {
             beta2,
             n,
             c,
+            nb,
             grad_coeff,
         })
     }
@@ -176,10 +232,10 @@ impl RiccatiSkeleton {
     /// `g_y[τ, j, i] = −2·b₁_j·Q·mult_j · Σ_{s: min(s,β₂−1)=τ} rhs[s·N+j]` —
     /// the smoothing rows have zero targets and contribute nothing.
     pub fn gradient_into(&self, rhs: &[f64], grad: &mut Vec<f64>) {
-        let (n, c) = (self.n, self.c);
+        let (n, c, nb) = (self.n, self.c, self.nb);
         let nc = n * c;
         grad.clear();
-        grad.resize(self.beta2 * nc, 0.0);
+        grad.resize(self.beta2 * nb, 0.0);
         for tau in 0..self.beta2 {
             for j in 0..n {
                 let sum: f64 = if tau + 1 < self.beta2 {
@@ -189,7 +245,13 @@ impl RiccatiSkeleton {
                 };
                 let g = self.grad_coeff[j] * sum;
                 for i in 0..c {
-                    grad[tau * nc + j * c + i] = g;
+                    grad[tau * nb + j * c + i] = g;
+                }
+                if nb > nc {
+                    // Rate entries share the workload coefficient (same
+                    // b₁ scale), with the discharge column sign-flipped.
+                    grad[tau * nb + nc + j] = g;
+                    grad[tau * nb + nc + n + j] = -g;
                 }
             }
         }

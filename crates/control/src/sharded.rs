@@ -76,12 +76,20 @@ pub struct WarmRejection {
     pub capacity: f64,
     /// Worst non-negativity undershoot (req/s).
     pub nonnegativity: f64,
+    /// Worst storage-family violation — charge/discharge rate boxes and
+    /// SoC bounds, in the controller's req/s-equivalent rate units (0.0
+    /// for problems without storage; the sharded backend never carries
+    /// storage).
+    pub storage: f64,
 }
 
 impl WarmRejection {
     /// The largest violation across families.
     pub fn worst(&self) -> f64 {
-        self.conservation.max(self.capacity).max(self.nonnegativity)
+        self.conservation
+            .max(self.capacity)
+            .max(self.nonnegativity)
+            .max(self.storage)
     }
 }
 

@@ -2,7 +2,7 @@
 
 use idc_control::condense::PredictionMatrices;
 use idc_control::discretize::{discretize, zoh};
-use idc_control::mpc::{MpcConfig, MpcController, MpcProblem, SolverBackend};
+use idc_control::mpc::{MpcConfig, MpcController, MpcProblem, SolverBackend, StorageProblem};
 use idc_control::reference::optimal_reference;
 use idc_control::statespace::CostStateSpace;
 use idc_datacenter::idc::paper_idcs;
@@ -143,6 +143,7 @@ proptest! {
             tracking_multiplier: (0..n)
                 .map(|j| if clamp_mask[j % clamp_mask.len()] == 1 { 25.0 } else { 1.0 })
                 .collect(),
+            storage: None,
         };
         let config = |backend| MpcConfig {
             prediction_horizon: beta1,
@@ -186,6 +187,117 @@ proptest! {
         }
     }
 
+    /// Storage-enabled problems keep the backends interchangeable: with a
+    /// battery per IDC the stage blocks grow from `N·C` to `N·C + 2N`
+    /// (charge and discharge rate changes), yet on randomized capacities,
+    /// rates, efficiencies and initial charge the dense and banded paths
+    /// still agree on the fleet power cost to ≤ 1e-8 relative over a
+    /// lockstep closed loop — including the battery rate plans.
+    #[test]
+    fn storage_banded_matches_dense_on_random_instances(
+        dims in prop::collection::vec(0usize..3, 3),
+        load_scale in 2_000.0f64..12_000.0,
+        cap_mwh in 0.5f64..8.0,
+        rate_mw in 0.2f64..3.0,
+        eff in prop::collection::vec(0.85f64..1.0, 2),
+        // Two draws in one vector (the shim proptest caps tuple arity):
+        // initial SoC fraction and the reference scale offset.
+        fracs in prop::collection::vec(0.05f64..0.95, 2),
+    ) {
+        let soc_frac = fracs[0];
+        let ref_scale = 0.5 + fracs[1];
+        let (n, c, extra) = (1 + dims[0], 1 + dims[1], dims[2]);
+        let beta2 = 2;
+        let beta1 = beta2 + extra;
+        let dt = 1.0 / 12.0;
+        let b1_mw: Vec<f64> = (0..n).map(|j| 60e-6 + 15e-6 * j as f64).collect();
+        let total_load = load_scale * c as f64;
+        let mut prev = vec![0.0; n * c];
+        for i in 0..c {
+            prev[(n - 1) * c + i] = load_scale;
+        }
+        // The reference sits below the IT draw, so the optimizer has an
+        // incentive to dispatch the battery toward it.
+        let nominal_mw = |j: usize| 150e-6 * 20_000.0 + b1_mw[j] * total_load / n as f64;
+        let mk_problem = |prev_input: Vec<f64>, soc: Vec<f64>, pc: Vec<f64>, pd: Vec<f64>| {
+            MpcProblem {
+                b1_mw: b1_mw.clone(),
+                b0_mw: vec![150e-6; n],
+                servers_on: vec![20_000; n],
+                capacities: vec![total_load * 1.6 / n as f64; n],
+                prev_input,
+                workload_forecast: vec![vec![load_scale; c]; beta2],
+                power_reference_mw: vec![
+                    (0..n).map(|j| ref_scale * nominal_mw(j)).collect();
+                    beta1
+                ],
+                tracking_multiplier: MpcProblem::uniform_tracking(n),
+                storage: Some(StorageProblem {
+                    capacity_mwh: vec![cap_mwh; n],
+                    max_charge_mw: vec![rate_mw; n],
+                    max_discharge_mw: vec![rate_mw; n],
+                    charge_efficiency: vec![eff[0]; n],
+                    discharge_efficiency: vec![eff[1]; n],
+                    soc_mwh: soc,
+                    prev_charge_mw: pc,
+                    prev_discharge_mw: pd,
+                    dt_hours: dt,
+                }),
+            }
+        };
+        let config = |backend| MpcConfig {
+            prediction_horizon: beta1,
+            control_horizon: beta2,
+            backend,
+            ..MpcConfig::default()
+        };
+        let mut dense = MpcController::new(config(SolverBackend::CondensedDense));
+        let mut banded = MpcController::new(config(SolverBackend::BandedRiccati));
+        let mut prev_input = prev;
+        let mut soc = vec![cap_mwh * soc_frac; n];
+        let mut prev_c = vec![0.0; n];
+        let mut prev_d = vec![0.0; n];
+        for step in 0..3 {
+            let problem = mk_problem(
+                prev_input.clone(), soc.clone(), prev_c.clone(), prev_d.clone(),
+            );
+            let pd = dense.plan(&problem).unwrap();
+            let pb = banded.plan(&problem).unwrap();
+            let cost = |p: &idc_control::mpc::MpcPlan| -> f64 {
+                p.predicted_power_mw()
+                    .iter()
+                    .map(|row| row.iter().sum::<f64>())
+                    .sum()
+            };
+            let (cd, cb) = (cost(&pd), cost(&pb));
+            prop_assert!(
+                (cd - cb).abs() <= 1e-8 * cd.abs().max(1e-12),
+                "step {step}: power cost {cd} vs {cb}"
+            );
+            for (i, (a, b)) in pd
+                .next_charge_mw()
+                .iter()
+                .chain(pd.next_discharge_mw())
+                .zip(pb.next_charge_mw().iter().chain(pb.next_discharge_mw()))
+                .enumerate()
+            {
+                prop_assert!(
+                    (a - b).abs() <= 1e-5 * (1.0 + a.abs()),
+                    "step {step}, rate {i}: {a} vs {b}"
+                );
+            }
+            // Advance the loop with the banded plan through the physical
+            // battery dynamics.
+            prev_input = pb.next_input().to_vec();
+            prev_c = pb.next_charge_mw().to_vec();
+            prev_d = pb.next_discharge_mw().to_vec();
+            for j in 0..n {
+                let delta = eff[0] * prev_c[j] * dt - prev_d[j] * dt / eff[1];
+                soc[j] = (soc[j] + delta).clamp(0.0, cap_mwh);
+            }
+        }
+    }
+
     /// MPC plans are insensitive to uniform scaling of both tracking and
     /// smoothing weights (only the ratio matters).
     #[test]
@@ -200,6 +312,7 @@ proptest! {
                 workload_forecast: vec![vec![10_000.0]; 3],
                 power_reference_mw: vec![vec![1.5, 2.4]; 5],
                 tracking_multiplier: MpcProblem::uniform_tracking(2),
+                storage: None,
             };
             let mut controller = MpcController::new(MpcConfig {
                 tracking_weight: q,

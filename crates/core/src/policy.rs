@@ -2,14 +2,15 @@
 
 use std::time::Instant;
 
-use idc_control::mpc::{MpcConfig, MpcController, MpcProblem, WarmStateData};
+use idc_control::mpc::{MpcConfig, MpcController, MpcProblem, StorageProblem, WarmStateData};
 use idc_control::reference::{
     optimal_reference, price_greedy_reference, ReferenceSolution, ReferenceSolver,
 };
 use idc_datacenter::allocation::Allocation;
 use idc_datacenter::idc::IdcConfig;
 use idc_datacenter::sleep::SleepController;
-use idc_market::tariff::PowerBudget;
+use idc_market::tariff::{DemandCharge, PowerBudget};
+use idc_storage::{StorageFleet, StorageState};
 use idc_timeseries::predictor::WorkloadPredictor;
 
 use crate::scenario::Scenario;
@@ -42,6 +43,13 @@ pub struct Decision {
     pub servers_on: Vec<u64>,
     /// The workload split `λij`.
     pub allocation: Allocation,
+    /// Commanded battery charge rate per IDC (MW, grid side). Empty when
+    /// the policy controls no storage — the simulator treats empty as
+    /// all-zero.
+    pub charge_mw: Vec<f64>,
+    /// Commanded battery discharge rate per IDC (MW, load side). Empty
+    /// when the policy controls no storage.
+    pub discharge_mw: Vec<f64>,
 }
 
 /// A workload-allocation policy driven by the simulator.
@@ -167,6 +175,8 @@ impl Policy for OptimalPolicy {
         Ok(Decision {
             servers_on,
             allocation,
+            charge_mw: Vec::new(),
+            discharge_mw: Vec::new(),
         })
     }
 }
@@ -206,6 +216,8 @@ impl Policy for StaticProportionalPolicy {
         Ok(Decision {
             servers_on,
             allocation,
+            charge_mw: Vec::new(),
+            discharge_mw: Vec::new(),
         })
     }
 }
@@ -261,6 +273,20 @@ pub struct MpcPolicyConfig {
     /// kept in a log ([`MpcPolicy::recorded_problems`]) so differential
     /// oracles can re-solve them offline. Off by default.
     pub record_problems: bool,
+    /// Per-IDC battery/UPS units the controller may dispatch. `None` (the
+    /// default) reproduces the paper's shifting-only controller exactly.
+    /// An inert fleet is normalized to `None` at construction.
+    pub storage: Option<StorageFleet>,
+    /// Billed-peak demand charge. When set, the reference is solved with
+    /// the demand-charge-aware epigraph LP against the period's running
+    /// peaks instead of [`reference`](Self::reference)'s plain problem.
+    pub demand_charge: Option<DemandCharge>,
+    /// Steps at which every battery's charge/discharge rate caps are
+    /// forced to zero (a fleet-wide UPS transfer-switch outage): the
+    /// enlarged QP must degrade to the shifting-only plan without a
+    /// structure rebuild. Empty in production; populated by the testkit's
+    /// fault plans.
+    pub battery_outage_steps: Vec<usize>,
 }
 
 impl Default for MpcPolicyConfig {
@@ -278,8 +304,38 @@ impl Default for MpcPolicyConfig {
             forced_refactor_steps: Vec::new(),
             forced_stall_steps: Vec::new(),
             record_problems: false,
+            storage: None,
+            demand_charge: None,
+            battery_outage_steps: Vec::new(),
         }
     }
+}
+
+/// EWMA smoothing factor for the arbitrage price baseline. At 5-minute
+/// steps this gives a half-life of about three hours, so the baseline
+/// stays close to the daily mean while hourly real-time-price moves show
+/// up as deviations worth trading against.
+const PRICE_EWMA_ALPHA: f64 = 0.02;
+
+/// Discharge when the spot price exceeds this multiple of the baseline.
+/// The ±10% band yields a worst-case sell/buy spread of 1.10/0.90 ≈ 1.22,
+/// clearing the ≈1.11 round-trip-efficiency breakeven (η_c·η_d ≈ 0.9).
+const ARBITRAGE_DISCHARGE_RATIO: f64 = 1.10;
+
+/// Charge when the spot price falls below this multiple of the baseline.
+const ARBITRAGE_CHARGE_RATIO: f64 = 0.90;
+
+/// Safety margin (MW) below a binding power budget that battery-assisted
+/// peak shaving aims for — 1 kW, invisible in cost but far above float
+/// noise on the realized grid draw.
+const BUDGET_SHAVE_MARGIN_MW: f64 = 1e-3;
+
+/// Per-step battery dispatch intent: the reference shift plus the gated
+/// QP rate caps (see [`MpcPolicy::storage_shaping`]).
+struct StorageShaping {
+    shift: Vec<f64>,
+    charge_cap: Vec<f64>,
+    discharge_cap: Vec<f64>,
 }
 
 /// The paper's dynamic cost controller: two-time-scale server sleep
@@ -307,6 +363,24 @@ pub struct MpcPolicy {
     /// iteration-count spikes in the anomaly log. Observability state:
     /// deliberately *not* checkpointed and never fed back into control.
     iter_ewma: f64,
+    /// The controller's belief of the battery state of charge, evolved
+    /// with the same clamped dynamics the simulator applies — so belief
+    /// and plant agree exactly on every deterministic run. `None` when no
+    /// storage is configured (or before initialization).
+    storage_state: Option<StorageState>,
+    /// Applied battery rates of the previous step `(charge, discharge)`,
+    /// MW — the rate-change variables in the QP are deltas against these.
+    prev_rates: Option<(Vec<f64>, Vec<f64>)>,
+    /// Per-IDC price EWMA (α = 0.02, ≈3 h half-life at 5-min steps): the
+    /// arbitrage baseline. Prices above it shape the reference down
+    /// (discharge), below it up (recharge). The slow constant keeps the
+    /// baseline near the daily mean so hourly price moves register as
+    /// signal rather than dragging the baseline with them.
+    price_ewma: Option<Vec<f64>>,
+    /// Per-IDC running billed peak of *grid* draw this billing period
+    /// (MW), fed to the demand-charge epigraph LP and to the peak-shaving
+    /// reference shaping.
+    peak_so_far_mw: Vec<f64>,
 }
 
 impl MpcPolicy {
@@ -335,6 +409,12 @@ impl MpcPolicy {
                 "horizons must satisfy 0 < control ≤ prediction".into(),
             ));
         }
+        let mut config = config;
+        // Normalize inert storage away so zero-capacity configurations
+        // take the exact storage-free code path (byte-identical runs).
+        if config.storage.as_ref().is_some_and(StorageFleet::is_inert) {
+            config.storage = None;
+        }
         let controller = MpcController::new(config.mpc);
         Ok(MpcPolicy {
             name: "dynamic control (MPC)".into(),
@@ -347,12 +427,17 @@ impl MpcPolicy {
             problem_log: Vec::new(),
             fallback_steps: Vec::new(),
             iter_ewma: 0.0,
+            storage_state: None,
+            prev_rates: None,
+            price_ewma: None,
+            peak_so_far_mw: Vec::new(),
         })
     }
 
     /// The paper-tuned controller for a scenario: tracks the price-greedy
     /// reference (what the paper plots), adopts the scenario's budgets,
-    /// and uses the default horizons/weights.
+    /// storage fleet and demand-charge tariff, and uses the default
+    /// horizons/weights.
     ///
     /// # Errors
     ///
@@ -360,6 +445,8 @@ impl MpcPolicy {
     pub fn paper_tuned(scenario: &Scenario) -> Result<Self> {
         MpcPolicy::new(MpcPolicyConfig {
             budgets: scenario.budgets().cloned(),
+            storage: scenario.storage().cloned(),
+            demand_charge: scenario.demand_charge().copied(),
             ..MpcPolicyConfig::default()
         })
     }
@@ -452,6 +539,192 @@ impl MpcPolicy {
         ((budget_mw / per_server_mw).floor().max(0.0) as u64).min(idc.total_servers())
     }
 
+    /// Solves the operating-point reference: the demand-charge epigraph LP
+    /// against the billing period's running peaks when a tariff is
+    /// configured, the configured plain reference otherwise.
+    fn reference_for(
+        &mut self,
+        idcs: &[IdcConfig],
+        offered: &[f64],
+        prices: &[f64],
+    ) -> idc_opt::Result<ReferenceSolution> {
+        match self.config.demand_charge {
+            Some(tariff) => self
+                .ref_solver
+                .optimal_with_demand_charge(idcs, offered, prices, &tariff, &self.peak_so_far_mw)
+                .map(|s| s.reference().clone()),
+            None => self
+                .config
+                .reference
+                .solve_with(&mut self.ref_solver, idcs, offered, prices),
+        }
+    }
+
+    /// Records the step's realized per-IDC grid draw into the billing
+    /// period's running peak. No-op when neither storage nor demand
+    /// charges are configured (the peak vector is empty then).
+    fn observe_grid_power(&mut self, ctx: &StepContext<'_>, decision: &Decision) {
+        if self.peak_so_far_mw.is_empty() {
+            return;
+        }
+        for (j, idc) in ctx.idcs.iter().enumerate() {
+            let it_mw = idc.pue()
+                * (idc.server().b1() * decision.allocation.idc_total(j)
+                    + idc.server().b0() * decision.servers_on[j] as f64)
+                / 1e6;
+            let charge = decision.charge_mw.get(j).copied().unwrap_or(0.0);
+            let discharge = decision.discharge_mw.get(j).copied().unwrap_or(0.0);
+            let grid = (it_mw + charge - discharge).max(0.0);
+            if grid > self.peak_so_far_mw[j] {
+                self.peak_so_far_mw[j] = grid;
+            }
+        }
+    }
+
+    /// Fallback steps command zero battery rates: the belief SoC holds and
+    /// the next QP measures its rate deltas from zero.
+    fn command_zero_rates(&mut self) {
+        if let Some((c, d)) = &mut self.prev_rates {
+            c.iter_mut().for_each(|x| *x = 0.0);
+            d.iter_mut().for_each(|x| *x = 0.0);
+        }
+    }
+
+    /// Per-IDC battery dispatch intent for this step. `shift` is the MW
+    /// adjustment applied to the power reference: negative where the
+    /// controller should discharge (peak shaving against the running
+    /// billed peak first, then arbitrage when the regional price runs
+    /// above its EWMA), positive where it should recharge (price below
+    /// EWMA, and never above the already-billed peak when a demand-charge
+    /// tariff makes fresh peaks expensive). `charge_cap`/`discharge_cap`
+    /// are the rate limits handed to the QP — zero unless a signal fired,
+    /// so the solver cannot thrash the battery to absorb ordinary tracking
+    /// error (integer server rounding, smoothing lag) and cannot *charge*
+    /// into a billed peak just to meet a high reference. Caps enter the
+    /// QP right-hand sides only, so gating never invalidates the cached
+    /// structure or warm state.
+    fn storage_shaping(
+        &self,
+        ctx: &StepContext<'_>,
+        power_ref: &[f64],
+        unclamped_ref: &[f64],
+    ) -> StorageShaping {
+        let n = ctx.idcs.len();
+        let mut shaping = StorageShaping {
+            shift: vec![0.0; n],
+            charge_cap: vec![0.0; n],
+            discharge_cap: vec![0.0; n],
+        };
+        let (Some(fleet), Some(state), Some(ewma)) = (
+            &self.config.storage,
+            &self.storage_state,
+            &self.price_ewma,
+        ) else {
+            return shaping;
+        };
+        if self.config.battery_outage_steps.contains(&ctx.step) {
+            return shaping;
+        }
+        let dt = ctx.dt_hours;
+        for (j, unit) in fleet.units().iter().enumerate() {
+            let soc = state.soc_mwh()[j];
+            let d_avail = unit
+                .max_discharge_mw
+                .min(soc * unit.discharge_efficiency / dt);
+            let c_avail = unit
+                .max_charge_mw
+                .min((unit.capacity_mwh - soc).max(0.0) / (unit.charge_efficiency * dt));
+            let peak = self.peak_so_far_mw.get(j).copied().unwrap_or(0.0);
+            let mut d_budget = d_avail;
+            let mut delta = 0.0;
+            if self.config.demand_charge.is_some() && peak > 0.0 && power_ref[j] > peak {
+                // Shave the fresh peak first — a ratchet here bills for
+                // the whole period. The same discharge budget then serves
+                // arbitrage, never double-counted.
+                let cut = d_budget.min(power_ref[j] - peak);
+                delta -= cut;
+                d_budget -= cut;
+            }
+            // Arbitrage thresholds must clear the round-trip efficiency:
+            // with η_c·η_d ≈ 0.9, a trade only pays if the sell price
+            // exceeds buy/0.9 ≈ 1.11×. ±10% around a slow baseline keeps
+            // the spread at ~1.22×, comfortably past breakeven.
+            if ctx.prices[j] > ARBITRAGE_DISCHARGE_RATIO * ewma[j] {
+                delta -= d_budget;
+            } else if ctx.prices[j] < ARBITRAGE_CHARGE_RATIO * ewma[j] {
+                // Charging raises grid draw, so it must stay under both
+                // the billed peak (a ratchet charges for the whole
+                // period) and any hard power budget (a violation defeats
+                // the peak-shaving objective the battery exists for).
+                let mut headroom = if self.config.demand_charge.is_some() {
+                    (peak - (power_ref[j] + delta)).max(0.0)
+                } else {
+                    f64::INFINITY
+                };
+                if let Some(b) = &self.config.budgets {
+                    headroom = headroom.min((b.budget_mw(j) - (power_ref[j] + delta)).max(0.0));
+                }
+                delta += c_avail.min(headroom);
+            }
+            shaping.shift[j] = delta;
+            shaping.charge_cap[j] = delta.max(0.0);
+            shaping.discharge_cap[j] = (-delta).max(0.0);
+            // Budget backstop: when the reference is clamped at a binding
+            // power budget, let the QP serve transient overshoot from the
+            // battery even with no price/peak signal. Track a hair *below*
+            // the budget — with battery rates the QP hits its reference to
+            // float precision, and parking the realized draw exactly on
+            // the boundary flips the strict `p > budget` violation check.
+            if let Some(b) = &self.config.budgets {
+                if unclamped_ref[j] > b.budget_mw(j) {
+                    shaping.discharge_cap[j] = shaping.discharge_cap[j].max(d_avail);
+                    shaping.shift[j] -= BUDGET_SHAVE_MARGIN_MW;
+                }
+            }
+        }
+        shaping
+    }
+
+    /// Assembles the per-step [`StorageProblem`] from the configured fleet
+    /// and the evolving belief state. The rate caps handed to the QP are
+    /// the *gated* caps from [`storage_shaping`](Self::storage_shaping) —
+    /// zero on battery-outage steps and whenever no dispatch signal fired.
+    /// Caps are rhs-only, so the QP skeleton and warm state survive every
+    /// gating change.
+    fn storage_problem_for(
+        &self,
+        ctx: &StepContext<'_>,
+        shaping: &StorageShaping,
+    ) -> Option<StorageProblem> {
+        let fleet = self.config.storage.as_ref()?;
+        let units = fleet.units();
+        let (prev_c, prev_d) = self.prev_rates.clone().expect("initialized with storage");
+        Some(StorageProblem {
+            capacity_mwh: units.iter().map(|u| u.capacity_mwh).collect(),
+            max_charge_mw: units
+                .iter()
+                .zip(&shaping.charge_cap)
+                .map(|(u, &cap)| cap.min(u.max_charge_mw))
+                .collect(),
+            max_discharge_mw: units
+                .iter()
+                .zip(&shaping.discharge_cap)
+                .map(|(u, &cap)| cap.min(u.max_discharge_mw))
+                .collect(),
+            charge_efficiency: units.iter().map(|u| u.charge_efficiency).collect(),
+            discharge_efficiency: units.iter().map(|u| u.discharge_efficiency).collect(),
+            soc_mwh: self
+                .storage_state
+                .as_ref()
+                .expect("initialized with storage")
+                .soc_mwh()
+                .to_vec(),
+            prev_charge_mw: prev_c,
+            prev_discharge_mw: prev_d,
+            dt_hours: ctx.dt_hours,
+        })
+    }
+
     /// Emergency fallback when the QP is infeasible (e.g. a workload surge
     /// beyond the ramped capacity): turn on whatever eq. 35 demands for a
     /// capacity-proportional split and apply that split directly.
@@ -471,6 +744,8 @@ impl MpcPolicy {
         Ok(Decision {
             servers_on,
             allocation,
+            charge_mw: Vec::new(),
+            discharge_mw: Vec::new(),
         })
     }
 
@@ -492,8 +767,15 @@ impl MpcPolicy {
         for (p, &l) in self.predictors.iter_mut().zip(&ctx.offered) {
             p.observe(l);
         }
+        if let Some(ewma) = &mut self.price_ewma {
+            for (e, &p) in ewma.iter_mut().zip(&ctx.prices) {
+                *e = (1.0 - PRICE_EWMA_ALPHA) * *e + PRICE_EWMA_ALPHA * p;
+            }
+        }
         idc_obs::record_anomaly("staleness_degrade", ctx.step as u64, &[]);
         let decision = self.fallback(ctx)?;
+        self.command_zero_rates();
+        self.observe_grid_power(ctx, &decision);
         self.fallback_steps.push(ctx.step);
         self.state = Some((
             decision.allocation.to_control_vector(),
@@ -518,6 +800,11 @@ impl MpcPolicy {
             warm_solves: warm as u64,
             cold_solves: cold as u64,
             fallback_steps: self.fallback_steps.iter().map(|&s| s as u64).collect(),
+            storage_soc_mwh: self.storage_state.as_ref().map(|s| s.soc_mwh().to_vec()),
+            prev_charge_mw: self.prev_rates.as_ref().map(|(c, _)| c.clone()),
+            prev_discharge_mw: self.prev_rates.as_ref().map(|(_, d)| d.clone()),
+            price_ewma: self.price_ewma.clone(),
+            peak_so_far_mw: self.peak_so_far_mw.clone(),
         }
     }
 
@@ -560,6 +847,69 @@ impl MpcPolicy {
                 "snapshot has predictors but no controller state".into(),
             ));
         }
+        // Storage / demand-charge carry-over: an initialized snapshot must
+        // hold exactly the auxiliary state this policy's tuning calls for.
+        let initialized = state.is_some();
+        let storage_state = match (&self.config.storage, &snapshot.storage_soc_mwh) {
+            (Some(fleet), Some(soc)) => {
+                Some(StorageState::with_soc(fleet, soc.clone()).ok_or_else(|| {
+                    Error::Config(
+                        "snapshot battery SoC is inconsistent with the configured fleet".into(),
+                    )
+                })?)
+            }
+            (None, Some(_)) => {
+                return Err(Error::Config(
+                    "snapshot has battery state but no storage is configured".into(),
+                ))
+            }
+            (Some(_), None) if initialized => {
+                return Err(Error::Config(
+                    "snapshot lacks battery state for a storage-configured policy".into(),
+                ))
+            }
+            _ => None,
+        };
+        let n_units = self.config.storage.as_ref().map(StorageFleet::num_idcs);
+        let prev_rates = match (&snapshot.prev_charge_mw, &snapshot.prev_discharge_mw) {
+            (Some(c), Some(d)) => {
+                if storage_state.is_none() || Some(c.len()) != n_units || Some(d.len()) != n_units
+                {
+                    return Err(Error::Config(
+                        "snapshot battery rates are inconsistent with the configured fleet".into(),
+                    ));
+                }
+                Some((c.clone(), d.clone()))
+            }
+            (None, None) => {
+                if storage_state.is_some() {
+                    return Err(Error::Config(
+                        "snapshot has battery SoC but no previous battery rates".into(),
+                    ));
+                }
+                None
+            }
+            _ => {
+                return Err(Error::Config(
+                    "snapshot has charge rates without discharge rates (or vice versa)".into(),
+                ))
+            }
+        };
+        let needs_aux = self.config.storage.is_some() || self.config.demand_charge.is_some();
+        if needs_aux
+            && initialized
+            && (snapshot.price_ewma.is_none() || snapshot.peak_so_far_mw.is_empty())
+        {
+            return Err(Error::Config(
+                "snapshot lacks price/peak state for a storage- or demand-charge-configured \
+                 policy"
+                    .into(),
+            ));
+        }
+        self.storage_state = storage_state;
+        self.prev_rates = prev_rates;
+        self.price_ewma = snapshot.price_ewma.clone();
+        self.peak_so_far_mw = snapshot.peak_so_far_mw.clone();
         self.predictors = predictors;
         self.state = state;
         self.controller.reset();
@@ -586,12 +936,22 @@ impl Policy for MpcPolicy {
     }
 
     fn initialize(&mut self, ctx: &StepContext<'_>) -> Result<()> {
-        let reference = self.config.reference.solve_with(
-            &mut self.ref_solver,
-            ctx.idcs,
-            &ctx.offered,
-            &ctx.prices,
-        )?;
+        let n = ctx.idcs.len();
+        if let Some(fleet) = &self.config.storage {
+            if fleet.num_idcs() != n {
+                return Err(Error::Config(format!(
+                    "storage fleet covers {} IDCs, control fleet has {n}",
+                    fleet.num_idcs()
+                )));
+            }
+            self.storage_state = Some(StorageState::of(fleet));
+            self.prev_rates = Some((vec![0.0; n], vec![0.0; n]));
+        }
+        if self.config.storage.is_some() || self.config.demand_charge.is_some() {
+            self.price_ewma = Some(ctx.prices.clone());
+            self.peak_so_far_mw = vec![0.0; n];
+        }
+        let reference = self.reference_for(ctx.idcs, &ctx.offered, &ctx.prices)?;
         let u = reference.allocation().to_vec();
         let m = reference.servers_ceil(ctx.idcs);
         self.state = Some((u, m));
@@ -650,22 +1010,32 @@ impl MpcPolicy {
         for (p, &l) in self.predictors.iter_mut().zip(&ctx.offered) {
             p.observe(l);
         }
+        // Track the arbitrage baseline: per-IDC price EWMA.
+        if let Some(ewma) = &mut self.price_ewma {
+            for (e, &p) in ewma.iter_mut().zip(&ctx.prices) {
+                *e = (1.0 - PRICE_EWMA_ALPHA) * *e + PRICE_EWMA_ALPHA * p;
+            }
+        }
         let (prev_u, prev_m) = self.state.clone().expect("initialized above");
         let n = ctx.idcs.len();
         let c = ctx.offered.len();
 
-        // ---- Reference (eq. 46 / greedy) on the one-step-ahead workload,
-        // clamped to the power budget for peak shaving (Sec. IV-D). ----
-        let reference = self.config.reference.solve_with(
-            &mut self.ref_solver,
-            ctx.idcs,
-            &ctx.offered,
-            &ctx.prices,
-        )?;
-        let power_ref = match &self.config.budgets {
+        // ---- Reference (eq. 46 / greedy / demand-charge epigraph) on the
+        // one-step-ahead workload, clamped to the power budget for peak
+        // shaving (Sec. IV-D). ----
+        let reference = self.reference_for(ctx.idcs, &ctx.offered, &ctx.prices)?;
+        let mut power_ref = match &self.config.budgets {
             Some(b) => reference.clamped_power_mw(b.as_slice()),
             None => reference.power_mw().to_vec(),
         };
+        // ---- Battery dispatch shaping: shift the tracking target by what
+        // the units should move this period (peak shaving + price
+        // arbitrage) and gate the QP's rate caps accordingly, so the
+        // battery moves only when a signal fired. ----
+        let shaping = self.storage_shaping(ctx, &power_ref, reference.power_mw());
+        for (r, &s) in power_ref.iter_mut().zip(&shaping.shift) {
+            *r = (*r + s).max(0.0);
+        }
         // Budget-clamped IDCs get a heavy tracking weight: their power must
         // be pinned at the budget, while unclamped IDCs absorb whatever
         // load is displaced (Fig. 6's Wisconsin behaviour).
@@ -766,12 +1136,16 @@ impl MpcPolicy {
         if self.config.anticipatory_reference {
             for step_forecast in &horizon_forecasts {
                 let step_ref = self
-                    .config
-                    .reference
-                    .solve_with(&mut self.ref_solver, ctx.idcs, step_forecast, &ctx.prices)
-                    .map(|r| match &self.config.budgets {
-                        Some(b) => r.clamped_power_mw(b.as_slice()),
-                        None => r.power_mw().to_vec(),
+                    .reference_for(ctx.idcs, step_forecast, &ctx.prices)
+                    .map(|r| {
+                        let mut p = match &self.config.budgets {
+                            Some(b) => r.clamped_power_mw(b.as_slice()),
+                            None => r.power_mw().to_vec(),
+                        };
+                        for (pj, &s) in p.iter_mut().zip(&shaping.shift) {
+                            *pj = (*pj + s).max(0.0);
+                        }
+                        p
                     })
                     .unwrap_or_else(|_| power_ref.clone());
                 power_reference_mw.push(step_ref);
@@ -802,6 +1176,7 @@ impl MpcPolicy {
             workload_forecast: beta2_forecast,
             power_reference_mw,
             tracking_multiplier,
+            storage: self.storage_problem_for(ctx, &shaping),
         };
         if self.config.record_problems {
             self.problem_log.push(problem.clone());
@@ -814,6 +1189,8 @@ impl MpcPolicy {
             self.controller.reset();
             self.fallback_steps.push(ctx.step);
             let decision = self.fallback(ctx)?;
+            self.command_zero_rates();
+            self.observe_grid_power(ctx, &decision);
             self.state = Some((
                 decision.allocation.to_control_vector(),
                 decision.servers_on.clone(),
@@ -856,16 +1233,42 @@ impl MpcPolicy {
                 let u = plan.next_input().to_vec();
                 let allocation = Allocation::from_control_vector(c, n, &u)
                     .expect("controller output has fleet dimensions");
+                // Apply the planned battery rates to the belief SoC with
+                // the same clamped dynamics the simulator uses, and report
+                // the applied (not raw) rates so belief and plant agree.
+                let mut charge_mw = Vec::new();
+                let mut discharge_mw = Vec::new();
+                if let Some(fleet) = &self.config.storage {
+                    let state = self.storage_state.as_mut().expect("initialized with storage");
+                    for j in 0..n {
+                        let applied = state.apply(
+                            fleet,
+                            j,
+                            plan.next_charge_mw()[j],
+                            plan.next_discharge_mw()[j],
+                            ctx.dt_hours,
+                        );
+                        charge_mw.push(applied.charge_mw);
+                        discharge_mw.push(applied.discharge_mw);
+                    }
+                    self.prev_rates = Some((charge_mw.clone(), discharge_mw.clone()));
+                }
                 self.state = Some((u, servers_on.clone()));
-                Ok(Decision {
+                let decision = Decision {
                     servers_on,
                     allocation,
-                })
+                    charge_mw,
+                    discharge_mw,
+                };
+                self.observe_grid_power(ctx, &decision);
+                Ok(decision)
             }
             Err(idc_opt::Error::Infeasible) => {
                 idc_obs::record_anomaly("qp_infeasible_fallback", ctx.step as u64, &[]);
                 self.fallback_steps.push(ctx.step);
                 let decision = self.fallback(ctx)?;
+                self.command_zero_rates();
+                self.observe_grid_power(ctx, &decision);
                 self.state = Some((
                     decision.allocation.to_control_vector(),
                     decision.servers_on.clone(),
@@ -1110,6 +1513,119 @@ mod tests {
         c.step = 4;
         policy.decide(&c).unwrap();
         assert_eq!(policy.fallback_steps(), &[3]);
+    }
+
+    #[test]
+    fn storage_snapshot_restore_resumes_bit_identically() {
+        let fleet = config::paper_fleet_calibrated();
+        let scenario = crate::scenario::storage_plus_shifting_scenario(5);
+        let mut live = MpcPolicy::paper_tuned(&scenario).unwrap();
+        let init = ctx(fleet.idcs(), 6.5, vec![43.26, 30.26, 19.06]);
+        live.initialize(&init).unwrap();
+
+        let price_sets = [
+            vec![49.90, 29.47, 77.97],
+            vec![44.00, 31.00, 60.00],
+            vec![41.00, 35.00, 41.00],
+            vec![90.00, 28.00, 12.00], // spread wide enough to dispatch
+        ];
+        for (k, prices) in price_sets.iter().take(2).enumerate() {
+            let mut c = ctx(fleet.idcs(), 7.0 + k as f64, prices.clone());
+            c.step = k;
+            live.decide(&c).unwrap();
+        }
+
+        let snap = live.snapshot();
+        assert!(snap.storage_soc_mwh.is_some());
+        assert!(snap.price_ewma.is_some());
+        assert_eq!(snap.peak_so_far_mw.len(), 3);
+        let mut resumed = MpcPolicy::paper_tuned(&scenario).unwrap();
+        resumed.restore(&snap).unwrap();
+        assert_eq!(resumed.snapshot(), snap);
+
+        for (k, prices) in price_sets.iter().enumerate().skip(2) {
+            let mut c = ctx(fleet.idcs(), 7.0 + k as f64, prices.clone());
+            c.step = k;
+            let a = live.decide(&c).unwrap();
+            let b = resumed.decide(&c).unwrap();
+            assert_eq!(a.servers_on, b.servers_on, "step {k}");
+            for (x, y) in a.charge_mw.iter().zip(&b.charge_mw) {
+                assert_eq!(x.to_bits(), y.to_bits(), "charge step {k}");
+            }
+            for (x, y) in a.discharge_mw.iter().zip(&b.discharge_mw) {
+                assert_eq!(x.to_bits(), y.to_bits(), "discharge step {k}");
+            }
+            for (x, y) in a
+                .allocation
+                .to_control_vector()
+                .iter()
+                .zip(b.allocation.to_control_vector().iter())
+            {
+                assert_eq!(x.to_bits(), y.to_bits(), "step {k}");
+            }
+        }
+        assert_eq!(live.snapshot(), resumed.snapshot());
+    }
+
+    #[test]
+    fn restore_rejects_storage_mismatch() {
+        let fleet = config::paper_fleet_calibrated();
+        let init = ctx(fleet.idcs(), 6.5, vec![43.26, 30.26, 19.06]);
+
+        // A storage-configured policy rejects snapshots whose battery
+        // state is missing or the wrong size.
+        let scenario = crate::scenario::storage_plus_shifting_scenario(5);
+        let mut policy = MpcPolicy::paper_tuned(&scenario).unwrap();
+        policy.initialize(&init).unwrap();
+        let good = policy.snapshot();
+
+        let mut bad = good.clone();
+        bad.storage_soc_mwh = None;
+        assert!(policy.restore(&bad).is_err());
+
+        let mut bad = good.clone();
+        bad.storage_soc_mwh = Some(vec![2.0; 2]); // fleet has 3 units
+        assert!(policy.restore(&bad).is_err());
+
+        let mut bad = good.clone();
+        bad.prev_charge_mw = None; // rates must come as a pair
+        assert!(policy.restore(&bad).is_err());
+
+        let mut bad = good.clone();
+        bad.price_ewma = None;
+        assert!(policy.restore(&bad).is_err());
+
+        // A storage-free policy rejects a snapshot carrying battery state.
+        let plain = crate::scenario::smoothing_scenario();
+        let mut plain_policy = MpcPolicy::paper_tuned(&plain).unwrap();
+        plain_policy.initialize(&init).unwrap();
+        let mut bad = plain_policy.snapshot();
+        bad.storage_soc_mwh = good.storage_soc_mwh.clone();
+        assert!(plain_policy.restore(&bad).is_err());
+    }
+
+    #[test]
+    fn battery_outage_steps_force_zero_rates() {
+        let fleet = config::paper_fleet_calibrated();
+        let scenario = crate::scenario::storage_plus_shifting_scenario(5);
+        let mut cfg = MpcPolicy::paper_tuned(&scenario).unwrap().config().clone();
+        cfg.battery_outage_steps = vec![1];
+        let mut policy = MpcPolicy::new(cfg).unwrap();
+        let init = ctx(fleet.idcs(), 6.5, vec![43.26, 30.26, 19.06]);
+        policy.initialize(&init).unwrap();
+
+        // A wide price spread would normally dispatch the battery...
+        let mut c = ctx(fleet.idcs(), 7.0, vec![90.00, 28.00, 12.00]);
+        c.step = 1;
+        let d = policy.decide(&c).unwrap();
+        // ...but the outage gates every rate cap to zero.
+        assert_eq!(d.charge_mw.len(), 3);
+        assert!(d.charge_mw.iter().all(|&r| r == 0.0), "{:?}", d.charge_mw);
+        assert!(
+            d.discharge_mw.iter().all(|&r| r == 0.0),
+            "{:?}",
+            d.discharge_mw
+        );
     }
 
     #[test]

@@ -7,8 +7,9 @@ use idc_datacenter::server::ServerSpec;
 use idc_market::fault::FaultyTracePricing;
 use idc_market::region::Region;
 use idc_market::rtp::{DemandResponsivePricing, PricingModel, TracePricing};
-use idc_market::tariff::PowerBudget;
+use idc_market::tariff::{DemandCharge, PowerBudget};
 use idc_market::trace::PriceTrace;
+use idc_storage::{paper_test_battery, StorageFleet};
 use idc_timeseries::traces::DiurnalTrace;
 
 use crate::config;
@@ -123,6 +124,8 @@ pub struct Scenario {
     workload_noise_std: f64,
     workload_profile: WorkloadProfile,
     seed: u64,
+    storage: Option<StorageFleet>,
+    demand_charge: Option<DemandCharge>,
 }
 
 impl Scenario {
@@ -154,6 +157,8 @@ impl Scenario {
             workload_noise_std: 0.0,
             workload_profile: WorkloadProfile::Constant,
             seed: 2012,
+            storage: None,
+            demand_charge: None,
         })
     }
 
@@ -233,6 +238,35 @@ impl Scenario {
     /// Power budgets, if peak shaving is enabled.
     pub fn budgets(&self) -> Option<&PowerBudget> {
         self.budgets.as_ref()
+    }
+
+    /// Attaches per-IDC battery/UPS storage. Returns `None` when the
+    /// fleet sizes differ. An *inert* storage fleet (no unit can move
+    /// energy) is normalized to "no storage", so zero-capacity
+    /// configurations stay byte-identical to storage-free runs.
+    pub fn with_storage(mut self, storage: StorageFleet) -> Option<Self> {
+        if storage.num_idcs() != self.fleet.num_idcs() {
+            return None;
+        }
+        self.storage = (!storage.is_inert()).then_some(storage);
+        Some(self)
+    }
+
+    /// Attaches a billed-peak demand charge to the electricity tariff.
+    pub fn with_demand_charge(mut self, tariff: DemandCharge) -> Self {
+        self.demand_charge = Some(tariff);
+        self
+    }
+
+    /// Per-IDC battery/UPS storage, when configured (never an inert
+    /// fleet — those normalize to `None`).
+    pub fn storage(&self) -> Option<&StorageFleet> {
+        self.storage.as_ref()
+    }
+
+    /// The billed-peak demand charge, when the tariff has one.
+    pub fn demand_charge(&self) -> Option<&DemandCharge> {
+        self.demand_charge.as_ref()
     }
 
     /// Sets a time-varying workload profile (diurnal modulation of the
@@ -430,6 +464,40 @@ pub fn scaled_fleet_scenario(n: usize, c: usize, seed: u64) -> Scenario {
     )
     .expect("scaled fleet scenario is consistent")
     .with_workload_noise(0.03, seed)
+}
+
+/// Extension — peak shaving with a battery actuator: the Figs. 6/7
+/// peak-shaving experiment (Sec. V-C budgets) with a
+/// [`paper_test_battery`] at every IDC. Where the paper's controller can
+/// only *move* load away from a budget-capped IDC, this one can also
+/// serve it locally from storage — the budget-violating transients of the
+/// storage-free run shrink or disappear.
+pub fn storage_peak_shaving_scenario() -> Scenario {
+    let s = peak_shaving_scenario()
+        .with_storage(StorageFleet::uniform(3, paper_test_battery()).expect("non-empty fleet"))
+        .expect("one unit per IDC");
+    s.with_name("storage-peak-shaving")
+}
+
+/// Extension — a billed-peak demand charge on the diurnal day: the
+/// workload-shifting controller alone against a tariff that bills the
+/// period-maximum demand (Wang et al., arXiv:1308.0585) on top of energy.
+/// The baseline the storage actuator is judged against.
+pub fn demand_charge_scenario(seed: u64) -> Scenario {
+    diurnal_day_scenario(seed)
+        .with_demand_charge(DemandCharge::typical_commercial())
+        .with_name("demand-charge")
+}
+
+/// Extension — storage *plus* shifting on the demand-charge day: the same
+/// tariff and diurnal trace as [`demand_charge_scenario`], with a
+/// [`paper_test_battery`] at every IDC. The acceptance experiment: total
+/// cost (energy + demand charges) must come in below shifting alone.
+pub fn storage_plus_shifting_scenario(seed: u64) -> Scenario {
+    demand_charge_scenario(seed)
+        .with_storage(StorageFleet::uniform(3, paper_test_battery()).expect("non-empty fleet"))
+        .expect("one unit per IDC")
+        .with_name("storage-plus-shifting")
 }
 
 /// Extension — an MMPP-driven hour: flash-crowd arrivals from a two-state

@@ -13,6 +13,7 @@ use idc_timeseries::standard_normal;
 
 use idc_datacenter::idc::LatencyStatus;
 use idc_datacenter::power::{power_stats, PowerStats};
+use idc_storage::StorageState;
 
 use crate::policy::{Policy, StepContext};
 use crate::scenario::Scenario;
@@ -46,6 +47,21 @@ pub struct SimulationResult {
     /// `[step]` IDC-major flattened allocation vectors `λ_{ij}`
     /// (recorded only by a validating simulator).
     allocations: Option<Vec<Vec<f64>>>,
+    /// `[idc][step]` battery state of charge after each step (MWh);
+    /// `None` when the scenario has no storage.
+    soc_mwh: Option<Vec<Vec<f64>>>,
+    /// `[idc][step]` applied (post-clamp) battery charge rates (MW).
+    charge_mw: Option<Vec<Vec<f64>>>,
+    /// `[idc][step]` applied battery discharge rates (MW).
+    discharge_mw: Option<Vec<Vec<f64>>>,
+    /// Total conversion losses over the run (MWh); `None` without storage.
+    storage_loss_mwh: Option<f64>,
+    /// Cumulative amortized demand charge ($) after each step; `None`
+    /// when the scenario has no demand-charge tariff.
+    demand_charge_cumulative: Option<Vec<f64>>,
+    /// Final per-IDC billed peaks of grid draw (MW); `None` without a
+    /// demand-charge tariff.
+    billed_peak_mw: Option<Vec<f64>>,
 }
 
 impl SimulationResult {
@@ -154,6 +170,60 @@ impl SimulationResult {
         self.allocations.as_deref()
     }
 
+    /// Battery state-of-charge trajectory of IDC `j` (MWh, sampled after
+    /// each step); `None` when the scenario ran without storage.
+    pub fn soc_mwh(&self, j: usize) -> Option<&[f64]> {
+        self.soc_mwh.as_ref().map(|s| s[j].as_slice())
+    }
+
+    /// Applied battery charge-rate trajectory of IDC `j` (MW); `None`
+    /// when the scenario ran without storage.
+    pub fn battery_charge_mw(&self, j: usize) -> Option<&[f64]> {
+        self.charge_mw.as_ref().map(|s| s[j].as_slice())
+    }
+
+    /// Applied battery discharge-rate trajectory of IDC `j` (MW); `None`
+    /// when the scenario ran without storage.
+    pub fn battery_discharge_mw(&self, j: usize) -> Option<&[f64]> {
+        self.discharge_mw.as_ref().map(|s| s[j].as_slice())
+    }
+
+    /// Total battery conversion losses over the run (MWh); `None` when
+    /// the scenario ran without storage.
+    pub fn storage_loss_mwh(&self) -> Option<f64> {
+        self.storage_loss_mwh
+    }
+
+    /// Cumulative amortized demand charge ($) after each step — the
+    /// tariff's hourly weight times the running billed peaks, integrated
+    /// over the window. `None` when the scenario has no demand-charge
+    /// tariff.
+    pub fn demand_charge_cumulative(&self) -> Option<&[f64]> {
+        self.demand_charge_cumulative.as_deref()
+    }
+
+    /// Final per-IDC billed peaks of *grid* draw (MW); `None` when the
+    /// scenario has no demand-charge tariff.
+    pub fn billed_peak_mw(&self) -> Option<&[f64]> {
+        self.billed_peak_mw.as_deref()
+    }
+
+    /// Total amortized demand charge over the window ($); zero when the
+    /// scenario has no demand-charge tariff.
+    pub fn total_demand_charge(&self) -> f64 {
+        self.demand_charge_cumulative
+            .as_ref()
+            .and_then(|s| s.last().copied())
+            .unwrap_or(0.0)
+    }
+
+    /// Total electricity cost including the amortized demand-charge
+    /// component ($). Equals [`total_cost`](Self::total_cost) when no
+    /// tariff is configured.
+    pub fn total_cost_with_demand_charges(&self) -> f64 {
+        self.total_cost() + self.total_demand_charge()
+    }
+
     /// Per-IDC fraction of steps strictly above `budget_mw[j]`.
     ///
     /// # Panics
@@ -238,6 +308,25 @@ impl Simulator {
         let mut last_power = vec![0.0; n];
         let mut offered_volume = 0.0;
         let mut shed_volume = 0.0;
+        // Battery plant: the simulator owns the authoritative SoC and
+        // applies commanded rates through the same clamped dynamics the
+        // policy's belief uses, so the two agree on deterministic runs.
+        let mut storage_state = scenario.storage().map(StorageState::of);
+        let mut soc_log = storage_state
+            .as_ref()
+            .map(|_| vec![Vec::with_capacity(steps); n]);
+        let mut charge_log = storage_state
+            .as_ref()
+            .map(|_| vec![Vec::with_capacity(steps); n]);
+        let mut discharge_log = storage_state
+            .as_ref()
+            .map(|_| vec![Vec::with_capacity(steps); n]);
+        // Demand-charge meter: running per-IDC billed peaks of grid draw,
+        // accrued at the tariff's hourly weight.
+        let tariff = scenario.demand_charge().copied();
+        let mut dc_cumulative = tariff.map(|_| Vec::with_capacity(steps));
+        let mut dc_peaks = vec![0.0f64; n];
+        let mut dc_total = 0.0;
         // Admission-control ceiling: slightly inside the fleet's capacity
         // so the controllability condition of Sec. IV-B keeps holding.
         let admission_cap = fleet.total_capacity() * 0.999;
@@ -296,6 +385,15 @@ impl Simulator {
                     policy.name()
                 )));
             }
+            for rates in [&decision.charge_mw, &decision.discharge_mw] {
+                let len_ok = rates.is_empty() || (storage_state.is_some() && rates.len() == n);
+                if !len_ok || rates.iter().any(|r| !r.is_finite()) {
+                    return Err(Error::Config(format!(
+                        "policy '{}' returned battery rates the scenario's plant cannot apply",
+                        policy.name()
+                    )));
+                }
+            }
 
             // ---- Record. ----
             if let Some(log) = offered_log.as_mut() {
@@ -304,7 +402,23 @@ impl Simulator {
             if let Some(log) = allocation_log.as_mut() {
                 log.push(decision.allocation.to_control_vector());
             }
-            let per_idc = fleet.per_idc_power_mw(&decision.servers_on, &decision.allocation);
+            let mut per_idc = fleet.per_idc_power_mw(&decision.servers_on, &decision.allocation);
+            if let Some(state) = storage_state.as_mut() {
+                // Apply the commanded rates through the clamped battery
+                // dynamics, then meter *grid* draw = IT power + charge −
+                // discharge. Only this branch touches the power series, so
+                // storage-free runs stay byte-identical.
+                let battery_fleet = scenario.storage().expect("state implies fleet");
+                for j in 0..n {
+                    let c_cmd = decision.charge_mw.get(j).copied().unwrap_or(0.0);
+                    let d_cmd = decision.discharge_mw.get(j).copied().unwrap_or(0.0);
+                    let applied = state.apply(battery_fleet, j, c_cmd, d_cmd, ts);
+                    per_idc[j] = (per_idc[j] + applied.charge_mw - applied.discharge_mw).max(0.0);
+                    soc_log.as_mut().expect("storage logs")[j].push(state.soc_mwh()[j]);
+                    charge_log.as_mut().expect("storage logs")[j].push(applied.charge_mw);
+                    discharge_log.as_mut().expect("storage logs")[j].push(applied.discharge_mw);
+                }
+            }
             for j in 0..n {
                 power_mw[j].push(per_idc[j]);
                 servers[j].push(decision.servers_on[j]);
@@ -322,6 +436,15 @@ impl Simulator {
                 .map(|(&p, &pr)| p * pr * ts)
                 .sum::<f64>();
             cost_cumulative.push(cost);
+            if let (Some(tariff), Some(series)) = (&tariff, dc_cumulative.as_mut()) {
+                for (peak, &p) in dc_peaks.iter_mut().zip(&per_idc) {
+                    if p > *peak {
+                        *peak = p;
+                    }
+                }
+                dc_total += tariff.hourly_weight() * dc_peaks.iter().sum::<f64>() * ts;
+                series.push(dc_total);
+            }
             prices_seen.push(prices);
             times_min.push(k as f64 * ts * 60.0);
             last_power = per_idc;
@@ -345,6 +468,12 @@ impl Simulator {
             },
             offered: offered_log,
             allocations: allocation_log,
+            storage_loss_mwh: storage_state.as_ref().map(StorageState::total_loss_mwh),
+            soc_mwh: soc_log,
+            charge_mw: charge_log,
+            discharge_mw: discharge_log,
+            billed_peak_mw: dc_cumulative.as_ref().map(|_| dc_peaks),
+            demand_charge_cumulative: dc_cumulative,
         })
     }
 }

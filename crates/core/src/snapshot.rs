@@ -14,6 +14,12 @@
 use idc_timeseries::predictor::PredictorState;
 use serde::{Deserialize, Serialize};
 
+/// `serde(default)` helper: the vendored derive supports only
+/// `default = "path"`, so absent optional fields route through this.
+fn none_f64s() -> Option<Vec<f64>> {
+    None
+}
+
 /// Serializable form of the inner controller's warm-start carry-over
 /// (`ΔU` guess plus active constraint set). The QP structure cache itself
 /// is *not* captured — it rebuilds deterministically from the problem — but
@@ -55,4 +61,23 @@ pub struct MpcPolicySnapshot {
     pub cold_solves: u64,
     /// Steps at which the policy degraded to its fallback so far.
     pub fallback_steps: Vec<u64>,
+    /// Belief per-IDC battery state of charge (MWh) — `None` when the
+    /// policy controls no storage. All storage/demand-charge fields
+    /// default when absent so pre-storage snapshots keep restoring.
+    #[serde(default = "none_f64s")]
+    pub storage_soc_mwh: Option<Vec<f64>>,
+    /// Battery charge rates applied at the previous step (MW).
+    #[serde(default = "none_f64s")]
+    pub prev_charge_mw: Option<Vec<f64>>,
+    /// Battery discharge rates applied at the previous step (MW).
+    #[serde(default = "none_f64s")]
+    pub prev_discharge_mw: Option<Vec<f64>>,
+    /// Per-IDC price EWMA driving the arbitrage reference shaping.
+    #[serde(default = "none_f64s")]
+    pub price_ewma: Option<Vec<f64>>,
+    /// Per-IDC running billed peak of grid draw this billing period (MW).
+    /// Empty when neither storage nor a demand-charge tariff is
+    /// configured.
+    #[serde(default = "Vec::new")]
+    pub peak_so_far_mw: Vec<f64>,
 }

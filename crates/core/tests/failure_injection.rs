@@ -26,6 +26,8 @@ impl Policy for WorkloadLoser {
         Ok(Decision {
             servers_on: vec![ctx.idcs[0].total_servers(); ctx.idcs.len()],
             allocation,
+            charge_mw: Vec::new(),
+            discharge_mw: Vec::new(),
         })
     }
 }
@@ -42,6 +44,8 @@ impl Policy for WrongDimensions {
         Ok(Decision {
             servers_on: vec![1], // fleet has 3 IDCs
             allocation: Allocation::zeros(ctx.offered.len(), 1),
+            charge_mw: Vec::new(),
+            discharge_mw: Vec::new(),
         })
     }
 }

@@ -139,6 +139,75 @@ pub fn energy_cost(price_per_mwh: f64, power_mw: f64, hours: f64) -> f64 {
     price_per_mwh * power_mw * hours
 }
 
+/// A demand charge: the utility bills the *maximum* power drawn over a
+/// billing period at a flat $/MW rate, on top of the energy charge.
+///
+/// This is the tariff structure that makes batteries pay for themselves
+/// (Wang et al., "Energy Storage in Datacenters", arXiv:1308.0585): a
+/// single 15-minute spike sets the bill for the whole month, so shaving
+/// the peak with stored energy saves `rate × shaved MW` regardless of how
+/// little energy the shave itself took.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandCharge {
+    /// $ per MW of billed (period-maximum) demand, per billing period.
+    rate_per_mw: f64,
+    /// Length of the billing period in hours (e.g. 720 for a 30-day month).
+    billing_period_hours: f64,
+}
+
+impl DemandCharge {
+    /// Creates a demand charge; returns `None` if the rate is negative or
+    /// the billing period is not strictly positive, or either is
+    /// non-finite.
+    pub fn new(rate_per_mw: f64, billing_period_hours: f64) -> Option<Self> {
+        if !(rate_per_mw >= 0.0)
+            || !rate_per_mw.is_finite()
+            || !(billing_period_hours > 0.0)
+            || !billing_period_hours.is_finite()
+        {
+            return None;
+        }
+        Some(DemandCharge {
+            rate_per_mw,
+            billing_period_hours,
+        })
+    }
+
+    /// A representative US commercial tariff: $12/kW-month over a 30-day
+    /// (720 h) billing period.
+    pub fn typical_commercial() -> Self {
+        DemandCharge {
+            rate_per_mw: 12_000.0,
+            billing_period_hours: 720.0,
+        }
+    }
+
+    /// $ per MW of billed demand per billing period.
+    pub fn rate_per_mw(&self) -> f64 {
+        self.rate_per_mw
+    }
+
+    /// Billing period length in hours.
+    pub fn billing_period_hours(&self) -> f64 {
+        self.billing_period_hours
+    }
+
+    /// The period rate amortized to $/MW/hour — the weight a per-hour
+    /// optimization should put on the billed-peak epigraph variable so the
+    /// instantaneous objective and the monthly bill agree in expectation.
+    pub fn hourly_weight(&self) -> f64 {
+        self.rate_per_mw / self.billing_period_hours
+    }
+
+    /// The bill in $ for the given per-IDC period-maximum demands (MW).
+    pub fn bill(&self, billed_peaks_mw: &[f64]) -> f64 {
+        billed_peaks_mw
+            .iter()
+            .map(|&p| self.rate_per_mw * p.max(0.0))
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +279,26 @@ mod tests {
     #[should_panic(expected = "one power value per IDC")]
     fn clamp_validates_length() {
         PowerBudget::paper_section_v_c().clamp(&[1.0]);
+    }
+
+    #[test]
+    fn demand_charge_validates() {
+        assert!(DemandCharge::new(-1.0, 720.0).is_none());
+        assert!(DemandCharge::new(1.0, 0.0).is_none());
+        assert!(DemandCharge::new(f64::NAN, 720.0).is_none());
+        assert!(DemandCharge::new(1.0, f64::INFINITY).is_none());
+        assert!(DemandCharge::new(0.0, 1.0).is_some());
+    }
+
+    #[test]
+    fn demand_charge_bill_and_weight() {
+        let dc = DemandCharge::typical_commercial();
+        assert_eq!(dc.rate_per_mw(), 12_000.0);
+        assert_eq!(dc.billing_period_hours(), 720.0);
+        // $12k/MW-month over 720 h amortizes to $16.67/MW/h.
+        assert!((dc.hourly_weight() - 12_000.0 / 720.0).abs() < 1e-12);
+        // 5 MW + 10 MW billed peaks → $180k; negative peaks bill nothing.
+        assert_eq!(dc.bill(&[5.0, 10.0]), 180_000.0);
+        assert_eq!(dc.bill(&[-1.0]), 0.0);
     }
 }

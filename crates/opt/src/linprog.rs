@@ -93,6 +93,14 @@ impl LinearProgram {
         &mut self.b_eq
     }
 
+    /// Mutable view of the inequality right-hand sides, in the order the
+    /// constraints were added — lets a caller move bounds (e.g. a
+    /// billed-peak floor that ratchets up over a billing period) on an
+    /// unchanged constraint structure.
+    pub fn ineq_rhs_mut(&mut self) -> &mut [f64] {
+        &mut self.b_ub
+    }
+
     /// Solves the program with the two-phase simplex method.
     ///
     /// Allocates a fresh [`LpWorkspace`] per call; repeated solvers should

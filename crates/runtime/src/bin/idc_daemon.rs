@@ -396,7 +396,13 @@ fn run_multi(args: &Args) -> Result<(), String> {
             let s = MetricsServer::start_with_status(
                 addr,
                 Arc::clone(&metrics),
-                Arc::new(move || board.render_json()),
+                Arc::new(move |id: &str| {
+                    if id.is_empty() {
+                        Some(board.render_json())
+                    } else {
+                        board.render_tenant_json(id)
+                    }
+                }),
             )
             .map_err(|e| e.to_string())?;
             eprintln!(

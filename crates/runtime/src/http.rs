@@ -9,8 +9,10 @@
 //! * `GET /debug/trace` — the flight recorder as Chrome trace-event JSON
 //!   (open in Perfetto or `chrome://tracing`; empty unless the daemon ran
 //!   with `--trace-capacity`)
-//! * `GET /tenants` — per-tenant status JSON, when the server was started
-//!   with [`MetricsServer::start_with_status`] (404 otherwise)
+//! * `GET /tenants` — per-tenant status JSON array, when the server was
+//!   started with [`MetricsServer::start_with_status`] (404 otherwise)
+//! * `GET /tenants/<id>` — one tenant's status object (step count, last
+//!   checkpoint step, shed counters); 404 for an unknown id
 //!
 //! Everything else is a 404. Connections are served one at a time from a
 //! single background thread (the scrape rate of a control daemon is a few
@@ -26,6 +28,11 @@ use std::time::Duration;
 
 use crate::metrics::MetricsRegistry;
 use crate::Result;
+
+/// Renders tenant status JSON on demand: called with `""` for the board
+/// listing and with a tenant id for the detail route; `None` means the
+/// id is unknown (served as a 404).
+pub type StatusRenderer = dyn Fn(&str) -> Option<String> + Send + Sync;
 
 /// A running metrics endpoint. Dropping the handle without calling
 /// [`shutdown`](Self::shutdown) detaches the serving thread.
@@ -47,9 +54,11 @@ impl MetricsServer {
         Self::serve(listen, registry, None)
     }
 
-    /// Like [`start`](Self::start), plus a `/tenants` route whose body is
-    /// produced by `status` on every request (the multi-tenant daemon
-    /// passes the status board's JSON renderer).
+    /// Like [`start`](Self::start), plus `/tenants` and `/tenants/<id>`
+    /// routes whose bodies are produced by `status` on every request: it
+    /// is called with `""` for the board listing and with the tenant id
+    /// for the detail route, and returns `None` for an unknown id (a 404).
+    /// The multi-tenant daemon passes the status board's JSON renderers.
     ///
     /// # Errors
     ///
@@ -57,7 +66,7 @@ impl MetricsServer {
     pub fn start_with_status(
         listen: &str,
         registry: Arc<MetricsRegistry>,
-        status: Arc<dyn Fn() -> String + Send + Sync>,
+        status: Arc<StatusRenderer>,
     ) -> Result<Self> {
         Self::serve(listen, registry, Some(status))
     }
@@ -65,7 +74,7 @@ impl MetricsServer {
     fn serve(
         listen: &str,
         registry: Arc<MetricsRegistry>,
-        status: Option<Arc<dyn Fn() -> String + Send + Sync>>,
+        status: Option<Arc<StatusRenderer>>,
     ) -> Result<Self> {
         let listener = TcpListener::bind(listen)?;
         let addr = listener.local_addr()?;
@@ -112,7 +121,7 @@ impl MetricsServer {
 fn serve_one(
     mut stream: TcpStream,
     registry: &MetricsRegistry,
-    status: Option<&(dyn Fn() -> String + Send + Sync)>,
+    status: Option<&StatusRenderer>,
 ) -> std::io::Result<()> {
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
@@ -141,14 +150,22 @@ fn serve_one(
         "/metrics.json" => ("200 OK", "application/json", registry.render_json()),
         "/debug/trace" => ("200 OK", "application/json", idc_obs::export_global_trace()),
         "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
-        "/tenants" => match status {
-            Some(render) => ("200 OK", "application/json", render()),
-            None => (
-                "404 Not Found",
-                "text/plain",
-                "no tenant manager\n".to_string(),
-            ),
-        },
+        p if p == "/tenants" || p.starts_with("/tenants/") => {
+            let id = p.strip_prefix("/tenants/").unwrap_or("");
+            match status.and_then(|render| render(id)) {
+                Some(body) => ("200 OK", "application/json", body),
+                None if status.is_none() => (
+                    "404 Not Found",
+                    "text/plain",
+                    "no tenant manager\n".to_string(),
+                ),
+                None => (
+                    "404 Not Found",
+                    "text/plain",
+                    "no such tenant\n".to_string(),
+                ),
+            }
+        }
         _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
     };
     let response = format!(
@@ -215,12 +232,24 @@ mod tests {
         let server = MetricsServer::start_with_status(
             "127.0.0.1:0",
             registry,
-            Arc::new(|| "[{\"id\":\"t-000\"}]".to_string()),
+            Arc::new(|id: &str| match id {
+                "" => Some("[{\"id\":\"t-000\"}]".to_string()),
+                "t-000" => Some("{\"id\":\"t-000\"}".to_string()),
+                _ => None,
+            }),
         )
         .unwrap();
         let (status, body) = get(server.addr(), "/tenants");
         assert!(status.contains("200"), "{status}");
         assert_eq!(body, "[{\"id\":\"t-000\"}]");
+
+        let (status, body) = get(server.addr(), "/tenants/t-000");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "{\"id\":\"t-000\"}");
+
+        let (status, body) = get(server.addr(), "/tenants/t-999");
+        assert!(status.contains("404"), "{status}");
+        assert_eq!(body, "no such tenant\n");
         server.shutdown();
     }
 }

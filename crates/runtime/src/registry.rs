@@ -7,7 +7,7 @@ use idc_market::fault::{FaultyTracePricing, PriceFault};
 use idc_market::rtp::TracePricing;
 
 /// The registry's keys, in presentation order.
-pub const SCENARIO_KEYS: [&str; 7] = [
+pub const SCENARIO_KEYS: [&str; 10] = [
     "smoothing",
     "smoothing_table_ii",
     "peak_shaving",
@@ -15,6 +15,9 @@ pub const SCENARIO_KEYS: [&str; 7] = [
     "noisy_day",
     "diurnal_day",
     "mmpp_hour",
+    "storage_peak_shaving",
+    "demand_charge",
+    "storage_plus_shifting",
 ];
 
 /// The smoothing scenario with market-*value* faults layered under the
@@ -67,6 +70,9 @@ pub fn scenario_by_key(key: &str, seed: u64, steps: Option<usize>) -> Option<Sce
         "noisy_day" => scenario::noisy_day_scenario(seed),
         "diurnal_day" => scenario::diurnal_day_scenario(seed),
         "mmpp_hour" => scenario::mmpp_hour_scenario(seed),
+        "storage_peak_shaving" => scenario::storage_peak_shaving_scenario(),
+        "demand_charge" => scenario::demand_charge_scenario(seed),
+        "storage_plus_shifting" => scenario::storage_plus_shifting_scenario(seed),
         _ => {
             let (n, c) = parse_scaled_key(key)?;
             scenario::scaled_fleet_scenario(n, c, seed)

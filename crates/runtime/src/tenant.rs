@@ -196,8 +196,13 @@ pub struct TenantStatus {
     pub cost_dollars: f64,
     /// Steps served by the staleness fallback.
     pub degraded_steps: u64,
-    /// Observations shed by feed admission control (both feeds).
-    pub shed_observations: u64,
+    /// Workload observations shed by feed admission control.
+    pub shed_workload: u64,
+    /// Price observations shed by feed admission control.
+    pub shed_price: u64,
+    /// Step at which the newest checkpoint was recorded; `null` until the
+    /// tenant has checkpointed (or resumed from one).
+    pub last_checkpoint_step: Option<u64>,
 }
 
 /// A cloneable, thread-safe view of every tenant's latest status.
@@ -215,6 +220,23 @@ impl StatusBoard {
     /// The board as a JSON array (the `/tenants` response body).
     pub fn render_json(&self) -> String {
         serde_json::to_string(&self.statuses()).expect("statuses serialize")
+    }
+
+    /// The latest status of one tenant, by id.
+    pub fn status_of(&self, id: &str) -> Option<TenantStatus> {
+        self.inner
+            .lock()
+            .expect("status board mutex")
+            .iter()
+            .find(|s| s.id == id)
+            .cloned()
+    }
+
+    /// One tenant's status as a JSON object (the `/tenants/<id>` response
+    /// body); `None` for an unknown id.
+    pub fn render_tenant_json(&self, id: &str) -> Option<String> {
+        self.status_of(id)
+            .map(|s| serde_json::to_string(&s).expect("status serializes"))
     }
 
     fn push(&self, status: TenantStatus) {
@@ -278,6 +300,8 @@ struct TenantCell {
     stepper: Stepper,
     clock: WallClock,
     lineage: Option<CheckpointLineage>,
+    /// Step of the newest checkpoint recorded (or resumed from).
+    last_checkpoint_step: Option<u64>,
 }
 
 /// How a slice ended.
@@ -452,16 +476,17 @@ impl TenantManager {
             finished: stepper.is_finished(),
             cost_dollars: stepper.accumulated_cost(),
             degraded_steps: stepper.degraded_steps(),
-            shed_observations: {
-                let (w, p) = stepper.shed_observations();
-                w + p
-            },
+            shed_workload: stepper.shed_observations().0,
+            shed_price: stepper.shed_observations().1,
+            last_checkpoint_step: resumed.then(|| stepper.step()),
         });
+        let last_checkpoint_step = resumed.then(|| stepper.step());
         self.cells.push(TenantCell {
             spec,
             stepper,
             clock,
             lineage,
+            last_checkpoint_step,
         });
         Ok(resumed)
     }
@@ -583,7 +608,7 @@ impl TenantManager {
         let killed = shared.killed.load(Ordering::SeqCst);
         if stop.load(Ordering::SeqCst) && !killed {
             // Graceful drain: leave every unfinished tenant resumable.
-            for cell in self.cells.iter().filter(|c| !c.stepper.is_finished()) {
+            for cell in self.cells.iter_mut().filter(|c| !c.stepper.is_finished()) {
                 checkpoint(cell, &self.registry)?;
             }
         }
@@ -736,10 +761,11 @@ fn run_slice(
 }
 
 /// Records a checkpoint in the tenant's lineage, when one is configured.
-fn checkpoint(cell: &TenantCell, registry: &MetricsRegistry) -> Result<()> {
+fn checkpoint(cell: &mut TenantCell, registry: &MetricsRegistry) -> Result<()> {
     if let Some(lineage) = &cell.lineage {
         lineage.record(&cell.stepper.snapshot())?;
         registry.inc_counter("idc_tenant_checkpoints_total", 1);
+        cell.last_checkpoint_step = Some(cell.stepper.step());
     }
     Ok(())
 }
@@ -769,7 +795,9 @@ fn publish(cell: &TenantCell, idx: usize, registry: &MetricsRegistry, board: &St
             finished: s.is_finished(),
             cost_dollars: s.accumulated_cost(),
             degraded_steps: s.degraded_steps(),
-            shed_observations: w + p,
+            shed_workload: w,
+            shed_price: p,
+            last_checkpoint_step: cell.last_checkpoint_step,
         },
     );
 }
@@ -953,5 +981,37 @@ mod tests {
         let json = board.render_json();
         assert!(json.contains("\"id\":\"solo\""), "{json}");
         assert!(json.contains("\"finished\":true"), "{json}");
+        // Detail rendering: known id yields the same object, unknown is None.
+        let detail = board.render_tenant_json("solo").unwrap();
+        assert!(detail.contains("\"id\":\"solo\""), "{detail}");
+        assert!(detail.contains("\"shed_workload\":"), "{detail}");
+        assert!(detail.contains("\"shed_price\":"), "{detail}");
+        assert!(board.render_tenant_json("nope").is_none());
+        // No checkpoint root configured: never checkpointed.
+        assert_eq!(statuses[0].last_checkpoint_step, None);
+    }
+
+    #[test]
+    fn status_board_reports_checkpoint_progress() {
+        let root = tmpdir("status-checkpoint");
+        let mut manager = TenantManager::new(ManagerConfig {
+            checkpoint_root: Some(root.clone()),
+            ..ManagerConfig::default()
+        });
+        manager
+            .add_tenant(TenantSpec {
+                checkpoint_every: 4,
+                ..TenantSpec::max_speed("ckpt", short("smoothing", 2012, 10))
+            })
+            .unwrap();
+        let board = manager.status_board();
+        assert_eq!(board.status_of("ckpt").unwrap().last_checkpoint_step, None);
+        manager.run().unwrap();
+        // The final checkpoint lands at the last step.
+        assert_eq!(
+            board.status_of("ckpt").unwrap().last_checkpoint_step,
+            Some(10)
+        );
+        std::fs::remove_dir_all(&root).unwrap();
     }
 }

@@ -16,6 +16,7 @@ use idc_core::simulation::{SimulationResult, Simulator};
 use idc_core::Result;
 use idc_market::fault::{FaultyTracePricing, PriceFault};
 use idc_market::rtp::PricingModel;
+use idc_storage::{paper_test_battery, StorageFleet};
 use rand::{Rng, SeedableRng, StdRng};
 
 use crate::invariants::{check_run, Report, Tolerances};
@@ -56,11 +57,17 @@ pub enum FaultKind {
     /// and batch harnesses skip it; online hosts consume the derived
     /// [`FaultPlan::overload_params`] instead.
     TenantOverload,
+    /// A battery/UPS outage: at 2–4 derived steps the storage actuator is
+    /// unavailable and the policy must command zero rates (the gated QP
+    /// caps collapse to zero) while the workload controller carries on. If
+    /// the base scenario has no storage, a [`idc_storage::paper_test_battery`]
+    /// fleet is attached first so the fault always has a battery to lose.
+    BatteryOutage,
 }
 
 impl FaultKind {
     /// Every kind, in matrix order.
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 8] = [
         FaultKind::PriceSpike,
         FaultKind::PriceDropout,
         FaultKind::PredictionError,
@@ -68,6 +75,7 @@ impl FaultKind {
         FaultKind::ForcedRefactorization,
         FaultKind::CoordinatorStall,
         FaultKind::TenantOverload,
+        FaultKind::BatteryOutage,
     ];
 
     /// Whether this kind perturbs the *online delivery layer* rather than
@@ -89,6 +97,7 @@ impl FaultKind {
             FaultKind::ForcedRefactorization => "forced-refactorization",
             FaultKind::CoordinatorStall => "coordinator-stall",
             FaultKind::TenantOverload => "tenant-overload",
+            FaultKind::BatteryOutage => "battery-outage",
         }
     }
 
@@ -210,6 +219,8 @@ impl FaultPlan {
         let mut rng = self.stream();
         let mut config = MpcPolicyConfig {
             budgets: base.budgets().cloned(),
+            storage: base.storage().cloned(),
+            demand_charge: base.demand_charge().copied(),
             ..MpcPolicyConfig::default()
         };
         let scenario = match self.kind {
@@ -281,6 +292,33 @@ impl FaultPlan {
                 }
                 base.clone()
                     .with_name(format!("{}+{}#{}", base.name(), self.kind, self.seed))
+            }
+            FaultKind::BatteryOutage => {
+                let steps = base.num_steps();
+                if steps < 3 {
+                    return None;
+                }
+                // The fault needs a battery to lose: keep the base fleet,
+                // or attach the paper test battery when the base has none.
+                let scenario = if base.storage().is_some() {
+                    base.clone()
+                } else {
+                    let fleet =
+                        StorageFleet::uniform(base.fleet().num_idcs(), paper_test_battery())?;
+                    base.clone().with_storage(fleet)?
+                };
+                config.storage = scenario.storage().cloned();
+                let count = 2 + (rng.random::<u64>() % 3) as usize;
+                let mut drawn: Vec<usize> = Vec::with_capacity(count);
+                while drawn.len() < count.min(steps - 1) {
+                    let step = 1 + (rng.random::<u64>() % (steps as u64 - 1)) as usize;
+                    if !drawn.contains(&step) {
+                        drawn.push(step);
+                    }
+                }
+                drawn.sort_unstable();
+                config.battery_outage_steps = drawn;
+                scenario.with_name(format!("{}+{}#{}", base.name(), self.kind, self.seed))
             }
             // Handled by the runtime_layer early return above.
             FaultKind::TenantOverload => return None,
@@ -477,6 +515,49 @@ mod tests {
         // Byte-identical on a re-run (the stall is deterministic).
         let again = plan.run(&base).unwrap();
         assert_eq!(run.result, again.result);
+    }
+
+    #[test]
+    fn battery_outage_attaches_fleet_and_idles_battery_at_drawn_steps() {
+        let base = smoothing_scenario();
+        assert!(base.storage().is_none());
+        let plan = FaultPlan::new(FaultKind::BatteryOutage, 9);
+        let (scenario, config) = plan.apply(&base).unwrap();
+        // The derived scenario gains the paper test battery, and the
+        // policy tuning matches it.
+        assert!(scenario.storage().is_some());
+        assert_eq!(config.storage, scenario.storage().cloned());
+        let outages = config.battery_outage_steps.clone();
+        assert!((2..=4).contains(&outages.len()), "{outages:?}");
+        assert!(outages.windows(2).all(|w| w[0] < w[1]), "{outages:?}");
+
+        let run = plan.run(&base).unwrap();
+        assert!(run.report.hard_clean(), "{}", run.report.render());
+        // At every outage step the battery must sit idle.
+        for &k in &outages {
+            for j in 0..scenario.fleet().num_idcs() {
+                assert_eq!(run.result.battery_charge_mw(j).unwrap()[k], 0.0, "step {k}");
+                assert_eq!(
+                    run.result.battery_discharge_mw(j).unwrap()[k],
+                    0.0,
+                    "step {k}"
+                );
+            }
+        }
+        // Deterministic like every other kind.
+        let again = plan.run(&base).unwrap();
+        assert_eq!(run.result, again.result);
+    }
+
+    #[test]
+    fn battery_outage_keeps_an_existing_fleet() {
+        let base = idc_core::scenario::storage_plus_shifting_scenario(3);
+        let (scenario, config) = FaultPlan::new(FaultKind::BatteryOutage, 4)
+            .apply(&base)
+            .unwrap();
+        assert_eq!(scenario.storage(), base.storage());
+        assert_eq!(config.storage, base.storage().cloned());
+        assert_eq!(config.demand_charge, base.demand_charge().copied());
     }
 
     #[test]

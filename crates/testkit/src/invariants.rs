@@ -57,6 +57,16 @@ pub enum ViolationKind {
     /// The recorded cumulative cost `C̄` drifts from the step-by-step
     /// recomputation `Σ price × power × Ts`.
     CostDrift,
+    /// Battery state of charge outside `[0, capacity]` or a rate outside
+    /// its cap (storage scenarios only).
+    SocBounds,
+    /// The recorded SoC trajectory drifts from the efficiency-weighted
+    /// integral of its own recorded rates (storage scenarios only).
+    BatteryConservation,
+    /// The recorded demand-charge accrual drifts from the recomputation
+    /// off the running billed peaks, or decreases (tariffed scenarios
+    /// only).
+    DemandChargeDrift,
     /// The result lacks validation extras (the run did not use a
     /// validating simulator).
     MissingData,
@@ -71,6 +81,9 @@ impl ViolationKind {
             ViolationKind::Latency => "latency",
             ViolationKind::Budget => "budget",
             ViolationKind::CostDrift => "cost-drift",
+            ViolationKind::SocBounds => "soc-bounds",
+            ViolationKind::BatteryConservation => "battery-conservation",
+            ViolationKind::DemandChargeDrift => "demand-charge-drift",
             ViolationKind::MissingData => "missing-data",
         }
     }
@@ -315,6 +328,104 @@ pub fn check_run(scenario: &Scenario, result: &SimulationResult, tol: &Tolerance
         }
     }
 
+    // ---- Storage physics (storage scenarios only): SoC bounds, rate
+    // caps, and conservation of the SoC against the efficiency-weighted
+    // integral of the recorded rates. ----
+    if let Some(storage) = scenario.storage() {
+        for (j, unit) in storage.units().iter().enumerate() {
+            let (Some(soc), Some(charge), Some(discharge)) = (
+                result.soc_mwh(j),
+                result.battery_charge_mw(j),
+                result.battery_discharge_mw(j),
+            ) else {
+                report.violations.push(Violation {
+                    kind: ViolationKind::MissingData,
+                    step: 0,
+                    index: Some(j),
+                    magnitude: 0.0,
+                    detail: "storage scenario ran without battery series recorded".into(),
+                });
+                continue;
+            };
+            let mut expected = unit.initial_soc_mwh;
+            for k in 0..steps {
+                report.checks += 1;
+                let s = soc[k];
+                let over = (s - unit.capacity_mwh)
+                    .max(-s)
+                    .max(charge[k] - unit.max_charge_mw)
+                    .max(-charge[k])
+                    .max(discharge[k] - unit.max_discharge_mw)
+                    .max(-discharge[k]);
+                if over > 1e-9 {
+                    report.violations.push(Violation {
+                        kind: ViolationKind::SocBounds,
+                        step: k,
+                        index: Some(j),
+                        magnitude: over,
+                        detail: format!(
+                            "SoC {s:.6} MWh (cap {:.3}), rates {:.6}/{:.6} MW",
+                            unit.capacity_mwh, charge[k], discharge[k]
+                        ),
+                    });
+                }
+                report.checks += 1;
+                expected +=
+                    (unit.charge_efficiency * charge[k] - discharge[k] / unit.discharge_efficiency)
+                        * ts;
+                let drift = (s - expected).abs();
+                if drift > 1e-9 {
+                    report.violations.push(Violation {
+                        kind: ViolationKind::BatteryConservation,
+                        step: k,
+                        index: Some(j),
+                        magnitude: drift,
+                        detail: format!("SoC {s:.9} MWh vs rate integral {expected:.9} MWh"),
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- Demand-charge accrual (tariffed scenarios only): the recorded
+    // cumulative series must match the recomputation off running billed
+    // peaks of the recorded grid draw, and never decrease. ----
+    if let Some(tariff) = scenario.demand_charge() {
+        match result.demand_charge_cumulative() {
+            Some(dc) => {
+                let mut peaks = vec![0.0f64; n];
+                let mut recomputed = 0.0;
+                for (k, &recorded) in dc.iter().enumerate() {
+                    for (j, peak) in peaks.iter_mut().enumerate() {
+                        *peak = peak.max(result.power_mw(j)[k]);
+                    }
+                    recomputed += tariff.hourly_weight() * peaks.iter().sum::<f64>() * ts;
+                    report.checks += 1;
+                    let prev = if k == 0 { 0.0 } else { dc[k - 1] };
+                    let err = (recorded - recomputed).abs() / recomputed.abs().max(1.0);
+                    if err > tol.cost_rel || recorded < prev {
+                        report.violations.push(Violation {
+                            kind: ViolationKind::DemandChargeDrift,
+                            step: k,
+                            index: None,
+                            magnitude: err,
+                            detail: format!(
+                                "recorded accrual {recorded:.6} vs recomputed {recomputed:.6} $"
+                            ),
+                        });
+                    }
+                }
+            }
+            None => report.violations.push(Violation {
+                kind: ViolationKind::MissingData,
+                step: 0,
+                index: None,
+                magnitude: 0.0,
+                detail: "tariffed scenario ran without demand-charge accrual recorded".into(),
+            }),
+        }
+    }
+
     report
 }
 
@@ -367,6 +478,43 @@ mod tests {
         // as the budgets (not, say, the unclamped 11.4 MW optimum).
         assert!(margin > -2.0, "{}", report.render());
         assert!(report.render().contains("worst budget margin"));
+    }
+
+    #[test]
+    fn storage_run_passes_storage_invariants() {
+        let scenario = idc_core::scenario::storage_plus_shifting_scenario(11);
+        let result = Simulator::with_validation()
+            .run(&scenario, &mut MpcPolicy::paper_tuned(&scenario).unwrap())
+            .unwrap();
+        let report = check_run(&scenario, &result, &Tolerances::default());
+        assert!(report.is_clean(), "{}", report.render());
+        // 288 steps × (5 conservation + 15 negativity + 3 latency + 1 cost
+        // + 3 IDCs × 2 storage checks + 1 demand-charge accrual).
+        assert_eq!(report.checks, 288 * (5 + 15 + 3 + 1 + 6 + 1));
+    }
+
+    #[test]
+    fn corrupted_battery_series_is_caught() {
+        let scenario = idc_core::scenario::storage_plus_shifting_scenario(11);
+        let result = Simulator::with_validation()
+            .run(&scenario, &mut MpcPolicy::paper_tuned(&scenario).unwrap())
+            .unwrap();
+        // A non-validating rerun of the same scenario lacks the allocation
+        // extras but still records battery series; stripping the storage
+        // recording is not possible from outside, so corrupt via scenario
+        // mismatch instead: check a storage scenario against a result from
+        // a storage-free run.
+        let plain = idc_core::scenario::demand_charge_scenario(11);
+        let plain_result = Simulator::with_validation()
+            .run(&plain, &mut MpcPolicy::paper_tuned(&plain).unwrap())
+            .unwrap();
+        let report = check_run(&scenario, &plain_result, &Tolerances::default());
+        let missing = report.of_kind(ViolationKind::MissingData);
+        assert_eq!(missing.len(), 3, "{}", report.render());
+        // And sanity: the genuine storage run is clean (above), so the
+        // checker distinguishes the two.
+        let clean = check_run(&scenario, &result, &Tolerances::default());
+        assert!(clean.of_kind(ViolationKind::MissingData).is_empty());
     }
 
     #[test]

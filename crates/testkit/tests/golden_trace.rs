@@ -12,8 +12,10 @@
 
 use idc_core::policy::MpcPolicy;
 use idc_core::scenario::{
-    diurnal_day_scenario, mmpp_hour_scenario, noisy_day_scenario, peak_shaving_scenario,
-    smoothing_scenario, smoothing_scenario_table_ii, vicious_cycle_scenario, Scenario,
+    demand_charge_scenario, diurnal_day_scenario, mmpp_hour_scenario, noisy_day_scenario,
+    peak_shaving_scenario, smoothing_scenario, smoothing_scenario_table_ii,
+    storage_peak_shaving_scenario, storage_plus_shifting_scenario, vicious_cycle_scenario,
+    Scenario,
 };
 use idc_core::simulation::Simulator;
 
@@ -31,6 +33,9 @@ fn scenarios() -> Vec<Scenario> {
         noisy_day_scenario(2012),
         diurnal_day_scenario(2012),
         mmpp_hour_scenario(2012),
+        storage_peak_shaving_scenario(),
+        demand_charge_scenario(2012),
+        storage_plus_shifting_scenario(2012),
     ]
 }
 

@@ -8,8 +8,10 @@
 
 use idc_core::policy::{MpcPolicy, OptimalPolicy, Policy, ReferenceKind, StaticProportionalPolicy};
 use idc_core::scenario::{
-    diurnal_day_scenario, mmpp_hour_scenario, noisy_day_scenario, peak_shaving_scenario,
-    smoothing_scenario, smoothing_scenario_table_ii, vicious_cycle_scenario, Scenario,
+    demand_charge_scenario, diurnal_day_scenario, mmpp_hour_scenario, noisy_day_scenario,
+    peak_shaving_scenario, smoothing_scenario, smoothing_scenario_table_ii,
+    storage_peak_shaving_scenario, storage_plus_shifting_scenario, vicious_cycle_scenario,
+    Scenario,
 };
 use idc_core::simulation::Simulator;
 use idc_testkit::invariants::{check_run, Tolerances, ViolationKind};
@@ -24,6 +26,9 @@ fn all_scenarios() -> Vec<Scenario> {
         noisy_day_scenario(2012),
         diurnal_day_scenario(2012),
         mmpp_hour_scenario(2012),
+        storage_peak_shaving_scenario(),
+        demand_charge_scenario(2012),
+        storage_plus_shifting_scenario(2012),
     ]
 }
 
@@ -65,8 +70,8 @@ fn every_scenario_and_policy_keeps_the_hard_invariants() {
             swept += 1;
         }
     }
-    // 7 scenarios × 4 policies: a silent drop in coverage is a failure too.
-    assert_eq!(swept, 28);
+    // 10 scenarios × 4 policies: a silent drop in coverage is a failure too.
+    assert_eq!(swept, 40);
 }
 
 #[test]

@@ -96,6 +96,7 @@ impl RandomFleet {
             workload_forecast: forecast,
             power_reference_mw,
             tracking_multiplier: MpcProblem::uniform_tracking(self.n),
+            storage: None,
         }
     }
 

@@ -57,6 +57,7 @@ fn closed_loop_step(lam: &[f64]) -> Vec<f64> {
         workload_forecast: vec![vec![100_000.0]; 3],
         power_reference_mw: vec![reference; 5],
         tracking_multiplier: MpcProblem::uniform_tracking(3),
+        storage: None,
     };
     let plan = controller.plan(&problem).expect("feasible by construction");
     vec![plan.next_input()[0], plan.next_input()[2]]

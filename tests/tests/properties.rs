@@ -73,6 +73,7 @@ proptest! {
             workload_forecast: vec![vec![total]; 3],
             power_reference_mw: vec![vec![ref0, ref1]; 5],
             tracking_multiplier: MpcProblem::uniform_tracking(2),
+            storage: None,
         };
         let mut controller = MpcController::new(MpcConfig {
             smoothing_weight: smoothing,
@@ -104,6 +105,7 @@ proptest! {
                     67.5e-6 * step_gap + 150e-6 * 20_000.0,
                 ]; 5],
                 tracking_multiplier: MpcProblem::uniform_tracking(2),
+                storage: None,
             };
             let mut controller = MpcController::new(MpcConfig {
                 smoothing_weight: smoothing,
